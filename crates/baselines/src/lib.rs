@@ -1,0 +1,23 @@
+//! Baseline checkpointing systems and ablation schemes.
+//!
+//! The paper compares GEMINI against two remote-persistent-storage
+//! baselines (§7.1) and, for the traffic-interleaving ablation (§7.4,
+//! Fig. 16), against successively smarter schemes for checkpointing to CPU
+//! memory. Both live here:
+//!
+//! * [`remote`] — **Strawman** (BLOOM's every-3-hours cadence) and
+//!   **HighFreq** (checkpointing as fast as the persistent storage's
+//!   aggregate bandwidth allows), including their `torch.save()`
+//!   serialization stalls;
+//! * [`schemes`] — **Blocking**, **Naive interleave**, **Interleave
+//!   without pipeline** and **GEMINI** evaluated on the same idle-span
+//!   profile.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod remote;
+pub mod schemes;
+
+pub use remote::{highfreq, strawman, RemoteBaseline, RemoteSetup};
+pub use schemes::{evaluate_scheme, InterleaveScheme, SchemeOutcome};

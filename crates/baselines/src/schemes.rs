@@ -1,0 +1,364 @@
+//! The traffic-interleaving ablation schemes (paper §7.4, Fig. 16).
+//!
+//! Five schemes for checkpointing to CPU memory, evaluated on the same
+//! profiled iteration:
+//!
+//! 1. **Baseline** — no checkpointing at all.
+//! 2. **Blocking** — checkpoint traffic runs at the start of the iteration
+//!    and blocks training (Fig. 4b); each chunk's network transfer and
+//!    GPU→CPU copy serialize on a single buffer.
+//! 3. **Naive interleave** — one checkpoint partition per idle timespan,
+//!    which requires a GPU buffer as large as the biggest span's traffic
+//!    volume → GPU OOM on real models.
+//! 4. **Interleave without pipeline** — Algorithm 2 partitioning, but one
+//!    reception buffer, so every chunk occupies the NIC for
+//!    `f_net + f_copy`; the idle time may no longer suffice.
+//! 5. **GEMINI** — Algorithm 2 + `p` sub-buffer pipelining.
+
+use gemini_core::partition::{checkpoint_partition, PartitionInput};
+use gemini_core::pipeline::single_buffer_chunk_cost;
+use gemini_core::schedule::schedule_checkpoint;
+use gemini_core::{GeminiConfig, GeminiError};
+use gemini_net::{Bandwidth, ByteSize, TransferCost};
+use gemini_sim::SimDuration;
+use gemini_training::IdleProfile;
+use serde::{Deserialize, Serialize};
+
+/// The five schemes of Fig. 16.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum InterleaveScheme {
+    /// Training without checkpointing.
+    Baseline,
+    /// Checkpoint traffic blocks training at iteration start.
+    Blocking,
+    /// One partition per idle timespan (huge buffers).
+    NaiveInterleave,
+    /// Algorithm 2 with a single reception buffer.
+    InterleaveNoPipeline,
+    /// The full system: Algorithm 2 + sub-buffer pipeline.
+    Gemini,
+}
+
+impl InterleaveScheme {
+    /// Display name as in Fig. 16.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InterleaveScheme::Baseline => "Baseline",
+            InterleaveScheme::Blocking => "Blocking",
+            InterleaveScheme::NaiveInterleave => "Naive interleave",
+            InterleaveScheme::InterleaveNoPipeline => "Interleave w/o pipeline",
+            InterleaveScheme::Gemini => "GEMINI",
+        }
+    }
+
+    /// All schemes in figure order.
+    pub fn all() -> [InterleaveScheme; 5] {
+        [
+            InterleaveScheme::Baseline,
+            InterleaveScheme::Blocking,
+            InterleaveScheme::NaiveInterleave,
+            InterleaveScheme::InterleaveNoPipeline,
+            InterleaveScheme::Gemini,
+        ]
+    }
+}
+
+/// The outcome of evaluating one scheme.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SchemeOutcome {
+    /// Which scheme.
+    pub scheme: InterleaveScheme,
+    /// Resulting iteration time (`None` if the scheme OOMs).
+    pub iteration_time: Option<SimDuration>,
+    /// Relative overhead versus the no-checkpoint baseline.
+    pub overhead_frac: Option<f64>,
+    /// Whether the scheme ran out of GPU memory.
+    pub oom: bool,
+    /// GPU buffer per GPU the scheme requires.
+    pub required_buffer_per_gpu: ByteSize,
+}
+
+/// Combines network and copy costs for a scheme whose chunks hold the NIC
+/// through the GPU→CPU copy: `f(s) = (α_n + α_c) + s·(1/B_n + 1/B_c)`.
+fn serialized_cost(net: &TransferCost, copy: &TransferCost) -> TransferCost {
+    let bn = net.bandwidth.bytes_per_sec();
+    let bc = copy.bandwidth.bytes_per_sec();
+    let combined = if bn <= 0.0 || bc <= 0.0 {
+        0.0
+    } else {
+        bn * bc / (bn + bc)
+    };
+    TransferCost::new(
+        net.alpha + copy.alpha,
+        Bandwidth::from_bytes_per_sec(combined),
+    )
+}
+
+/// Evaluates one scheme on a profiled iteration.
+///
+/// Arguments mirror [`gemini_core::schedule::schedule_checkpoint`]; the
+/// checkpoint sends `config.replicas − 1` remote copies of
+/// `ckpt_bytes_machine`.
+pub fn evaluate_scheme(
+    scheme: InterleaveScheme,
+    profile: &IdleProfile,
+    ckpt_bytes_machine: ByteSize,
+    gpus: u32,
+    config: &GeminiConfig,
+    net: &TransferCost,
+    copy: &TransferCost,
+    gpu_headroom: ByteSize,
+) -> Result<SchemeOutcome, GeminiError> {
+    let baseline = profile.iteration_time;
+    let copies = config.replicas.saturating_sub(1) as u64;
+    let gpus64 = gpus.max(1) as u64;
+    match scheme {
+        InterleaveScheme::Baseline => Ok(outcome(scheme, baseline, baseline, ByteSize::ZERO)),
+        InterleaveScheme::Blocking => {
+            // All remote copies up-front, single-buffer semantics: the
+            // network and the receiving copies serialize; training waits.
+            let chunk = config.sub_buffer_size() * gpus64;
+            let n_chunks = (ckpt_bytes_machine * copies).div_ceil_by(chunk);
+            let stall = SimDuration::from_secs_f64(
+                single_buffer_chunk_cost(chunk, net, copy).as_secs_f64() * n_chunks as f64,
+            );
+            Ok(outcome(
+                scheme,
+                baseline + stall,
+                baseline,
+                config.sub_buffer_size(),
+            ))
+        }
+        InterleaveScheme::NaiveInterleave => {
+            // One partition per idle span: the biggest span's traffic must
+            // fit in GPU memory at once.
+            let largest = profile
+                .span_lengths()
+                .into_iter()
+                .fold(SimDuration::ZERO, SimDuration::max);
+            let machine_buffer = net
+                .bandwidth
+                .bytes_in_seconds(largest.as_secs_f64())
+                .min(ckpt_bytes_machine * copies);
+            let per_gpu = machine_buffer / gpus64;
+            if per_gpu > gpu_headroom {
+                return Ok(SchemeOutcome {
+                    scheme,
+                    iteration_time: None,
+                    overhead_frac: None,
+                    oom: true,
+                    required_buffer_per_gpu: per_gpu,
+                });
+            }
+            // Small models: one chunk per span, network-cost only.
+            let input = PartitionInput {
+                idle_spans: profile.span_lengths(),
+                ckpt_size: ckpt_bytes_machine,
+                copies: copies as usize,
+                reserved_buffer: machine_buffer.max(ByteSize::from_bytes(1)),
+                buffer_parts: 1,
+                cost: *net,
+                gamma: config.gamma,
+            };
+            let plan = checkpoint_partition(&input)?;
+            let overflow = plan.overflow(&input.idle_spans, net);
+            Ok(outcome(scheme, baseline + overflow, baseline, per_gpu))
+        }
+        InterleaveScheme::InterleaveNoPipeline => {
+            // Algorithm 2, one reception buffer: each chunk costs
+            // f_net + f_copy of NIC time.
+            let cost = serialized_cost(net, copy);
+            let input = PartitionInput {
+                idle_spans: profile.span_lengths(),
+                ckpt_size: ckpt_bytes_machine,
+                copies: copies as usize,
+                reserved_buffer: config.reserved_buffer * gpus64,
+                buffer_parts: 1,
+                cost,
+                gamma: config.gamma,
+            };
+            let plan = checkpoint_partition(&input)?;
+            let overflow = plan.overflow(&input.idle_spans, &cost);
+            Ok(outcome(
+                scheme,
+                baseline + overflow,
+                baseline,
+                config.reserved_buffer,
+            ))
+        }
+        InterleaveScheme::Gemini => {
+            let sched = schedule_checkpoint(
+                profile,
+                ckpt_bytes_machine,
+                gpus,
+                config,
+                net,
+                copy,
+                gpu_headroom,
+            )?;
+            Ok(outcome(
+                scheme,
+                sched.outcome.iteration_time,
+                baseline,
+                config.sub_buffer_size(),
+            ))
+        }
+    }
+}
+
+fn outcome(
+    scheme: InterleaveScheme,
+    iteration: SimDuration,
+    baseline: SimDuration,
+    buffer: ByteSize,
+) -> SchemeOutcome {
+    let overhead = (iteration.as_secs_f64() - baseline.as_secs_f64())
+        / baseline.as_secs_f64().max(f64::MIN_POSITIVE);
+    SchemeOutcome {
+        scheme,
+        iteration_time: Some(iteration),
+        overhead_frac: Some(overhead),
+        oom: false,
+        required_buffer_per_gpu: buffer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_cluster::InstanceType;
+    use gemini_training::{ModelConfig, OnlineProfiler, TimelineBuilder};
+
+    /// The Fig. 16 setting: GPT-2 40B on 16 p3dn.24xlarge.
+    fn fig16_profile() -> IdleProfile {
+        let b = TimelineBuilder::new(ModelConfig::gpt2_40b(), InstanceType::p3dn(), 16);
+        let mut p = OnlineProfiler::new(3);
+        for _ in 0..3 {
+            p.observe(&b.build());
+        }
+        p.profile().unwrap()
+    }
+
+    fn run(scheme: InterleaveScheme) -> SchemeOutcome {
+        let inst = InstanceType::p3dn();
+        let model = ModelConfig::gpt2_40b();
+        evaluate_scheme(
+            scheme,
+            &fig16_profile(),
+            model.checkpoint_bytes_per_machine(16),
+            inst.gpus,
+            &GeminiConfig::default(),
+            &inst.ckpt_net_cost(),
+            &inst.copy_cost(),
+            inst.gpu_headroom,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn baseline_has_zero_overhead() {
+        let o = run(InterleaveScheme::Baseline);
+        assert_eq!(o.overhead_frac, Some(0.0));
+        assert!(!o.oom);
+    }
+
+    #[test]
+    fn blocking_overhead_near_10_percent() {
+        // Fig. 16: "the iteration time with Blocking is 10.1% higher".
+        let o = run(InterleaveScheme::Blocking);
+        let f = o.overhead_frac.unwrap();
+        assert!((0.06..0.16).contains(&f), "overhead = {:.3}", f);
+    }
+
+    #[test]
+    fn naive_interleave_goes_oom() {
+        // Fig. 16 / §7.4: "Naive interleave can cause GPU out-of-memory
+        // errors … the required memory buffer size is more than 2GB".
+        let o = run(InterleaveScheme::NaiveInterleave);
+        assert!(o.oom);
+        assert!(o.iteration_time.is_none());
+        assert!(
+            o.required_buffer_per_gpu > ByteSize::from_gb(2),
+            "buffer = {}",
+            o.required_buffer_per_gpu
+        );
+    }
+
+    #[test]
+    fn no_pipeline_has_small_positive_overhead() {
+        // Fig. 16: "it worsens the iteration time by 3.5%".
+        let o = run(InterleaveScheme::InterleaveNoPipeline);
+        let f = o.overhead_frac.unwrap();
+        assert!(f > 0.005, "overhead = {f:.4} (expected > 0)");
+        assert!(f < 0.10, "overhead = {f:.4} (expected small)");
+    }
+
+    #[test]
+    fn gemini_has_no_overhead() {
+        // Fig. 16: "the iteration time with GEMINI is almost the same as
+        // the Baseline".
+        let o = run(InterleaveScheme::Gemini);
+        let f = o.overhead_frac.unwrap();
+        assert!(f < 0.005, "overhead = {f:.4}");
+    }
+
+    #[test]
+    fn ordering_matches_fig16() {
+        let blocking = run(InterleaveScheme::Blocking).overhead_frac.unwrap();
+        let no_pipe = run(InterleaveScheme::InterleaveNoPipeline)
+            .overhead_frac
+            .unwrap();
+        let gemini = run(InterleaveScheme::Gemini).overhead_frac.unwrap();
+        assert!(blocking > no_pipe);
+        assert!(no_pipe > gemini);
+    }
+
+    #[test]
+    fn naive_interleave_is_fine_for_tiny_checkpoints() {
+        // A small enough shard fits the per-span buffers — no OOM.
+        let inst = InstanceType::p3dn();
+        let o = evaluate_scheme(
+            InterleaveScheme::NaiveInterleave,
+            &fig16_profile(),
+            ByteSize::from_mb(64),
+            inst.gpus,
+            &GeminiConfig::default(),
+            &inst.ckpt_net_cost(),
+            &inst.copy_cost(),
+            inst.gpu_headroom,
+        )
+        .unwrap();
+        assert!(!o.oom);
+        assert_eq!(o.overhead_frac, Some(0.0));
+    }
+
+    #[test]
+    fn scheme_names_and_order() {
+        let names: Vec<&str> = InterleaveScheme::all().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Baseline",
+                "Blocking",
+                "Naive interleave",
+                "Interleave w/o pipeline",
+                "GEMINI"
+            ]
+        );
+    }
+
+    #[test]
+    fn serialized_cost_is_harmonic() {
+        let net = TransferCost::new(
+            SimDuration::from_millis(1),
+            Bandwidth::from_gbytes_per_sec(10.0),
+        );
+        let copy = TransferCost::new(
+            SimDuration::from_millis(2),
+            Bandwidth::from_gbytes_per_sec(10.0),
+        );
+        let c = serialized_cost(&net, &copy);
+        assert_eq!(c.alpha, SimDuration::from_millis(3));
+        assert!((c.bandwidth.as_gbytes_per_sec() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,112 @@
+//! One Criterion benchmark per table/figure regenerator — running each is
+//! the canonical way to reproduce the paper's evaluation artifacts, and
+//! benchmarking them keeps their cost visible as the models grow.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gemini_harness::experiments::{
+    ablations, interleave, placement, recovery, scale, tables, throughput, wasted,
+};
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1", |b| b.iter(|| black_box(tables::table1())));
+    c.bench_function("table2", |b| b.iter(|| black_box(tables::table2())));
+}
+
+fn bench_throughput_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput_figures");
+    g.sample_size(10);
+    g.bench_function("fig7_iteration_time", |b| {
+        b.iter(|| black_box(throughput::fig7()))
+    });
+    g.bench_function("fig8_network_idle_time", |b| {
+        b.iter(|| black_box(throughput::fig8()))
+    });
+    g.bench_function("fig13_p3dn", |b| b.iter(|| black_box(throughput::fig13())));
+    g.finish();
+}
+
+fn bench_placement_figure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement_figures");
+    g.sample_size(10);
+    g.bench_function("fig9_recovery_probability", |b| {
+        b.iter(|| black_box(placement::fig9()))
+    });
+    g.finish();
+}
+
+fn bench_wasted_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wasted_time_figures");
+    g.sample_size(10);
+    g.bench_function("fig1_anatomy", |b| b.iter(|| black_box(wasted::fig1())));
+    g.bench_function("fig10_average_wasted_time", |b| {
+        b.iter(|| black_box(wasted::fig10()))
+    });
+    g.bench_function("fig11_ckpt_time_reduction", |b| {
+        b.iter(|| black_box(wasted::fig11()))
+    });
+    g.bench_function("fig12_ckpt_frequency", |b| {
+        b.iter(|| black_box(wasted::fig12()))
+    });
+    g.finish();
+}
+
+fn bench_recovery_figure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery_figures");
+    g.sample_size(10);
+    g.bench_function("fig14_recovery_drill", |b| {
+        b.iter(|| black_box(recovery::fig14()))
+    });
+    g.finish();
+}
+
+fn bench_scale_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scale_figures");
+    g.sample_size(10);
+    g.bench_function("fig15a_failure_rate_sweep", |b| {
+        b.iter(|| black_box(scale::fig15a(true)))
+    });
+    g.bench_function("fig15b_cluster_size_sweep", |b| {
+        b.iter(|| black_box(scale::fig15b(true)))
+    });
+    g.finish();
+}
+
+fn bench_interleave_figure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interleave_figures");
+    g.sample_size(10);
+    g.bench_function("fig16_schemes", |b| {
+        b.iter(|| black_box(interleave::fig16()))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("replicas_sweep", |b| {
+        b.iter(|| black_box(ablations::replicas_ablation()))
+    });
+    g.bench_function("gamma_sweep", |b| {
+        b.iter(|| black_box(ablations::gamma_ablation()))
+    });
+    g.bench_function("sub_buffers_sweep", |b| {
+        b.iter(|| black_box(ablations::sub_buffers_ablation()))
+    });
+    g.bench_function("standby_sweep", |b| {
+        b.iter(|| black_box(ablations::standby_ablation()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_throughput_figures,
+    bench_placement_figure,
+    bench_wasted_figures,
+    bench_recovery_figure,
+    bench_scale_figures,
+    bench_interleave_figure,
+    bench_ablations
+);
+criterion_main!(benches);

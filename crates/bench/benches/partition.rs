@@ -1,0 +1,61 @@
+//! Benchmarks of the checkpoint partition algorithm (paper §5.3,
+//! Algorithm 2) and the sub-buffer pipeline simulation at paper scale
+//! (GPT-2 100B: 75 GB per machine → ≈2 200 chunks of 8×32 MiB).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemini_core::partition::{checkpoint_partition, PartitionInput};
+use gemini_core::pipeline::run_pipeline;
+use gemini_net::{Bandwidth, ByteSize, TransferCost};
+use gemini_sim::SimDuration;
+
+fn paper_input(copies: usize) -> PartitionInput {
+    PartitionInput {
+        idle_spans: vec![
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_secs_f64(1.0),
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_secs_f64(2.0),
+            SimDuration::from_secs_f64(9.5),
+        ],
+        ckpt_size: ByteSize::from_gb(75),
+        copies,
+        reserved_buffer: ByteSize::from_mib(128 * 8),
+        buffer_parts: 4,
+        cost: TransferCost::new(
+            SimDuration::from_micros(100),
+            Bandwidth::from_gbytes_per_sec(40.0),
+        ),
+        gamma: 0.8,
+    }
+}
+
+fn bench_algorithm2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm2_checkpoint_partition");
+    for copies in [1usize, 2, 3] {
+        let input = paper_input(copies);
+        g.bench_with_input(BenchmarkId::new("copies", copies), &input, |b, input| {
+            b.iter(|| checkpoint_partition(black_box(input)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let plan = checkpoint_partition(&paper_input(1)).unwrap();
+    let sizes: Vec<ByteSize> = plan.chunks.iter().map(|ch| ch.size).collect();
+    let net = paper_input(1).cost;
+    let copy = TransferCost::new(
+        SimDuration::from_micros(10),
+        Bandwidth::from_gbytes_per_sec(50.0),
+    );
+    let mut g = c.benchmark_group("pipeline_simulation");
+    for p in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("sub_buffers", p), &p, |b, &p| {
+            b.iter(|| run_pipeline(black_box(&sizes), p, &net, &copy))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithm2, bench_pipeline);
+criterion_main!(benches);

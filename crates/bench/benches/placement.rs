@@ -1,0 +1,55 @@
+//! Benchmarks of the checkpoint-placement machinery (paper §4):
+//! Algorithm 1 construction, recoverability checks, and the three
+//! recovery-probability estimators.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemini_core::placement::probability::{
+    corollary1_probability, exact_recovery_probability, monte_carlo_recovery_probability,
+};
+use gemini_core::Placement;
+use gemini_sim::DetRng;
+use std::collections::BTreeSet;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm1_mixed_placement");
+    for n in [16usize, 128, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| Placement::mixed(black_box(n), black_box(2)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_recoverable(c: &mut Criterion) {
+    let placement = Placement::mixed(1024, 2).unwrap();
+    let failed: BTreeSet<usize> = [3, 500, 901].into_iter().collect();
+    c.bench_function("recoverable_n1024_k3", |b| {
+        b.iter(|| placement.recoverable(black_box(&failed)))
+    });
+}
+
+fn bench_probability_estimators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery_probability");
+    g.bench_function("corollary1_closed_form", |b| {
+        b.iter(|| corollary1_probability(black_box(128), 2, 3))
+    });
+    let placement = Placement::mixed(64, 2).unwrap();
+    g.bench_function("exact_enumeration_n64_k2", |b| {
+        b.iter(|| exact_recovery_probability(black_box(&placement), 2).unwrap())
+    });
+    g.sample_size(20);
+    g.bench_function("monte_carlo_n128_k3_10k", |b| {
+        let p = Placement::mixed(128, 2).unwrap();
+        let mut rng = DetRng::new(1);
+        b.iter(|| monte_carlo_recovery_probability(black_box(&p), 3, 10_000, &mut rng))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_recoverable,
+    bench_probability_estimators
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Benchmarks of the ZeRO-3 iteration-timeline generator, the online
+//! profiler and the end-to-end checkpoint scheduling path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemini_cluster::InstanceType;
+use gemini_core::schedule::schedule_checkpoint;
+use gemini_core::GeminiConfig;
+use gemini_sim::DetRng;
+use gemini_training::{ModelConfig, OnlineProfiler, TimelineBuilder};
+
+fn bench_timeline_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iteration_timeline_build");
+    for name in ["GPT-2 10B", "GPT-2 40B", "GPT-2 100B"] {
+        let model = ModelConfig::by_name(name).unwrap();
+        let inst = if model.nominal_params >= 100_000_000_000 {
+            InstanceType::p4d()
+        } else {
+            InstanceType::p3dn()
+        };
+        let builder = TimelineBuilder::new(model, inst, 16);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &builder, |b, builder| {
+            b.iter(|| builder.build())
+        });
+    }
+    g.finish();
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let builder = TimelineBuilder::new(ModelConfig::gpt2_100b(), InstanceType::p4d(), 16);
+    c.bench_function("online_profiler_20_iterations", |b| {
+        b.iter(|| {
+            let mut rng = DetRng::new(3);
+            let mut p = OnlineProfiler::with_default_window();
+            for _ in 0..20 {
+                p.observe(&builder.build_jittered(&mut rng, 0.03));
+            }
+            black_box(p.profile().unwrap())
+        })
+    });
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let inst = InstanceType::p4d();
+    let model = ModelConfig::gpt2_100b();
+    let builder = TimelineBuilder::new(model, inst, 16);
+    let mut profiler = OnlineProfiler::new(3);
+    for _ in 0..3 {
+        profiler.observe(&builder.build());
+    }
+    let profile = profiler.profile().unwrap();
+    c.bench_function("schedule_checkpoint_gpt2_100b", |b| {
+        b.iter(|| {
+            schedule_checkpoint(
+                black_box(&profile),
+                model.checkpoint_bytes_per_machine(16),
+                inst.gpus,
+                &GeminiConfig::default(),
+                &inst.ckpt_net_cost(),
+                &inst.copy_cost(),
+                inst.gpu_headroom,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_timeline_build,
+    bench_profiler,
+    bench_schedule
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Prints the calibrated iteration-timeline anchors for the models the
+//! paper evaluates, next to the paper's measured values.
+
+use gemini_cluster::InstanceType;
+use gemini_training::{ModelConfig, TimelineBuilder};
+
+fn main() {
+    println!("model          | iter (s) | net busy | net idle | largest idle | spans");
+    println!("---------------|----------|----------|----------|--------------|------");
+    for (name, inst) in [
+        ("GPT-2 100B", InstanceType::p4d()),
+        ("RoBERTa 100B", InstanceType::p4d()),
+        ("BERT 100B", InstanceType::p4d()),
+        ("GPT-2 10B", InstanceType::p3dn()),
+        ("GPT-2 20B", InstanceType::p3dn()),
+        ("GPT-2 40B", InstanceType::p3dn()),
+        ("RoBERTa 40B", InstanceType::p3dn()),
+        ("BERT 40B", InstanceType::p3dn()),
+    ] {
+        let model = ModelConfig::by_name(name).expect("table 2 model");
+        let t = TimelineBuilder::new(model, inst, 16).build();
+        println!(
+            "{name:14} | {:8.1} | {:8.1} | {:8.1} | {:12.2} | {}",
+            t.iteration_time().as_secs_f64(),
+            t.network_busy_total().as_secs_f64(),
+            t.network_idle_total().as_secs_f64(),
+            t.largest_idle_span().as_secs_f64(),
+            t.idle_spans().len()
+        );
+    }
+    println!();
+    println!("paper anchors: GPT-2 100B on 16 p4d = 62 s iterations, ~12.5 s idle;");
+    println!("GPT-2 40B on 16 p3dn = ~45 s iterations, a few seconds idle (Figs. 7/8/13).");
+}

@@ -1,0 +1,28 @@
+//! Prints every figure of the paper's evaluation section as markdown.
+//!
+//! ```text
+//! cargo run -p gemini-bench --bin figures [--fast] [--csv | --json]
+//! ```
+
+use gemini_harness::experiments::render_all;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let csv = args.iter().any(|a| a == "--csv");
+    let json = args.iter().any(|a| a == "--json");
+    if json {
+        let tables = render_all(fast);
+        let rendered: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
+        println!("[{}]", rendered.join(","));
+        return;
+    }
+    for table in render_all(fast) {
+        if csv {
+            println!("# {}", table.title);
+            println!("{}", table.to_csv());
+        } else {
+            println!("{}", table.to_markdown());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! A scenario runner: describe a deployment and a failure in JSON, get the
+//! schedule, recovery analysis and drill results.
+//!
+//! ```text
+//! cargo run -p gemini-bench --bin scenario -- '{"model":"GPT-2 100B"}'
+//! cargo run -p gemini-bench --bin scenario -- "$(cat my_scenario.json)"
+//! ```
+//!
+//! Config fields (all optional):
+//!
+//! ```json
+//! {
+//!   "model": "GPT-2 100B",        // any Table 2 model name
+//!   "instance": "p4d.24xlarge",   // any Table 1 instance name
+//!   "machines": 16,
+//!   "replicas": 2,
+//!   "standbys": 0,
+//!   "failures": [[5, "hardware"], [3, "software"]],
+//!   "fail_during_iteration": 4,
+//!   "seed": 1
+//! }
+//! ```
+
+use gemini_cluster::{FailureKind, InstanceType, OperatorConfig};
+use gemini_harness::{run_drill, DrillConfig, Scenario};
+use gemini_training::ModelConfig;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "{}".to_string());
+    let cfg: serde_json::Value = serde_json::from_str(&arg)
+        .unwrap_or_else(|e| fail(&format!("config is not valid JSON: {e}")));
+
+    let model_name = cfg["model"].as_str().unwrap_or("GPT-2 100B");
+    let model = ModelConfig::by_name(model_name)
+        .unwrap_or_else(|| fail(&format!("unknown model {model_name:?}; see Table 2")));
+    let instance_name = cfg["instance"].as_str().unwrap_or("p4d.24xlarge");
+    let instance = InstanceType::by_name(instance_name)
+        .unwrap_or_else(|| fail(&format!("unknown instance {instance_name:?}; see Table 1")));
+    let machines = cfg["machines"].as_u64().unwrap_or(16) as usize;
+    let replicas = cfg["replicas"].as_u64().unwrap_or(2) as usize;
+    let standbys = cfg["standbys"].as_u64().unwrap_or(0) as usize;
+    let seed = cfg["seed"].as_u64().unwrap_or(1);
+    let fail_iter = cfg["fail_during_iteration"].as_u64().unwrap_or(4);
+
+    let mut failures: Vec<(usize, FailureKind)> = Vec::new();
+    if let Some(list) = cfg["failures"].as_array() {
+        for entry in list {
+            let rank = entry[0]
+                .as_u64()
+                .unwrap_or_else(|| fail("failure entries are [rank, kind]"))
+                as usize;
+            let kind = match entry[1].as_str().unwrap_or("hardware") {
+                "software" => FailureKind::Software,
+                "hardware" => FailureKind::Hardware,
+                other => fail(&format!("unknown failure kind {other:?}")),
+            };
+            failures.push((rank, kind));
+        }
+    }
+    if failures.is_empty() {
+        failures.push((machines.saturating_sub(1) / 2, FailureKind::Hardware));
+    }
+
+    let mut scenario = Scenario {
+        model,
+        instance,
+        machines,
+        config: Default::default(),
+        rack_topology: None,
+    };
+    scenario.config.replicas = replicas;
+
+    println!(
+        "# {} on {} x {} (m = {replicas}, standbys = {standbys})\n",
+        model.name, machines, instance.name
+    );
+
+    let sys = match scenario.build_system(seed) {
+        Ok(sys) => sys,
+        Err(e) => fail(&format!("deployment infeasible: {e}")),
+    };
+    let o = &sys.schedule.outcome;
+    println!("## Steady state");
+    println!(
+        "- model states: {} total, {}/machine",
+        scenario.ckpt_bytes_total(),
+        scenario.ckpt_bytes_per_machine()
+    );
+    println!(
+        "- placement: {:?}, {} groups",
+        sys.placement.strategy(),
+        sys.placement.groups().len()
+    );
+    println!(
+        "- iteration: {} (no ckpt) -> {} (GEMINI)",
+        o.baseline_iteration, o.iteration_time
+    );
+    println!(
+        "- ckpt network time {} in {} idle; interference-free: {}",
+        o.ckpt_network_time,
+        sys.profile.total_idle(),
+        sys.schedule.is_interference_free()
+    );
+
+    let drill = DrillConfig {
+        scenario,
+        failures: failures.clone(),
+        fail_during_iteration: fail_iter,
+        operator: OperatorConfig {
+            standbys,
+            ..OperatorConfig::default()
+        },
+        seed,
+    };
+    match run_drill(&drill) {
+        Ok(r) => {
+            println!("\n## Failure drill ({failures:?} during iteration {fail_iter})");
+            println!("- case: {:?}", r.case);
+            println!(
+                "- detection {} | serialization {} | replacement {} | retrieval {} | warmup {}",
+                r.detect_latency,
+                r.serialize_time,
+                r.replacement_wait,
+                r.retrieval_time,
+                r.warmup_time
+            );
+            println!(
+                "- total downtime {}; resumed from iteration {}",
+                r.total_downtime, r.resumed_from_iteration
+            );
+        }
+        Err(e) => println!("\n## Failure drill: unrecoverable ({e})"),
+    }
+}

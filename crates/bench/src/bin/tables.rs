@@ -1,0 +1,12 @@
+//! Prints the paper's Table 1 and Table 2.
+//!
+//! ```text
+//! cargo run -p gemini-bench --bin tables
+//! ```
+
+use gemini_harness::experiments::tables::{table1_table, table2_table};
+
+fn main() {
+    println!("{}", table1_table().to_markdown());
+    println!("{}", table2_table().to_markdown());
+}

@@ -1,0 +1,15 @@
+//! Benchmark and figure-regeneration entry points for the GEMINI
+//! reproduction.
+//!
+//! Binaries:
+//!
+//! * `figures` — prints every figure of the paper's evaluation as a
+//!   markdown table (`--fast` shrinks the stochastic sweeps);
+//! * `tables` — prints Tables 1 and 2;
+//! * `calib` — prints the calibrated timeline anchors.
+//!
+//! Criterion benches (one per experiment family): `placement`,
+//! `partition`, `timeline`, `figures`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]

@@ -1,0 +1,307 @@
+//! The instance-type catalog.
+//!
+//! [`TABLE1_INSTANCES`] reproduces the paper's Table 1 (GPU vs CPU memory of
+//! popular cloud GPU instances). The two AWS types the evaluation runs on —
+//! `p4d.24xlarge` and `p3dn.24xlarge` — additionally carry the calibration
+//! constants the timeline model needs. Each constant is anchored to a number
+//! the paper reports:
+//!
+//! * `p4d` 400 Gbps EFA, GPU↔CPU copy ≈ network bandwidth (footnote 2);
+//! * GPT-2 100B on 16 p4d: 62 s iterations (§7.2), ≈12.5 s network idle
+//!   (Fig. 8), < 3 s checkpoint time;
+//! * GPT-2 40B on 16 p3dn: ≈45 s iterations with a few seconds of idle
+//!   (Fig. 13, Fig. 16).
+//!
+//! The `mfu` (model FLOPs utilization) and network-efficiency factors are
+//! the two knobs that make those anchors come out; they are *fixed once
+//! here* and never tuned per-experiment.
+
+use gemini_net::{Bandwidth, ByteSize, TransferCost};
+use gemini_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A GPU instance type, as in the paper's Table 1 plus calibration data.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InstanceType {
+    /// Vendor name, e.g. `p4d.24xlarge`.
+    pub name: &'static str,
+    /// Cloud provider.
+    pub cloud: &'static str,
+    /// GPUs per machine.
+    pub gpus: u32,
+    /// Memory per GPU.
+    pub gpu_mem: ByteSize,
+    /// Host CPU memory per machine.
+    pub cpu_mem: ByteSize,
+    /// Peak dense fp16 throughput per GPU, in FLOP/s.
+    pub gpu_peak_flops: f64,
+    /// Inter-machine network line rate (per machine NIC).
+    pub network: Bandwidth,
+    /// GPU↔CPU copy bandwidth per machine (PCIe / copy engines). The paper
+    /// measured this ≈ network line rate on p4d (footnote 2).
+    pub copy_bandwidth: Bandwidth,
+    /// Model-FLOPs utilization the training workloads achieve (calibrated).
+    pub mfu: f64,
+    /// Fraction of line rate the *training* collectives achieve (calibrated;
+    /// ZeRO-3 issues many per-layer operations and never saturates EFA).
+    pub train_net_efficiency: f64,
+    /// Fraction of line rate large point-to-point *checkpoint* transfers
+    /// achieve (large contiguous chunks run close to line rate).
+    pub ckpt_net_efficiency: f64,
+    /// Per-message startup latency α.
+    pub net_alpha: SimDuration,
+    /// GPU memory that remains free during large-model training — "a few
+    /// hundred MB" per the paper's profiling (§5.2) — available for
+    /// checkpoint communication buffers.
+    pub gpu_headroom: ByteSize,
+}
+
+impl InstanceType {
+    /// Total GPU memory on one machine.
+    pub fn total_gpu_mem(&self) -> ByteSize {
+        self.gpu_mem * self.gpus as u64
+    }
+
+    /// Aggregate peak FLOP/s of one machine.
+    pub fn machine_peak_flops(&self) -> f64 {
+        self.gpu_peak_flops * self.gpus as f64
+    }
+
+    /// Effective per-GPU training throughput in FLOP/s.
+    pub fn effective_gpu_flops(&self) -> f64 {
+        self.gpu_peak_flops * self.mfu
+    }
+
+    /// The point-to-point cost model seen by training collectives.
+    pub fn training_net_cost(&self) -> TransferCost {
+        TransferCost::new(
+            self.net_alpha,
+            self.network.scaled(self.train_net_efficiency),
+        )
+    }
+
+    /// The point-to-point cost model seen by checkpoint transfers.
+    pub fn ckpt_net_cost(&self) -> TransferCost {
+        TransferCost::new(
+            self.net_alpha,
+            self.network.scaled(self.ckpt_net_efficiency),
+        )
+    }
+
+    /// The GPU↔CPU copy cost model (for one machine's copy engines).
+    pub fn copy_cost(&self) -> TransferCost {
+        TransferCost::new(SimDuration::from_micros(10), self.copy_bandwidth)
+    }
+
+    /// Looks an instance type up by name in [`TABLE1_INSTANCES`].
+    pub fn by_name(name: &str) -> Option<&'static InstanceType> {
+        TABLE1_INSTANCES.iter().find(|i| i.name == name)
+    }
+
+    /// The AWS p4d.24xlarge used for the paper's main evaluation.
+    pub fn p4d() -> &'static InstanceType {
+        Self::by_name("p4d.24xlarge").expect("p4d is in the catalog")
+    }
+
+    /// The AWS p3dn.24xlarge used for the paper's V100 evaluation.
+    pub fn p3dn() -> &'static InstanceType {
+        Self::by_name("p3dn.24xlarge").expect("p3dn is in the catalog")
+    }
+}
+
+/// Aggregate bandwidth of the remote persistent storage (FSx) in the
+/// paper's evaluation (§7.1): 20 Gbps regardless of cluster size.
+pub fn fsx_storage_cost() -> TransferCost {
+    TransferCost::new(SimDuration::from_millis(20), Bandwidth::from_gbps(20.0))
+}
+
+/// The paper's Table 1, with calibration extensions for the two evaluated
+/// AWS types. Memory sizes are as printed in the paper (decimal GB for CPU
+/// memory, binary GiB for GPU memory which vendors quote as "32/40/80 GB").
+pub static TABLE1_INSTANCES: &[InstanceType] = &[
+    InstanceType {
+        name: "p3dn.24xlarge",
+        cloud: "AWS",
+        gpus: 8,
+        gpu_mem: ByteSize::from_gib(32),
+        cpu_mem: ByteSize::from_gb(768),
+        gpu_peak_flops: 125e12, // V100 tensor-core fp16 peak
+        network: bandwidth_gbps(100.0),
+        copy_bandwidth: bandwidth_gbps(100.0),
+        mfu: 0.30,
+        train_net_efficiency: 0.48,
+        ckpt_net_efficiency: 0.80,
+        net_alpha: SimDuration::from_micros(200),
+        gpu_headroom: ByteSize::from_mib(800),
+    },
+    InstanceType {
+        name: "p4d.24xlarge",
+        cloud: "AWS",
+        gpus: 8,
+        gpu_mem: ByteSize::from_gib(40),
+        cpu_mem: ByteSize::from_gb(1152),
+        gpu_peak_flops: 312e12, // A100 tensor-core fp16 peak
+        network: bandwidth_gbps(400.0),
+        copy_bandwidth: bandwidth_gbps(400.0), // footnote 2: both ≈400 Gbps
+        mfu: 0.214,
+        train_net_efficiency: 0.23,
+        ckpt_net_efficiency: 0.80,
+        net_alpha: SimDuration::from_micros(100),
+        gpu_headroom: ByteSize::from_mib(800),
+    },
+    InstanceType {
+        name: "ND40rs_v2",
+        cloud: "Azure",
+        gpus: 8,
+        gpu_mem: ByteSize::from_gib(32),
+        cpu_mem: ByteSize::from_gb(672),
+        gpu_peak_flops: 125e12,
+        network: bandwidth_gbps(100.0),
+        copy_bandwidth: bandwidth_gbps(100.0),
+        mfu: 0.30,
+        train_net_efficiency: 0.48,
+        ckpt_net_efficiency: 0.80,
+        net_alpha: SimDuration::from_micros(200),
+        gpu_headroom: ByteSize::from_mib(800),
+    },
+    InstanceType {
+        name: "ND96asr_v4",
+        cloud: "Azure",
+        gpus: 8,
+        gpu_mem: ByteSize::from_gib(40),
+        cpu_mem: ByteSize::from_gb(900),
+        gpu_peak_flops: 312e12,
+        network: bandwidth_gbps(200.0),
+        copy_bandwidth: bandwidth_gbps(200.0),
+        mfu: 0.214,
+        train_net_efficiency: 0.30,
+        ckpt_net_efficiency: 0.80,
+        net_alpha: SimDuration::from_micros(100),
+        gpu_headroom: ByteSize::from_mib(800),
+    },
+    InstanceType {
+        name: "n1-8-v100",
+        cloud: "GCP",
+        gpus: 8,
+        gpu_mem: ByteSize::from_gib(32),
+        cpu_mem: ByteSize::from_gb(624),
+        gpu_peak_flops: 125e12,
+        network: bandwidth_gbps(100.0),
+        copy_bandwidth: bandwidth_gbps(100.0),
+        mfu: 0.30,
+        train_net_efficiency: 0.48,
+        ckpt_net_efficiency: 0.80,
+        net_alpha: SimDuration::from_micros(200),
+        gpu_headroom: ByteSize::from_mib(800),
+    },
+    InstanceType {
+        name: "a2-highgpu-8g",
+        cloud: "GCP",
+        gpus: 8,
+        gpu_mem: ByteSize::from_gib(40),
+        cpu_mem: ByteSize::from_gb(640),
+        gpu_peak_flops: 312e12,
+        network: bandwidth_gbps(100.0),
+        copy_bandwidth: bandwidth_gbps(100.0),
+        mfu: 0.214,
+        train_net_efficiency: 0.48,
+        ckpt_net_efficiency: 0.80,
+        net_alpha: SimDuration::from_micros(100),
+        gpu_headroom: ByteSize::from_mib(800),
+    },
+    InstanceType {
+        name: "DGX A100",
+        cloud: "NVIDIA",
+        gpus: 8,
+        gpu_mem: ByteSize::from_gib(80),
+        cpu_mem: ByteSize::from_gb(2000),
+        gpu_peak_flops: 312e12,
+        network: bandwidth_gbps(200.0),
+        copy_bandwidth: bandwidth_gbps(200.0),
+        mfu: 0.214,
+        train_net_efficiency: 0.30,
+        ckpt_net_efficiency: 0.80,
+        net_alpha: SimDuration::from_micros(100),
+        gpu_headroom: ByteSize::from_mib(800),
+    },
+];
+
+/// `const`-friendly bandwidth constructor (Bandwidth::from_gbps is not
+/// `const` because of float ops under MSRV; this keeps the table literal).
+const fn bandwidth_gbps(gbps: f64) -> Bandwidth {
+    // SAFETY of representation: Bandwidth is a transparent f64 of bytes/s.
+    // We cannot call the non-const constructor here, so replicate it.
+    Bandwidth::const_from_gbps(gbps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_seven_rows_like_the_paper() {
+        assert_eq!(TABLE1_INSTANCES.len(), 7);
+    }
+
+    #[test]
+    fn cpu_memory_dwarfs_gpu_memory_everywhere() {
+        // The observation motivating §2.3.1.
+        for inst in TABLE1_INSTANCES {
+            assert!(
+                inst.cpu_mem.as_bytes() > inst.total_gpu_mem().as_bytes(),
+                "{}: cpu {} vs gpu {}",
+                inst.name,
+                inst.cpu_mem,
+                inst.total_gpu_mem()
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(InstanceType::p4d().gpus, 8);
+        assert_eq!(InstanceType::p3dn().cloud, "AWS");
+        assert!(InstanceType::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn p4d_matches_paper_table1() {
+        let p4d = InstanceType::p4d();
+        assert_eq!(p4d.gpu_mem, ByteSize::from_gib(40));
+        assert_eq!(p4d.cpu_mem, ByteSize::from_gb(1152));
+        assert!((p4d.network.as_gbps() - 400.0).abs() < 1e-9);
+        // Footnote 2: copy bandwidth comparable to network bandwidth.
+        assert!((p4d.copy_bandwidth.as_gbps() - p4d.network.as_gbps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p3dn_matches_paper_table1() {
+        let p3dn = InstanceType::p3dn();
+        assert_eq!(p3dn.gpu_mem, ByteSize::from_gib(32));
+        assert_eq!(p3dn.cpu_mem, ByteSize::from_gb(768));
+        assert!((p3dn.network.as_gbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fsx_is_20gbps() {
+        let c = fsx_storage_cost();
+        assert!((c.bandwidth.as_gbps() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_models_reflect_efficiencies() {
+        let p4d = InstanceType::p4d();
+        let train = p4d.training_net_cost();
+        let ckpt = p4d.ckpt_net_cost();
+        assert!(train.bandwidth.bytes_per_sec() < ckpt.bandwidth.bytes_per_sec());
+        assert!((ckpt.bandwidth.as_gbps() - 320.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn headroom_is_a_few_hundred_mb() {
+        for inst in TABLE1_INSTANCES {
+            let mb = inst.gpu_headroom.as_mb_f64();
+            assert!((100.0..1000.0).contains(&mb), "{}: {mb} MB", inst.name);
+        }
+    }
+}

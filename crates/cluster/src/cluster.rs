@@ -1,0 +1,247 @@
+//! The training cluster: `N` ranked machines of one instance type.
+
+use crate::catalog::InstanceType;
+use crate::machine::{FailureKind, HealthState, Machine, MachineId};
+use gemini_net::{Fabric, FabricConfig};
+use gemini_sim::SimTime;
+
+/// Errors from cluster operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The rank does not exist.
+    UnknownRank(usize),
+    /// Tried to replace a machine that is not awaiting replacement.
+    NotReplacing(usize),
+}
+
+impl core::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClusterError::UnknownRank(r) => write!(f, "unknown rank {r}"),
+            ClusterError::NotReplacing(r) => {
+                write!(f, "rank {r} is not awaiting replacement")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A static, synchronous training cluster (the setting GEMINI targets, §1:
+/// fixed computation resources, all ranks advance in lockstep).
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    instance: &'static InstanceType,
+    machines: Vec<Machine>,
+    next_id: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` healthy machines.
+    pub fn new(instance: &'static InstanceType, n: usize) -> Self {
+        let machines = (0..n)
+            .map(|rank| Machine::new(MachineId(rank as u64), rank, instance, SimTime::ZERO))
+            .collect();
+        Cluster {
+            instance,
+            machines,
+            next_id: n as u64,
+        }
+    }
+
+    /// The instance type all machines share.
+    pub fn instance(&self) -> &'static InstanceType {
+        self.instance
+    }
+
+    /// Number of ranks (constant for the lifetime of the job).
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the cluster has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Total number of GPUs (the world size of ZeRO-3).
+    pub fn world_size(&self) -> usize {
+        self.machines.len() * self.instance.gpus as usize
+    }
+
+    /// All machines in rank order.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// The machine at `rank`.
+    pub fn machine(&self, rank: usize) -> Result<&Machine, ClusterError> {
+        self.machines
+            .get(rank)
+            .ok_or(ClusterError::UnknownRank(rank))
+    }
+
+    /// Mutable access to the machine at `rank`.
+    pub fn machine_mut(&mut self, rank: usize) -> Result<&mut Machine, ClusterError> {
+        self.machines
+            .get_mut(rank)
+            .ok_or(ClusterError::UnknownRank(rank))
+    }
+
+    /// Ranks that are currently healthy.
+    pub fn healthy_ranks(&self) -> Vec<usize> {
+        self.machines
+            .iter()
+            .filter(|m| m.health.is_healthy())
+            .map(|m| m.rank)
+            .collect()
+    }
+
+    /// Ranks whose CPU memory (and thus in-memory checkpoints) is intact.
+    pub fn cpu_intact_ranks(&self) -> Vec<usize> {
+        self.machines
+            .iter()
+            .filter(|m| m.health.cpu_memory_intact())
+            .map(|m| m.rank)
+            .collect()
+    }
+
+    /// Whether every rank is healthy (training can proceed).
+    pub fn all_healthy(&self) -> bool {
+        self.machines.iter().all(|m| m.health.is_healthy())
+    }
+
+    /// Marks `rank` failed with the given kind.
+    pub fn fail(&mut self, rank: usize, kind: FailureKind) -> Result<(), ClusterError> {
+        let m = self.machine_mut(rank)?;
+        m.health = HealthState::Failed(kind);
+        Ok(())
+    }
+
+    /// Marks `rank` as awaiting a replacement machine.
+    pub fn begin_replacement(&mut self, rank: usize) -> Result<(), ClusterError> {
+        let m = self.machine_mut(rank)?;
+        m.health = HealthState::Replacing;
+        Ok(())
+    }
+
+    /// Installs a fresh machine at `rank` (the replacement arrived). The new
+    /// machine reuses the rank but has a new identity and empty CPU memory.
+    pub fn complete_replacement(
+        &mut self,
+        rank: usize,
+        now: SimTime,
+    ) -> Result<MachineId, ClusterError> {
+        if rank >= self.machines.len() {
+            return Err(ClusterError::UnknownRank(rank));
+        }
+        if self.machines[rank].health != HealthState::Replacing {
+            return Err(ClusterError::NotReplacing(rank));
+        }
+        let id = MachineId(self.next_id);
+        self.next_id += 1;
+        self.machines[rank] = Machine::new(id, rank, self.instance, now);
+        Ok(id)
+    }
+
+    /// Restarts the training process on a software-failed machine (no
+    /// hardware change, CPU memory intact).
+    pub fn restart(&mut self, rank: usize) -> Result<(), ClusterError> {
+        let m = self.machine_mut(rank)?;
+        m.health = HealthState::Healthy;
+        Ok(())
+    }
+
+    /// The fabric configuration for checkpoint traffic on this cluster.
+    pub fn ckpt_fabric_config(&self) -> FabricConfig {
+        FabricConfig {
+            machines: self.machines.len(),
+            network: self.instance.ckpt_net_cost(),
+            copy: self.instance.copy_cost(),
+        }
+    }
+
+    /// Builds a fresh checkpoint fabric.
+    pub fn ckpt_fabric(&self) -> Fabric {
+        Fabric::new(self.ckpt_fabric_config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(InstanceType::p4d(), n)
+    }
+
+    #[test]
+    fn fresh_cluster_is_healthy() {
+        let c = cluster(16);
+        assert_eq!(c.len(), 16);
+        assert_eq!(c.world_size(), 128);
+        assert!(c.all_healthy());
+        assert_eq!(c.healthy_ranks().len(), 16);
+    }
+
+    #[test]
+    fn failure_and_restart_roundtrip() {
+        let mut c = cluster(4);
+        c.fail(2, FailureKind::Software).unwrap();
+        assert!(!c.all_healthy());
+        assert_eq!(c.healthy_ranks(), vec![0, 1, 3]);
+        // Software failure: CPU memory still intact on all machines.
+        assert_eq!(c.cpu_intact_ranks().len(), 4);
+        c.restart(2).unwrap();
+        assert!(c.all_healthy());
+    }
+
+    #[test]
+    fn hardware_failure_loses_cpu_memory() {
+        let mut c = cluster(4);
+        c.fail(1, FailureKind::Hardware).unwrap();
+        assert_eq!(c.cpu_intact_ranks(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn replacement_issues_fresh_identity() {
+        let mut c = cluster(4);
+        let old_id = c.machine(3).unwrap().id;
+        c.fail(3, FailureKind::Hardware).unwrap();
+        c.begin_replacement(3).unwrap();
+        let new_id = c.complete_replacement(3, SimTime::from_secs(300)).unwrap();
+        assert_ne!(old_id, new_id);
+        let m = c.machine(3).unwrap();
+        assert_eq!(m.rank, 3);
+        assert!(m.health.is_healthy());
+        assert_eq!(m.joined_at, SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn replacement_requires_replacing_state() {
+        let mut c = cluster(4);
+        assert_eq!(
+            c.complete_replacement(0, SimTime::ZERO),
+            Err(ClusterError::NotReplacing(0))
+        );
+        assert_eq!(
+            c.complete_replacement(9, SimTime::ZERO),
+            Err(ClusterError::UnknownRank(9))
+        );
+    }
+
+    #[test]
+    fn unknown_rank_errors() {
+        let mut c = cluster(2);
+        assert!(c.fail(5, FailureKind::Software).is_err());
+        assert!(c.machine(5).is_err());
+    }
+
+    #[test]
+    fn fabric_config_matches_instance() {
+        let c = cluster(8);
+        let cfg = c.ckpt_fabric_config();
+        assert_eq!(cfg.machines, 8);
+        assert!((cfg.network.bandwidth.as_gbps() - 320.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,24 @@
+//! GPU machines, instance catalog, cluster state and cloud-operator models.
+//!
+//! This crate is the "hardware inventory" of the reproduction. It carries:
+//!
+//! * the instance-type catalog of the paper's Table 1, extended with the
+//!   network/compute calibration constants the timeline model needs;
+//! * machines with GPUs, CPU memory and health states;
+//! * the cluster (a set of ranked machines) and its fabric configuration;
+//! * the cloud operator (EC2 Auto Scaling Group in the paper, §6.2) that
+//!   replaces failed machines after a stochastic delay, optionally fronted
+//!   by a pool of standby machines.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod cluster;
+pub mod machine;
+pub mod operator;
+
+pub use catalog::{InstanceType, TABLE1_INSTANCES};
+pub use cluster::Cluster;
+pub use machine::{FailureKind, HealthState, Machine, MachineId};
+pub use operator::{CloudOperator, OperatorConfig, Provision};

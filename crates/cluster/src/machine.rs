@@ -1,0 +1,150 @@
+//! Machines, health states and failure kinds.
+
+use crate::catalog::InstanceType;
+use gemini_net::ByteSize;
+use gemini_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A globally unique machine identity. Replacement machines get *new* ids
+/// even though they take over the failed machine's rank — exactly like the
+/// paper's Machine 2 → Machine 2′ in Figure 6c.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct MachineId(pub u64);
+
+impl core::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "machine-{}", self.0)
+    }
+}
+
+/// Why a machine failed (paper §6.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// Bugs in software or errors in data; the hardware (and thus the CPU
+    /// memory holding checkpoints) survives, only the training process dies.
+    Software,
+    /// GPU malfunction, network failure, etc.; the machine must be replaced
+    /// and everything in its CPU memory is lost.
+    Hardware,
+}
+
+/// A machine's health as tracked by the worker/root agents.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Participating in training.
+    Healthy,
+    /// Failed and not yet replaced/restarted.
+    Failed(FailureKind),
+    /// A replacement has been requested from the cloud operator.
+    Replacing,
+}
+
+impl HealthState {
+    /// Whether the machine can serve checkpoints from its CPU memory.
+    /// Software failures keep CPU memory intact (paper §6.2: "the hardware
+    /// remains healthy and all checkpoints stored in CPU memory are still
+    /// accessible").
+    pub fn cpu_memory_intact(&self) -> bool {
+        matches!(
+            self,
+            HealthState::Healthy | HealthState::Failed(FailureKind::Software)
+        )
+    }
+
+    /// Whether the machine is actively training.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, HealthState::Healthy)
+    }
+}
+
+/// One GPU machine participating in training.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Machine {
+    /// Unique identity (survives nothing; replacements get new ids).
+    pub id: MachineId,
+    /// Training rank: the machine's position in the job, which replacements
+    /// reuse (paper §6.2: "reuse their machine rank IDs").
+    pub rank: usize,
+    /// Health as last observed.
+    pub health: HealthState,
+    /// When this physical machine joined the job.
+    pub joined_at: SimTime,
+    /// CPU memory capacity.
+    pub cpu_mem: ByteSize,
+    /// CPU memory currently holding checkpoint replicas.
+    pub ckpt_mem_used: ByteSize,
+}
+
+impl Machine {
+    /// Creates a healthy machine of the given instance type.
+    pub fn new(id: MachineId, rank: usize, inst: &InstanceType, joined_at: SimTime) -> Self {
+        Machine {
+            id,
+            rank,
+            health: HealthState::Healthy,
+            joined_at,
+            cpu_mem: inst.cpu_mem,
+            ckpt_mem_used: ByteSize::ZERO,
+        }
+    }
+
+    /// CPU memory still free for checkpoints.
+    pub fn ckpt_mem_free(&self) -> ByteSize {
+        self.cpu_mem.saturating_sub(self.ckpt_mem_used)
+    }
+
+    /// Accounts for storing `size` of checkpoint data; returns `false`
+    /// (and stores nothing) if it does not fit.
+    pub fn store_ckpt(&mut self, size: ByteSize) -> bool {
+        if size > self.ckpt_mem_free() {
+            return false;
+        }
+        self.ckpt_mem_used += size;
+        true
+    }
+
+    /// Releases `size` of checkpoint data.
+    pub fn release_ckpt(&mut self, size: ByteSize) {
+        self.ckpt_mem_used = self.ckpt_mem_used.saturating_sub(size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_failure_keeps_cpu_memory() {
+        assert!(HealthState::Failed(FailureKind::Software).cpu_memory_intact());
+        assert!(!HealthState::Failed(FailureKind::Hardware).cpu_memory_intact());
+        assert!(HealthState::Healthy.cpu_memory_intact());
+        assert!(!HealthState::Replacing.cpu_memory_intact());
+    }
+
+    #[test]
+    fn ckpt_memory_accounting() {
+        let inst = InstanceType::p4d();
+        let mut m = Machine::new(MachineId(0), 0, inst, SimTime::ZERO);
+        assert_eq!(m.ckpt_mem_free(), inst.cpu_mem);
+        assert!(m.store_ckpt(ByteSize::from_gb(100)));
+        assert_eq!(m.ckpt_mem_used, ByteSize::from_gb(100));
+        m.release_ckpt(ByteSize::from_gb(40));
+        assert_eq!(m.ckpt_mem_used, ByteSize::from_gb(60));
+    }
+
+    #[test]
+    fn store_rejects_overflow() {
+        let inst = InstanceType::p4d();
+        let mut m = Machine::new(MachineId(0), 0, inst, SimTime::ZERO);
+        assert!(!m.store_ckpt(ByteSize::from_gb(2_000)));
+        assert_eq!(m.ckpt_mem_used, ByteSize::ZERO);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let inst = InstanceType::p4d();
+        let mut m = Machine::new(MachineId(0), 0, inst, SimTime::ZERO);
+        m.release_ckpt(ByteSize::from_gb(5));
+        assert_eq!(m.ckpt_mem_used, ByteSize::ZERO);
+    }
+}

@@ -1,0 +1,187 @@
+//! The cloud operator: machine replacement and standby pools.
+//!
+//! The paper relies on EC2 Auto Scaling Groups to swap failed machines for
+//! healthy ones (§6.2) and measures the reservation wait at 4–7 minutes for
+//! p4d instances (§7.3). It also describes *standby machines* the job can
+//! pre-allocate so a replacement is nearly instantaneous; the root agent
+//! then back-fills the standby pool asynchronously.
+
+use gemini_sim::{DetRng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the cloud operator model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OperatorConfig {
+    /// Minimum time to reserve a fresh machine from the cloud.
+    pub reserve_min: SimDuration,
+    /// Maximum time to reserve a fresh machine from the cloud.
+    pub reserve_max: SimDuration,
+    /// Time to activate a pre-allocated standby machine.
+    pub standby_activation: SimDuration,
+    /// Number of standby machines pre-allocated at job start.
+    pub standbys: usize,
+}
+
+impl Default for OperatorConfig {
+    fn default() -> Self {
+        // §7.3: "around 4-7 minutes" to reserve a new p4d with ASG.
+        OperatorConfig {
+            reserve_min: SimDuration::from_mins(4),
+            reserve_max: SimDuration::from_mins(7),
+            standby_activation: SimDuration::from_secs(30),
+            standbys: 0,
+        }
+    }
+}
+
+impl OperatorConfig {
+    /// A config with `n` standby machines.
+    pub fn with_standbys(n: usize) -> Self {
+        OperatorConfig {
+            standbys: n,
+            ..OperatorConfig::default()
+        }
+    }
+}
+
+/// The outcome of a replacement request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Provision {
+    /// When the replacement machine is ready to join training.
+    pub ready_at: SimTime,
+    /// Whether it came from the standby pool.
+    pub from_standby: bool,
+}
+
+/// The cloud operator (ASG + optional standby pool).
+#[derive(Clone, Debug)]
+pub struct CloudOperator {
+    config: OperatorConfig,
+    standbys_available: usize,
+    /// Times at which requested standby refills arrive.
+    refills_pending: Vec<SimTime>,
+    replacements_served: u64,
+}
+
+impl CloudOperator {
+    /// Creates an operator with a full standby pool.
+    pub fn new(config: OperatorConfig) -> Self {
+        CloudOperator {
+            standbys_available: config.standbys,
+            config,
+            refills_pending: Vec::new(),
+            replacements_served: 0,
+        }
+    }
+
+    /// The static config.
+    pub fn config(&self) -> &OperatorConfig {
+        &self.config
+    }
+
+    /// Standby machines ready right now (after absorbing matured refills).
+    pub fn standbys_available(&mut self, now: SimTime) -> usize {
+        self.absorb_refills(now);
+        self.standbys_available
+    }
+
+    /// Total replacements served.
+    pub fn replacements_served(&self) -> u64 {
+        self.replacements_served
+    }
+
+    fn absorb_refills(&mut self, now: SimTime) {
+        let before = self.refills_pending.len();
+        self.refills_pending.retain(|&t| t > now);
+        self.standbys_available += before - self.refills_pending.len();
+    }
+
+    /// Requests a replacement machine at `now`. Uses a standby if one is
+    /// ready (activation ≈ seconds, and a cloud refill for the pool is
+    /// ordered immediately, per §6.2); otherwise reserves a fresh machine
+    /// from the cloud with a uniformly distributed 4–7 minute delay.
+    pub fn request_replacement(&mut self, now: SimTime, rng: &mut DetRng) -> Provision {
+        self.absorb_refills(now);
+        self.replacements_served += 1;
+        if self.standbys_available > 0 {
+            self.standbys_available -= 1;
+            // "the root agent returns the failed one and requests another
+            // standby machine" — the refill arrives after a full reservation.
+            let refill_at = now + self.reserve_delay(rng);
+            self.refills_pending.push(refill_at);
+            Provision {
+                ready_at: now + self.config.standby_activation,
+                from_standby: true,
+            }
+        } else {
+            Provision {
+                ready_at: now + self.reserve_delay(rng),
+                from_standby: false,
+            }
+        }
+    }
+
+    fn reserve_delay(&self, rng: &mut DetRng) -> SimDuration {
+        let lo = self.config.reserve_min.as_secs_f64();
+        let hi = self.config.reserve_max.as_secs_f64();
+        SimDuration::from_secs_f64(rng.uniform(lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asg_delay_in_configured_window() {
+        let mut op = CloudOperator::new(OperatorConfig::default());
+        let mut rng = DetRng::new(1);
+        for _ in 0..100 {
+            let p = op.request_replacement(SimTime::ZERO, &mut rng);
+            assert!(!p.from_standby);
+            let mins = p.ready_at.as_secs_f64() / 60.0;
+            assert!((4.0..=7.0).contains(&mins), "{mins} min");
+        }
+        assert_eq!(op.replacements_served(), 100);
+    }
+
+    #[test]
+    fn standby_is_fast_and_pool_depletes() {
+        let mut op = CloudOperator::new(OperatorConfig::with_standbys(2));
+        let mut rng = DetRng::new(2);
+        let p1 = op.request_replacement(SimTime::ZERO, &mut rng);
+        let p2 = op.request_replacement(SimTime::ZERO, &mut rng);
+        let p3 = op.request_replacement(SimTime::ZERO, &mut rng);
+        assert!(p1.from_standby && p2.from_standby);
+        assert!(!p3.from_standby);
+        assert_eq!(p1.ready_at, SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn standby_pool_refills_over_time() {
+        let mut op = CloudOperator::new(OperatorConfig::with_standbys(1));
+        let mut rng = DetRng::new(3);
+        let p = op.request_replacement(SimTime::ZERO, &mut rng);
+        assert!(p.from_standby);
+        assert_eq!(op.standbys_available(SimTime::from_secs(60)), 0);
+        // After the refill window (max 7 min) the pool is whole again.
+        assert_eq!(op.standbys_available(SimTime::from_mins(8)), 1);
+        // And usable for the next failure.
+        let p2 = op.request_replacement(SimTime::from_mins(9), &mut rng);
+        assert!(p2.from_standby);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut op1 = CloudOperator::new(OperatorConfig::default());
+        let mut op2 = CloudOperator::new(OperatorConfig::default());
+        let mut r1 = DetRng::new(9);
+        let mut r2 = DetRng::new(9);
+        for _ in 0..10 {
+            assert_eq!(
+                op1.request_replacement(SimTime::ZERO, &mut r1),
+                op2.request_replacement(SimTime::ZERO, &mut r2)
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Two-level (hierarchical) collectives: NVSwitch inside the machine,
+//! the inter-machine network between machines.
+//!
+//! The flat model in the crate root charges only the inter-node ring — the
+//! right approximation when NVSwitch bandwidth (hundreds of GB/s) dwarfs
+//! the NIC. This module prices the intra-node phases too, giving an upper
+//! bound that converges to the flat model as intra-node bandwidth grows:
+//!
+//! 1. **Intra gather** — the `g` GPUs of each node assemble the node's
+//!    shard over NVSwitch;
+//! 2. **Inter ring** — node leaders run the flat ring collective;
+//! 3. **Intra distribute** — each node fans the gathered remainder back
+//!    out to its GPUs.
+
+use crate::{collective_time, CollectiveKind};
+use gemini_net::{ByteSize, TransferCost};
+use gemini_sim::SimDuration;
+
+/// Wall-clock time of a hierarchical all-gather: `total` bytes sharded over
+/// `nodes × gpus_per_node` GPUs, with `inter` the inter-node point-to-point
+/// cost and `intra` the NVSwitch cost.
+pub fn hierarchical_allgather_time(
+    total: ByteSize,
+    nodes: usize,
+    gpus_per_node: usize,
+    inter: &TransferCost,
+    intra: &TransferCost,
+) -> SimDuration {
+    let g = gpus_per_node.max(1);
+    // Phase 1: intra-node all-gather of the node's shard (total/nodes),
+    // currently split g ways.
+    let node_shard = total / nodes.max(1) as u64;
+    let phase1 = collective_time(CollectiveKind::AllGather, g, node_shard, intra);
+    // Phase 2: inter-node ring over the node shards.
+    let phase2 = collective_time(CollectiveKind::AllGather, nodes, total, inter);
+    // Phase 3: distribute the remainder (everything gathered from other
+    // nodes) to the local GPUs over NVSwitch — a broadcast of
+    // total − node_shard.
+    let remainder = total.saturating_sub(node_shard);
+    let phase3 = if g > 1 && !remainder.is_zero() {
+        collective_time(CollectiveKind::Broadcast, g, remainder, intra)
+    } else {
+        SimDuration::ZERO
+    };
+    phase1 + phase2 + phase3
+}
+
+/// Hierarchical reduce-scatter: the mirror image (intra reduce, inter
+/// ring reduce-scatter, no distribute phase — each GPU keeps its shard).
+pub fn hierarchical_reduce_scatter_time(
+    total: ByteSize,
+    nodes: usize,
+    gpus_per_node: usize,
+    inter: &TransferCost,
+    intra: &TransferCost,
+) -> SimDuration {
+    let g = gpus_per_node.max(1);
+    // Phase 1: intra-node reduce-scatter of the full payload view.
+    let phase1 = collective_time(
+        CollectiveKind::ReduceScatter,
+        g,
+        total / nodes.max(1) as u64,
+        intra,
+    );
+    // Phase 2: inter-node ring reduce-scatter over node partials.
+    let phase2 = collective_time(CollectiveKind::ReduceScatter, nodes, total, inter);
+    phase1 + phase2
+}
+
+/// How much slower the hierarchical estimate is than the flat inter-node
+/// approximation (≥ 1; → 1 as NVSwitch bandwidth → ∞).
+pub fn hierarchy_overhead_factor(
+    total: ByteSize,
+    nodes: usize,
+    gpus_per_node: usize,
+    inter: &TransferCost,
+    intra: &TransferCost,
+) -> f64 {
+    let flat = collective_time(CollectiveKind::AllGather, nodes, total, inter);
+    let hier = hierarchical_allgather_time(total, nodes, gpus_per_node, inter, intra);
+    if flat.is_zero() {
+        1.0
+    } else {
+        hier.as_secs_f64() / flat.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_net::Bandwidth;
+
+    fn inter() -> TransferCost {
+        // 400 Gbps EFA-class link at training efficiency.
+        TransferCost::new(
+            SimDuration::from_micros(100),
+            Bandwidth::from_gbytes_per_sec(12.0),
+        )
+    }
+
+    fn nvswitch() -> TransferCost {
+        // A100 NVSwitch: 600 GB/s.
+        TransferCost::new(
+            SimDuration::from_micros(5),
+            Bandwidth::from_gbytes_per_sec(600.0),
+        )
+    }
+
+    #[test]
+    fn hierarchical_bounds_flat_from_above() {
+        let total = ByteSize::from_gb(2);
+        let flat = collective_time(CollectiveKind::AllGather, 16, total, &inter());
+        let hier = hierarchical_allgather_time(total, 16, 8, &inter(), &nvswitch());
+        assert!(hier >= flat);
+        // ...but by little: NVSwitch is 50× the NIC.
+        let factor = hierarchy_overhead_factor(total, 16, 8, &inter(), &nvswitch());
+        assert!((1.0..1.1).contains(&factor), "factor = {factor:.3}");
+    }
+
+    #[test]
+    fn converges_to_flat_with_infinite_nvswitch() {
+        let fast = TransferCost::pure_bandwidth(Bandwidth::from_gbytes_per_sec(1e9));
+        let total = ByteSize::from_gb(2);
+        let factor = hierarchy_overhead_factor(total, 16, 8, &inter(), &fast);
+        assert!((factor - 1.0).abs() < 1e-6, "factor = {factor}");
+    }
+
+    #[test]
+    fn single_gpu_per_node_equals_flat() {
+        let total = ByteSize::from_gb(4);
+        let flat = collective_time(CollectiveKind::AllGather, 8, total, &inter());
+        let hier = hierarchical_allgather_time(total, 8, 1, &inter(), &nvswitch());
+        assert_eq!(hier, flat);
+    }
+
+    #[test]
+    fn slow_nvswitch_dominates() {
+        // If the intra fabric were slower than the NIC, hierarchy costs.
+        let slow = TransferCost::pure_bandwidth(Bandwidth::from_gbytes_per_sec(1.0));
+        let factor = hierarchy_overhead_factor(ByteSize::from_gb(2), 16, 8, &inter(), &slow);
+        assert!(factor > 2.0, "factor = {factor:.2}");
+    }
+
+    #[test]
+    fn reduce_scatter_cheaper_than_allgather() {
+        // No distribute phase.
+        let total = ByteSize::from_gb(2);
+        let ag = hierarchical_allgather_time(total, 16, 8, &inter(), &nvswitch());
+        let rs = hierarchical_reduce_scatter_time(total, 16, 8, &inter(), &nvswitch());
+        assert!(rs < ag);
+    }
+}

@@ -1,0 +1,349 @@
+//! Worker and root agents (paper §3.2, Fig. 2).
+//!
+//! Every training machine runs a *worker agent* that publishes its health
+//! status into the distributed KV store under a TTL lease and keeps it
+//! alive with heartbeats. One machine additionally runs the *root agent*,
+//! elected through the store's leader election; it periodically scans the
+//! health keys, declares machines whose keys have lapsed as failed, and
+//! (in the harness) drives replacement and checkpoint retrieval. Workers
+//! symmetrically watch the root's election key; when it lapses, an alive
+//! worker is promoted.
+
+use crate::config::GeminiConfig;
+use gemini_kvstore::{Campaign, Election, KvError, KvStore, LeaseId};
+use gemini_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Key prefix for worker health statuses.
+pub const HEALTH_PREFIX: &str = "gemini/health/";
+/// Election key for the root agent.
+pub const ROOT_ELECTION_KEY: &str = "gemini/root";
+
+/// The health value a worker publishes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthStatus {
+    /// The worker's rank.
+    pub rank: usize,
+    /// The physical machine identity currently serving that rank.
+    pub machine: u64,
+    /// Heartbeat sequence number.
+    pub beat: u64,
+}
+
+impl HealthStatus {
+    fn encode(&self) -> String {
+        format!("{}:{}:{}", self.rank, self.machine, self.beat)
+    }
+
+    fn decode(s: &str) -> Option<HealthStatus> {
+        let mut it = s.split(':');
+        Some(HealthStatus {
+            rank: it.next()?.parse().ok()?,
+            machine: it.next()?.parse().ok()?,
+            beat: it.next()?.parse().ok()?,
+        })
+    }
+}
+
+/// The per-machine worker agent.
+#[derive(Clone, Debug)]
+pub struct WorkerAgent {
+    rank: usize,
+    machine: u64,
+    lease: Option<LeaseId>,
+    beat: u64,
+    config: GeminiConfig,
+}
+
+impl WorkerAgent {
+    /// Creates the agent for `rank` on physical machine `machine`.
+    pub fn new(rank: usize, machine: u64, config: GeminiConfig) -> Self {
+        WorkerAgent {
+            rank,
+            machine,
+            lease: None,
+            beat: 0,
+            config,
+        }
+    }
+
+    /// The rank this agent serves.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// This worker's health key.
+    pub fn health_key(&self) -> String {
+        format!("{HEALTH_PREFIX}{}", self.rank)
+    }
+
+    /// Registers the health key under a fresh TTL lease.
+    pub fn register(&mut self, kv: &mut KvStore, now: SimTime) -> Result<(), KvError> {
+        let lease = kv.grant_lease(now, self.config.health_ttl);
+        self.lease = Some(lease);
+        self.beat = 0;
+        let status = HealthStatus {
+            rank: self.rank,
+            machine: self.machine,
+            beat: self.beat,
+        };
+        kv.put(now, &self.health_key(), &status.encode(), Some(lease))?;
+        Ok(())
+    }
+
+    /// One heartbeat: refresh the lease and bump the status. If the lease
+    /// already lapsed (the process was wedged past the TTL), re-register.
+    pub fn heartbeat(&mut self, kv: &mut KvStore, now: SimTime) -> Result<(), KvError> {
+        match self.lease {
+            Some(lease) if kv.lease_alive(now, lease) => {
+                kv.keep_alive(now, lease)?;
+                self.beat += 1;
+                let status = HealthStatus {
+                    rank: self.rank,
+                    machine: self.machine,
+                    beat: self.beat,
+                };
+                kv.put(now, &self.health_key(), &status.encode(), Some(lease))?;
+                Ok(())
+            }
+            _ => self.register(kv, now),
+        }
+    }
+
+    /// Tears down this worker's presence (clean shutdown).
+    pub fn deregister(&mut self, kv: &mut KvStore, now: SimTime) -> Result<(), KvError> {
+        if let Some(lease) = self.lease.take() {
+            kv.revoke(now, lease)?;
+        }
+        Ok(())
+    }
+
+    /// Whether the root agent is currently alive, from this worker's view
+    /// (workers "periodically check the root machine's health status").
+    pub fn root_alive(&self, kv: &mut KvStore, now: SimTime) -> bool {
+        Election::new(ROOT_ELECTION_KEY, self.config.health_ttl)
+            .leader(kv, now)
+            .is_some()
+    }
+}
+
+/// What the root agent's scan reports.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanReport {
+    /// Ranks whose health key is present.
+    pub alive: Vec<usize>,
+    /// Ranks expected but missing (their lease expired → failed).
+    pub missing: Vec<usize>,
+}
+
+/// The root agent.
+#[derive(Clone, Debug)]
+pub struct RootAgent {
+    identity: String,
+    election: Election,
+    lease: Option<LeaseId>,
+}
+
+impl RootAgent {
+    /// Creates a root-agent candidate with the given identity string.
+    pub fn new(identity: &str, config: &GeminiConfig) -> Self {
+        RootAgent {
+            identity: identity.to_string(),
+            election: Election::new(ROOT_ELECTION_KEY, config.health_ttl),
+            lease: None,
+        }
+    }
+
+    /// The candidate identity.
+    pub fn identity(&self) -> &str {
+        &self.identity
+    }
+
+    /// Campaigns for (or renews) root leadership. Returns whether this
+    /// agent currently leads.
+    pub fn campaign(&mut self, kv: &mut KvStore, now: SimTime) -> Result<bool, KvError> {
+        match self
+            .election
+            .campaign(kv, now, &self.identity, self.lease)?
+        {
+            Campaign::Leader(lease) => {
+                self.lease = Some(lease);
+                Ok(true)
+            }
+            Campaign::Follower { .. } => {
+                self.lease = None;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Whether this agent is the current leader.
+    pub fn is_leader(&self, kv: &mut KvStore, now: SimTime) -> bool {
+        self.election.leader(kv, now).as_deref() == Some(self.identity.as_str())
+    }
+
+    /// Scans worker health for ranks `0..n`, reporting who is missing.
+    /// "The root agent periodically checks the health statuses in the
+    /// distributed key-value store" (§3.2).
+    pub fn scan(&self, kv: &mut KvStore, now: SimTime, n: usize) -> ScanReport {
+        let mut alive = Vec::new();
+        let present: std::collections::BTreeSet<usize> = kv
+            .range(now, HEALTH_PREFIX)
+            .into_iter()
+            .filter_map(|(_, v)| HealthStatus::decode(&v.value))
+            .map(|h| {
+                alive.push(h.rank);
+                h.rank
+            })
+            .collect();
+        let missing = (0..n).filter(|r| !present.contains(r)).collect();
+        alive.sort_unstable();
+        alive.dedup();
+        ScanReport { alive, missing }
+    }
+
+    /// Steps down voluntarily.
+    pub fn resign(&mut self, kv: &mut KvStore, now: SimTime) -> Result<(), KvError> {
+        if let Some(lease) = self.lease.take() {
+            self.election.resign(kv, now, lease)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn cfg() -> GeminiConfig {
+        GeminiConfig::default() // heartbeat 5 s, TTL 15 s
+    }
+
+    #[test]
+    fn workers_register_and_root_sees_them() {
+        let mut kv = KvStore::new();
+        let mut workers: Vec<WorkerAgent> = (0..4)
+            .map(|r| WorkerAgent::new(r, r as u64, cfg()))
+            .collect();
+        for w in &mut workers {
+            w.register(&mut kv, t(0)).unwrap();
+        }
+        let root = RootAgent::new("machine-0", &cfg());
+        let report = root.scan(&mut kv, t(1), 4);
+        assert_eq!(report.alive, vec![0, 1, 2, 3]);
+        assert!(report.missing.is_empty());
+    }
+
+    #[test]
+    fn dead_worker_detected_within_ttl() {
+        // The paper measures 15 s detection latency (Fig. 14); our TTL is
+        // exactly that bound.
+        let mut kv = KvStore::new();
+        let mut workers: Vec<WorkerAgent> = (0..4)
+            .map(|r| WorkerAgent::new(r, r as u64, cfg()))
+            .collect();
+        for w in &mut workers {
+            w.register(&mut kv, t(0)).unwrap();
+        }
+        let root = RootAgent::new("machine-0", &cfg());
+        // Everyone heartbeats except rank 2, which dies at t = 20. The root
+        // scans every second; record when it first sees rank 2 missing.
+        let mut first_missing = None;
+        for s in 1..60 {
+            if s % 5 == 0 {
+                for w in workers.iter_mut() {
+                    if w.rank() == 2 && s >= 20 {
+                        continue;
+                    }
+                    w.heartbeat(&mut kv, t(s)).unwrap();
+                }
+            }
+            let report = root.scan(&mut kv, t(s), 4);
+            if !report.missing.is_empty() && first_missing.is_none() {
+                assert_eq!(report.missing, vec![2]);
+                assert_eq!(report.alive, vec![0, 1, 3]);
+                first_missing = Some(s);
+            }
+        }
+        // Rank 2's last beat was t=15, so its key lapses at t=30.
+        assert_eq!(first_missing, Some(30));
+    }
+
+    #[test]
+    fn detection_latency_bounded_by_ttl() {
+        let mut kv = KvStore::new();
+        let mut w = WorkerAgent::new(0, 0, cfg());
+        w.register(&mut kv, t(0)).unwrap();
+        let die_at = 7u64; // last refresh at t=5
+        for s in (5..die_at).step_by(5) {
+            w.heartbeat(&mut kv, t(s)).unwrap();
+        }
+        let root = RootAgent::new("r", &cfg());
+        // Key lapses 15 s after the last refresh (t=5): at t=20.
+        let mut detected_at = None;
+        for s in die_at..60 {
+            if !root.scan(&mut kv, t(s), 1).missing.is_empty() {
+                detected_at = Some(s);
+                break;
+            }
+        }
+        let latency = detected_at.unwrap() - 5;
+        assert_eq!(latency, 15, "detection latency = {latency}s");
+    }
+
+    #[test]
+    fn root_failover_promotes_a_worker() {
+        let mut kv = KvStore::new();
+        let mut root0 = RootAgent::new("machine-0", &cfg());
+        let mut root3 = RootAgent::new("machine-3", &cfg());
+        assert!(root0.campaign(&mut kv, t(0)).unwrap());
+        assert!(!root3.campaign(&mut kv, t(1)).unwrap());
+        // Root 0 renews until t=20, then dies.
+        for s in (5..=20).step_by(5) {
+            assert!(root0.campaign(&mut kv, t(s)).unwrap());
+        }
+        // Workers still see it before the TTL runs out...
+        let w = WorkerAgent::new(3, 3, cfg());
+        assert!(w.root_alive(&mut kv, t(30)));
+        // ...and notice it gone at t=35 (TTL 15 after last renewal).
+        assert!(!w.root_alive(&mut kv, t(35)));
+        assert!(root3.campaign(&mut kv, t(36)).unwrap());
+        assert!(root3.is_leader(&mut kv, t(36)));
+    }
+
+    #[test]
+    fn wedged_worker_reregisters() {
+        let mut kv = KvStore::new();
+        let mut w = WorkerAgent::new(1, 7, cfg());
+        w.register(&mut kv, t(0)).unwrap();
+        // The process stalls 40 s (lease long gone), then resumes.
+        w.heartbeat(&mut kv, t(40)).unwrap();
+        let root = RootAgent::new("r", &cfg());
+        assert!(root.scan(&mut kv, t(41), 2).alive.contains(&1));
+    }
+
+    #[test]
+    fn deregister_removes_key_immediately() {
+        let mut kv = KvStore::new();
+        let mut w = WorkerAgent::new(0, 0, cfg());
+        w.register(&mut kv, t(0)).unwrap();
+        w.deregister(&mut kv, t(1)).unwrap();
+        let root = RootAgent::new("r", &cfg());
+        assert_eq!(root.scan(&mut kv, t(1), 1).missing, vec![0]);
+    }
+
+    #[test]
+    fn health_status_roundtrip() {
+        let h = HealthStatus {
+            rank: 3,
+            machine: 42,
+            beat: 17,
+        };
+        assert_eq!(HealthStatus::decode(&h.encode()), Some(h));
+        assert_eq!(HealthStatus::decode("garbage"), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! A real byte-level checkpoint codec.
+//!
+//! The simulation tracks checkpoint *metadata*, but recovery is only
+//! credible if actual bytes round-trip: this codec frames a model-state
+//! shard with a magic, version, identity fields, a length and a CRC-32
+//! checksum, and refuses to decode anything corrupted or truncated — the
+//! property that lets GEMINI distinguish a complete checkpoint buffer from
+//! one a failure interrupted mid-write.
+
+use crate::error::GeminiError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Frame magic: "GMNI".
+const MAGIC: u32 = 0x474D_4E49;
+/// Current frame version.
+const VERSION: u16 = 1;
+/// Fixed header size: magic(4) + version(2) + owner(4) + iteration(8) +
+/// len(8).
+const HEADER_LEN: usize = 26;
+/// Trailer: crc32(4).
+const TRAILER_LEN: usize = 4;
+
+/// A decoded checkpoint shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointPayload {
+    /// Owning machine rank.
+    pub owner: u32,
+    /// Training iteration.
+    pub iteration: u64,
+    /// The serialized model states.
+    pub data: Bytes,
+}
+
+/// Encodes a shard into a framed buffer.
+pub fn encode(owner: u32, iteration: u64, data: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + data.len() + TRAILER_LEN);
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u32(owner);
+    buf.put_u64(iteration);
+    buf.put_u64(data.len() as u64);
+    buf.put_slice(data);
+    let crc = crc32(&buf);
+    buf.put_u32(crc);
+    buf.freeze()
+}
+
+/// Decodes a framed buffer, verifying magic, version, length and checksum.
+pub fn decode(mut frame: &[u8]) -> Result<CheckpointPayload, GeminiError> {
+    if frame.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(GeminiError::Codec("frame truncated"));
+    }
+    let body_len = frame.len() - TRAILER_LEN;
+    let (body, mut trailer) = frame.split_at(body_len);
+    let stored_crc = trailer.get_u32();
+    if crc32(body) != stored_crc {
+        return Err(GeminiError::Codec("checksum mismatch"));
+    }
+    if frame.get_u32() != MAGIC {
+        return Err(GeminiError::Codec("bad magic"));
+    }
+    if frame.get_u16() != VERSION {
+        return Err(GeminiError::Codec("unsupported version"));
+    }
+    let owner = frame.get_u32();
+    let iteration = frame.get_u64();
+    let len = frame.get_u64() as usize;
+    if len != body_len - HEADER_LEN {
+        return Err(GeminiError::Codec("length field mismatch"));
+    }
+    Ok(CheckpointPayload {
+        owner,
+        iteration,
+        data: Bytes::copy_from_slice(&frame[..len]),
+    })
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926 (the standard check value).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|x| x.to_le_bytes()).collect();
+        let frame = encode(7, 310, &data);
+        let decoded = decode(&frame).unwrap();
+        assert_eq!(decoded.owner, 7);
+        assert_eq!(decoded.iteration, 310);
+        assert_eq!(&decoded.data[..], &data[..]);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let frame = encode(0, 0, &[]);
+        let decoded = decode(&frame).unwrap();
+        assert!(decoded.data.is_empty());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let frame = encode(1, 2, b"model states");
+        for idx in 0..frame.len() {
+            let mut bad = frame.to_vec();
+            bad[idx] ^= 0x01;
+            assert!(decode(&bad).is_err(), "flip at byte {idx} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let frame = encode(1, 2, b"model states");
+        for cut in 0..frame.len() {
+            assert!(decode(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut frame = encode(1, 2, b"x").to_vec();
+        frame[0] = b'X';
+        assert!(matches!(decode(&frame), Err(GeminiError::Codec(_))));
+    }
+}

@@ -1,0 +1,107 @@
+//! GEMINI's configuration knobs.
+
+use gemini_net::ByteSize;
+use gemini_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a GEMINI deployment. Defaults follow the paper's
+/// implementation section (§7.1) and scheduling parameters (§5.3).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GeminiConfig {
+    /// Checkpoint replicas `m` (one local + `m − 1` remote). The paper's
+    /// evaluation uses `m = 2` throughout.
+    pub replicas: usize,
+    /// GPU memory reserved for checkpoint communication: "GEMINI reserves
+    /// 128MB GPU memory for checkpoint communications" (§7.1).
+    pub reserved_buffer: ByteSize,
+    /// Number of sub-buffers `p` the reserved buffer is split into for
+    /// pipelining: "four small sub-buffers … the size of each is 32MB"
+    /// (§7.4).
+    pub sub_buffers: usize,
+    /// The idle-span safety coefficient `γ ∈ (0, 1)` of Algorithm 2,
+    /// absorbing iteration-to-iteration variance of the profiled spans.
+    pub gamma: f64,
+    /// Warm-up iterations profiled before checkpointing starts (§5.4).
+    pub profile_iterations: usize,
+    /// Interval between checkpoints to remote persistent storage (GEMINI
+    /// still persists every three hours for non-recovery purposes, §7.1).
+    pub persistent_interval: SimDuration,
+    /// Worker heartbeat period into the distributed KV store.
+    pub heartbeat_period: SimDuration,
+    /// Health-key lease TTL: a machine is declared failed when its health
+    /// status has not been refreshed for this long. Calibrated to the
+    /// paper's measured 15 s detection latency (§7.3, Fig. 14).
+    pub health_ttl: SimDuration,
+    /// Per-machine checkpoint-serialization throughput for `torch.save()`.
+    /// §7.3 measures 162 s to serialize two replicas of a GPT-2 100B
+    /// machine checkpoint (2 × 75 GB), i.e. ≈0.93 GB/s per machine.
+    pub serialize_bytes_per_sec: f64,
+    /// Restart warm-up after a failure before training proceeds ("more
+    /// than four minutes", §7.3).
+    pub restart_warmup: SimDuration,
+}
+
+impl Default for GeminiConfig {
+    fn default() -> Self {
+        GeminiConfig {
+            replicas: 2,
+            reserved_buffer: ByteSize::from_mib(128),
+            sub_buffers: 4,
+            gamma: 0.8,
+            profile_iterations: 20,
+            persistent_interval: SimDuration::from_hours(3),
+            heartbeat_period: SimDuration::from_secs(5),
+            health_ttl: SimDuration::from_secs(15),
+            serialize_bytes_per_sec: 0.93e9,
+            restart_warmup: SimDuration::from_secs(250),
+        }
+    }
+}
+
+impl GeminiConfig {
+    /// Size of one pipeline sub-buffer (`R / p`).
+    pub fn sub_buffer_size(&self) -> ByteSize {
+        self.reserved_buffer / self.sub_buffers.max(1) as u64
+    }
+
+    /// Time to serialize `bytes` of checkpoints with `torch.save()`.
+    pub fn serialize_time(&self, bytes: ByteSize) -> SimDuration {
+        if self.serialize_bytes_per_sec <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(bytes.as_bytes() as f64 / self.serialize_bytes_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GeminiConfig::default();
+        assert_eq!(c.replicas, 2);
+        assert_eq!(c.reserved_buffer, ByteSize::from_mib(128));
+        assert_eq!(c.sub_buffers, 4);
+        assert_eq!(c.sub_buffer_size(), ByteSize::from_mib(32));
+        assert_eq!(c.persistent_interval, SimDuration::from_hours(3));
+        assert_eq!(c.health_ttl, SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn serialization_anchor_162s() {
+        // Two replicas of a 75 GB machine checkpoint serialize in ≈162 s.
+        let c = GeminiConfig::default();
+        let t = c.serialize_time(ByteSize::from_gb(150)).as_secs_f64();
+        assert!((t - 161.3).abs() < 2.0, "t = {t:.1}");
+    }
+
+    #[test]
+    fn zero_rate_serializes_instantly() {
+        let c = GeminiConfig {
+            serialize_bytes_per_sec: 0.0,
+            ..GeminiConfig::default()
+        };
+        assert_eq!(c.serialize_time(ByteSize::from_gb(1)), SimDuration::ZERO);
+    }
+}

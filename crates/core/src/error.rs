@@ -1,0 +1,109 @@
+//! The crate-wide error type.
+
+use gemini_net::ByteSize;
+
+/// Errors produced by GEMINI's core algorithms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GeminiError {
+    /// Placement parameters are invalid (e.g. `m > N` or `m == 0`).
+    InvalidPlacement {
+        /// Number of machines requested.
+        machines: usize,
+        /// Number of replicas requested.
+        replicas: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The group placement strategy requires `N` divisible by `m`.
+    NotDivisible {
+        /// Number of machines.
+        machines: usize,
+        /// Number of replicas.
+        replicas: usize,
+    },
+    /// The reserved GPU buffer does not fit in the profiled headroom.
+    BufferTooLarge {
+        /// Requested reserved buffer.
+        requested: ByteSize,
+        /// Available GPU memory headroom.
+        available: ByteSize,
+    },
+    /// A GPU would run out of memory executing the given scheme (the
+    /// naive-interleave OOM of §7.4).
+    GpuOutOfMemory {
+        /// Buffer the scheme requires per GPU.
+        required: ByteSize,
+        /// Headroom actually available per GPU.
+        available: ByteSize,
+    },
+    /// Partitioning was asked to schedule zero-size checkpoints or no spans.
+    InvalidPartitionInput(&'static str),
+    /// A rank referenced by a recovery request does not exist.
+    UnknownRank(usize),
+    /// A checkpoint payload failed to decode.
+    Codec(&'static str),
+    /// No checkpoint is available in any tier (cannot recover).
+    NoCheckpointAvailable,
+}
+
+impl core::fmt::Display for GeminiError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GeminiError::InvalidPlacement {
+                machines,
+                replicas,
+                reason,
+            } => write!(
+                f,
+                "invalid placement (N={machines}, m={replicas}): {reason}"
+            ),
+            GeminiError::NotDivisible { machines, replicas } => write!(
+                f,
+                "group placement needs N divisible by m (N={machines}, m={replicas})"
+            ),
+            GeminiError::BufferTooLarge {
+                requested,
+                available,
+            } => write!(
+                f,
+                "reserved buffer {requested} exceeds GPU headroom {available}"
+            ),
+            GeminiError::GpuOutOfMemory {
+                required,
+                available,
+            } => write!(
+                f,
+                "GPU out of memory: scheme needs {required}, only {available} free"
+            ),
+            GeminiError::InvalidPartitionInput(r) => {
+                write!(f, "invalid partition input: {r}")
+            }
+            GeminiError::UnknownRank(r) => write!(f, "unknown rank {r}"),
+            GeminiError::Codec(r) => write!(f, "checkpoint codec error: {r}"),
+            GeminiError::NoCheckpointAvailable => {
+                write!(f, "no checkpoint available in any storage tier")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeminiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GeminiError::NotDivisible {
+            machines: 5,
+            replicas: 2,
+        };
+        assert!(e.to_string().contains("N=5"));
+        let e = GeminiError::GpuOutOfMemory {
+            required: ByteSize::from_gb(2),
+            available: ByteSize::from_mib(800),
+        };
+        assert!(e.to_string().contains("out of memory"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Adaptive checkpoint-frequency selection (paper §5.3, "Finish
+//! checkpointing within an iteration").
+//!
+//! When the network idle timespans cannot absorb a whole checkpoint, the
+//! overflow traffic delays the optimizer update and stretches the
+//! iteration. Rather than pay that overhead every iteration, GEMINI
+//! "can reduce the checkpoint frequency to amortize the incurred
+//! overhead": checkpoint every `k` iterations so the *amortized* slowdown
+//! stays below a configured budget, trading a slightly longer rollback
+//! window for steady throughput.
+
+use crate::schedule::ScheduleOutcome;
+use crate::wasted::WastedTimeModel;
+use gemini_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The chosen checkpoint cadence.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyPlan {
+    /// Checkpoint every `every_iters` iterations (1 = the optimum of
+    /// Equation 2).
+    pub every_iters: u64,
+    /// Training-throughput overhead per checkpointed iteration.
+    pub overhead_per_ckpt: SimDuration,
+    /// Amortized overhead as a fraction of steady-state time.
+    pub amortized_overhead: f64,
+    /// The resulting wasted-time regime (Equation 1 inputs).
+    pub wasted: WastedTimeModel,
+}
+
+/// Picks the smallest `k` such that checkpointing every `k` iterations
+/// keeps the amortized throughput overhead at or below `budget`
+/// (a fraction, e.g. 0.01 for 1%). `budget <= 0` disables amortization and
+/// returns the per-iteration plan regardless of overhead.
+pub fn plan_frequency(outcome: &ScheduleOutcome, budget: f64) -> FrequencyPlan {
+    let iter = outcome.baseline_iteration.as_secs_f64();
+    let overhead = outcome.overhead.as_secs_f64();
+    let every_iters = if overhead <= 0.0 || budget <= 0.0 || iter <= 0.0 {
+        1
+    } else {
+        // overhead / (k·iter + overhead) <= budget
+        //   ⇔ k >= overhead·(1 − budget) / (budget·iter)
+        (overhead * (1.0 - budget) / (budget * iter))
+            .ceil()
+            .max(1.0) as u64
+    };
+    let cycle = every_iters as f64 * iter + overhead;
+    let amortized = if cycle > 0.0 { overhead / cycle } else { 0.0 };
+    let interval = SimDuration::from_secs_f64(cycle);
+    // The checkpoint is durable by the end of the iteration that carries
+    // the overflow, i.e. one full (stretched) iteration after its states.
+    let ckpt_time = outcome.iteration_time;
+    let wasted = WastedTimeModel::new(
+        ckpt_time,
+        interval,
+        outcome.baseline_iteration,
+        SimDuration::ZERO,
+    );
+    FrequencyPlan {
+        every_iters,
+        overhead_per_ckpt: outcome.overhead,
+        amortized_overhead: amortized,
+        wasted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(iter_s: f64, overhead_s: f64) -> ScheduleOutcome {
+        ScheduleOutcome {
+            baseline_iteration: SimDuration::from_secs_f64(iter_s),
+            iteration_time: SimDuration::from_secs_f64(iter_s + overhead_s),
+            overhead: SimDuration::from_secs_f64(overhead_s),
+            ckpt_network_time: SimDuration::from_secs_f64(2.0),
+            remaining_idle: SimDuration::ZERO,
+            pipeline_bubbles: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn zero_overhead_keeps_per_iteration_cadence() {
+        let p = plan_frequency(&outcome(62.0, 0.0), 0.01);
+        assert_eq!(p.every_iters, 1);
+        assert_eq!(p.amortized_overhead, 0.0);
+    }
+
+    #[test]
+    fn overhead_amortizes_to_budget() {
+        // 5 s overflow on a 50 s iteration: per-iteration checkpointing
+        // would cost ~9%; a 1% budget needs k = ceil(5·0.99/0.5) = 10.
+        let p = plan_frequency(&outcome(50.0, 5.0), 0.01);
+        assert_eq!(p.every_iters, 10);
+        assert!(p.amortized_overhead <= 0.01 + 1e-12);
+        // And k is minimal: k−1 would blow the budget.
+        let worse = 5.0 / (9.0 * 50.0 + 5.0);
+        assert!(worse > 0.01);
+    }
+
+    #[test]
+    fn tighter_budget_means_rarer_checkpoints() {
+        let loose = plan_frequency(&outcome(50.0, 5.0), 0.05);
+        let tight = plan_frequency(&outcome(50.0, 5.0), 0.005);
+        assert!(tight.every_iters > loose.every_iters);
+    }
+
+    #[test]
+    fn disabled_budget_checkpoints_every_iteration() {
+        let p = plan_frequency(&outcome(50.0, 5.0), 0.0);
+        assert_eq!(p.every_iters, 1);
+        assert!(p.amortized_overhead > 0.05);
+    }
+
+    #[test]
+    fn wasted_regime_reflects_interval() {
+        let p = plan_frequency(&outcome(50.0, 5.0), 0.01);
+        // Average wasted ≈ t_ckpt + interval/2.
+        let expect = 55.0 + (10.0 * 50.0 + 5.0) / 2.0;
+        assert!(
+            (p.wasted.average_wasted().as_secs_f64() - expect).abs() < 1.0,
+            "{}",
+            p.wasted.average_wasted()
+        );
+    }
+
+    #[test]
+    fn large_overhead_still_terminates() {
+        let p = plan_frequency(&outcome(1.0, 10_000.0), 0.01);
+        assert!(p.every_iters >= 990_000);
+        assert!(p.amortized_overhead <= 0.01 + 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! GEMINI: fast failure recovery for distributed training with in-memory
+//! checkpoints.
+//!
+//! This crate implements the paper's contribution in full:
+//!
+//! * **Checkpoint placement to CPU memory** ([`placement`]): the mixed
+//!   group/ring placement strategy (Algorithm 1), its optimality theory
+//!   (Theorem 1) and the recovery-probability analysis (Corollary 1), with
+//!   exact enumeration and Monte Carlo cross-checks.
+//! * **Checkpoint traffic scheduling** ([`partition`], [`pipeline`],
+//!   [`schedule`]): the checkpoint partition algorithm (Algorithm 2) that
+//!   packs chunks into profiled network idle timespans, and the sub-buffer
+//!   pipeline that overlaps inter-machine transfers with GPU→CPU copies.
+//! * **Hierarchical checkpoint storage** ([`ckpt`], [`codec`]): local CPU
+//!   memory, remote CPU memory and remote persistent storage, with the
+//!   double-buffer (completed + in-progress) semantics of §7.1 and a real
+//!   byte-level checkpoint codec.
+//! * **Failure recovery** ([`recovery`], [`agents`], [`timing`],
+//!   [`wasted`]): failure classification (§6.1), the recovery planner that
+//!   chooses the fastest available tier per machine (§6.2), worker/root
+//!   agents coordinating through the distributed KV store (§3.2), and the
+//!   wasted-time model of Equation (1).
+//!
+//! The crate is simulation-agnostic: it consumes idle-span profiles,
+//! cost models and health information, and produces placements, schedules
+//! and recovery plans. Driving an actual simulated training campaign lives
+//! in `gemini-harness`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agents;
+pub mod ckpt;
+pub mod codec;
+pub mod config;
+pub mod error;
+pub mod frequency;
+pub mod partition;
+pub mod pipeline;
+pub mod placement;
+pub mod recovery;
+pub mod retention;
+pub mod schedule;
+pub mod timing;
+pub mod vault;
+pub mod wasted;
+
+pub use ckpt::{CheckpointMeta, HierarchicalStore, StorageTier};
+pub use config::GeminiConfig;
+pub use error::GeminiError;
+pub use partition::{Chunk, PartitionInput, PartitionPlan};
+pub use placement::{Placement, PlacementGroup, PlacementStrategy};
+pub use recovery::{RecoveryCase, RecoveryPlan, RecoveryPlanner, RetrievalSource};
+pub use retention::{PersistentLedger, RetentionPolicy};
+pub use schedule::{CkptSchedule, ScheduleOutcome};
+pub use vault::ReplicaVault;
+pub use wasted::WastedTimeModel;

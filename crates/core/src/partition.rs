@@ -1,0 +1,428 @@
+//! The checkpoint partition algorithm (paper §5.3, Algorithm 2).
+//!
+//! Given the profiled network idle timespans `T = {t1, …, td}`, the
+//! checkpoint size `C`, the number of remote copies to transmit, the
+//! reserved GPU buffer `R` split into `p` parts, and the point-to-point
+//! cost `f(s) = α + s/B`, produce the chunk sizes and their assignment to
+//! idle spans.
+//!
+//! Faithful to the paper with two clarifications:
+//!
+//! * Line 17 of the pseudocode updates `remain_span` by `f(remain_size)`;
+//!   the consistent quantity is `f(size)` (the chunk just scheduled), which
+//!   is what we use.
+//! * The paper states `m − 1` replicas cross the network (the local copy
+//!   uses the GPU→CPU engine only), so [`PartitionInput::copies`] is the
+//!   number of *network* copies; callers pass `m − 1`.
+//!
+//! The last idle timespan is treated as unbounded (`t[d] = +∞`, line 2):
+//! traffic that does not fit in real idle time spills past the end of the
+//! iteration, and [`PartitionPlan::overflow`] reports by how much — the
+//! iteration-time overhead the interleaving ablation (Fig. 16) measures.
+
+use crate::error::GeminiError;
+use gemini_net::{ByteSize, TransferCost};
+use gemini_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One checkpoint chunk scheduled into an idle span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Which network copy this chunk belongs to (`0 .. copies`).
+    pub copy_index: usize,
+    /// Chunk payload size.
+    pub size: ByteSize,
+    /// Index into the idle-span list this chunk is scheduled in.
+    pub span_index: usize,
+}
+
+/// Input of Algorithm 2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PartitionInput {
+    /// Profiled idle timespans `T` in iteration order. The last one is
+    /// treated as unbounded.
+    pub idle_spans: Vec<SimDuration>,
+    /// Size of one checkpoint `C` (this machine's model-state shard).
+    pub ckpt_size: ByteSize,
+    /// Number of checkpoint copies sent over the network (`m − 1`).
+    pub copies: usize,
+    /// Total reserved GPU buffer `R`.
+    pub reserved_buffer: ByteSize,
+    /// Number of buffer parts `p`.
+    pub buffer_parts: usize,
+    /// Point-to-point network cost `f(s) = α + s/B`.
+    pub cost: TransferCost,
+    /// Idle-span variance coefficient `γ ∈ (0, 1)`.
+    pub gamma: f64,
+}
+
+/// The output of Algorithm 2.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    /// The scheduled chunks, in transmission order.
+    pub chunks: Vec<Chunk>,
+    /// Bytes that could not be scheduled anywhere (only possible when the
+    /// input has no idle spans at all).
+    pub unscheduled: ByteSize,
+}
+
+impl PartitionInput {
+    /// Maximum chunk size `R / p`.
+    pub fn max_chunk(&self) -> ByteSize {
+        self.reserved_buffer / self.buffer_parts.max(1) as u64
+    }
+
+    fn validate(&self) -> Result<(), GeminiError> {
+        if self.idle_spans.is_empty() {
+            return Err(GeminiError::InvalidPartitionInput("no idle spans"));
+        }
+        if self.ckpt_size.is_zero() {
+            return Err(GeminiError::InvalidPartitionInput("zero checkpoint size"));
+        }
+        if self.buffer_parts == 0 || self.reserved_buffer.is_zero() {
+            return Err(GeminiError::InvalidPartitionInput("zero buffer"));
+        }
+        if !(0.0..=1.0).contains(&self.gamma) || self.gamma == 0.0 {
+            return Err(GeminiError::InvalidPartitionInput(
+                "gamma must be in (0, 1]",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs Algorithm 2.
+///
+/// # Examples
+///
+/// ```
+/// use gemini_core::partition::{checkpoint_partition, PartitionInput};
+/// use gemini_net::{Bandwidth, ByteSize, TransferCost};
+/// use gemini_sim::SimDuration;
+///
+/// let input = PartitionInput {
+///     idle_spans: vec![SimDuration::from_millis(500), SimDuration::from_secs(8)],
+///     ckpt_size: ByteSize::from_gb(2),
+///     copies: 1, // m - 1 remote copies
+///     reserved_buffer: ByteSize::from_mib(128),
+///     buffer_parts: 4,
+///     cost: TransferCost::new(
+///         SimDuration::from_micros(100),
+///         Bandwidth::from_gbytes_per_sec(10.0),
+///     ),
+///     gamma: 0.8,
+/// };
+/// let plan = checkpoint_partition(&input)?;
+/// assert_eq!(plan.total_bytes(), ByteSize::from_gb(2));
+/// assert!(plan.max_chunk() <= input.max_chunk());
+/// assert!(plan.overflow(&input.idle_spans, &input.cost).is_zero());
+/// # Ok::<(), gemini_core::GeminiError>(())
+/// ```
+pub fn checkpoint_partition(input: &PartitionInput) -> Result<PartitionPlan, GeminiError> {
+    input.validate()?;
+    let mut plan = PartitionPlan::default();
+    if input.copies == 0 {
+        return Ok(plan);
+    }
+    let max_chunk = input.max_chunk();
+    let f_max = input.cost.time(max_chunk);
+    let mut copy_index = 0usize;
+    let mut remain_size = input.ckpt_size;
+    let last = input.idle_spans.len() - 1;
+
+    for (span_index, &span) in input.idle_spans.iter().enumerate() {
+        // Line 2: the last span is unbounded; line 7: scale by γ.
+        let mut remain_span = if span_index == last {
+            SimDuration::MAX
+        } else {
+            span.mul_f64(input.gamma)
+        };
+        loop {
+            // Lines 9-13: pick the chunk size this span still admits.
+            let size = if remain_span == SimDuration::MAX || remain_span > f_max {
+                max_chunk
+            } else {
+                input.cost.max_size_within(remain_span)
+            };
+            let size = size.min(remain_size);
+            if size.is_zero() {
+                break; // span exhausted
+            }
+            remain_size = remain_size.saturating_sub(size);
+            if remain_span != SimDuration::MAX {
+                remain_span = remain_span.saturating_sub(input.cost.time(size));
+            }
+            plan.chunks.push(Chunk {
+                copy_index,
+                size,
+                span_index,
+            });
+            // Lines 20-25: move to the next copy or finish.
+            if remain_size.is_zero() {
+                if copy_index + 1 < input.copies {
+                    copy_index += 1;
+                    remain_size = input.ckpt_size;
+                } else {
+                    return Ok(plan);
+                }
+            }
+        }
+    }
+    // Unreachable with a non-empty span list (the last span is unbounded),
+    // but kept for robustness.
+    plan.unscheduled = remain_size + input.ckpt_size * (input.copies - 1 - copy_index) as u64;
+    Ok(plan)
+}
+
+impl PartitionPlan {
+    /// Total bytes scheduled.
+    pub fn total_bytes(&self) -> ByteSize {
+        self.chunks.iter().map(|c| c.size).sum()
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The largest chunk (must not exceed `R / p`).
+    pub fn max_chunk(&self) -> ByteSize {
+        self.chunks
+            .iter()
+            .map(|c| c.size)
+            .fold(ByteSize::ZERO, ByteSize::max)
+    }
+
+    /// Network time the chunks scheduled in `span_index` occupy.
+    pub fn span_time(&self, span_index: usize, cost: &TransferCost) -> SimDuration {
+        self.chunks
+            .iter()
+            .filter(|c| c.span_index == span_index)
+            .fold(SimDuration::ZERO, |acc, c| acc + cost.time(c.size))
+    }
+
+    /// How far the traffic scheduled into the final (unbounded) span
+    /// exceeds that span's real length — the iteration-time overhead when
+    /// the idle time is insufficient (§5.3, "Finish checkpointing within an
+    /// iteration").
+    pub fn overflow(&self, idle_spans: &[SimDuration], cost: &TransferCost) -> SimDuration {
+        if idle_spans.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let last = idle_spans.len() - 1;
+        self.span_time(last, cost).saturating_sub(idle_spans[last])
+    }
+
+    /// Checks the plan against its input: chunk sizes within `R/p`, total
+    /// bytes equal to `copies × C`, per-span γ-budget respected for all but
+    /// the final span. Returns a description of the first violation.
+    pub fn check_against(&self, input: &PartitionInput) -> Result<(), String> {
+        let max = input.max_chunk();
+        for (i, c) in self.chunks.iter().enumerate() {
+            if c.size > max {
+                return Err(format!("chunk {i} exceeds R/p: {} > {max}", c.size));
+            }
+            if c.size.is_zero() {
+                return Err(format!("chunk {i} is empty"));
+            }
+        }
+        let expect = input.ckpt_size * input.copies as u64;
+        let got = self.total_bytes() + self.unscheduled;
+        if got != expect {
+            return Err(format!("bytes {got} != copies×C {expect}"));
+        }
+        let last = input.idle_spans.len().saturating_sub(1);
+        for (idx, &span) in input.idle_spans.iter().enumerate() {
+            if idx == last {
+                continue;
+            }
+            let used = self.span_time(idx, &input.cost);
+            let budget = span.mul_f64(input.gamma);
+            if used > budget {
+                return Err(format!("span {idx} overfull: {used} > γ-budget {budget}"));
+            }
+        }
+        // Copy indices are monotone (a copy finishes before the next starts).
+        for pair in self.chunks.windows(2) {
+            if pair[1].copy_index < pair[0].copy_index {
+                return Err("copy indices regressed".into());
+            }
+            if pair[1].span_index < pair[0].span_index {
+                return Err("span indices regressed".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_net::Bandwidth;
+
+    fn cost() -> TransferCost {
+        // 10 GB/s, 1 ms startup.
+        TransferCost::new(
+            SimDuration::from_millis(1),
+            Bandwidth::from_gbytes_per_sec(10.0),
+        )
+    }
+
+    fn input(spans_ms: &[u64], ckpt_mb: u64, copies: usize) -> PartitionInput {
+        PartitionInput {
+            idle_spans: spans_ms
+                .iter()
+                .map(|&ms| SimDuration::from_millis(ms))
+                .collect(),
+            ckpt_size: ByteSize::from_mb(ckpt_mb),
+            copies,
+            reserved_buffer: ByteSize::from_mib(128),
+            buffer_parts: 4,
+            cost: cost(),
+            gamma: 0.8,
+        }
+    }
+
+    #[test]
+    fn everything_scheduled_and_conserved() {
+        let inp = input(&[500, 300, 800, 10_000], 900, 1);
+        let plan = checkpoint_partition(&inp).unwrap();
+        plan.check_against(&inp).unwrap();
+        assert_eq!(plan.total_bytes(), ByteSize::from_mb(900));
+        assert_eq!(plan.unscheduled, ByteSize::ZERO);
+    }
+
+    #[test]
+    fn chunks_respect_buffer_limit() {
+        let inp = input(&[5_000, 5_000], 2_000, 2);
+        let plan = checkpoint_partition(&inp).unwrap();
+        assert!(plan.max_chunk() <= inp.max_chunk());
+        assert!(plan.chunk_count() > 1);
+        plan.check_against(&inp).unwrap();
+    }
+
+    #[test]
+    fn multiple_copies_partition_m_times() {
+        let one = checkpoint_partition(&input(&[50_000], 100, 1)).unwrap();
+        let three = checkpoint_partition(&input(&[50_000], 100, 3)).unwrap();
+        assert_eq!(three.total_bytes(), one.total_bytes() * 3);
+        assert_eq!(three.chunks.iter().map(|c| c.copy_index).max(), Some(2));
+    }
+
+    #[test]
+    fn zero_copies_is_empty_plan() {
+        let plan = checkpoint_partition(&input(&[1_000], 100, 0)).unwrap();
+        assert!(plan.chunks.is_empty());
+    }
+
+    #[test]
+    fn gamma_shrinks_usable_span() {
+        // A 100 ms span at γ=0.8 gives 80 ms; at 10 GB/s minus α=1 ms per
+        // chunk the span admits < 800 MB.
+        let mut inp = input(&[100, 1], 1_000, 1);
+        inp.gamma = 0.8;
+        let plan = checkpoint_partition(&inp).unwrap();
+        let first_span_bytes: ByteSize = plan
+            .chunks
+            .iter()
+            .filter(|c| c.span_index == 0)
+            .map(|c| c.size)
+            .sum();
+        assert!(first_span_bytes < ByteSize::from_mb(800));
+        plan.check_against(&inp).unwrap();
+    }
+
+    #[test]
+    fn tiny_spans_are_skipped() {
+        // A span shorter than α admits nothing.
+        let inp = input(&[0, 10_000], 100, 1);
+        let plan = checkpoint_partition(&inp).unwrap();
+        assert!(plan.chunks.iter().all(|c| c.span_index == 1));
+    }
+
+    #[test]
+    fn last_span_absorbs_overflow() {
+        // One real span far too small: everything lands in the final span
+        // and overflows it.
+        let inp = input(&[10, 20], 4_000, 1);
+        let plan = checkpoint_partition(&inp).unwrap();
+        assert_eq!(plan.unscheduled, ByteSize::ZERO);
+        let overflow = plan.overflow(&inp.idle_spans, &inp.cost);
+        assert!(overflow > SimDuration::ZERO);
+        // ≈ 4 GB at 10 GB/s ≈ 400 ms (plus ~118 per-chunk α's of 1 ms)
+        // minus the 20 ms span.
+        assert!(
+            (overflow.as_secs_f64() - 0.49).abs() < 0.1,
+            "overflow = {overflow}"
+        );
+    }
+
+    #[test]
+    fn no_overflow_when_idle_time_sufficient() {
+        let inp = input(&[500, 500, 60_000], 900, 2);
+        let plan = checkpoint_partition(&inp).unwrap();
+        assert_eq!(plan.overflow(&inp.idle_spans, &inp.cost), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut inp = input(&[], 100, 1);
+        assert!(checkpoint_partition(&inp).is_err());
+        inp = input(&[100], 0, 1);
+        assert!(checkpoint_partition(&inp).is_err());
+        inp = input(&[100], 100, 1);
+        inp.buffer_parts = 0;
+        assert!(checkpoint_partition(&inp).is_err());
+        inp = input(&[100], 100, 1);
+        inp.gamma = 0.0;
+        assert!(checkpoint_partition(&inp).is_err());
+        inp = input(&[100], 100, 1);
+        inp.gamma = 1.5;
+        assert!(checkpoint_partition(&inp).is_err());
+    }
+
+    #[test]
+    fn chunk_order_is_monotone_in_spans_and_copies() {
+        let inp = input(&[300, 300, 300, 300, 9_000], 500, 2);
+        let plan = checkpoint_partition(&inp).unwrap();
+        plan.check_against(&inp).unwrap();
+    }
+
+    #[test]
+    fn paper_scale_gpt2_100b() {
+        // GPT-2 100B on p4d: 75 GB per machine, one remote copy, idle spans
+        // totalling ≈15 s at 40 GB/s effective — fits with no overflow.
+        let inp = PartitionInput {
+            idle_spans: vec![
+                SimDuration::from_secs_f64(0.5),
+                SimDuration::from_secs_f64(1.0),
+                SimDuration::from_secs_f64(1.5),
+                SimDuration::from_secs_f64(2.0),
+                SimDuration::from_secs_f64(9.5),
+            ],
+            ckpt_size: ByteSize::from_gb(75),
+            copies: 1,
+            reserved_buffer: ByteSize::from_mib(128),
+            buffer_parts: 4,
+            cost: TransferCost::new(
+                SimDuration::from_micros(100),
+                Bandwidth::from_gbytes_per_sec(40.0),
+            ),
+            gamma: 0.8,
+        };
+        let plan = checkpoint_partition(&inp).unwrap();
+        plan.check_against(&inp).unwrap();
+        assert_eq!(plan.total_bytes(), ByteSize::from_gb(75));
+        // 75 GB in 32 MiB chunks ≈ 2235 chunks.
+        assert!(
+            plan.chunk_count() > 2_000,
+            "chunks = {}",
+            plan.chunk_count()
+        );
+        let overflow = plan.overflow(&inp.idle_spans, &inp.cost);
+        assert!(
+            overflow < SimDuration::from_secs(1),
+            "overflow = {overflow}"
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! The sub-buffer checkpoint-transmission pipeline (paper §5.2, Fig. 5).
+//!
+//! A checkpoint chunk reaches remote CPU memory in two stages: an
+//! inter-machine GPU→GPU network transfer into a reserved GPU sub-buffer,
+//! then a local GPU→CPU copy that frees the buffer. With a single buffer
+//! (`p = 1`) the network must sit idle during every copy (Fig. 5c); with
+//! `p ≥ 2` sub-buffers the receiver copies chunk `i` while receiving chunk
+//! `i + 1` (Fig. 5d), eliminating the bubbles whenever copy bandwidth keeps
+//! up with the network — which the paper measured to be the case on p4d
+//! (footnote 2).
+//!
+//! [`run_pipeline`] computes the exact schedule for a chunk sequence and
+//! reports the network-occupancy time (what the chunks *really* cost the
+//! NIC, bubbles included), which is what decides whether a checkpoint still
+//! fits into the profiled idle timespans.
+
+use gemini_net::{ByteSize, TransferCost};
+use gemini_sim::{SimDuration, SimTime, Span, Timeline};
+use serde::{Deserialize, Serialize};
+
+/// The computed pipeline schedule for one chunk sequence.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PipelineResult {
+    /// Per-chunk network spans (relative to the sequence start).
+    pub net_spans: Vec<Span>,
+    /// Per-chunk GPU→CPU copy spans.
+    pub copy_spans: Vec<Span>,
+    /// Time from first network byte to last copied byte.
+    pub makespan: SimDuration,
+    /// Time the NIC is held by this sequence, bubbles included: from the
+    /// first network start to the last network end.
+    pub net_occupancy: SimDuration,
+    /// NIC idle time trapped between chunk transfers (the "communication
+    /// bubbles" of Fig. 5c).
+    pub net_bubbles: SimDuration,
+}
+
+/// Runs the two-stage pipeline for `chunks`, with `sub_buffers` reception
+/// buffers, network cost `net` and GPU→CPU copy cost `copy`.
+///
+/// # Examples
+///
+/// ```
+/// use gemini_core::pipeline::run_pipeline;
+/// use gemini_net::{Bandwidth, ByteSize, TransferCost};
+/// use gemini_sim::SimDuration;
+///
+/// let chunks = vec![ByteSize::from_mib(32); 8];
+/// let net = TransferCost::new(
+///     SimDuration::from_micros(100),
+///     Bandwidth::from_gbytes_per_sec(10.0),
+/// );
+/// let copy = TransferCost::new(
+///     SimDuration::from_micros(10),
+///     Bandwidth::from_gbytes_per_sec(10.0),
+/// );
+/// // One buffer: the NIC stalls during every copy (Fig. 5c)...
+/// let single = run_pipeline(&chunks, 1, &net, &copy);
+/// assert!(!single.net_bubbles.is_zero());
+/// // ...two sub-buffers already hide them (Fig. 5d).
+/// let piped = run_pipeline(&chunks, 2, &net, &copy);
+/// assert!(piped.net_bubbles.is_zero());
+/// ```
+pub fn run_pipeline(
+    chunks: &[ByteSize],
+    sub_buffers: usize,
+    net: &TransferCost,
+    copy: &TransferCost,
+) -> PipelineResult {
+    let p = sub_buffers.max(1);
+    let mut net_free = SimTime::ZERO;
+    let mut copy_free = SimTime::ZERO;
+    let mut net_spans = Vec::with_capacity(chunks.len());
+    let mut copy_spans: Vec<Span> = Vec::with_capacity(chunks.len());
+    for (i, &size) in chunks.iter().enumerate() {
+        // The transfer needs a free sub-buffer: buffer `i mod p` is free
+        // once the copy of chunk `i - p` finished.
+        let buffer_free = if i >= p {
+            copy_spans[i - p].end
+        } else {
+            SimTime::ZERO
+        };
+        let start = net_free.max(buffer_free);
+        let net_span = Span::with_len(start, net.time(size));
+        net_free = net_span.end;
+        // The copy starts when the chunk has fully arrived and the copy
+        // engine is free.
+        let copy_start = copy_free.max(net_span.end);
+        let copy_span = Span::with_len(copy_start, copy.time(size));
+        copy_free = copy_span.end;
+        net_spans.push(net_span);
+        copy_spans.push(copy_span);
+    }
+    let makespan = copy_spans
+        .last()
+        .map(|s| s.end - SimTime::ZERO)
+        .unwrap_or(SimDuration::ZERO);
+    let net_occupancy = net_spans
+        .last()
+        .map(|s| s.end - SimTime::ZERO)
+        .unwrap_or(SimDuration::ZERO);
+    let busy = Timeline::from_spans(net_spans.iter().copied()).total();
+    PipelineResult {
+        net_spans,
+        copy_spans,
+        makespan,
+        net_occupancy,
+        net_bubbles: net_occupancy.saturating_sub(busy),
+    }
+}
+
+/// The *effective* NIC time per byte for a scheme that serializes network
+/// transfer and copy on a single buffer (Fig. 5c): each chunk costs
+/// `f_net + f_copy` of NIC occupancy.
+pub fn single_buffer_chunk_cost(
+    size: ByteSize,
+    net: &TransferCost,
+    copy: &TransferCost,
+) -> SimDuration {
+    net.time(size) + copy.time(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_net::Bandwidth;
+
+    fn net() -> TransferCost {
+        TransferCost::new(
+            SimDuration::from_micros(100),
+            Bandwidth::from_gbytes_per_sec(10.0),
+        )
+    }
+
+    fn copy() -> TransferCost {
+        TransferCost::new(
+            SimDuration::from_micros(10),
+            Bandwidth::from_gbytes_per_sec(10.0),
+        )
+    }
+
+    fn chunks(n: usize) -> Vec<ByteSize> {
+        vec![ByteSize::from_mib(32); n]
+    }
+
+    #[test]
+    fn empty_sequence_is_free() {
+        let r = run_pipeline(&[], 4, &net(), &copy());
+        assert_eq!(r.makespan, SimDuration::ZERO);
+        assert_eq!(r.net_bubbles, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_buffer_has_bubbles() {
+        // p = 1: the network waits for every copy (Fig. 5c).
+        let r = run_pipeline(&chunks(10), 1, &net(), &copy());
+        assert!(r.net_bubbles > SimDuration::ZERO);
+        // Every copy except the last creates one bubble of ≈ f_copy.
+        let per_copy = copy().time(ByteSize::from_mib(32)).as_secs_f64();
+        let expected = 9.0 * per_copy;
+        assert!(
+            (r.net_bubbles.as_secs_f64() - expected).abs() < 1e-6,
+            "bubbles = {}",
+            r.net_bubbles
+        );
+    }
+
+    #[test]
+    fn two_buffers_eliminate_bubbles_when_copy_keeps_up() {
+        // Copy bandwidth == network bandwidth (p4d regime, footnote 2):
+        // p = 2 already removes all bubbles (Fig. 5d shows two sub-buffers).
+        let r = run_pipeline(&chunks(10), 2, &net(), &copy());
+        assert_eq!(r.net_bubbles, SimDuration::ZERO);
+        // The NIC runs the 10 chunks back-to-back.
+        let back_to_back = net().time_n(ByteSize::from_mib(32), 10);
+        assert_eq!(r.net_occupancy, back_to_back);
+    }
+
+    #[test]
+    fn slow_copy_still_bubbles_with_two_buffers_but_less() {
+        let slow_copy = TransferCost::new(
+            SimDuration::from_micros(10),
+            Bandwidth::from_gbytes_per_sec(2.0), // 5× slower than net
+        );
+        let one = run_pipeline(&chunks(10), 1, &net(), &slow_copy);
+        let two = run_pipeline(&chunks(10), 2, &net(), &slow_copy);
+        let four = run_pipeline(&chunks(10), 4, &net(), &slow_copy);
+        assert!(two.net_bubbles < one.net_bubbles);
+        // With copy 5× slower, even many buffers cannot fully hide copies.
+        assert!(four.net_bubbles > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn makespan_orders_sanely() {
+        let one = run_pipeline(&chunks(20), 1, &net(), &copy());
+        let four = run_pipeline(&chunks(20), 4, &net(), &copy());
+        assert!(four.makespan < one.makespan);
+        assert!(four.net_occupancy < one.net_occupancy);
+    }
+
+    #[test]
+    fn copy_follows_its_network_transfer() {
+        let r = run_pipeline(&chunks(5), 4, &net(), &copy());
+        for (n, c) in r.net_spans.iter().zip(&r.copy_spans) {
+            assert!(c.start >= n.end);
+        }
+    }
+
+    #[test]
+    fn copies_are_serial_on_the_engine() {
+        let r = run_pipeline(&chunks(8), 4, &net(), &copy());
+        for pair in r.copy_spans.windows(2) {
+            assert!(pair[1].start >= pair[0].end);
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_respected() {
+        let p = 3;
+        let r = run_pipeline(&chunks(9), p, &net(), &copy());
+        for i in p..9 {
+            assert!(
+                r.net_spans[i].start >= r.copy_spans[i - p].end,
+                "chunk {i} reused a busy buffer"
+            );
+        }
+    }
+
+    #[test]
+    fn single_buffer_cost_is_sum() {
+        let s = ByteSize::from_mib(32);
+        assert_eq!(
+            single_buffer_chunk_cost(s, &net(), &copy()),
+            net().time(s) + copy().time(s)
+        );
+    }
+
+    #[test]
+    fn zero_buffers_clamps_to_one() {
+        let a = run_pipeline(&chunks(4), 0, &net(), &copy());
+        let b = run_pipeline(&chunks(4), 1, &net(), &copy());
+        assert_eq!(a.makespan, b.makespan);
+    }
+}

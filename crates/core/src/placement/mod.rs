@@ -1,0 +1,483 @@
+//! Checkpoint placement to CPU memory (paper §4, Algorithm 1).
+//!
+//! Given `N` machines and `m` checkpoint replicas, decide which machines
+//! host each machine's replicas so that the probability of recovering a
+//! simultaneous multi-machine failure from CPU memory is maximized.
+//!
+//! * **Group** placement partitions the machines into groups of `m`; every
+//!   member of a group hosts replicas for every other member. Optimal when
+//!   `m | N` (Theorem 1.1).
+//! * **Ring** placement sends each machine's checkpoint to the next `m − 1`
+//!   machines around a ring — strictly worse (more distinct host-sets, see
+//!   Fig. 3), kept as the paper's comparison baseline.
+//! * **Mixed** placement (Algorithm 1) uses groups for the first
+//!   `⌊N/m⌋ − 1` groups and a ring over the remaining `N − m(⌊N/m⌋ − 1)`
+//!   machines when `m ∤ N`; near-optimal with a gap bounded by
+//!   `(2m−3)/C(N,m)` (Theorem 1.2).
+//!
+//! Every machine always keeps one replica in its *own* CPU memory, which
+//! both avoids network traffic for that copy and enables instant recovery
+//! from software failures (§4, §6.2).
+
+pub mod probability;
+pub mod topology;
+
+use crate::error::GeminiError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Which placement strategy produced a [`Placement`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// Pure group placement (requires `m | N`).
+    Group,
+    /// Pure ring placement (the paper's baseline).
+    Ring,
+    /// Algorithm 1's mixed strategy.
+    Mixed,
+}
+
+/// How the members of one placement group exchange replicas.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum GroupKind {
+    /// All-to-all within the group (group placement).
+    Group,
+    /// Each member sends to its `m − 1` ring successors within the group.
+    Ring,
+}
+
+/// One group emitted by Algorithm 1.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PlacementGroup {
+    /// Machine ranks in the group.
+    pub members: Vec<usize>,
+    /// Whether replicas are exchanged all-to-all or along a ring.
+    pub kind: GroupKind,
+}
+
+/// A complete checkpoint placement: for every machine, the `m` machines
+/// (including itself) that hold its checkpoint replicas.
+///
+/// # Examples
+///
+/// ```
+/// use gemini_core::Placement;
+/// use std::collections::BTreeSet;
+///
+/// // 16 machines, 2 replicas: Algorithm 1 picks pure group placement.
+/// let placement = Placement::mixed(16, 2)?;
+/// assert_eq!(placement.replica_hosts(5)?, &[4, 5]);
+///
+/// // Losing one machine from each of two groups is recoverable...
+/// let failed: BTreeSet<usize> = [4, 9].into_iter().collect();
+/// assert!(placement.recoverable(&failed));
+/// // ...losing a whole group is not.
+/// let failed: BTreeSet<usize> = [4, 5].into_iter().collect();
+/// assert!(!placement.recoverable(&failed));
+/// # Ok::<(), gemini_core::GeminiError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Placement {
+    machines: usize,
+    replicas: usize,
+    strategy: PlacementStrategy,
+    groups: Vec<PlacementGroup>,
+    /// `replica_hosts[i]` = sorted hosts of machine `i`'s replicas
+    /// (contains `i` itself — the local copy).
+    replica_hosts: Vec<Vec<usize>>,
+}
+
+fn validate(machines: usize, replicas: usize) -> Result<(), GeminiError> {
+    if replicas == 0 {
+        return Err(GeminiError::InvalidPlacement {
+            machines,
+            replicas,
+            reason: "at least one replica (the local copy) is required",
+        });
+    }
+    if machines == 0 {
+        return Err(GeminiError::InvalidPlacement {
+            machines,
+            replicas,
+            reason: "cluster has no machines",
+        });
+    }
+    if replicas > machines {
+        return Err(GeminiError::InvalidPlacement {
+            machines,
+            replicas,
+            reason: "more replicas than machines",
+        });
+    }
+    Ok(())
+}
+
+impl Placement {
+    /// Algorithm 1: the mixed checkpoint placement strategy.
+    pub fn mixed(machines: usize, replicas: usize) -> Result<Placement, GeminiError> {
+        validate(machines, replicas)?;
+        let (n, m) = (machines, replicas);
+        let full_groups = if n % m == 0 { n / m } else { n / m - 1 }.max(0);
+        let mut groups = Vec::new();
+        for g in 0..full_groups {
+            groups.push(PlacementGroup {
+                members: (g * m..(g + 1) * m).collect(),
+                kind: GroupKind::Group,
+            });
+        }
+        let strategy = if n % m == 0 {
+            PlacementStrategy::Group
+        } else {
+            // Remaining machines (m + n mod m of them, or all of them when
+            // n < 2m) form a ring.
+            groups.push(PlacementGroup {
+                members: (full_groups * m..n).collect(),
+                kind: GroupKind::Ring,
+            });
+            PlacementStrategy::Mixed
+        };
+        Ok(Self::from_groups(n, m, strategy, groups))
+    }
+
+    /// Pure group placement; errors unless `m | N`.
+    pub fn group(machines: usize, replicas: usize) -> Result<Placement, GeminiError> {
+        validate(machines, replicas)?;
+        if machines % replicas != 0 {
+            return Err(GeminiError::NotDivisible { machines, replicas });
+        }
+        Self::mixed(machines, replicas)
+    }
+
+    /// Pure ring placement over all `N` machines (the baseline of Fig. 3b
+    /// and Fig. 9): machine `i` stores its checkpoint locally and on the
+    /// `m − 1` machines that follow it on the ring.
+    pub fn ring(machines: usize, replicas: usize) -> Result<Placement, GeminiError> {
+        validate(machines, replicas)?;
+        let groups = vec![PlacementGroup {
+            members: (0..machines).collect(),
+            kind: GroupKind::Ring,
+        }];
+        Ok(Self::from_groups(
+            machines,
+            replicas,
+            PlacementStrategy::Ring,
+            groups,
+        ))
+    }
+
+    fn from_groups(
+        machines: usize,
+        replicas: usize,
+        strategy: PlacementStrategy,
+        groups: Vec<PlacementGroup>,
+    ) -> Placement {
+        let mut replica_hosts = vec![Vec::new(); machines];
+        for group in &groups {
+            match group.kind {
+                GroupKind::Group => {
+                    for &i in &group.members {
+                        replica_hosts[i] = group.members.clone();
+                    }
+                }
+                GroupKind::Ring => {
+                    let len = group.members.len();
+                    for (pos, &i) in group.members.iter().enumerate() {
+                        let mut hosts: Vec<usize> = (0..replicas.min(len))
+                            .map(|step| group.members[(pos + step) % len])
+                            .collect();
+                        hosts.sort_unstable();
+                        replica_hosts[i] = hosts;
+                    }
+                }
+            }
+        }
+        Placement {
+            machines,
+            replicas,
+            strategy,
+            groups,
+            replica_hosts,
+        }
+    }
+
+    /// Number of machines `N`.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Number of replicas `m`.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The strategy Algorithm 1 selected.
+    pub fn strategy(&self) -> PlacementStrategy {
+        self.strategy
+    }
+
+    /// The group list `G`.
+    pub fn groups(&self) -> &[PlacementGroup] {
+        &self.groups
+    }
+
+    /// The hosts of machine `i`'s replicas (sorted, includes `i`).
+    pub fn replica_hosts(&self, machine: usize) -> Result<&[usize], GeminiError> {
+        self.replica_hosts
+            .get(machine)
+            .map(Vec::as_slice)
+            .ok_or(GeminiError::UnknownRank(machine))
+    }
+
+    /// The machines machine `i` must *send* its checkpoint to (its hosts
+    /// minus itself).
+    pub fn remote_targets(&self, machine: usize) -> Result<Vec<usize>, GeminiError> {
+        Ok(self
+            .replica_hosts(machine)?
+            .iter()
+            .copied()
+            .filter(|&h| h != machine)
+            .collect())
+    }
+
+    /// The checkpoint *owners* whose replicas machine `h` hosts, excluding
+    /// its own (i.e. the remote replicas resident in `h`'s CPU memory).
+    pub fn hosted_owners(&self, host: usize) -> Result<Vec<usize>, GeminiError> {
+        if host >= self.machines {
+            return Err(GeminiError::UnknownRank(host));
+        }
+        Ok((0..self.machines)
+            .filter(|&o| o != host && self.replica_hosts[o].contains(&host))
+            .collect())
+    }
+
+    /// Whether a simultaneous failure of `failed` machines is recoverable
+    /// from CPU memory: every machine's replica set must retain at least
+    /// one surviving host.
+    pub fn recoverable(&self, failed: &BTreeSet<usize>) -> bool {
+        (0..self.machines).all(|i| self.replica_hosts[i].iter().any(|h| !failed.contains(h)))
+    }
+
+    /// The distinct replica host-sets `S′ = unique(S)` of the Theorem 1
+    /// analysis; the recovery probability falls as this count grows.
+    pub fn unique_host_sets(&self) -> Vec<Vec<usize>> {
+        let mut sets: Vec<Vec<usize>> = self.replica_hosts.clone();
+        sets.sort();
+        sets.dedup();
+        sets
+    }
+
+    /// Total checkpoint copies each machine sends over the network per
+    /// checkpoint round (`m − 1` for every strategy — the property that
+    /// makes the mixed strategy communication-minimal, Theorem 1.2).
+    pub fn sends_per_machine(&self) -> usize {
+        self.replicas - 1
+    }
+
+    /// Re-labels the placement through a permutation: the machine at
+    /// logical position `i` of the original structure becomes `order[i]`.
+    /// Group shapes, communication cost and failure-probability structure
+    /// are preserved; only machine identities move. This is how
+    /// topology-aware placement reuses Algorithm 1 (see
+    /// [`topology::rack_aware_mixed`]).
+    pub fn relabeled(&self, order: &[usize]) -> Result<Placement, GeminiError> {
+        if order.len() != self.machines {
+            return Err(GeminiError::InvalidPlacement {
+                machines: self.machines,
+                replicas: self.replicas,
+                reason: "relabel order must cover every machine",
+            });
+        }
+        let distinct: BTreeSet<usize> = order.iter().copied().collect();
+        if distinct.len() != order.len() || order.iter().any(|&m| m >= self.machines) {
+            return Err(GeminiError::InvalidPlacement {
+                machines: self.machines,
+                replicas: self.replicas,
+                reason: "relabel order must be a permutation of the machines",
+            });
+        }
+        let groups = self
+            .groups
+            .iter()
+            .map(|g| PlacementGroup {
+                members: g.members.iter().map(|&m| order[m]).collect(),
+                kind: g.kind,
+            })
+            .collect();
+        Ok(Self::from_groups(
+            self.machines,
+            self.replicas,
+            self.strategy,
+            groups,
+        ))
+    }
+
+    /// Validates structural invariants; used by property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for i in 0..self.machines {
+            let hosts = &self.replica_hosts[i];
+            if !hosts.contains(&i) {
+                return Err(format!("machine {i} lacks its local replica"));
+            }
+            let expect = self.replicas.min(
+                self.groups
+                    .iter()
+                    .find(|g| g.members.contains(&i))
+                    .map(|g| g.members.len())
+                    .unwrap_or(0),
+            );
+            if hosts.len() != expect {
+                return Err(format!(
+                    "machine {i} has {} hosts, expected {expect}",
+                    hosts.len()
+                ));
+            }
+            let distinct: BTreeSet<usize> = hosts.iter().copied().collect();
+            if distinct.len() != hosts.len() {
+                return Err(format!("machine {i} has duplicate hosts"));
+            }
+        }
+        let covered: BTreeSet<usize> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.members.iter().copied())
+            .collect();
+        if covered.len() != self.machines {
+            return Err("groups do not partition the machines".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failed(set: &[usize]) -> BTreeSet<usize> {
+        set.iter().copied().collect()
+    }
+
+    #[test]
+    fn divisible_gives_pure_groups() {
+        // Fig. 3a: N = 4, m = 2 → two groups {1,2} and {3,4} (0-indexed).
+        let p = Placement::mixed(4, 2).unwrap();
+        assert_eq!(p.strategy(), PlacementStrategy::Group);
+        assert_eq!(p.groups().len(), 2);
+        assert_eq!(p.groups()[0].members, vec![0, 1]);
+        assert_eq!(p.groups()[1].members, vec![2, 3]);
+        assert_eq!(p.replica_hosts(0).unwrap(), &[0, 1]);
+        assert_eq!(p.replica_hosts(3).unwrap(), &[2, 3]);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn non_divisible_gives_mixed() {
+        // Fig. 3c: N = 5, m = 2 → one group {1,2}, ring {3,4,5}.
+        let p = Placement::mixed(5, 2).unwrap();
+        assert_eq!(p.strategy(), PlacementStrategy::Mixed);
+        assert_eq!(p.groups().len(), 2);
+        assert_eq!(p.groups()[0].members, vec![0, 1]);
+        assert_eq!(p.groups()[0].kind, GroupKind::Group);
+        assert_eq!(p.groups()[1].members, vec![2, 3, 4]);
+        assert_eq!(p.groups()[1].kind, GroupKind::Ring);
+        // Ring hosts: 2 → {2,3}, 3 → {3,4}, 4 → {4,2}.
+        assert_eq!(p.replica_hosts(2).unwrap(), &[2, 3]);
+        assert_eq!(p.replica_hosts(3).unwrap(), &[3, 4]);
+        assert_eq!(p.replica_hosts(4).unwrap(), &[2, 4]);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn small_n_is_single_ring() {
+        // N = 5, m = 3: ⌊5/3⌋ − 1 = 0 full groups → everything is one ring.
+        let p = Placement::mixed(5, 3).unwrap();
+        assert_eq!(p.groups().len(), 1);
+        assert_eq!(p.groups()[0].kind, GroupKind::Ring);
+        assert_eq!(p.replica_hosts(4).unwrap(), &[0, 1, 4]);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn group_constructor_enforces_divisibility() {
+        assert!(Placement::group(16, 2).is_ok());
+        assert_eq!(
+            Placement::group(5, 2),
+            Err(GeminiError::NotDivisible {
+                machines: 5,
+                replicas: 2
+            })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(Placement::mixed(0, 1).is_err());
+        assert!(Placement::mixed(4, 0).is_err());
+        assert!(Placement::mixed(2, 3).is_err());
+    }
+
+    #[test]
+    fn group_placement_recoverability_matches_fig3() {
+        // Fig. 3a discussion: group placement with N=4, m=2 survives any
+        // two simultaneous failures except {1,2} and {3,4}.
+        let p = Placement::mixed(4, 2).unwrap();
+        assert!(!p.recoverable(&failed(&[0, 1])));
+        assert!(!p.recoverable(&failed(&[2, 3])));
+        assert!(p.recoverable(&failed(&[0, 2])));
+        assert!(p.recoverable(&failed(&[0, 3])));
+        assert!(p.recoverable(&failed(&[1, 2])));
+        assert!(p.recoverable(&failed(&[1, 3])));
+    }
+
+    #[test]
+    fn ring_placement_recoverability_matches_fig3() {
+        // Fig. 3b discussion: ring placement with N=4, m=2 loses a
+        // checkpoint for any two *consecutive* failures (four cases).
+        let p = Placement::ring(4, 2).unwrap();
+        assert!(!p.recoverable(&failed(&[0, 1])));
+        assert!(!p.recoverable(&failed(&[1, 2])));
+        assert!(!p.recoverable(&failed(&[2, 3])));
+        assert!(!p.recoverable(&failed(&[3, 0])));
+        assert!(p.recoverable(&failed(&[0, 2])));
+        assert!(p.recoverable(&failed(&[1, 3])));
+    }
+
+    #[test]
+    fn fewer_failures_than_replicas_always_recoverable() {
+        for (n, m) in [(16, 2), (15, 4), (9, 3)] {
+            let p = Placement::mixed(n, m).unwrap();
+            for i in 0..n {
+                assert!(p.recoverable(&failed(&[i])), "N={n} m={m} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn unique_host_sets_counts_match_theorem1() {
+        // Group: N/m distinct sets. Ring: N distinct sets.
+        let g = Placement::mixed(16, 2).unwrap();
+        assert_eq!(g.unique_host_sets().len(), 8);
+        let r = Placement::ring(16, 2).unwrap();
+        assert_eq!(r.unique_host_sets().len(), 16);
+        // Mixed with N=17, m=2: N − (m−1)(⌊N/m⌋−1) = 17 − 7 = 10.
+        let x = Placement::mixed(17, 2).unwrap();
+        assert_eq!(x.unique_host_sets().len(), 10);
+    }
+
+    #[test]
+    fn remote_targets_and_hosted_owners_are_inverse() {
+        let p = Placement::mixed(10, 3).unwrap();
+        for i in 0..10 {
+            for &t in &p.remote_targets(i).unwrap() {
+                assert!(p.hosted_owners(t).unwrap().contains(&i));
+            }
+        }
+        assert_eq!(p.sends_per_machine(), 2);
+    }
+
+    #[test]
+    fn unknown_rank_errors() {
+        let p = Placement::mixed(4, 2).unwrap();
+        assert!(p.replica_hosts(9).is_err());
+        assert!(p.hosted_owners(9).is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! Recovery-probability analysis (paper Theorem 1, Corollary 1, Fig. 9).
+//!
+//! Three independent estimators are provided and cross-checked against each
+//! other in the tests:
+//!
+//! 1. **Closed forms**: Corollary 1's bound for group placement, the
+//!    Theorem 1 upper bound and near-optimality gap, and the exact
+//!    no-adjacent-pair formula for ring placement with `m = 2`.
+//! 2. **Exact enumeration** over all `C(N, k)` failure sets (bitmask
+//!    subset checks, for `N ≤ 128`).
+//! 3. **Monte Carlo** sampling, for arbitrary sizes.
+
+use crate::placement::Placement;
+use gemini_sim::DetRng;
+use std::collections::BTreeSet;
+
+/// `C(n, k)` as an `f64` (exact for the magnitudes used here).
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Corollary 1: with group placement (`m | N`) and `k` simultaneous
+/// machine losses, the probability that GEMINI recovers from CPU memory.
+/// Exact for `m ≤ k < 2m`; a lower bound for `k ≥ 2m`; exactly 1 for
+/// `k < m`.
+pub fn corollary1_probability(n: usize, m: usize, k: usize) -> f64 {
+    if k < m {
+        return 1.0;
+    }
+    let (nf, mf, kf) = (n as u64, m as u64, k as u64);
+    let bad = (nf / mf) as f64 * binomial(nf - mf, kf - mf);
+    (1.0 - bad / binomial(nf, kf)).max(0.0)
+}
+
+/// Theorem 1's upper bound on the recovery probability of *any* placement
+/// with `k = m` simultaneous losses: `1 − ⌈N/m⌉ / C(N, m)` (no placement
+/// can use fewer than `⌈N/m⌉` distinct host-sets).
+pub fn theorem1_upper_bound(n: usize, m: usize) -> f64 {
+    let min_sets = n.div_ceil(m) as f64;
+    (1.0 - min_sets / binomial(n as u64, m as u64)).max(0.0)
+}
+
+/// Theorem 1.2's bound on the gap between the mixed strategy and the upper
+/// bound when `m ∤ N`: `(2m − 3)/C(N, m)`.
+pub fn theorem1_gap_bound(n: usize, m: usize) -> f64 {
+    if m < 2 {
+        return 0.0;
+    }
+    (2 * m - 3) as f64 / binomial(n as u64, m as u64)
+}
+
+/// Exact ring-placement recovery probability for `m = 2`: a failure set is
+/// fatal iff it contains two ring-adjacent machines; the number of
+/// `k`-subsets of an `n`-cycle with **no** two adjacent elements is
+/// `n/(n−k) · C(n−k, k)`.
+pub fn ring_m2_probability(n: usize, k: usize) -> f64 {
+    if k < 2 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    let good = n as f64 / (n - k) as f64 * binomial((n - k) as u64, k as u64);
+    good / binomial(n as u64, k as u64)
+}
+
+/// Exact recovery probability by enumerating every `C(N, k)` failure set.
+/// Returns `None` when `N > 128` (bitmask width) or the subset count
+/// exceeds `10^7`.
+pub fn exact_recovery_probability(placement: &Placement, k: usize) -> Option<f64> {
+    let sets: Vec<Vec<usize>> = placement.unique_host_sets();
+    host_sets_recovery_probability(&sets, placement.machines(), k)
+}
+
+/// Exact recovery probability of an *arbitrary* strategy described by its
+/// distinct replica host-sets — the `S′ = unique(S)` of the Theorem 1
+/// analysis. This is how the optimality claim is adversarially tested:
+/// random strategies (any assignment of `m` hosts per machine, own machine
+/// included) are priced with the same enumerator and compared against
+/// [`theorem1_upper_bound`].
+pub fn host_sets_recovery_probability(host_sets: &[Vec<usize>], n: usize, k: usize) -> Option<f64> {
+    if n > 128 || k > n {
+        return None;
+    }
+    if binomial(n as u64, k as u64) > 1e7 {
+        return None;
+    }
+    // A failure set is fatal iff it fully covers some replica host-set.
+    let sets: Vec<u128> = host_sets
+        .iter()
+        .map(|hosts| hosts.iter().fold(0u128, |acc, &h| acc | (1 << h)))
+        .collect();
+    let mut total: u64 = 0;
+    let mut good: u64 = 0;
+    let mut chosen = vec![0usize; k];
+    enumerate_subsets(n, k, 0, 0, &mut chosen, &mut |mask: u128| {
+        total += 1;
+        if !sets.iter().any(|&s| s & mask == s) {
+            good += 1;
+        }
+    });
+    Some(good as f64 / total.max(1) as f64)
+}
+
+fn enumerate_subsets(
+    n: usize,
+    k: usize,
+    depth: usize,
+    mask: u128,
+    chosen: &mut [usize],
+    visit: &mut impl FnMut(u128),
+) {
+    if depth == k {
+        visit(mask);
+        return;
+    }
+    let start = if depth == 0 { 0 } else { chosen[depth - 1] + 1 };
+    // Leave room for the remaining k - depth - 1 picks.
+    for i in start..=n - (k - depth) {
+        chosen[depth] = i;
+        enumerate_subsets(n, k, depth + 1, mask | (1 << i), chosen, visit);
+    }
+}
+
+/// Monte Carlo estimate of the recovery probability with `k` simultaneous
+/// uniform-random machine losses.
+pub fn monte_carlo_recovery_probability(
+    placement: &Placement,
+    k: usize,
+    trials: u32,
+    rng: &mut DetRng,
+) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let n = placement.machines();
+    let mut good = 0u32;
+    for _ in 0..trials {
+        let failed: BTreeSet<usize> = rng.sample_distinct(n, k).into_iter().collect();
+        if placement.recoverable(&failed) {
+            good += 1;
+        }
+    }
+    good as f64 / trials.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(16, 2), 120.0);
+        assert_eq!(binomial(16, 0), 1.0);
+        assert_eq!(binomial(4, 5), 0.0);
+        assert!((binomial(128, 3) - 341_376.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corollary1_matches_paper_headline_numbers() {
+        // §4 / §7.2: N=16, m=2, k=2 → 93.3%; k=3 → 80.0%.
+        assert!((corollary1_probability(16, 2, 2) - 0.9333).abs() < 1e-3);
+        assert!((corollary1_probability(16, 2, 3) - 0.80).abs() < 1e-9);
+        // k < m is always recoverable.
+        assert_eq!(corollary1_probability(16, 2, 1), 1.0);
+    }
+
+    #[test]
+    fn corollary1_increases_with_n() {
+        // "the probability … increases with N" (§4).
+        let mut prev = 0.0;
+        for n in [8, 16, 32, 64, 128] {
+            let p = corollary1_probability(n, 2, 2);
+            assert!(p > prev, "N={n}: {p}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn exact_enumeration_agrees_with_corollary1_for_k_eq_m() {
+        for n in [4, 8, 12, 16] {
+            let p = Placement::group(n, 2).unwrap();
+            let exact = exact_recovery_probability(&p, 2).unwrap();
+            let analytic = corollary1_probability(n, 2, 2);
+            assert!(
+                (exact - analytic).abs() < 1e-12,
+                "N={n}: exact {exact} vs analytic {analytic}"
+            );
+        }
+        // m = 3 as well (k = m exactly).
+        let p = Placement::group(12, 3).unwrap();
+        assert!(
+            (exact_recovery_probability(&p, 3).unwrap() - corollary1_probability(12, 3, 3)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn exact_enumeration_agrees_for_m_le_k_lt_2m() {
+        // Corollary 1 is exact in this band.
+        let p = Placement::group(16, 2).unwrap();
+        let exact = exact_recovery_probability(&p, 3).unwrap();
+        assert!((exact - corollary1_probability(16, 2, 3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corollary1_is_lower_bound_for_large_k() {
+        // k ≥ 2m: double-counting makes the closed form conservative.
+        for k in 4..8 {
+            let p = Placement::group(16, 2).unwrap();
+            let exact = exact_recovery_probability(&p, k).unwrap();
+            let bound = corollary1_probability(16, 2, k);
+            assert!(
+                exact >= bound - 1e-12,
+                "k={k}: exact {exact} < bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_m2_closed_form_matches_enumeration() {
+        for n in [6, 10, 16] {
+            for k in 2..5 {
+                let p = Placement::ring(n, 2).unwrap();
+                let exact = exact_recovery_probability(&p, k).unwrap();
+                let analytic = ring_m2_probability(n, k);
+                assert!(
+                    (exact - analytic).abs() < 1e-12,
+                    "n={n} k={k}: {exact} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_beats_ring_as_in_fig9() {
+        // Fig. 9 and §7.2: at N=16, m=2, k=3 the ring is ≈25% worse.
+        let gemini = corollary1_probability(16, 2, 3);
+        let ring = ring_m2_probability(16, 3);
+        assert!(gemini > ring);
+        let drop = (gemini - ring) / gemini;
+        assert!((0.15..0.30).contains(&drop), "relative drop = {drop:.3}");
+    }
+
+    #[test]
+    fn group_attains_theorem1_upper_bound_when_divisible() {
+        for (n, m) in [(16, 2), (12, 3), (20, 4)] {
+            let p = Placement::group(n, m).unwrap();
+            let exact = exact_recovery_probability(&p, m).unwrap();
+            let bound = theorem1_upper_bound(n, m);
+            assert!(
+                (exact - bound).abs() < 1e-12,
+                "N={n} m={m}: {exact} vs bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_within_theorem1_gap_when_not_divisible() {
+        for (n, m) in [(5, 2), (17, 2), (10, 3), (11, 3), (14, 4)] {
+            let p = Placement::mixed(n, m).unwrap();
+            let exact = exact_recovery_probability(&p, m).unwrap();
+            let bound = theorem1_upper_bound(n, m);
+            let gap = theorem1_gap_bound(n, m);
+            assert!(exact <= bound + 1e-12, "N={n} m={m}");
+            assert!(
+                bound - exact <= gap + 1e-12,
+                "N={n} m={m}: gap {} exceeds bound {gap}",
+                bound - exact
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact() {
+        let p = Placement::mixed(16, 2).unwrap();
+        let exact = exact_recovery_probability(&p, 3).unwrap();
+        let mut rng = DetRng::new(42);
+        let mc = monte_carlo_recovery_probability(&p, 3, 60_000, &mut rng);
+        assert!((mc - exact).abs() < 0.01, "MC {mc:.4} vs exact {exact:.4}");
+    }
+
+    #[test]
+    fn monte_carlo_handles_big_clusters() {
+        // Fig. 15b scale: 1000 instances.
+        let p = Placement::mixed(1000, 2).unwrap();
+        let mut rng = DetRng::new(7);
+        let mc = monte_carlo_recovery_probability(&p, 2, 20_000, &mut rng);
+        let analytic = corollary1_probability(1000, 2, 2);
+        assert!((mc - analytic).abs() < 0.01, "{mc} vs {analytic}");
+    }
+
+    #[test]
+    fn enumeration_bails_out_gracefully() {
+        let p = Placement::mixed(64, 2).unwrap();
+        // C(64, 8) ≈ 4.4e9 > 1e7 → None.
+        assert!(exact_recovery_probability(&p, 8).is_none());
+        assert!(exact_recovery_probability(&p, 2).is_some());
+    }
+
+    #[test]
+    fn k_zero_is_certain() {
+        let p = Placement::mixed(8, 2).unwrap();
+        assert_eq!(exact_recovery_probability(&p, 0), Some(1.0));
+        let mut rng = DetRng::new(1);
+        assert_eq!(monte_carlo_recovery_probability(&p, 0, 10, &mut rng), 1.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Topology-aware checkpoint placement — an extension beyond the paper.
+//!
+//! The paper notes that "the network links and switches that connect GPU
+//! machines can fail … disconnecting them from training" (§6.1): a single
+//! top-of-rack switch failure takes out *every machine in the rack
+//! simultaneously*. Algorithm 1 is rack-oblivious; if a placement group
+//! happens to sit entirely inside one rack, a switch failure destroys all
+//! replicas of its members' checkpoints and forces the slow persistent
+//! fallback.
+//!
+//! [`rack_aware_mixed`] fixes this with a rank reordering: machines are
+//! enumerated round-robin across racks before Algorithm 1's grouping, so
+//! every placement group spans `min(m, racks)` distinct racks. Group sizes,
+//! communication cost and the Theorem 1 probability under independent
+//! failures are identical to the rack-oblivious mixed strategy — the only
+//! change is *which* machines group together.
+
+use crate::error::GeminiError;
+use crate::placement::Placement;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The physical rack layout of a cluster.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// `rack_of[machine]` = rack index.
+    rack_of: Vec<usize>,
+    racks: usize,
+}
+
+impl Topology {
+    /// Machines dealt into `racks` racks contiguously (machine `i` sits in
+    /// rack `i / ceil(n/racks)`) — the typical sequential rack fill.
+    pub fn contiguous(machines: usize, racks: usize) -> Result<Topology, GeminiError> {
+        if racks == 0 || machines == 0 {
+            return Err(GeminiError::InvalidPlacement {
+                machines,
+                replicas: racks,
+                reason: "topology needs at least one machine and one rack",
+            });
+        }
+        let per_rack = machines.div_ceil(racks);
+        Ok(Topology {
+            rack_of: (0..machines).map(|i| i / per_rack).collect(),
+            racks,
+        })
+    }
+
+    /// An explicit layout.
+    pub fn from_assignment(rack_of: Vec<usize>) -> Result<Topology, GeminiError> {
+        if rack_of.is_empty() {
+            return Err(GeminiError::InvalidPlacement {
+                machines: 0,
+                replicas: 0,
+                reason: "topology needs at least one machine",
+            });
+        }
+        let racks = rack_of.iter().max().map(|&r| r + 1).unwrap_or(0);
+        Ok(Topology { rack_of, racks })
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.rack_of.len()
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.racks
+    }
+
+    /// The rack of `machine`.
+    pub fn rack_of(&self, machine: usize) -> Result<usize, GeminiError> {
+        self.rack_of
+            .get(machine)
+            .copied()
+            .ok_or(GeminiError::UnknownRank(machine))
+    }
+
+    /// All machines in `rack`, ascending.
+    pub fn machines_in_rack(&self, rack: usize) -> Vec<usize> {
+        self.rack_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == rack)
+            .map(|(m, _)| m)
+            .collect()
+    }
+
+    /// Machines enumerated round-robin across racks: first machine of each
+    /// rack, then the second of each, and so on. Consecutive machines in
+    /// this order sit in distinct racks (while racks still have members).
+    pub fn round_robin_order(&self) -> Vec<usize> {
+        let mut by_rack: Vec<Vec<usize>> =
+            (0..self.racks).map(|r| self.machines_in_rack(r)).collect();
+        let mut order = Vec::with_capacity(self.machines());
+        let mut depth = 0;
+        while order.len() < self.machines() {
+            for rack in by_rack.iter_mut() {
+                if depth < rack.len() {
+                    order.push(rack[depth]);
+                }
+            }
+            depth += 1;
+        }
+        order
+    }
+}
+
+/// Algorithm 1's mixed placement applied to the rack round-robin order:
+/// groups span as many racks as possible.
+pub fn rack_aware_mixed(topology: &Topology, replicas: usize) -> Result<Placement, GeminiError> {
+    let base = Placement::mixed(topology.machines(), replicas)?;
+    let order = topology.round_robin_order();
+    Ok(base.relabeled(&order)?)
+}
+
+/// Whether a placement can recover from CPU memory after losing *all*
+/// machines of `rack` simultaneously (the switch-failure case).
+pub fn rack_failure_recoverable(placement: &Placement, topology: &Topology, rack: usize) -> bool {
+    let failed: BTreeSet<usize> = topology.machines_in_rack(rack).into_iter().collect();
+    placement.recoverable(&failed)
+}
+
+/// The fraction of single-rack failures a placement survives.
+pub fn rack_survival_rate(placement: &Placement, topology: &Topology) -> f64 {
+    if topology.racks() == 0 {
+        return 1.0;
+    }
+    let survived = (0..topology.racks())
+        .filter(|&r| rack_failure_recoverable(placement, topology, r))
+        .count();
+    survived as f64 / topology.racks() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_topology_layout() {
+        let t = Topology::contiguous(16, 4).unwrap();
+        assert_eq!(t.racks(), 4);
+        assert_eq!(t.rack_of(0).unwrap(), 0);
+        assert_eq!(t.rack_of(5).unwrap(), 1);
+        assert_eq!(t.machines_in_rack(3), vec![12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn round_robin_alternates_racks() {
+        let t = Topology::contiguous(8, 2).unwrap();
+        assert_eq!(t.round_robin_order(), vec![0, 4, 1, 5, 2, 6, 3, 7]);
+    }
+
+    #[test]
+    fn round_robin_handles_uneven_racks() {
+        let t = Topology::from_assignment(vec![0, 0, 0, 1, 1, 2]).unwrap();
+        let order = t.round_robin_order();
+        assert_eq!(order, vec![0, 3, 5, 1, 4, 2]);
+        // It is a permutation.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oblivious_placement_dies_with_its_rack() {
+        // 16 machines, 4 racks of 4, m = 2. Rack-oblivious groups are
+        // {0,1},{2,3},… — both members of each group share a rack, so any
+        // rack failure wipes two whole groups.
+        let t = Topology::contiguous(16, 4).unwrap();
+        let oblivious = Placement::mixed(16, 2).unwrap();
+        assert_eq!(rack_survival_rate(&oblivious, &t), 0.0);
+    }
+
+    #[test]
+    fn rack_aware_placement_survives_any_single_rack() {
+        let t = Topology::contiguous(16, 4).unwrap();
+        let aware = rack_aware_mixed(&t, 2).unwrap();
+        aware.check_invariants().unwrap();
+        assert_eq!(rack_survival_rate(&aware, &t), 1.0);
+        // Every group spans two racks.
+        for group in aware.groups() {
+            let racks: BTreeSet<usize> = group
+                .members
+                .iter()
+                .map(|&m| t.rack_of(m).unwrap())
+                .collect();
+            assert_eq!(racks.len(), group.members.len().min(t.racks()));
+        }
+    }
+
+    #[test]
+    fn rack_aware_keeps_algorithm1_structure() {
+        let t = Topology::contiguous(17, 4).unwrap();
+        let aware = rack_aware_mixed(&t, 2).unwrap();
+        let base = Placement::mixed(17, 2).unwrap();
+        // Same number of groups and host-set count — only the labels moved.
+        assert_eq!(aware.groups().len(), base.groups().len());
+        assert_eq!(
+            aware.unique_host_sets().len(),
+            base.unique_host_sets().len()
+        );
+        assert_eq!(aware.sends_per_machine(), base.sends_per_machine());
+    }
+
+    #[test]
+    fn more_racks_than_replicas_not_required() {
+        // With one rack, rack-awareness cannot help (survival 0), but the
+        // construction still works.
+        let t = Topology::contiguous(8, 1).unwrap();
+        let aware = rack_aware_mixed(&t, 2).unwrap();
+        aware.check_invariants().unwrap();
+        assert_eq!(rack_survival_rate(&aware, &t), 0.0);
+    }
+
+    #[test]
+    fn invalid_topologies_rejected() {
+        assert!(Topology::contiguous(0, 4).is_err());
+        assert!(Topology::contiguous(4, 0).is_err());
+        assert!(Topology::from_assignment(vec![]).is_err());
+        let t = Topology::contiguous(4, 2).unwrap();
+        assert!(t.rack_of(9).is_err());
+    }
+}

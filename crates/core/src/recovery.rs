@@ -1,0 +1,407 @@
+//! The failure-recovery planner (paper §6).
+//!
+//! Classifies a batch of simultaneous failures and decides, per rank, the
+//! fastest storage tier a consistent checkpoint can be retrieved from:
+//!
+//! * **software failures only** → every machine restarts from its *local*
+//!   CPU-memory replica (Fig. 6b);
+//! * **hardware failures, every placement group still has a survivor** →
+//!   replacement machines fetch from peers' CPU memory, survivors restart
+//!   locally (Fig. 6c, §6.2 Case 1);
+//! * **a whole placement group lost** → all machines must fall back to the
+//!   same persistent-storage checkpoint for consistency (§6.2 Case 2),
+//!   even though some shards are still in CPU memory — they are from a
+//!   *newer* iteration than the persistent copy and mixing them would
+//!   desynchronize the model states.
+
+use crate::ckpt::{HierarchicalStore, StorageTier};
+use crate::error::GeminiError;
+use gemini_cluster::FailureKind;
+use gemini_net::{ByteSize, TransferCost};
+use gemini_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which of the paper's recovery mechanisms applies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RecoveryCase {
+    /// All failures are software: restart in place from local replicas.
+    SoftwareLocal,
+    /// Hardware failures recoverable from CPU memory (Case 1).
+    HardwareFromCpu,
+    /// Fall back to remote persistent storage (Case 2).
+    PersistentFallback,
+}
+
+/// Where one rank retrieves its shard.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RetrievalSource {
+    /// The rank being restored.
+    pub rank: usize,
+    /// The tier it reads from.
+    pub tier: StorageTier,
+    /// The serving peer for [`StorageTier::RemoteCpu`].
+    pub from: Option<usize>,
+}
+
+/// A complete recovery plan for one failure event.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecoveryPlan {
+    /// Which mechanism applies.
+    pub case: RecoveryCase,
+    /// The iteration all ranks roll back to.
+    pub iteration: u64,
+    /// Per-rank retrieval sources (every rank appears exactly once).
+    pub sources: Vec<RetrievalSource>,
+    /// Ranks that need replacement machines (hardware failures).
+    pub replaced: Vec<usize>,
+}
+
+impl RecoveryPlan {
+    /// The wall-clock retrieval makespan of this plan, accounting for
+    /// *source contention*: two replacement machines fetching from the
+    /// same surviving host serialize on that host's transmit path (which
+    /// happens when a ring-placement host serves several lost neighbours,
+    /// or with m ≥ 3 group placements losing two members of one group).
+    ///
+    /// * local retrievals ride each machine's own copy engine in parallel;
+    /// * remote retrievals occupy the serving host's TX serially;
+    /// * persistent fallback funnels the whole model state through the
+    ///   shared storage pipe.
+    pub fn retrieval_makespan(
+        &self,
+        bytes_per_machine: ByteSize,
+        machines: usize,
+        net: &TransferCost,
+        copy: &TransferCost,
+        storage: &TransferCost,
+    ) -> SimDuration {
+        let mut makespan = SimDuration::ZERO;
+        // Per-serving-host queue depth.
+        let mut queue: BTreeMap<usize, u64> = BTreeMap::new();
+        for src in &self.sources {
+            match src.tier {
+                StorageTier::LocalCpu => {
+                    makespan = makespan.max(copy.time(bytes_per_machine));
+                }
+                StorageTier::RemoteCpu => {
+                    let host = src.from.unwrap_or(src.rank);
+                    let depth = queue.entry(host).or_insert(0);
+                    *depth += 1;
+                    let wait = SimDuration::from_secs_f64(
+                        net.time(bytes_per_machine).as_secs_f64() * *depth as f64,
+                    ) + copy.time(bytes_per_machine);
+                    makespan = makespan.max(wait);
+                }
+                StorageTier::Persistent => {
+                    makespan =
+                        makespan.max(storage.time(bytes_per_machine * machines.max(1) as u64));
+                }
+            }
+        }
+        makespan
+    }
+}
+
+/// Plans recoveries against a placement and its checkpoint store.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryPlanner;
+
+impl RecoveryPlanner {
+    /// Builds the plan for a batch of simultaneous failures.
+    ///
+    /// `store` must reflect the state *after* the failures (i.e.
+    /// [`HierarchicalStore::machine_lost`] already applied for hardware
+    /// failures), mirroring how the root agent observes the world.
+    pub fn plan(
+        &self,
+        store: &HierarchicalStore,
+        failures: &[(usize, FailureKind)],
+    ) -> Result<RecoveryPlan, GeminiError> {
+        let n = store.placement().machines();
+        for &(rank, _) in failures {
+            if rank >= n {
+                return Err(GeminiError::UnknownRank(rank));
+            }
+        }
+        let hardware: BTreeSet<usize> = failures
+            .iter()
+            .filter(|(_, k)| *k == FailureKind::Hardware)
+            .map(|(r, _)| *r)
+            .collect();
+        let cpu_intact: BTreeSet<usize> = (0..n).filter(|r| !hardware.contains(r)).collect();
+        let replaced: Vec<usize> = hardware.iter().copied().collect();
+
+        if hardware.is_empty() {
+            // Software-only: everything is in local CPU memory.
+            let iteration = store
+                .latest_recoverable(&cpu_intact)
+                .ok_or(GeminiError::NoCheckpointAvailable)?;
+            return Ok(RecoveryPlan {
+                case: RecoveryCase::SoftwareLocal,
+                iteration,
+                sources: (0..n)
+                    .map(|rank| RetrievalSource {
+                        rank,
+                        tier: StorageTier::LocalCpu,
+                        from: None,
+                    })
+                    .collect(),
+                replaced,
+            });
+        }
+
+        match store.latest_recoverable(&cpu_intact) {
+            Some(iteration) => {
+                // Case 1: survivors restart locally; replacements fetch
+                // from a surviving peer holding their shard.
+                let mut sources = Vec::with_capacity(n);
+                for rank in 0..n {
+                    if hardware.contains(&rank) {
+                        let from = store
+                            .source_for(rank, iteration, &cpu_intact)
+                            .ok_or(GeminiError::NoCheckpointAvailable)?;
+                        sources.push(RetrievalSource {
+                            rank,
+                            tier: StorageTier::RemoteCpu,
+                            from: Some(from),
+                        });
+                    } else {
+                        sources.push(RetrievalSource {
+                            rank,
+                            tier: StorageTier::LocalCpu,
+                            from: None,
+                        });
+                    }
+                }
+                Ok(RecoveryPlan {
+                    case: RecoveryCase::HardwareFromCpu,
+                    iteration,
+                    sources,
+                    replaced,
+                })
+            }
+            None => {
+                // Case 2: consistency forces everyone to the persistent
+                // checkpoint.
+                let persistent = store
+                    .persistent()
+                    .ok_or(GeminiError::NoCheckpointAvailable)?;
+                Ok(RecoveryPlan {
+                    case: RecoveryCase::PersistentFallback,
+                    iteration: persistent.iteration,
+                    sources: (0..n)
+                        .map(|rank| RetrievalSource {
+                            rank,
+                            tier: StorageTier::Persistent,
+                            from: None,
+                        })
+                        .collect(),
+                    replaced,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+    use gemini_net::ByteSize;
+
+    fn store(n: usize, m: usize) -> HierarchicalStore {
+        let mut s = HierarchicalStore::new(Placement::mixed(n, m).unwrap(), ByteSize::from_gb(75));
+        s.persist(100);
+        s.record_complete(310);
+        s
+    }
+
+    #[test]
+    fn software_failure_recovers_locally_at_latest_iteration() {
+        let s = store(4, 2);
+        let plan = RecoveryPlanner
+            .plan(&s, &[(2, FailureKind::Software)])
+            .unwrap();
+        assert_eq!(plan.case, RecoveryCase::SoftwareLocal);
+        assert_eq!(plan.iteration, 310);
+        assert!(plan.replaced.is_empty());
+        assert!(plan.sources.iter().all(|s| s.tier == StorageTier::LocalCpu));
+        assert_eq!(plan.sources.len(), 4);
+    }
+
+    #[test]
+    fn fig6c_two_hardware_failures_cross_group() {
+        // Fig. 6c: machines 2 and 4 (ranks 1 and 3) fail and are replaced;
+        // each fetches from the surviving member of its group.
+        let mut s = store(4, 2);
+        s.machine_lost(1);
+        s.machine_lost(3);
+        let plan = RecoveryPlanner
+            .plan(
+                &s,
+                &[(1, FailureKind::Hardware), (3, FailureKind::Hardware)],
+            )
+            .unwrap();
+        assert_eq!(plan.case, RecoveryCase::HardwareFromCpu);
+        assert_eq!(plan.iteration, 310);
+        assert_eq!(plan.replaced, vec![1, 3]);
+        let src1 = plan.sources.iter().find(|s| s.rank == 1).unwrap();
+        assert_eq!(src1.tier, StorageTier::RemoteCpu);
+        assert_eq!(src1.from, Some(0));
+        let src3 = plan.sources.iter().find(|s| s.rank == 3).unwrap();
+        assert_eq!(src3.from, Some(2));
+        // Survivors restart locally.
+        let src0 = plan.sources.iter().find(|s| s.rank == 0).unwrap();
+        assert_eq!(src0.tier, StorageTier::LocalCpu);
+    }
+
+    #[test]
+    fn whole_group_loss_falls_back_to_persistent() {
+        let mut s = store(4, 2);
+        s.machine_lost(0);
+        s.machine_lost(1);
+        let plan = RecoveryPlanner
+            .plan(
+                &s,
+                &[(0, FailureKind::Hardware), (1, FailureKind::Hardware)],
+            )
+            .unwrap();
+        assert_eq!(plan.case, RecoveryCase::PersistentFallback);
+        // Rolls back to the persistent iteration, losing 210 iterations.
+        assert_eq!(plan.iteration, 100);
+        assert!(plan
+            .sources
+            .iter()
+            .all(|s| s.tier == StorageTier::Persistent));
+    }
+
+    #[test]
+    fn mixed_software_and_hardware_failures() {
+        let mut s = store(6, 2);
+        s.machine_lost(4);
+        let plan = RecoveryPlanner
+            .plan(
+                &s,
+                &[(1, FailureKind::Software), (4, FailureKind::Hardware)],
+            )
+            .unwrap();
+        assert_eq!(plan.case, RecoveryCase::HardwareFromCpu);
+        assert_eq!(plan.replaced, vec![4]);
+        // The software-failed rank still has its local copy.
+        let src1 = plan.sources.iter().find(|s| s.rank == 1).unwrap();
+        assert_eq!(src1.tier, StorageTier::LocalCpu);
+        let src4 = plan.sources.iter().find(|s| s.rank == 4).unwrap();
+        assert_eq!(src4.tier, StorageTier::RemoteCpu);
+        assert_eq!(src4.from, Some(5));
+    }
+
+    #[test]
+    fn no_persistent_checkpoint_is_an_error() {
+        let mut s = HierarchicalStore::new(Placement::mixed(4, 2).unwrap(), ByteSize::from_gb(75));
+        s.record_complete(10);
+        s.machine_lost(0);
+        s.machine_lost(1);
+        let err = RecoveryPlanner
+            .plan(
+                &s,
+                &[(0, FailureKind::Hardware), (1, FailureKind::Hardware)],
+            )
+            .unwrap_err();
+        assert_eq!(err, GeminiError::NoCheckpointAvailable);
+    }
+
+    #[test]
+    fn unknown_rank_rejected() {
+        let s = store(4, 2);
+        assert_eq!(
+            RecoveryPlanner
+                .plan(&s, &[(9, FailureKind::Software)])
+                .unwrap_err(),
+            GeminiError::UnknownRank(9)
+        );
+    }
+
+    #[test]
+    fn retrieval_makespan_parallel_when_sources_disjoint() {
+        use gemini_net::Bandwidth;
+        let mut s = store(8, 2);
+        s.machine_lost(1);
+        s.machine_lost(3);
+        let plan = RecoveryPlanner
+            .plan(
+                &s,
+                &[(1, FailureKind::Hardware), (3, FailureKind::Hardware)],
+            )
+            .unwrap();
+        let net = TransferCost::pure_bandwidth(Bandwidth::from_gbytes_per_sec(10.0));
+        let copy = TransferCost::pure_bandwidth(Bandwidth::from_gbytes_per_sec(20.0));
+        let storage = TransferCost::pure_bandwidth(Bandwidth::from_gbps(20.0));
+        let t = plan.retrieval_makespan(ByteSize::from_gb(10), 8, &net, &copy, &storage);
+        // Rank 1 fetches from host 0, rank 3 from host 2 — disjoint, so the
+        // makespan is one transfer (1 s) plus the reload copy (0.5 s).
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn retrieval_makespan_serializes_on_shared_source() {
+        use crate::recovery::RetrievalSource;
+        use gemini_net::Bandwidth;
+        // Hand-build a plan where two ranks fetch from the same host 0.
+        let plan = RecoveryPlan {
+            case: RecoveryCase::HardwareFromCpu,
+            iteration: 1,
+            sources: vec![
+                RetrievalSource {
+                    rank: 1,
+                    tier: StorageTier::RemoteCpu,
+                    from: Some(0),
+                },
+                RetrievalSource {
+                    rank: 2,
+                    tier: StorageTier::RemoteCpu,
+                    from: Some(0),
+                },
+            ],
+            replaced: vec![1, 2],
+        };
+        let net = TransferCost::pure_bandwidth(Bandwidth::from_gbytes_per_sec(10.0));
+        let copy = TransferCost::pure_bandwidth(Bandwidth::from_gbytes_per_sec(20.0));
+        let storage = TransferCost::pure_bandwidth(Bandwidth::from_gbps(20.0));
+        let t = plan.retrieval_makespan(ByteSize::from_gb(10), 8, &net, &copy, &storage);
+        // Host 0's TX serves 10 GB twice back-to-back (2 s) + reload copy.
+        assert!((t.as_secs_f64() - 2.5).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn retrieval_makespan_persistent_uses_shared_pipe() {
+        use gemini_net::Bandwidth;
+        let mut s = store(4, 2);
+        s.machine_lost(0);
+        s.machine_lost(1);
+        let plan = RecoveryPlanner
+            .plan(
+                &s,
+                &[(0, FailureKind::Hardware), (1, FailureKind::Hardware)],
+            )
+            .unwrap();
+        let net = TransferCost::pure_bandwidth(Bandwidth::from_gbytes_per_sec(10.0));
+        let copy = TransferCost::pure_bandwidth(Bandwidth::from_gbytes_per_sec(20.0));
+        let storage = TransferCost::pure_bandwidth(Bandwidth::from_gbps(20.0));
+        let t = plan.retrieval_makespan(ByteSize::from_gb(75), 4, &net, &copy, &storage);
+        // 300 GB through 2.5 GB/s = 120 s.
+        assert!((t.as_secs_f64() - 120.0).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    fn every_rank_appears_exactly_once_in_sources() {
+        let mut s = store(10, 3);
+        s.machine_lost(7);
+        let plan = RecoveryPlanner
+            .plan(&s, &[(7, FailureKind::Hardware)])
+            .unwrap();
+        let mut ranks: Vec<usize> = plan.sources.iter().map(|s| s.rank).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,197 @@
+//! Retention policy for the user-managed persistent checkpoint history.
+//!
+//! GEMINI decouples checkpoint purposes (§2.3.1/§3.1): CPU memory holds
+//! only the latest recovery checkpoints, while remote persistent storage
+//! accumulates a *history* for transfer learning and model debugging. That
+//! history is the reason existing solutions checkpoint rarely — "to reduce
+//! the required storage capacity" (§2.2) — so a deployment needs an
+//! explicit policy for which persisted iterations to keep.
+//!
+//! [`RetentionPolicy`] implements the standard two-knob scheme checkpoint
+//! managers converge on: keep the most recent `keep_last` checkpoints (for
+//! rollback depth) plus every `keep_every`-th one forever (milestones for
+//! analysis).
+
+use gemini_net::ByteSize;
+use serde::{Deserialize, Serialize};
+
+/// Which persisted checkpoints survive garbage collection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetentionPolicy {
+    /// The newest `keep_last` checkpoints are always kept.
+    pub keep_last: usize,
+    /// Checkpoints whose iteration is a multiple of `keep_every` are kept
+    /// forever (0 disables milestone retention).
+    pub keep_every: u64,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        // Rollback depth of 3 plus a milestone every 10 000 iterations —
+        // roughly BLOOM's cadence of durable history.
+        RetentionPolicy {
+            keep_last: 3,
+            keep_every: 10_000,
+        }
+    }
+}
+
+impl RetentionPolicy {
+    /// Whether a checkpoint at `iteration` is a permanent milestone.
+    pub fn is_milestone(&self, iteration: u64) -> bool {
+        self.keep_every > 0 && iteration % self.keep_every == 0
+    }
+
+    /// Given the persisted iterations in ascending order, returns
+    /// `(keep, delete)` — both ascending.
+    pub fn partition(&self, persisted: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        let recent_floor = persisted
+            .len()
+            .saturating_sub(self.keep_last.max(1).min(persisted.len()));
+        let mut keep = Vec::new();
+        let mut delete = Vec::new();
+        for (idx, &iter) in persisted.iter().enumerate() {
+            if idx >= recent_floor || self.is_milestone(iter) {
+                keep.push(iter);
+            } else {
+                delete.push(iter);
+            }
+        }
+        // keep_last = 0 still keeps the newest checkpoint: deleting the
+        // only recovery anchor would be unrecoverable.
+        (keep, delete)
+    }
+
+    /// Persistent-storage bytes the kept set occupies for checkpoints of
+    /// `bytes_each`.
+    pub fn retained_bytes(&self, persisted: &[u64], bytes_each: ByteSize) -> ByteSize {
+        let (keep, _) = self.partition(persisted);
+        bytes_each * keep.len() as u64
+    }
+}
+
+/// A persisted-checkpoint ledger applying a [`RetentionPolicy`] as new
+/// checkpoints land.
+#[derive(Clone, Debug, Default)]
+pub struct PersistentLedger {
+    policy: RetentionPolicy,
+    kept: Vec<u64>,
+    deleted_total: u64,
+}
+
+impl PersistentLedger {
+    /// A ledger under `policy`.
+    pub fn new(policy: RetentionPolicy) -> PersistentLedger {
+        PersistentLedger {
+            policy,
+            kept: Vec::new(),
+            deleted_total: 0,
+        }
+    }
+
+    /// Records a new persisted checkpoint and garbage-collects; returns the
+    /// iterations deleted by this round.
+    pub fn persist(&mut self, iteration: u64) -> Vec<u64> {
+        self.kept.push(iteration);
+        self.kept.sort_unstable();
+        self.kept.dedup();
+        let (keep, delete) = self.policy.partition(&self.kept);
+        self.kept = keep;
+        self.deleted_total += delete.len() as u64;
+        delete
+    }
+
+    /// The currently retained iterations, ascending.
+    pub fn kept(&self) -> &[u64] {
+        &self.kept
+    }
+
+    /// Total checkpoints garbage-collected so far.
+    pub fn deleted_total(&self) -> u64 {
+        self.deleted_total
+    }
+
+    /// The newest retained checkpoint (the recovery fallback anchor).
+    pub fn latest(&self) -> Option<u64> {
+        self.kept.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_recent_and_milestones() {
+        let p = RetentionPolicy {
+            keep_last: 2,
+            keep_every: 100,
+        };
+        let persisted = [50, 100, 150, 200, 250, 275];
+        let (keep, delete) = p.partition(&persisted);
+        assert_eq!(keep, vec![100, 200, 250, 275]);
+        assert_eq!(delete, vec![50, 150]);
+    }
+
+    #[test]
+    fn zero_keep_last_still_keeps_the_newest() {
+        let p = RetentionPolicy {
+            keep_last: 0,
+            keep_every: 0,
+        };
+        let (keep, delete) = p.partition(&[10, 20, 30]);
+        assert_eq!(keep, vec![30]);
+        assert_eq!(delete, vec![10, 20]);
+    }
+
+    #[test]
+    fn milestone_disabled_with_zero_interval() {
+        let p = RetentionPolicy {
+            keep_last: 1,
+            keep_every: 0,
+        };
+        assert!(!p.is_milestone(0));
+        let (keep, _) = p.partition(&[100, 200]);
+        assert_eq!(keep, vec![200]);
+    }
+
+    #[test]
+    fn ledger_applies_policy_incrementally() {
+        let mut ledger = PersistentLedger::new(RetentionPolicy {
+            keep_last: 2,
+            keep_every: 1_000,
+        });
+        let mut all_deleted = Vec::new();
+        for iter in (100..=2_500).step_by(200) {
+            all_deleted.extend(ledger.persist(iter));
+        }
+        // Milestones 1000 and 2000 survive beyond the recent window.
+        assert!(ledger.kept().contains(&1_000) || !all_deleted.contains(&1_000));
+        let kept = ledger.kept();
+        assert!(kept.len() <= 4, "kept = {kept:?}");
+        assert_eq!(ledger.latest(), Some(2_500));
+        assert_eq!(
+            ledger.deleted_total() as usize + kept.len(),
+            (100..=2_500).step_by(200).count()
+        );
+    }
+
+    #[test]
+    fn retained_bytes_scale_with_kept_count() {
+        let p = RetentionPolicy {
+            keep_last: 3,
+            keep_every: 0,
+        };
+        let bytes = p.retained_bytes(&[1, 2, 3, 4, 5], ByteSize::from_gb(1_200));
+        assert_eq!(bytes, ByteSize::from_gb(3_600));
+    }
+
+    #[test]
+    fn empty_history_is_fine() {
+        let p = RetentionPolicy::default();
+        let (keep, delete) = p.partition(&[]);
+        assert!(keep.is_empty() && delete.is_empty());
+        let ledger = PersistentLedger::new(p);
+        assert_eq!(ledger.latest(), None);
+    }
+}

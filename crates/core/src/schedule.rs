@@ -1,0 +1,302 @@
+//! End-to-end checkpoint scheduling for one iteration (GEMINI's scheme).
+//!
+//! Glues together the pieces of §5: take the profiled idle spans, run the
+//! checkpoint partition algorithm (Algorithm 2), place the resulting chunks
+//! at absolute offsets inside the iteration, validate GPU-memory feasibility
+//! and pipeline health, and report the iteration-time overhead (zero when
+//! the idle time suffices — the headline result of Fig. 7) plus the
+//! checkpoint network time plotted in Fig. 8.
+
+use crate::config::GeminiConfig;
+use crate::error::GeminiError;
+use crate::partition::{checkpoint_partition, Chunk, PartitionInput, PartitionPlan};
+use crate::pipeline::run_pipeline;
+use gemini_net::{ByteSize, TransferCost};
+use gemini_sim::{SimDuration, Span};
+use gemini_training::IdleProfile;
+use serde::{Deserialize, Serialize};
+
+/// Quantities summarizing one iteration with checkpointing enabled.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ScheduleOutcome {
+    /// Iteration time without any checkpoint traffic.
+    pub baseline_iteration: SimDuration,
+    /// Iteration time with the checkpoint traffic scheduled.
+    pub iteration_time: SimDuration,
+    /// The difference (zero when all traffic fits in idle time).
+    pub overhead: SimDuration,
+    /// NIC time consumed by checkpoint traffic (Fig. 8's "GEMINI cpkt
+    /// time").
+    pub ckpt_network_time: SimDuration,
+    /// Idle time remaining after the checkpoint traffic is inserted
+    /// (Fig. 8's "Net. idle time w. GEMINI").
+    pub remaining_idle: SimDuration,
+    /// NIC bubbles the receive pipeline would trap (zero with `p ≥ 2`
+    /// sub-buffers when copy bandwidth keeps up, §5.2).
+    pub pipeline_bubbles: SimDuration,
+}
+
+/// A complete checkpoint schedule for one iteration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CkptSchedule {
+    /// The Algorithm 2 partition.
+    pub plan: PartitionPlan,
+    /// Every chunk with its absolute span within the iteration.
+    pub placed: Vec<(Chunk, Span)>,
+    /// Summary quantities.
+    pub outcome: ScheduleOutcome,
+}
+
+/// Schedules GEMINI's checkpoint traffic for one iteration.
+///
+/// * `profile` — the averaged idle profile from the online profiler;
+/// * `ckpt_bytes_machine` — one machine's model-state shard `C`;
+/// * `gpus` — GPUs per machine (the reserved buffer is per GPU, so the
+///   machine-level transfer unit is `gpus × R / p`);
+/// * `net` / `copy` — machine-level checkpoint network and GPU→CPU copy
+///   cost models;
+/// * `gpu_headroom` — free GPU memory per GPU; the reserved buffer must
+///   fit inside it.
+pub fn schedule_checkpoint(
+    profile: &IdleProfile,
+    ckpt_bytes_machine: ByteSize,
+    gpus: u32,
+    config: &GeminiConfig,
+    net: &TransferCost,
+    copy: &TransferCost,
+    gpu_headroom: ByteSize,
+) -> Result<CkptSchedule, GeminiError> {
+    if config.reserved_buffer > gpu_headroom {
+        return Err(GeminiError::BufferTooLarge {
+            requested: config.reserved_buffer,
+            available: gpu_headroom,
+        });
+    }
+    let input = PartitionInput {
+        idle_spans: profile.span_lengths(),
+        ckpt_size: ckpt_bytes_machine,
+        copies: config.replicas.saturating_sub(1),
+        reserved_buffer: config.reserved_buffer * gpus.max(1) as u64,
+        buffer_parts: config.sub_buffers,
+        cost: *net,
+        gamma: config.gamma,
+    };
+    let plan = checkpoint_partition(&input)?;
+
+    // Absolute placement: chunks run back-to-back from each span's start;
+    // only the final span may overrun its real end.
+    let mut placed = Vec::with_capacity(plan.chunks.len());
+    let mut cursor_span = usize::MAX;
+    let mut cursor = profile
+        .spans
+        .first()
+        .map(|s| s.start)
+        .unwrap_or(gemini_sim::SimTime::ZERO);
+    for chunk in &plan.chunks {
+        if chunk.span_index != cursor_span {
+            cursor_span = chunk.span_index;
+            cursor = profile.spans[cursor_span].start;
+        }
+        let span = Span::with_len(cursor, net.time(chunk.size));
+        cursor = span.end;
+        placed.push((*chunk, span));
+    }
+
+    // Pipeline health: simulate the receive pipeline over the chunk list.
+    let sizes: Vec<ByteSize> = plan.chunks.iter().map(|c| c.size).collect();
+    let pipe = run_pipeline(&sizes, config.sub_buffers, net, copy);
+
+    let overflow = plan.overflow(&input.idle_spans, net);
+    let baseline = profile.iteration_time;
+    let ckpt_network_time = plan
+        .chunks
+        .iter()
+        .fold(SimDuration::ZERO, |acc, c| acc + net.time(c.size));
+    let outcome = ScheduleOutcome {
+        baseline_iteration: baseline,
+        iteration_time: baseline + overflow,
+        overhead: overflow,
+        ckpt_network_time,
+        remaining_idle: profile.total_idle().saturating_sub(ckpt_network_time),
+        pipeline_bubbles: pipe.net_bubbles,
+    };
+    Ok(CkptSchedule {
+        plan,
+        placed,
+        outcome,
+    })
+}
+
+impl CkptSchedule {
+    /// Whether checkpointing every iteration is free (no overhead), the
+    /// property GEMINI achieves for every evaluated model (§7.2).
+    pub fn is_interference_free(&self) -> bool {
+        self.outcome.overhead.is_zero()
+    }
+
+    /// Validates that no placed chunk (except in the final span) leaks out
+    /// of its idle span.
+    pub fn check_placement(&self, profile: &IdleProfile) -> Result<(), String> {
+        let last = profile.spans.len().saturating_sub(1);
+        for (chunk, span) in &self.placed {
+            let idle = &profile.spans[chunk.span_index];
+            if span.start < idle.start {
+                return Err(format!("chunk starts before its span: {span:?}"));
+            }
+            if chunk.span_index != last && span.end > idle.end {
+                return Err(format!(
+                    "chunk leaks out of span {}: {span:?} vs {idle:?}",
+                    chunk.span_index
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_cluster::InstanceType;
+    use gemini_training::{ModelConfig, OnlineProfiler, TimelineBuilder};
+
+    fn profile(model: &ModelConfig, inst: &InstanceType, n: usize) -> IdleProfile {
+        let b = TimelineBuilder::new(model, inst, n);
+        let mut p = OnlineProfiler::new(3);
+        for _ in 0..3 {
+            p.observe(&b.build());
+        }
+        p.profile().unwrap()
+    }
+
+    fn p4d_sched() -> CkptSchedule {
+        let inst = InstanceType::p4d();
+        let model = ModelConfig::gpt2_100b();
+        let prof = profile(model, inst, 16);
+        schedule_checkpoint(
+            &prof,
+            model.checkpoint_bytes_per_machine(16),
+            inst.gpus,
+            &GeminiConfig::default(),
+            &inst.ckpt_net_cost(),
+            &inst.copy_cost(),
+            inst.gpu_headroom,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gpt2_100b_checkpoints_every_iteration_for_free() {
+        // The headline result: per-iteration checkpointing with zero
+        // training-throughput overhead (Fig. 7).
+        let s = p4d_sched();
+        assert!(
+            s.is_interference_free(),
+            "overhead = {}",
+            s.outcome.overhead
+        );
+    }
+
+    #[test]
+    fn gpt2_100b_ckpt_network_time_under_3s() {
+        // §7.2: "the checkpoint time with GEMINI is less than 3 seconds".
+        let s = p4d_sched();
+        let t = s.outcome.ckpt_network_time.as_secs_f64();
+        assert!(t < 3.0, "ckpt time = {t:.2}s");
+        assert!(t > 1.0, "suspiciously fast: {t:.2}s");
+    }
+
+    #[test]
+    fn idle_time_remains_after_checkpointing() {
+        // Fig. 8: "there is still available network idle time even after
+        // GEMINI inserts all the checkpoint traffic".
+        let s = p4d_sched();
+        assert!(s.outcome.remaining_idle > SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn pipeline_has_no_bubbles_on_p4d() {
+        // Copy bandwidth ≈ network bandwidth on p4d (footnote 2) and p = 4.
+        let s = p4d_sched();
+        assert!(s.outcome.pipeline_bubbles.is_zero());
+    }
+
+    #[test]
+    fn placement_respects_spans() {
+        let inst = InstanceType::p4d();
+        let model = ModelConfig::gpt2_100b();
+        let prof = profile(model, inst, 16);
+        let s = p4d_sched();
+        s.check_placement(&prof).unwrap();
+    }
+
+    #[test]
+    fn oversized_buffer_rejected() {
+        let inst = InstanceType::p4d();
+        let model = ModelConfig::gpt2_100b();
+        let prof = profile(model, inst, 16);
+        let cfg = GeminiConfig {
+            reserved_buffer: ByteSize::from_gb(4),
+            ..GeminiConfig::default()
+        };
+        let err = schedule_checkpoint(
+            &prof,
+            model.checkpoint_bytes_per_machine(16),
+            inst.gpus,
+            &cfg,
+            &inst.ckpt_net_cost(),
+            &inst.copy_cost(),
+            inst.gpu_headroom,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GeminiError::BufferTooLarge { .. }));
+    }
+
+    #[test]
+    fn p3dn_40b_also_fits() {
+        // Fig. 13: the idle time on p3dn still accommodates the traffic.
+        let inst = InstanceType::p3dn();
+        let model = ModelConfig::gpt2_40b();
+        let prof = profile(model, inst, 16);
+        let s = schedule_checkpoint(
+            &prof,
+            model.checkpoint_bytes_per_machine(16),
+            inst.gpus,
+            &GeminiConfig::default(),
+            &inst.ckpt_net_cost(),
+            &inst.copy_cost(),
+            inst.gpu_headroom,
+        )
+        .unwrap();
+        assert!(
+            s.outcome.overhead < SimDuration::from_secs_f64(1.0),
+            "overhead = {}",
+            s.outcome.overhead
+        );
+    }
+
+    #[test]
+    fn three_replicas_cost_twice_the_network_time_of_two() {
+        let inst = InstanceType::p4d();
+        let model = ModelConfig::gpt2_100b();
+        let prof = profile(model, inst, 16);
+        let mk = |m: usize| {
+            schedule_checkpoint(
+                &prof,
+                model.checkpoint_bytes_per_machine(16),
+                inst.gpus,
+                &GeminiConfig {
+                    replicas: m,
+                    ..GeminiConfig::default()
+                },
+                &inst.ckpt_net_cost(),
+                &inst.copy_cost(),
+                inst.gpu_headroom,
+            )
+            .unwrap()
+        };
+        let two = mk(2).outcome.ckpt_network_time.as_secs_f64();
+        let three = mk(3).outcome.ckpt_network_time.as_secs_f64();
+        assert!((three / two - 2.0).abs() < 0.01, "{three} vs {two}");
+    }
+}

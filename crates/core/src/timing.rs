@@ -1,0 +1,170 @@
+//! Checkpoint and retrieval time calculators (Figs. 10–12).
+//!
+//! These are the *bulk* (non-interleaved) costs: how long a checkpoint or a
+//! retrieval takes when it runs undisturbed. The interleaved per-iteration
+//! scheduling lives in [`crate::schedule`]; the baselines compare against
+//! these bulk numbers.
+
+use crate::ckpt::StorageTier;
+use gemini_net::{ByteSize, TransferCost};
+use gemini_sim::SimDuration;
+
+/// GEMINI's bulk checkpoint time: every machine simultaneously sends its
+/// `m − 1` remote copies point-to-point (pairs are disjoint, so machines
+/// do not contend) while the local copy rides the GPU→CPU engine in
+/// parallel. The wall time is the max of the two paths.
+pub fn gemini_ckpt_time(
+    bytes_per_machine: ByteSize,
+    replicas: usize,
+    net: &TransferCost,
+    copy: &TransferCost,
+) -> SimDuration {
+    let remote = match replicas.saturating_sub(1) as u64 {
+        0 => SimDuration::ZERO,
+        copies => {
+            SimDuration::from_secs_f64(net.time(bytes_per_machine).as_secs_f64() * copies as f64)
+        }
+    };
+    let local = copy.time(bytes_per_machine);
+    remote.max(local)
+}
+
+/// Baseline checkpoint time to remote persistent storage: the full model
+/// state funnels through the storage's fixed aggregate bandwidth, so the
+/// time is independent of the machine count (§7.2, Fig. 11's flat
+/// baseline).
+pub fn persistent_ckpt_time(total_bytes: ByteSize, storage: &TransferCost) -> SimDuration {
+    storage.time(total_bytes)
+}
+
+/// Retrieval time from a storage tier during failure recovery:
+///
+/// * `LocalCpu` — load the shard back to GPU memory over the copy engine
+///   ("the retrieval time is negligible", Fig. 6b);
+/// * `RemoteCpu` — fetch the shard from a peer over the network, then load
+///   it ("less than three seconds", §7.2);
+/// * `Persistent` — every machine re-reads the full model state through
+///   the shared storage pipe (§6.2 Case 2).
+pub fn retrieval_time(
+    tier: StorageTier,
+    bytes_per_machine: ByteSize,
+    machines: usize,
+    net: &TransferCost,
+    copy: &TransferCost,
+    storage: &TransferCost,
+) -> SimDuration {
+    match tier {
+        StorageTier::LocalCpu => copy.time(bytes_per_machine),
+        StorageTier::RemoteCpu => net.time(bytes_per_machine) + copy.time(bytes_per_machine),
+        StorageTier::Persistent => storage.time(bytes_per_machine * machines.max(1) as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_cluster::{catalog::fsx_storage_cost, InstanceType};
+
+    #[test]
+    fn gemini_ckpt_under_3s_on_p4d() {
+        // 75 GB per machine at 320 Gbps effective ≈ 1.9 s (§7.2: < 3 s).
+        let inst = InstanceType::p4d();
+        let t = gemini_ckpt_time(
+            ByteSize::from_gb(75),
+            2,
+            &inst.ckpt_net_cost(),
+            &inst.copy_cost(),
+        );
+        let s = t.as_secs_f64();
+        assert!((1.0..3.0).contains(&s), "t = {s:.2}s");
+    }
+
+    #[test]
+    fn baseline_ckpt_independent_of_machines() {
+        // 1.2 TB at 20 Gbps ≈ 8 min regardless of N (Fig. 11 baselines).
+        let storage = fsx_storage_cost();
+        let t = persistent_ckpt_time(ByteSize::from_gb(1_200), &storage);
+        let mins = t.as_secs_f64() / 60.0;
+        assert!((mins - 8.0).abs() < 0.1, "t = {mins:.1} min");
+    }
+
+    #[test]
+    fn ckpt_time_reduction_matches_fig11_shape() {
+        // Fig. 11: ≈65× reduction at 100 Gbps and >250× at 400 Gbps with
+        // 16 instances.
+        let total = ByteSize::from_gb(1_200);
+        let per_machine = total / 16;
+        let storage = fsx_storage_cost();
+        let baseline = persistent_ckpt_time(total, &storage).as_secs_f64();
+        for (inst, lo, hi) in [
+            (InstanceType::p3dn(), 50.0, 90.0),  // 100 Gbps
+            (InstanceType::p4d(), 200.0, 330.0), // 400 Gbps
+        ] {
+            let g = gemini_ckpt_time(per_machine, 2, &inst.ckpt_net_cost(), &inst.copy_cost())
+                .as_secs_f64();
+            let reduction = baseline / g;
+            assert!(
+                (lo..hi).contains(&reduction),
+                "{}: reduction = {reduction:.0}x",
+                inst.name
+            );
+        }
+    }
+
+    #[test]
+    fn single_replica_is_copy_bound() {
+        let inst = InstanceType::p4d();
+        let t = gemini_ckpt_time(
+            ByteSize::from_gb(75),
+            1,
+            &inst.ckpt_net_cost(),
+            &inst.copy_cost(),
+        );
+        assert_eq!(t, inst.copy_cost().time(ByteSize::from_gb(75)));
+    }
+
+    #[test]
+    fn retrieval_ladder_is_monotone() {
+        // Local < remote CPU ≪ persistent.
+        let inst = InstanceType::p4d();
+        let storage = fsx_storage_cost();
+        let args = (
+            ByteSize::from_gb(75),
+            16usize,
+            inst.ckpt_net_cost(),
+            inst.copy_cost(),
+            storage,
+        );
+        let local = retrieval_time(
+            StorageTier::LocalCpu,
+            args.0,
+            args.1,
+            &args.2,
+            &args.3,
+            &args.4,
+        );
+        let remote = retrieval_time(
+            StorageTier::RemoteCpu,
+            args.0,
+            args.1,
+            &args.2,
+            &args.3,
+            &args.4,
+        );
+        let persist = retrieval_time(
+            StorageTier::Persistent,
+            args.0,
+            args.1,
+            &args.2,
+            &args.3,
+            &args.4,
+        );
+        assert!(local < remote);
+        assert!(remote < persist);
+        // Remote-CPU retrieval is the paper's "less than three seconds"
+        // plus the reload copy.
+        assert!(remote.as_secs_f64() < 5.0, "remote = {remote}");
+        // Persistent is ≈ 8 minutes.
+        assert!((persist.as_secs_f64() / 60.0 - 8.0).abs() < 0.5);
+    }
+}

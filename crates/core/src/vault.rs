@@ -1,0 +1,272 @@
+//! The byte-level replica vault: the actual checkpoint frames a host's CPU
+//! memory holds.
+//!
+//! [`crate::ckpt::HierarchicalStore`] tracks checkpoint *metadata* (which
+//! iteration each (host, owner) slot holds); this module is its data plane.
+//! Each slot stores encoded [`crate::codec`] frames with the same
+//! double-buffer discipline — an in-progress frame being received and the
+//! last completed one — under per-host capacity accounting, so recovery
+//! paths can be exercised against real bytes end to end.
+
+use crate::codec::{self, CheckpointPayload};
+use crate::error::GeminiError;
+use crate::placement::Placement;
+use bytes::Bytes;
+use gemini_net::ByteSize;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug, Default)]
+struct VaultSlot {
+    completed: Option<Bytes>,
+    in_progress: Option<Bytes>,
+}
+
+/// Byte-level storage of checkpoint replicas across all hosts.
+#[derive(Clone, Debug)]
+pub struct ReplicaVault {
+    capacity_per_host: ByteSize,
+    slots: BTreeMap<(usize, usize), VaultSlot>,
+    hosts: usize,
+}
+
+impl ReplicaVault {
+    /// Creates the vault for a placement with the given CPU-memory budget
+    /// per host.
+    pub fn new(placement: &Placement, capacity_per_host: ByteSize) -> Self {
+        let mut slots = BTreeMap::new();
+        for owner in 0..placement.machines() {
+            for &host in placement.replica_hosts(owner).expect("owner in range") {
+                slots.insert((host, owner), VaultSlot::default());
+            }
+        }
+        ReplicaVault {
+            capacity_per_host,
+            slots,
+            hosts: placement.machines(),
+        }
+    }
+
+    /// Bytes currently resident on `host` (both buffers of all its slots).
+    pub fn used(&self, host: usize) -> ByteSize {
+        self.slots
+            .iter()
+            .filter(|((h, _), _)| *h == host)
+            .map(|(_, slot)| {
+                let c = slot.completed.as_ref().map(|b| b.len()).unwrap_or(0);
+                let p = slot.in_progress.as_ref().map(|b| b.len()).unwrap_or(0);
+                ByteSize::from_bytes((c + p) as u64)
+            })
+            .sum()
+    }
+
+    /// Begins receiving a frame for `(host, owner)`. Fails if the host
+    /// lacks capacity or the slot does not exist under the placement.
+    pub fn stage(&mut self, host: usize, owner: usize, frame: Bytes) -> Result<(), GeminiError> {
+        if host >= self.hosts {
+            return Err(GeminiError::UnknownRank(host));
+        }
+        let incoming = ByteSize::from_bytes(frame.len() as u64);
+        // Capacity check excludes the slot's current in-progress frame,
+        // which this stage replaces.
+        let current_in_progress = self
+            .slots
+            .get(&(host, owner))
+            .ok_or(GeminiError::UnknownRank(owner))?
+            .in_progress
+            .as_ref()
+            .map(|b| ByteSize::from_bytes(b.len() as u64))
+            .unwrap_or(ByteSize::ZERO);
+        let would_use = self.used(host).saturating_sub(current_in_progress) + incoming;
+        if would_use > self.capacity_per_host {
+            return Err(GeminiError::BufferTooLarge {
+                requested: would_use,
+                available: self.capacity_per_host,
+            });
+        }
+        let slot = self
+            .slots
+            .get_mut(&(host, owner))
+            .ok_or(GeminiError::UnknownRank(owner))?;
+        slot.in_progress = Some(frame);
+        Ok(())
+    }
+
+    /// Promotes the in-progress frame of `(host, owner)` to completed.
+    /// Staging-then-committing mirrors the paper's two CPU buffers (§7.1).
+    pub fn commit(&mut self, host: usize, owner: usize) -> Result<(), GeminiError> {
+        let slot = self
+            .slots
+            .get_mut(&(host, owner))
+            .ok_or(GeminiError::UnknownRank(owner))?;
+        if let Some(frame) = slot.in_progress.take() {
+            slot.completed = Some(frame);
+        }
+        Ok(())
+    }
+
+    /// Stages and commits a full checkpoint round: every owner's encoded
+    /// shard is replicated to all its hosts.
+    pub fn checkpoint_round(
+        &mut self,
+        placement: &Placement,
+        iteration: u64,
+        shard_of: impl Fn(usize) -> Vec<u8>,
+    ) -> Result<(), GeminiError> {
+        for owner in 0..placement.machines() {
+            let frame = codec::encode(owner as u32, iteration, &shard_of(owner));
+            for &host in placement.replica_hosts(owner)? {
+                self.stage(host, owner, frame.clone())?;
+            }
+        }
+        for owner in 0..placement.machines() {
+            for &host in placement.replica_hosts(owner)? {
+                self.commit(host, owner)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The completed frame for `(host, owner)`, if any.
+    pub fn fetch(&self, host: usize, owner: usize) -> Option<Bytes> {
+        self.slots
+            .get(&(host, owner))
+            .and_then(|s| s.completed.clone())
+    }
+
+    /// Fetches and decodes, verifying the frame's checksum — what a
+    /// replacement machine does when pulling a replica from a peer.
+    pub fn fetch_verified(
+        &self,
+        host: usize,
+        owner: usize,
+    ) -> Result<CheckpointPayload, GeminiError> {
+        let frame = self
+            .fetch(host, owner)
+            .ok_or(GeminiError::NoCheckpointAvailable)?;
+        let payload = codec::decode(&frame)?;
+        if payload.owner as usize != owner {
+            return Err(GeminiError::Codec("frame belongs to a different owner"));
+        }
+        Ok(payload)
+    }
+
+    /// A hardware failure wipes a host's CPU memory.
+    pub fn wipe_host(&mut self, host: usize) {
+        for ((h, _), slot) in self.slots.iter_mut() {
+            if *h == host {
+                *slot = VaultSlot::default();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vault(n: usize, m: usize, cap_kb: u64) -> (Placement, ReplicaVault) {
+        let p = Placement::mixed(n, m).unwrap();
+        let v = ReplicaVault::new(&p, ByteSize::from_kb(cap_kb));
+        (p, v)
+    }
+
+    fn shard(owner: usize, iteration: u64) -> Vec<u8> {
+        (0..256u32)
+            .flat_map(|i| (i ^ owner as u32 ^ iteration as u32).to_le_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_real_bytes() {
+        let (p, mut v) = vault(4, 2, 64);
+        v.checkpoint_round(&p, 9, |o| shard(o, 9)).unwrap();
+        for owner in 0..4 {
+            for &host in p.replica_hosts(owner).unwrap() {
+                let payload = v.fetch_verified(host, owner).unwrap();
+                assert_eq!(payload.iteration, 9);
+                assert_eq!(&payload.data[..], &shard(owner, 9)[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn staging_does_not_expose_incomplete_frames() {
+        let (p, mut v) = vault(4, 2, 64);
+        let frame = codec::encode(0, 1, &shard(0, 1));
+        v.stage(1, 0, frame).unwrap();
+        assert!(v.fetch(1, 0).is_none(), "in-progress must not be readable");
+        v.commit(1, 0).unwrap();
+        assert!(v.fetch(1, 0).is_some());
+        let _ = p;
+    }
+
+    #[test]
+    fn double_buffering_keeps_previous_until_commit() {
+        let (p, mut v) = vault(4, 2, 64);
+        v.checkpoint_round(&p, 1, |o| shard(o, 1)).unwrap();
+        // Stage iteration 2 but do not commit: fetch still yields 1.
+        let frame = codec::encode(0, 2, &shard(0, 2));
+        v.stage(0, 0, frame).unwrap();
+        assert_eq!(v.fetch_verified(0, 0).unwrap().iteration, 1);
+        v.commit(0, 0).unwrap();
+        assert_eq!(v.fetch_verified(0, 0).unwrap().iteration, 2);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        // Capacity of 1 KB cannot hold a ~1 KB shard twice (two slots per
+        // host with m=2) — the first slot fits, its group peer's does not.
+        let (p, mut v) = vault(2, 2, 1);
+        let frame = codec::encode(0, 1, &shard(0, 1)); // > 1 KB
+        let err = v.stage(0, 0, frame).unwrap_err();
+        assert!(matches!(err, GeminiError::BufferTooLarge { .. }));
+        let _ = p;
+    }
+
+    #[test]
+    fn restaging_replaces_rather_than_accumulates() {
+        // Capacity fits exactly two frames (own + peer's, one buffer each);
+        // re-staging the same slot repeatedly must not leak capacity.
+        let (p, mut v) = vault(2, 2, 8);
+        let frame = codec::encode(0, 1, &shard(0, 1));
+        for _ in 0..10 {
+            v.stage(0, 0, frame.clone()).unwrap();
+        }
+        v.commit(0, 0).unwrap();
+        assert!(v.fetch(0, 0).is_some());
+        let _ = p;
+    }
+
+    #[test]
+    fn wipe_host_clears_everything_there_only() {
+        let (p, mut v) = vault(4, 2, 64);
+        v.checkpoint_round(&p, 3, |o| shard(o, 3)).unwrap();
+        v.wipe_host(1);
+        assert!(v.fetch(1, 0).is_none());
+        assert!(v.fetch(1, 1).is_none());
+        // Machine 1's shard survives on its group peer, host 0.
+        assert_eq!(v.fetch_verified(0, 1).unwrap().iteration, 3);
+        assert_eq!(v.used(1), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn fetch_verified_rejects_cross_owner_frames() {
+        let (p, mut v) = vault(4, 2, 64);
+        // Maliciously stage owner 1's slot with owner 0's frame.
+        let wrong = codec::encode(0, 5, &shard(0, 5));
+        v.stage(0, 1, wrong).unwrap();
+        v.commit(0, 1).unwrap();
+        assert!(matches!(v.fetch_verified(0, 1), Err(GeminiError::Codec(_))));
+        let _ = p;
+    }
+
+    #[test]
+    fn unknown_slot_errors() {
+        let (_, mut v) = vault(4, 2, 64);
+        // Host 3 does not hold owner 0's replica (different group).
+        let frame = codec::encode(0, 1, &shard(0, 1));
+        assert!(v.stage(3, 0, frame).is_err());
+        assert!(v.fetch(3, 0).is_none());
+        assert!(v.fetch_verified(3, 0).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! Property-based tests for GEMINI's core algorithms: placement
+//! invariants and probability theory, Algorithm 2 conservation, pipeline
+//! causality and codec integrity.
+
+use gemini_core::codec;
+use gemini_core::partition::{checkpoint_partition, PartitionInput};
+use gemini_core::pipeline::run_pipeline;
+use gemini_core::placement::probability::{
+    corollary1_probability, exact_recovery_probability, host_sets_recovery_probability,
+    theorem1_gap_bound, theorem1_upper_bound,
+};
+use gemini_core::placement::topology::{rack_aware_mixed, Topology};
+use gemini_core::retention::{PersistentLedger, RetentionPolicy};
+use gemini_core::wasted::WastedTimeModel;
+use gemini_core::Placement;
+use gemini_net::{Bandwidth, ByteSize, TransferCost};
+use gemini_sim::{DetRng, SimDuration};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn nm_strategy() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=48).prop_flat_map(|n| (Just(n), 1usize..=n.min(6)))
+}
+
+proptest! {
+    // ---- Placement (Algorithm 1, §4) ----
+
+    #[test]
+    fn placement_invariants_hold((n, m) in nm_strategy()) {
+        let p = Placement::mixed(n, m).unwrap();
+        prop_assert!(p.check_invariants().is_ok(), "{:?}", p.check_invariants());
+        prop_assert_eq!(p.sends_per_machine(), m - 1);
+        // Every machine hosts its own replica and exactly m hosts when the
+        // cluster is large enough.
+        for i in 0..n {
+            let hosts = p.replica_hosts(i).unwrap();
+            prop_assert!(hosts.contains(&i));
+            prop_assert_eq!(hosts.len(), m.min(n));
+        }
+    }
+
+    #[test]
+    fn fewer_failures_than_replicas_always_recoverable((n, m) in nm_strategy(), seed in any::<u64>()) {
+        prop_assume!(m >= 2);
+        let p = Placement::mixed(n, m).unwrap();
+        let mut rng = DetRng::new(seed);
+        let failed: BTreeSet<usize> =
+            rng.sample_distinct(n, m - 1).into_iter().collect();
+        prop_assert!(p.recoverable(&failed));
+    }
+
+    #[test]
+    fn losing_a_whole_host_set_is_fatal((n, m) in nm_strategy(), pick in any::<prop::sample::Index>()) {
+        prop_assume!(m >= 2);
+        let p = Placement::mixed(n, m).unwrap();
+        let sets = p.unique_host_sets();
+        let set = &sets[pick.index(sets.len())];
+        let failed: BTreeSet<usize> = set.iter().copied().collect();
+        prop_assert!(!p.recoverable(&failed));
+    }
+
+    #[test]
+    fn group_and_mixed_dominate_ring((n, _) in nm_strategy()) {
+        prop_assume!(n >= 4);
+        let m = 2;
+        let mixed = Placement::mixed(n, m).unwrap();
+        let ring = Placement::ring(n, m).unwrap();
+        let pm = exact_recovery_probability(&mixed, m).unwrap();
+        let pr = exact_recovery_probability(&ring, m).unwrap();
+        prop_assert!(pm >= pr - 1e-12, "mixed {pm} < ring {pr} at N={n}");
+    }
+
+    #[test]
+    fn corollary1_is_exact_for_k_eq_m_divisible(g in 2usize..12, m in 2usize..5) {
+        let n = g * m;
+        let p = Placement::group(n, m).unwrap();
+        if let Some(exact) = exact_recovery_probability(&p, m) {
+            let analytic = corollary1_probability(n, m, m);
+            prop_assert!((exact - analytic).abs() < 1e-9, "N={n} m={m}");
+        }
+    }
+
+    /// Theorem 1's optimality claim, tested adversarially: NO strategy —
+    /// here, uniformly random assignments of each machine's m replica
+    /// hosts (own machine included, per the theorem's Observation 2) —
+    /// achieves a higher k = m recovery probability than the upper bound,
+    /// which Algorithm 1's group placement attains when m | N.
+    #[test]
+    fn no_random_strategy_beats_theorem1_upper_bound(
+        n in 4usize..20,
+        m in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(m < n);
+        let mut rng = DetRng::new(seed);
+        // Random strategy: machine i stores on itself + m-1 random others.
+        let host_sets: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                let mut hosts = vec![i];
+                while hosts.len() < m {
+                    let h = rng.uniform_u64(0, n as u64) as usize;
+                    if !hosts.contains(&h) {
+                        hosts.push(h);
+                    }
+                }
+                hosts.sort_unstable();
+                hosts
+            })
+            .collect();
+        let mut unique = host_sets.clone();
+        unique.sort();
+        unique.dedup();
+        if let Some(p) = host_sets_recovery_probability(&unique, n, m) {
+            let bound = theorem1_upper_bound(n, m);
+            prop_assert!(
+                p <= bound + 1e-12,
+                "random strategy beat the bound: {p} > {bound} (n={n}, m={m})"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem1_gap_bound_holds((n, m) in nm_strategy()) {
+        prop_assume!(m >= 2 && n >= 2 * m && n % m != 0);
+        let p = Placement::mixed(n, m).unwrap();
+        if let Some(exact) = exact_recovery_probability(&p, m) {
+            let bound = theorem1_upper_bound(n, m);
+            prop_assert!(exact <= bound + 1e-12);
+            prop_assert!(bound - exact <= theorem1_gap_bound(n, m) + 1e-12,
+                "N={n} m={m}: gap {}", bound - exact);
+        }
+    }
+
+    #[test]
+    fn rack_aware_relabel_preserves_structure((n, m) in nm_strategy(), racks in 1usize..8) {
+        let topology = Topology::contiguous(n, racks).unwrap();
+        let aware = rack_aware_mixed(&topology, m).unwrap();
+        let base = Placement::mixed(n, m).unwrap();
+        prop_assert!(aware.check_invariants().is_ok());
+        prop_assert_eq!(aware.groups().len(), base.groups().len());
+        prop_assert_eq!(aware.unique_host_sets().len(), base.unique_host_sets().len());
+        // Round-robin covers every machine exactly once.
+        let mut order = topology.round_robin_order();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rack_aware_groups_span_racks((_, m) in nm_strategy(), racks in 2usize..6) {
+        let n = racks * 4; // even racks
+        prop_assume!(m <= racks);
+        let topology = Topology::contiguous(n, racks).unwrap();
+        let aware = rack_aware_mixed(&topology, m).unwrap();
+        for group in aware.groups() {
+            let distinct: BTreeSet<usize> = group
+                .members
+                .iter()
+                .map(|&mach| topology.rack_of(mach).unwrap())
+                .collect();
+            prop_assert_eq!(distinct.len(), group.members.len().min(racks));
+        }
+    }
+
+    #[test]
+    fn retention_never_loses_the_newest(
+        iters in proptest::collection::btree_set(0u64..10_000, 1..60),
+        keep_last in 0usize..5,
+        keep_every in 0u64..500,
+    ) {
+        let policy = RetentionPolicy { keep_last, keep_every };
+        let mut ledger = PersistentLedger::new(policy);
+        let sorted: Vec<u64> = iters.iter().copied().collect();
+        for &i in &sorted {
+            ledger.persist(i);
+        }
+        // The newest persisted checkpoint always survives.
+        prop_assert_eq!(ledger.latest(), sorted.last().copied());
+        // Milestones survive.
+        if keep_every > 0 {
+            for &i in &sorted {
+                if i % keep_every == 0 {
+                    prop_assert!(ledger.kept().contains(&i), "milestone {i} lost");
+                }
+            }
+        }
+        // Kept + deleted conserves the history.
+        prop_assert_eq!(
+            ledger.kept().len() as u64 + ledger.deleted_total(),
+            sorted.len() as u64
+        );
+    }
+
+    // ---- Partitioning (Algorithm 2, §5.3) ----
+
+    #[test]
+    fn partition_conserves_and_fits(
+        spans_ms in proptest::collection::vec(0u64..2_000, 1..12),
+        ckpt_mb in 1u64..4_000,
+        copies in 1usize..4,
+        parts in 1usize..8,
+        gamma in 0.1f64..1.0,
+    ) {
+        let input = PartitionInput {
+            idle_spans: spans_ms
+                .iter()
+                .map(|&ms| SimDuration::from_millis(ms))
+                .collect(),
+            ckpt_size: ByteSize::from_mb(ckpt_mb),
+            copies,
+            reserved_buffer: ByteSize::from_mib(128),
+            buffer_parts: parts,
+            cost: TransferCost::new(
+                SimDuration::from_micros(500),
+                Bandwidth::from_gbytes_per_sec(10.0),
+            ),
+            gamma,
+        };
+        let plan = checkpoint_partition(&input).unwrap();
+        prop_assert!(plan.check_against(&input).is_ok(), "{:?}", plan.check_against(&input));
+        prop_assert_eq!(plan.total_bytes() + plan.unscheduled,
+                        input.ckpt_size * copies as u64);
+        prop_assert!(plan.unscheduled.is_zero(), "last span is unbounded");
+    }
+
+    #[test]
+    fn partition_overflow_zero_when_idle_ample(ckpt_mb in 1u64..1_000) {
+        // A final span of 10 minutes dwarfs any checkpoint here.
+        let input = PartitionInput {
+            idle_spans: vec![SimDuration::from_millis(50), SimDuration::from_secs(600)],
+            ckpt_size: ByteSize::from_mb(ckpt_mb),
+            copies: 1,
+            reserved_buffer: ByteSize::from_mib(128),
+            buffer_parts: 4,
+            cost: TransferCost::new(
+                SimDuration::from_micros(100),
+                Bandwidth::from_gbytes_per_sec(10.0),
+            ),
+            gamma: 0.8,
+        };
+        let plan = checkpoint_partition(&input).unwrap();
+        prop_assert!(plan.overflow(&input.idle_spans, &input.cost).is_zero());
+    }
+
+    // ---- Pipeline (§5.2) ----
+
+    #[test]
+    fn pipeline_causality(
+        chunks_mb in proptest::collection::vec(1u64..128, 1..40),
+        p in 1usize..6,
+        copy_gbps in 1.0f64..100.0,
+    ) {
+        let chunks: Vec<ByteSize> = chunks_mb.iter().map(|&m| ByteSize::from_mb(m)).collect();
+        let net = TransferCost::new(
+            SimDuration::from_micros(100),
+            Bandwidth::from_gbytes_per_sec(10.0),
+        );
+        let copy = TransferCost::new(
+            SimDuration::from_micros(10),
+            Bandwidth::from_gbytes_per_sec(copy_gbps),
+        );
+        let r = run_pipeline(&chunks, p, &net, &copy);
+        // Copies start after their transfer; copies are serial; network is
+        // serial; buffers are reused only after their copy drained.
+        for (n, c) in r.net_spans.iter().zip(&r.copy_spans) {
+            prop_assert!(c.start >= n.end);
+        }
+        for w in r.copy_spans.windows(2) {
+            prop_assert!(w[1].start >= w[0].end);
+        }
+        for w in r.net_spans.windows(2) {
+            prop_assert!(w[1].start >= w[0].end);
+        }
+        for i in p..chunks.len() {
+            prop_assert!(r.net_spans[i].start >= r.copy_spans[i - p].end);
+        }
+        prop_assert!(r.makespan >= r.net_occupancy);
+    }
+
+    #[test]
+    fn pipeline_more_buffers_never_hurt(
+        chunks_mb in proptest::collection::vec(1u64..64, 1..30),
+    ) {
+        let chunks: Vec<ByteSize> = chunks_mb.iter().map(|&m| ByteSize::from_mb(m)).collect();
+        let net = TransferCost::new(
+            SimDuration::from_micros(100),
+            Bandwidth::from_gbytes_per_sec(10.0),
+        );
+        let copy = TransferCost::new(
+            SimDuration::from_micros(10),
+            Bandwidth::from_gbytes_per_sec(5.0),
+        );
+        let mut prev = None;
+        for p in 1..=4 {
+            let r = run_pipeline(&chunks, p, &net, &copy);
+            if let Some(prev) = prev {
+                prop_assert!(r.makespan <= prev);
+            }
+            prev = Some(r.makespan);
+        }
+    }
+
+    // ---- Codec ----
+
+    #[test]
+    fn codec_roundtrips(owner in any::<u32>(), iteration in any::<u64>(),
+                        data in proptest::collection::vec(any::<u8>(), 0..4_096)) {
+        let frame = codec::encode(owner, iteration, &data);
+        let decoded = codec::decode(&frame).unwrap();
+        prop_assert_eq!(decoded.owner, owner);
+        prop_assert_eq!(decoded.iteration, iteration);
+        prop_assert_eq!(&decoded.data[..], &data[..]);
+    }
+
+    #[test]
+    fn codec_detects_any_bit_flip(data in proptest::collection::vec(any::<u8>(), 1..512),
+                                  byte in any::<prop::sample::Index>(),
+                                  bit in 0u8..8) {
+        let frame = codec::encode(1, 2, &data).to_vec();
+        let mut bad = frame.clone();
+        let idx = byte.index(bad.len());
+        bad[idx] ^= 1 << bit;
+        prop_assert!(codec::decode(&bad).is_err());
+    }
+
+    // ---- Wasted time (Equation 1) ----
+
+    #[test]
+    fn wasted_average_is_between_best_and_worst(
+        ckpt_s in 0u64..10_000, interval_s in 1u64..100_000,
+        iter_s in 1u64..1_000, rtvl_s in 0u64..10_000,
+    ) {
+        let w = WastedTimeModel::new(
+            SimDuration::from_secs(ckpt_s),
+            SimDuration::from_secs(interval_s),
+            SimDuration::from_secs(iter_s),
+            SimDuration::from_secs(rtvl_s),
+        );
+        prop_assert!(w.best_case() <= w.average_wasted());
+        prop_assert!(w.average_wasted() <= w.worst_case());
+        // Equation 2's floor.
+        prop_assert!(w.interval >= SimDuration::from_secs(ckpt_s.max(iter_s)));
+    }
+}

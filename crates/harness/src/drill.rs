@@ -1,0 +1,522 @@
+//! The event-driven recovery drill (paper §7.3, Fig. 14).
+//!
+//! Reproduces the paper's measured failure-recovery timeline end to end on
+//! the discrete-event engine: training iterations checkpoint every
+//! iteration; worker agents heartbeat into the distributed KV store; a
+//! failure is injected mid-iteration; the victim's health lease lapses;
+//! the elected root agent detects the lapse on its scan (≈15 s), notifies
+//! the alive agents to serialize their checkpoint replicas (≈162 s for
+//! GPT-2 100B), requests a replacement machine for hardware failures
+//! (4–7 min from the cloud operator, seconds from a standby), guides the
+//! checkpoint retrieval per the recovery plan, and finally pays the
+//! restart warm-up (>4 min) before training resumes.
+//!
+//! Root-machine failures are handled too: leadership passes through the KV
+//! store's election once the old root's lease expires, and the new root
+//! performs the detection.
+
+use crate::scenario::{GeminiSystem, Scenario};
+use gemini_cluster::{CloudOperator, FailureKind, OperatorConfig};
+use gemini_core::agents::{RootAgent, WorkerAgent};
+use gemini_core::recovery::{RecoveryCase, RecoveryPlan, RecoveryPlanner};
+use gemini_core::GeminiError;
+use gemini_kvstore::KvStore;
+use gemini_sim::{Context, Engine, Model, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one drill run.
+#[derive(Clone, Debug)]
+pub struct DrillConfig {
+    /// The deployment.
+    pub scenario: Scenario,
+    /// Which ranks fail, with what kind, all at the same instant.
+    pub failures: Vec<(usize, FailureKind)>,
+    /// The iteration during which the failure strikes (1-based; the paper
+    /// injects during iteration 4).
+    pub fail_during_iteration: u64,
+    /// Cloud-operator behaviour (standby machines etc.).
+    pub operator: OperatorConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DrillConfig {
+    /// The paper's Fig. 14 run: GPT-2 100B, one hardware failure during
+    /// iteration 4, no standby machines.
+    pub fn fig14() -> DrillConfig {
+        DrillConfig {
+            scenario: Scenario::gpt2_100b_p4d(),
+            failures: vec![(5, FailureKind::Hardware)],
+            fail_during_iteration: 4,
+            operator: OperatorConfig::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// The measured breakdown of one recovery (the Fig. 14 annotations).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DrillReport {
+    /// When the failure struck.
+    pub failed_at: SimTime,
+    /// Failure-detection latency (failure → root notices the lapsed key).
+    pub detect_latency: SimDuration,
+    /// Checkpoint serialization time (`torch.save()` of the replicas).
+    pub serialize_time: SimDuration,
+    /// Wait for the replacement machine (zero for software failures;
+    /// overlaps serialization).
+    pub replacement_wait: SimDuration,
+    /// Checkpoint retrieval time per the recovery plan.
+    pub retrieval_time: SimDuration,
+    /// Restart warm-up before training proceeds.
+    pub warmup_time: SimDuration,
+    /// Total downtime: failure → training resumed.
+    pub total_downtime: SimDuration,
+    /// Which recovery mechanism applied.
+    pub case: RecoveryCase,
+    /// The iteration training rolled back to.
+    pub resumed_from_iteration: u64,
+    /// The iteration the failure interrupted.
+    pub failed_iteration: u64,
+    /// Which rank ended up being the detecting root.
+    pub detecting_root: String,
+    /// The rendered event trace.
+    pub trace: String,
+}
+
+#[derive(Debug)]
+enum Ev {
+    IterationDone(u64),
+    Heartbeat(usize),
+    CoordinationTick,
+    InjectFailure,
+    SerializeDone,
+    ReplacementReady(usize),
+    RetrievalDone,
+    WarmupDone,
+}
+
+struct DrillModel {
+    sys: GeminiSystem,
+    kv: KvStore,
+    workers: Vec<WorkerAgent>,
+    roots: Vec<RootAgent>,
+    operator: CloudOperator,
+    failures: Vec<(usize, FailureKind)>,
+    fail_during_iteration: u64,
+    // progress state
+    current_iteration: u64,
+    training_blocked: bool,
+    failed_at: Option<SimTime>,
+    detected_at: Option<SimTime>,
+    detecting_root: Option<String>,
+    serialize_done: bool,
+    serialize_started: Option<SimTime>,
+    serialize_finished: Option<SimTime>,
+    replacements_pending: usize,
+    replacement_ready_at: Option<SimTime>,
+    plan: Option<RecoveryPlan>,
+    retrieval_started: Option<SimTime>,
+    retrieval_finished: Option<SimTime>,
+    resumed_at: Option<SimTime>,
+    done: bool,
+}
+
+impl DrillModel {
+    fn failed_ranks(&self) -> Vec<usize> {
+        self.failures.iter().map(|(r, _)| *r).collect()
+    }
+
+    fn maybe_start_retrieval(&mut self, ctx: &mut Context<'_, Ev>) {
+        if self.plan.is_some()
+            || !self.serialize_done
+            || self.replacements_pending > 0
+            || self.detected_at.is_none()
+        {
+            return;
+        }
+        let planner = RecoveryPlanner;
+        let plan = planner
+            .plan(&self.sys.store, &self.failures)
+            .expect("recovery must be plannable in the drill");
+        // Retrieval: every rank fetches per its source, in parallel except
+        // where they share a serving host (or the persistent pipe) — the
+        // contention-aware makespan.
+        let slowest = plan.retrieval_makespan(
+            self.sys.scenario.ckpt_bytes_per_machine(),
+            self.sys.scenario.machines,
+            &self.sys.scenario.instance.ckpt_net_cost(),
+            &self.sys.scenario.instance.copy_cost(),
+            &self.sys.scenario.storage_cost(),
+        );
+        ctx.trace(|| {
+            format!(
+                "retrieval started: case {:?}, rollback to iteration {}",
+                plan.case, plan.iteration
+            )
+        });
+        self.retrieval_started = Some(ctx.now());
+        self.plan = Some(plan);
+        ctx.schedule_after(slowest, Ev::RetrievalDone);
+    }
+}
+
+impl Model for DrillModel {
+    type Event = Ev;
+
+    fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+        match event {
+            Ev::IterationDone(i) => {
+                if self.training_blocked || self.done {
+                    return;
+                }
+                self.current_iteration = i;
+                // Per-iteration checkpoint committed by iteration end.
+                self.sys.store.record_complete(i);
+                ctx.trace(|| format!("iteration {i} complete, checkpoint {i} committed"));
+                ctx.schedule_after(self.sys.iteration_time(), Ev::IterationDone(i + 1));
+            }
+            Ev::Heartbeat(rank) => {
+                let dead = self.failed_at.is_some()
+                    && self.failed_ranks().contains(&rank)
+                    && self.resumed_at.is_none();
+                if dead || self.done {
+                    return; // the process is gone; no more heartbeats
+                }
+                self.workers[rank]
+                    .heartbeat(&mut self.kv, ctx.now())
+                    .expect("heartbeat");
+                ctx.schedule_after(
+                    self.sys.scenario.config.heartbeat_period,
+                    Ev::Heartbeat(rank),
+                );
+            }
+            Ev::CoordinationTick => {
+                if self.done {
+                    return;
+                }
+                let now = ctx.now();
+                // Every alive machine campaigns; the store arbitrates.
+                let failed = self.failed_ranks();
+                let resumed = self.resumed_at.is_some();
+                for (rank, root) in self.roots.iter_mut().enumerate() {
+                    let dead = self.failed_at.is_some() && failed.contains(&rank) && !resumed;
+                    if !dead {
+                        let _ = root.campaign(&mut self.kv, now);
+                    }
+                }
+                // The current leader scans for lapsed health keys — but
+                // only if the machine running it is itself alive (a dead
+                // root's election key lingers until its lease expires).
+                let n = self.sys.cluster.len();
+                let leader = (0..self.roots.len()).find(|&rank| {
+                    let dead = self.failed_at.is_some() && failed.contains(&rank) && !resumed;
+                    !dead && self.roots[rank].is_leader(&mut self.kv, now)
+                });
+                if let Some(leader_rank) = leader {
+                    let report = self.roots[leader_rank].scan(&mut self.kv, now, n);
+                    if !report.missing.is_empty() && self.detected_at.is_none() {
+                        self.detected_at = Some(now);
+                        self.detecting_root = Some(self.roots[leader_rank].identity().to_string());
+                        ctx.trace(|| {
+                            format!(
+                                "root {} detected failed ranks {:?}",
+                                leader_rank, report.missing
+                            )
+                        });
+                        // Notify alive agents to serialize the latest
+                        // complete checkpoints (torch.save).
+                        self.serialize_started = Some(now);
+                        ctx.schedule_after(self.sys.serialize_time(), Ev::SerializeDone);
+                        // Request replacements for hardware failures.
+                        for &(rank, kind) in &self.failures.clone() {
+                            if kind == FailureKind::Hardware {
+                                self.sys
+                                    .cluster
+                                    .begin_replacement(rank)
+                                    .expect("rank exists");
+                                self.replacements_pending += 1;
+                                let provision = self.operator.request_replacement(now, ctx.rng());
+                                ctx.trace(|| {
+                                    format!(
+                                        "replacement for rank {rank} requested \
+                                         (standby: {}, ready at {})",
+                                        provision.from_standby, provision.ready_at
+                                    )
+                                });
+                                ctx.schedule_at(provision.ready_at, Ev::ReplacementReady(rank));
+                            }
+                        }
+                    }
+                }
+                ctx.schedule_after(SimDuration::from_secs(1), Ev::CoordinationTick);
+            }
+            Ev::InjectFailure => {
+                self.failed_at = Some(ctx.now());
+                self.training_blocked = true;
+                for &(rank, kind) in &self.failures.clone() {
+                    self.sys.cluster.fail(rank, kind).expect("rank exists");
+                    if kind == FailureKind::Hardware {
+                        self.sys.store.machine_lost(rank);
+                    }
+                    ctx.trace(|| format!("rank {rank} failed ({kind:?})"));
+                }
+            }
+            Ev::SerializeDone => {
+                self.serialize_done = true;
+                self.serialize_finished = Some(ctx.now());
+                ctx.trace(|| "checkpoint serialization finished".to_string());
+                self.maybe_start_retrieval(ctx);
+            }
+            Ev::ReplacementReady(rank) => {
+                self.sys
+                    .cluster
+                    .complete_replacement(rank, ctx.now())
+                    .expect("rank was put in Replacing state at detection");
+                self.replacements_pending = self.replacements_pending.saturating_sub(1);
+                self.replacement_ready_at = Some(
+                    self.replacement_ready_at
+                        .unwrap_or(ctx.now())
+                        .max(ctx.now()),
+                );
+                ctx.trace(|| format!("replacement machine for rank {rank} joined"));
+                self.maybe_start_retrieval(ctx);
+            }
+            Ev::RetrievalDone => {
+                self.retrieval_finished = Some(ctx.now());
+                ctx.trace(|| "checkpoint retrieval finished".to_string());
+                ctx.schedule_after(self.sys.scenario.config.restart_warmup, Ev::WarmupDone);
+            }
+            Ev::WarmupDone => {
+                self.resumed_at = Some(ctx.now());
+                self.training_blocked = false;
+                // Restart software-failed ranks in place.
+                for &(rank, kind) in &self.failures.clone() {
+                    if kind == FailureKind::Software {
+                        self.sys.cluster.restart(rank).expect("rank exists");
+                    }
+                }
+                let resume_iter = self.plan.as_ref().expect("plan exists").iteration;
+                ctx.trace(|| format!("training resumed from iteration {resume_iter}"));
+                self.done = true;
+                ctx.stop();
+            }
+        }
+    }
+}
+
+/// Runs a drill and reports the recovery-time breakdown.
+pub fn run_drill(config: &DrillConfig) -> Result<DrillReport, GeminiError> {
+    let mut sys = config.scenario.build_system(config.seed)?;
+    // Jobs start from a persisted initial checkpoint (iteration 0), which
+    // is what the persistent-fallback path rolls back to if a whole
+    // placement group is lost before the next 3-hour persist.
+    sys.store.persist(0);
+    let n = sys.cluster.len();
+    for &(rank, _) in &config.failures {
+        if rank >= n {
+            return Err(GeminiError::UnknownRank(rank));
+        }
+    }
+    let gcfg = sys.scenario.config;
+    let iter_time = sys.iteration_time();
+    let mut kv = KvStore::new();
+    let mut workers: Vec<WorkerAgent> = (0..n)
+        .map(|r| WorkerAgent::new(r, r as u64, gcfg))
+        .collect();
+    for w in workers.iter_mut() {
+        w.register(&mut kv, SimTime::ZERO).expect("register");
+    }
+    let roots: Vec<RootAgent> = (0..n)
+        .map(|r| RootAgent::new(&format!("machine-{r}"), &gcfg))
+        .collect();
+
+    let mut model = DrillModel {
+        sys,
+        kv,
+        workers,
+        roots,
+        operator: CloudOperator::new(config.operator),
+        failures: config.failures.clone(),
+        fail_during_iteration: config.fail_during_iteration,
+        current_iteration: 0,
+        training_blocked: false,
+        failed_at: None,
+        detected_at: None,
+        detecting_root: None,
+        serialize_done: false,
+        serialize_started: None,
+        serialize_finished: None,
+        replacements_pending: 0,
+        replacement_ready_at: None,
+        plan: None,
+        retrieval_started: None,
+        retrieval_finished: None,
+        resumed_at: None,
+        done: false,
+    };
+
+    let mut engine = Engine::new(config.seed).with_trace();
+    engine.prime_at(SimTime::ZERO, Ev::CoordinationTick);
+    for r in 0..n {
+        engine.prime_after(gcfg.heartbeat_period, Ev::Heartbeat(r));
+    }
+    engine.prime_after(iter_time, Ev::IterationDone(1));
+    // The failure strikes halfway through the configured iteration.
+    let fail_at = SimTime::ZERO
+        + SimDuration::from_secs_f64(
+            iter_time.as_secs_f64() * (config.fail_during_iteration as f64 - 0.5),
+        );
+    engine.prime_at(fail_at, Ev::InjectFailure);
+
+    engine.run(&mut model, Some(SimTime::from_hours(6)), 10_000_000);
+
+    let failed_at = model.failed_at.ok_or(GeminiError::NoCheckpointAvailable)?;
+    let detected_at = model
+        .detected_at
+        .ok_or(GeminiError::NoCheckpointAvailable)?;
+    let resumed_at = model.resumed_at.ok_or(GeminiError::NoCheckpointAvailable)?;
+    let plan = model.plan.as_ref().expect("plan exists if resumed");
+    let serialize_time = model
+        .serialize_finished
+        .zip(model.serialize_started)
+        .map(|(e, s)| e - s)
+        .unwrap_or(SimDuration::ZERO);
+    let replacement_wait = model
+        .replacement_ready_at
+        .map(|t| t - detected_at)
+        .unwrap_or(SimDuration::ZERO);
+    let retrieval_time = model
+        .retrieval_finished
+        .zip(model.retrieval_started)
+        .map(|(e, s)| e - s)
+        .unwrap_or(SimDuration::ZERO);
+    Ok(DrillReport {
+        failed_at,
+        detect_latency: detected_at - failed_at,
+        serialize_time,
+        replacement_wait,
+        retrieval_time,
+        warmup_time: model.sys.scenario.config.restart_warmup,
+        total_downtime: resumed_at - failed_at,
+        case: plan.case,
+        resumed_from_iteration: plan.iteration,
+        failed_iteration: model.fail_during_iteration,
+        detecting_root: model.detecting_root.clone().unwrap_or_default(),
+        trace: engine.trace().render(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_hardware_failure_breakdown() {
+        let report = run_drill(&DrillConfig::fig14()).unwrap();
+        // Detection ≈ 15 s (TTL bound; ±heartbeat and scan granularity).
+        let d = report.detect_latency.as_secs_f64();
+        assert!((10.0..=17.0).contains(&d), "detect = {d:.1}s");
+        // Serialization ≈ 162 s.
+        let s = report.serialize_time.as_secs_f64();
+        assert!((s - 161.3).abs() < 3.0, "serialize = {s:.1}s");
+        // Replacement 4–7 min.
+        let r = report.replacement_wait.as_secs_f64() / 60.0;
+        assert!((4.0..=7.1).contains(&r), "replacement = {r:.1} min");
+        // Retrieval from a peer's CPU memory: seconds.
+        assert!(report.retrieval_time.as_secs_f64() < 5.0);
+        assert_eq!(report.case, RecoveryCase::HardwareFromCpu);
+        // Rolled back to the checkpoint of iteration 3.
+        assert_eq!(report.resumed_from_iteration, 3);
+        // Total ≈ 12 min for hardware failures (§7.3).
+        let total = report.total_downtime.as_secs_f64() / 60.0;
+        assert!((9.0..=14.0).contains(&total), "total = {total:.1} min");
+    }
+
+    #[test]
+    fn software_failure_recovers_in_about_7_minutes() {
+        let mut cfg = DrillConfig::fig14();
+        cfg.failures = vec![(5, FailureKind::Software)];
+        let report = run_drill(&cfg).unwrap();
+        assert_eq!(report.case, RecoveryCase::SoftwareLocal);
+        assert_eq!(report.replacement_wait, SimDuration::ZERO);
+        // §7.3: "around 7 minutes for software failures":
+        // 15 s detect + 162 s serialize + ~2 s retrieval + 250 s warmup.
+        let total = report.total_downtime.as_secs_f64() / 60.0;
+        assert!((6.0..=8.5).contains(&total), "total = {total:.1} min");
+    }
+
+    #[test]
+    fn standby_machines_shrink_hardware_recovery() {
+        let mut cfg = DrillConfig::fig14();
+        cfg.operator = OperatorConfig::with_standbys(2);
+        let with_standby = run_drill(&cfg).unwrap();
+        let without = run_drill(&DrillConfig::fig14()).unwrap();
+        assert!(with_standby.total_downtime < without.total_downtime);
+        assert!(with_standby.replacement_wait.as_secs_f64() < 40.0);
+    }
+
+    #[test]
+    fn root_machine_failure_fails_over() {
+        // Rank 0 runs the initial root; killing it must elect another
+        // machine, which then performs the detection.
+        let mut cfg = DrillConfig::fig14();
+        cfg.failures = vec![(0, FailureKind::Hardware)];
+        let report = run_drill(&cfg).unwrap();
+        assert_ne!(report.detecting_root, "machine-0");
+        assert_eq!(report.case, RecoveryCase::HardwareFromCpu);
+        // Failover costs one extra TTL at worst.
+        assert!(report.detect_latency.as_secs_f64() <= 35.0);
+    }
+
+    #[test]
+    fn group_loss_falls_back_to_persistent_storage() {
+        let mut cfg = DrillConfig::fig14();
+        // Ranks 0 and 1 form placement group 0 (m = 2): losing both wipes
+        // every CPU replica of their shards.
+        cfg.failures = vec![(0, FailureKind::Hardware), (1, FailureKind::Hardware)];
+        let report = run_drill(&cfg).unwrap();
+        assert_eq!(report.case, RecoveryCase::PersistentFallback);
+        // Rolls all the way back to the persisted initial checkpoint,
+        // losing every iteration since — the "GEMINI degrades to Strawman"
+        // case of §7.2.
+        assert_eq!(report.resumed_from_iteration, 0);
+        // Persistent retrieval is minutes, not seconds.
+        assert!(report.retrieval_time.as_secs_f64() > 60.0);
+    }
+
+    #[test]
+    fn cross_group_double_failure_recovers_from_cpu() {
+        let mut cfg = DrillConfig::fig14();
+        cfg.failures = vec![(2, FailureKind::Hardware), (5, FailureKind::Hardware)];
+        let report = run_drill(&cfg).unwrap();
+        assert_eq!(report.case, RecoveryCase::HardwareFromCpu);
+        assert_eq!(report.resumed_from_iteration, 3);
+    }
+
+    #[test]
+    fn trace_contains_the_milestones() {
+        let report = run_drill(&DrillConfig::fig14()).unwrap();
+        for needle in [
+            "failed (Hardware)",
+            "detected failed ranks",
+            "serialization finished",
+            "replacement machine",
+            "retrieval finished",
+            "training resumed",
+        ] {
+            assert!(
+                report.trace.contains(needle),
+                "trace missing {needle:?}:\n{}",
+                report.trace
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_rank_rejected() {
+        let mut cfg = DrillConfig::fig14();
+        cfg.failures = vec![(99, FailureKind::Software)];
+        assert!(run_drill(&cfg).is_err());
+    }
+}

@@ -1,0 +1,385 @@
+//! Ablations of GEMINI's design choices — extensions beyond the paper's
+//! figures, exercising the same machinery:
+//!
+//! * **replica count `m`** — recovery probability vs checkpoint network
+//!   cost (the paper fixes `m = 2` arguing it suffices; this quantifies
+//!   the trade-off);
+//! * **idle-span coefficient `γ`** — Algorithm 2's safety margin vs the
+//!   risk of overflowing into the update phase;
+//! * **sub-buffer count `p`** — the pipeline-depth ablation behind
+//!   Fig. 5d;
+//! * **standby machines** — replacement latency vs reserved capacity.
+
+use crate::drill::{run_drill, DrillConfig};
+use crate::report::{secs, Table};
+use crate::scenario::Scenario;
+use gemini_cluster::OperatorConfig;
+use gemini_core::pipeline::run_pipeline;
+use gemini_core::placement::probability::corollary1_probability;
+use gemini_core::placement::topology::{rack_aware_mixed, rack_survival_rate, Topology};
+use gemini_core::schedule::schedule_checkpoint;
+use gemini_core::timing::gemini_ckpt_time;
+use gemini_core::GeminiConfig;
+use gemini_core::Placement;
+use gemini_sim::DetRng;
+
+/// One row of the replica-count ablation.
+#[derive(Clone, Debug)]
+pub struct ReplicaRow {
+    /// Replicas `m`.
+    pub replicas: usize,
+    /// P(recover from CPU memory) with k = 2 simultaneous losses.
+    pub p_recover_k2: f64,
+    /// P(recover) with k = 3.
+    pub p_recover_k3: f64,
+    /// Bulk checkpoint time (s).
+    pub ckpt_secs: f64,
+    /// CPU memory needed per host (GB, both buffers).
+    pub cpu_mem_gb: f64,
+    /// Whether per-iteration checkpointing stays interference-free.
+    pub interference_free: bool,
+}
+
+/// Sweeps the replica count on the GPT-2 100B / 16×p4d scenario.
+pub fn replicas_ablation() -> Vec<ReplicaRow> {
+    let scenario = Scenario::gpt2_100b_p4d();
+    let per_machine = scenario.ckpt_bytes_per_machine();
+    (1..=4)
+        .map(|m| {
+            let mut s = scenario.clone();
+            s.config.replicas = m;
+            let (interference_free, _) = match s.build_system(5) {
+                Ok(sys) => (sys.schedule.is_interference_free(), ()),
+                Err(_) => (false, ()), // e.g. CPU memory exhausted
+            };
+            ReplicaRow {
+                replicas: m,
+                p_recover_k2: if m > 2 {
+                    1.0
+                } else {
+                    corollary1_probability(scenario.machines, m, 2)
+                },
+                p_recover_k3: if m > 3 {
+                    1.0
+                } else {
+                    corollary1_probability(scenario.machines, m, 3)
+                },
+                ckpt_secs: gemini_ckpt_time(
+                    per_machine,
+                    m,
+                    &scenario.instance.ckpt_net_cost(),
+                    &scenario.instance.copy_cost(),
+                )
+                .as_secs_f64(),
+                cpu_mem_gb: (per_machine * m as u64 * 2).as_gb_f64(),
+                interference_free,
+            }
+        })
+        .collect()
+}
+
+/// Renders the replica ablation.
+pub fn replicas_table() -> Table {
+    let mut t = Table::new(
+        "Ablation: checkpoint replicas m (GPT-2 100B, 16 p4d)",
+        &[
+            "m",
+            "P(recover) k=2",
+            "P(recover) k=3",
+            "Ckpt time (s)",
+            "CPU mem/host (GB)",
+            "Interference-free",
+        ],
+    );
+    for r in replicas_ablation() {
+        t.push(vec![
+            r.replicas.to_string(),
+            format!("{:.3}", r.p_recover_k2),
+            format!("{:.3}", r.p_recover_k3),
+            format!("{:.2}", r.ckpt_secs),
+            format!("{:.0}", r.cpu_mem_gb),
+            r.interference_free.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One row of the γ-sensitivity ablation.
+#[derive(Clone, Debug)]
+pub struct GammaRow {
+    /// The coefficient γ.
+    pub gamma: f64,
+    /// Resulting iteration-time overhead (s).
+    pub overhead_secs: f64,
+    /// Chunks scheduled into the final (elastic) span.
+    pub final_span_chunks: usize,
+}
+
+/// Sweeps γ on the tighter GPT-2 40B / p3dn scenario, where idle time is
+/// scarce enough for γ to matter.
+pub fn gamma_ablation() -> Vec<GammaRow> {
+    let scenario = Scenario::gpt2_40b_p3dn();
+    let mut rng = DetRng::new(5);
+    let profile = scenario.profile(&mut rng);
+    [0.2, 0.4, 0.6, 0.8, 1.0]
+        .iter()
+        .map(|&gamma| {
+            let cfg = GeminiConfig {
+                gamma,
+                ..scenario.config
+            };
+            let sched = schedule_checkpoint(
+                &profile,
+                scenario.ckpt_bytes_per_machine(),
+                scenario.instance.gpus,
+                &cfg,
+                &scenario.instance.ckpt_net_cost(),
+                &scenario.instance.copy_cost(),
+                scenario.instance.gpu_headroom,
+            )
+            .expect("schedule succeeds");
+            let last = profile.spans.len() - 1;
+            GammaRow {
+                gamma,
+                overhead_secs: sched.outcome.overhead.as_secs_f64(),
+                final_span_chunks: sched
+                    .plan
+                    .chunks
+                    .iter()
+                    .filter(|c| c.span_index == last)
+                    .count(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the γ ablation.
+pub fn gamma_table() -> Table {
+    let mut t = Table::new(
+        "Ablation: idle-span coefficient gamma (GPT-2 40B, 16 p3dn)",
+        &["gamma", "Overhead (s)", "Chunks pushed to final span"],
+    );
+    for r in gamma_ablation() {
+        t.push(vec![
+            format!("{:.1}", r.gamma),
+            format!("{:.3}", r.overhead_secs),
+            r.final_span_chunks.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One row of the sub-buffer (pipeline-depth) ablation.
+#[derive(Clone, Debug)]
+pub struct SubBufferRow {
+    /// Sub-buffers `p`.
+    pub sub_buffers: usize,
+    /// NIC occupancy of the checkpoint chunk stream (s).
+    pub net_occupancy_secs: f64,
+    /// Bubble time trapped on the NIC (s).
+    pub bubbles_secs: f64,
+}
+
+/// Sweeps the pipeline depth for the 100B checkpoint stream.
+pub fn sub_buffers_ablation() -> Vec<SubBufferRow> {
+    let scenario = Scenario::gpt2_100b_p4d();
+    let chunk = scenario.config.sub_buffer_size() * scenario.instance.gpus as u64;
+    let n_chunks = scenario.ckpt_bytes_per_machine().div_ceil_by(chunk) as usize;
+    let chunks = vec![chunk; n_chunks];
+    let net = scenario.instance.ckpt_net_cost();
+    let copy = scenario.instance.copy_cost();
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&p| {
+            let r = run_pipeline(&chunks, p, &net, &copy);
+            SubBufferRow {
+                sub_buffers: p,
+                net_occupancy_secs: r.net_occupancy.as_secs_f64(),
+                bubbles_secs: r.net_bubbles.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the sub-buffer ablation.
+pub fn sub_buffers_table() -> Table {
+    let mut t = Table::new(
+        "Ablation: pipeline sub-buffers p (GPT-2 100B checkpoint stream)",
+        &["p", "NIC occupancy (s)", "NIC bubbles (s)"],
+    );
+    for r in sub_buffers_ablation() {
+        t.push(vec![
+            r.sub_buffers.to_string(),
+            secs(r.net_occupancy_secs),
+            format!("{:.3}", r.bubbles_secs),
+        ]);
+    }
+    t
+}
+
+/// One row of the rack-topology ablation.
+#[derive(Clone, Debug)]
+pub struct RackRow {
+    /// Number of racks the 16 machines are spread over.
+    pub racks: usize,
+    /// Fraction of single-rack (switch) failures the rack-oblivious mixed
+    /// placement survives from CPU memory.
+    pub oblivious_survival: f64,
+    /// Same for the rack-aware placement.
+    pub aware_survival: f64,
+}
+
+/// Sweeps rack counts for the 16-machine, m = 2 deployment: correlated
+/// switch failures vs placement awareness (extension; motivated by §6.1's
+/// network-failure discussion).
+pub fn rack_ablation() -> Vec<RackRow> {
+    let n = 16;
+    let m = 2;
+    [2usize, 4, 8, 16]
+        .iter()
+        .map(|&racks| {
+            let topology = Topology::contiguous(n, racks).expect("valid topology");
+            let oblivious = Placement::mixed(n, m).expect("valid placement");
+            let aware = rack_aware_mixed(&topology, m).expect("valid placement");
+            RackRow {
+                racks,
+                oblivious_survival: rack_survival_rate(&oblivious, &topology),
+                aware_survival: rack_survival_rate(&aware, &topology),
+            }
+        })
+        .collect()
+}
+
+/// Renders the rack ablation.
+pub fn rack_table() -> Table {
+    let mut t = Table::new(
+        "Extension: rack-aware placement vs top-of-rack switch failures (N=16, m=2)",
+        &["Racks", "Oblivious survival", "Rack-aware survival"],
+    );
+    for r in rack_ablation() {
+        t.push(vec![
+            r.racks.to_string(),
+            format!("{:.2}", r.oblivious_survival),
+            format!("{:.2}", r.aware_survival),
+        ]);
+    }
+    t
+}
+
+/// One row of the standby-machine ablation.
+#[derive(Clone, Debug)]
+pub struct StandbyRow {
+    /// Pre-allocated standby machines.
+    pub standbys: usize,
+    /// Replacement wait during the drill (s).
+    pub replacement_wait_secs: f64,
+    /// Total downtime (s).
+    pub total_downtime_secs: f64,
+}
+
+/// Sweeps the standby pool on the Fig. 14 drill.
+pub fn standby_ablation() -> Vec<StandbyRow> {
+    [0usize, 1, 2]
+        .iter()
+        .map(|&standbys| {
+            let mut cfg = DrillConfig::fig14();
+            cfg.operator = OperatorConfig {
+                standbys,
+                ..OperatorConfig::default()
+            };
+            let r = run_drill(&cfg).expect("drill recovers");
+            StandbyRow {
+                standbys,
+                replacement_wait_secs: r.replacement_wait.as_secs_f64(),
+                total_downtime_secs: r.total_downtime.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the standby ablation.
+pub fn standby_table() -> Table {
+    let mut t = Table::new(
+        "Ablation: standby machines (hardware-failure drill)",
+        &["Standbys", "Replacement wait (s)", "Total downtime (s)"],
+    );
+    for r in standby_ablation() {
+        t.push(vec![
+            r.standbys.to_string(),
+            secs(r.replacement_wait_secs),
+            secs(r.total_downtime_secs),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_replicas_better_probability_higher_cost() {
+        let rows = replicas_ablation();
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(w[1].p_recover_k2 >= w[0].p_recover_k2);
+            assert!(w[1].cpu_mem_gb > w[0].cpu_mem_gb);
+        }
+        // m = 1 cannot survive any machine loss involving its only copy.
+        assert!(rows[0].p_recover_k2 < 0.2);
+        // m = 2 (the paper's choice) recovers 93.3% of double failures
+        // while staying interference-free.
+        assert!((rows[1].p_recover_k2 - 0.933).abs() < 0.001);
+        assert!(rows[1].interference_free);
+        // m = 3 doubles the checkpoint time versus m = 2.
+        assert!(rows[2].ckpt_secs > 1.9 * rows[1].ckpt_secs);
+    }
+
+    #[test]
+    fn gamma_trades_margin_for_final_span_pressure() {
+        let rows = gamma_ablation();
+        // Smaller γ pushes more chunks into the final span.
+        assert!(rows[0].final_span_chunks >= rows.last().unwrap().final_span_chunks);
+        // The paper's γ = 0.8 keeps overhead at zero here.
+        let g08 = rows.iter().find(|r| (r.gamma - 0.8).abs() < 1e-9).unwrap();
+        assert_eq!(g08.overhead_secs, 0.0);
+    }
+
+    #[test]
+    fn pipeline_depth_two_suffices_on_p4d() {
+        let rows = sub_buffers_ablation();
+        let p1 = &rows[0];
+        let p2 = &rows[1];
+        let p4 = &rows[2];
+        assert!(p1.bubbles_secs > 0.5, "p=1 bubbles = {}", p1.bubbles_secs);
+        assert_eq!(p2.bubbles_secs, 0.0);
+        assert_eq!(p4.bubbles_secs, 0.0);
+        assert!(p2.net_occupancy_secs < p1.net_occupancy_secs);
+    }
+
+    #[test]
+    fn rack_awareness_survives_switch_failures() {
+        let rows = rack_ablation();
+        // Machines packed 8-per-rack or 4-per-rack: oblivious groups sit
+        // inside racks and die with them; rack-aware groups span racks.
+        for r in &rows {
+            if r.racks < 16 {
+                assert_eq!(r.oblivious_survival, 0.0, "racks={}", r.racks);
+                assert_eq!(r.aware_survival, 1.0, "racks={}", r.racks);
+            } else {
+                // One machine per rack: a rack failure is a single-machine
+                // failure — both placements survive (k < m).
+                assert_eq!(r.oblivious_survival, 1.0);
+                assert_eq!(r.aware_survival, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn standbys_cut_downtime_monotonically() {
+        let rows = standby_ablation();
+        assert!(rows[0].replacement_wait_secs > 240.0);
+        assert!(rows[1].replacement_wait_secs < 60.0);
+        assert!(rows[1].total_downtime_secs < rows[0].total_downtime_secs);
+    }
+}

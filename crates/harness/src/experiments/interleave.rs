@@ -1,0 +1,74 @@
+//! Figure 16: the traffic-interleaving ablation.
+
+use crate::report::{secs, Table};
+use crate::scenario::Scenario;
+use gemini_baselines::schemes::{evaluate_scheme, InterleaveScheme, SchemeOutcome};
+use gemini_sim::DetRng;
+
+/// Regenerates Figure 16: iteration time of GPT-2 40B on 16 p3dn under the
+/// five checkpointing-to-CPU-memory schemes.
+pub fn fig16() -> Vec<SchemeOutcome> {
+    let scenario = Scenario::gpt2_40b_p3dn();
+    let mut rng = DetRng::new(16);
+    let profile = scenario.profile(&mut rng);
+    InterleaveScheme::all()
+        .into_iter()
+        .map(|scheme| {
+            evaluate_scheme(
+                scheme,
+                &profile,
+                scenario.ckpt_bytes_per_machine(),
+                scenario.instance.gpus,
+                &scenario.config,
+                &scenario.instance.ckpt_net_cost(),
+                &scenario.instance.copy_cost(),
+                scenario.instance.gpu_headroom,
+            )
+            .expect("scheme evaluation succeeds")
+        })
+        .collect()
+}
+
+/// Renders Figure 16.
+pub fn fig16_table() -> Table {
+    let mut t = Table::new(
+        "Figure 16: iteration time of GPT-2 40B (16 p3dn) per scheme",
+        &["Scheme", "Iteration (s)", "Overhead", "Buffer/GPU"],
+    );
+    for o in fig16() {
+        t.push(vec![
+            o.scheme.name().to_string(),
+            o.iteration_time
+                .map(|d| secs(d.as_secs_f64()))
+                .unwrap_or_else(|| "OOM".into()),
+            o.overhead_frac
+                .map(|f| format!("{:.1}%", f * 100.0))
+                .unwrap_or_else(|| "OOM".into()),
+            format!("{}", o.required_buffer_per_gpu),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig16_shape() {
+        let rows = fig16();
+        assert_eq!(rows.len(), 5);
+        let get = |s: InterleaveScheme| rows.iter().find(|o| o.scheme == s).unwrap().clone();
+        let baseline = get(InterleaveScheme::Baseline);
+        let blocking = get(InterleaveScheme::Blocking);
+        let naive = get(InterleaveScheme::NaiveInterleave);
+        let nopipe = get(InterleaveScheme::InterleaveNoPipeline);
+        let gemini = get(InterleaveScheme::Gemini);
+        assert_eq!(baseline.overhead_frac, Some(0.0));
+        assert!(blocking.overhead_frac.unwrap() > 0.06);
+        assert!(naive.oom);
+        assert!(nopipe.overhead_frac.unwrap() > 0.0);
+        assert!(gemini.overhead_frac.unwrap() < 0.005);
+        assert!(blocking.overhead_frac.unwrap() > nopipe.overhead_frac.unwrap());
+    }
+}

@@ -1,0 +1,80 @@
+//! Regenerators for every table and figure in the paper's evaluation.
+//!
+//! Each submodule exposes a function per artifact returning typed rows,
+//! plus a `*_table` renderer producing a [`crate::report::Table`]. The
+//! `gemini-bench` crate's `figures`/`tables` binaries print them all.
+//!
+//! | Artifact | Function |
+//! |---|---|
+//! | Table 1 | [`tables::table1`] |
+//! | Table 2 | [`tables::table2`] |
+//! | Fig. 1 (wasted-time anatomy) | [`wasted::fig1`] |
+//! | Fig. 6 (recovery mechanisms) | [`recovery::fig6`] |
+//! | Fig. 7 (iteration time, 100B) | [`throughput::fig7`] |
+//! | Fig. 8 (network idle time, 100B) | [`throughput::fig8`] |
+//! | Fig. 9 (recovery probability) | [`placement::fig9`] |
+//! | Fig. 10 (average wasted time) | [`wasted::fig10`] |
+//! | Fig. 11 (checkpoint-time reduction) | [`wasted::fig11`] |
+//! | Fig. 12 (checkpoint frequency) | [`wasted::fig12`] |
+//! | Fig. 13 (p3dn iteration/idle time) | [`throughput::fig13`] |
+//! | Fig. 14 (recovery overheads) | [`recovery::fig14`] |
+//! | Fig. 15a (ratio vs failure rate) | [`scale::fig15a`] |
+//! | Fig. 15b (ratio vs cluster size) | [`scale::fig15b`] |
+//! | Fig. 16 (interleaving schemes) | [`interleave::fig16`] |
+//! | Ablations (m, γ, p, standbys) | [`ablations`] |
+
+pub mod ablations;
+pub mod interleave;
+pub mod placement;
+pub mod recovery;
+pub mod scale;
+pub mod summary;
+pub mod tables;
+pub mod throughput;
+pub mod wasted;
+
+use crate::report::Table;
+
+/// Renders every artifact (tables first, then figures in paper order).
+/// `fast` shrinks the stochastic sweeps so the suite stays test-friendly.
+pub fn render_all(fast: bool) -> Vec<Table> {
+    vec![
+        tables::table1_table(),
+        tables::table2_table(),
+        wasted::fig1_table(),
+        recovery::fig6_table(),
+        throughput::fig7_table(),
+        throughput::fig8_table(),
+        placement::fig9_table(),
+        wasted::fig10_table(),
+        wasted::fig11_table(),
+        wasted::fig12_table(),
+        throughput::fig13_table(),
+        recovery::fig14_table(),
+        scale::fig15a_table(fast),
+        scale::fig15b_table(fast),
+        interleave::fig16_table(),
+        ablations::replicas_table(),
+        ablations::gamma_table(),
+        ablations::sub_buffers_table(),
+        ablations::standby_table(),
+        ablations::rack_table(),
+        summary::summary_table(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_renders() {
+        let tables = render_all(true);
+        assert_eq!(tables.len(), 21);
+        for t in &tables {
+            assert!(!t.rows.is_empty(), "{} is empty", t.title);
+            let md = t.to_markdown();
+            assert!(md.contains("|"), "{} markdown broken", t.title);
+        }
+    }
+}

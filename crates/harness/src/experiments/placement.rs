@@ -1,0 +1,119 @@
+//! Figure 9: probability of recovering from CPU-memory checkpoints.
+
+use crate::report::Table;
+use gemini_core::placement::probability::{
+    corollary1_probability, monte_carlo_recovery_probability, ring_m2_probability,
+};
+use gemini_core::Placement;
+use gemini_sim::DetRng;
+
+/// One cluster size's probabilities.
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    /// Number of instances `N`.
+    pub instances: usize,
+    /// GEMINI (group placement), m=2, k=2.
+    pub gemini_k2: f64,
+    /// GEMINI, m=2, k=3.
+    pub gemini_k3: f64,
+    /// Ring placement, m=2, k=2.
+    pub ring_k2: f64,
+    /// Ring placement, m=2, k=3.
+    pub ring_k3: f64,
+    /// Monte Carlo cross-check of `gemini_k2`.
+    pub gemini_k2_mc: f64,
+}
+
+/// Regenerates Figure 9 over the paper's x-range (up to 128 instances).
+pub fn fig9() -> Vec<Fig9Row> {
+    let rng = DetRng::new(99);
+    [8usize, 16, 24, 32, 48, 64, 96, 128]
+        .iter()
+        .map(|&n| {
+            let placement = Placement::mixed(n, 2).expect("valid placement");
+            Fig9Row {
+                instances: n,
+                gemini_k2: corollary1_probability(n, 2, 2),
+                gemini_k3: corollary1_probability(n, 2, 3),
+                ring_k2: ring_m2_probability(n, 2),
+                ring_k3: ring_m2_probability(n, 3),
+                gemini_k2_mc: monte_carlo_recovery_probability(
+                    &placement,
+                    2,
+                    20_000,
+                    &mut rng.fork_index(n as u64),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Renders Figure 9.
+pub fn fig9_table() -> Table {
+    let mut t = Table::new(
+        "Figure 9: P(recover from CPU memory), m = 2",
+        &[
+            "Instances",
+            "GEMINI k=2",
+            "GEMINI k=3",
+            "Ring k=2",
+            "Ring k=3",
+            "GEMINI k=2 (Monte Carlo)",
+        ],
+    );
+    for r in fig9() {
+        t.push(vec![
+            r.instances.to_string(),
+            format!("{:.3}", r.gemini_k2),
+            format!("{:.3}", r.gemini_k3),
+            format!("{:.3}", r.ring_k2),
+            format!("{:.3}", r.ring_k3),
+            format!("{:.3}", r.gemini_k2_mc),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_at_n16() {
+        let rows = fig9();
+        let r16 = rows.iter().find(|r| r.instances == 16).unwrap();
+        assert!((r16.gemini_k2 - 0.933).abs() < 0.001);
+        assert!((r16.gemini_k3 - 0.800).abs() < 0.001);
+        // §7.2: Ring at k=3 is 25% lower than GEMINI.
+        let drop = (r16.gemini_k3 - r16.ring_k3) / r16.gemini_k3;
+        assert!((0.15..0.30).contains(&drop), "drop = {drop:.3}");
+    }
+
+    #[test]
+    fn probability_increases_with_n_and_gemini_dominates_ring() {
+        let rows = fig9();
+        for w in rows.windows(2) {
+            assert!(w[1].gemini_k2 >= w[0].gemini_k2);
+            assert!(w[1].gemini_k3 >= w[0].gemini_k3);
+        }
+        for r in &rows {
+            assert!(r.gemini_k2 >= r.ring_k2, "N={}", r.instances);
+            assert!(r.gemini_k3 >= r.ring_k3, "N={}", r.instances);
+            // k < m would be 1; k ≥ m stays below 1.
+            assert!(r.gemini_k2 < 1.0);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_tracks_analytic() {
+        for r in fig9() {
+            assert!(
+                (r.gemini_k2 - r.gemini_k2_mc).abs() < 0.015,
+                "N={}: {} vs {}",
+                r.instances,
+                r.gemini_k2,
+                r.gemini_k2_mc
+            );
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Figure 15: scalability to frequent failures and large clusters.
+
+use crate::campaign::{run_campaign, CampaignConfig, Solution};
+use crate::report::Table;
+
+/// One x-position of Fig. 15a or 15b.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// The x value (failures/day for 15a; instances for 15b).
+    pub x: f64,
+    /// Effective training-time ratio per solution.
+    pub no_failure: f64,
+    /// GEMINI's ratio.
+    pub gemini: f64,
+    /// Strawman's ratio.
+    pub strawman: f64,
+    /// HighFreq's ratio.
+    pub highfreq: f64,
+}
+
+fn sweep(xs: &[f64], mk: impl Fn(Solution, f64) -> CampaignConfig) -> Vec<ScaleRow> {
+    xs.iter()
+        .map(|&x| ScaleRow {
+            x,
+            no_failure: run_campaign(&mk(Solution::NoFailure, x))
+                .expect("campaign runs")
+                .effective_ratio,
+            gemini: run_campaign(&mk(Solution::Gemini, x))
+                .expect("campaign runs")
+                .effective_ratio,
+            strawman: run_campaign(&mk(Solution::Strawman, x))
+                .expect("campaign runs")
+                .effective_ratio,
+            highfreq: run_campaign(&mk(Solution::HighFreq, x))
+                .expect("campaign runs")
+                .effective_ratio,
+        })
+        .collect()
+}
+
+/// Figure 15a: effective training-time ratio vs failures per day
+/// (16 p4d, GPT-2 100B, software failures).
+pub fn fig15a(fast: bool) -> Vec<ScaleRow> {
+    let xs: &[f64] = if fast {
+        &[0.0, 4.0, 8.0]
+    } else {
+        &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+    };
+    sweep(xs, |sol, x| CampaignConfig::fig15(sol, x, 42))
+}
+
+/// Figure 15b: effective training-time ratio vs cluster size at OPT-175B's
+/// 1.5% machine-failures/day.
+pub fn fig15b(fast: bool) -> Vec<ScaleRow> {
+    let xs: &[f64] = if fast {
+        &[16.0, 200.0, 1000.0]
+    } else {
+        &[
+            8.0, 16.0, 32.0, 64.0, 128.0, 200.0, 400.0, 600.0, 800.0, 1000.0,
+        ]
+    };
+    sweep(xs, |sol, x| CampaignConfig::fig15b(sol, x as usize, 42))
+}
+
+/// Renders Figure 15a.
+pub fn fig15a_table(fast: bool) -> Table {
+    let mut t = Table::new(
+        "Figure 15a: effective training time ratio vs failures per day",
+        &[
+            "Failures/day",
+            "No failure",
+            "GEMINI",
+            "HighFreq",
+            "Strawman",
+        ],
+    );
+    for r in fig15a(fast) {
+        t.push(vec![
+            format!("{:.0}", r.x),
+            format!("{:.3}", r.no_failure),
+            format!("{:.3}", r.gemini),
+            format!("{:.3}", r.highfreq),
+            format!("{:.3}", r.strawman),
+        ]);
+    }
+    t
+}
+
+/// Renders Figure 15b.
+pub fn fig15b_table(fast: bool) -> Table {
+    let mut t = Table::new(
+        "Figure 15b: effective training time ratio vs number of instances \
+         (1.5% machine failures/day)",
+        &["Instances", "No failure", "GEMINI", "HighFreq", "Strawman"],
+    );
+    for r in fig15b(fast) {
+        t.push(vec![
+            format!("{:.0}", r.x),
+            format!("{:.3}", r.no_failure),
+            format!("{:.3}", r.gemini),
+            format!("{:.3}", r.highfreq),
+            format!("{:.3}", r.strawman),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig15a_shape() {
+        let rows = fig15a(true);
+        // At zero failures: GEMINI ≈ ideal; HighFreq pays serialization.
+        let r0 = &rows[0];
+        assert!(r0.gemini > 0.99);
+        assert!(r0.highfreq < 0.90);
+        // At 8/day GEMINI stays close to ideal; baselines degrade.
+        let r8 = rows.last().unwrap();
+        assert!(r8.gemini > 0.94, "gemini = {}", r8.gemini);
+        assert!(r8.gemini > r8.highfreq && r8.highfreq > r8.strawman);
+    }
+
+    #[test]
+    fn fig15b_thousand_instances_matches_paper() {
+        let rows = fig15b(true);
+        let r1000 = rows.iter().find(|r| r.x == 1000.0).unwrap();
+        // §7.3: GEMINI ≈ 91%, ≈54% higher than HighFreq; Strawman can
+        // hardly proceed.
+        assert!((0.85..0.97).contains(&r1000.gemini), "g = {}", r1000.gemini);
+        assert!(
+            r1000.gemini / r1000.highfreq > 1.3,
+            "g/h = {:.2}",
+            r1000.gemini / r1000.highfreq
+        );
+        assert!(r1000.strawman < 0.35, "s = {}", r1000.strawman);
+    }
+}

@@ -1,0 +1,130 @@
+//! The abstract's headline claims, each measured by the pipeline that
+//! reproduces its figure — a one-table acceptance check for the whole
+//! reproduction.
+
+use crate::report::Table;
+use crate::scenario::Scenario;
+
+/// One headline claim.
+#[derive(Clone, Debug)]
+pub struct Claim {
+    /// The claim as the abstract states it.
+    pub claim: &'static str,
+    /// The paper's number.
+    pub paper: &'static str,
+    /// Our measured number.
+    pub measured: String,
+    /// Whether the measured value satisfies the claim.
+    pub holds: bool,
+}
+
+/// Measures every abstract claim.
+pub fn headline_claims() -> Vec<Claim> {
+    let mut claims = Vec::new();
+
+    // "reduces the checkpoint retrieval time by up to 250x"
+    let best_reduction = super::wasted::fig11()
+        .into_iter()
+        .map(|r| r.reduction)
+        .fold(0.0f64, f64::max);
+    claims.push(Claim {
+        claim: "checkpoint time reduced by up to 250x",
+        paper: "250x",
+        measured: format!("{best_reduction:.0}x"),
+        holds: best_reduction >= 250.0,
+    });
+
+    // "improves the checkpoint frequency by up to 8x"
+    let rows = super::wasted::fig12();
+    let g = rows.iter().find(|r| r.solution == "GEMINI").unwrap();
+    let h = rows.iter().find(|r| r.solution == "HighFreq").unwrap();
+    let freq_ratio = g.per_hour / h.per_hour;
+    claims.push(Claim {
+        claim: "checkpoint frequency improved by up to 8x over HighFreq",
+        paper: "8x",
+        measured: format!("{freq_ratio:.1}x"),
+        holds: freq_ratio >= 8.0,
+    });
+
+    // "achieves a faster failure recovery by more than 13x"
+    let fig10 = super::wasted::fig10();
+    let min_speedup = fig10
+        .iter()
+        .map(|r| r.highfreq_min / r.gemini_cpu_min)
+        .fold(f64::INFINITY, f64::min);
+    claims.push(Claim {
+        claim: "failure recovery more than 13x faster",
+        paper: ">13x",
+        measured: format!("{min_speedup:.1}x"),
+        holds: min_speedup > 13.0,
+    });
+
+    // "optimal checkpoint frequency, i.e., every iteration"
+    let sys = Scenario::gpt2_100b_p4d()
+        .build_system(13)
+        .expect("scenario assembles");
+    claims.push(Claim {
+        claim: "checkpoints every iteration",
+        paper: "every iteration",
+        measured: "every iteration".to_string(),
+        holds: sys.schedule.is_interference_free(),
+    });
+
+    // "incurs no overhead on training throughput"
+    let max_overhead = super::throughput::fig7()
+        .into_iter()
+        .map(|r| r.gemini_iteration / r.baseline_iteration - 1.0)
+        .fold(0.0f64, f64::max);
+    claims.push(Claim {
+        claim: "no training-throughput overhead",
+        paper: "0%",
+        measured: format!("{:.2}%", max_overhead * 100.0),
+        holds: max_overhead < 0.005,
+    });
+
+    // §4: "with two checkpoint replicas, GEMINI can resume training from
+    // CPU memory in most cases" (93.3% at N=16, k=2).
+    let fig9 = super::placement::fig9();
+    let p = fig9.iter().find(|r| r.instances == 16).unwrap().gemini_k2;
+    claims.push(Claim {
+        claim: "P(recover from CPU memory), N=16 m=2 k=2",
+        paper: "93.3%",
+        measured: format!("{:.1}%", p * 100.0),
+        holds: (p - 0.933).abs() < 0.001,
+    });
+
+    claims
+}
+
+/// Renders the summary.
+pub fn summary_table() -> Table {
+    let mut t = Table::new(
+        "Headline claims (paper abstract vs this reproduction)",
+        &["Claim", "Paper", "Measured", "Holds"],
+    );
+    for c in headline_claims() {
+        t.push(vec![
+            c.claim.to_string(),
+            c.paper.to_string(),
+            c.measured,
+            if c.holds { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_headline_claim_holds() {
+        for c in headline_claims() {
+            assert!(
+                c.holds,
+                "claim failed: {} (measured {})",
+                c.claim, c.measured
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Table 1 (instance memory) and Table 2 (model configurations).
+
+use crate::report::Table;
+use gemini_cluster::TABLE1_INSTANCES;
+use gemini_training::TABLE2_MODELS;
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Instance name.
+    pub name: &'static str,
+    /// Cloud provider.
+    pub cloud: &'static str,
+    /// GPU description, e.g. "8 A100".
+    pub gpus: String,
+    /// Total GPU memory (GB, vendor convention).
+    pub gpu_mem_gb: f64,
+    /// CPU memory (GB).
+    pub cpu_mem_gb: f64,
+}
+
+/// Regenerates Table 1 from the catalog.
+pub fn table1() -> Vec<Table1Row> {
+    TABLE1_INSTANCES
+        .iter()
+        .map(|i| Table1Row {
+            name: i.name,
+            cloud: i.cloud,
+            gpus: format!(
+                "{} {}",
+                i.gpus,
+                if i.gpu_peak_flops > 200e12 {
+                    "A100"
+                } else {
+                    "V100"
+                }
+            ),
+            gpu_mem_gb: i.total_gpu_mem().as_bytes() as f64 / (1u64 << 30) as f64,
+            cpu_mem_gb: i.cpu_mem.as_gb_f64(),
+        })
+        .collect()
+}
+
+/// Renders Table 1.
+pub fn table1_table() -> Table {
+    let mut t = Table::new(
+        "Table 1: GPU vs CPU memory of cloud GPU instances",
+        &[
+            "Instance",
+            "Cloud",
+            "GPU",
+            "GPU memory (GB)",
+            "CPU memory (GB)",
+        ],
+    );
+    for r in table1() {
+        t.push(vec![
+            r.name.to_string(),
+            r.cloud.to_string(),
+            r.gpus,
+            format!("{:.0}", r.gpu_mem_gb),
+            format!("{:.0}", r.cpu_mem_gb),
+        ]);
+    }
+    t
+}
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Model name.
+    pub name: &'static str,
+    /// Hidden size.
+    pub hidden: u64,
+    /// Intermediate size.
+    pub intermediate: u64,
+    /// Layer count.
+    pub layers: u32,
+    /// Attention heads.
+    pub heads: u32,
+    /// Exact parameter count derived from the architecture.
+    pub exact_params_b: f64,
+    /// Checkpoint size per GPU on 128 GPUs (GB).
+    pub ckpt_per_gpu_gb: f64,
+}
+
+/// Regenerates Table 2, extended with derived sizing.
+pub fn table2() -> Vec<Table2Row> {
+    TABLE2_MODELS
+        .iter()
+        .map(|m| Table2Row {
+            name: m.name,
+            hidden: m.hidden,
+            intermediate: m.intermediate,
+            layers: m.layers,
+            heads: m.heads,
+            exact_params_b: m.exact_params() as f64 / 1e9,
+            ckpt_per_gpu_gb: m.checkpoint_bytes_per_gpu(128).as_gb_f64(),
+        })
+        .collect()
+}
+
+/// Renders Table 2.
+pub fn table2_table() -> Table {
+    let mut t = Table::new(
+        "Table 2: model configurations",
+        &[
+            "Model",
+            "Hidden",
+            "Intermediate",
+            "#Layers",
+            "#AH",
+            "Derived params (B)",
+            "Ckpt/GPU @128 (GB)",
+        ],
+    );
+    for r in table2() {
+        t.push(vec![
+            r.name.to_string(),
+            r.hidden.to_string(),
+            r.intermediate.to_string(),
+            r.layers.to_string(),
+            r.heads.to_string(),
+            format!("{:.1}", r.exact_params_b),
+            format!("{:.2}", r.ckpt_per_gpu_gb),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_rows() {
+        let rows = table1();
+        assert_eq!(rows.len(), 7);
+        let p4d = rows.iter().find(|r| r.name == "p4d.24xlarge").unwrap();
+        assert_eq!(p4d.gpu_mem_gb, 320.0);
+        assert_eq!(p4d.cpu_mem_gb, 1152.0);
+        assert!(p4d.gpus.contains("A100"));
+    }
+
+    #[test]
+    fn table2_has_gpt2_100b_at_9_4gb_per_gpu() {
+        let rows = table2();
+        assert_eq!(rows.len(), 8);
+        let r = rows.iter().find(|r| r.name == "GPT-2 100B").unwrap();
+        assert!((r.ckpt_per_gpu_gb - 9.375).abs() < 0.01);
+        assert_eq!(r.layers, 124);
+    }
+}

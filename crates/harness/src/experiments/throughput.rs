@@ -1,0 +1,190 @@
+//! Figures 7, 8 and 13: training throughput with and without GEMINI.
+
+use crate::report::{secs, Table};
+use crate::scenario::Scenario;
+use gemini_cluster::InstanceType;
+use gemini_training::ModelConfig;
+
+/// One model's throughput numbers.
+#[derive(Clone, Debug)]
+pub struct ThroughputRow {
+    /// Model name.
+    pub model: &'static str,
+    /// Iteration time without checkpointing (s).
+    pub baseline_iteration: f64,
+    /// Iteration time with GEMINI checkpointing every iteration (s).
+    pub gemini_iteration: f64,
+    /// Network idle time without checkpointing (s).
+    pub idle_without: f64,
+    /// NIC time consumed by GEMINI's checkpoint traffic (s).
+    pub ckpt_time: f64,
+    /// Idle time remaining with GEMINI (s).
+    pub idle_with: f64,
+}
+
+fn run(model: &'static ModelConfig, instance: &'static InstanceType) -> ThroughputRow {
+    let scenario = Scenario {
+        model,
+        instance,
+        machines: 16,
+        config: Default::default(),
+        rack_topology: None,
+    };
+    let sys = scenario
+        .build_system(11)
+        .expect("paper scenarios always assemble");
+    let o = &sys.schedule.outcome;
+    ThroughputRow {
+        model: model.name,
+        baseline_iteration: o.baseline_iteration.as_secs_f64(),
+        gemini_iteration: o.iteration_time.as_secs_f64(),
+        idle_without: sys.profile.total_idle().as_secs_f64(),
+        ckpt_time: o.ckpt_network_time.as_secs_f64(),
+        idle_with: o.remaining_idle.as_secs_f64(),
+    }
+}
+
+/// Figure 7: iteration times of the three 100B models on 16 p4d, without
+/// checkpointing and with GEMINI.
+pub fn fig7() -> Vec<ThroughputRow> {
+    ["GPT-2 100B", "RoBERTa 100B", "BERT 100B"]
+        .iter()
+        .map(|n| run(ModelConfig::by_name(n).unwrap(), InstanceType::p4d()))
+        .collect()
+}
+
+/// Figure 8: network idle time and checkpoint time for the same models.
+pub fn fig8() -> Vec<ThroughputRow> {
+    fig7()
+}
+
+/// Figure 13: the p3dn generalization (10B–40B models).
+pub fn fig13() -> Vec<ThroughputRow> {
+    [
+        "GPT-2 10B",
+        "GPT-2 20B",
+        "GPT-2 40B",
+        "RoBERTa 40B",
+        "BERT 40B",
+    ]
+    .iter()
+    .map(|n| run(ModelConfig::by_name(n).unwrap(), InstanceType::p3dn()))
+    .collect()
+}
+
+/// Renders Figure 7.
+pub fn fig7_table() -> Table {
+    let mut t = Table::new(
+        "Figure 7: iteration time on 16 p4d.24xlarge (s)",
+        &["Model", "No checkpoint", "GEMINI", "Overhead"],
+    );
+    for r in fig7() {
+        t.push(vec![
+            r.model.to_string(),
+            secs(r.baseline_iteration),
+            secs(r.gemini_iteration),
+            format!(
+                "{:.2}%",
+                (r.gemini_iteration / r.baseline_iteration - 1.0) * 100.0
+            ),
+        ]);
+    }
+    t
+}
+
+/// Renders Figure 8.
+pub fn fig8_table() -> Table {
+    let mut t = Table::new(
+        "Figure 8: network idle time on 16 p4d.24xlarge (s)",
+        &[
+            "Model",
+            "Idle w/o ckpt",
+            "GEMINI ckpt time",
+            "Idle w/ GEMINI",
+        ],
+    );
+    for r in fig8() {
+        t.push(vec![
+            r.model.to_string(),
+            secs(r.idle_without),
+            secs(r.ckpt_time),
+            secs(r.idle_with),
+        ]);
+    }
+    t
+}
+
+/// Renders Figure 13 (both panels).
+pub fn fig13_table() -> Table {
+    let mut t = Table::new(
+        "Figure 13: 16 p3dn.24xlarge — iteration time and idle time (s)",
+        &[
+            "Model",
+            "Iter no-ckpt",
+            "Iter GEMINI",
+            "Idle w/o ckpt",
+            "Ckpt time",
+            "Idle w/ GEMINI",
+        ],
+    );
+    for r in fig13() {
+        t.push(vec![
+            r.model.to_string(),
+            secs(r.baseline_iteration),
+            secs(r.gemini_iteration),
+            secs(r.idle_without),
+            secs(r.ckpt_time),
+            secs(r.idle_with),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_gemini_adds_no_overhead() {
+        for r in fig7() {
+            let overhead = r.gemini_iteration / r.baseline_iteration - 1.0;
+            assert!(overhead < 0.005, "{}: {overhead:.4}", r.model);
+            assert!((58.0..70.0).contains(&r.baseline_iteration), "{}", r.model);
+        }
+    }
+
+    #[test]
+    fn fig8_idle_time_remains() {
+        for r in fig8() {
+            assert!(r.ckpt_time < 3.0, "{}: ckpt {:.2}s", r.model, r.ckpt_time);
+            assert!(r.idle_with > 0.0, "{}", r.model);
+            // Idle w/o ≈ ckpt + idle w/ (the traffic fills idle time).
+            let sum = r.ckpt_time + r.idle_with;
+            assert!(
+                (sum - r.idle_without).abs() < 0.5,
+                "{}: {sum:.1} vs {:.1}",
+                r.model,
+                r.idle_without
+            );
+        }
+    }
+
+    #[test]
+    fn fig13_models_scale_with_size() {
+        let rows = fig13();
+        assert_eq!(rows.len(), 5);
+        let t10 = rows.iter().find(|r| r.model == "GPT-2 10B").unwrap();
+        let t40 = rows.iter().find(|r| r.model == "GPT-2 40B").unwrap();
+        assert!(t40.baseline_iteration > 3.0 * t10.baseline_iteration);
+        // All fit their idle time with at most sub-second overhead.
+        for r in &rows {
+            assert!(
+                r.gemini_iteration - r.baseline_iteration < 1.0,
+                "{}: {} vs {}",
+                r.model,
+                r.gemini_iteration,
+                r.baseline_iteration
+            );
+        }
+    }
+}

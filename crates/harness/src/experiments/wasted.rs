@@ -1,0 +1,356 @@
+//! Figures 1, 10, 11 and 12: the wasted-time analysis.
+
+use crate::report::{secs, Table};
+use crate::scenario::Scenario;
+use gemini_baselines::remote::{highfreq, strawman, RemoteSetup};
+use gemini_core::ckpt::StorageTier;
+use gemini_core::placement::probability::corollary1_probability;
+use gemini_core::timing::{gemini_ckpt_time, persistent_ckpt_time};
+use gemini_core::wasted::WastedTimeModel;
+use gemini_net::{Bandwidth, TransferCost};
+use gemini_sim::SimDuration;
+
+fn remote_setup(scenario: &Scenario, iteration: SimDuration) -> RemoteSetup {
+    RemoteSetup {
+        total_bytes: scenario.ckpt_bytes_total(),
+        machines: scenario.machines,
+        iteration_time: iteration,
+        storage: scenario.storage_cost(),
+        serialize_bytes_per_sec: scenario.config.serialize_bytes_per_sec,
+    }
+}
+
+/// The Figure 1 anatomy: a failure at iteration 310 with checkpoints every
+/// 100 iterations.
+#[derive(Clone, Debug)]
+pub struct Fig1Row {
+    /// Quantity name.
+    pub what: &'static str,
+    /// Value in iterations (or seconds where noted).
+    pub value: f64,
+}
+
+/// Regenerates the Figure 1 walk-through.
+pub fn fig1() -> Vec<Fig1Row> {
+    let ckpt_every = 100.0f64; // iterations, as in BLOOM
+    let failure_at = 310.0f64;
+    let last_complete = (failure_at / ckpt_every).floor() * ckpt_every - ckpt_every; // ckpt 3 incomplete → roll to 200
+    vec![
+        Fig1Row {
+            what: "checkpoint interval (iterations)",
+            value: ckpt_every,
+        },
+        Fig1Row {
+            what: "failure at iteration",
+            value: failure_at,
+        },
+        Fig1Row {
+            what: "rollback target iteration",
+            value: last_complete,
+        },
+        Fig1Row {
+            what: "lost iterations",
+            value: failure_at - last_complete,
+        },
+        Fig1Row {
+            what: "average lost (iterations, Eq. 1's 1/(2f))",
+            value: ckpt_every / 2.0,
+        },
+    ]
+}
+
+/// Renders Figure 1.
+pub fn fig1_table() -> Table {
+    let mut t = Table::new(
+        "Figure 1: failure-recovery anatomy (checkpoint every 100 iterations)",
+        &["Quantity", "Value"],
+    );
+    for r in fig1() {
+        t.push(vec![r.what.to_string(), format!("{:.0}", r.value)]);
+    }
+    t
+}
+
+/// One bar-group of Figure 10.
+#[derive(Clone, Debug)]
+pub struct Fig10Row {
+    /// Number of instances replaced simultaneously.
+    pub replaced: usize,
+    /// Strawman's average wasted time (minutes).
+    pub strawman_min: f64,
+    /// HighFreq's average wasted time (minutes).
+    pub highfreq_min: f64,
+    /// GEMINI's average wasted time when recovery stays in CPU memory
+    /// (minutes).
+    pub gemini_cpu_min: f64,
+    /// Probability GEMINI recovers from CPU memory at this failure size.
+    pub gemini_cpu_prob: f64,
+    /// GEMINI's expectation over both outcomes (CPU-memory vs degraded to
+    /// Strawman).
+    pub gemini_expected_min: f64,
+}
+
+/// Regenerates Figure 10: average wasted time of GPT-2 100B on 16 p4d with
+/// 0/1/2 replaced instances.
+pub fn fig10() -> Vec<Fig10Row> {
+    let scenario = Scenario::gpt2_100b_p4d();
+    let sys = scenario.build_system(13).expect("scenario assembles");
+    let iter = sys.iteration_time();
+    let setup = remote_setup(&scenario, iter);
+    let strawman_avg = strawman(&setup).wasted.average_wasted().as_secs_f64() / 60.0;
+    let highfreq_avg = highfreq(&setup).wasted.average_wasted().as_secs_f64() / 60.0;
+
+    (0..=2)
+        .map(|replaced| {
+            // GEMINI's regime: checkpoint completes every iteration
+            // (t_ckpt = T_iter from the wasted-time perspective: the state
+            // becomes durable by the end of the iteration it captures).
+            let tier = match replaced {
+                0 => StorageTier::LocalCpu,
+                _ => StorageTier::RemoteCpu,
+            };
+            // t_ckpt = T_iter: the in-memory checkpoint becomes durable by
+            // the end of the iteration whose states it captures.
+            let gemini = WastedTimeModel::new(iter, iter, iter, sys.retrieval_time(tier));
+            let gemini_cpu = gemini.average_wasted().as_secs_f64() / 60.0;
+            let prob = if replaced == 0 {
+                1.0
+            } else {
+                corollary1_probability(scenario.machines, scenario.config.replicas, replaced)
+            };
+            Fig10Row {
+                replaced,
+                strawman_min: strawman_avg,
+                highfreq_min: highfreq_avg,
+                gemini_cpu_min: gemini_cpu,
+                gemini_cpu_prob: prob,
+                gemini_expected_min: prob * gemini_cpu + (1.0 - prob) * strawman_avg,
+            }
+        })
+        .collect()
+}
+
+/// Renders Figure 10.
+pub fn fig10_table() -> Table {
+    let mut t = Table::new(
+        "Figure 10: average wasted time, GPT-2 100B on 16 p4d (minutes)",
+        &[
+            "Replaced",
+            "Strawman",
+            "HighFreq",
+            "GEMINI (CPU mem)",
+            "P(CPU mem)",
+            "GEMINI (expected)",
+        ],
+    );
+    for r in fig10() {
+        t.push(vec![
+            r.replaced.to_string(),
+            format!("{:.1}", r.strawman_min),
+            format!("{:.1}", r.highfreq_min),
+            format!("{:.2}", r.gemini_cpu_min),
+            format!("{:.3}", r.gemini_cpu_prob),
+            format!("{:.2}", r.gemini_expected_min),
+        ]);
+    }
+    t
+}
+
+/// One point of Figure 11.
+#[derive(Clone, Debug)]
+pub struct Fig11Row {
+    /// Number of instances.
+    pub instances: usize,
+    /// Network bandwidth (Gbps).
+    pub bandwidth_gbps: f64,
+    /// GEMINI checkpoint time (s).
+    pub gemini_secs: f64,
+    /// Baseline (persistent storage) checkpoint time (s).
+    pub baseline_secs: f64,
+    /// Reduction factor.
+    pub reduction: f64,
+}
+
+/// Regenerates Figure 11: checkpoint-time reduction vs instances at
+/// 100/200/400 Gbps training networks.
+pub fn fig11() -> Vec<Fig11Row> {
+    let scenario = Scenario::gpt2_100b_p4d();
+    let total = scenario.ckpt_bytes_total();
+    let storage = scenario.storage_cost();
+    let baseline = persistent_ckpt_time(total, &storage).as_secs_f64();
+    let mut rows = Vec::new();
+    for &gbps in &[100.0, 200.0, 400.0] {
+        for &n in &[4usize, 8, 12, 16] {
+            let net = TransferCost::new(
+                scenario.instance.net_alpha,
+                Bandwidth::from_gbps(gbps).scaled(scenario.instance.ckpt_net_efficiency),
+            );
+            let copy = scenario.instance.copy_cost();
+            let g = gemini_ckpt_time(total / n as u64, 2, &net, &copy).as_secs_f64();
+            rows.push(Fig11Row {
+                instances: n,
+                bandwidth_gbps: gbps,
+                gemini_secs: g,
+                baseline_secs: baseline,
+                reduction: baseline / g,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Figure 11.
+pub fn fig11_table() -> Table {
+    let mut t = Table::new(
+        "Figure 11: checkpoint-time reduction of GEMINI over the baselines",
+        &[
+            "Instances",
+            "Bandwidth",
+            "GEMINI (s)",
+            "Baseline (s)",
+            "Reduction",
+        ],
+    );
+    for r in fig11() {
+        t.push(vec![
+            r.instances.to_string(),
+            format!("{:.0}Gbps", r.bandwidth_gbps),
+            secs(r.gemini_secs),
+            secs(r.baseline_secs),
+            format!("{:.0}x", r.reduction),
+        ]);
+    }
+    t
+}
+
+/// One bar of Figure 12.
+#[derive(Clone, Debug)]
+pub struct Fig12Row {
+    /// Solution name.
+    pub solution: &'static str,
+    /// Checkpoints per hour.
+    pub per_hour: f64,
+    /// Checkpoint interval (s).
+    pub interval_secs: f64,
+}
+
+/// Regenerates Figure 12: checkpoint frequencies.
+pub fn fig12() -> Vec<Fig12Row> {
+    let scenario = Scenario::gpt2_100b_p4d();
+    let sys = scenario.build_system(13).expect("scenario assembles");
+    let iter = sys.iteration_time();
+    let setup = remote_setup(&scenario, iter);
+    let s = strawman(&setup);
+    let h = highfreq(&setup);
+    vec![
+        Fig12Row {
+            solution: "GEMINI",
+            per_hour: 3_600.0 / iter.as_secs_f64(),
+            interval_secs: iter.as_secs_f64(),
+        },
+        Fig12Row {
+            solution: "Strawman",
+            per_hour: s.wasted.frequency_per_hour(),
+            interval_secs: s.interval.as_secs_f64(),
+        },
+        Fig12Row {
+            solution: "HighFreq",
+            per_hour: h.wasted.frequency_per_hour(),
+            interval_secs: h.interval.as_secs_f64(),
+        },
+    ]
+}
+
+/// Renders Figure 12.
+pub fn fig12_table() -> Table {
+    let mut t = Table::new(
+        "Figure 12: checkpoint frequency, GPT-2 100B on 16 p4d",
+        &["Solution", "Checkpoints/hour", "Interval (s)"],
+    );
+    for r in fig12() {
+        t.push(vec![
+            r.solution.to_string(),
+            format!("{:.2}", r.per_hour),
+            secs(r.interval_secs),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_rolls_back_to_200() {
+        let rows = fig1();
+        let target = rows
+            .iter()
+            .find(|r| r.what.starts_with("rollback"))
+            .unwrap();
+        assert_eq!(target.value, 200.0);
+        let lost = rows.iter().find(|r| r.what == "lost iterations").unwrap();
+        assert_eq!(lost.value, 110.0);
+    }
+
+    #[test]
+    fn fig10_gemini_wins_by_more_than_13x() {
+        for r in fig10() {
+            // §7.2: software failures cost ≈1.5 iterations.
+            if r.replaced == 0 {
+                let expect = 1.5 * 62.0 / 60.0;
+                assert!(
+                    (r.gemini_cpu_min - expect).abs() < 0.35,
+                    "gemini = {:.2} min",
+                    r.gemini_cpu_min
+                );
+            }
+            // CPU-memory recovery beats HighFreq by >13×.
+            let speedup = r.highfreq_min / r.gemini_cpu_min;
+            assert!(speedup > 13.0, "replaced={}: {speedup:.1}x", r.replaced);
+            // Baselines are flat across failure sizes.
+            assert!((r.strawman_min - fig10()[0].strawman_min).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig10_probabilities() {
+        let rows = fig10();
+        assert_eq!(rows[0].gemini_cpu_prob, 1.0);
+        assert_eq!(rows[1].gemini_cpu_prob, 1.0); // k < m
+        assert!((rows[2].gemini_cpu_prob - 0.933).abs() < 0.001);
+        // The expected value sits between the two outcomes.
+        assert!(rows[2].gemini_expected_min > rows[2].gemini_cpu_min);
+        assert!(rows[2].gemini_expected_min < rows[2].strawman_min);
+    }
+
+    #[test]
+    fn fig11_matches_paper_reductions() {
+        let rows = fig11();
+        // 16 instances, 100 Gbps → ≈65×; 400 Gbps → >250× (§7.2).
+        let r100 = rows
+            .iter()
+            .find(|r| r.instances == 16 && r.bandwidth_gbps == 100.0)
+            .unwrap();
+        assert!((50.0..90.0).contains(&r100.reduction), "{}", r100.reduction);
+        let r400 = rows
+            .iter()
+            .find(|r| r.instances == 16 && r.bandwidth_gbps == 400.0)
+            .unwrap();
+        assert!(r400.reduction > 250.0, "{}", r400.reduction);
+        // Baseline flat, GEMINI improves with N and bandwidth.
+        for w in rows.windows(2) {
+            assert_eq!(w[0].baseline_secs, w[1].baseline_secs);
+        }
+    }
+
+    #[test]
+    fn fig12_frequency_ratios() {
+        let rows = fig12();
+        let g = rows.iter().find(|r| r.solution == "GEMINI").unwrap();
+        let s = rows.iter().find(|r| r.solution == "Strawman").unwrap();
+        let h = rows.iter().find(|r| r.solution == "HighFreq").unwrap();
+        assert!((7.0..11.0).contains(&(g.per_hour / h.per_hour)));
+        assert!(g.per_hour / s.per_hour > 170.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! The experiment harness: end-to-end simulations and the regenerators for
+//! every table and figure in the GEMINI paper's evaluation (§7).
+//!
+//! * [`scenario`] — deployment descriptions (model × instance × machine
+//!   count × GEMINI config) and the assembled [`scenario::GeminiSystem`].
+//! * [`drill`] — the event-driven single-failure recovery drill behind
+//!   Fig. 14: worker heartbeats into the KV store, root detection,
+//!   checkpoint serialization, machine replacement and retrieval, with an
+//!   exact timeline trace.
+//! * [`campaign`] — long-horizon training campaigns with Poisson failure
+//!   injection, producing the *effective training time ratio* of Fig. 15.
+//! * [`runtime`] — a synchronous façade (`train` / `inject_failure` /
+//!   `recover`) over the whole system, carrying real checkpoint bytes.
+//! * [`experiments`] — one function per table/figure returning structured
+//!   rows, plus markdown rendering.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod des_campaign;
+pub mod drill;
+pub mod experiments;
+pub mod replay;
+pub mod report;
+pub mod runtime;
+pub mod scenario;
+
+pub use campaign::{CampaignConfig, CampaignResult, Solution};
+pub use des_campaign::{run_des_campaign, DesCampaignConfig, DesCampaignResult};
+pub use drill::{run_drill, DrillConfig, DrillReport};
+pub use replay::{replay_schedule, ReplayReport};
+pub use runtime::{GeminiRuntime, RecoveryReport};
+pub use scenario::{GeminiSystem, Scenario};

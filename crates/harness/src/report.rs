@@ -1,0 +1,117 @@
+//! Minimal markdown/CSV/JSON table rendering for experiment output.
+
+use serde::Serialize;
+
+/// A rectangular table with a title, headers and string cells.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded, long rows truncated.
+    pub fn push(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders JSON (title, headers, rows).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Renders CSV (no quoting — experiment cells never contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("{}\n", self.headers.join(","));
+        for row in &self.rows {
+            out.push_str(&format!("{}\n", row.join(",")));
+        }
+        out
+    }
+}
+
+/// Formats seconds with a sensible precision.
+pub fn secs(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        t.push(vec!["3".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("| 3 |  |"), "{md}");
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut t = Table::new("Demo", &["a"]);
+        t.push(vec!["1".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"title\": \"Demo\""));
+        assert!(j.contains("\"rows\""));
+        // It parses back.
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["headers"][0], "a");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(123.4), "123");
+        assert_eq!(secs(12.34), "12.3");
+        assert_eq!(secs(0.1234), "0.123");
+        assert_eq!(pct(0.933), "93.3%");
+    }
+}

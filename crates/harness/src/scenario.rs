@@ -1,0 +1,246 @@
+//! Deployment scenarios and the assembled GEMINI system.
+
+use gemini_cluster::{catalog::fsx_storage_cost, Cluster, InstanceType};
+use gemini_core::ckpt::StorageTier;
+use gemini_core::placement::topology::{rack_aware_mixed, Topology};
+use gemini_core::schedule::{schedule_checkpoint, CkptSchedule};
+use gemini_core::timing;
+use gemini_core::{GeminiConfig, GeminiError, HierarchicalStore, Placement};
+use gemini_net::{ByteSize, TransferCost};
+use gemini_sim::{DetRng, SimDuration};
+use gemini_training::{IdleProfile, ModelConfig, OnlineProfiler, TimelineBuilder};
+
+/// A training deployment: which model, on what hardware, at what scale.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The model under training.
+    pub model: &'static ModelConfig,
+    /// The instance type.
+    pub instance: &'static InstanceType,
+    /// Number of machines `N`.
+    pub machines: usize,
+    /// GEMINI's configuration.
+    pub config: GeminiConfig,
+    /// Optional rack topology; when set, Algorithm 1's placement is
+    /// relabeled round-robin across racks so no placement group dies with
+    /// a single top-of-rack switch (extension; §6.1 motivates it).
+    pub rack_topology: Option<Topology>,
+}
+
+impl Scenario {
+    /// The paper's main evaluation setting: GPT-2 100B on 16 p4d.24xlarge.
+    pub fn gpt2_100b_p4d() -> Scenario {
+        Scenario {
+            model: ModelConfig::gpt2_100b(),
+            instance: InstanceType::p4d(),
+            machines: 16,
+            config: GeminiConfig::default(),
+            rack_topology: None,
+        }
+    }
+
+    /// The Fig. 16 setting: GPT-2 40B on 16 p3dn.24xlarge.
+    pub fn gpt2_40b_p3dn() -> Scenario {
+        Scenario {
+            model: ModelConfig::gpt2_40b(),
+            instance: InstanceType::p3dn(),
+            machines: 16,
+            config: GeminiConfig::default(),
+            rack_topology: None,
+        }
+    }
+
+    /// Per-machine checkpoint shard size.
+    pub fn ckpt_bytes_per_machine(&self) -> ByteSize {
+        self.model.checkpoint_bytes_per_machine(self.machines)
+    }
+
+    /// Total model-state bytes.
+    pub fn ckpt_bytes_total(&self) -> ByteSize {
+        self.model.checkpoint_bytes_total()
+    }
+
+    /// The remote persistent storage cost (FSx, 20 Gbps aggregate).
+    pub fn storage_cost(&self) -> TransferCost {
+        fsx_storage_cost()
+    }
+
+    /// Builds the iteration-timeline generator for this scenario.
+    pub fn timeline_builder(&self) -> TimelineBuilder {
+        TimelineBuilder::new(self.model, self.instance, self.machines)
+    }
+
+    /// Runs the online profiler over `config.profile_iterations` jittered
+    /// iterations (the paper's warm-up phase, §5.4).
+    pub fn profile(&self, rng: &mut DetRng) -> IdleProfile {
+        let builder = self.timeline_builder();
+        let mut profiler = OnlineProfiler::new(self.config.profile_iterations);
+        let mut prng = rng.fork("profiling");
+        for _ in 0..self.config.profile_iterations {
+            profiler.observe(&builder.build_jittered(&mut prng, 0.03));
+        }
+        profiler
+            .profile()
+            .expect("profiler window was filled exactly")
+    }
+
+    /// The placement in force: Algorithm 1's mixed strategy, relabeled
+    /// rack-aware when a topology is configured.
+    pub fn placement(&self) -> Result<Placement, GeminiError> {
+        match &self.rack_topology {
+            Some(topology) => rack_aware_mixed(topology, self.config.replicas),
+            None => Placement::mixed(self.machines, self.config.replicas),
+        }
+    }
+
+    /// Assembles the full system (placement, stores, schedule).
+    pub fn build_system(&self, seed: u64) -> Result<GeminiSystem, GeminiError> {
+        let mut rng = DetRng::new(seed);
+        let placement = self.placement()?;
+        let store = HierarchicalStore::new(placement.clone(), self.ckpt_bytes_per_machine());
+        store.validate_memory(self.instance.cpu_mem)?;
+        let profile = self.profile(&mut rng);
+        let schedule = schedule_checkpoint(
+            &profile,
+            self.ckpt_bytes_per_machine(),
+            self.instance.gpus,
+            &self.config,
+            &self.instance.ckpt_net_cost(),
+            &self.instance.copy_cost(),
+            self.instance.gpu_headroom,
+        )?;
+        Ok(GeminiSystem {
+            scenario: self.clone(),
+            cluster: Cluster::new(self.instance, self.machines),
+            placement,
+            store,
+            profile,
+            schedule,
+            rng,
+        })
+    }
+}
+
+/// A fully assembled GEMINI deployment, ready to train and fail.
+pub struct GeminiSystem {
+    /// The scenario it was built from.
+    pub scenario: Scenario,
+    /// The machine fleet.
+    pub cluster: Cluster,
+    /// The checkpoint placement in force.
+    pub placement: Placement,
+    /// The hierarchical checkpoint store.
+    pub store: HierarchicalStore,
+    /// The profiled idle-span profile.
+    pub profile: IdleProfile,
+    /// The per-iteration checkpoint schedule.
+    pub schedule: CkptSchedule,
+    /// The system's deterministic RNG.
+    pub rng: DetRng,
+}
+
+impl GeminiSystem {
+    /// Iteration time with checkpointing enabled.
+    pub fn iteration_time(&self) -> SimDuration {
+        self.schedule.outcome.iteration_time
+    }
+
+    /// Retrieval time from a given tier for one machine's shard.
+    pub fn retrieval_time(&self, tier: StorageTier) -> SimDuration {
+        timing::retrieval_time(
+            tier,
+            self.scenario.ckpt_bytes_per_machine(),
+            self.scenario.machines,
+            &self.scenario.instance.ckpt_net_cost(),
+            &self.scenario.instance.copy_cost(),
+            &self.scenario.storage_cost(),
+        )
+    }
+
+    /// Time to serialize the replicas a machine holds when a failure
+    /// triggers `torch.save()` (`m` shards: its own + hosted peers').
+    pub fn serialize_time(&self) -> SimDuration {
+        self.scenario.config.serialize_time(
+            self.scenario.ckpt_bytes_per_machine() * self.scenario.config.replicas as u64,
+        )
+    }
+
+    /// GEMINI's bulk checkpoint time (Figs. 11/12).
+    pub fn bulk_ckpt_time(&self) -> SimDuration {
+        timing::gemini_ckpt_time(
+            self.scenario.ckpt_bytes_per_machine(),
+            self.scenario.config.replicas,
+            &self.scenario.instance.ckpt_net_cost(),
+            &self.scenario.instance.copy_cost(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_scenario_assembles() {
+        let sys = Scenario::gpt2_100b_p4d().build_system(1).unwrap();
+        assert_eq!(sys.cluster.len(), 16);
+        assert_eq!(sys.placement.machines(), 16);
+        assert!(sys.schedule.is_interference_free());
+        // 62-65 s iterations.
+        let iter = sys.iteration_time().as_secs_f64();
+        assert!((58.0..68.0).contains(&iter), "iter = {iter:.1}");
+    }
+
+    #[test]
+    fn serialize_time_is_about_162s() {
+        // §7.3: 162 s to serialize the two checkpoint replicas a machine
+        // holds (2 × 75 GB at ≈0.93 GB/s).
+        let sys = Scenario::gpt2_100b_p4d().build_system(1).unwrap();
+        let t = sys.serialize_time().as_secs_f64();
+        assert!((t - 161.3).abs() < 3.0, "t = {t:.1}");
+    }
+
+    #[test]
+    fn retrieval_ladder() {
+        let sys = Scenario::gpt2_100b_p4d().build_system(1).unwrap();
+        let local = sys.retrieval_time(StorageTier::LocalCpu);
+        let remote = sys.retrieval_time(StorageTier::RemoteCpu);
+        let persist = sys.retrieval_time(StorageTier::Persistent);
+        assert!(local < remote && remote < persist);
+        assert!(remote.as_secs_f64() < 5.0);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = Scenario::gpt2_100b_p4d().build_system(7).unwrap();
+        let b = Scenario::gpt2_100b_p4d().build_system(7).unwrap();
+        assert_eq!(a.profile.iteration_time, b.profile.iteration_time);
+        assert_eq!(
+            a.schedule.outcome.ckpt_network_time,
+            b.schedule.outcome.ckpt_network_time
+        );
+    }
+
+    #[test]
+    fn rack_aware_scenario_assembles_and_spans_racks() {
+        let mut scenario = Scenario::gpt2_100b_p4d();
+        scenario.rack_topology = Some(Topology::contiguous(16, 4).unwrap());
+        let sys = scenario.build_system(3).unwrap();
+        let topo = scenario.rack_topology.as_ref().unwrap();
+        for group in sys.placement.groups() {
+            let racks: std::collections::BTreeSet<usize> = group
+                .members
+                .iter()
+                .map(|&m| topo.rack_of(m).unwrap())
+                .collect();
+            assert_eq!(racks.len(), group.members.len());
+        }
+        assert!(sys.schedule.is_interference_free());
+    }
+
+    #[test]
+    fn p3dn_scenario_assembles() {
+        let sys = Scenario::gpt2_40b_p3dn().build_system(2).unwrap();
+        assert!(sys.schedule.outcome.overhead < SimDuration::from_secs(1));
+    }
+}

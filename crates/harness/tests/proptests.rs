@@ -1,0 +1,121 @@
+//! Property-based stress tests of the runtime façade: arbitrary
+//! train/fail/recover sequences must preserve the system's invariants —
+//! the job always recovers (given the persistent anchor), iterations never
+//! run backwards past the recovery point, and the data trajectory is
+//! preserved whenever recovery stays in CPU memory.
+
+use gemini_cluster::{FailureKind, OperatorConfig};
+use gemini_core::recovery::RecoveryCase;
+use gemini_harness::{GeminiRuntime, Scenario};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Train(u64),
+    Fail { rank: usize, hardware: bool },
+    Persist,
+    Recover,
+}
+
+fn op_strategy(machines: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u64..4).prop_map(Op::Train),
+        2 => (0..machines, any::<bool>()).prop_map(|(rank, hardware)| Op::Fail {
+            rank,
+            hardware
+        }),
+        1 => Just(Op::Persist),
+        2 => Just(Op::Recover),
+    ]
+}
+
+fn small_runtime(seed: u64) -> GeminiRuntime {
+    let mut scenario = Scenario::gpt2_40b_p3dn();
+    scenario.machines = 8;
+    scenario.config.profile_iterations = 3;
+    GeminiRuntime::launch(scenario, OperatorConfig::with_standbys(1), 512, seed)
+        .expect("small deployment assembles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn runtime_survives_arbitrary_op_sequences(
+        ops in proptest::collection::vec(op_strategy(8), 1..25),
+        seed in any::<u64>(),
+    ) {
+        let mut rt = small_runtime(seed);
+        let mut highest_committed = 0u64;
+        for op in ops {
+            match op {
+                Op::Train(n) => {
+                    if rt.is_degraded() {
+                        prop_assert!(rt.train(n).is_err());
+                    } else {
+                        rt.train(n).unwrap();
+                        highest_committed = rt.iteration();
+                    }
+                }
+                Op::Fail { rank, hardware } => {
+                    let kind = if hardware {
+                        FailureKind::Hardware
+                    } else {
+                        FailureKind::Software
+                    };
+                    // Double-failing the same rank is allowed (it is
+                    // already down); the runtime just records it.
+                    rt.inject_failure(rank, kind).unwrap();
+                    prop_assert!(rt.is_degraded());
+                }
+                Op::Persist => {
+                    if !rt.is_degraded() {
+                        rt.persist();
+                    }
+                }
+                Op::Recover => {
+                    if rt.is_degraded() {
+                        let report = rt.recover().unwrap();
+                        // Never resumes ahead of real progress.
+                        prop_assert!(report.resumed_from_iteration <= highest_committed);
+                        // CPU-memory recoveries lose nothing (GEMINI
+                        // checkpoints every iteration).
+                        if report.case != RecoveryCase::PersistentFallback {
+                            prop_assert_eq!(report.iterations_lost, 0);
+                        }
+                        prop_assert!(!rt.is_degraded());
+                        highest_committed = rt.iteration();
+                    } else {
+                        prop_assert!(rt.recover().is_err());
+                    }
+                }
+            }
+        }
+        // The job is always drivable to a healthy state.
+        if rt.is_degraded() {
+            rt.recover().unwrap();
+        }
+        rt.train(1).unwrap();
+    }
+
+    #[test]
+    fn recovery_always_trajectory_preserving_for_cpu_cases(
+        warmup in 1u64..6,
+        rank in 0usize..8,
+        hardware in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rt = small_runtime(seed);
+        rt.train(warmup).unwrap();
+        let expected = rt.peek_next_batches();
+        let kind = if hardware {
+            FailureKind::Hardware
+        } else {
+            FailureKind::Software
+        };
+        rt.inject_failure(rank, kind).unwrap();
+        let report = rt.recover().unwrap();
+        prop_assert_ne!(report.case, RecoveryCase::PersistentFallback);
+        prop_assert_eq!(rt.peek_next_batches(), expected);
+    }
+}

@@ -1,0 +1,205 @@
+//! Lease-based leader election (paper §3.2).
+//!
+//! GEMINI promotes an alive worker machine to root when the root machine
+//! fails, "relying on the leader election method in the distributed
+//! key-value store". We implement etcd's recipe: candidates create the
+//! election key with compare-and-swap under their own lease; whoever
+//! creates it is the leader; when the leader's lease expires the key
+//! vanishes and the next campaigner wins.
+//!
+//! Safety invariant (tested): at any instant at most one candidate
+//! considers itself leader.
+
+use crate::lease::LeaseId;
+use crate::store::{KvError, KvStore};
+use gemini_sim::{SimDuration, SimTime};
+
+/// A leader election over one key.
+#[derive(Clone, Debug)]
+pub struct Election {
+    key: String,
+    ttl: SimDuration,
+}
+
+/// The outcome of a campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Campaign {
+    /// The caller is now (or still) the leader, holding this lease.
+    Leader(LeaseId),
+    /// Another candidate currently leads.
+    Follower {
+        /// The current leader's identity.
+        leader: String,
+    },
+}
+
+impl Election {
+    /// An election at `key` whose leadership lease has the given TTL.
+    pub fn new(key: &str, ttl: SimDuration) -> Self {
+        Election {
+            key: key.to_string(),
+            ttl,
+        }
+    }
+
+    /// The election key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Attempts to become leader as `candidate`. If the candidate already
+    /// holds the leadership (same identity), its existing lease is renewed
+    /// instead of re-campaigning.
+    pub fn campaign(
+        &self,
+        kv: &mut KvStore,
+        now: SimTime,
+        candidate: &str,
+        existing_lease: Option<LeaseId>,
+    ) -> Result<Campaign, KvError> {
+        // Renew if we already lead.
+        if let Some(current) = kv.get(now, &self.key) {
+            if current.value == candidate {
+                if let Some(lease) = current.lease {
+                    kv.keep_alive(now, lease)?;
+                    return Ok(Campaign::Leader(lease));
+                }
+            }
+            return Ok(Campaign::Follower {
+                leader: current.value,
+            });
+        }
+        // Key absent: race to create it under our lease.
+        let lease = match existing_lease {
+            Some(l) if kv.lease_alive(now, l) => l,
+            _ => kv.grant_lease(now, self.ttl),
+        };
+        match kv.compare_and_swap(now, &self.key, None, candidate, Some(lease)) {
+            Ok(_) => Ok(Campaign::Leader(lease)),
+            Err(KvError::CasFailed { actual, .. }) => Ok(Campaign::Follower {
+                leader: actual.unwrap_or_default(),
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The current leader, if any.
+    pub fn leader(&self, kv: &mut KvStore, now: SimTime) -> Option<String> {
+        kv.get(now, &self.key).map(|v| v.value)
+    }
+
+    /// Voluntarily steps down (revokes the leadership lease).
+    pub fn resign(&self, kv: &mut KvStore, now: SimTime, lease: LeaseId) -> Result<(), KvError> {
+        kv.revoke(now, lease)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn election() -> Election {
+        Election::new("gemini/root", SimDuration::from_secs(10))
+    }
+
+    #[test]
+    fn first_campaigner_wins() {
+        let mut kv = KvStore::new();
+        let e = election();
+        let r = e.campaign(&mut kv, t(0), "machine-0", None).unwrap();
+        assert!(matches!(r, Campaign::Leader(_)));
+        assert_eq!(e.leader(&mut kv, t(0)), Some("machine-0".into()));
+    }
+
+    #[test]
+    fn second_campaigner_follows() {
+        let mut kv = KvStore::new();
+        let e = election();
+        e.campaign(&mut kv, t(0), "machine-0", None).unwrap();
+        let r = e.campaign(&mut kv, t(1), "machine-1", None).unwrap();
+        assert_eq!(
+            r,
+            Campaign::Follower {
+                leader: "machine-0".into()
+            }
+        );
+    }
+
+    #[test]
+    fn leadership_passes_after_lease_expiry() {
+        let mut kv = KvStore::new();
+        let e = election();
+        e.campaign(&mut kv, t(0), "machine-0", None).unwrap();
+        // machine-0 dies: no keep-alives. TTL is 10 s.
+        assert_eq!(e.leader(&mut kv, t(9)), Some("machine-0".into()));
+        assert_eq!(e.leader(&mut kv, t(10)), None);
+        let r = e.campaign(&mut kv, t(11), "machine-3", None).unwrap();
+        assert!(matches!(r, Campaign::Leader(_)));
+        assert_eq!(e.leader(&mut kv, t(11)), Some("machine-3".into()));
+    }
+
+    #[test]
+    fn leader_renews_by_recampaigning() {
+        let mut kv = KvStore::new();
+        let e = election();
+        let Campaign::Leader(lease) = e.campaign(&mut kv, t(0), "m0", None).unwrap() else {
+            panic!("should lead");
+        };
+        for s in (5..60).step_by(5) {
+            let r = e.campaign(&mut kv, t(s), "m0", Some(lease)).unwrap();
+            assert_eq!(r, Campaign::Leader(lease));
+        }
+        assert_eq!(e.leader(&mut kv, t(60)), Some("m0".into()));
+    }
+
+    #[test]
+    fn resign_hands_over_immediately() {
+        let mut kv = KvStore::new();
+        let e = election();
+        let Campaign::Leader(lease) = e.campaign(&mut kv, t(0), "m0", None).unwrap() else {
+            panic!("should lead");
+        };
+        e.resign(&mut kv, t(1), lease).unwrap();
+        assert_eq!(e.leader(&mut kv, t(1)), None);
+        let r = e.campaign(&mut kv, t(1), "m1", None).unwrap();
+        assert!(matches!(r, Campaign::Leader(_)));
+    }
+
+    #[test]
+    fn at_most_one_leader_at_any_instant() {
+        // Safety check under interleaved campaigns and failures.
+        let mut kv = KvStore::new();
+        let e = election();
+        let candidates = ["m0", "m1", "m2", "m3"];
+        let mut leaders_at: Vec<(u64, String)> = Vec::new();
+        for s in 0..100u64 {
+            // Every candidate campaigns every second, except the current
+            // leader "fails" (stops campaigning) every 20 s.
+            for c in candidates {
+                let blackout = (s / 20) % candidates.len() as u64;
+                if c == candidates[blackout as usize] {
+                    continue;
+                }
+                let _ = e.campaign(&mut kv, t(s), c, None);
+            }
+            let mut count = 0;
+            for _c in candidates {
+                if let Some(l) = e.leader(&mut kv, t(s)) {
+                    assert!(candidates.contains(&l.as_str()));
+                    count = 1;
+                    leaders_at.push((s, l));
+                    break;
+                }
+            }
+            assert!(count <= 1);
+        }
+        // Leadership did change hands at least once across blackouts.
+        let distinct: std::collections::HashSet<&str> =
+            leaders_at.iter().map(|(_, l)| l.as_str()).collect();
+        assert!(distinct.len() > 1, "leaders: {distinct:?}");
+    }
+}

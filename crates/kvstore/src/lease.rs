@@ -1,0 +1,102 @@
+//! TTL leases, the liveness primitive of the store.
+//!
+//! A client grants a lease with a time-to-live, attaches keys to it (its
+//! health-status key, its election candidacy) and must keep it alive with
+//! periodic heartbeats. When the client dies, the keep-alives stop, the
+//! lease expires and every attached key is deleted — which is how the root
+//! agent notices a worker is gone, and how workers notice the root is gone.
+
+use gemini_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a lease.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct LeaseId(pub u64);
+
+impl core::fmt::Display for LeaseId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "lease-{}", self.0)
+    }
+}
+
+/// A granted lease.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lease {
+    /// The lease's id.
+    pub id: LeaseId,
+    /// Its time-to-live; each keep-alive pushes the deadline `ttl` ahead.
+    pub ttl: SimDuration,
+    /// The instant at which it expires unless refreshed.
+    pub deadline: SimTime,
+    /// Keys attached to this lease (deleted on expiry/revocation).
+    pub keys: Vec<String>,
+}
+
+impl Lease {
+    /// Creates a lease granted at `now`.
+    pub fn granted(id: LeaseId, now: SimTime, ttl: SimDuration) -> Self {
+        Lease {
+            id,
+            ttl,
+            deadline: now + ttl,
+            keys: Vec::new(),
+        }
+    }
+
+    /// Whether the lease is expired at `now`.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        now >= self.deadline
+    }
+
+    /// Refreshes the deadline to `now + ttl`.
+    pub fn keep_alive(&mut self, now: SimTime) {
+        self.deadline = now + self.ttl;
+    }
+
+    /// Attaches a key (idempotent).
+    pub fn attach(&mut self, key: &str) {
+        if !self.keys.iter().any(|k| k == key) {
+            self.keys.push(key.to_string());
+        }
+    }
+
+    /// Detaches a key.
+    pub fn detach(&mut self, key: &str) {
+        self.keys.retain(|k| k != key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_expires_after_ttl() {
+        let l = Lease::granted(
+            LeaseId(1),
+            SimTime::from_secs(10),
+            SimDuration::from_secs(5),
+        );
+        assert!(!l.is_expired(SimTime::from_secs(14)));
+        assert!(l.is_expired(SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn keep_alive_extends_deadline() {
+        let mut l = Lease::granted(LeaseId(1), SimTime::ZERO, SimDuration::from_secs(5));
+        l.keep_alive(SimTime::from_secs(4));
+        assert!(!l.is_expired(SimTime::from_secs(8)));
+        assert!(l.is_expired(SimTime::from_secs(9)));
+    }
+
+    #[test]
+    fn attach_is_idempotent() {
+        let mut l = Lease::granted(LeaseId(1), SimTime::ZERO, SimDuration::from_secs(5));
+        l.attach("a");
+        l.attach("a");
+        l.attach("b");
+        assert_eq!(l.keys, vec!["a", "b"]);
+        l.detach("a");
+        assert_eq!(l.keys, vec!["b"]);
+    }
+}

@@ -1,0 +1,504 @@
+//! The revisioned key-value store.
+//!
+//! Semantics follow etcd: every mutation bumps a global revision; keys may
+//! be attached to leases; leases expire lazily as simulated time advances
+//! (every public operation takes `now` and first retires anything overdue);
+//! watchers receive every change to their prefix in revision order.
+
+use crate::lease::{Lease, LeaseId};
+use crate::watch::{EventKind, WatchEvent, Watcher};
+use gemini_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// A store revision (monotonically increasing with every mutation).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Revision(pub u64);
+
+/// A stored value with its version metadata.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionedValue {
+    /// The value.
+    pub value: String,
+    /// Revision at which the key was created.
+    pub create_revision: Revision,
+    /// Revision of the last modification.
+    pub mod_revision: Revision,
+    /// The lease the key is attached to, if any.
+    pub lease: Option<LeaseId>,
+}
+
+/// Errors from store operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvError {
+    /// The key does not exist.
+    KeyNotFound(String),
+    /// The lease does not exist (or already expired).
+    LeaseNotFound(LeaseId),
+    /// A compare-and-swap found a different current value.
+    CasFailed {
+        /// The key the CAS targeted.
+        key: String,
+        /// The value actually present (`None` if the key was absent).
+        actual: Option<String>,
+    },
+    /// The watcher id is unknown.
+    WatcherNotFound(usize),
+}
+
+impl core::fmt::Display for KvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KvError::KeyNotFound(k) => write!(f, "key not found: {k}"),
+            KvError::LeaseNotFound(id) => write!(f, "lease not found: {id}"),
+            KvError::CasFailed { key, actual } => {
+                write!(f, "compare-and-swap failed on {key} (actual: {actual:?})")
+            }
+            KvError::WatcherNotFound(id) => write!(f, "watcher not found: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Handle to a registered watcher.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WatcherId(usize);
+
+/// The store.
+///
+/// # Examples
+///
+/// ```
+/// use gemini_kvstore::KvStore;
+/// use gemini_sim::{SimDuration, SimTime};
+///
+/// let mut kv = KvStore::new();
+/// let lease = kv.grant_lease(SimTime::ZERO, SimDuration::from_secs(15));
+/// kv.put(SimTime::ZERO, "gemini/health/3", "healthy", Some(lease))?;
+///
+/// // Without keep-alives the key lapses after the TTL — the failure
+/// // detection signal GEMINI's root agent watches for.
+/// assert!(kv.get(SimTime::from_secs(14), "gemini/health/3").is_some());
+/// assert!(kv.get(SimTime::from_secs(15), "gemini/health/3").is_none());
+/// # Ok::<(), gemini_kvstore::KvError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct KvStore {
+    map: BTreeMap<String, VersionedValue>,
+    revision: u64,
+    leases: HashMap<u64, Lease>,
+    next_lease: u64,
+    watchers: Vec<Watcher>,
+}
+
+impl KvStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// The current revision.
+    pub fn revision(&self) -> Revision {
+        Revision(self.revision)
+    }
+
+    fn bump(&mut self) -> Revision {
+        self.revision += 1;
+        Revision(self.revision)
+    }
+
+    fn notify(&mut self, ev: WatchEvent) {
+        for w in &mut self.watchers {
+            if ev.key.starts_with(&w.prefix) {
+                w.pending.push(ev.clone());
+            }
+        }
+    }
+
+    /// Retires every lease overdue at `now`, deleting attached keys.
+    /// Called implicitly by all time-taking operations; public so agents
+    /// can force expiry processing on their heartbeat.
+    pub fn tick(&mut self, now: SimTime) {
+        let expired: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.is_expired(now))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            if let Some(lease) = self.leases.remove(&id) {
+                for key in lease.keys {
+                    if let Some(old) = self.map.remove(&key) {
+                        let revision = self.bump();
+                        self.notify(WatchEvent {
+                            revision,
+                            key,
+                            kind: EventKind::Expired,
+                            value: old.value,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Grants a lease with the given TTL.
+    pub fn grant_lease(&mut self, now: SimTime, ttl: SimDuration) -> LeaseId {
+        self.tick(now);
+        let id = LeaseId(self.next_lease);
+        self.next_lease += 1;
+        self.leases.insert(id.0, Lease::granted(id, now, ttl));
+        id
+    }
+
+    /// Refreshes a lease; errors if it already expired.
+    pub fn keep_alive(&mut self, now: SimTime, id: LeaseId) -> Result<(), KvError> {
+        self.tick(now);
+        self.leases
+            .get_mut(&id.0)
+            .map(|l| l.keep_alive(now))
+            .ok_or(KvError::LeaseNotFound(id))
+    }
+
+    /// Revokes a lease, deleting all attached keys.
+    pub fn revoke(&mut self, now: SimTime, id: LeaseId) -> Result<(), KvError> {
+        self.tick(now);
+        let lease = self
+            .leases
+            .remove(&id.0)
+            .ok_or(KvError::LeaseNotFound(id))?;
+        for key in lease.keys {
+            if let Some(old) = self.map.remove(&key) {
+                let revision = self.bump();
+                self.notify(WatchEvent {
+                    revision,
+                    key,
+                    kind: EventKind::Delete,
+                    value: old.value,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a lease is currently live.
+    pub fn lease_alive(&mut self, now: SimTime, id: LeaseId) -> bool {
+        self.tick(now);
+        self.leases.contains_key(&id.0)
+    }
+
+    /// Puts `value` at `key`, optionally attached to a lease.
+    pub fn put(
+        &mut self,
+        now: SimTime,
+        key: &str,
+        value: &str,
+        lease: Option<LeaseId>,
+    ) -> Result<Revision, KvError> {
+        self.tick(now);
+        if let Some(id) = lease {
+            let l = self
+                .leases
+                .get_mut(&id.0)
+                .ok_or(KvError::LeaseNotFound(id))?;
+            l.attach(key);
+        }
+        let revision = self.bump();
+        match self.map.get_mut(key) {
+            Some(existing) => {
+                // Re-putting under a different (or no) lease detaches the
+                // key from its previous lease, matching etcd semantics —
+                // otherwise the old lease's expiry would delete the new
+                // value.
+                if existing.lease != lease {
+                    if let Some(old) = existing.lease {
+                        if let Some(l) = self.leases.get_mut(&old.0) {
+                            l.detach(key);
+                        }
+                    }
+                }
+                existing.value = value.to_string();
+                existing.mod_revision = revision;
+                existing.lease = lease;
+            }
+            None => {
+                self.map.insert(
+                    key.to_string(),
+                    VersionedValue {
+                        value: value.to_string(),
+                        create_revision: revision,
+                        mod_revision: revision,
+                        lease,
+                    },
+                );
+            }
+        }
+        self.notify(WatchEvent {
+            revision,
+            key: key.to_string(),
+            kind: EventKind::Put,
+            value: value.to_string(),
+        });
+        Ok(revision)
+    }
+
+    /// Reads a key.
+    pub fn get(&mut self, now: SimTime, key: &str) -> Option<VersionedValue> {
+        self.tick(now);
+        self.map.get(key).cloned()
+    }
+
+    /// All key/value pairs under a prefix, in key order.
+    pub fn range(&mut self, now: SimTime, prefix: &str) -> Vec<(String, VersionedValue)> {
+        self.tick(now);
+        self.map
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Deletes a key.
+    pub fn delete(&mut self, now: SimTime, key: &str) -> Result<Revision, KvError> {
+        self.tick(now);
+        let old = self
+            .map
+            .remove(key)
+            .ok_or_else(|| KvError::KeyNotFound(key.to_string()))?;
+        if let Some(id) = old.lease {
+            if let Some(l) = self.leases.get_mut(&id.0) {
+                l.detach(key);
+            }
+        }
+        let revision = self.bump();
+        self.notify(WatchEvent {
+            revision,
+            key: key.to_string(),
+            kind: EventKind::Delete,
+            value: old.value,
+        });
+        Ok(revision)
+    }
+
+    /// Atomically sets `key` to `new` if its current value equals `expect`
+    /// (`None` means "key must be absent").
+    pub fn compare_and_swap(
+        &mut self,
+        now: SimTime,
+        key: &str,
+        expect: Option<&str>,
+        new: &str,
+        lease: Option<LeaseId>,
+    ) -> Result<Revision, KvError> {
+        self.tick(now);
+        let actual = self.map.get(key).map(|v| v.value.clone());
+        if actual.as_deref() != expect {
+            return Err(KvError::CasFailed {
+                key: key.to_string(),
+                actual,
+            });
+        }
+        self.put(now, key, new, lease)
+    }
+
+    /// Registers a watch over `prefix`.
+    pub fn watch(&mut self, prefix: &str) -> WatcherId {
+        self.watchers.push(Watcher {
+            prefix: prefix.to_string(),
+            pending: Vec::new(),
+        });
+        WatcherId(self.watchers.len() - 1)
+    }
+
+    /// Drains pending events for a watcher.
+    pub fn poll_watch(&mut self, now: SimTime, id: WatcherId) -> Result<Vec<WatchEvent>, KvError> {
+        self.tick(now);
+        self.watchers
+            .get_mut(id.0)
+            .map(Watcher::drain)
+            .ok_or(KvError::WatcherNotFound(id.0))
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn put_get_roundtrip_bumps_revision() {
+        let mut kv = KvStore::new();
+        let r1 = kv.put(t(0), "a", "1", None).unwrap();
+        let r2 = kv.put(t(0), "a", "2", None).unwrap();
+        assert!(r2 > r1);
+        let v = kv.get(t(0), "a").unwrap();
+        assert_eq!(v.value, "2");
+        assert_eq!(v.mod_revision, r2);
+        assert_eq!(v.create_revision, r1);
+    }
+
+    #[test]
+    fn delete_removes_and_errors_when_absent() {
+        let mut kv = KvStore::new();
+        kv.put(t(0), "a", "1", None).unwrap();
+        kv.delete(t(0), "a").unwrap();
+        assert!(kv.get(t(0), "a").is_none());
+        assert!(matches!(kv.delete(t(0), "a"), Err(KvError::KeyNotFound(_))));
+    }
+
+    #[test]
+    fn range_returns_prefix_in_order() {
+        let mut kv = KvStore::new();
+        kv.put(t(0), "health/2", "ok", None).unwrap();
+        kv.put(t(0), "health/0", "ok", None).unwrap();
+        kv.put(t(0), "other/x", "no", None).unwrap();
+        kv.put(t(0), "health/1", "bad", None).unwrap();
+        let keys: Vec<String> = kv
+            .range(t(0), "health/")
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(keys, vec!["health/0", "health/1", "health/2"]);
+    }
+
+    #[test]
+    fn lease_expiry_deletes_attached_keys() {
+        let mut kv = KvStore::new();
+        let lease = kv.grant_lease(t(0), SimDuration::from_secs(10));
+        kv.put(t(0), "health/0", "ok", Some(lease)).unwrap();
+        assert!(kv.get(t(5), "health/0").is_some());
+        // No keep-alive: the key vanishes at t=10.
+        assert!(kv.get(t(10), "health/0").is_none());
+        assert!(!kv.lease_alive(t(10), lease));
+    }
+
+    #[test]
+    fn keep_alive_preserves_keys() {
+        let mut kv = KvStore::new();
+        let lease = kv.grant_lease(t(0), SimDuration::from_secs(10));
+        kv.put(t(0), "health/0", "ok", Some(lease)).unwrap();
+        for s in (5..50).step_by(5) {
+            kv.keep_alive(t(s), lease).unwrap();
+        }
+        assert!(kv.get(t(50), "health/0").is_some());
+    }
+
+    #[test]
+    fn keep_alive_after_expiry_errors() {
+        let mut kv = KvStore::new();
+        let lease = kv.grant_lease(t(0), SimDuration::from_secs(5));
+        assert_eq!(
+            kv.keep_alive(t(6), lease),
+            Err(KvError::LeaseNotFound(lease))
+        );
+    }
+
+    #[test]
+    fn revoke_deletes_keys_immediately() {
+        let mut kv = KvStore::new();
+        let lease = kv.grant_lease(t(0), SimDuration::from_secs(100));
+        kv.put(t(0), "a", "1", Some(lease)).unwrap();
+        kv.put(t(0), "b", "2", Some(lease)).unwrap();
+        kv.revoke(t(1), lease).unwrap();
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn cas_succeeds_on_match_and_fails_otherwise() {
+        let mut kv = KvStore::new();
+        // Create-if-absent.
+        kv.compare_and_swap(t(0), "leader", None, "m0", None)
+            .unwrap();
+        // Second create-if-absent loses.
+        let err = kv
+            .compare_and_swap(t(0), "leader", None, "m1", None)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            KvError::CasFailed {
+                key: "leader".into(),
+                actual: Some("m0".into())
+            }
+        );
+        // Swap with correct expectation wins.
+        kv.compare_and_swap(t(0), "leader", Some("m0"), "m1", None)
+            .unwrap();
+        assert_eq!(kv.get(t(0), "leader").unwrap().value, "m1");
+    }
+
+    #[test]
+    fn watch_sees_puts_deletes_and_expiry() {
+        let mut kv = KvStore::new();
+        let w = kv.watch("health/");
+        let lease = kv.grant_lease(t(0), SimDuration::from_secs(5));
+        kv.put(t(0), "health/0", "ok", Some(lease)).unwrap();
+        kv.put(t(0), "other/x", "ignored", None).unwrap();
+        kv.put(t(1), "health/1", "ok", None).unwrap();
+        kv.delete(t(2), "health/1").unwrap();
+        // Lease expires at t=5; tick happens on the poll.
+        let events = kv.poll_watch(t(6), w).unwrap();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Put,
+                EventKind::Put,
+                EventKind::Delete,
+                EventKind::Expired
+            ]
+        );
+        assert!(events.iter().all(|e| e.key.starts_with("health/")));
+        // Revisions strictly increase.
+        for pair in events.windows(2) {
+            assert!(pair[0].revision < pair[1].revision);
+        }
+    }
+
+    #[test]
+    fn poll_watch_unknown_id_errors() {
+        let mut kv = KvStore::new();
+        let w = kv.watch("x");
+        kv.poll_watch(t(0), w).unwrap();
+        assert!(matches!(
+            kv.poll_watch(t(0), WatcherId(99)),
+            Err(KvError::WatcherNotFound(99))
+        ));
+    }
+
+    #[test]
+    fn delete_detaches_from_lease() {
+        let mut kv = KvStore::new();
+        let lease = kv.grant_lease(t(0), SimDuration::from_secs(5));
+        kv.put(t(0), "a", "1", Some(lease)).unwrap();
+        kv.delete(t(1), "a").unwrap();
+        // Re-create without lease; expiry must not delete it.
+        kv.put(t(2), "a", "2", None).unwrap();
+        assert!(kv.get(t(10), "a").is_some());
+    }
+
+    #[test]
+    fn put_with_dead_lease_errors() {
+        let mut kv = KvStore::new();
+        let lease = kv.grant_lease(t(0), SimDuration::from_secs(1));
+        assert_eq!(
+            kv.put(t(5), "a", "1", Some(lease)),
+            Err(KvError::LeaseNotFound(lease))
+        );
+    }
+}

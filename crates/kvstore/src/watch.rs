@@ -1,0 +1,79 @@
+//! Watches: revisioned change feeds over key prefixes.
+//!
+//! Consumers poll their [`Watcher`] for events — a natural fit for the
+//! discrete-event loop, where agents wake on their heartbeat timer and
+//! drain whatever changed since their last visit.
+
+use crate::store::Revision;
+use serde::{Deserialize, Serialize};
+
+/// What happened to a key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The key was created or updated.
+    Put,
+    /// The key was deleted explicitly.
+    Delete,
+    /// The key was deleted because its lease expired.
+    Expired,
+}
+
+/// One change event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchEvent {
+    /// Store revision at which the change happened.
+    pub revision: Revision,
+    /// The key that changed.
+    pub key: String,
+    /// The kind of change.
+    pub kind: EventKind,
+    /// The new value for puts, the old value for deletions.
+    pub value: String,
+}
+
+/// A registered watch over a key prefix.
+#[derive(Clone, Debug, Default)]
+pub struct Watcher {
+    pub(crate) prefix: String,
+    pub(crate) pending: Vec<WatchEvent>,
+}
+
+impl Watcher {
+    /// The watched prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Number of undelivered events.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drains all pending events in revision order.
+    pub fn drain(&mut self) -> Vec<WatchEvent> {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_empties_pending() {
+        let mut w = Watcher {
+            prefix: "health/".into(),
+            pending: vec![WatchEvent {
+                revision: Revision(3),
+                key: "health/0".into(),
+                kind: EventKind::Put,
+                value: "ok".into(),
+            }],
+        };
+        assert_eq!(w.pending_len(), 1);
+        let evs = w.drain();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(w.pending_len(), 0);
+        assert_eq!(evs[0].kind, EventKind::Put);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the distributed KV store: model-based
+//! checking of revisioned mutations, lease semantics and election safety.
+
+use gemini_kvstore::{Election, EventKind, KvStore};
+use gemini_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random store operation with a relative time step.
+#[derive(Clone, Debug)]
+enum Op {
+    Put { key: u8, value: u8 },
+    Delete { key: u8 },
+    LeasePut { key: u8, value: u8, ttl_s: u64 },
+    Advance { secs: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, any::<u8>()).prop_map(|(key, value)| Op::Put { key, value }),
+        (0u8..8).prop_map(|key| Op::Delete { key }),
+        (0u8..8, any::<u8>(), 1u64..20).prop_map(|(key, value, ttl_s)| Op::LeasePut {
+            key,
+            value,
+            ttl_s
+        }),
+        (1u64..30).prop_map(|secs| Op::Advance { secs }),
+    ]
+}
+
+proptest! {
+    /// Model-based check: the store agrees with a simple map + lease model
+    /// after any operation sequence, and revisions strictly increase.
+    #[test]
+    fn store_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut kv = KvStore::new();
+        // Reference model: key → (value, expiry).
+        let mut model: HashMap<String, (String, Option<SimTime>)> = HashMap::new();
+        let mut now = SimTime::ZERO;
+        let mut last_rev = kv.revision();
+
+        for op in ops {
+            // Expire model entries first (the store does so lazily).
+            model.retain(|_, (_, exp)| exp.map(|e| now < e).unwrap_or(true));
+            match op {
+                Op::Put { key, value } => {
+                    let k = format!("k/{key}");
+                    let rev = kv.put(now, &k, &value.to_string(), None).unwrap();
+                    prop_assert!(rev > last_rev);
+                    last_rev = rev;
+                    model.insert(k, (value.to_string(), None));
+                }
+                Op::Delete { key } => {
+                    let k = format!("k/{key}");
+                    let res = kv.delete(now, &k);
+                    if model.remove(&k).is_some() {
+                        let rev = res.unwrap();
+                        prop_assert!(rev > last_rev);
+                        last_rev = rev;
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                Op::LeasePut { key, value, ttl_s } => {
+                    let k = format!("k/{key}");
+                    let ttl = SimDuration::from_secs(ttl_s);
+                    let lease = kv.grant_lease(now, ttl);
+                    let rev = kv.put(now, &k, &value.to_string(), Some(lease)).unwrap();
+                    prop_assert!(rev > last_rev);
+                    last_rev = rev;
+                    model.insert(k, (value.to_string(), Some(now + ttl)));
+                }
+                Op::Advance { secs } => {
+                    now += SimDuration::from_secs(secs);
+                }
+            }
+            // Compare visible state.
+            model.retain(|_, (_, exp)| exp.map(|e| now < e).unwrap_or(true));
+            for key in 0..8u8 {
+                let k = format!("k/{key}");
+                let store_val = kv.get(now, &k).map(|v| v.value);
+                let model_val = model.get(&k).map(|(v, _)| v.clone());
+                prop_assert_eq!(store_val, model_val, "key {} at {}", k, now);
+            }
+        }
+    }
+
+    /// Watch events on a prefix exactly mirror the mutations applied to it,
+    /// with strictly increasing revisions.
+    #[test]
+    fn watch_mirrors_mutations(keys in proptest::collection::vec((0u8..4, any::<u8>()), 1..50)) {
+        let mut kv = KvStore::new();
+        let w = kv.watch("k/");
+        let mut expected = 0usize;
+        for (key, value) in &keys {
+            kv.put(SimTime::ZERO, &format!("k/{key}"), &value.to_string(), None).unwrap();
+            expected += 1;
+        }
+        kv.put(SimTime::ZERO, "other/x", "ignored", None).unwrap();
+        let events = kv.poll_watch(SimTime::ZERO, w).unwrap();
+        prop_assert_eq!(events.len(), expected);
+        for (ev, (key, value)) in events.iter().zip(&keys) {
+            prop_assert_eq!(ev.kind, EventKind::Put);
+            prop_assert_eq!(&ev.key, &format!("k/{key}"));
+            prop_assert_eq!(&ev.value, &value.to_string());
+        }
+        for pair in events.windows(2) {
+            prop_assert!(pair[0].revision < pair[1].revision);
+        }
+    }
+
+    /// Election safety under arbitrary interleavings of campaigns and
+    /// candidate blackouts: never two leaders, and the leader is always a
+    /// known candidate.
+    #[test]
+    fn election_safety(schedule in proptest::collection::vec((0usize..4, 1u64..8), 1..100)) {
+        let mut kv = KvStore::new();
+        let election = Election::new("root", SimDuration::from_secs(10));
+        let candidates = ["c0", "c1", "c2", "c3"];
+        let mut now = SimTime::ZERO;
+        for (who, advance) in schedule {
+            now += SimDuration::from_secs(advance);
+            let _ = election.campaign(&mut kv, now, candidates[who], None).unwrap();
+            // At most one leader, and it is a real candidate.
+            if let Some(leader) = election.leader(&mut kv, now) {
+                prop_assert!(candidates.contains(&leader.as_str()));
+            }
+            // The underlying key count for the election is at most 1.
+            prop_assert!(kv.range(now, "root").len() <= 1);
+        }
+    }
+
+    /// A leader that keeps campaigning within the TTL is never deposed.
+    #[test]
+    fn stable_leader_retains_leadership(steps in 1u64..50) {
+        let mut kv = KvStore::new();
+        let election = Election::new("root", SimDuration::from_secs(10));
+        let mut now = SimTime::ZERO;
+        let first = election.campaign(&mut kv, now, "c0", None).unwrap();
+        let lease = match first {
+            gemini_kvstore::Campaign::Leader(l) => l,
+            _ => unreachable!("first campaigner leads"),
+        };
+        for _ in 0..steps {
+            now += SimDuration::from_secs(5); // within the 10 s TTL
+            let r = election.campaign(&mut kv, now, "c0", Some(lease)).unwrap();
+            prop_assert_eq!(r, gemini_kvstore::Campaign::Leader(lease));
+            // A challenger never wins while the leader is live.
+            let challenger = election.campaign(&mut kv, now, "c1", None).unwrap();
+            let is_follower =
+                matches!(challenger, gemini_kvstore::Campaign::Follower { .. });
+            prop_assert!(is_follower);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The `f(s) = α + s/B` transfer-cost model.
+//!
+//! The paper (§5.3) models the time to send a checkpoint chunk of size `s`
+//! as a startup latency `α` plus the serialization time `s/B` at bandwidth
+//! `B` — the standard LogP-style point-to-point cost used throughout the
+//! collective-communication literature it cites.
+
+use crate::units::{Bandwidth, ByteSize};
+use gemini_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A transfer cost model with startup latency and bandwidth.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransferCost {
+    /// Per-transfer startup latency `α`.
+    pub alpha: SimDuration,
+    /// Sustained bandwidth `B`.
+    pub bandwidth: Bandwidth,
+}
+
+impl TransferCost {
+    /// Creates a cost model.
+    pub fn new(alpha: SimDuration, bandwidth: Bandwidth) -> Self {
+        TransferCost { alpha, bandwidth }
+    }
+
+    /// A zero-latency model (pure bandwidth).
+    pub fn pure_bandwidth(bandwidth: Bandwidth) -> Self {
+        TransferCost {
+            alpha: SimDuration::ZERO,
+            bandwidth,
+        }
+    }
+
+    /// `f(s) = α + s/B`. A zero-size transfer still pays `α` (a real message
+    /// does), but callers that skip empty transfers entirely should do so
+    /// before asking for the cost.
+    pub fn time(&self, size: ByteSize) -> SimDuration {
+        self.alpha + SimDuration::from_secs_f64(self.bandwidth.seconds_for(size))
+    }
+
+    /// The inverse of [`TransferCost::time`]: the largest size whose transfer
+    /// fits within `budget`. Returns zero when even an empty message would
+    /// not fit (budget ≤ α). This is the `(remain_span − α)·B` step of
+    /// Algorithm 2, line 12.
+    pub fn max_size_within(&self, budget: SimDuration) -> ByteSize {
+        if budget <= self.alpha {
+            return ByteSize::ZERO;
+        }
+        let usable = (budget - self.alpha).as_secs_f64();
+        self.bandwidth.bytes_in_seconds(usable)
+    }
+
+    /// Cost of `n` back-to-back transfers of the same size (each pays `α`).
+    pub fn time_n(&self, size: ByteSize, n: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.time(size).as_secs_f64() * n as f64)
+    }
+
+    /// Returns this model with bandwidth scaled by an efficiency factor.
+    pub fn scaled(&self, factor: f64) -> TransferCost {
+        TransferCost {
+            alpha: self.alpha,
+            bandwidth: self.bandwidth.scaled(factor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TransferCost {
+        TransferCost::new(SimDuration::from_micros(100), Bandwidth::from_gbps(400.0))
+    }
+
+    #[test]
+    fn time_is_alpha_plus_serialization() {
+        let m = model();
+        // 50 GB at 50 GB/s = 1 s, plus 100 µs.
+        let t = m.time(ByteSize::from_gb(50));
+        assert!((t.as_secs_f64() - 1.0001).abs() < 1e-7, "{t}");
+    }
+
+    #[test]
+    fn zero_size_costs_alpha() {
+        let m = model();
+        assert_eq!(m.time(ByteSize::ZERO), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn max_size_within_inverts_time() {
+        let m = model();
+        let budget = SimDuration::from_millis(500);
+        let s = m.max_size_within(budget);
+        assert!(m.time(s) <= budget);
+        // And it is maximal: one more megabyte would exceed the budget.
+        let bigger = s + ByteSize::from_mb(1);
+        assert!(m.time(bigger) > budget);
+    }
+
+    #[test]
+    fn max_size_within_tiny_budget_is_zero() {
+        let m = model();
+        assert_eq!(
+            m.max_size_within(SimDuration::from_micros(50)),
+            ByteSize::ZERO
+        );
+        assert_eq!(
+            m.max_size_within(SimDuration::from_micros(100)),
+            ByteSize::ZERO
+        );
+    }
+
+    #[test]
+    fn time_n_is_linear() {
+        let m = model();
+        let one = m.time(ByteSize::from_mb(32)).as_secs_f64();
+        let four = m.time_n(ByteSize::from_mb(32), 4).as_secs_f64();
+        assert!((four - 4.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_reduces_bandwidth_not_alpha() {
+        let m = model().scaled(0.5);
+        assert_eq!(m.alpha, SimDuration::from_micros(100));
+        assert!((m.bandwidth.as_gbps() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_bandwidth_has_no_alpha() {
+        let m = TransferCost::pure_bandwidth(Bandwidth::from_gbps(8.0));
+        // 1 GB at 1 GB/s = 1 s exactly.
+        assert_eq!(m.time(ByteSize::from_gb(1)), SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,265 @@
+//! The inter-machine network fabric and per-machine copy engines.
+//!
+//! Machines are connected full-mesh (EFA gives every p4d/p3dn instance its
+//! own NIC into a non-blocking fabric). A transfer from machine `a` to
+//! machine `b` reserves `a`'s TX direction and `b`'s RX direction for
+//! `f(s) = α + s/B`; both directions keep exact busy timelines. Each machine
+//! also has a GPU↔CPU copy engine with its own cost model — the paper
+//! (§5.2, footnote 2) measured that copy bandwidth to be comparable to the
+//! inter-machine GPU-to-GPU bandwidth on p4d instances, which is exactly the
+//! regime where GEMINI's sub-buffer pipelining matters.
+
+use crate::cost::TransferCost;
+use crate::resource::BusyResource;
+use crate::units::ByteSize;
+use gemini_sim::{SimTime, Span};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a machine within a fabric (dense index).
+pub type MachineIdx = usize;
+
+/// Static description of a fabric.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Number of machines.
+    pub machines: usize,
+    /// Point-to-point inter-machine cost (NIC → NIC).
+    pub network: TransferCost,
+    /// Local GPU↔CPU copy cost (PCIe / copy engine).
+    pub copy: TransferCost,
+}
+
+/// The completed placement of one transfer on the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Sender machine.
+    pub src: MachineIdx,
+    /// Receiver machine.
+    pub dst: MachineIdx,
+    /// The span the transfer occupied on both endpoints.
+    pub span: Span,
+}
+
+/// Error type for fabric operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FabricError {
+    /// A machine index was out of range.
+    UnknownMachine(MachineIdx),
+    /// Source and destination were the same machine for a network transfer.
+    SelfTransfer(MachineIdx),
+}
+
+impl core::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FabricError::UnknownMachine(m) => write!(f, "unknown machine index {m}"),
+            FabricError::SelfTransfer(m) => {
+                write!(f, "network transfer from machine {m} to itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+struct Endpoint {
+    tx: BusyResource,
+    rx: BusyResource,
+    copy: BusyResource,
+}
+
+/// A full-mesh network fabric with per-machine NICs and copy engines.
+pub struct Fabric {
+    config: FabricConfig,
+    endpoints: Vec<Endpoint>,
+}
+
+impl Fabric {
+    /// Builds a fabric for `config.machines` machines.
+    pub fn new(config: FabricConfig) -> Self {
+        let endpoints = (0..config.machines)
+            .map(|_| Endpoint {
+                tx: BusyResource::new(),
+                rx: BusyResource::new(),
+                copy: BusyResource::new(),
+            })
+            .collect();
+        Fabric { config, endpoints }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.config.machines
+    }
+
+    fn check(&self, m: MachineIdx) -> Result<(), FabricError> {
+        if m >= self.endpoints.len() {
+            Err(FabricError::UnknownMachine(m))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Schedules a point-to-point transfer of `size` from `src` to `dst`
+    /// arriving at `now`. The transfer starts when *both* the sender's TX
+    /// and the receiver's RX are free, and occupies both for `f(size)`.
+    pub fn transfer(
+        &mut self,
+        now: SimTime,
+        src: MachineIdx,
+        dst: MachineIdx,
+        size: ByteSize,
+    ) -> Result<TransferRecord, FabricError> {
+        self.check(src)?;
+        self.check(dst)?;
+        if src == dst {
+            return Err(FabricError::SelfTransfer(src));
+        }
+        let duration = self.config.network.time(size);
+        let earliest = now
+            .max(self.endpoints[src].tx.busy_until())
+            .max(self.endpoints[dst].rx.busy_until());
+        let span = self.endpoints[src].tx.reserve(earliest, duration);
+        let rx_span = self.endpoints[dst].rx.reserve(span.start, duration);
+        debug_assert_eq!(span, rx_span, "TX and RX must co-reserve");
+        Ok(TransferRecord { src, dst, span })
+    }
+
+    /// Schedules a local GPU↔CPU copy of `size` on `machine` arriving at
+    /// `now`; returns the span it occupies on the copy engine.
+    pub fn local_copy(
+        &mut self,
+        now: SimTime,
+        machine: MachineIdx,
+        size: ByteSize,
+    ) -> Result<Span, FabricError> {
+        self.check(machine)?;
+        let duration = self.config.copy.time(size);
+        Ok(self.endpoints[machine].copy.reserve(now, duration))
+    }
+
+    /// The TX busy-resource of a machine.
+    pub fn tx(&self, machine: MachineIdx) -> Result<&BusyResource, FabricError> {
+        self.check(machine)?;
+        Ok(&self.endpoints[machine].tx)
+    }
+
+    /// The RX busy-resource of a machine.
+    pub fn rx(&self, machine: MachineIdx) -> Result<&BusyResource, FabricError> {
+        self.check(machine)?;
+        Ok(&self.endpoints[machine].rx)
+    }
+
+    /// The copy-engine busy-resource of a machine.
+    pub fn copy_engine(&self, machine: MachineIdx) -> Result<&BusyResource, FabricError> {
+        self.check(machine)?;
+        Ok(&self.endpoints[machine].copy)
+    }
+
+    /// Clears a machine's resource history (machine replaced).
+    pub fn reset_machine(&mut self, machine: MachineIdx) -> Result<(), FabricError> {
+        self.check(machine)?;
+        let e = &mut self.endpoints[machine];
+        e.tx.reset();
+        e.rx.reset();
+        e.copy.reset();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Bandwidth;
+    use gemini_sim::SimDuration;
+
+    fn fabric(n: usize) -> Fabric {
+        Fabric::new(FabricConfig {
+            machines: n,
+            network: TransferCost::pure_bandwidth(Bandwidth::from_gbytes_per_sec(1.0)),
+            copy: TransferCost::pure_bandwidth(Bandwidth::from_gbytes_per_sec(2.0)),
+        })
+    }
+
+    #[test]
+    fn transfer_occupies_both_ends() {
+        let mut f = fabric(3);
+        let r = f
+            .transfer(SimTime::ZERO, 0, 1, ByteSize::from_gb(2))
+            .unwrap();
+        assert_eq!(r.span.len(), SimDuration::from_secs(2));
+        assert_eq!(f.tx(0).unwrap().busy_until(), r.span.end);
+        assert_eq!(f.rx(1).unwrap().busy_until(), r.span.end);
+        // The reverse directions stay free.
+        assert!(f.rx(0).unwrap().is_idle_at(SimTime::ZERO));
+        assert!(f.tx(1).unwrap().is_idle_at(SimTime::ZERO));
+    }
+
+    #[test]
+    fn receiver_contention_delays_start() {
+        let mut f = fabric(3);
+        f.transfer(SimTime::ZERO, 0, 2, ByteSize::from_gb(5))
+            .unwrap();
+        let r = f
+            .transfer(SimTime::ZERO, 1, 2, ByteSize::from_gb(1))
+            .unwrap();
+        assert_eq!(r.span.start, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn disjoint_pairs_run_in_parallel() {
+        let mut f = fabric(4);
+        let a = f
+            .transfer(SimTime::ZERO, 0, 1, ByteSize::from_gb(3))
+            .unwrap();
+        let b = f
+            .transfer(SimTime::ZERO, 2, 3, ByteSize::from_gb(3))
+            .unwrap();
+        assert_eq!(a.span.start, SimTime::ZERO);
+        assert_eq!(b.span.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn self_transfer_rejected() {
+        let mut f = fabric(2);
+        assert_eq!(
+            f.transfer(SimTime::ZERO, 1, 1, ByteSize::from_gb(1)),
+            Err(FabricError::SelfTransfer(1))
+        );
+    }
+
+    #[test]
+    fn unknown_machine_rejected() {
+        let mut f = fabric(2);
+        assert_eq!(
+            f.transfer(SimTime::ZERO, 0, 7, ByteSize::from_gb(1)),
+            Err(FabricError::UnknownMachine(7))
+        );
+        assert!(f.tx(9).is_err());
+    }
+
+    #[test]
+    fn local_copy_uses_copy_engine_only() {
+        let mut f = fabric(2);
+        let span = f
+            .local_copy(SimTime::ZERO, 0, ByteSize::from_gb(4))
+            .unwrap();
+        assert_eq!(span.len(), SimDuration::from_secs(2));
+        assert!(f.tx(0).unwrap().is_idle_at(SimTime::ZERO));
+    }
+
+    #[test]
+    fn reset_machine_clears_state() {
+        let mut f = fabric(2);
+        f.transfer(SimTime::ZERO, 0, 1, ByteSize::from_gb(10))
+            .unwrap();
+        f.reset_machine(1).unwrap();
+        assert!(f.rx(1).unwrap().is_idle_at(SimTime::ZERO));
+        assert!(!f.tx(0).unwrap().is_idle_at(SimTime::ZERO));
+    }
+}

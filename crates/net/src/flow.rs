@@ -1,0 +1,282 @@
+//! Max-min fair fluid flows — a finer-grained alternative to the FIFO
+//! pipe model for *concurrent* transfers.
+//!
+//! The FIFO resources elsewhere in this crate serialize competing work,
+//! which matches NCCL stream semantics for checkpoint chunks but is
+//! pessimistic for inherently parallel fan-ins like `N` machines
+//! simultaneously reading a persistent checkpoint (§6.2 Case 2): real
+//! storage gives each reader a fair share of the aggregate bandwidth, so
+//! all readers finish together rather than in sequence. Both models give
+//! the same *last-finisher* time (total bytes / aggregate bandwidth), but
+//! the fluid model gets per-flow completions right — which matters when
+//! recovery lets machines that finished retrieving early start their
+//! warm-up sooner.
+//!
+//! The solver is classic progressive filling: repeatedly find the most
+//! contended resource, freeze its flows at the fair share, subtract, and
+//! continue; then advance time to the earliest completion and re-solve.
+
+use crate::units::{Bandwidth, ByteSize};
+use gemini_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A resource a flow may traverse.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FlowResource {
+    /// A machine's transmit direction.
+    Tx(usize),
+    /// A machine's receive direction.
+    Rx(usize),
+    /// The shared aggregate pipe (persistent storage).
+    Shared,
+}
+
+/// One fluid flow: bytes to move across a set of resources.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FluidFlow {
+    /// The resources the flow occupies simultaneously.
+    pub resources: Vec<FlowResource>,
+    /// Bytes to move.
+    pub bytes: ByteSize,
+}
+
+/// The capacity table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FluidNetwork {
+    /// Per-machine TX capacity.
+    pub tx: Vec<Bandwidth>,
+    /// Per-machine RX capacity.
+    pub rx: Vec<Bandwidth>,
+    /// The shared pipe's aggregate capacity, if present.
+    pub shared: Option<Bandwidth>,
+}
+
+impl FluidNetwork {
+    /// A symmetric fabric of `machines` NICs at `nic` plus a shared pipe.
+    pub fn symmetric(machines: usize, nic: Bandwidth, shared: Option<Bandwidth>) -> Self {
+        FluidNetwork {
+            tx: vec![nic; machines],
+            rx: vec![nic; machines],
+            shared,
+        }
+    }
+
+    fn capacity(&self, r: FlowResource) -> f64 {
+        match r {
+            FlowResource::Tx(m) => self.tx.get(m).map(|b| b.bytes_per_sec()).unwrap_or(0.0),
+            FlowResource::Rx(m) => self.rx.get(m).map(|b| b.bytes_per_sec()).unwrap_or(0.0),
+            FlowResource::Shared => self.shared.map(|b| b.bytes_per_sec()).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Max-min fair rates for the active flows (progressive filling).
+/// `active[i]` indexes into `flows`; returns bytes/s per active flow.
+fn fair_rates(network: &FluidNetwork, flows: &[FluidFlow], active: &[usize]) -> Vec<f64> {
+    use std::collections::HashMap;
+    let mut rates = vec![0.0f64; active.len()];
+    let mut frozen = vec![false; active.len()];
+    // Remaining capacity per touched resource.
+    let mut remaining: HashMap<FlowResource, f64> = HashMap::new();
+    for &fi in active {
+        for &r in &flows[fi].resources {
+            remaining.entry(r).or_insert_with(|| network.capacity(r));
+        }
+    }
+    loop {
+        // For each resource, its fair share among unfrozen flows.
+        let mut bottleneck: Option<(FlowResource, f64)> = None;
+        for (&r, &cap) in &remaining {
+            let users = active
+                .iter()
+                .enumerate()
+                .filter(|(ai, &fi)| !frozen[*ai] && flows[fi].resources.contains(&r))
+                .count();
+            if users == 0 {
+                continue;
+            }
+            let share = cap / users as f64;
+            if bottleneck.map(|(_, s)| share < s).unwrap_or(true) {
+                bottleneck = Some((r, share));
+            }
+        }
+        let Some((r, share)) = bottleneck else {
+            break; // everything frozen
+        };
+        // Freeze the bottleneck's flows at the fair share and charge every
+        // resource they cross.
+        for (ai, &fi) in active.iter().enumerate() {
+            if frozen[ai] || !flows[fi].resources.contains(&r) {
+                continue;
+            }
+            frozen[ai] = true;
+            rates[ai] = share;
+            for &res in &flows[fi].resources {
+                if let Some(cap) = remaining.get_mut(&res) {
+                    *cap = (*cap - share).max(0.0);
+                }
+            }
+        }
+    }
+    rates
+}
+
+/// Runs all flows from time zero to completion under max-min fairness;
+/// returns each flow's completion time (same order as `flows`).
+pub fn fluid_completion_times(network: &FluidNetwork, flows: &[FluidFlow]) -> Vec<SimDuration> {
+    let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes.as_bytes() as f64).collect();
+    let mut done: Vec<Option<f64>> = vec![None; flows.len()];
+    let mut now = 0.0f64;
+    loop {
+        let active: Vec<usize> = (0..flows.len())
+            .filter(|&i| done[i].is_none() && remaining[i] > 0.0)
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        let rates = fair_rates(network, flows, &active);
+        // Time until the earliest active flow drains.
+        let mut dt = f64::INFINITY;
+        for (ai, &fi) in active.iter().enumerate() {
+            if rates[ai] > 0.0 {
+                dt = dt.min(remaining[fi] / rates[ai]);
+            }
+        }
+        if !dt.is_finite() {
+            // Starved flows (zero-capacity path) never finish; mark them.
+            for &fi in &active {
+                done[fi] = Some(f64::INFINITY);
+            }
+            break;
+        }
+        now += dt;
+        for (ai, &fi) in active.iter().enumerate() {
+            remaining[fi] -= rates[ai] * dt;
+            if remaining[fi] <= 1e-6 {
+                remaining[fi] = 0.0;
+                done[fi] = Some(now);
+            }
+        }
+    }
+    // Zero-byte flows complete instantly.
+    (0..flows.len())
+        .map(|i| {
+            let t = done[i].unwrap_or(0.0);
+            if t.is_finite() {
+                SimDuration::from_secs_f64(t)
+            } else {
+                SimDuration::MAX
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbs(v: f64) -> Bandwidth {
+        Bandwidth::from_gbytes_per_sec(v)
+    }
+
+    fn flow(resources: Vec<FlowResource>, gb: u64) -> FluidFlow {
+        FluidFlow {
+            resources,
+            bytes: ByteSize::from_gb(gb),
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_full_bandwidth() {
+        let net = FluidNetwork::symmetric(2, gbs(10.0), None);
+        let flows = [flow(vec![FlowResource::Tx(0), FlowResource::Rx(1)], 20)];
+        let t = fluid_completion_times(&net, &flows);
+        assert!((t[0].as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_into_one_receiver_share_fairly() {
+        let net = FluidNetwork::symmetric(3, gbs(10.0), None);
+        let flows = [
+            flow(vec![FlowResource::Tx(0), FlowResource::Rx(2)], 10),
+            flow(vec![FlowResource::Tx(1), FlowResource::Rx(2)], 10),
+        ];
+        let t = fluid_completion_times(&net, &flows);
+        // Each gets 5 GB/s → both finish at 2 s (vs FIFO: 1 s and 2 s).
+        assert!((t[0].as_secs_f64() - 2.0).abs() < 1e-6);
+        assert!((t[1].as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_flow_releases_bandwidth_to_the_long_one() {
+        let net = FluidNetwork::symmetric(3, gbs(10.0), None);
+        let flows = [
+            flow(vec![FlowResource::Tx(0), FlowResource::Rx(2)], 5),
+            flow(vec![FlowResource::Tx(1), FlowResource::Rx(2)], 15),
+        ];
+        let t = fluid_completion_times(&net, &flows);
+        // Phase 1: both at 5 GB/s until flow 0 drains at t=1. Phase 2:
+        // flow 1 has 10 GB left at 10 GB/s → finishes at t=2.
+        assert!((t[0].as_secs_f64() - 1.0).abs() < 1e-6);
+        assert!((t[1].as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uncontended_flow_is_unaffected() {
+        let net = FluidNetwork::symmetric(4, gbs(10.0), None);
+        let flows = [
+            flow(vec![FlowResource::Tx(0), FlowResource::Rx(1)], 10),
+            flow(vec![FlowResource::Tx(2), FlowResource::Rx(3)], 10),
+        ];
+        let t = fluid_completion_times(&net, &flows);
+        assert!((t[0].as_secs_f64() - 1.0).abs() < 1e-6);
+        assert!((t[1].as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn storage_fan_in_matches_fifo_last_finisher() {
+        // 16 machines each reading 75 GB through a 2.5 GB/s shared pipe:
+        // fluid fairness gives every reader agg/16 and all finish at
+        // 1.2 TB / 2.5 GB/s = 480 s — the FIFO pipe's *total* time.
+        let net = FluidNetwork::symmetric(16, gbs(50.0), Some(gbs(2.5)));
+        let flows: Vec<FluidFlow> = (0..16)
+            .map(|m| flow(vec![FlowResource::Shared, FlowResource::Rx(m)], 75))
+            .collect();
+        let t = fluid_completion_times(&net, &flows);
+        for ti in &t {
+            assert!((ti.as_secs_f64() - 480.0).abs() < 1e-3, "{ti}");
+        }
+    }
+
+    #[test]
+    fn nic_bound_flows_do_not_steal_the_shared_pipe() {
+        // One reader is NIC-limited (slow RX); the rest split the slack.
+        let mut net = FluidNetwork::symmetric(3, gbs(10.0), Some(gbs(9.0)));
+        net.rx[0] = gbs(1.0);
+        let flows: Vec<FluidFlow> = (0..3)
+            .map(|m| flow(vec![FlowResource::Shared, FlowResource::Rx(m)], 8))
+            .collect();
+        let t = fluid_completion_times(&net, &flows);
+        // Reader 0 runs at 1 GB/s → 8 s. Readers 1-2 split the remaining
+        // 8 GB/s → 4 GB/s each → 2 s.
+        assert!((t[0].as_secs_f64() - 8.0).abs() < 1e-6, "{}", t[0]);
+        assert!((t[1].as_secs_f64() - 2.0).abs() < 1e-6, "{}", t[1]);
+        assert!((t[2].as_secs_f64() - 2.0).abs() < 1e-6, "{}", t[2]);
+    }
+
+    #[test]
+    fn zero_byte_flows_complete_immediately() {
+        let net = FluidNetwork::symmetric(2, gbs(10.0), None);
+        let flows = [flow(vec![FlowResource::Tx(0), FlowResource::Rx(1)], 0)];
+        let t = fluid_completion_times(&net, &flows);
+        assert_eq!(t[0], SimDuration::ZERO);
+    }
+
+    #[test]
+    fn starved_flow_reports_never() {
+        let net = FluidNetwork::symmetric(2, gbs(10.0), None); // no shared pipe
+        let flows = [flow(vec![FlowResource::Shared], 1)];
+        let t = fluid_completion_times(&net, &flows);
+        assert_eq!(t[0], SimDuration::MAX);
+    }
+}

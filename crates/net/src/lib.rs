@@ -1,0 +1,25 @@
+//! Network fabric, copy-engine and persistent-storage models.
+//!
+//! GEMINI's scheduling decisions consume a small set of physical quantities:
+//! NIC bandwidth between machines, GPU↔CPU copy bandwidth, the aggregate
+//! bandwidth of remote persistent storage, and per-transfer startup latency.
+//! This crate models all of them with the classic `f(s) = α + s/B` cost
+//! (paper §5.3), FIFO busy-resources that produce exact busy timelines, and a
+//! fabric that reserves sender-TX and receiver-RX capacity for each flow.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod fabric;
+pub mod flow;
+pub mod resource;
+pub mod storage;
+pub mod units;
+
+pub use cost::TransferCost;
+pub use fabric::{Fabric, FabricConfig, TransferRecord};
+pub use flow::{fluid_completion_times, FlowResource, FluidFlow, FluidNetwork};
+pub use resource::BusyResource;
+pub use storage::PersistentStorage;
+pub use units::{Bandwidth, ByteSize};

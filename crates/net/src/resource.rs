@@ -1,0 +1,171 @@
+//! FIFO busy-resources.
+//!
+//! A [`BusyResource`] models a serially-used piece of hardware — a NIC
+//! direction, a PCIe copy engine, a storage writer — that serves requests in
+//! arrival order. Reserving work at time `t` starts at `max(t, busy_until)`
+//! and occupies the resource for the requested duration. Every reservation
+//! is recorded in a [`Timeline`], which is how the training model exposes
+//! the *network idle timespans* GEMINI schedules checkpoints into.
+
+use gemini_sim::{SimDuration, SimTime, Span, Timeline};
+use serde::{Deserialize, Serialize};
+
+/// A FIFO resource with an exact busy timeline.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BusyResource {
+    busy_until: SimTime,
+    busy: Timeline,
+    reserved_total: SimDuration,
+}
+
+impl BusyResource {
+    /// A fresh, idle resource.
+    pub fn new() -> Self {
+        BusyResource::default()
+    }
+
+    /// The earliest time new work could start.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Whether the resource is idle at `t`.
+    pub fn is_idle_at(&self, t: SimTime) -> bool {
+        t >= self.busy_until
+    }
+
+    /// Reserves `duration` of work arriving at `now`; returns the span the
+    /// work actually occupies. Zero-duration requests return an empty span
+    /// at the start time without blocking anything.
+    pub fn reserve(&mut self, now: SimTime, duration: SimDuration) -> Span {
+        let start = now.max(self.busy_until);
+        let span = Span::with_len(start, duration);
+        if !duration.is_zero() {
+            self.busy.add(span);
+            self.busy_until = span.end;
+            self.reserved_total += duration;
+        }
+        span
+    }
+
+    /// Reserves work that must not start before `not_before` even if the
+    /// resource is free earlier (used to pin checkpoint chunks to scheduled
+    /// idle spans).
+    pub fn reserve_at(&mut self, now: SimTime, not_before: SimTime, duration: SimDuration) -> Span {
+        self.reserve(now.max(not_before), duration)
+    }
+
+    /// The exact busy timeline accumulated so far.
+    pub fn busy_timeline(&self) -> &Timeline {
+        &self.busy
+    }
+
+    /// Sum of all reserved durations (equals the busy timeline total because
+    /// FIFO reservations never overlap).
+    pub fn reserved_total(&self) -> SimDuration {
+        self.reserved_total
+    }
+
+    /// Idle gaps within `window`.
+    pub fn idle_within(&self, window: Span) -> Vec<Span> {
+        self.busy.gaps(window)
+    }
+
+    /// Busy time that falls within `window`.
+    pub fn busy_within(&self, window: Span) -> SimDuration {
+        self.busy
+            .intersection(&Timeline::from_spans([window]))
+            .total()
+    }
+
+    /// Forgets all history, returning to an idle state (used when a machine
+    /// is replaced).
+    pub fn reset(&mut self) {
+        *self = BusyResource::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn dur(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn idle_resource_starts_immediately() {
+        let mut r = BusyResource::new();
+        let span = r.reserve(secs(5), dur(2));
+        assert_eq!(span, Span::new(secs(5), secs(7)));
+        assert_eq!(r.busy_until(), secs(7));
+    }
+
+    #[test]
+    fn fifo_queues_back_to_back() {
+        let mut r = BusyResource::new();
+        r.reserve(secs(0), dur(3));
+        let second = r.reserve(secs(1), dur(2));
+        assert_eq!(second, Span::new(secs(3), secs(5)));
+        assert_eq!(r.reserved_total(), dur(5));
+        assert_eq!(r.busy_timeline().total(), dur(5));
+    }
+
+    #[test]
+    fn gap_between_requests_stays_idle() {
+        let mut r = BusyResource::new();
+        r.reserve(secs(0), dur(1));
+        r.reserve(secs(5), dur(1));
+        let idle = r.idle_within(Span::new(secs(0), secs(10)));
+        assert_eq!(
+            idle,
+            vec![Span::new(secs(1), secs(5)), Span::new(secs(6), secs(10))]
+        );
+        assert_eq!(r.busy_within(Span::new(secs(0), secs(10))), dur(2));
+    }
+
+    #[test]
+    fn zero_duration_does_not_block() {
+        let mut r = BusyResource::new();
+        let span = r.reserve(secs(3), SimDuration::ZERO);
+        assert!(span.is_empty());
+        assert!(r.is_idle_at(secs(3)));
+        assert_eq!(r.reserved_total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reserve_at_honours_floor() {
+        let mut r = BusyResource::new();
+        let span = r.reserve_at(secs(1), secs(4), dur(2));
+        assert_eq!(span.start, secs(4));
+        // But a busy resource pushes past the floor.
+        let span2 = r.reserve_at(secs(0), secs(5), dur(1));
+        assert_eq!(span2.start, secs(6));
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut r = BusyResource::new();
+        r.reserve(secs(0), dur(10));
+        r.reset();
+        assert!(r.is_idle_at(SimTime::ZERO));
+        assert!(r.busy_timeline().is_empty());
+    }
+
+    #[test]
+    fn timeline_matches_reserved_total_property() {
+        let mut r = BusyResource::new();
+        let mut expected = SimDuration::ZERO;
+        for i in 0..50u64 {
+            let d = dur(i % 4);
+            r.reserve(secs(i * 3 % 17), d);
+            expected += d;
+        }
+        assert_eq!(r.reserved_total(), expected);
+        assert_eq!(r.busy_timeline().total(), expected);
+        assert!(r.busy_timeline().check_invariants());
+    }
+}

@@ -1,0 +1,307 @@
+//! Data-size and bandwidth units.
+//!
+//! Sizes are exact `u64` byte counts. Bandwidths are `f64` bytes/second —
+//! they only ever enter the simulation through the pure cost function
+//! `α + s/B`, so float math here cannot accumulate drift across events.
+//!
+//! Decimal prefixes follow the paper and vendor datasheets: `400 Gbps` EFA
+//! means 400·10⁹ bits/s, `9.4 GB` means 9.4·10⁹ bytes.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+use serde::{Deserialize, Serialize};
+
+/// An exact byte count.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// From raw bytes.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+    /// From decimal kilobytes (10³ bytes).
+    pub const fn from_kb(kb: u64) -> Self {
+        ByteSize(kb * 1_000)
+    }
+    /// From decimal megabytes (10⁶ bytes).
+    pub const fn from_mb(mb: u64) -> Self {
+        ByteSize(mb * 1_000_000)
+    }
+    /// From decimal gigabytes (10⁹ bytes).
+    pub const fn from_gb(gb: u64) -> Self {
+        ByteSize(gb * 1_000_000_000)
+    }
+    /// From binary mebibytes (2²⁰ bytes) — GPU buffer sizes like the paper's
+    /// reserved "128MB" are conventionally binary.
+    pub const fn from_mib(mib: u64) -> Self {
+        ByteSize(mib * (1 << 20))
+    }
+    /// From binary gibibytes (2³⁰ bytes) — GPU memory capacities.
+    pub const fn from_gib(gib: u64) -> Self {
+        ByteSize(gib * (1 << 30))
+    }
+    /// From fractional gigabytes, rounding to whole bytes.
+    pub fn from_gb_f64(gb: f64) -> Self {
+        ByteSize((gb.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Raw bytes.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+    /// Decimal gigabytes as a float.
+    pub fn as_gb_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Decimal megabytes as a float.
+    pub fn as_mb_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// Whether the size is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(other.0))
+    }
+    /// The smaller of two sizes.
+    pub fn min(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.min(other.0))
+    }
+    /// The larger of two sizes.
+    pub fn max(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.max(other.0))
+    }
+    /// Ceiling division: the number of `chunk`-sized pieces needed to cover
+    /// this size. Returns 0 for a zero chunk.
+    pub fn div_ceil_by(self, chunk: ByteSize) -> u64 {
+        if chunk.0 == 0 {
+            0
+        } else {
+            self.0.div_ceil(chunk.0)
+        }
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_add(rhs.0))
+    }
+}
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+}
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0.saturating_mul(rhs))
+    }
+}
+impl Div<u64> for ByteSize {
+    type Output = ByteSize;
+    fn div(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 / rhs.max(1))
+    }
+}
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0 as f64;
+        if self.0 < 1_000 {
+            write!(f, "{}B", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.2}KB", b / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.2}MB", b / 1e6)
+        } else if self.0 < 1_000_000_000_000 {
+            write!(f, "{:.2}GB", b / 1e9)
+        } else {
+            write!(f, "{:.2}TB", b / 1e12)
+        }
+    }
+}
+
+/// A data rate in bytes per second.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Serialize, Deserialize)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// From gigabits per second (network datasheet convention).
+    pub fn from_gbps(gbps: f64) -> Self {
+        Bandwidth(gbps.max(0.0) * 1e9 / 8.0)
+    }
+    /// `const` variant of [`Bandwidth::from_gbps`] for static catalogs.
+    /// The caller must pass a non-negative rate.
+    pub const fn const_from_gbps(gbps: f64) -> Self {
+        Bandwidth(gbps * 1e9 / 8.0)
+    }
+    /// From gigabytes per second.
+    pub fn from_gbytes_per_sec(gbs: f64) -> Self {
+        Bandwidth(gbs.max(0.0) * 1e9)
+    }
+    /// From raw bytes per second.
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        Bandwidth(bps.max(0.0))
+    }
+
+    /// Bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0
+    }
+    /// Gigabits per second.
+    pub fn as_gbps(self) -> f64 {
+        self.0 * 8.0 / 1e9
+    }
+    /// Gigabytes per second.
+    pub fn as_gbytes_per_sec(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Scales by an efficiency factor in `[0, +inf)` (e.g. NCCL achieving
+    /// 60% of line rate).
+    pub fn scaled(self, factor: f64) -> Bandwidth {
+        Bandwidth(self.0 * factor.max(0.0))
+    }
+
+    /// Seconds to move `size` at this rate; `f64::INFINITY` for zero
+    /// bandwidth and positive size.
+    pub fn seconds_for(self, size: ByteSize) -> f64 {
+        if size.is_zero() {
+            0.0
+        } else if self.0 <= 0.0 {
+            f64::INFINITY
+        } else {
+            size.as_bytes() as f64 / self.0
+        }
+    }
+
+    /// Bytes movable in `seconds` at this rate (floored; negatives → 0).
+    pub fn bytes_in_seconds(self, seconds: f64) -> ByteSize {
+        if seconds <= 0.0 || self.0 <= 0.0 {
+            ByteSize::ZERO
+        } else {
+            ByteSize::from_bytes((self.0 * seconds).floor() as u64)
+        }
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}Gbps", self.as_gbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_constructors() {
+        assert_eq!(ByteSize::from_gb(2).as_bytes(), 2_000_000_000);
+        assert_eq!(ByteSize::from_mib(128).as_bytes(), 128 << 20);
+        assert_eq!(ByteSize::from_gib(40).as_bytes(), 40 << 30);
+        assert_eq!(ByteSize::from_kb(3).as_bytes(), 3_000);
+        assert_eq!(ByteSize::from_gb_f64(9.4).as_gb_f64(), 9.4);
+    }
+
+    #[test]
+    fn byte_arithmetic_saturates() {
+        let a = ByteSize::from_gb(1);
+        let b = ByteSize::from_gb(3);
+        assert_eq!(a.saturating_sub(b), ByteSize::ZERO);
+        assert_eq!(a - b, ByteSize::ZERO);
+        assert_eq!((a + b).as_gb_f64(), 4.0);
+        assert_eq!((b / 3).as_gb_f64(), 1.0);
+        assert_eq!(b / 0, b, "division by zero clamps to divisor 1");
+    }
+
+    #[test]
+    fn div_ceil_counts_chunks() {
+        let total = ByteSize::from_bytes(10);
+        assert_eq!(total.div_ceil_by(ByteSize::from_bytes(3)), 4);
+        assert_eq!(total.div_ceil_by(ByteSize::from_bytes(5)), 2);
+        assert_eq!(total.div_ceil_by(ByteSize::ZERO), 0);
+    }
+
+    #[test]
+    fn bandwidth_conversions_roundtrip() {
+        let bw = Bandwidth::from_gbps(400.0);
+        assert!((bw.as_gbps() - 400.0).abs() < 1e-9);
+        assert!((bw.as_gbytes_per_sec() - 50.0).abs() < 1e-9);
+        let bw2 = Bandwidth::from_gbytes_per_sec(50.0);
+        assert!((bw2.as_gbps() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seconds_for_matches_hand_calc() {
+        // 100 GB at 400 Gbps (= 50 GB/s) takes 2 s.
+        let bw = Bandwidth::from_gbps(400.0);
+        let t = bw.seconds_for(ByteSize::from_gb(100));
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_infinite_time() {
+        let bw = Bandwidth::from_gbps(0.0);
+        assert!(bw.seconds_for(ByteSize::from_bytes(1)).is_infinite());
+        assert_eq!(bw.seconds_for(ByteSize::ZERO), 0.0);
+    }
+
+    #[test]
+    fn bytes_in_seconds_inverts_seconds_for() {
+        let bw = Bandwidth::from_gbps(100.0);
+        let s = ByteSize::from_gb(5);
+        let t = bw.seconds_for(s);
+        let back = bw.bytes_in_seconds(t);
+        assert!(back.as_bytes().abs_diff(s.as_bytes()) <= 1);
+        assert_eq!(bw.bytes_in_seconds(-1.0), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn scaled_efficiency() {
+        let bw = Bandwidth::from_gbps(400.0).scaled(0.5);
+        assert!((bw.as_gbps() - 200.0).abs() < 1e-9);
+        assert_eq!(Bandwidth::from_gbps(10.0).scaled(-1.0).bytes_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", ByteSize::from_gb(9)), "9.00GB");
+        assert_eq!(format!("{}", ByteSize::from_bytes(512)), "512B");
+        assert_eq!(format!("{}", Bandwidth::from_gbps(400.0)), "400.0Gbps");
+    }
+
+    #[test]
+    fn sum_of_sizes() {
+        let total: ByteSize = [ByteSize::from_mb(1), ByteSize::from_mb(2)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, ByteSize::from_mb(3));
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the network models: cost inversion, FIFO
+//! resources and fabric conservation.
+
+use gemini_net::{
+    fluid_completion_times, Bandwidth, BusyResource, ByteSize, Fabric, FabricConfig, FlowResource,
+    FluidFlow, FluidNetwork, TransferCost,
+};
+use gemini_sim::{SimDuration, SimTime, Span};
+use proptest::prelude::*;
+
+fn cost_strategy() -> impl Strategy<Value = TransferCost> {
+    (1u64..5_000, 1.0f64..500.0).prop_map(|(alpha_us, gbps)| {
+        TransferCost::new(
+            SimDuration::from_micros(alpha_us),
+            Bandwidth::from_gbps(gbps),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn cost_is_monotone_in_size(cost in cost_strategy(), a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(
+            cost.time(ByteSize::from_bytes(lo)) <= cost.time(ByteSize::from_bytes(hi))
+        );
+    }
+
+    #[test]
+    fn max_size_within_is_inverse_of_time(cost in cost_strategy(), budget_us in 1u64..10_000_000) {
+        let budget = SimDuration::from_micros(budget_us);
+        let size = cost.max_size_within(budget);
+        // A zero size means "nothing fits" (budget <= alpha); a zero-size
+        // message is never sent, so the alpha-only cost is irrelevant.
+        if size.is_zero() {
+            prop_assert!(budget <= cost.alpha + SimDuration::from_nanos(2));
+            return Ok(());
+        }
+        // The returned size fits...
+        prop_assert!(cost.time(size) <= budget + SimDuration::from_nanos(2));
+        // ...and is within one KB of maximal.
+        let bigger = size + ByteSize::from_kb(1);
+        if cost.time(bigger) <= budget {
+            // Only possible when the budget is huge relative to bandwidth
+            // rounding; tolerate at most 1 KB of slack.
+            prop_assert!(
+                cost.time(bigger + ByteSize::from_kb(1)) > budget,
+                "max_size_within left more than 2KB unused"
+            );
+        }
+    }
+
+    #[test]
+    fn busy_resource_conserves_time(reqs in proptest::collection::vec((0u64..1_000, 0u64..500), 0..60)) {
+        let mut r = BusyResource::new();
+        let mut total = SimDuration::ZERO;
+        let mut last_end = SimTime::ZERO;
+        for (at, dur) in reqs {
+            let span = r.reserve(
+                SimTime::from_nanos(at),
+                SimDuration::from_nanos(dur),
+            );
+            if dur > 0 {
+                // FIFO: never starts before previous work ends.
+                prop_assert!(span.start >= last_end);
+                last_end = span.end;
+            }
+            total += SimDuration::from_nanos(dur);
+        }
+        prop_assert_eq!(r.reserved_total(), total);
+        prop_assert_eq!(r.busy_timeline().total(), total);
+        prop_assert!(r.busy_timeline().check_invariants());
+        prop_assert_eq!(r.busy_until(), last_end);
+    }
+
+    #[test]
+    fn busy_resource_idle_complements_busy(reqs in proptest::collection::vec((0u64..1_000, 1u64..300), 1..40)) {
+        let mut r = BusyResource::new();
+        for (at, dur) in reqs {
+            r.reserve(SimTime::from_nanos(at), SimDuration::from_nanos(dur));
+        }
+        let window = Span::new(SimTime::ZERO, SimTime::from_nanos(50_000));
+        let idle: SimDuration = r
+            .idle_within(window)
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.len());
+        prop_assert_eq!(idle + r.busy_within(window), window.len());
+    }
+
+    #[test]
+    fn fabric_conserves_per_endpoint_time(
+        transfers in proptest::collection::vec((0usize..6, 0usize..6, 1u64..200), 1..50)
+    ) {
+        let cost = TransferCost::pure_bandwidth(Bandwidth::from_gbytes_per_sec(1.0));
+        let mut fabric = Fabric::new(FabricConfig {
+            machines: 6,
+            network: cost,
+            copy: cost,
+        });
+        let mut tx_expected = [SimDuration::ZERO; 6];
+        let mut rx_expected = [SimDuration::ZERO; 6];
+        for (src, dst, mb) in transfers {
+            if src == dst {
+                prop_assert!(fabric
+                    .transfer(SimTime::ZERO, src, dst, ByteSize::from_mb(mb))
+                    .is_err());
+                continue;
+            }
+            let size = ByteSize::from_mb(mb);
+            let rec = fabric.transfer(SimTime::ZERO, src, dst, size).unwrap();
+            prop_assert_eq!(rec.span.len(), cost.time(size));
+            tx_expected[src] += cost.time(size);
+            rx_expected[dst] += cost.time(size);
+        }
+        for m in 0..6 {
+            prop_assert_eq!(fabric.tx(m).unwrap().reserved_total(), tx_expected[m]);
+            prop_assert_eq!(fabric.rx(m).unwrap().reserved_total(), rx_expected[m]);
+        }
+    }
+
+    #[test]
+    fn bandwidth_roundtrip(gbps in 0.001f64..10_000.0) {
+        let bw = Bandwidth::from_gbps(gbps);
+        prop_assert!((bw.as_gbps() - gbps).abs() / gbps < 1e-12);
+        // seconds_for and bytes_in_seconds invert within a byte.
+        let size = ByteSize::from_mb(100);
+        let t = bw.seconds_for(size);
+        let back = bw.bytes_in_seconds(t);
+        prop_assert!(back.as_bytes().abs_diff(size.as_bytes()) <= 1);
+    }
+
+    #[test]
+    fn fluid_flows_respect_capacity_bounds(
+        flows_spec in proptest::collection::vec((0usize..4, 0usize..4, 1u64..50), 1..12),
+    ) {
+        let net = FluidNetwork::symmetric(4, Bandwidth::from_gbytes_per_sec(10.0), None);
+        let flows: Vec<FluidFlow> = flows_spec
+            .iter()
+            .map(|&(src, dst, gb)| FluidFlow {
+                resources: if src == dst {
+                    vec![FlowResource::Tx(src)]
+                } else {
+                    vec![FlowResource::Tx(src), FlowResource::Rx(dst)]
+                },
+                bytes: ByteSize::from_gb(gb),
+            })
+            .collect();
+        let times = fluid_completion_times(&net, &flows);
+        // Per-flow: nothing beats line rate.
+        for (i, f) in flows.iter().enumerate() {
+            let solo = f.bytes.as_bytes() as f64 / 10e9;
+            prop_assert!(times[i].as_secs_f64() >= solo - 1e-6, "flow {i} beat line rate");
+        }
+        // Per-resource: the last finisher among a resource's flows cannot
+        // beat the resource draining all its bytes at full capacity.
+        let all_resources: std::collections::BTreeSet<(u8, usize)> = flows
+            .iter()
+            .flat_map(|f| f.resources.iter().map(|r| match r {
+                FlowResource::Tx(m) => (0u8, *m),
+                FlowResource::Rx(m) => (1u8, *m),
+                FlowResource::Shared => (2u8, 0),
+            }))
+            .collect();
+        for key in all_resources {
+            let r = match key {
+                (0, m) => FlowResource::Tx(m),
+                (1, m) => FlowResource::Rx(m),
+                _ => FlowResource::Shared,
+            };
+            let total: f64 = flows
+                .iter()
+                .filter(|f| f.resources.contains(&r))
+                .map(|f| f.bytes.as_bytes() as f64)
+                .sum();
+            let last = flows
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.resources.contains(&r))
+                .map(|(i, _)| times[i].as_secs_f64())
+                .fold(0.0, f64::max);
+            prop_assert!(last >= total / 10e9 - 1e-6, "resource {key:?} overdrove");
+        }
+        // Adding competition never speeds a flow up (fairness monotonicity).
+        for i in 0..flows.len() {
+            let solo_time = fluid_completion_times(&net, &flows[i..=i])[0];
+            prop_assert!(times[i] >= solo_time, "flow {i} got faster under load");
+        }
+    }
+
+    #[test]
+    fn byte_size_div_ceil(total in 0u64..1_000_000, chunk in 1u64..10_000) {
+        let n = ByteSize::from_bytes(total).div_ceil_by(ByteSize::from_bytes(chunk));
+        prop_assert!(n * chunk >= total);
+        prop_assert!(n == 0 || (n - 1) * chunk < total);
+    }
+}

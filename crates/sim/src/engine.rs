@@ -1,0 +1,439 @@
+//! The discrete-event loop.
+//!
+//! [`Engine`] is generic over the model's event type `E`. The model is any
+//! type implementing [`Model`]; on every event the engine hands it a
+//! [`Context`] through which it can read the clock, schedule further events,
+//! draw random numbers and stop the run.
+//!
+//! Event ordering is `(time, sequence)` where `sequence` is a monotonically
+//! increasing insertion counter, so simultaneous events fire in the order
+//! they were scheduled — the key to reproducible runs.
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceLog;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation model: owns all domain state and reacts to events.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handles one event at the context's current time.
+    fn handle(&mut self, ctx: &mut Context<'_, Self::Event>, event: Self::Event);
+}
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The per-event view of the simulation handed to [`Model::handle`].
+pub struct Context<'a, E> {
+    now: SimTime,
+    queue: &'a mut BinaryHeap<Scheduled<E>>,
+    cancelled: &'a mut std::collections::HashSet<u64>,
+    seq: &'a mut u64,
+    rng: &'a mut DetRng,
+    trace: &'a mut TraceLog,
+    stop: &'a mut bool,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`. Events scheduled in
+    /// the past fire "now" (they are clamped to the current time), which
+    /// keeps the clock monotone.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
+        let at = at.max(self.now);
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.queue.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
+        EventHandle(seq)
+    }
+
+    /// Schedules `event` to fire `after` from now.
+    pub fn schedule_after(&mut self, after: SimDuration, event: E) -> EventHandle {
+        self.schedule_at(self.now + after, event)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired is a harmless no-op.
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    /// The deterministic RNG owned by the engine.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Records a trace line at the current time (no-op when tracing is off).
+    pub fn trace(&mut self, line: impl FnOnce() -> String) {
+        let now = self.now;
+        self.trace.record(now, line);
+    }
+
+    /// Requests the run to stop after the current event returns.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// A deterministic discrete-event engine.
+///
+/// # Examples
+///
+/// ```
+/// use gemini_sim::{Context, Engine, Model, SimDuration, SimTime};
+///
+/// struct Counter(u32);
+/// impl Model for Counter {
+///     type Event = ();
+///     fn handle(&mut self, ctx: &mut Context<'_, ()>, _event: ()) {
+///         self.0 += 1;
+///         if self.0 < 3 {
+///             ctx.schedule_after(SimDuration::from_secs(10), ());
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new(42);
+/// engine.prime_at(SimTime::ZERO, ());
+/// let mut model = Counter(0);
+/// let end = engine.run(&mut model, None, 1_000);
+/// assert_eq!(model.0, 3);
+/// assert_eq!(end, SimTime::from_secs(20));
+/// ```
+pub struct Engine<E> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<E>>,
+    cancelled: std::collections::HashSet<u64>,
+    seq: u64,
+    rng: DetRng,
+    trace: TraceLog,
+    stop: bool,
+    processed: u64,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the given root RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            seq: 0,
+            rng: DetRng::new(seed),
+            trace: TraceLog::disabled(),
+            stop: false,
+            processed: 0,
+        }
+    }
+
+    /// Enables trace capture (for debugging and the recovery-drill reports).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = TraceLog::enabled();
+        self
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// A view of the captured trace.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Seeds an initial event at absolute time `at`.
+    pub fn prime_at(&mut self, at: SimTime, event: E) -> EventHandle {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            time: at.max(self.now),
+            seq,
+            event,
+        });
+        EventHandle(seq)
+    }
+
+    /// Seeds an initial event `after` from the current time.
+    pub fn prime_after(&mut self, after: SimDuration, event: E) -> EventHandle {
+        self.prime_at(self.now + after, event)
+    }
+
+    /// Runs until the queue drains, the model calls [`Context::stop`], the
+    /// clock passes `until` (if given), or `max_events` is exceeded.
+    /// Returns the time at which the run ended.
+    pub fn run<M: Model<Event = E>>(
+        &mut self,
+        model: &mut M,
+        until: Option<SimTime>,
+        max_events: u64,
+    ) -> SimTime {
+        self.stop = false;
+        let mut budget = max_events;
+        while let Some(next) = self.queue.peek() {
+            if let Some(limit) = until {
+                if next.time > limit {
+                    self.now = limit;
+                    break;
+                }
+            }
+            let sched = self.queue.pop().expect("peeked event exists");
+            if self.cancelled.remove(&sched.seq) {
+                continue;
+            }
+            debug_assert!(sched.time >= self.now, "event queue went backwards");
+            self.now = sched.time;
+            self.processed += 1;
+            let mut ctx = Context {
+                now: self.now,
+                queue: &mut self.queue,
+                cancelled: &mut self.cancelled,
+                seq: &mut self.seq,
+                rng: &mut self.rng,
+                trace: &mut self.trace,
+                stop: &mut self.stop,
+            };
+            model.handle(&mut ctx, sched.event);
+            if self.stop {
+                break;
+            }
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+        }
+        if let Some(limit) = until {
+            if self.queue.is_empty() && !self.stop && self.now < limit {
+                self.now = limit;
+            }
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Clone)]
+    enum Ev {
+        Tick(u32),
+        Stop,
+    }
+
+    struct Recorder {
+        seen: Vec<(SimTime, Ev)>,
+        reschedule: bool,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+            self.seen.push((ctx.now(), event.clone()));
+            match event {
+                Ev::Tick(n) if self.reschedule && n < 5 => {
+                    ctx.schedule_after(SimDuration::from_secs(1), Ev::Tick(n + 1));
+                }
+                Ev::Stop => ctx.stop(),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut engine = Engine::new(0);
+        engine.prime_at(SimTime::from_secs(3), Ev::Tick(3));
+        engine.prime_at(SimTime::from_secs(1), Ev::Tick(1));
+        engine.prime_at(SimTime::from_secs(2), Ev::Tick(2));
+        let mut m = Recorder {
+            seen: vec![],
+            reschedule: false,
+        };
+        engine.run(&mut m, None, 1_000);
+        let order: Vec<u32> = m
+            .seen
+            .iter()
+            .map(|(_, e)| match e {
+                Ev::Tick(n) => *n,
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut engine = Engine::new(0);
+        for n in 0..10 {
+            engine.prime_at(SimTime::from_secs(1), Ev::Tick(n));
+        }
+        let mut m = Recorder {
+            seen: vec![],
+            reschedule: false,
+        };
+        engine.run(&mut m, None, 1_000);
+        let order: Vec<u32> = m
+            .seen
+            .iter()
+            .map(|(_, e)| match e {
+                Ev::Tick(n) => *n,
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rescheduling_advances_clock() {
+        let mut engine = Engine::new(0);
+        engine.prime_at(SimTime::ZERO, Ev::Tick(0));
+        let mut m = Recorder {
+            seen: vec![],
+            reschedule: true,
+        };
+        let end = engine.run(&mut m, None, 1_000);
+        assert_eq!(m.seen.len(), 6);
+        assert_eq!(end, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        let mut engine = Engine::new(0);
+        engine.prime_at(SimTime::from_secs(1), Ev::Stop);
+        engine.prime_at(SimTime::from_secs(2), Ev::Tick(2));
+        let mut m = Recorder {
+            seen: vec![],
+            reschedule: false,
+        };
+        engine.run(&mut m, None, 1_000);
+        assert_eq!(m.seen.len(), 1);
+    }
+
+    #[test]
+    fn until_bound_respected() {
+        let mut engine = Engine::new(0);
+        engine.prime_at(SimTime::from_secs(1), Ev::Tick(1));
+        engine.prime_at(SimTime::from_secs(10), Ev::Tick(10));
+        let mut m = Recorder {
+            seen: vec![],
+            reschedule: false,
+        };
+        let end = engine.run(&mut m, Some(SimTime::from_secs(5)), 1_000);
+        assert_eq!(m.seen.len(), 1);
+        assert_eq!(end, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut engine = Engine::new(0);
+        let h = engine.prime_at(SimTime::from_secs(1), Ev::Tick(1));
+        engine.prime_at(SimTime::from_secs(2), Ev::Tick(2));
+        // Cancel via a wrapper model that cancels on first event? Simpler:
+        // cancel before running by reaching into the cancellation set through
+        // a scheduled closure is not possible, so test Context::cancel.
+        struct Canceller {
+            target: EventHandle,
+            seen: Vec<u32>,
+        }
+        impl Model for Canceller {
+            type Event = Ev;
+            fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+                if let Ev::Tick(n) = event {
+                    self.seen.push(n);
+                    if n == 0 {
+                        ctx.cancel(self.target);
+                    }
+                }
+            }
+        }
+        engine.prime_at(SimTime::ZERO, Ev::Tick(0));
+        let mut m = Canceller {
+            target: h,
+            seen: vec![],
+        };
+        engine.run(&mut m, None, 1_000);
+        assert_eq!(m.seen, vec![0, 2]);
+    }
+
+    #[test]
+    fn drained_queue_advances_to_until() {
+        let mut engine = Engine::<Ev>::new(0);
+        let end = engine.run(
+            &mut Recorder {
+                seen: vec![],
+                reschedule: false,
+            },
+            Some(SimTime::from_secs(42)),
+            10,
+        );
+        assert_eq!(end, SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        struct PastScheduler {
+            fired: Vec<SimTime>,
+        }
+        impl Model for PastScheduler {
+            type Event = Ev;
+            fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+                self.fired.push(ctx.now());
+                if matches!(event, Ev::Tick(0)) {
+                    // Deliberately schedule "in the past".
+                    ctx.schedule_at(SimTime::ZERO, Ev::Tick(1));
+                }
+            }
+        }
+        let mut engine = Engine::new(0);
+        engine.prime_at(SimTime::from_secs(5), Ev::Tick(0));
+        let mut m = PastScheduler { fired: vec![] };
+        engine.run(&mut m, None, 100);
+        assert_eq!(m.fired, vec![SimTime::from_secs(5), SimTime::from_secs(5)]);
+    }
+}

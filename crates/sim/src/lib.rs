@@ -1,0 +1,36 @@
+//! Deterministic discrete-event simulation kernel for the GEMINI reproduction.
+//!
+//! This crate provides the time base, event queue, deterministic random-number
+//! streams, timeline algebra and statistics collectors shared by every other
+//! crate in the workspace. It is intentionally free of any GEMINI-specific
+//! policy: it only knows about *time*, *events* and *measurements*.
+//!
+//! # Design
+//!
+//! * [`SimTime`] and [`SimDuration`] are integer nanosecond types, so every
+//!   simulation is exactly reproducible across platforms (no floating-point
+//!   clock drift).
+//! * [`Engine`] is a classic calendar-queue discrete-event loop, generic over
+//!   the user's event type. Ties are broken by insertion order, which keeps
+//!   runs deterministic even when many events share a timestamp.
+//! * [`DetRng`] wraps a counter-based PRNG and supports labelled forking so
+//!   independent subsystems draw from independent, reproducible streams.
+//! * [`Timeline`] implements the busy/idle span algebra that the GEMINI
+//!   checkpoint-traffic scheduler (paper §5) operates on.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod timeline;
+pub mod trace;
+
+pub use engine::{Context, Engine, EventHandle, Model};
+pub use rng::DetRng;
+pub use stats::{Counter, Histogram, OnlineStats};
+pub use time::{SimDuration, SimTime};
+pub use timeline::{Span, Timeline};
+pub use trace::TraceLog;

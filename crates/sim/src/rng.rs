@@ -1,0 +1,263 @@
+//! Deterministic, forkable random-number streams.
+//!
+//! Every stochastic element of the simulation (failure arrivals, replacement
+//! delays, profiling jitter, Monte Carlo placement trials) draws from a
+//! [`DetRng`]. Streams are derived from a root seed plus a textual label, so
+//! adding a new consumer never perturbs the draws seen by existing ones — a
+//! property the determinism integration tests rely on.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic random-number generator with labelled forking.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    inner: ChaCha8Rng,
+    seed: u64,
+}
+
+impl DetRng {
+    /// Creates a root stream from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream from this stream's seed and a
+    /// label. Forking is a pure function of `(seed, label)`: it does not
+    /// consume state from `self`, so fork order is irrelevant.
+    pub fn fork(&self, label: &str) -> DetRng {
+        let child_seed = splitmix_combine(self.seed, fnv1a(label.as_bytes()));
+        DetRng::new(child_seed)
+    }
+
+    /// Derives an independent child stream from an integer index (e.g. a
+    /// machine id or trial number).
+    pub fn fork_index(&self, index: u64) -> DetRng {
+        let child_seed = splitmix_combine(self.seed, index ^ 0x9e37_79b9_7f4a_7c15);
+        DetRng::new(child_seed)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform draw in `[lo, hi)`; returns `lo` when the range is empty.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            lo
+        } else {
+            lo + (hi - lo) * self.unit()
+        }
+    }
+
+    /// A uniform integer draw in `[lo, hi)`. Returns `lo` when the range is
+    /// empty.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            lo
+        } else {
+            self.inner.gen_range(lo..hi)
+        }
+    }
+
+    /// An exponentially distributed draw with the given rate `λ` (events per
+    /// unit). Returns `f64::INFINITY` when `λ <= 0`, i.e. the event never
+    /// happens.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        if lambda <= 0.0 {
+            return f64::INFINITY;
+        }
+        // Inverse CDF; `1 - unit()` avoids ln(0).
+        -(1.0 - self.unit()).ln() / lambda
+    }
+
+    /// A Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples `k` distinct indices from `0..n` (a uniform random subset),
+    /// returned in ascending order. Clamps `k` to `n`. This is the inner loop
+    /// of the Monte Carlo recovery-probability estimator, so it avoids
+    /// allocating the full `0..n` vector via partial Fisher–Yates on indices.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        // Partial Fisher–Yates over a lazily-materialized permutation.
+        let mut swaps: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k {
+            let j = self.uniform_u64(i as u64, n as u64) as usize;
+            let vi = *swaps.get(&i).unwrap_or(&i);
+            let vj = *swaps.get(&j).unwrap_or(&j);
+            swaps.insert(j, vi);
+            out.push(vj);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_u64(0, (i + 1) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// FNV-1a hash for labels.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64-style finalizer combining a seed with a label hash.
+fn splitmix_combine(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_give_different_streams() {
+        let root = DetRng::new(7);
+        let mut a = root.fork("failures");
+        let mut b = root.fork("profiling");
+        let same = (0..32).all(|_| a.next_u64() == b.next_u64());
+        assert!(!same);
+    }
+
+    #[test]
+    fn fork_is_order_independent() {
+        let root = DetRng::new(9);
+        let mut a1 = root.fork("a");
+        let _ = root.fork("b");
+        let mut a2 = root.fork("a");
+        for _ in 0..16 {
+            assert_eq!(a1.next_u64(), a2.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut rng = DetRng::new(1);
+        for _ in 0..1000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close_to_inverse_rate() {
+        let mut rng = DetRng::new(5);
+        let lambda = 0.25;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn exponential_zero_rate_is_never() {
+        let mut rng = DetRng::new(5);
+        assert!(rng.exponential(0.0).is_infinite());
+        assert!(rng.exponential(-1.0).is_infinite());
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_sorted() {
+        let mut rng = DetRng::new(11);
+        for _ in 0..200 {
+            let s = rng.sample_distinct(20, 5);
+            assert_eq!(s.len(), 5);
+            for w in s.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(s.iter().all(|&x| x < 20));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_clamps_k() {
+        let mut rng = DetRng::new(11);
+        let s = rng.sample_distinct(3, 10);
+        assert_eq!(s, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sample_distinct_is_roughly_uniform() {
+        let mut rng = DetRng::new(13);
+        let mut counts = [0usize; 6];
+        let trials = 30_000;
+        for _ in 0..trials {
+            for idx in rng.sample_distinct(6, 2) {
+                counts[idx] += 1;
+            }
+        }
+        let expected = trials as f64 * 2.0 / 6.0;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.05,
+                "counts={counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_handles_empty_range() {
+        let mut rng = DetRng::new(3);
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+        assert_eq!(rng.uniform_u64(9, 9), 9);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(17);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,310 @@
+//! Measurement primitives: counters, online moments and histograms.
+//!
+//! Used by the harness to accumulate wasted-time distributions, effective
+//! training-time ratios, retrieval latencies etc. across simulated campaigns.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone event counter.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard deviation normalized by the mean (the paper reports the
+    /// profiled idle-span timeline has normalized stddev < 10%).
+    pub fn normalized_stddev(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev() / m.abs()
+        }
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64) * (other.n as f64) / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A base-2 logarithmic histogram over non-negative values, with a linear
+/// scale factor so callers can pick their resolution (e.g. microseconds).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `buckets[i]` counts values `v` with `2^(i-1) <= v/scale < 2^i`
+    /// (bucket 0 holds `v/scale < 1`).
+    buckets: Vec<u64>,
+    scale: f64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram whose unit bucket boundary is `scale`.
+    pub fn new(scale: f64) -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            scale: if scale > 0.0 { scale } else { 1.0 },
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records a value (negatives clamp to bucket 0).
+    pub fn record(&mut self, v: f64) {
+        let normalized = (v / self.scale).max(0.0);
+        let idx = if normalized < 1.0 {
+            0
+        } else {
+            (normalized.log2().floor() as usize + 1).min(self.buckets.len() - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v.max(0.0);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: returns the upper bound of the bucket containing
+    /// the `q`-quantile observation (q in `[0,1]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.scale * 2f64.powi(i as i32);
+            }
+        }
+        self.scale * 2f64.powi(self.buckets.len() as i32)
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn online_stats_match_closed_form() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.normalized_stddev() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.normalized_stddev(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before);
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(1.0);
+        for v in [0.5, 1.0, 2.0, 3.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        // 0.5 -> bucket 0; 1.0 -> bucket 1; 2,3 -> bucket 2; 4 -> bucket 3;
+        // 100 -> bucket 7.
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.buckets()[3], 1);
+        assert_eq!(h.buckets()[7], 1);
+        assert!(h.quantile(0.5) <= 4.0);
+        assert!(h.quantile(1.0) >= 100.0);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new(1.0);
+        h.record(2.0);
+        h.record(4.0);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_negative_clamps() {
+        let mut h = Histogram::new(1.0);
+        h.record(-5.0);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Integer nanosecond time base.
+//!
+//! All simulated clocks in the workspace use [`SimTime`] (an instant) and
+//! [`SimDuration`] (a span). Both are thin wrappers over `u64` nanoseconds,
+//! giving ~584 years of range — far beyond any training campaign we simulate —
+//! while keeping arithmetic exact and platform-independent.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// Nanoseconds per second, as used by the conversions below.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// An instant on the simulated clock, measured in nanoseconds since the
+/// start of the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinity" sentinel
+    /// (e.g. the unbounded final idle timespan in Algorithm 2 of the paper).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `secs` seconds after the simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * NANOS_PER_SEC)
+    }
+
+    /// Creates an instant from fractional seconds, saturating on overflow
+    /// and clamping negative inputs to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(secs_f64_to_nanos(secs))
+    }
+
+    /// Creates an instant `mins` minutes after the simulation start.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimTime(mins * 60 * NANOS_PER_SEC)
+    }
+
+    /// Creates an instant `hours` hours after the simulation start.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3_600 * NANOS_PER_SEC)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (lossy beyond 2^53 ns).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// The duration elapsed since `earlier`, or zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The duration elapsed since `earlier`; `None` if `earlier` is later.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration (an "infinite" sentinel).
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * NANOS_PER_SEC)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60 * NANOS_PER_SEC)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600 * NANOS_PER_SEC)
+    }
+
+    /// Creates a duration from fractional seconds, saturating on overflow
+    /// and clamping negative inputs to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(secs_f64_to_nanos(secs))
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds (lossy beyond 2^53 ns).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Whether the duration is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Multiplies by a non-negative float factor, saturating on overflow.
+    /// Useful for the paper's `γ` safety coefficient on profiled idle spans.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration(secs_f64_to_nanos(self.as_secs_f64() * factor))
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+/// Converts fractional seconds to saturated nanoseconds (negative → 0).
+fn secs_f64_to_nanos(secs: f64) -> u64 {
+    if !secs.is_finite() {
+        return if secs > 0.0 { u64::MAX } else { 0 };
+    }
+    let nanos = (secs * NANOS_PER_SEC as f64).round();
+    if nanos <= 0.0 {
+        0
+    } else if nanos >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        nanos as u64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.as_secs_f64() / rhs.as_secs_f64()
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", format_nanos(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_nanos(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_nanos(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_nanos(self.0))
+    }
+}
+
+/// Human-readable rendering of a nanosecond count, picking the most natural
+/// unit (ns / µs / ms / s / min / h).
+fn format_nanos(nanos: u64) -> String {
+    if nanos == u64::MAX {
+        return "inf".to_string();
+    }
+    let secs = nanos as f64 / NANOS_PER_SEC as f64;
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2}us", nanos as f64 / 1e3)
+    } else if nanos < NANOS_PER_SEC {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if secs < 120.0 {
+        format!("{secs:.2}s")
+    } else if secs < 7_200.0 {
+        format!("{:.2}min", secs / 60.0)
+    } else {
+        format!("{:.2}h", secs / 3_600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_roundtrip_and_ordering() {
+        let a = SimTime::from_secs(3);
+        let b = SimTime::from_secs_f64(3.5);
+        assert!(a < b);
+        assert_eq!((b - a).as_secs_f64(), 0.5);
+        assert_eq!(a.as_nanos(), 3 * NANOS_PER_SEC);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+        assert_eq!(SimDuration::from_millis(1_500).as_secs_f64(), 1.5);
+        assert_eq!(SimDuration::from_micros(7).as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn saturating_arithmetic_never_wraps() {
+        let big = SimTime::MAX;
+        assert_eq!(big + SimDuration::from_secs(1), SimTime::MAX);
+        assert_eq!(SimTime::ZERO - SimDuration::from_secs(1), SimTime::ZERO);
+        assert_eq!(
+            SimDuration::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimDuration::MAX
+        );
+    }
+
+    #[test]
+    fn negative_and_nonfinite_float_seconds_clamp() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+        assert_eq!(SimTime::from_secs_f64(-0.5), SimTime::ZERO);
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d.mul_f64(0.8), SimDuration::from_secs(8));
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn division_gives_ratio() {
+        let d = SimDuration::from_secs(10);
+        let e = SimDuration::from_secs(4);
+        assert!((d / e - 2.5).abs() < 1e-12);
+        assert_eq!(d / 2u64, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn display_picks_reasonable_units() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_secs(90)), "90.00s");
+        assert_eq!(format!("{}", SimDuration::from_mins(5)), "5.00min");
+        assert_eq!(format!("{}", SimDuration::from_hours(3)), "3.00h");
+        assert_eq!(format!("{}", SimDuration::MAX), "inf");
+    }
+
+    #[test]
+    fn since_helpers() {
+        let a = SimTime::from_secs(5);
+        let b = SimTime::from_secs(8);
+        assert_eq!(b.saturating_since(a), SimDuration::from_secs(3));
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(a.checked_since(b), None);
+        assert_eq!(b.checked_since(a), Some(SimDuration::from_secs(3)));
+    }
+}

@@ -1,0 +1,332 @@
+//! Busy/idle span algebra.
+//!
+//! A [`Timeline`] is a normalized (sorted, disjoint, coalesced) set of
+//! half-open spans `[start, end)`. The training-iteration model produces the
+//! network-busy timeline of one iteration; inverting it over the iteration
+//! window yields the *idle timespans* `T = {t1, …, td}` that GEMINI's
+//! checkpoint partition algorithm (paper §5.3, Algorithm 2) packs checkpoint
+//! chunks into.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A half-open span of simulated time `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Span {
+    /// Inclusive start.
+    pub start: SimTime,
+    /// Exclusive end.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Creates a span; `end` is clamped up to `start` so the span is never
+    /// negative.
+    pub fn new(start: SimTime, end: SimTime) -> Self {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// Creates a span from a start and a length.
+    pub fn with_len(start: SimTime, len: SimDuration) -> Self {
+        Span {
+            start,
+            end: start + len,
+        }
+    }
+
+    /// The span's length.
+    pub fn len(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Whether `t` lies inside the span.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether two spans overlap (share any positive-length interval).
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The intersection of two spans, if non-empty.
+    pub fn intersect(&self, other: &Span) -> Option<Span> {
+        let s = self.start.max(other.start);
+        let e = self.end.min(other.end);
+        (s < e).then(|| Span::new(s, e))
+    }
+
+    /// Translates the span later by `d`.
+    pub fn shifted(&self, d: SimDuration) -> Span {
+        Span {
+            start: self.start + d,
+            end: self.end + d,
+        }
+    }
+}
+
+/// A normalized set of disjoint spans.
+#[derive(Clone, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Builds a timeline from arbitrary spans, normalizing as it goes.
+    pub fn from_spans(spans: impl IntoIterator<Item = Span>) -> Self {
+        let mut t = Timeline::new();
+        for s in spans {
+            t.add(s);
+        }
+        t
+    }
+
+    /// Adds a span, merging it with any spans it touches or overlaps.
+    pub fn add(&mut self, span: Span) {
+        if span.is_empty() {
+            return;
+        }
+        // Find insertion window of spans that touch [start, end].
+        let lo = self.spans.partition_point(|s| s.end < span.start);
+        let hi = self.spans.partition_point(|s| s.start <= span.end);
+        if lo == hi {
+            self.spans.insert(lo, span);
+        } else {
+            let merged = Span::new(
+                self.spans[lo].start.min(span.start),
+                self.spans[hi - 1].end.max(span.end),
+            );
+            self.spans.splice(lo..hi, std::iter::once(merged));
+        }
+    }
+
+    /// The disjoint spans in ascending order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of disjoint spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the timeline has no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total covered duration.
+    pub fn total(&self) -> SimDuration {
+        self.spans
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.len())
+    }
+
+    /// Whether `t` is covered.
+    pub fn contains(&self, t: SimTime) -> bool {
+        let i = self.spans.partition_point(|s| s.end <= t);
+        self.spans.get(i).is_some_and(|s| s.contains(t))
+    }
+
+    /// The complement of this timeline within `window`: the *gaps*. For a
+    /// network-busy timeline this returns the idle timespans of the paper's
+    /// Algorithm 2.
+    pub fn gaps(&self, window: Span) -> Vec<Span> {
+        let mut out = Vec::new();
+        let mut cursor = window.start;
+        for s in &self.spans {
+            if s.end <= window.start {
+                continue;
+            }
+            if s.start >= window.end {
+                break;
+            }
+            if s.start > cursor {
+                out.push(Span::new(cursor, s.start.min(window.end)));
+            }
+            cursor = cursor.max(s.end);
+        }
+        if cursor < window.end {
+            out.push(Span::new(cursor, window.end));
+        }
+        out.retain(|s| !s.is_empty());
+        out
+    }
+
+    /// Union with another timeline.
+    pub fn union(&self, other: &Timeline) -> Timeline {
+        let mut t = self.clone();
+        for s in &other.spans {
+            t.add(*s);
+        }
+        t
+    }
+
+    /// Intersection with another timeline.
+    pub fn intersection(&self, other: &Timeline) -> Timeline {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.spans.len() && j < other.spans.len() {
+            if let Some(x) = self.spans[i].intersect(&other.spans[j]) {
+                out.push(x);
+            }
+            if self.spans[i].end <= other.spans[j].end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        Timeline { spans: out }
+    }
+
+    /// Total overlap duration with another timeline.
+    pub fn overlap(&self, other: &Timeline) -> SimDuration {
+        self.intersection(other).total()
+    }
+
+    /// Translates every span later by `d`.
+    pub fn shifted(&self, d: SimDuration) -> Timeline {
+        Timeline {
+            spans: self.spans.iter().map(|s| s.shifted(d)).collect(),
+        }
+    }
+
+    /// The earliest covered instant, if any.
+    pub fn first_start(&self) -> Option<SimTime> {
+        self.spans.first().map(|s| s.start)
+    }
+
+    /// The latest covered instant, if any.
+    pub fn last_end(&self) -> Option<SimTime> {
+        self.spans.last().map(|s| s.end)
+    }
+
+    /// Asserts the internal normalization invariant (used by property tests).
+    pub fn check_invariants(&self) -> bool {
+        self.spans.windows(2).all(|w| w[0].end < w[1].start)
+            && self.spans.iter().all(|s| !s.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn span(a: u64, b: u64) -> Span {
+        Span::new(secs(a), secs(b))
+    }
+
+    #[test]
+    fn add_merges_overlapping() {
+        let mut t = Timeline::new();
+        t.add(span(0, 2));
+        t.add(span(5, 7));
+        t.add(span(1, 6));
+        assert_eq!(t.spans(), &[span(0, 7)]);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn add_merges_touching() {
+        let mut t = Timeline::new();
+        t.add(span(0, 2));
+        t.add(span(2, 4));
+        assert_eq!(t.spans(), &[span(0, 4)]);
+    }
+
+    #[test]
+    fn add_keeps_disjoint_separate() {
+        let mut t = Timeline::new();
+        t.add(span(4, 6));
+        t.add(span(0, 2));
+        t.add(span(8, 9));
+        assert_eq!(t.spans(), &[span(0, 2), span(4, 6), span(8, 9)]);
+        assert_eq!(t.total(), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn empty_spans_ignored() {
+        let mut t = Timeline::new();
+        t.add(span(3, 3));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn gaps_are_the_complement() {
+        let t = Timeline::from_spans([span(2, 4), span(6, 8)]);
+        let g = t.gaps(span(0, 10));
+        assert_eq!(g, vec![span(0, 2), span(4, 6), span(8, 10)]);
+    }
+
+    #[test]
+    fn gaps_of_empty_timeline_is_window() {
+        let t = Timeline::new();
+        assert_eq!(t.gaps(span(1, 5)), vec![span(1, 5)]);
+    }
+
+    #[test]
+    fn gaps_with_span_straddling_window_edges() {
+        let t = Timeline::from_spans([span(0, 3), span(9, 12)]);
+        assert_eq!(t.gaps(span(2, 10)), vec![span(3, 9)]);
+    }
+
+    #[test]
+    fn gaps_when_fully_busy_is_empty() {
+        let t = Timeline::from_spans([span(0, 10)]);
+        assert!(t.gaps(span(2, 8)).is_empty());
+    }
+
+    #[test]
+    fn contains_uses_half_open_semantics() {
+        let t = Timeline::from_spans([span(1, 3)]);
+        assert!(t.contains(secs(1)));
+        assert!(t.contains(secs(2)));
+        assert!(!t.contains(secs(3)));
+        assert!(!t.contains(secs(0)));
+    }
+
+    #[test]
+    fn intersection_and_overlap() {
+        let a = Timeline::from_spans([span(0, 5), span(10, 15)]);
+        let b = Timeline::from_spans([span(3, 12)]);
+        let i = a.intersection(&b);
+        assert_eq!(i.spans(), &[span(3, 5), span(10, 12)]);
+        assert_eq!(a.overlap(&b), SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Timeline::from_spans([span(0, 2)]);
+        let b = Timeline::from_spans([span(1, 5)]);
+        assert_eq!(a.union(&b).spans(), &[span(0, 5)]);
+    }
+
+    #[test]
+    fn shifted_translates() {
+        let a = Timeline::from_spans([span(0, 2)]);
+        let s = a.shifted(SimDuration::from_secs(3));
+        assert_eq!(s.spans(), &[span(3, 5)]);
+    }
+
+    #[test]
+    fn span_intersect_empty_is_none() {
+        assert!(span(0, 2).intersect(&span(2, 4)).is_none());
+        assert_eq!(span(0, 3).intersect(&span(2, 4)), Some(span(2, 3)));
+    }
+}

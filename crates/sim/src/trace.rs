@@ -1,0 +1,127 @@
+//! Lightweight trace capture for simulation debugging and reports.
+//!
+//! The recovery-drill experiment (paper Fig. 14) renders its timeline from
+//! this log. Tracing is off by default; when disabled, record closures are
+//! never evaluated.
+
+use crate::time::SimTime;
+
+/// One captured trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the record was emitted.
+    pub time: SimTime,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// An append-only, optionally-enabled trace log.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    records: Vec<TraceRecord>,
+}
+
+impl TraceLog {
+    /// A log that captures records.
+    pub fn enabled() -> Self {
+        TraceLog {
+            enabled: true,
+            records: Vec::new(),
+        }
+    }
+
+    /// A log that drops everything (the default).
+    pub fn disabled() -> Self {
+        TraceLog::default()
+    }
+
+    /// Whether capture is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a message at `time`. The closure is only evaluated when the
+    /// log is enabled, so formatting cost is zero in production runs.
+    pub fn record(&mut self, time: SimTime, message: impl FnOnce() -> String) {
+        if self.enabled {
+            self.records.push(TraceRecord {
+                time,
+                message: message(),
+            });
+        }
+    }
+
+    /// All captured records in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records whose message contains `needle`.
+    pub fn find(&self, needle: &str) -> Vec<&TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.message.contains(needle))
+            .collect()
+    }
+
+    /// Renders the log as one line per record.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!("[{}] {}\n", r.time, r.message));
+        }
+        out
+    }
+
+    /// Drops all captured records, keeping the enabled flag.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_never_evaluates_closure() {
+        let mut log = TraceLog::disabled();
+        let mut evaluated = false;
+        log.record(SimTime::ZERO, || {
+            evaluated = true;
+            "x".into()
+        });
+        assert!(!evaluated);
+        assert!(log.records().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_captures_in_order() {
+        let mut log = TraceLog::enabled();
+        log.record(SimTime::from_secs(1), || "first".into());
+        log.record(SimTime::from_secs(2), || "second".into());
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.records()[0].message, "first");
+        assert!(log.render().contains("second"));
+    }
+
+    #[test]
+    fn find_filters_by_substring() {
+        let mut log = TraceLog::enabled();
+        log.record(SimTime::ZERO, || "ckpt start".into());
+        log.record(SimTime::ZERO, || "failure detected".into());
+        log.record(SimTime::ZERO, || "ckpt end".into());
+        assert_eq!(log.find("ckpt").len(), 2);
+        assert_eq!(log.find("nothing").len(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_enabled() {
+        let mut log = TraceLog::enabled();
+        log.record(SimTime::ZERO, || "x".into());
+        log.clear();
+        assert!(log.records().is_empty());
+        assert!(log.is_enabled());
+    }
+}

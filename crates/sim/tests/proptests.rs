@@ -1,0 +1,174 @@
+//! Property-based tests for the simulation kernel: timeline algebra,
+//! statistics, random streams and the event loop.
+
+use gemini_sim::{DetRng, Engine, Model, OnlineStats, SimDuration, SimTime, Span, Timeline};
+use proptest::prelude::*;
+
+fn span_strategy() -> impl Strategy<Value = Span> {
+    (0u64..100_000, 0u64..10_000).prop_map(|(start, len)| {
+        Span::new(SimTime::from_nanos(start), SimTime::from_nanos(start + len))
+    })
+}
+
+fn timeline_strategy() -> impl Strategy<Value = (Vec<Span>, Timeline)> {
+    proptest::collection::vec(span_strategy(), 0..40)
+        .prop_map(|spans| (spans.clone(), Timeline::from_spans(spans)))
+}
+
+proptest! {
+    #[test]
+    fn timeline_always_normalized((_, tl) in timeline_strategy()) {
+        prop_assert!(tl.check_invariants());
+    }
+
+    #[test]
+    fn timeline_total_bounded_by_hull((spans, tl) in timeline_strategy()) {
+        let hull: u64 = spans
+            .iter()
+            .map(|s| s.end.as_nanos())
+            .max()
+            .unwrap_or(0);
+        prop_assert!(tl.total().as_nanos() <= hull);
+        // Total is at least the longest single span.
+        let longest = spans.iter().map(|s| s.len().as_nanos()).max().unwrap_or(0);
+        prop_assert!(tl.total().as_nanos() >= longest);
+    }
+
+    #[test]
+    fn gaps_and_busy_partition_the_window((_, tl) in timeline_strategy()) {
+        let window = Span::new(SimTime::ZERO, SimTime::from_nanos(200_000));
+        let gaps = Timeline::from_spans(tl.gaps(window));
+        let busy_in_window = tl.intersection(&Timeline::from_spans([window]));
+        // Disjoint...
+        prop_assert!(gaps.overlap(&tl).is_zero());
+        // ...and together they cover the whole window exactly.
+        let covered = gaps.total() + busy_in_window.total();
+        prop_assert_eq!(covered, window.len());
+    }
+
+    #[test]
+    fn adding_a_covered_span_is_a_noop((spans, tl) in timeline_strategy()) {
+        prop_assume!(!spans.is_empty());
+        let mut tl2 = tl.clone();
+        // Re-add the first original span: already covered.
+        tl2.add(spans[0]);
+        prop_assert_eq!(tl, tl2);
+    }
+
+    #[test]
+    fn union_is_commutative_and_contains_both(
+        (_, a) in timeline_strategy(),
+        (_, b) in timeline_strategy(),
+    ) {
+        let ab = a.union(&b);
+        let ba = b.union(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.overlap(&a), a.total());
+        prop_assert_eq!(ab.overlap(&b), b.total());
+    }
+
+    #[test]
+    fn intersection_is_symmetric_and_bounded(
+        (_, a) in timeline_strategy(),
+        (_, b) in timeline_strategy(),
+    ) {
+        let i = a.intersection(&b);
+        prop_assert_eq!(i.total(), b.intersection(&a).total());
+        prop_assert!(i.total() <= a.total().min(b.total()));
+        prop_assert!(i.check_invariants());
+    }
+
+    #[test]
+    fn contains_agrees_with_spans((_, tl) in timeline_strategy(), t in 0u64..120_000) {
+        let t = SimTime::from_nanos(t);
+        let expected = tl.spans().iter().any(|s| s.contains(t));
+        prop_assert_eq!(tl.contains(t), expected);
+    }
+
+    #[test]
+    fn stats_merge_equals_sequential(xs in proptest::collection::vec(-1e6f64..1e6, 1..200), split in 0usize..200) {
+        let split = split.min(xs.len());
+        let mut all = OnlineStats::new();
+        for &x in &xs { all.push(x); }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - all.variance()).abs() / (all.variance() + 1.0) < 1e-6);
+    }
+
+    #[test]
+    fn stats_mean_within_bounds(xs in proptest::collection::vec(-1e9f64..1e9, 1..100)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs { s.push(x); }
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+    }
+
+    #[test]
+    fn rng_sample_distinct_properties(seed in any::<u64>(), n in 1usize..200, k in 0usize..50) {
+        let mut rng = DetRng::new(seed);
+        let sample = rng.sample_distinct(n, k);
+        prop_assert_eq!(sample.len(), k.min(n));
+        for w in sample.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(sample.iter().all(|&x| x < n));
+    }
+
+    #[test]
+    fn rng_fork_deterministic(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let root = DetRng::new(seed);
+        let mut a = root.fork(&label);
+        let mut b = root.fork(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn duration_arithmetic_saturates_not_wraps(a in any::<u64>(), b in any::<u64>()) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db).as_nanos(), a.saturating_add(b));
+        prop_assert_eq!((da - db).as_nanos(), a.saturating_sub(b));
+        prop_assert_eq!(da.max(db).as_nanos(), a.max(b));
+    }
+}
+
+/// The engine fires randomly scheduled events in non-decreasing time
+/// order, ties by insertion order.
+#[derive(Default)]
+struct Collector {
+    fired: Vec<(SimTime, usize)>,
+}
+
+impl Model for Collector {
+    type Event = usize;
+    fn handle(&mut self, ctx: &mut gemini_sim::Context<'_, usize>, event: usize) {
+        self.fired.push((ctx.now(), event));
+    }
+}
+
+proptest! {
+    #[test]
+    fn engine_fires_in_time_order(times in proptest::collection::vec(0u64..1_000, 1..100)) {
+        let mut engine = Engine::new(0);
+        for (i, &t) in times.iter().enumerate() {
+            engine.prime_at(SimTime::from_nanos(t), i);
+        }
+        let mut m = Collector::default();
+        engine.run(&mut m, None, 1_000_000);
+        prop_assert_eq!(m.fired.len(), times.len());
+        for w in m.fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                // Ties fire in insertion (index) order.
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! The training data pipeline: a synthetic corpus, a sharded, shuffling
+//! data loader, and the loader state that checkpoints must capture.
+//!
+//! The paper trains on the Wikipedia-en corpus (§7.1). The corpus itself is
+//! immaterial to failure recovery, but the *data-loader position* is not:
+//! rolling the model states back to iteration `k` without also rolling the
+//! sampler back replays or skips data and changes the training trajectory.
+//! DeepSpeed therefore persists the loader state inside every checkpoint,
+//! and so do we — [`DataLoaderState`] is tiny, deterministic to encode, and
+//! travels with the model-state shards through the checkpoint codec.
+
+use gemini_sim::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// A synthetic tokenized corpus: `samples` sequences of `seq_len` tokens,
+/// generated deterministically from a seed (a stand-in for Wikipedia-en).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyntheticCorpus {
+    /// Number of sequences.
+    pub samples: u64,
+    /// Tokens per sequence.
+    pub seq_len: u64,
+    /// Vocabulary size (tokens are in `0..vocab`).
+    pub vocab: u64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl SyntheticCorpus {
+    /// A corpus sized like the paper's setting (vocab 50 265, sequence
+    /// length 512).
+    pub fn paper_sized(samples: u64, seed: u64) -> SyntheticCorpus {
+        SyntheticCorpus {
+            samples,
+            seq_len: 512,
+            vocab: 50_265,
+            seed,
+        }
+    }
+
+    /// The tokens of sequence `index` (deterministic; out-of-range indices
+    /// wrap, modelling epoch restarts at the storage layer).
+    pub fn sequence(&self, index: u64) -> Vec<u32> {
+        let index = if self.samples == 0 {
+            0
+        } else {
+            index % self.samples
+        };
+        let mut rng = DetRng::new(self.seed).fork_index(index);
+        (0..self.seq_len)
+            .map(|_| rng.uniform_u64(0, self.vocab.max(1)) as u32)
+            .collect()
+    }
+}
+
+/// The sampler position a checkpoint must capture to make recovery
+/// trajectory-preserving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataLoaderState {
+    /// Current epoch (reshuffle generation).
+    pub epoch: u64,
+    /// Samples already consumed within the epoch (across all ranks).
+    pub cursor: u64,
+}
+
+impl DataLoaderState {
+    /// The start-of-training state.
+    pub fn initial() -> DataLoaderState {
+        DataLoaderState {
+            epoch: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Serializes into a fixed 16-byte record (embedded in checkpoint
+    /// frames next to the model states).
+    pub fn encode(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.epoch.to_le_bytes());
+        out[8..].copy_from_slice(&self.cursor.to_le_bytes());
+        out
+    }
+
+    /// Decodes a 16-byte record.
+    pub fn decode(bytes: &[u8]) -> Option<DataLoaderState> {
+        if bytes.len() != 16 {
+            return None;
+        }
+        Some(DataLoaderState {
+            epoch: u64::from_le_bytes(bytes[..8].try_into().ok()?),
+            cursor: u64::from_le_bytes(bytes[8..].try_into().ok()?),
+        })
+    }
+}
+
+/// A sharded, shuffling data loader: every rank sees a disjoint slice of a
+/// per-epoch permutation, like `DistributedSampler`.
+#[derive(Clone, Debug)]
+pub struct DataLoader {
+    corpus: SyntheticCorpus,
+    world: u64,
+    micro_batch: u64,
+    state: DataLoaderState,
+    /// The current epoch's permutation (lazily rebuilt on epoch change).
+    permutation: Vec<u64>,
+    permutation_epoch: u64,
+}
+
+impl DataLoader {
+    /// Creates a loader over `corpus` for `world` ranks with per-rank batch
+    /// `micro_batch`, starting at `state`.
+    pub fn new(
+        corpus: SyntheticCorpus,
+        world: u64,
+        micro_batch: u64,
+        state: DataLoaderState,
+    ) -> DataLoader {
+        let mut loader = DataLoader {
+            corpus,
+            world: world.max(1),
+            micro_batch: micro_batch.max(1),
+            state,
+            permutation: Vec::new(),
+            permutation_epoch: u64::MAX,
+        };
+        loader.ensure_permutation();
+        loader
+    }
+
+    /// Samples consumed per global step.
+    pub fn samples_per_step(&self) -> u64 {
+        self.world * self.micro_batch
+    }
+
+    /// The loader's checkpointable state.
+    pub fn state(&self) -> DataLoaderState {
+        self.state
+    }
+
+    /// Rewinds (or fast-forwards) to a checkpointed state — the recovery
+    /// path.
+    pub fn restore(&mut self, state: DataLoaderState) {
+        self.state = state;
+        self.ensure_permutation();
+    }
+
+    fn ensure_permutation(&mut self) {
+        if self.permutation_epoch == self.state.epoch {
+            return;
+        }
+        let mut perm: Vec<u64> = (0..self.corpus.samples).collect();
+        let mut rng = DetRng::new(self.corpus.seed)
+            .fork("shuffle")
+            .fork_index(self.state.epoch);
+        rng.shuffle(&mut perm);
+        self.permutation = perm;
+        self.permutation_epoch = self.state.epoch;
+    }
+
+    /// Produces every rank's sample indices for the next global step and
+    /// advances the cursor once (wrapping into the next epoch as needed —
+    /// a step never straddles epochs; the tail is dropped, as
+    /// `DistributedSampler` does with `drop_last`).
+    pub fn next_step(&mut self) -> Vec<Vec<u64>> {
+        let per_step = self.samples_per_step();
+        if self.corpus.samples == 0 {
+            return vec![Vec::new(); self.world as usize];
+        }
+        if self.state.cursor + per_step > self.corpus.samples {
+            self.state.epoch += 1;
+            self.state.cursor = 0;
+            self.ensure_permutation();
+        }
+        let batches = (0..self.world)
+            .map(|rank| {
+                let base = self.state.cursor + rank * self.micro_batch;
+                (0..self.micro_batch)
+                    .map(|i| {
+                        let pos = (base + i) as usize % self.permutation.len().max(1);
+                        self.permutation[pos]
+                    })
+                    .collect()
+            })
+            .collect();
+        self.state.cursor += per_step;
+        batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(samples: u64) -> SyntheticCorpus {
+        SyntheticCorpus::paper_sized(samples, 7)
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_in_vocab() {
+        let c = corpus(100);
+        let a = c.sequence(42);
+        let b = c.sequence(42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 512);
+        assert!(a.iter().all(|&t| (t as u64) < c.vocab));
+        assert_ne!(c.sequence(42), c.sequence(43));
+    }
+
+    #[test]
+    fn out_of_range_indices_wrap() {
+        let c = corpus(10);
+        assert_eq!(c.sequence(3), c.sequence(13));
+    }
+
+    #[test]
+    fn ranks_see_disjoint_slices() {
+        let mut loader = DataLoader::new(corpus(1_000), 4, 8, DataLoaderState::initial());
+        let mut seen = std::collections::BTreeSet::new();
+        for batch in loader.next_step() {
+            assert_eq!(batch.len(), 8);
+            for idx in batch {
+                assert!(seen.insert(idx), "sample {idx} served twice in one step");
+            }
+        }
+        assert_eq!(seen.len(), 32);
+    }
+
+    #[test]
+    fn epochs_reshuffle() {
+        let c = corpus(64);
+        let mut loader = DataLoader::new(c.clone(), 1, 8, DataLoaderState::initial());
+        let mut epoch0 = Vec::new();
+        for _ in 0..8 {
+            epoch0.extend(loader.next_step().remove(0));
+        }
+        assert_eq!(loader.state().epoch, 0);
+        // Next step wraps into epoch 1 with a different permutation.
+        let first_of_epoch1 = loader.next_step().remove(0);
+        assert_eq!(loader.state().epoch, 1);
+        // Both epochs cover the same sample set...
+        let mut sorted = epoch0.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        // ...in a different order.
+        assert_ne!(&epoch0[..8], &first_of_epoch1[..]);
+    }
+
+    #[test]
+    fn restore_replays_the_same_data() {
+        let mut loader = DataLoader::new(corpus(512), 2, 4, DataLoaderState::initial());
+        for _ in 0..10 {
+            loader.next_step();
+        }
+        let ckpt = loader.state();
+        let replay_a: Vec<Vec<Vec<u64>>> = (0..6).map(|_| loader.next_step()).collect();
+        // Failure: roll back to the checkpoint and replay.
+        loader.restore(ckpt);
+        let replay_b: Vec<Vec<Vec<u64>>> = (0..6).map(|_| loader.next_step()).collect();
+        assert_eq!(replay_a, replay_b, "recovery must be trajectory-preserving");
+    }
+
+    #[test]
+    fn restore_across_epoch_boundary() {
+        let mut loader = DataLoader::new(corpus(40), 2, 4, DataLoaderState::initial());
+        // 8 samples/step, 40 samples/epoch → 5 steps per epoch.
+        for _ in 0..7 {
+            loader.next_step();
+        }
+        assert_eq!(loader.state().epoch, 1);
+        let ckpt = loader.state();
+        let a = loader.next_step();
+        loader.restore(ckpt);
+        let b = loader.next_step();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn state_roundtrips_through_bytes() {
+        let s = DataLoaderState {
+            epoch: 3,
+            cursor: 12_345,
+        };
+        assert_eq!(DataLoaderState::decode(&s.encode()), Some(s));
+        assert_eq!(DataLoaderState::decode(&[0u8; 7]), None);
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_batches() {
+        let mut loader = DataLoader::new(corpus(0), 2, 4, DataLoaderState::initial());
+        let batches = loader.next_step();
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(Vec::is_empty));
+    }
+}

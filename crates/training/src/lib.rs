@@ -1,0 +1,26 @@
+//! The ZeRO-3 training model.
+//!
+//! GEMINI schedules checkpoint traffic into the *network idle timespans* of
+//! a training iteration (paper §5). This crate produces those timespans from
+//! first principles: model configurations (the paper's Table 2), ZeRO-3
+//! sharding arithmetic, a per-layer iteration-timeline generator whose
+//! constants are calibrated against the paper's measured anchors, and the
+//! online profiler that observes the first iterations of a (jittered) run
+//! and emits the averaged idle profile Algorithm 2 consumes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod data;
+pub mod memory;
+pub mod models;
+pub mod profiler;
+pub mod timeline;
+pub mod zero;
+
+pub use data::{DataLoader, DataLoaderState, SyntheticCorpus};
+pub use memory::MemoryFootprint;
+pub use models::{Architecture, ModelConfig, TABLE2_MODELS};
+pub use profiler::{IdleProfile, OnlineProfiler};
+pub use timeline::{IterationTimeline, TimelineBuilder};
+pub use zero::Zero3Setup;

@@ -1,0 +1,154 @@
+//! Per-GPU memory accounting for ZeRO-3 training.
+//!
+//! The paper reports hard capacity walls: "The largest model size we can
+//! train is 100B given the machine scale and the GPU memory size. Further
+//! increasing the model size causes GPU out-of-memory errors" on 16 p4d
+//! (40 GB A100s), and 40B on 16 p3dn (32 GB V100s) (§7.2). This module
+//! prices the components of a rank's footprint:
+//!
+//! * the ZeRO-3 **shard**: fp16 params + fp16 grads + fp32 master params +
+//!   Adam moments = 16 bytes per parameter, divided by the world size;
+//! * **activations** with recomputation: one fp16 tensor of
+//!   `micro_batch × seq × hidden` per layer (the checkpointed layer
+//!   inputs);
+//! * the **gathered working set**: the fp16 parameters of the layer in
+//!   flight plus the prefetch window;
+//! * a calibrated **workspace factor** covering what no analytic model
+//!   sees — allocator fragmentation, NCCL rings, cuBLAS workspaces,
+//!   gradient-norm scratch — fixed once against the paper's two capacity
+//!   anchors.
+
+use crate::models::ModelConfig;
+use gemini_cluster::InstanceType;
+use gemini_net::ByteSize;
+use serde::Serialize;
+
+/// Multiplier on the analytic footprint covering fragmentation and
+/// framework workspaces; calibrated so the paper's capacity walls come out
+/// (100B trains on 16 p4d but not much more; 40B on 16 p3dn likewise).
+pub const WORKSPACE_FACTOR: f64 = 1.6;
+
+/// Parameter-gather prefetch depth assumed resident (current layer + the
+/// prefetched window, matching the timeline generator).
+const RESIDENT_GATHERED_LAYERS: u64 = 3;
+
+/// The per-GPU memory footprint breakdown.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MemoryFootprint {
+    /// ZeRO-3 shard: 16 bytes/param ÷ world.
+    pub shard: ByteSize,
+    /// Checkpointed activations (with recomputation).
+    pub activations: ByteSize,
+    /// Gathered fp16 parameters of the in-flight layers.
+    pub gathered: ByteSize,
+    /// Everything, workspace factor applied.
+    pub total: ByteSize,
+}
+
+/// Prices `model` on `world` GPUs.
+pub fn footprint(model: &ModelConfig, world: usize) -> MemoryFootprint {
+    let world = world.max(1) as u64;
+    let shard = ByteSize::from_bytes(16 * model.params() / world);
+    // One fp16 activation tensor of mb × seq × hidden per layer survives
+    // recomputation, plus the embedding output.
+    let act_per_layer = model.micro_batch * model.seq_len * model.hidden * 2;
+    let activations = ByteSize::from_bytes(act_per_layer * (model.layers as u64 + 1));
+    let gathered = ByteSize::from_bytes(2 * model.layer_params() * RESIDENT_GATHERED_LAYERS);
+    let raw = shard + activations + gathered;
+    let total = ByteSize::from_bytes((raw.as_bytes() as f64 * WORKSPACE_FACTOR) as u64);
+    MemoryFootprint {
+        shard,
+        activations,
+        gathered,
+        total,
+    }
+}
+
+/// Whether `model` fits the GPUs of `machines × instance`.
+pub fn fits(model: &ModelConfig, instance: &InstanceType, machines: usize) -> bool {
+    let world = machines * instance.gpus as usize;
+    footprint(model, world).total <= instance.gpu_mem
+}
+
+/// The largest Table 2 model that fits the given deployment, by nominal
+/// size.
+pub fn largest_trainable(instance: &InstanceType, machines: usize) -> Option<&'static ModelConfig> {
+    crate::models::TABLE2_MODELS
+        .iter()
+        .filter(|m| fits(m, instance, machines))
+        .max_by_key(|m| m.nominal_params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::TABLE2_MODELS;
+
+    #[test]
+    fn paper_deployments_fit() {
+        // Every pairing the evaluation actually ran.
+        for (name, inst) in [
+            ("GPT-2 100B", InstanceType::p4d()),
+            ("RoBERTa 100B", InstanceType::p4d()),
+            ("BERT 100B", InstanceType::p4d()),
+            ("GPT-2 10B", InstanceType::p3dn()),
+            ("GPT-2 20B", InstanceType::p3dn()),
+            ("GPT-2 40B", InstanceType::p3dn()),
+        ] {
+            let m = ModelConfig::by_name(name).unwrap();
+            assert!(fits(m, inst, 16), "{name} must fit 16 {}", inst.name);
+        }
+    }
+
+    #[test]
+    fn capacity_walls_match_section_7_2() {
+        // "The largest model size we can train is 100B" on 16 p4d...
+        assert_eq!(
+            largest_trainable(InstanceType::p4d(), 16)
+                .unwrap()
+                .nominal_params,
+            100_000_000_000
+        );
+        // ...and 40B on 16 p3dn.
+        assert_eq!(
+            largest_trainable(InstanceType::p3dn(), 16)
+                .unwrap()
+                .nominal_params,
+            40_000_000_000
+        );
+        // 100B does NOT fit the V100 deployment.
+        assert!(!fits(ModelConfig::gpt2_100b(), InstanceType::p3dn(), 16));
+    }
+
+    #[test]
+    fn footprint_components_are_sane_for_100b() {
+        let f = footprint(ModelConfig::gpt2_100b(), 128);
+        // 16 B/param × 100e9 / 128 = 12.5 GB shard.
+        assert!((f.shard.as_gb_f64() - 12.5).abs() < 0.01);
+        // 8×512×8192×2 × 125 layers ≈ 8.4 GB of activations.
+        assert!((f.activations.as_gb_f64() - 8.4).abs() < 0.2);
+        assert!(f.total > f.shard + f.activations);
+        // Within the A100's 40 GiB.
+        assert!(f.total <= InstanceType::p4d().gpu_mem);
+    }
+
+    #[test]
+    fn fewer_machines_need_more_memory_per_gpu() {
+        let big = footprint(ModelConfig::gpt2_100b(), 128).total;
+        let small = footprint(ModelConfig::gpt2_100b(), 32).total;
+        assert!(small > big);
+        // 100B on 4 machines blows the A100 budget outright.
+        assert!(!fits(ModelConfig::gpt2_100b(), InstanceType::p4d(), 4));
+    }
+
+    #[test]
+    fn monotone_in_model_size() {
+        let mut prev = ByteSize::ZERO;
+        for name in ["GPT-2 10B", "GPT-2 20B", "GPT-2 40B", "GPT-2 100B"] {
+            let m = TABLE2_MODELS.iter().find(|m| m.name == name).unwrap();
+            let f = footprint(m, 128);
+            assert!(f.total > prev, "{name}");
+            prev = f.total;
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The online profiler (paper §5.4).
+//!
+//! GEMINI trains the first ~20 iterations *without* checkpointing, records
+//! the start and end timestamps of every communication operation, and
+//! derives the averaged idle-timespan profile used by the checkpoint
+//! partition algorithm. The paper observes the profiled timeline is nearly
+//! constant across iterations (normalized standard deviation < 10%), which
+//! justifies scheduling against the average.
+
+use crate::timeline::IterationTimeline;
+use gemini_sim::{OnlineStats, SimDuration, SimTime, Span};
+use serde::{Deserialize, Serialize};
+
+/// Default number of warm-up iterations profiled before checkpointing
+/// starts ("e.g., 20 iterations in our implementation", §5.4).
+pub const DEFAULT_PROFILE_ITERATIONS: usize = 20;
+
+/// The averaged idle-timespan profile of one iteration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IdleProfile {
+    /// Averaged idle spans, in iteration-relative time, ascending.
+    pub spans: Vec<Span>,
+    /// Averaged iteration length.
+    pub iteration_time: SimDuration,
+    /// Normalized standard deviation of the iteration time across the
+    /// profiled window.
+    pub iter_time_normalized_stddev: f64,
+}
+
+impl IdleProfile {
+    /// Total idle time in the averaged profile.
+    pub fn total_idle(&self) -> SimDuration {
+        self.spans
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.len())
+    }
+
+    /// The idle-span lengths, the `T = {t1, …, td}` input of Algorithm 2.
+    pub fn span_lengths(&self) -> Vec<SimDuration> {
+        self.spans.iter().map(|s| s.len()).collect()
+    }
+}
+
+/// Accumulates observed iterations and produces an [`IdleProfile`].
+#[derive(Clone, Debug, Default)]
+pub struct OnlineProfiler {
+    observed: Vec<Vec<Span>>,
+    iter_times: OnlineStats,
+    target: usize,
+}
+
+impl OnlineProfiler {
+    /// A profiler that wants `target` iterations before reporting.
+    pub fn new(target: usize) -> Self {
+        OnlineProfiler {
+            observed: Vec::new(),
+            iter_times: OnlineStats::new(),
+            target: target.max(1),
+        }
+    }
+
+    /// A profiler with the paper's default window of 20 iterations.
+    pub fn with_default_window() -> Self {
+        Self::new(DEFAULT_PROFILE_ITERATIONS)
+    }
+
+    /// Records one iteration's timeline.
+    pub fn observe(&mut self, timeline: &IterationTimeline) {
+        self.observed.push(timeline.idle_spans());
+        self.iter_times
+            .push(timeline.iteration_time().as_secs_f64());
+    }
+
+    /// Iterations observed so far.
+    pub fn observed_count(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// Whether enough iterations have been observed.
+    pub fn is_ready(&self) -> bool {
+        self.observed.len() >= self.target
+    }
+
+    /// Produces the averaged idle profile, or `None` before the window is
+    /// full.
+    ///
+    /// Spans are aligned by index (the paper's observation that the
+    /// timeline structure is stable across iterations), except the *final*
+    /// span — the network-silent optimizer-update tail, which every
+    /// iteration has — which is aligned last-to-last. Jitter occasionally
+    /// merges or splits tiny mid-iteration gaps, so iterations with a
+    /// deviant span count are conservatively truncated to the common
+    /// prefix; anchoring the tail separately keeps the structurally
+    /// load-bearing update span in the profile regardless.
+    pub fn profile(&self) -> Option<IdleProfile> {
+        if !self.is_ready() {
+            return None;
+        }
+        let common = self.observed.iter().map(|s| s.len()).min().unwrap_or(0);
+        if common == 0 {
+            return Some(IdleProfile {
+                spans: Vec::new(),
+                iteration_time: SimDuration::from_secs_f64(self.iter_times.mean()),
+                iter_time_normalized_stddev: self.iter_times.normalized_stddev(),
+            });
+        }
+        let n = self.observed.len() as f64;
+        let mut spans = Vec::with_capacity(common);
+        let average = |pick: &dyn Fn(&Vec<Span>) -> Span| -> Span {
+            let (mut start_acc, mut end_acc) = (0.0f64, 0.0f64);
+            for obs in &self.observed {
+                let s = pick(obs);
+                start_acc += s.start.as_secs_f64();
+                end_acc += s.end.as_secs_f64();
+            }
+            Span::new(
+                SimTime::from_secs_f64(start_acc / n),
+                SimTime::from_secs_f64(end_acc / n),
+            )
+        };
+        for idx in 0..common - 1 {
+            spans.push(average(&|obs: &Vec<Span>| obs[idx]));
+        }
+        // The final span: each iteration's last gap (the update phase).
+        spans.push(average(&|obs: &Vec<Span>| *obs.last().expect("non-empty")));
+        Some(IdleProfile {
+            spans,
+            iteration_time: SimDuration::from_secs_f64(self.iter_times.mean()),
+            iter_time_normalized_stddev: self.iter_times.normalized_stddev(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelConfig;
+    use crate::timeline::TimelineBuilder;
+    use gemini_cluster::InstanceType;
+    use gemini_sim::DetRng;
+
+    fn builder() -> TimelineBuilder {
+        TimelineBuilder::new(ModelConfig::gpt2_100b(), InstanceType::p4d(), 16)
+    }
+
+    fn profiled(noise: f64, seed: u64) -> IdleProfile {
+        let b = builder();
+        let mut rng = DetRng::new(seed);
+        let mut p = OnlineProfiler::with_default_window();
+        for _ in 0..DEFAULT_PROFILE_ITERATIONS {
+            p.observe(&b.build_jittered(&mut rng, noise));
+        }
+        p.profile().expect("window full")
+    }
+
+    #[test]
+    fn not_ready_before_window_full() {
+        let b = builder();
+        let mut p = OnlineProfiler::new(5);
+        for i in 0..4 {
+            assert!(!p.is_ready(), "iteration {i}");
+            assert!(p.profile().is_none());
+            p.observe(&b.build());
+        }
+        assert!(!p.is_ready());
+        p.observe(&b.build());
+        assert!(p.is_ready());
+        assert!(p.profile().is_some());
+    }
+
+    #[test]
+    fn noise_free_profile_equals_single_timeline() {
+        let b = builder();
+        let tl = b.build();
+        let mut p = OnlineProfiler::new(3);
+        for _ in 0..3 {
+            p.observe(&tl);
+        }
+        let prof = p.profile().unwrap();
+        assert_eq!(prof.spans.len(), tl.idle_spans().len());
+        assert_eq!(prof.iteration_time, tl.iteration_time());
+        assert_eq!(prof.iter_time_normalized_stddev, 0.0);
+        assert_eq!(prof.total_idle(), tl.network_idle_total());
+    }
+
+    #[test]
+    fn jittered_profile_stddev_below_10_percent() {
+        // §5.4: normalized stddev of the measurements is below 10%.
+        let prof = profiled(0.05, 7);
+        assert!(
+            prof.iter_time_normalized_stddev < 0.10,
+            "stddev = {}",
+            prof.iter_time_normalized_stddev
+        );
+        assert!(!prof.spans.is_empty());
+    }
+
+    #[test]
+    fn jittered_profile_close_to_deterministic() {
+        let base = builder().build();
+        let prof = profiled(0.05, 8);
+        let base_idle = base.network_idle_total().as_secs_f64();
+        let prof_idle = prof.total_idle().as_secs_f64();
+        assert!(
+            (prof_idle - base_idle).abs() / base_idle < 0.25,
+            "base {base_idle:.2}s, profiled {prof_idle:.2}s"
+        );
+    }
+
+    #[test]
+    fn span_lengths_match_spans() {
+        let prof = profiled(0.02, 9);
+        let lens = prof.span_lengths();
+        assert_eq!(lens.len(), prof.spans.len());
+        for (l, s) in lens.iter().zip(&prof.spans) {
+            assert_eq!(*l, s.len());
+        }
+    }
+
+    #[test]
+    fn target_clamps_to_one() {
+        let p = OnlineProfiler::new(0);
+        assert!(!p.is_ready());
+    }
+}

@@ -1,0 +1,484 @@
+//! The iteration-timeline generator.
+//!
+//! Reproduces the communication/computation structure of a ZeRO-3 training
+//! iteration (paper Fig. 4): per-layer parameter all-gathers in the forward
+//! pass, all-gathers plus gradient reduce-scatters in the backward pass, and
+//! a network-silent optimizer update at the end. The NIC is a FIFO resource;
+//! collectives are issued in program order with prefetching, so the network
+//! shows a long busy block early in the iteration and increasingly many
+//! *idle timespans* as computation falls behind communication — the gaps
+//! GEMINI fills with checkpoint traffic.
+//!
+//! ## Calibration
+//!
+//! All hardware constants come from the instance catalog
+//! ([`gemini_cluster::catalog`]); the single constant owned by this module
+//! is [`OPTIMIZER_PARAMS_PER_SEC`], the effective optimizer-update
+//! throughput per GPU. Together they are fixed so that GPT-2 100B on 16
+//! p4d.24xlarge machines lands on the paper's anchors: ≈62 s iterations with
+//! roughly 12–15 s of network idle time (§7.2, Fig. 7/8), and GPT-2 40B on
+//! 16 p3dn.24xlarge lands near 45 s (Fig. 13/16).
+
+use crate::models::ModelConfig;
+use crate::zero::Zero3Setup;
+use gemini_cluster::InstanceType;
+use gemini_collectives::{collective_time, CollectiveKind};
+use gemini_net::{ByteSize, TransferCost};
+use gemini_sim::{DetRng, SimDuration, SimTime, Span, Timeline};
+use serde::{Deserialize, Serialize};
+
+/// Effective optimizer-update throughput per GPU, in parameters per second.
+///
+/// DeepSpeed's mixed-precision Adam step touches the fp32 master weights and
+/// both moments, computes the global gradient norm and re-casts to fp16; at
+/// 100 B-parameter scale this takes several seconds per iteration. The value
+/// is calibrated so the GPT-2 100B update phase is ≈9.5 s, which closes the
+/// gap between the 52.5 s of overlapped compute and the paper's measured
+/// 62 s iteration.
+pub const OPTIMIZER_PARAMS_PER_SEC: f64 = 8.2e7;
+
+/// How many layers ahead parameter all-gathers are prefetched in the
+/// backward pass (DeepSpeed prefetches a small window of upcoming layers).
+const PREFETCH_DEPTH: usize = 2;
+
+/// The kind of an operation on the iteration timeline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Forward-pass parameter all-gather.
+    ForwardAllGather,
+    /// Forward-pass layer computation.
+    ForwardCompute,
+    /// Backward-pass parameter all-gather.
+    BackwardAllGather,
+    /// Backward-pass layer computation (incl. activation recomputation).
+    BackwardCompute,
+    /// Gradient reduce-scatter.
+    ReduceScatter,
+    /// Optimizer update (network-silent).
+    Update,
+}
+
+/// One placed operation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PlacedOp {
+    /// What the operation is.
+    pub kind: OpKind,
+    /// Which layer it belongs to (`None` for embeddings / update).
+    pub layer: Option<u32>,
+    /// Where it sits on the timeline.
+    pub span: Span,
+}
+
+/// The complete timeline of one training iteration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IterationTimeline {
+    /// The iteration window `[0, iteration_time)`.
+    pub window: Span,
+    /// Network (NIC) busy spans.
+    pub network_busy: Timeline,
+    /// GPU compute busy spans.
+    pub compute_busy: Timeline,
+    /// The optimizer-update span at the end of the iteration.
+    pub update_span: Span,
+    /// Every placed operation, for inspection and rendering.
+    pub ops: Vec<PlacedOp>,
+}
+
+impl IterationTimeline {
+    /// Total iteration time.
+    pub fn iteration_time(&self) -> SimDuration {
+        self.window.len()
+    }
+
+    /// The network idle timespans within the iteration — the set `T` that
+    /// the paper's Algorithm 2 consumes.
+    pub fn idle_spans(&self) -> Vec<Span> {
+        self.network_busy.gaps(self.window)
+    }
+
+    /// Total network idle time (plotted in Fig. 8 / Fig. 13b).
+    pub fn network_idle_total(&self) -> SimDuration {
+        self.idle_spans()
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.len())
+    }
+
+    /// Total network busy time.
+    pub fn network_busy_total(&self) -> SimDuration {
+        self.network_busy.total()
+    }
+
+    /// The largest single idle span (drives the naive-interleave buffer
+    /// requirement in §7.4).
+    pub fn largest_idle_span(&self) -> SimDuration {
+        self.idle_spans()
+            .iter()
+            .map(|s| s.len())
+            .fold(SimDuration::ZERO, SimDuration::max)
+    }
+}
+
+/// Builds [`IterationTimeline`]s for a model on a cluster.
+///
+/// # Examples
+///
+/// ```
+/// use gemini_cluster::InstanceType;
+/// use gemini_training::{ModelConfig, TimelineBuilder};
+///
+/// let timeline =
+///     TimelineBuilder::new(ModelConfig::gpt2_100b(), InstanceType::p4d(), 16).build();
+/// // The paper's anchor: ~62 s iterations with >10 s of network idle time.
+/// assert!((timeline.iteration_time().as_secs_f64() - 62.0).abs() < 5.0);
+/// assert!(timeline.network_idle_total().as_secs_f64() > 10.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimelineBuilder {
+    setup: Zero3Setup,
+    instance: InstanceType,
+}
+
+/// Internal FIFO resource tracker used during construction.
+struct FifoTrack {
+    free_at: SimTime,
+    spans: Vec<Span>,
+}
+
+impl FifoTrack {
+    fn new() -> Self {
+        FifoTrack {
+            free_at: SimTime::ZERO,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Reserves `dur` issued at `issue`; FIFO semantics.
+    fn reserve(&mut self, issue: SimTime, dur: SimDuration) -> Span {
+        let start = issue.max(self.free_at);
+        let span = Span::with_len(start, dur);
+        if !dur.is_zero() {
+            self.spans.push(span);
+            self.free_at = span.end;
+        }
+        span
+    }
+}
+
+impl TimelineBuilder {
+    /// Creates a builder for `model` on `machines` machines of `instance`.
+    pub fn new(model: &ModelConfig, instance: &InstanceType, machines: usize) -> Self {
+        TimelineBuilder {
+            setup: Zero3Setup::new(model, instance, machines),
+            instance: instance.clone(),
+        }
+    }
+
+    /// The underlying ZeRO-3 setup.
+    pub fn setup(&self) -> &Zero3Setup {
+        &self.setup
+    }
+
+    /// The instance type in use.
+    pub fn instance(&self) -> &InstanceType {
+        &self.instance
+    }
+
+    /// Builds the deterministic (noise-free) iteration timeline.
+    pub fn build(&self) -> IterationTimeline {
+        self.build_inner(None)
+    }
+
+    /// Builds a timeline with multiplicative jitter of ±`frac` on every
+    /// operation duration, modelling run-to-run variance. The paper's online
+    /// profiler measures a normalized standard deviation below 10% (§5.4).
+    pub fn build_jittered(&self, rng: &mut DetRng, frac: f64) -> IterationTimeline {
+        self.build_inner(Some((rng, frac)))
+    }
+
+    fn build_inner(&self, mut jitter: Option<(&mut DetRng, f64)>) -> IterationTimeline {
+        let mut j = move |d: SimDuration| -> SimDuration {
+            match &mut jitter {
+                None => d,
+                Some((rng, frac)) => {
+                    let f = rng.uniform(1.0 - *frac, 1.0 + *frac);
+                    d.mul_f64(f)
+                }
+            }
+        };
+
+        let model = &self.setup.model;
+        let layers = model.layers as usize;
+        let net_cost = self.instance.training_net_cost();
+        let eff_flops = self.instance.effective_gpu_flops();
+        let tokens = model.tokens_per_gpu() as f64;
+
+        // Per-layer durations.
+        let layer_bytes = self.setup.layer_param_bytes();
+        let embed_bytes = self.setup.embedding_param_bytes();
+        let t_ag_layer = self.ag_time(layer_bytes, &net_cost);
+        let t_ag_embed = self.ag_time(embed_bytes, &net_cost);
+        let flops_fwd_layer = 2.0 * model.layer_params() as f64 * tokens;
+        let flops_bwd_layer = 6.0 * model.layer_params() as f64 * tokens;
+        let flops_fwd_embed = 2.0 * model.embedding_params() as f64 * tokens;
+        let flops_bwd_embed = 6.0 * model.embedding_params() as f64 * tokens;
+        let t_fwd_layer = SimDuration::from_secs_f64(flops_fwd_layer / eff_flops);
+        let t_bwd_layer = SimDuration::from_secs_f64(flops_bwd_layer / eff_flops);
+        let t_fwd_embed = SimDuration::from_secs_f64(flops_fwd_embed / eff_flops);
+        let t_bwd_embed = SimDuration::from_secs_f64(flops_bwd_embed / eff_flops);
+
+        let mut net = FifoTrack::new();
+        let mut comp = FifoTrack::new();
+        let mut ops: Vec<PlacedOp> = Vec::with_capacity(4 * layers + 8);
+
+        // ---- Forward pass ----
+        // Embedding all-gather + compute, then per-layer AG/compute with the
+        // NIC running ahead (forward prefetch is effectively unbounded: the
+        // gathered fp16 parameters of upcoming layers are small relative to
+        // activations, and DeepSpeed keeps the communication stream fed).
+        let embed_ag = net.reserve(SimTime::ZERO, j(t_ag_embed));
+        ops.push(PlacedOp {
+            kind: OpKind::ForwardAllGather,
+            layer: None,
+            span: embed_ag,
+        });
+        let embed_comp = comp.reserve(embed_ag.end, j(t_fwd_embed));
+        ops.push(PlacedOp {
+            kind: OpKind::ForwardCompute,
+            layer: None,
+            span: embed_comp,
+        });
+
+        let mut fwd_ag_end = vec![SimTime::ZERO; layers];
+        for l in 0..layers {
+            let span = net.reserve(SimTime::ZERO, j(t_ag_layer));
+            fwd_ag_end[l] = span.end;
+            ops.push(PlacedOp {
+                kind: OpKind::ForwardAllGather,
+                layer: Some(l as u32),
+                span,
+            });
+        }
+        for l in 0..layers {
+            let start = comp.free_at.max(fwd_ag_end[l]);
+            let span = comp.reserve(start, j(t_fwd_layer));
+            ops.push(PlacedOp {
+                kind: OpKind::ForwardCompute,
+                layer: Some(l as u32),
+                span,
+            });
+        }
+
+        // ---- Backward pass ----
+        // Processed top layer first. AG(l) for the next PREFETCH_DEPTH
+        // layers is issued as backward computation advances; RS(l) is issued
+        // when layer l's backward compute finishes.
+        let bwd_begin = comp.free_at;
+        let mut bwd_ag_end = vec![SimTime::ZERO; layers];
+        // Prefetch the first window immediately.
+        for l in (layers.saturating_sub(PREFETCH_DEPTH)..layers).rev() {
+            let span = net.reserve(bwd_begin, j(t_ag_layer));
+            bwd_ag_end[l] = span.end;
+            ops.push(PlacedOp {
+                kind: OpKind::BackwardAllGather,
+                layer: Some(l as u32),
+                span,
+            });
+        }
+        for l in (0..layers).rev() {
+            // Prefetch the AG that keeps the window PREFETCH_DEPTH deep.
+            if l >= PREFETCH_DEPTH {
+                let target = l - PREFETCH_DEPTH;
+                let span = net.reserve(comp.free_at, j(t_ag_layer));
+                bwd_ag_end[target] = span.end;
+                ops.push(PlacedOp {
+                    kind: OpKind::BackwardAllGather,
+                    layer: Some(target as u32),
+                    span,
+                });
+            }
+            let start = comp.free_at.max(bwd_ag_end[l]);
+            let cspan = comp.reserve(start, j(t_bwd_layer));
+            ops.push(PlacedOp {
+                kind: OpKind::BackwardCompute,
+                layer: Some(l as u32),
+                span: cspan,
+            });
+            // Gradient reduce-scatter, issued when this layer's grads exist.
+            let rs = net.reserve(cspan.end, j(t_ag_layer));
+            ops.push(PlacedOp {
+                kind: OpKind::ReduceScatter,
+                layer: Some(l as u32),
+                span: rs,
+            });
+        }
+        // Embedding backward: compute then reduce-scatter.
+        let espan = comp.reserve(comp.free_at, j(t_bwd_embed));
+        ops.push(PlacedOp {
+            kind: OpKind::BackwardCompute,
+            layer: None,
+            span: espan,
+        });
+        let ers = net.reserve(espan.end, j(t_ag_embed));
+        ops.push(PlacedOp {
+            kind: OpKind::ReduceScatter,
+            layer: None,
+            span: ers,
+        });
+
+        // ---- Optimizer update ----
+        let update_len = SimDuration::from_secs_f64(
+            self.setup.params_per_gpu() as f64 / OPTIMIZER_PARAMS_PER_SEC,
+        );
+        let update_start = comp.free_at.max(net.free_at);
+        let update_span = comp.reserve(update_start, j(update_len));
+        ops.push(PlacedOp {
+            kind: OpKind::Update,
+            layer: None,
+            span: update_span,
+        });
+
+        let end = update_span.end;
+        IterationTimeline {
+            window: Span::new(SimTime::ZERO, end),
+            network_busy: Timeline::from_spans(net.spans.iter().copied()),
+            compute_busy: Timeline::from_spans(comp.spans.iter().copied()),
+            update_span,
+            ops,
+        }
+    }
+
+    fn ag_time(&self, total: ByteSize, cost: &TransferCost) -> SimDuration {
+        collective_time(CollectiveKind::AllGather, self.setup.machines, total, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelConfig;
+
+    fn timeline_100b() -> IterationTimeline {
+        TimelineBuilder::new(ModelConfig::gpt2_100b(), InstanceType::p4d(), 16).build()
+    }
+
+    fn timeline_40b_p3dn() -> IterationTimeline {
+        TimelineBuilder::new(ModelConfig::gpt2_40b(), InstanceType::p3dn(), 16).build()
+    }
+
+    #[test]
+    fn gpt2_100b_iteration_near_62s() {
+        // §7.2: "The iteration time of GPT-2 100B with 16 p4d.24xlarge is
+        // 62 seconds".
+        let t = timeline_100b();
+        let iter = t.iteration_time().as_secs_f64();
+        assert!((iter - 62.0).abs() < 5.0, "iteration = {iter:.1}s");
+    }
+
+    #[test]
+    fn gpt2_100b_idle_time_matches_fig8() {
+        // Fig. 8: around 12.5 s of network idle time per iteration.
+        let t = timeline_100b();
+        let idle = t.network_idle_total().as_secs_f64();
+        assert!((10.0..20.0).contains(&idle), "idle = {idle:.1}s");
+    }
+
+    #[test]
+    fn gpt2_40b_p3dn_iteration_near_45s() {
+        // Fig. 13a / Fig. 16: GPT-2 40B on 16 p3dn runs ≈40-48 s iterations.
+        let t = timeline_40b_p3dn();
+        let iter = t.iteration_time().as_secs_f64();
+        assert!((38.0..52.0).contains(&iter), "iteration = {iter:.1}s");
+    }
+
+    #[test]
+    fn gpt2_40b_p3dn_has_a_few_seconds_idle() {
+        // Fig. 13b: a handful of seconds of idle time.
+        let t = timeline_40b_p3dn();
+        let idle = t.network_idle_total().as_secs_f64();
+        assert!((2.0..12.0).contains(&idle), "idle = {idle:.1}s");
+    }
+
+    #[test]
+    fn busy_plus_idle_equals_iteration() {
+        let t = timeline_100b();
+        let sum = t.network_busy_total() + t.network_idle_total();
+        assert_eq!(sum, t.iteration_time());
+    }
+
+    #[test]
+    fn update_phase_is_network_silent() {
+        let t = timeline_100b();
+        assert!(!t.update_span.is_empty());
+        let update_tl = Timeline::from_spans([t.update_span]);
+        assert!(t.network_busy.overlap(&update_tl).is_zero());
+        // And it is the tail of the iteration.
+        assert_eq!(t.update_span.end, t.window.end);
+    }
+
+    #[test]
+    fn network_and_compute_spans_stay_inside_window() {
+        let t = timeline_100b();
+        for tlx in [&t.network_busy, &t.compute_busy] {
+            assert!(tlx.last_end().unwrap() <= t.window.end);
+            assert!(tlx.check_invariants());
+        }
+    }
+
+    #[test]
+    fn idle_spans_are_disjoint_from_busy() {
+        let t = timeline_100b();
+        let idle = Timeline::from_spans(t.idle_spans());
+        assert!(t.network_busy.overlap(&idle).is_zero());
+    }
+
+    #[test]
+    fn op_count_matches_structure() {
+        let m = ModelConfig::gpt2_100b();
+        let t = timeline_100b();
+        let l = m.layers as usize;
+        // fwd: (L+1) AG + (L+1) compute; bwd: L AG + (L+1) compute + (L+1)
+        // RS; update: 1.
+        assert_eq!(t.ops.len(), 2 * (l + 1) + l + 2 * (l + 1) + 1);
+    }
+
+    #[test]
+    fn jitter_changes_but_stays_close() {
+        let b = TimelineBuilder::new(ModelConfig::gpt2_100b(), InstanceType::p4d(), 16);
+        let base = b.build().iteration_time().as_secs_f64();
+        let mut rng = DetRng::new(4);
+        let jit = b
+            .build_jittered(&mut rng, 0.05)
+            .iteration_time()
+            .as_secs_f64();
+        assert!(jit != base);
+        assert!((jit - base).abs() / base < 0.1, "base {base}, jit {jit}");
+    }
+
+    #[test]
+    fn largest_idle_span_is_the_update_phase() {
+        let t = timeline_100b();
+        assert_eq!(t.largest_idle_span(), t.update_span.len());
+    }
+
+    #[test]
+    fn more_machines_longer_communication() {
+        let m = ModelConfig::gpt2_100b();
+        let t4 = TimelineBuilder::new(m, InstanceType::p4d(), 4).build();
+        let t16 = TimelineBuilder::new(m, InstanceType::p4d(), 16).build();
+        assert!(t16.network_busy_total() > t4.network_busy_total());
+    }
+
+    #[test]
+    fn all_table2_models_build() {
+        for m in crate::models::TABLE2_MODELS {
+            let inst = if m.nominal_params >= 100_000_000_000 {
+                InstanceType::p4d()
+            } else {
+                InstanceType::p3dn()
+            };
+            let t = TimelineBuilder::new(m, inst, 16).build();
+            assert!(t.iteration_time() > SimDuration::ZERO, "{}", m.name);
+            assert!(!t.idle_spans().is_empty(), "{}", m.name);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! ZeRO-3 sharding arithmetic for a model on a cluster.
+//!
+//! ZeRO-3 shards parameters, gradients and optimizer states across the full
+//! world. Each layer's forward pass all-gathers that layer's fp16
+//! parameters, the backward pass all-gathers them again and reduce-scatters
+//! the gradients (paper §5.1). This module computes the per-layer and
+//! per-iteration communication volumes and the per-machine checkpoint size.
+
+use crate::models::{ModelConfig, COMM_BYTES_PER_PARAM};
+use gemini_cluster::InstanceType;
+use gemini_collectives::{bytes_per_node, CollectiveKind};
+use gemini_net::ByteSize;
+use serde::Serialize;
+
+/// A model trained with ZeRO-3 on `machines` machines of one instance type.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Zero3Setup {
+    /// The model configuration.
+    pub model: ModelConfig,
+    /// Number of machines.
+    pub machines: usize,
+    /// GPUs per machine.
+    pub gpus_per_machine: u32,
+}
+
+impl Zero3Setup {
+    /// Creates a setup for `model` on `machines` machines of `instance`.
+    pub fn new(model: &ModelConfig, instance: &InstanceType, machines: usize) -> Self {
+        Zero3Setup {
+            model: *model,
+            machines,
+            gpus_per_machine: instance.gpus,
+        }
+    }
+
+    /// Total GPUs.
+    pub fn world_size(&self) -> usize {
+        self.machines * self.gpus_per_machine as usize
+    }
+
+    /// fp16 bytes of one layer's full parameter set.
+    pub fn layer_param_bytes(&self) -> ByteSize {
+        ByteSize::from_bytes(self.model.layer_params() * COMM_BYTES_PER_PARAM)
+    }
+
+    /// fp16 bytes of the embedding parameters.
+    pub fn embedding_param_bytes(&self) -> ByteSize {
+        ByteSize::from_bytes(self.model.embedding_params() * COMM_BYTES_PER_PARAM)
+    }
+
+    /// Inter-machine bytes each NIC carries for one layer all-gather.
+    pub fn layer_allgather_nic_bytes(&self) -> ByteSize {
+        bytes_per_node(
+            CollectiveKind::AllGather,
+            self.machines,
+            self.layer_param_bytes(),
+        )
+    }
+
+    /// Inter-machine NIC bytes per iteration: two all-gathers (forward +
+    /// backward) and one reduce-scatter, over every layer plus embeddings.
+    pub fn iteration_nic_bytes(&self) -> ByteSize {
+        let per_layer = self.layer_allgather_nic_bytes() * 3;
+        let embed = bytes_per_node(
+            CollectiveKind::AllGather,
+            self.machines,
+            self.embedding_param_bytes(),
+        ) * 3;
+        per_layer * self.model.layers as u64 + embed
+    }
+
+    /// Persisted checkpoint bytes held by one machine (its GPUs' shards of
+    /// fp32 master parameters + Adam moments).
+    pub fn ckpt_bytes_per_machine(&self) -> ByteSize {
+        self.model.checkpoint_bytes_per_machine(self.machines)
+    }
+
+    /// Parameters in one GPU's optimizer shard.
+    pub fn params_per_gpu(&self) -> u64 {
+        self.model.params() / self.world_size().max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup_100b() -> Zero3Setup {
+        Zero3Setup::new(ModelConfig::gpt2_100b(), InstanceType::p4d(), 16)
+    }
+
+    #[test]
+    fn world_size() {
+        assert_eq!(setup_100b().world_size(), 128);
+    }
+
+    #[test]
+    fn iteration_nic_bytes_is_about_6p() {
+        // 3 collectives × 2 bytes/param × (N-1)/N ≈ 5.6 bytes/param at N=16.
+        let s = setup_100b();
+        let bytes = s.iteration_nic_bytes().as_bytes() as f64;
+        let expected = 6.0 * 100e9 * 15.0 / 16.0;
+        assert!(
+            (bytes - expected).abs() / expected < 0.01,
+            "bytes = {bytes:.3e}, expected ≈ {expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn ckpt_bytes_per_machine_75gb() {
+        let s = setup_100b();
+        assert!((s.ckpt_bytes_per_machine().as_gb_f64() - 75.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn params_per_gpu() {
+        let s = setup_100b();
+        assert_eq!(s.params_per_gpu(), 100_000_000_000 / 128);
+    }
+
+    #[test]
+    fn single_machine_has_no_nic_traffic() {
+        let s = Zero3Setup::new(ModelConfig::gpt2_100b(), InstanceType::p4d(), 1);
+        assert_eq!(s.iteration_nic_bytes(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn layer_bytes_scale_with_hidden_size() {
+        let small = Zero3Setup::new(
+            ModelConfig::by_name("GPT-2 10B").unwrap(),
+            InstanceType::p3dn(),
+            16,
+        );
+        let big = setup_100b();
+        assert!(big.layer_param_bytes() > small.layer_param_bytes());
+    }
+}

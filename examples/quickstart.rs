@@ -1,0 +1,63 @@
+//! Quickstart: assemble a GEMINI deployment for GPT-2 100B on 16
+//! p4d.24xlarge machines, inspect the checkpoint placement and the
+//! per-iteration traffic schedule, then survive a hardware failure.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use gemini_cluster::FailureKind;
+use gemini_harness::{run_drill, DrillConfig, Scenario};
+
+fn main() {
+    // 1. Describe the deployment: model × instance type × machine count.
+    let scenario = Scenario::gpt2_100b_p4d();
+    println!(
+        "deployment: {} on {} x {}",
+        scenario.model.name, scenario.machines, scenario.instance.name
+    );
+    println!(
+        "model states: {} total, {} per machine\n",
+        scenario.ckpt_bytes_total(),
+        scenario.ckpt_bytes_per_machine()
+    );
+
+    // 2. Assemble the system: placement (Algorithm 1), online profiling,
+    //    checkpoint traffic schedule (Algorithm 2).
+    let sys = scenario.build_system(42).expect("deployment is feasible");
+    println!("checkpoint placement ({:?}):", sys.placement.strategy());
+    for group in sys.placement.groups() {
+        println!("  group {:?} ({:?})", group.members, group.kind);
+    }
+    let o = &sys.schedule.outcome;
+    println!("\nper-iteration checkpoint schedule:");
+    println!("  iteration (no ckpt):   {}", o.baseline_iteration);
+    println!("  iteration (GEMINI):    {}", o.iteration_time);
+    println!("  ckpt network time:     {}", o.ckpt_network_time);
+    println!("  idle time remaining:   {}", o.remaining_idle);
+    println!(
+        "  interference-free:     {}",
+        sys.schedule.is_interference_free()
+    );
+    println!(
+        "  chunks scheduled:      {}",
+        sys.schedule.plan.chunk_count()
+    );
+
+    // 3. Kill a machine and watch the recovery.
+    let mut drill = DrillConfig::fig14();
+    drill.scenario = scenario;
+    drill.failures = vec![(5, FailureKind::Hardware)];
+    let report = run_drill(&drill).expect("recovery succeeds");
+    println!("\nhardware failure on rank 5 during iteration 4:");
+    println!("  detection latency:     {}", report.detect_latency);
+    println!("  serialization:         {}", report.serialize_time);
+    println!("  replacement wait:      {}", report.replacement_wait);
+    println!("  checkpoint retrieval:  {}", report.retrieval_time);
+    println!("  restart warmup:        {}", report.warmup_time);
+    println!("  total downtime:        {}", report.total_downtime);
+    println!(
+        "  resumed from iteration {} (case {:?})",
+        report.resumed_from_iteration, report.case
+    );
+}

@@ -1,0 +1,78 @@
+//! Traffic interleaving: profile a ZeRO-3 iteration, run the checkpoint
+//! partition algorithm (Algorithm 2), and compare the five schemes of the
+//! paper's Figure 16 ablation.
+//!
+//! ```text
+//! cargo run --example traffic_interleaving
+//! ```
+
+use gemini_baselines::schemes::{evaluate_scheme, InterleaveScheme};
+use gemini_harness::Scenario;
+use gemini_sim::DetRng;
+
+fn main() {
+    // The Fig. 16 setting: GPT-2 40B on 16 p3dn.24xlarge.
+    let scenario = Scenario::gpt2_40b_p3dn();
+    let mut rng = DetRng::new(16);
+    let profile = scenario.profile(&mut rng);
+
+    println!(
+        "profiled {}: iteration {}, total idle {}, {} idle spans \
+         (normalized stddev {:.1}%)",
+        scenario.model.name,
+        profile.iteration_time,
+        profile.total_idle(),
+        profile.spans.len(),
+        profile.iter_time_normalized_stddev * 100.0
+    );
+    println!("largest idle spans:");
+    let mut lens = profile.span_lengths();
+    lens.sort_unstable_by(|a, b| b.cmp(a));
+    for len in lens.iter().take(5) {
+        println!("  {len}");
+    }
+
+    println!(
+        "\ncheckpoint to place: {} per machine, {} remote copy/copies\n",
+        scenario.ckpt_bytes_per_machine(),
+        scenario.config.replicas - 1
+    );
+
+    println!("scheme                    | iteration | overhead | buffer/GPU");
+    println!("--------------------------|-----------|----------|-----------");
+    for scheme in InterleaveScheme::all() {
+        let o = evaluate_scheme(
+            scheme,
+            &profile,
+            scenario.ckpt_bytes_per_machine(),
+            scenario.instance.gpus,
+            &scenario.config,
+            &scenario.instance.ckpt_net_cost(),
+            &scenario.instance.copy_cost(),
+            scenario.instance.gpu_headroom,
+        )
+        .expect("evaluation succeeds");
+        let iter = o
+            .iteration_time
+            .map(|d| format!("{d}"))
+            .unwrap_or_else(|| "OOM".into());
+        let over = o
+            .overhead_frac
+            .map(|f| format!("{:+.1}%", f * 100.0))
+            .unwrap_or_else(|| "OOM".into());
+        println!(
+            "{:25} | {iter:>9} | {over:>8} | {}",
+            scheme.name(),
+            o.required_buffer_per_gpu
+        );
+    }
+
+    println!(
+        "\nGEMINI splits its reserved {} buffer into {} sub-buffers of {}\n\
+         and pipelines the GPU-to-GPU transfer of one chunk with the\n\
+         GPU-to-CPU copy of the previous one (paper Fig. 5d).",
+        scenario.config.reserved_buffer,
+        scenario.config.sub_buffers,
+        scenario.config.sub_buffer_size()
+    );
+}

@@ -1,0 +1,101 @@
+//! Cross-checks of the paper's headline claims against the full
+//! experiment pipeline — the quantitative acceptance tests of this
+//! reproduction.
+
+use gemini_harness::experiments::{interleave, placement, scale, throughput, wasted};
+
+#[test]
+fn headline_ckpt_retrieval_up_to_250x_faster() {
+    // Abstract / §7.2: "reduces the checkpoint retrieval time by up to
+    // 250×" (checkpoint-time reduction at 400 Gbps, 16 instances).
+    let best = wasted::fig11()
+        .into_iter()
+        .map(|r| r.reduction)
+        .fold(0.0f64, f64::max);
+    assert!(best > 250.0, "best reduction = {best:.0}x");
+}
+
+#[test]
+fn headline_ckpt_frequency_8x_over_highfreq() {
+    // Abstract: "improves the checkpoint frequency by up to 8×".
+    let rows = wasted::fig12();
+    let g = rows
+        .iter()
+        .find(|r| r.solution == "GEMINI")
+        .unwrap()
+        .per_hour;
+    let h = rows
+        .iter()
+        .find(|r| r.solution == "HighFreq")
+        .unwrap()
+        .per_hour;
+    let ratio = g / h;
+    assert!((7.0..11.0).contains(&ratio), "ratio = {ratio:.1}");
+}
+
+#[test]
+fn headline_faster_failure_recovery_by_13x() {
+    // Abstract: "achieves a faster failure recovery by more than 13×".
+    for r in wasted::fig10() {
+        let speedup = r.highfreq_min / r.gemini_cpu_min;
+        assert!(speedup > 13.0, "replaced={}: {speedup:.1}", r.replaced);
+    }
+}
+
+#[test]
+fn headline_no_training_throughput_overhead() {
+    // Abstract: "incurs no overhead on training throughput".
+    for r in throughput::fig7() {
+        assert!(
+            (r.gemini_iteration - r.baseline_iteration).abs() < 0.01,
+            "{}",
+            r.model
+        );
+    }
+}
+
+#[test]
+fn placement_beats_ring_everywhere() {
+    for r in placement::fig9() {
+        assert!(r.gemini_k2 > r.ring_k2);
+        assert!(r.gemini_k3 > r.ring_k3);
+    }
+}
+
+#[test]
+fn interleaving_ablation_ranks_schemes_correctly() {
+    use gemini_baselines::schemes::InterleaveScheme as S;
+    let rows = interleave::fig16();
+    let get = |s: S| rows.iter().find(|o| o.scheme == s).unwrap();
+    assert!(get(S::NaiveInterleave).oom);
+    let blocking = get(S::Blocking).overhead_frac.unwrap();
+    let nopipe = get(S::InterleaveNoPipeline).overhead_frac.unwrap();
+    let gemini = get(S::Gemini).overhead_frac.unwrap();
+    assert!(blocking > nopipe && nopipe > gemini);
+    assert!(gemini < 0.005);
+}
+
+#[test]
+fn scalability_claims_hold() {
+    // Fig. 15a: GEMINI ≥ 94% at the worst swept rate, always dominating.
+    for row in scale::fig15a(true) {
+        assert!(row.gemini >= row.highfreq);
+        assert!(row.gemini >= row.strawman - 1e-9);
+        assert!(row.gemini > 0.94);
+    }
+    // Fig. 15b at 1000 instances.
+    let rows = scale::fig15b(true);
+    let r = rows.iter().find(|r| r.x == 1000.0).unwrap();
+    assert!(r.gemini > 0.85 && r.strawman < 0.35);
+}
+
+#[test]
+fn full_render_is_consistent() {
+    // Every artifact renders to non-trivial markdown and CSV.
+    for table in gemini_harness::experiments::render_all(true) {
+        let md = table.to_markdown();
+        let csv = table.to_csv();
+        assert!(md.lines().count() >= 4, "{}", table.title);
+        assert_eq!(csv.lines().count(), table.rows.len() + 1, "{}", table.title);
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end failure-recovery integration tests spanning the cluster,
+//! kvstore, core and harness crates: the full drill pipeline under every
+//! failure scenario the paper discusses (§6).
+
+use gemini_cluster::{FailureKind, OperatorConfig};
+use gemini_core::recovery::RecoveryCase;
+use gemini_harness::{run_drill, DrillConfig, Scenario};
+use gemini_sim::SimDuration;
+
+fn base() -> DrillConfig {
+    DrillConfig::fig14()
+}
+
+#[test]
+fn end_to_end_software_failure_restarts_locally() {
+    let mut cfg = base();
+    cfg.failures = vec![(7, FailureKind::Software)];
+    let r = run_drill(&cfg).unwrap();
+    assert_eq!(r.case, RecoveryCase::SoftwareLocal);
+    assert_eq!(r.replacement_wait, SimDuration::ZERO);
+    assert_eq!(r.resumed_from_iteration, 3);
+    // Local retrieval is the fastest tier: the paper calls it negligible.
+    assert!(r.retrieval_time.as_secs_f64() < 3.0);
+}
+
+#[test]
+fn end_to_end_hardware_failure_fetches_from_peer() {
+    let r = run_drill(&base()).unwrap();
+    assert_eq!(r.case, RecoveryCase::HardwareFromCpu);
+    // The total is dominated by replacement + serialization + warmup,
+    // never by retrieval.
+    assert!(r.retrieval_time < r.serialize_time);
+    assert!(r.retrieval_time < r.replacement_wait);
+}
+
+#[test]
+fn end_to_end_simultaneous_failures_across_groups() {
+    // With m = 2 and group placement {0,1},{2,3},…, failing one machine
+    // from each of three different groups still recovers from CPU memory.
+    let mut cfg = base();
+    cfg.failures = vec![
+        (0, FailureKind::Hardware),
+        (2, FailureKind::Hardware),
+        (4, FailureKind::Hardware),
+    ];
+    let r = run_drill(&cfg).unwrap();
+    assert_eq!(r.case, RecoveryCase::HardwareFromCpu);
+    assert_eq!(r.resumed_from_iteration, 3);
+}
+
+#[test]
+fn end_to_end_group_wipe_degrades_to_persistent() {
+    let mut cfg = base();
+    cfg.failures = vec![(2, FailureKind::Hardware), (3, FailureKind::Hardware)];
+    let r = run_drill(&cfg).unwrap();
+    assert_eq!(r.case, RecoveryCase::PersistentFallback);
+    assert_eq!(r.resumed_from_iteration, 0);
+    // Persistent retrieval funnels the full 1.2 TB through 20 Gbps.
+    assert!(r.retrieval_time.as_secs_f64() > 300.0);
+}
+
+#[test]
+fn end_to_end_mixed_software_and_hardware() {
+    let mut cfg = base();
+    cfg.failures = vec![(1, FailureKind::Software), (6, FailureKind::Hardware)];
+    let r = run_drill(&cfg).unwrap();
+    assert_eq!(r.case, RecoveryCase::HardwareFromCpu);
+    // One replacement wait applies even though a software failure came
+    // along for the ride.
+    assert!(r.replacement_wait > SimDuration::from_secs(60));
+}
+
+#[test]
+fn end_to_end_standby_cuts_minutes_off_recovery() {
+    let mut with = base();
+    with.operator = OperatorConfig::with_standbys(1);
+    let fast = run_drill(&with).unwrap();
+    let slow = run_drill(&base()).unwrap();
+    let saved = slow.total_downtime.as_secs_f64() - fast.total_downtime.as_secs_f64();
+    // Replacement is 4-7 min from the cloud vs ~30 s from standby, but it
+    // overlaps the 162 s serialization — the saving is the tail beyond it.
+    assert!(saved > 30.0, "saved only {saved:.0}s");
+}
+
+#[test]
+fn end_to_end_later_failure_rolls_back_one_iteration() {
+    let mut cfg = base();
+    cfg.fail_during_iteration = 10;
+    let r = run_drill(&cfg).unwrap();
+    assert_eq!(r.failed_iteration, 10);
+    assert_eq!(r.resumed_from_iteration, 9);
+}
+
+#[test]
+fn end_to_end_smaller_cluster_still_recovers() {
+    // GPT-2 40B on 4 machines: 120 GB shards still fit the double-buffered
+    // CPU budget (2 shards × 2 buffers × 120 GB = 480 GB < 768 GB).
+    let mut cfg = base();
+    cfg.scenario = Scenario {
+        machines: 4,
+        ..Scenario::gpt2_40b_p3dn()
+    };
+    cfg.failures = vec![(3, FailureKind::Hardware)];
+    let r = run_drill(&cfg).unwrap();
+    assert_eq!(r.case, RecoveryCase::HardwareFromCpu);
+}
+
+#[test]
+fn cpu_memory_validation_rejects_infeasible_deployments() {
+    // GPT-2 100B on only 4 machines would need 2 × 2 × 300 GB = 1.2 TB of
+    // CPU memory per host — more than p4d's 1152 GB. The system refuses to
+    // assemble rather than silently overcommitting (§2.3.1's premise is
+    // checked, not assumed).
+    let scenario = Scenario {
+        machines: 4,
+        ..Scenario::gpt2_100b_p4d()
+    };
+    assert!(scenario.build_system(1).is_err());
+}
+
+#[test]
+fn end_to_end_p3dn_deployment_recovers() {
+    let mut cfg = base();
+    cfg.scenario = Scenario::gpt2_40b_p3dn();
+    cfg.failures = vec![(9, FailureKind::Hardware)];
+    let r = run_drill(&cfg).unwrap();
+    assert_eq!(r.case, RecoveryCase::HardwareFromCpu);
+    // Smaller shards retrieve faster than the p4d case.
+    assert!(r.retrieval_time.as_secs_f64() < 8.0);
+}
