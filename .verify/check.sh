@@ -1,0 +1,200 @@
+#!/usr/bin/env bash
+# Offline verification harness.
+#
+# The container has no network access and no vendored cargo registry, so
+# `cargo build` cannot resolve crates.io dependencies locally. This script
+# compiles the whole workspace with plain `rustc` against the API-compatible
+# stub crates in .verify/stubs/, in dependency order, and runs every unit,
+# proptest and integration test binary. CI / the driver environment (with
+# network) still uses the real crates via `cargo build --release && cargo
+# test -q`; this harness exists so sessions in the offline container can
+# typecheck and smoke-run their changes.
+#
+# Usage:
+#   .verify/check.sh           # build everything + run all tests
+#   .verify/check.sh build     # build everything only
+#   .verify/check.sh quiet     # build + tests, print only failures
+set -u
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="$ROOT/.verify/out"
+STUBS="$ROOT/.verify/stubs"
+MODE="${1:-all}"
+mkdir -p "$OUT"
+
+RUSTC="rustc --edition 2021 -O -C debuginfo=0 -L $OUT"
+FAILED=0
+
+note() { echo "== $*"; }
+die_soft() { echo "FAILED: $*" >&2; FAILED=1; }
+
+compile() {
+  # compile <what> <args...>
+  local what="$1"; shift
+  if ! $RUSTC "$@" 2> "$OUT/last_err.txt"; then
+    echo "---- rustc errors for $what ----" >&2
+    cat "$OUT/last_err.txt" >&2
+    die_soft "compile $what"
+    return 1
+  fi
+  # Surface warnings (but not the noisy ones from stub mismatch).
+  if [ -s "$OUT/last_err.txt" ]; then
+    grep -E "^warning" -A4 "$OUT/last_err.txt" | head -40 || true
+  fi
+  return 0
+}
+
+run_test() {
+  # run_test <name> <binary>
+  local name="$1" bin="$2"
+  if [ "$MODE" = build ]; then return 0; fi
+  local log="$OUT/run_$name.log"
+  # Tests that genuinely need the real serde/serde_json (the stubs do not
+  # serialize arbitrary types); they run in CI with the real crates.
+  local skips=""
+  case "$name" in
+    unit_harness) skips="--skip report::tests::json_shape" ;;
+  esac
+  # shellcheck disable=SC2086
+  if ! "$bin" --test-threads=4 $skips > "$log" 2>&1; then
+    echo "---- test failures in $name ----" >&2
+    tail -40 "$log" >&2
+    die_soft "tests $name"
+    return 1
+  fi
+  if [ "$MODE" != quiet ]; then
+    tail -1 "$log"
+  fi
+  return 0
+}
+
+# ---------------------------------------------------------------- stubs ----
+note "stubs"
+compile serde_derive --crate-type proc-macro --crate-name serde_derive \
+  "$STUBS/serde_derive.rs" --out-dir "$OUT" || exit 1
+compile serde --crate-type lib --crate-name serde "$STUBS/serde.rs" \
+  --extern serde_derive="$OUT/libserde_derive.so" --out-dir "$OUT" || exit 1
+compile serde_json --crate-type lib --crate-name serde_json "$STUBS/serde_json.rs" \
+  --extern serde="$OUT/libserde.rlib" --out-dir "$OUT" || exit 1
+compile rand --crate-type lib --crate-name rand "$STUBS/rand.rs" --out-dir "$OUT" || exit 1
+compile rand_chacha --crate-type lib --crate-name rand_chacha "$STUBS/rand_chacha.rs" \
+  --extern rand="$OUT/librand.rlib" --out-dir "$OUT" || exit 1
+compile bytes --crate-type lib --crate-name bytes "$STUBS/bytes.rs" --out-dir "$OUT" || exit 1
+compile parking_lot --crate-type lib --crate-name parking_lot "$STUBS/parking_lot.rs" --out-dir "$OUT" || exit 1
+compile proptest --crate-type lib --crate-name proptest "$STUBS/proptest.rs" --out-dir "$OUT" || exit 1
+compile criterion --crate-type lib --crate-name criterion "$STUBS/criterion.rs" --out-dir "$OUT" || exit 1
+
+E_SERDE="--extern serde=$OUT/libserde.rlib"
+E_JSON="--extern serde_json=$OUT/libserde_json.rlib"
+E_RAND="--extern rand=$OUT/librand.rlib"
+E_CHACHA="--extern rand_chacha=$OUT/librand_chacha.rlib"
+E_BYTES="--extern bytes=$OUT/libbytes.rlib"
+E_PLOT="--extern parking_lot=$OUT/libparking_lot.rlib"
+E_PROP="--extern proptest=$OUT/libproptest.rlib"
+E_CRIT="--extern criterion=$OUT/libcriterion.rlib"
+
+# ------------------------------------------------------- workspace libs ----
+# name:path:externs, in dependency order.
+lib_externs() {
+  case "$1" in
+    sim)         echo "$E_RAND $E_CHACHA $E_SERDE" ;;
+    telemetry)   echo "--extern gemini_sim=$OUT/libgemini_sim.rlib $E_SERDE" ;;
+    net)         echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib $E_SERDE" ;;
+    cluster)     echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib $E_RAND $E_SERDE" ;;
+    collectives) echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_net=$OUT/libgemini_net.rlib $E_SERDE" ;;
+    training)    echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_collectives=$OUT/libgemini_collectives.rlib $E_RAND $E_SERDE" ;;
+    kvstore)     echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib $E_PLOT $E_SERDE" ;;
+    core)        echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_kvstore=$OUT/libgemini_kvstore.rlib $E_RAND $E_BYTES $E_SERDE $E_JSON" ;;
+    baselines)   echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_core=$OUT/libgemini_core.rlib $E_SERDE" ;;
+    harness)     echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_collectives=$OUT/libgemini_collectives.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_kvstore=$OUT/libgemini_kvstore.rlib --extern gemini_core=$OUT/libgemini_core.rlib --extern gemini_baselines=$OUT/libgemini_baselines.rlib $E_RAND $E_SERDE $E_JSON" ;;
+    bench)       echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_core=$OUT/libgemini_core.rlib --extern gemini_baselines=$OUT/libgemini_baselines.rlib --extern gemini_harness=$OUT/libgemini_harness.rlib $E_JSON" ;;
+  esac
+}
+
+CRATES="sim telemetry net cluster collectives training kvstore core baselines harness bench"
+
+for c in $CRATES; do
+  src="$ROOT/crates/$c/src/lib.rs"
+  [ -f "$src" ] || continue
+  note "lib gemini-$c"
+  # shellcheck disable=SC2046
+  compile "gemini-$c (lib)" --crate-type lib --crate-name "gemini_$c" "$src" \
+    $(lib_externs "$c") --out-dir "$OUT" || continue
+done
+
+# ------------------------------------------------------------ unit tests ----
+for c in $CRATES; do
+  src="$ROOT/crates/$c/src/lib.rs"
+  [ -f "$src" ] || continue
+  note "unit tests gemini-$c"
+  # shellcheck disable=SC2046
+  if compile "gemini-$c (unit tests)" --test --crate-name "gemini_$c" "$src" \
+    $(lib_externs "$c") $E_PROP -o "$OUT/unit_$c"; then
+    run_test "unit_$c" "$OUT/unit_$c"
+  fi
+done
+
+ALL_GEMINI=""
+for c in $CRATES; do
+  [ -f "$OUT/libgemini_$c.rlib" ] && ALL_GEMINI="$ALL_GEMINI --extern gemini_$c=$OUT/libgemini_$c.rlib"
+done
+ALL_STUBS="$E_SERDE $E_JSON $E_RAND $E_CHACHA $E_BYTES $E_PLOT $E_PROP"
+
+# -------------------------------------------------------- crate proptests ----
+for c in $CRATES; do
+  for t in "$ROOT/crates/$c"/tests/*.rs; do
+    [ -f "$t" ] || continue
+    name="$(basename "$t" .rs)"
+    note "proptests gemini-$c/$name"
+    # shellcheck disable=SC2046
+    if compile "gemini-$c/$name" --test --crate-name "${c}_${name}" "$t" \
+      $ALL_GEMINI $ALL_STUBS -o "$OUT/it_${c}_${name}"; then
+      run_test "it_${c}_${name}" "$OUT/it_${c}_${name}"
+    fi
+  done
+done
+
+# ------------------------------------------------- repo integration tests ----
+for t in "$ROOT"/tests/*.rs; do
+  [ -f "$t" ] || continue
+  name="$(basename "$t" .rs)"
+  note "integration $name"
+  # shellcheck disable=SC2046
+  if compile "tests/$name" --test --crate-name "$name" "$t" \
+    $ALL_GEMINI $ALL_STUBS -o "$OUT/int_$name"; then
+    run_test "int_$name" "$OUT/int_$name"
+  fi
+done
+
+# ----------------------------------------------------- examples and bins ----
+for e in "$ROOT"/examples/*.rs; do
+  [ -f "$e" ] || continue
+  name="$(basename "$e" .rs)"
+  note "example $name (compile only)"
+  # shellcheck disable=SC2046
+  compile "examples/$name" --crate-type bin --crate-name "ex_$name" "$e" \
+    $ALL_GEMINI $ALL_STUBS -o "$OUT/ex_$name" || true
+done
+
+for b in "$ROOT"/crates/bench/src/bin/*.rs; do
+  [ -f "$b" ] || continue
+  name="$(basename "$b" .rs)"
+  note "bin $name (compile only)"
+  # shellcheck disable=SC2046
+  compile "bin/$name" --crate-type bin --crate-name "$name" "$b" \
+    $ALL_GEMINI $ALL_STUBS -o "$OUT/bin_$name" || true
+done
+
+for b in "$ROOT"/crates/bench/benches/*.rs; do
+  [ -f "$b" ] || continue
+  name="$(basename "$b" .rs)"
+  note "bench $name (compile only)"
+  # shellcheck disable=SC2046
+  compile "benches/$name" --crate-type bin --crate-name "bench_$name" "$b" \
+    $ALL_GEMINI $ALL_STUBS $E_CRIT -o "$OUT/bench_$name" || true
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "VERIFY: FAILURES PRESENT" >&2
+  exit 1
+fi
+echo "VERIFY: OK"

@@ -1,0 +1,148 @@
+//! Offline typecheck stub for `criterion` (compile-only; "benchmarks" run
+//! each closure once).
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+    }
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(f(setup()));
+    }
+}
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Debug, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        eprintln!("bench {}::{:?}", self.name, id);
+        f(&mut Bencher);
+        self
+    }
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        eprintln!("bench {}::{:?}", self.name, id);
+        f(&mut Bencher, input);
+        self
+    }
+    pub fn finish(&mut self) {}
+}
+
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        eprintln!("bench {id}");
+        f(&mut Bencher);
+        self
+    }
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        eprintln!("bench {id:?}");
+        f(&mut Bencher, input);
+        self
+    }
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+    pub fn sample_size(mut self, _n: usize) -> Self {
+        self.noop();
+        self
+    }
+    fn noop(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,51 @@
+//! Offline typecheck stub for `parking_lot` (std-backed, panic on poison).
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap()
+    }
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap()
+    }
+}
+
+#[derive(Default, Debug)]
+pub struct RwLock<T: ?Sized>(StdRwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(StdRwLock::new(value))
+    }
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap()
+    }
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap()
+    }
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap()
+    }
+}

@@ -1,0 +1,66 @@
+//! Offline typecheck stub for `rand_chacha` (xoshiro-based stand-in with the
+//! same trait surface: deterministic, seedable, clonable independent streams).
+
+use rand::{RngCore, SeedableRng};
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    s: [u64; 4],
+}
+
+impl ChaCha8Rng {
+    fn next(&mut self) -> u64 {
+        // xoshiro256** — plenty uniform for local test runs.
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next().to_le_bytes();
+            for (b, src) in chunk.iter_mut().zip(v) {
+                *b = src;
+            }
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            let mut v = [0u8; 8];
+            v.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(v);
+        }
+        // Avoid the all-zero state.
+        if s == [0, 0, 0, 0] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        ChaCha8Rng { s }
+    }
+}
+
+pub type ChaCha12Rng = ChaCha8Rng;
+pub type ChaCha20Rng = ChaCha8Rng;

@@ -1,0 +1,25 @@
+//! Offline typecheck stub for `serde`.
+//!
+//! `Serialize` / `Deserialize` are blanket-implemented so derived bounds are
+//! always satisfied. This is sufficient to typecheck (and run, minus real
+//! serialization) the whole workspace without network access.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Blanket-satisfied serialization marker.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Blanket-satisfied deserialization marker.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    pub use super::Deserialize;
+    /// Blanket-satisfied owned-deserialization marker.
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

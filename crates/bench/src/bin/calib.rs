@@ -1,10 +1,19 @@
 //! Prints the calibrated iteration-timeline anchors for the models the
 //! paper evaluates, next to the paper's measured values.
+//!
+//! `--metrics-out FILE` exports the calibration anchors as labeled gauges
+//! (`calib_iteration_us{model="…"}` etc.) in Prometheus text.
 
+use gemini_bench::TelemetryArgs;
 use gemini_cluster::InstanceType;
 use gemini_training::{ModelConfig, TimelineBuilder};
 
 fn main() {
+    let (targs, _) = TelemetryArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1)
+    });
+    let sink = targs.sink();
     println!("model          | iter (s) | net busy | net idle | largest idle | spans");
     println!("---------------|----------|----------|----------|--------------|------");
     for (name, inst) in [
@@ -19,6 +28,16 @@ fn main() {
     ] {
         let model = ModelConfig::by_name(name).expect("table 2 model");
         let t = TimelineBuilder::new(model, inst, 16).build();
+        let us = |d: gemini_sim::SimDuration| (d.as_nanos() / 1_000) as f64;
+        sink.gauge_set_labeled("calib.iteration_us", "model", name, || {
+            us(t.iteration_time())
+        });
+        sink.gauge_set_labeled("calib.net_idle_us", "model", name, || {
+            us(t.network_idle_total())
+        });
+        sink.gauge_set_labeled("calib.largest_idle_us", "model", name, || {
+            us(t.largest_idle_span())
+        });
         println!(
             "{name:14} | {:8.1} | {:8.1} | {:8.1} | {:12.2} | {}",
             t.iteration_time().as_secs_f64(),
@@ -31,4 +50,8 @@ fn main() {
     println!();
     println!("paper anchors: GPT-2 100B on 16 p4d = 62 s iterations, ~12.5 s idle;");
     println!("GPT-2 40B on 16 p3dn = ~45 s iterations, a few seconds idle (Figs. 7/8/13).");
+    if let Err(e) = targs.write(&sink) {
+        eprintln!("error: writing telemetry outputs: {e}");
+        std::process::exit(1)
+    }
 }

@@ -2,27 +2,50 @@
 //!
 //! ```text
 //! cargo run -p gemini-bench --bin figures [--fast] [--csv | --json]
+//! cargo run -p gemini-bench --bin figures -- --fast --metrics-out figs.prom
 //! ```
+//!
+//! With `--trace-out`/`--metrics-out`/`--metrics-json-out` the binary also
+//! runs the Fig. 14 recovery drill through an enabled telemetry sink and
+//! exports the resulting spans, events and metrics.
 
-use gemini_harness::experiments::render_all;
+use gemini_bench::TelemetryArgs;
+use gemini_harness::experiments::render_all_with;
+use gemini_harness::{run_drill_with, DrillConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let (targs, args) = TelemetryArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1)
+    });
+    let sink = targs.sink();
     let fast = args.iter().any(|a| a == "--fast");
     let csv = args.iter().any(|a| a == "--csv");
     let json = args.iter().any(|a| a == "--json");
+
+    // When telemetry export is requested, seed the trace with the Fig. 14
+    // drill so the span/event tracks are populated.
+    if sink.is_enabled() {
+        let _ = run_drill_with(&DrillConfig::fig14(), sink.clone());
+    }
+
+    let tables = render_all_with(fast, &sink);
     if json {
-        let tables = render_all(fast);
         let rendered: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
         println!("[{}]", rendered.join(","));
-        return;
-    }
-    for table in render_all(fast) {
-        if csv {
-            println!("# {}", table.title);
-            println!("{}", table.to_csv());
-        } else {
-            println!("{}", table.to_markdown());
+    } else {
+        for table in &tables {
+            if csv {
+                println!("# {}", table.title);
+                println!("{}", table.to_csv());
+            } else {
+                println!("{}", table.to_markdown());
+            }
         }
+    }
+
+    if let Err(e) = targs.write(&sink) {
+        eprintln!("error: writing telemetry outputs: {e}");
+        std::process::exit(1)
     }
 }

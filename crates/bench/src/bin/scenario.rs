@@ -4,7 +4,13 @@
 //! ```text
 //! cargo run -p gemini-bench --bin scenario -- '{"model":"GPT-2 100B"}'
 //! cargo run -p gemini-bench --bin scenario -- "$(cat my_scenario.json)"
+//! cargo run -p gemini-bench --bin scenario -- --trace-out drill.json --metrics-out drill.prom
 //! ```
+//!
+//! `--trace-out FILE` exports the run (checkpoint interleave, failure
+//! detection, recovery phases) as Chrome trace-event JSON for Perfetto;
+//! `--metrics-out FILE` writes Prometheus text; `--metrics-json-out FILE`
+//! writes the same registry as JSON.
 //!
 //! Config fields (all optional):
 //!
@@ -21,8 +27,9 @@
 //! }
 //! ```
 
+use gemini_bench::TelemetryArgs;
 use gemini_cluster::{FailureKind, InstanceType, OperatorConfig};
-use gemini_harness::{run_drill, DrillConfig, Scenario};
+use gemini_harness::{run_drill_with, DrillConfig, Scenario};
 use gemini_training::ModelConfig;
 
 fn fail(msg: &str) -> ! {
@@ -31,7 +38,9 @@ fn fail(msg: &str) -> ! {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "{}".to_string());
+    let (targs, rest) = TelemetryArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| fail(&e));
+    let sink = targs.sink();
+    let arg = rest.first().cloned().unwrap_or_else(|| "{}".to_string());
     let cfg: serde_json::Value = serde_json::from_str(&arg)
         .unwrap_or_else(|e| fail(&format!("config is not valid JSON: {e}")));
 
@@ -106,7 +115,9 @@ fn main() {
         sys.profile.total_idle(),
         sys.schedule.is_interference_free()
     );
-
+    // The drill below records the steady-state checkpoint interleave into
+    // the sink itself (`ckpt` spans + chunk events), so no extra recording
+    // is needed here.
     let drill = DrillConfig {
         scenario,
         failures: failures.clone(),
@@ -117,7 +128,7 @@ fn main() {
         },
         seed,
     };
-    match run_drill(&drill) {
+    match run_drill_with(&drill, sink.clone()) {
         Ok(r) => {
             println!("\n## Failure drill ({failures:?} during iteration {fail_iter})");
             println!("- case: {:?}", r.case);
@@ -135,5 +146,9 @@ fn main() {
             );
         }
         Err(e) => println!("\n## Failure drill: unrecoverable ({e})"),
+    }
+
+    if let Err(e) = targs.write(&sink) {
+        fail(&format!("writing telemetry outputs: {e}"));
     }
 }

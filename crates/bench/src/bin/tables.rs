@@ -2,11 +2,25 @@
 //!
 //! ```text
 //! cargo run -p gemini-bench --bin tables
+//! cargo run -p gemini-bench --bin tables -- --metrics-out tables.prom
 //! ```
 
+use gemini_bench::TelemetryArgs;
 use gemini_harness::experiments::tables::{table1_table, table2_table};
 
 fn main() {
-    println!("{}", table1_table().to_markdown());
-    println!("{}", table2_table().to_markdown());
+    let (targs, _) = TelemetryArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1)
+    });
+    let sink = targs.sink();
+    for t in [table1_table(), table2_table()] {
+        sink.counter_add("harness.artifacts_rendered", 1);
+        sink.counter_add("harness.artifact_rows", t.rows.len() as u64);
+        println!("{}", t.to_markdown());
+    }
+    if let Err(e) = targs.write(&sink) {
+        eprintln!("error: writing telemetry outputs: {e}");
+        std::process::exit(1)
+    }
 }

@@ -10,6 +10,14 @@
 //!
 //! Criterion benches (one per experiment family): `placement`,
 //! `partition`, `timeline`, `figures`.
+//!
+//! Every binary additionally accepts `--trace-out FILE` (Chrome
+//! trace-event JSON for Perfetto), `--metrics-out FILE` (Prometheus text)
+//! and `--metrics-json-out FILE` — see [`out::TelemetryArgs`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod out;
+
+pub use out::TelemetryArgs;

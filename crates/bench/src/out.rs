@@ -1,0 +1,131 @@
+//! Shared `--trace-out` / `--metrics-out` handling for the bench binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--trace-out FILE` — write the run's spans and typed events as Chrome
+//!   trace-event JSON (loadable in Perfetto / `chrome://tracing`);
+//! * `--metrics-out FILE` — write the metrics registry as Prometheus text
+//!   exposition;
+//! * `--metrics-json-out FILE` — write the metrics registry as JSON.
+//!
+//! When none of the flags is present the returned sink is disabled, so the
+//! instrumented code paths cost a single branch.
+
+use gemini_telemetry::TelemetrySink;
+use std::path::PathBuf;
+
+/// Parsed telemetry-output flags.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryArgs {
+    /// Destination for Chrome trace-event JSON, if requested.
+    pub trace_out: Option<PathBuf>,
+    /// Destination for Prometheus text exposition, if requested.
+    pub metrics_out: Option<PathBuf>,
+    /// Destination for the JSON metrics snapshot, if requested.
+    pub metrics_json_out: Option<PathBuf>,
+}
+
+impl TelemetryArgs {
+    /// Splits the telemetry flags out of `args`, returning the parsed
+    /// flags and the remaining arguments in their original order. A flag
+    /// missing its FILE operand is an error.
+    pub fn parse(
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<(TelemetryArgs, Vec<String>), String> {
+        let mut out = TelemetryArgs::default();
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let slot = match arg.as_str() {
+                "--trace-out" => &mut out.trace_out,
+                "--metrics-out" => &mut out.metrics_out,
+                "--metrics-json-out" => &mut out.metrics_json_out,
+                _ => {
+                    rest.push(arg);
+                    continue;
+                }
+            };
+            match it.next() {
+                Some(path) => *slot = Some(PathBuf::from(path)),
+                None => return Err(format!("{arg} requires a FILE operand")),
+            }
+        }
+        Ok((out, rest))
+    }
+
+    /// Whether any output was requested.
+    pub fn any(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.metrics_json_out.is_some()
+    }
+
+    /// An enabled sink when any output is requested, a disabled one (zero
+    /// recording cost) otherwise.
+    pub fn sink(&self) -> TelemetrySink {
+        if self.any() {
+            TelemetrySink::enabled()
+        } else {
+            TelemetrySink::disabled()
+        }
+    }
+
+    /// Writes the requested exports from `sink`.
+    pub fn write(&self, sink: &TelemetrySink) -> std::io::Result<()> {
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, sink.export_chrome_trace())?;
+            eprintln!("wrote Chrome trace to {}", path.display());
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, sink.export_prometheus())?;
+            eprintln!("wrote Prometheus metrics to {}", path.display());
+        }
+        if let Some(path) = &self.metrics_json_out {
+            std::fs::write(path, sink.export_metrics_json())?;
+            eprintln!("wrote metrics JSON to {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_preserves_the_rest() {
+        let (args, rest) = TelemetryArgs::parse(s(&[
+            "{\"model\":\"x\"}",
+            "--trace-out",
+            "t.json",
+            "--fast",
+            "--metrics-out",
+            "m.prom",
+        ]))
+        .unwrap();
+        assert_eq!(args.trace_out.as_deref().unwrap().to_str(), Some("t.json"));
+        assert_eq!(
+            args.metrics_out.as_deref().unwrap().to_str(),
+            Some("m.prom")
+        );
+        assert!(args.metrics_json_out.is_none());
+        assert_eq!(rest, s(&["{\"model\":\"x\"}", "--fast"]));
+        assert!(args.any());
+        assert!(args.sink().is_enabled());
+    }
+
+    #[test]
+    fn no_flags_means_disabled_sink() {
+        let (args, rest) = TelemetryArgs::parse(s(&["--fast"])).unwrap();
+        assert!(!args.any());
+        assert!(!args.sink().is_enabled());
+        assert_eq!(rest, s(&["--fast"]));
+    }
+
+    #[test]
+    fn missing_operand_is_an_error() {
+        assert!(TelemetryArgs::parse(s(&["--trace-out"])).is_err());
+    }
+}

@@ -7,6 +7,7 @@
 //! then back-fills the standby pool asynchronously.
 
 use gemini_sim::{DetRng, SimDuration, SimTime};
+use gemini_telemetry::{TelemetryEvent, TelemetrySink};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the cloud operator model.
@@ -61,6 +62,7 @@ pub struct CloudOperator {
     /// Times at which requested standby refills arrive.
     refills_pending: Vec<SimTime>,
     replacements_served: u64,
+    telemetry: TelemetrySink,
 }
 
 impl CloudOperator {
@@ -71,7 +73,15 @@ impl CloudOperator {
             config,
             refills_pending: Vec::new(),
             replacements_served: 0,
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink; each provisioned replacement is reported
+    /// through it.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
     }
 
     /// The static config.
@@ -103,7 +113,7 @@ impl CloudOperator {
     pub fn request_replacement(&mut self, now: SimTime, rng: &mut DetRng) -> Provision {
         self.absorb_refills(now);
         self.replacements_served += 1;
-        if self.standbys_available > 0 {
+        let provision = if self.standbys_available > 0 {
             self.standbys_available -= 1;
             // "the root agent returns the failed one and requests another
             // standby machine" — the refill arrives after a full reservation.
@@ -118,7 +128,24 @@ impl CloudOperator {
                 ready_at: now + self.reserve_delay(rng),
                 from_standby: false,
             }
+        };
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .event(now, || TelemetryEvent::ReplacementProvisioned {
+                    standby: provision.from_standby,
+                });
+            let label = if provision.from_standby {
+                "standby"
+            } else {
+                "cloud"
+            };
+            self.telemetry
+                .counter_add_labeled("cluster.replacements", "source", label, 1);
+            self.telemetry.observe_us("cluster.provision_wait_us", || {
+                provision.ready_at.saturating_since(now).as_nanos() / 1_000
+            });
         }
+        provision
     }
 
     fn reserve_delay(&self, rng: &mut DetRng) -> SimDuration {

@@ -104,6 +104,7 @@ impl WorkerAgent {
                     beat: self.beat,
                 };
                 kv.put(now, &self.health_key(), &status.encode(), Some(lease))?;
+                kv.telemetry().counter_add("kv.heartbeats", 1);
                 Ok(())
             }
             _ => self.register(kv, now),
@@ -196,9 +197,13 @@ impl RootAgent {
                 h.rank
             })
             .collect();
-        let missing = (0..n).filter(|r| !present.contains(r)).collect();
+        let missing: Vec<usize> = (0..n).filter(|r| !present.contains(r)).collect();
         alive.sort_unstable();
         alive.dedup();
+        kv.telemetry().counter_add("kv.health_scans", 1);
+        let alive_count = alive.len();
+        kv.telemetry()
+            .gauge_set("kv.alive_workers", || alive_count as f64);
         ScanReport { alive, missing }
     }
 

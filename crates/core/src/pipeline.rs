@@ -109,6 +109,45 @@ pub fn run_pipeline(
     }
 }
 
+impl PipelineResult {
+    /// Reports the pipeline schedule through a telemetry sink: `net` spans
+    /// for the transfers, `ckpt` spans for the GPU→CPU copies (both offset
+    /// by `base`), plus the NIC-occupancy/bubble gauges that decide whether
+    /// a checkpoint interleaves for free.
+    pub fn record_telemetry(&self, sink: &gemini_telemetry::TelemetrySink, base: SimTime) {
+        if !sink.is_enabled() {
+            return;
+        }
+        for (i, s) in self.net_spans.iter().enumerate() {
+            sink.span(
+                "net",
+                || format!("pipeline recv {i}"),
+                base + (s.start - SimTime::ZERO),
+                base + (s.end - SimTime::ZERO),
+            );
+        }
+        for (i, s) in self.copy_spans.iter().enumerate() {
+            sink.span(
+                "ckpt",
+                || format!("gpu-cpu copy {i}"),
+                base + (s.start - SimTime::ZERO),
+                base + (s.end - SimTime::ZERO),
+            );
+        }
+        sink.gauge_set("net.pipeline_occupancy_us", || {
+            (self.net_occupancy.as_nanos() / 1_000) as f64
+        });
+        sink.gauge_set("net.pipeline_bubbles_us", || {
+            (self.net_bubbles.as_nanos() / 1_000) as f64
+        });
+        if !self.net_occupancy.is_zero() {
+            sink.gauge_set("net.nic_busy_frac", || {
+                1.0 - self.net_bubbles / self.net_occupancy
+            });
+        }
+    }
+}
+
 /// The *effective* NIC time per byte for a scheme that serializes network
 /// transfer and copy on a single buffer (Fig. 5c): each chunk costs
 /// `f_net + f_copy` of NIC occupancy.

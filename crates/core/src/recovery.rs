@@ -58,6 +58,35 @@ pub struct RecoveryPlan {
 }
 
 impl RecoveryPlan {
+    /// Reports the plan through a telemetry sink at `now`: a
+    /// `RetrievalStarted` event, one `RecoveryTierHit` per rank, and
+    /// per-tier `recovery.tier_hits` counters. A disabled sink records
+    /// nothing and evaluates nothing.
+    pub fn record_telemetry(
+        &self,
+        sink: &gemini_telemetry::TelemetrySink,
+        now: gemini_sim::SimTime,
+    ) {
+        if !sink.is_enabled() {
+            return;
+        }
+        sink.event(now, || gemini_telemetry::TelemetryEvent::RetrievalStarted {
+            case: format!("{:?}", self.case),
+            rollback_to: self.iteration,
+        });
+        for src in &self.sources {
+            let tier = tier_label(src.tier);
+            sink.event(now, || gemini_telemetry::TelemetryEvent::RecoveryTierHit {
+                rank: src.rank,
+                tier,
+                from: src.from,
+            });
+            sink.counter_add_labeled("recovery.tier_hits", "tier", tier.label(), 1);
+        }
+        sink.counter_add("recovery.plans", 1);
+        sink.gauge_set("recovery.rollback_iteration", || self.iteration as f64);
+    }
+
     /// The wall-clock retrieval makespan of this plan, accounting for
     /// *source contention*: two replacement machines fetching from the
     /// same surviving host serialize on that host's transmit path (which
@@ -100,6 +129,15 @@ impl RecoveryPlan {
             }
         }
         makespan
+    }
+}
+
+/// Maps the core storage tier onto its telemetry-local mirror.
+fn tier_label(tier: StorageTier) -> gemini_telemetry::Tier {
+    match tier {
+        StorageTier::LocalCpu => gemini_telemetry::Tier::LocalCpu,
+        StorageTier::RemoteCpu => gemini_telemetry::Tier::RemoteCpu,
+        StorageTier::Persistent => gemini_telemetry::Tier::Persistent,
     }
 }
 

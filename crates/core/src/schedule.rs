@@ -134,6 +134,52 @@ impl CkptSchedule {
         self.outcome.overhead.is_zero()
     }
 
+    /// Reports the schedule through a telemetry sink: one `ckpt` span per
+    /// placed chunk (relative to `base`), a `CkptChunkSent` event at each
+    /// chunk's completion, and the headline gauges/histograms
+    /// (`ckpt.stall_us`, `ckpt.network_time_us`, `ckpt.remaining_idle_us`).
+    pub fn record_telemetry(
+        &self,
+        sink: &gemini_telemetry::TelemetrySink,
+        base: gemini_sim::SimTime,
+    ) {
+        if !sink.is_enabled() {
+            return;
+        }
+        for (i, (chunk, span)) in self.placed.iter().enumerate() {
+            let start = base + span.start.saturating_since(gemini_sim::SimTime::ZERO);
+            let end = base + span.end.saturating_since(gemini_sim::SimTime::ZERO);
+            sink.span("ckpt", || format!("chunk {i}"), start, end);
+            sink.event(end, || gemini_telemetry::TelemetryEvent::CkptChunkSent {
+                chunk: i,
+                bytes: chunk.size.as_bytes(),
+            });
+            sink.counter_add("ckpt.chunk_bytes", chunk.size.as_bytes());
+        }
+        sink.counter_add("ckpt.chunks", self.placed.len() as u64);
+        sink.observe_us("ckpt.stall_us", || self.outcome.overhead.as_nanos() / 1_000);
+        sink.gauge_set("ckpt.network_time_us", || {
+            (self.outcome.ckpt_network_time.as_nanos() / 1_000) as f64
+        });
+        sink.gauge_set("ckpt.remaining_idle_us", || {
+            (self.outcome.remaining_idle.as_nanos() / 1_000) as f64
+        });
+        sink.gauge_set("ckpt.pipeline_bubbles_us", || {
+            (self.outcome.pipeline_bubbles.as_nanos() / 1_000) as f64
+        });
+        // The NIC-side view of the same schedule: what checkpoint traffic
+        // costs the network, bubbles included (§5.2).
+        sink.gauge_set("net.ckpt_occupancy_us", || {
+            (self.outcome.ckpt_network_time.as_nanos() / 1_000) as f64
+        });
+        if !self.outcome.ckpt_network_time.is_zero() {
+            sink.gauge_set("net.nic_busy_frac", || {
+                1.0 - self.outcome.pipeline_bubbles.as_nanos() as f64
+                    / self.outcome.ckpt_network_time.as_nanos() as f64
+            });
+        }
+    }
+
     /// Validates that no placed chunk (except in the final span) leaks out
     /// of its idle span.
     pub fn check_placement(&self, profile: &IdleProfile) -> Result<(), String> {

@@ -27,6 +27,7 @@ pub struct ReplicaVault {
     capacity_per_host: ByteSize,
     slots: BTreeMap<(usize, usize), VaultSlot>,
     hosts: usize,
+    telemetry: gemini_telemetry::TelemetrySink,
 }
 
 impl ReplicaVault {
@@ -43,7 +44,16 @@ impl ReplicaVault {
             capacity_per_host,
             slots,
             hosts: placement.machines(),
+            telemetry: gemini_telemetry::TelemetrySink::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink; staged/committed/fetched frames bump
+    /// `ckpt.*` counters through it. The vault has no clock, so it records
+    /// counters only — callers with a clock emit the timed events.
+    pub fn with_telemetry(mut self, sink: gemini_telemetry::TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
     }
 
     /// Bytes currently resident on `host` (both buffers of all its slots).
@@ -87,6 +97,9 @@ impl ReplicaVault {
             .slots
             .get_mut(&(host, owner))
             .ok_or(GeminiError::UnknownRank(owner))?;
+        self.telemetry
+            .counter_add("ckpt.frames_staged_bytes", incoming.as_bytes());
+        self.telemetry.counter_add("ckpt.frames_staged", 1);
         slot.in_progress = Some(frame);
         Ok(())
     }
@@ -100,6 +113,7 @@ impl ReplicaVault {
             .ok_or(GeminiError::UnknownRank(owner))?;
         if let Some(frame) = slot.in_progress.take() {
             slot.completed = Some(frame);
+            self.telemetry.counter_add("ckpt.frames_committed", 1);
         }
         Ok(())
     }
@@ -157,6 +171,7 @@ impl ReplicaVault {
                 *slot = VaultSlot::default();
             }
         }
+        self.telemetry.counter_add("ckpt.hosts_wiped", 1);
     }
 }
 

@@ -18,6 +18,7 @@ use gemini_baselines::remote::{highfreq, strawman, RemoteBaseline, RemoteSetup};
 use gemini_core::ckpt::StorageTier;
 use gemini_core::GeminiError;
 use gemini_sim::{DetRng, SimDuration};
+use gemini_telemetry::TelemetrySink;
 use serde::{Deserialize, Serialize};
 
 /// Which checkpointing solution the campaign runs.
@@ -141,6 +142,16 @@ fn baseline_regime(b: &RemoteBaseline, detection: f64, warmup: f64) -> Regime {
 
 /// Runs one campaign.
 pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, GeminiError> {
+    run_campaign_with(config, &TelemetrySink::disabled())
+}
+
+/// Runs one campaign, recording per-solution metrics through `sink`:
+/// `campaign.failures{solution=…}`, a `campaign.rollback_us` histogram per
+/// injected failure, and the headline `campaign.effective_ratio` gauge.
+pub fn run_campaign_with(
+    config: &CampaignConfig,
+    sink: &TelemetrySink,
+) -> Result<CampaignResult, GeminiError> {
     let sys = config.scenario.build_system(config.seed)?;
     let gcfg = &config.scenario.config;
     let iter_time = sys.iteration_time().as_secs_f64();
@@ -225,12 +236,33 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, GeminiErr
         recovery_lost += rollback + overhead.min(horizon - now);
         now = (now + overhead).min(horizon);
         since_ckpt = 0.0;
+        sink.counter_add_labeled("campaign.failures", "solution", config.solution.name(), 1);
+        sink.observe_us("campaign.rollback_us", || (rollback * 1e6) as u64);
         next_failure = now + rng.exponential(rate_per_sec);
     }
 
+    let effective_ratio = (useful / horizon).clamp(0.0, 1.0);
+    sink.gauge_set_labeled(
+        "campaign.effective_ratio",
+        "solution",
+        config.solution.name(),
+        || effective_ratio,
+    );
+    sink.gauge_set_labeled(
+        "campaign.recovery_lost_us",
+        "solution",
+        config.solution.name(),
+        || recovery_lost * 1e6,
+    );
+    sink.gauge_set_labeled(
+        "campaign.ckpt_stall_lost_us",
+        "solution",
+        config.solution.name(),
+        || stall_lost * 1e6,
+    );
     Ok(CampaignResult {
         solution: config.solution,
-        effective_ratio: (useful / horizon).clamp(0.0, 1.0),
+        effective_ratio,
         failures,
         iterations: (useful / iter_time) as u64,
         recovery_lost: SimDuration::from_secs_f64(recovery_lost),
@@ -350,6 +382,29 @@ mod tests {
         assert!((0.85..0.97).contains(&g), "gemini = {g:.3}");
         assert!(g / h > 1.3, "gemini/highfreq = {:.2}", g / h);
         assert!(s < 0.35, "strawman = {s:.3}");
+    }
+
+    #[test]
+    fn campaign_metrics_flow_through_the_sink() {
+        let sink = TelemetrySink::enabled();
+        let r = run_campaign_with(&CampaignConfig::fig15(Solution::Gemini, 4.0, 9), &sink).unwrap();
+        let snap = sink.metrics_snapshot();
+        assert_eq!(
+            snap.counter(gemini_telemetry::Key::labeled(
+                "campaign.failures",
+                "solution",
+                "GEMINI"
+            )),
+            r.failures
+        );
+        assert_eq!(
+            snap.gauge(gemini_telemetry::Key::labeled(
+                "campaign.effective_ratio",
+                "solution",
+                "GEMINI"
+            )),
+            Some(r.effective_ratio)
+        );
     }
 
     #[test]

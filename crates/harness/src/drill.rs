@@ -22,7 +22,25 @@ use gemini_core::recovery::{RecoveryCase, RecoveryPlan, RecoveryPlanner};
 use gemini_core::GeminiError;
 use gemini_kvstore::KvStore;
 use gemini_sim::{Context, Engine, Model, SimDuration, SimTime};
+use gemini_telemetry::{
+    EngineTelemetryProbe, FailureClass, TelemetryEvent, TelemetrySink, TimedEvent,
+};
 use serde::{Deserialize, Serialize};
+
+fn class_of(kind: FailureKind) -> FailureClass {
+    match kind {
+        FailureKind::Hardware => FailureClass::Hardware,
+        FailureKind::Software => FailureClass::Software,
+    }
+}
+
+fn case_tier_label(case: RecoveryCase) -> &'static str {
+    match case {
+        RecoveryCase::SoftwareLocal => "local_cpu",
+        RecoveryCase::HardwareFromCpu => "remote_cpu",
+        RecoveryCase::PersistentFallback => "persistent",
+    }
+}
 
 /// Configuration of one drill run.
 #[derive(Clone, Debug)]
@@ -80,8 +98,10 @@ pub struct DrillReport {
     pub failed_iteration: u64,
     /// Which rank ended up being the detecting root.
     pub detecting_root: String,
-    /// The rendered event trace.
+    /// The rendered event trace (legacy string shim over the typed log).
     pub trace: String,
+    /// The typed event log the trace is rendered from.
+    pub events: Vec<TimedEvent>,
 }
 
 #[derive(Debug)]
@@ -99,6 +119,7 @@ enum Ev {
 struct DrillModel {
     sys: GeminiSystem,
     kv: KvStore,
+    sink: TelemetrySink,
     workers: Vec<WorkerAgent>,
     roots: Vec<RootAgent>,
     operator: CloudOperator,
@@ -149,12 +170,9 @@ impl DrillModel {
             &self.sys.scenario.instance.copy_cost(),
             &self.sys.scenario.storage_cost(),
         );
-        ctx.trace(|| {
-            format!(
-                "retrieval started: case {:?}, rollback to iteration {}",
-                plan.case, plan.iteration
-            )
-        });
+        // `RetrievalStarted`, the per-rank `RecoveryTierHit` events and the
+        // `recovery.*` counters all come from the plan itself.
+        plan.record_telemetry(&self.sink, ctx.now());
         self.retrieval_started = Some(ctx.now());
         self.plan = Some(plan);
         ctx.schedule_after(slowest, Ev::RetrievalDone);
@@ -173,7 +191,10 @@ impl Model for DrillModel {
                 self.current_iteration = i;
                 // Per-iteration checkpoint committed by iteration end.
                 self.sys.store.record_complete(i);
-                ctx.trace(|| format!("iteration {i} complete, checkpoint {i} committed"));
+                self.sink
+                    .event(ctx.now(), || TelemetryEvent::IterationComplete {
+                        iteration: i,
+                    });
                 ctx.schedule_after(self.sys.iteration_time(), Ev::IterationDone(i + 1));
             }
             Ev::Heartbeat(rank) => {
@@ -218,15 +239,21 @@ impl Model for DrillModel {
                     if !report.missing.is_empty() && self.detected_at.is_none() {
                         self.detected_at = Some(now);
                         self.detecting_root = Some(self.roots[leader_rank].identity().to_string());
-                        ctx.trace(|| {
-                            format!(
-                                "root {} detected failed ranks {:?}",
-                                leader_rank, report.missing
-                            )
+                        for &rank in &report.missing {
+                            self.sink
+                                .event(now, || TelemetryEvent::HeartbeatMissed { rank });
+                        }
+                        self.sink.event(now, || TelemetryEvent::FailureDetected {
+                            ranks: report.missing.clone(),
+                            by: leader_rank.to_string(),
                         });
                         // Notify alive agents to serialize the latest
                         // complete checkpoints (torch.save).
                         self.serialize_started = Some(now);
+                        self.sink
+                            .event(now, || TelemetryEvent::SerializationStarted {
+                                ranks: report.alive.len(),
+                            });
                         ctx.schedule_after(self.sys.serialize_time(), Ev::SerializeDone);
                         // Request replacements for hardware failures.
                         for &(rank, kind) in &self.failures.clone() {
@@ -237,13 +264,12 @@ impl Model for DrillModel {
                                     .expect("rank exists");
                                 self.replacements_pending += 1;
                                 let provision = self.operator.request_replacement(now, ctx.rng());
-                                ctx.trace(|| {
-                                    format!(
-                                        "replacement for rank {rank} requested \
-                                         (standby: {}, ready at {})",
-                                        provision.from_standby, provision.ready_at
-                                    )
-                                });
+                                self.sink
+                                    .event(now, || TelemetryEvent::ReplacementRequested {
+                                        rank,
+                                        standby: provision.from_standby,
+                                        ready_at: provision.ready_at,
+                                    });
                                 ctx.schedule_at(provision.ready_at, Ev::ReplacementReady(rank));
                             }
                         }
@@ -259,13 +285,18 @@ impl Model for DrillModel {
                     if kind == FailureKind::Hardware {
                         self.sys.store.machine_lost(rank);
                     }
-                    ctx.trace(|| format!("rank {rank} failed ({kind:?})"));
+                    self.sink
+                        .event(ctx.now(), || TelemetryEvent::FailureInjected {
+                            rank,
+                            kind: class_of(kind),
+                        });
                 }
             }
             Ev::SerializeDone => {
                 self.serialize_done = true;
                 self.serialize_finished = Some(ctx.now());
-                ctx.trace(|| "checkpoint serialization finished".to_string());
+                self.sink
+                    .event(ctx.now(), || TelemetryEvent::SerializationFinished);
                 self.maybe_start_retrieval(ctx);
             }
             Ev::ReplacementReady(rank) => {
@@ -279,12 +310,14 @@ impl Model for DrillModel {
                         .unwrap_or(ctx.now())
                         .max(ctx.now()),
                 );
-                ctx.trace(|| format!("replacement machine for rank {rank} joined"));
+                self.sink
+                    .event(ctx.now(), || TelemetryEvent::MachineReplaced { rank });
                 self.maybe_start_retrieval(ctx);
             }
             Ev::RetrievalDone => {
                 self.retrieval_finished = Some(ctx.now());
-                ctx.trace(|| "checkpoint retrieval finished".to_string());
+                self.sink
+                    .event(ctx.now(), || TelemetryEvent::RetrievalFinished);
                 ctx.schedule_after(self.sys.scenario.config.restart_warmup, Ev::WarmupDone);
             }
             Ev::WarmupDone => {
@@ -297,7 +330,10 @@ impl Model for DrillModel {
                     }
                 }
                 let resume_iter = self.plan.as_ref().expect("plan exists").iteration;
-                ctx.trace(|| format!("training resumed from iteration {resume_iter}"));
+                self.sink
+                    .event(ctx.now(), || TelemetryEvent::TrainingResumed {
+                        iteration: resume_iter,
+                    });
                 self.done = true;
                 ctx.stop();
             }
@@ -305,13 +341,29 @@ impl Model for DrillModel {
     }
 }
 
-/// Runs a drill and reports the recovery-time breakdown.
+/// Runs a drill and reports the recovery-time breakdown, recording the
+/// full typed-event log through a fresh sink.
 pub fn run_drill(config: &DrillConfig) -> Result<DrillReport, GeminiError> {
+    run_drill_with(config, TelemetrySink::enabled())
+}
+
+/// Runs a drill recording through `sink` — the caller keeps the handle, so
+/// it can query events, snapshot metrics and export traces afterwards.
+/// With a [`TelemetrySink::disabled`] sink the drill runs at full speed and
+/// the report's `trace`/`events` come back empty.
+pub fn run_drill_with(
+    config: &DrillConfig,
+    sink: TelemetrySink,
+) -> Result<DrillReport, GeminiError> {
     let mut sys = config.scenario.build_system(config.seed)?;
     // Jobs start from a persisted initial checkpoint (iteration 0), which
     // is what the persistent-fallback path rolls back to if a whole
     // placement group is lost before the next 3-hour persist.
     sys.store.persist(0);
+    // The steady-state checkpoint interleave, recorded once up front: `ckpt`
+    // spans + chunk events in the trace export, plus the ckpt.*/net.* gauges
+    // the schedule implies.
+    sys.schedule.record_telemetry(&sink, SimTime::ZERO);
     let n = sys.cluster.len();
     for &(rank, _) in &config.failures {
         if rank >= n {
@@ -320,7 +372,7 @@ pub fn run_drill(config: &DrillConfig) -> Result<DrillReport, GeminiError> {
     }
     let gcfg = sys.scenario.config;
     let iter_time = sys.iteration_time();
-    let mut kv = KvStore::new();
+    let mut kv = KvStore::new().with_telemetry(sink.clone());
     let mut workers: Vec<WorkerAgent> = (0..n)
         .map(|r| WorkerAgent::new(r, r as u64, gcfg))
         .collect();
@@ -334,9 +386,10 @@ pub fn run_drill(config: &DrillConfig) -> Result<DrillReport, GeminiError> {
     let mut model = DrillModel {
         sys,
         kv,
+        sink: sink.clone(),
         workers,
         roots,
-        operator: CloudOperator::new(config.operator),
+        operator: CloudOperator::new(config.operator).with_telemetry(sink.clone()),
         failures: config.failures.clone(),
         fail_during_iteration: config.fail_during_iteration,
         current_iteration: 0,
@@ -356,7 +409,8 @@ pub fn run_drill(config: &DrillConfig) -> Result<DrillReport, GeminiError> {
         done: false,
     };
 
-    let mut engine = Engine::new(config.seed).with_trace();
+    let mut engine =
+        Engine::new(config.seed).with_probe(EngineTelemetryProbe::boxed(sink.clone(), 256));
     engine.prime_at(SimTime::ZERO, Ev::CoordinationTick);
     for r in 0..n {
         engine.prime_after(gcfg.heartbeat_period, Ev::Heartbeat(r));
@@ -391,6 +445,44 @@ pub fn run_drill(config: &DrillConfig) -> Result<DrillReport, GeminiError> {
         .zip(model.retrieval_started)
         .map(|(e, s)| e - s)
         .unwrap_or(SimDuration::ZERO);
+    let total_downtime = resumed_at - failed_at;
+
+    // The Fig. 14 breakdown as recovery-track spans: load the Chrome trace
+    // into Perfetto and the annotated phases appear stacked over time.
+    if sink.is_enabled() {
+        sink.span("recovery", || "detect".to_string(), failed_at, detected_at);
+        if let (Some(s), Some(e)) = (model.serialize_started, model.serialize_finished) {
+            sink.span("recovery", || "serialize".to_string(), s, e);
+        }
+        if let Some(ready) = model.replacement_ready_at {
+            sink.span(
+                "recovery",
+                || "replacement wait".to_string(),
+                detected_at,
+                ready,
+            );
+        }
+        if let (Some(s), Some(e)) = (model.retrieval_started, model.retrieval_finished) {
+            sink.span("recovery", || "retrieval".to_string(), s, e);
+        }
+        if let Some(s) = model.retrieval_finished {
+            sink.span("recovery", || "warmup".to_string(), s, resumed_at);
+        }
+        sink.span("recovery", || "downtime".to_string(), failed_at, resumed_at);
+        let us = |d: SimDuration| (d.as_nanos() / 1_000) as u64;
+        sink.observe_us("recovery.detect_us", || us(detected_at - failed_at));
+        sink.observe_us("recovery.serialize_us", || us(serialize_time));
+        sink.observe_us("recovery.replacement_wait_us", || us(replacement_wait));
+        sink.observe_us_labeled(
+            "recovery.retrieval_us",
+            "tier",
+            case_tier_label(plan.case),
+            || us(retrieval_time),
+        );
+        sink.observe_us("recovery.total_downtime_us", || us(total_downtime));
+        sink.counter_add("recovery.drills", 1);
+    }
+
     Ok(DrillReport {
         failed_at,
         detect_latency: detected_at - failed_at,
@@ -398,12 +490,13 @@ pub fn run_drill(config: &DrillConfig) -> Result<DrillReport, GeminiError> {
         replacement_wait,
         retrieval_time,
         warmup_time: model.sys.scenario.config.restart_warmup,
-        total_downtime: resumed_at - failed_at,
+        total_downtime,
         case: plan.case,
         resumed_from_iteration: plan.iteration,
         failed_iteration: model.fail_during_iteration,
         detecting_root: model.detecting_root.clone().unwrap_or_default(),
-        trace: engine.trace().render(),
+        trace: sink.render_trace(),
+        events: sink.events(),
     })
 }
 
@@ -494,6 +587,145 @@ mod tests {
         assert_eq!(report.resumed_from_iteration, 3);
     }
 
+    #[test]
+    fn typed_events_cover_the_recovery_milestones() {
+        use TelemetryEvent as E;
+        let sink = TelemetrySink::enabled();
+        let report = run_drill_with(&DrillConfig::fig14(), sink.clone()).unwrap();
+        // Every milestone is queryable structurally — no string grepping.
+        assert_eq!(
+            sink.find(|e| matches!(
+                e,
+                E::FailureInjected {
+                    rank: 5,
+                    kind: FailureClass::Hardware
+                }
+            ))
+            .len(),
+            1
+        );
+        assert_eq!(
+            sink.find(|e| matches!(e, E::HeartbeatMissed { rank: 5 }))
+                .len(),
+            1
+        );
+        let detected = sink.find(|e| matches!(e, E::FailureDetected { .. }));
+        assert_eq!(detected.len(), 1);
+        match &detected[0].event {
+            E::FailureDetected { ranks, .. } => assert_eq!(ranks, &vec![5]),
+            _ => unreachable!(),
+        }
+        // Detection event is stamped at the detection instant.
+        assert_eq!(detected[0].time, report.failed_at + report.detect_latency);
+        assert_eq!(
+            sink.find(|e| matches!(e, E::SerializationStarted { .. }))
+                .len(),
+            1
+        );
+        assert_eq!(
+            sink.find(|e| matches!(e, E::SerializationFinished)).len(),
+            1
+        );
+        assert_eq!(
+            sink.find(|e| matches!(
+                e,
+                E::ReplacementRequested {
+                    rank: 5,
+                    standby: false,
+                    ..
+                }
+            ))
+            .len(),
+            1
+        );
+        assert_eq!(
+            sink.find(|e| matches!(e, E::MachineReplaced { rank: 5 }))
+                .len(),
+            1
+        );
+        // The recovery plan reported its tier decisions: rank 5 pulls its
+        // shard from a surviving peer's CPU memory.
+        assert!(
+            sink.find(|e| matches!(
+                e,
+                E::RecoveryTierHit {
+                    rank: 5,
+                    tier: gemini_telemetry::Tier::RemoteCpu,
+                    ..
+                }
+            ))
+            .len()
+                >= 1
+        );
+        let started = sink.find(|e| matches!(e, E::RetrievalStarted { .. }));
+        assert_eq!(started.len(), 1);
+        match &started[0].event {
+            E::RetrievalStarted { rollback_to, .. } => assert_eq!(*rollback_to, 3),
+            _ => unreachable!(),
+        }
+        assert_eq!(sink.find(|e| matches!(e, E::RetrievalFinished)).len(), 1);
+        assert_eq!(
+            sink.find(|e| matches!(e, E::TrainingResumed { iteration: 3 }))
+                .len(),
+            1
+        );
+        // A leader was elected in the KV store along the way.
+        assert!(!sink
+            .find(|e| matches!(e, E::LeaderElected { .. }))
+            .is_empty());
+        // The report carries the same log.
+        assert_eq!(report.events.len(), sink.events().len());
+    }
+
+    #[test]
+    fn recovery_spans_and_metrics_match_the_report() {
+        let sink = TelemetrySink::enabled();
+        let report = run_drill_with(&DrillConfig::fig14(), sink.clone()).unwrap();
+        let spans = sink.spans();
+        let find = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.track == "recovery" && s.name == name)
+                .unwrap_or_else(|| panic!("missing recovery span {name:?}"))
+        };
+        assert_eq!(find("detect").duration(), report.detect_latency);
+        assert_eq!(find("serialize").duration(), report.serialize_time);
+        assert_eq!(find("retrieval").duration(), report.retrieval_time);
+        assert_eq!(find("downtime").duration(), report.total_downtime);
+        let snap = sink.metrics_snapshot();
+        assert_eq!(
+            snap.counter(gemini_telemetry::Key::plain("recovery.drills")),
+            1
+        );
+        // The drill drove the instrumented KV store underneath.
+        assert!(snap.counter(gemini_telemetry::Key::plain("kv.heartbeats")) > 0);
+        assert!(snap.counter(gemini_telemetry::Key::plain("kv.health_scans")) > 0);
+        // And the engine probe accounted for every processed event.
+        assert!(snap.counter(gemini_telemetry::Key::plain("sim.events_processed")) > 0);
+        // Prometheus exposition carries all the required families.
+        let prom = sink.export_prometheus();
+        for family in ["recovery_", "kv_", "sim_", "cluster_"] {
+            assert!(
+                prom.contains(family),
+                "exposition missing {family}*:\n{prom}"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_sink_still_reports_the_same_breakdown() {
+        let enabled = run_drill(&DrillConfig::fig14()).unwrap();
+        let silent = run_drill_with(&DrillConfig::fig14(), TelemetrySink::disabled()).unwrap();
+        assert_eq!(silent.total_downtime, enabled.total_downtime);
+        assert_eq!(silent.detect_latency, enabled.detect_latency);
+        assert_eq!(silent.case, enabled.case);
+        assert!(silent.trace.is_empty());
+        assert!(silent.events.is_empty());
+    }
+
+    /// The one string-shim compatibility test: [`TelemetryEvent::render`]
+    /// keeps the legacy `TraceLog` lines (and their substring assertions)
+    /// working for the whole drill.
     #[test]
     fn trace_contains_the_milestones() {
         let report = run_drill(&DrillConfig::fig14()).unwrap();

@@ -34,6 +34,21 @@ pub mod throughput;
 pub mod wasted;
 
 use crate::report::Table;
+use gemini_telemetry::TelemetrySink;
+
+/// [`render_all`], additionally accounting each regenerated artifact into
+/// `sink` (`harness.artifacts_rendered` / `harness.artifact_rows`
+/// counters), so figure regeneration shows up in metrics exports.
+pub fn render_all_with(fast: bool, sink: &TelemetrySink) -> Vec<Table> {
+    let tables = render_all(fast);
+    if sink.is_enabled() {
+        for t in &tables {
+            sink.counter_add("harness.artifacts_rendered", 1);
+            sink.counter_add("harness.artifact_rows", t.rows.len() as u64);
+        }
+    }
+    tables
+}
 
 /// Renders every artifact (tables first, then figures in paper order).
 /// `fast` shrinks the stochastic sweeps so the suite stays test-friendly.

@@ -26,9 +26,9 @@ pub mod report;
 pub mod runtime;
 pub mod scenario;
 
-pub use campaign::{CampaignConfig, CampaignResult, Solution};
+pub use campaign::{run_campaign, run_campaign_with, CampaignConfig, CampaignResult, Solution};
 pub use des_campaign::{run_des_campaign, DesCampaignConfig, DesCampaignResult};
-pub use drill::{run_drill, DrillConfig, DrillReport};
+pub use drill::{run_drill, run_drill_with, DrillConfig, DrillReport};
 pub use replay::{replay_schedule, ReplayReport};
 pub use runtime::{GeminiRuntime, RecoveryReport};
 pub use scenario::{GeminiSystem, Scenario};

@@ -46,13 +46,31 @@ impl Table {
         serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
     }
 
-    /// Renders CSV (no quoting — experiment cells never contain commas).
+    /// Renders RFC 4180 CSV: fields containing a comma, a double quote,
+    /// CR or LF are enclosed in double quotes, with embedded quotes
+    /// doubled.
     pub fn to_csv(&self) -> String {
-        let mut out = format!("{}\n", self.headers.join(","));
+        let render_row = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| csv_field(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut out = format!("{}\n", render_row(&self.headers));
         for row in &self.rows {
-            out.push_str(&format!("{}\n", row.join(",")));
+            out.push_str(&format!("{}\n", render_row(row)));
         }
         out
+    }
+}
+
+/// Quotes one CSV field per RFC 4180 when it needs it.
+fn csv_field(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') || cell.contains('\r') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
     }
 }
 
@@ -93,6 +111,24 @@ mod tests {
         let mut t = Table::new("Demo", &["a", "b"]);
         t.push(vec!["1".into(), "2".into()]);
         assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn csv_quotes_per_rfc4180() {
+        let mut t = Table::new("Demo", &["name", "note"]);
+        t.push(vec!["plain".into(), "a,b".into()]);
+        t.push(vec!["with \"quotes\"".into(), "line\nbreak".into()]);
+        t.push(vec!["carriage\rreturn".into(), "ok".into()]);
+        let csv = t.to_csv();
+        let mut lines = csv.split_terminator('\n');
+        assert_eq!(lines.next(), Some("name,note"));
+        // Comma-bearing field quoted, plain field untouched.
+        assert_eq!(lines.next(), Some("plain,\"a,b\""));
+        // Embedded quotes doubled; the LF field spans two physical lines.
+        assert_eq!(lines.next(), Some("\"with \"\"quotes\"\"\",\"line"));
+        assert_eq!(lines.next(), Some("break\""));
+        assert_eq!(lines.next(), Some("\"carriage\rreturn\",ok"));
+        assert_eq!(lines.next(), None);
     }
 
     #[test]

@@ -74,8 +74,16 @@ impl Election {
             Some(l) if kv.lease_alive(now, l) => l,
             _ => kv.grant_lease(now, self.ttl),
         };
+        kv.telemetry().counter_add("kv.election_rounds", 1);
         match kv.compare_and_swap(now, &self.key, None, candidate, Some(lease)) {
-            Ok(_) => Ok(Campaign::Leader(lease)),
+            Ok(_) => {
+                let sink = kv.telemetry().clone();
+                sink.event(now, || gemini_telemetry::TelemetryEvent::LeaderElected {
+                    key: self.key.clone(),
+                    leader: candidate.to_string(),
+                });
+                Ok(Campaign::Leader(lease))
+            }
             Err(KvError::CasFailed { actual, .. }) => Ok(Campaign::Follower {
                 leader: actual.unwrap_or_default(),
             }),

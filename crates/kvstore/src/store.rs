@@ -8,6 +8,7 @@
 use crate::lease::{Lease, LeaseId};
 use crate::watch::{EventKind, WatchEvent, Watcher};
 use gemini_sim::{SimDuration, SimTime};
+use gemini_telemetry::{TelemetryEvent, TelemetrySink};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -92,12 +93,25 @@ pub struct KvStore {
     leases: HashMap<u64, Lease>,
     next_lease: u64,
     watchers: Vec<Watcher>,
+    telemetry: TelemetrySink,
 }
 
 impl KvStore {
     /// An empty store.
     pub fn new() -> Self {
         KvStore::default()
+    }
+
+    /// Attaches a telemetry sink; lease expiries and election outcomes are
+    /// reported through it. A disabled sink (the default) costs nothing.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
+    /// The store's telemetry sink (cheap to clone).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// The current revision.
@@ -122,17 +136,27 @@ impl KvStore {
     /// Called implicitly by all time-taking operations; public so agents
     /// can force expiry processing on their heartbeat.
     pub fn tick(&mut self, now: SimTime) {
-        let expired: Vec<u64> = self
+        let mut expired: Vec<u64> = self
             .leases
             .iter()
             .filter(|(_, l)| l.is_expired(now))
             .map(|(id, _)| *id)
             .collect();
+        // Retire in id order so watcher deliveries, revisions and telemetry
+        // are independent of `HashMap` iteration order.
+        expired.sort_unstable();
         for id in expired {
             if let Some(lease) = self.leases.remove(&id) {
+                self.telemetry.counter_add("kv.leases_expired", 1);
+                if lease.keys.is_empty() {
+                    self.telemetry
+                        .event(now, || TelemetryEvent::LeaseExpired { key: String::new() });
+                }
                 for key in lease.keys {
                     if let Some(old) = self.map.remove(&key) {
                         let revision = self.bump();
+                        self.telemetry
+                            .event(now, || TelemetryEvent::LeaseExpired { key: key.clone() });
                         self.notify(WatchEvent {
                             revision,
                             key,
@@ -151,6 +175,7 @@ impl KvStore {
         let id = LeaseId(self.next_lease);
         self.next_lease += 1;
         self.leases.insert(id.0, Lease::granted(id, now, ttl));
+        self.telemetry.counter_add("kv.leases_granted", 1);
         id
     }
 

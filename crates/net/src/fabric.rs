@@ -72,6 +72,7 @@ struct Endpoint {
 pub struct Fabric {
     config: FabricConfig,
     endpoints: Vec<Endpoint>,
+    telemetry: gemini_telemetry::TelemetrySink,
 }
 
 impl Fabric {
@@ -84,7 +85,23 @@ impl Fabric {
                 copy: BusyResource::new(),
             })
             .collect();
-        Fabric { config, endpoints }
+        Fabric {
+            config,
+            endpoints,
+            telemetry: gemini_telemetry::TelemetrySink::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry sink; every transfer and local copy records a
+    /// byte counter and queueing-delay histogram through it.
+    pub fn with_telemetry(mut self, sink: gemini_telemetry::TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
+    /// The fabric's telemetry sink.
+    pub fn telemetry(&self) -> &gemini_telemetry::TelemetrySink {
+        &self.telemetry
     }
 
     /// The static configuration.
@@ -127,6 +144,14 @@ impl Fabric {
         let span = self.endpoints[src].tx.reserve(earliest, duration);
         let rx_span = self.endpoints[dst].rx.reserve(span.start, duration);
         debug_assert_eq!(span, rx_span, "TX and RX must co-reserve");
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter_add("net.transfer_bytes", size.as_bytes());
+            self.telemetry.counter_add("net.transfers", 1);
+            self.telemetry.observe_us("net.transfer_queue_us", || {
+                span.start.saturating_since(now).as_nanos() / 1_000
+            });
+        }
         Ok(TransferRecord { src, dst, span })
     }
 
@@ -140,7 +165,13 @@ impl Fabric {
     ) -> Result<Span, FabricError> {
         self.check(machine)?;
         let duration = self.config.copy.time(size);
-        Ok(self.endpoints[machine].copy.reserve(now, duration))
+        let span = self.endpoints[machine].copy.reserve(now, duration);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter_add("net.local_copy_bytes", size.as_bytes());
+            self.telemetry.counter_add("net.local_copies", 1);
+        }
+        Ok(span)
     }
 
     /// The TX busy-resource of a machine.

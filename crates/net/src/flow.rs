@@ -124,6 +124,39 @@ fn fair_rates(network: &FluidNetwork, flows: &[FluidFlow], active: &[usize]) -> 
 /// Runs all flows from time zero to completion under max-min fairness;
 /// returns each flow's completion time (same order as `flows`).
 pub fn fluid_completion_times(network: &FluidNetwork, flows: &[FluidFlow]) -> Vec<SimDuration> {
+    fluid_completion_times_with(network, flows, &gemini_telemetry::TelemetrySink::disabled())
+}
+
+/// Like [`fluid_completion_times`], reporting each admitted flow as a
+/// [`gemini_telemetry::TelemetryEvent::FlowScheduled`] event (flows all
+/// start at simulated time zero of their solve) and recording per-flow
+/// completion times into the `net.flow_completion_us` histogram.
+pub fn fluid_completion_times_with(
+    network: &FluidNetwork,
+    flows: &[FluidFlow],
+    telemetry: &gemini_telemetry::TelemetrySink,
+) -> Vec<SimDuration> {
+    let times = fluid_solve(network, flows);
+    if telemetry.is_enabled() {
+        for (i, (f, t)) in flows.iter().zip(&times).enumerate() {
+            telemetry.event(gemini_sim::SimTime::ZERO, || {
+                gemini_telemetry::TelemetryEvent::FlowScheduled {
+                    flow: i,
+                    bytes: f.bytes.as_bytes(),
+                    completes_in: *t,
+                }
+            });
+            if *t != SimDuration::MAX {
+                telemetry.observe_us("net.flow_completion_us", || t.as_nanos() / 1_000);
+            }
+        }
+        telemetry.counter_add("net.flows_scheduled", flows.len() as u64);
+    }
+    times
+}
+
+/// The solver behind both entry points.
+fn fluid_solve(network: &FluidNetwork, flows: &[FluidFlow]) -> Vec<SimDuration> {
     let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes.as_bytes() as f64).collect();
     let mut done: Vec<Option<f64>> = vec![None; flows.len()];
     let mut now = 0.0f64;

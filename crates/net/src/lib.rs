@@ -19,7 +19,9 @@ pub mod units;
 
 pub use cost::TransferCost;
 pub use fabric::{Fabric, FabricConfig, TransferRecord};
-pub use flow::{fluid_completion_times, FlowResource, FluidFlow, FluidNetwork};
+pub use flow::{
+    fluid_completion_times, fluid_completion_times_with, FlowResource, FluidFlow, FluidNetwork,
+};
 pub use resource::BusyResource;
 pub use storage::PersistentStorage;
 pub use units::{Bandwidth, ByteSize};

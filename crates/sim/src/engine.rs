@@ -24,6 +24,21 @@ pub trait Model {
     fn handle(&mut self, ctx: &mut Context<'_, Self::Event>, event: Self::Event);
 }
 
+/// An observer the engine notifies as it processes events.
+///
+/// Probes let external crates (notably `gemini-telemetry`) watch the event
+/// loop without the engine depending on them. All methods have empty
+/// default bodies, so implementors override only what they need.
+pub trait EngineProbe {
+    /// Called after each event is handled, with the current time and the
+    /// total number of events processed so far.
+    fn on_event(&mut self, _now: SimTime, _processed: u64) {}
+
+    /// Called once when [`Engine::run`] returns, with the final time and
+    /// the total number of events processed.
+    fn on_run_end(&mut self, _now: SimTime, _processed: u64) {}
+}
+
 /// Handle to a scheduled event, usable for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventHandle(u64);
@@ -149,6 +164,7 @@ pub struct Engine<E> {
     trace: TraceLog,
     stop: bool,
     processed: u64,
+    probe: Option<Box<dyn EngineProbe>>,
 }
 
 impl<E> Engine<E> {
@@ -163,6 +179,7 @@ impl<E> Engine<E> {
             trace: TraceLog::disabled(),
             stop: false,
             processed: 0,
+            probe: None,
         }
     }
 
@@ -170,6 +187,17 @@ impl<E> Engine<E> {
     pub fn with_trace(mut self) -> Self {
         self.trace = TraceLog::enabled();
         self
+    }
+
+    /// Attaches a probe that observes the event loop.
+    pub fn with_probe(mut self, probe: Box<dyn EngineProbe>) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Attaches a probe on an already-constructed engine.
+    pub fn set_probe(&mut self, probe: Box<dyn EngineProbe>) {
+        self.probe = Some(probe);
     }
 
     /// The current simulated time.
@@ -239,6 +267,9 @@ impl<E> Engine<E> {
                 stop: &mut self.stop,
             };
             model.handle(&mut ctx, sched.event);
+            if let Some(probe) = self.probe.as_mut() {
+                probe.on_event(self.now, self.processed);
+            }
             if self.stop {
                 break;
             }
@@ -251,6 +282,9 @@ impl<E> Engine<E> {
             if self.queue.is_empty() && !self.stop && self.now < limit {
                 self.now = limit;
             }
+        }
+        if let Some(probe) = self.probe.as_mut() {
+            probe.on_run_end(self.now, self.processed);
         }
         self.now
     }

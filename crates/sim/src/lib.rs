@@ -28,7 +28,7 @@ pub mod time;
 pub mod timeline;
 pub mod trace;
 
-pub use engine::{Context, Engine, EventHandle, Model};
+pub use engine::{Context, Engine, EngineProbe, EventHandle, Model};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

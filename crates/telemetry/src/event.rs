@@ -1,0 +1,327 @@
+//! The typed event alphabet of the whole stack.
+//!
+//! One enum, one variant per noteworthy occurrence. Variants carry typed
+//! fields (ranks, byte counts, tiers) so tests and tools can match on them
+//! structurally; [`TelemetryEvent::render`] provides the legacy free-form
+//! line for each, byte-compatible with the strings the recovery drill used
+//! to push into [`gemini_sim::TraceLog`].
+
+use gemini_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A failure classification mirroring `gemini_cluster::FailureKind`
+/// (redefined here so lower layers need not depend on the cluster crate).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FailureClass {
+    /// The machine is gone; its CPU memory is lost.
+    Hardware,
+    /// The process died; the machine and its CPU memory survive.
+    Software,
+}
+
+impl fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureClass::Hardware => write!(f, "Hardware"),
+            FailureClass::Software => write!(f, "Software"),
+        }
+    }
+}
+
+/// The storage tier a recovering rank reads its checkpoint from
+/// (telemetry-local mirror of `gemini_core::ckpt::StorageTier`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Tier {
+    /// The machine's own CPU memory.
+    LocalCpu,
+    /// A surviving peer's CPU memory.
+    RemoteCpu,
+    /// Remote persistent storage.
+    Persistent,
+}
+
+impl Tier {
+    /// Stable label for metric labels and rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tier::LocalCpu => "local_cpu",
+            Tier::RemoteCpu => "remote_cpu",
+            Tier::Persistent => "persistent",
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything the instrumented stack can report.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// A training iteration finished and its checkpoint committed.
+    IterationComplete {
+        /// The completed iteration.
+        iteration: u64,
+    },
+    /// One checkpoint chunk finished its network transfer.
+    CkptChunkSent {
+        /// Chunk index within the iteration's sequence.
+        chunk: usize,
+        /// Chunk size in bytes.
+        bytes: u64,
+    },
+    /// A checkpoint frame was staged into a host's CPU-memory vault.
+    CkptFlushStaged {
+        /// Receiving host.
+        host: usize,
+        /// Rank whose shard the frame holds.
+        owner: usize,
+        /// Frame size in bytes.
+        bytes: u64,
+    },
+    /// A full checkpoint round became durable in CPU memory.
+    CkptCommitted {
+        /// The checkpointed iteration.
+        iteration: u64,
+    },
+    /// A worker's health key lapsed past its TTL.
+    HeartbeatMissed {
+        /// The silent rank.
+        rank: usize,
+    },
+    /// A lease expired in the KV store, deleting its keys.
+    LeaseExpired {
+        /// One of the deleted keys (empty if the lease held none).
+        key: String,
+    },
+    /// A candidate won a leader election.
+    LeaderElected {
+        /// The election key.
+        key: String,
+        /// The winning candidate's identity.
+        leader: String,
+    },
+    /// A failure was injected into the cluster.
+    FailureInjected {
+        /// The failed rank.
+        rank: usize,
+        /// Hardware or software.
+        kind: FailureClass,
+    },
+    /// The root agent noticed lapsed health keys.
+    FailureDetected {
+        /// The ranks declared failed.
+        ranks: Vec<usize>,
+        /// Identity of the detecting root.
+        by: String,
+    },
+    /// Alive agents started serializing their checkpoint replicas.
+    SerializationStarted {
+        /// Number of serializing ranks.
+        ranks: usize,
+    },
+    /// Checkpoint serialization finished.
+    SerializationFinished,
+    /// A replacement machine was requested from the cloud operator.
+    ReplacementRequested {
+        /// The rank being replaced.
+        rank: usize,
+        /// Whether a standby machine serves the request.
+        standby: bool,
+        /// When the replacement will be ready.
+        ready_at: SimTime,
+    },
+    /// The cloud operator provisioned a machine (rank-agnostic view).
+    ReplacementProvisioned {
+        /// Whether it came from the standby pool.
+        standby: bool,
+    },
+    /// A replacement machine joined the cluster.
+    MachineReplaced {
+        /// The rank it serves.
+        rank: usize,
+    },
+    /// A recovering rank was assigned its retrieval tier.
+    RecoveryTierHit {
+        /// The recovering rank.
+        rank: usize,
+        /// The tier it reads from.
+        tier: Tier,
+        /// The serving peer for [`Tier::RemoteCpu`].
+        from: Option<usize>,
+    },
+    /// Checkpoint retrieval began per the recovery plan.
+    RetrievalStarted {
+        /// The recovery case (`Debug` form of `RecoveryCase`).
+        case: String,
+        /// The iteration all ranks roll back to.
+        rollback_to: u64,
+    },
+    /// Checkpoint retrieval finished.
+    RetrievalFinished,
+    /// Training resumed after warm-up.
+    TrainingResumed {
+        /// The iteration training restarts from.
+        iteration: u64,
+    },
+    /// A fluid flow was admitted to the network.
+    FlowScheduled {
+        /// Flow index.
+        flow: usize,
+        /// Bytes it moves.
+        bytes: u64,
+        /// Its max-min fair completion time.
+        completes_in: SimDuration,
+    },
+    /// Free-form annotation (escape hatch; prefer a typed variant).
+    Note {
+        /// The message.
+        message: String,
+    },
+}
+
+impl TelemetryEvent {
+    /// A stable dotted name for grouping (Chrome trace event names).
+    pub fn name(&self) -> &'static str {
+        use TelemetryEvent as E;
+        match self {
+            E::IterationComplete { .. } => "training.iteration_complete",
+            E::CkptChunkSent { .. } => "ckpt.chunk_sent",
+            E::CkptFlushStaged { .. } => "ckpt.flush_staged",
+            E::CkptCommitted { .. } => "ckpt.committed",
+            E::HeartbeatMissed { .. } => "kv.heartbeat_missed",
+            E::LeaseExpired { .. } => "kv.lease_expired",
+            E::LeaderElected { .. } => "kv.leader_elected",
+            E::FailureInjected { .. } => "failure.injected",
+            E::FailureDetected { .. } => "failure.detected",
+            E::SerializationStarted { .. } => "recovery.serialization_started",
+            E::SerializationFinished => "recovery.serialization_finished",
+            E::ReplacementRequested { .. } => "recovery.replacement_requested",
+            E::ReplacementProvisioned { .. } => "cluster.replacement_provisioned",
+            E::MachineReplaced { .. } => "cluster.machine_replaced",
+            E::RecoveryTierHit { .. } => "recovery.tier_hit",
+            E::RetrievalStarted { .. } => "recovery.retrieval_started",
+            E::RetrievalFinished => "recovery.retrieval_finished",
+            E::TrainingResumed { .. } => "training.resumed",
+            E::FlowScheduled { .. } => "net.flow_scheduled",
+            E::Note { .. } => "note",
+        }
+    }
+
+    /// The subsystem track the event belongs to (Chrome trace category).
+    pub fn track(&self) -> &'static str {
+        self.name().split('.').next().unwrap_or("note")
+    }
+
+    /// Renders the legacy free-form line for this event — the shim that
+    /// keeps [`gemini_sim::TraceLog`]-era output (and its substring
+    /// assertions) working.
+    pub fn render(&self) -> String {
+        use TelemetryEvent as E;
+        match self {
+            E::IterationComplete { iteration } => {
+                format!("iteration {iteration} complete, checkpoint {iteration} committed")
+            }
+            E::CkptChunkSent { chunk, bytes } => {
+                format!("ckpt chunk {chunk} sent ({bytes} B)")
+            }
+            E::CkptFlushStaged { host, owner, bytes } => {
+                format!("ckpt flush staged on host {host} for owner {owner} ({bytes} B)")
+            }
+            E::CkptCommitted { iteration } => format!("checkpoint {iteration} committed"),
+            E::HeartbeatMissed { rank } => format!("heartbeat missed for rank {rank}"),
+            E::LeaseExpired { key } => format!("lease expired: {key}"),
+            E::LeaderElected { key, leader } => {
+                format!("leader elected on {key}: {leader}")
+            }
+            E::FailureInjected { rank, kind } => format!("rank {rank} failed ({kind})"),
+            E::FailureDetected { ranks, by } => {
+                format!("root {by} detected failed ranks {ranks:?}")
+            }
+            E::SerializationStarted { ranks } => {
+                format!("checkpoint serialization started on {ranks} alive ranks")
+            }
+            E::SerializationFinished => "checkpoint serialization finished".to_string(),
+            E::ReplacementRequested {
+                rank,
+                standby,
+                ready_at,
+            } => format!(
+                "replacement for rank {rank} requested (standby: {standby}, ready at {ready_at})"
+            ),
+            E::ReplacementProvisioned { standby } => {
+                format!("replacement provisioned (standby: {standby})")
+            }
+            E::MachineReplaced { rank } => {
+                format!("replacement machine for rank {rank} joined")
+            }
+            E::RecoveryTierHit { rank, tier, from } => match from {
+                Some(host) => format!("rank {rank} retrieves from {tier} via host {host}"),
+                None => format!("rank {rank} retrieves from {tier}"),
+            },
+            E::RetrievalStarted { case, rollback_to } => {
+                format!("retrieval started: case {case}, rollback to iteration {rollback_to}")
+            }
+            E::RetrievalFinished => "checkpoint retrieval finished".to_string(),
+            E::TrainingResumed { iteration } => {
+                format!("training resumed from iteration {iteration}")
+            }
+            E::FlowScheduled {
+                flow,
+                bytes,
+                completes_in,
+            } => format!("flow {flow} scheduled ({bytes} B, completes in {completes_in})"),
+            E::Note { message } => message.clone(),
+        }
+    }
+}
+
+/// An event stamped with the simulated time at which it occurred.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// When the event occurred.
+    pub time: SimTime,
+    /// The event.
+    pub event: TelemetryEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_are_compatible_with_legacy_trace_lines() {
+        let e = TelemetryEvent::FailureInjected {
+            rank: 5,
+            kind: FailureClass::Hardware,
+        };
+        assert_eq!(e.render(), "rank 5 failed (Hardware)");
+        let e = TelemetryEvent::TrainingResumed { iteration: 3 };
+        assert_eq!(e.render(), "training resumed from iteration 3");
+        let e = TelemetryEvent::MachineReplaced { rank: 5 };
+        assert!(e.render().contains("replacement machine"));
+        assert_eq!(
+            TelemetryEvent::SerializationFinished.render(),
+            "checkpoint serialization finished"
+        );
+    }
+
+    #[test]
+    fn names_carry_their_track_prefix() {
+        let e = TelemetryEvent::RetrievalFinished;
+        assert_eq!(e.name(), "recovery.retrieval_finished");
+        assert_eq!(e.track(), "recovery");
+        let e = TelemetryEvent::HeartbeatMissed { rank: 1 };
+        assert_eq!(e.track(), "kv");
+    }
+
+    #[test]
+    fn tier_labels_are_stable() {
+        assert_eq!(Tier::LocalCpu.label(), "local_cpu");
+        assert_eq!(Tier::RemoteCpu.label(), "remote_cpu");
+        assert_eq!(Tier::Persistent.label(), "persistent");
+    }
+}

@@ -1,0 +1,200 @@
+//! Exporters: Chrome trace-event JSON (Perfetto / `chrome://tracing`).
+//!
+//! The Chrome trace-event format is a JSON object with a `traceEvents`
+//! array. We emit:
+//!
+//! * one `"M"` (metadata) event naming the process, plus one per track
+//!   naming its thread;
+//! * one `"X"` (complete) event per closed [`SpanRecord`], with `ts` and
+//!   `dur` in **integer microseconds** (`as_nanos() / 1000`) so the output
+//!   is deterministic and diff-friendly;
+//! * one `"i"` (instant) event per [`TimedEvent`], carrying the legacy
+//!   rendered line under `args.message`.
+//!
+//! Tracks map to Chrome "threads": pid is always 1 and each distinct track
+//! gets a tid in first-use order (spans first, then events), so a given
+//! simulation always yields byte-identical output.
+
+use crate::event::TimedEvent;
+use crate::spans::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding inside a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Assigns tids to tracks in first-use order (spans, then instants).
+fn track_ids<'a>(
+    spans: &'a [SpanRecord],
+    events: &'a [TimedEvent],
+) -> (Vec<&'a str>, BTreeMap<&'a str, usize>) {
+    let mut order: Vec<&str> = Vec::new();
+    let mut ids: BTreeMap<&str, usize> = BTreeMap::new();
+    let intern = |track: &'a str, order: &mut Vec<&'a str>, ids: &mut BTreeMap<&'a str, usize>| {
+        if !ids.contains_key(track) {
+            ids.insert(track, order.len());
+            order.push(track);
+        }
+    };
+    for s in spans {
+        intern(s.track, &mut order, &mut ids);
+    }
+    for e in events {
+        intern(e.event.track(), &mut order, &mut ids);
+    }
+    (order, ids)
+}
+
+/// Renders spans and instant events as a Chrome trace-event JSON document.
+pub fn chrome_trace(spans: &[SpanRecord], events: &[TimedEvent]) -> String {
+    let (order, ids) = track_ids(spans, events);
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, item: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str("\n  ");
+        out.push_str(&item);
+    };
+
+    push(
+        &mut out,
+        &mut first,
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"gemini-sim\"}}"
+            .to_string(),
+    );
+    for (tid, track) in order.iter().enumerate() {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape_json(track)
+            ),
+        );
+    }
+
+    for s in spans {
+        let tid = ids[s.track];
+        let ts = s.start.as_nanos() / 1_000;
+        let dur = s.duration().as_nanos() / 1_000;
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\
+                 \"cat\":\"{}\",\"name\":\"{}\"}}",
+                escape_json(s.track),
+                escape_json(&s.name)
+            ),
+        );
+    }
+
+    for e in events {
+        let tid = ids[e.event.track()];
+        let ts = e.time.as_nanos() / 1_000;
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\
+                 \"cat\":\"{}\",\"name\":\"{}\",\
+                 \"args\":{{\"message\":\"{}\"}}}}",
+                escape_json(e.event.track()),
+                escape_json(e.event.name()),
+                escape_json(&e.event.render())
+            ),
+        );
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TelemetryEvent;
+    use gemini_sim::SimTime;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let spans = vec![SpanRecord {
+            track: "ckpt",
+            name: "flush".to_string(),
+            start: t(100),
+            end: t(250),
+        }];
+        let events = vec![TimedEvent {
+            time: t(300),
+            event: TelemetryEvent::CkptCommitted { iteration: 1 },
+        }];
+        let doc = chrome_trace(&spans, &events);
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.contains("\"ph\":\"M\""));
+        assert!(doc.contains("\"name\":\"gemini-sim\""));
+        assert!(doc.contains("\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":100,\"dur\":150"));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"name\":\"ckpt.committed\""));
+        assert!(doc.contains("checkpoint 1 committed"));
+        assert!(doc.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn distinct_tracks_get_distinct_tids() {
+        let events = vec![
+            TimedEvent {
+                time: t(1),
+                event: TelemetryEvent::HeartbeatMissed { rank: 0 },
+            },
+            TimedEvent {
+                time: t(2),
+                event: TelemetryEvent::RetrievalFinished,
+            },
+        ];
+        let doc = chrome_trace(&[], &events);
+        assert!(doc.contains("\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"kv\"}"));
+        assert!(doc.contains("\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"recovery\"}"));
+    }
+
+    #[test]
+    fn empty_inputs_still_form_valid_document() {
+        let doc = chrome_trace(&[], &[]);
+        assert!(doc.contains("traceEvents"));
+        assert!(doc.contains("process_name"));
+    }
+}

@@ -1,0 +1,454 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Keys are `&'static str` names with an optional single static label, so
+//! recording never allocates. Everything is stored in `BTreeMap`s and all
+//! exporters iterate in key order, making exports byte-deterministic for
+//! deterministic simulations.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default histogram bucket upper bounds, in microseconds: decades from
+/// 10 µs to 1000 s. Everything above the last bound lands in `+Inf`.
+pub const DEFAULT_TIME_BOUNDS_US: &[u64] = &[
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// A metric identity: a dotted family name and at most one static label.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Key {
+    /// Dotted family name, e.g. `"recovery.retrieval_us"`.
+    pub name: &'static str,
+    /// Optional `(label_key, label_value)` pair, e.g. `("tier", "local_cpu")`.
+    pub label: Option<(&'static str, &'static str)>,
+}
+
+impl Key {
+    /// A label-free key.
+    pub fn plain(name: &'static str) -> Key {
+        Key { name, label: None }
+    }
+
+    /// A key with one label.
+    pub fn labeled(name: &'static str, key: &'static str, value: &'static str) -> Key {
+        Key {
+            name,
+            label: Some((key, value)),
+        }
+    }
+
+    /// Human-readable form: `name` or `name{key="value"}`.
+    pub fn display(&self) -> String {
+        match self.label {
+            Some((k, v)) => format!("{}{{{}=\"{}\"}}", self.name, k, v),
+            None => self.name.to_string(),
+        }
+    }
+}
+
+/// A histogram over `u64` samples with caller-fixed bucket bounds.
+///
+/// Samples, counts and sums are all integers, so merging two histograms is
+/// *exactly* equal to recording the concatenated sample streams — the
+/// property the crate's proptests pin down.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FixedHistogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl FixedHistogram {
+    /// A histogram with the given strictly-increasing upper bounds; one
+    /// extra implicit `+Inf` bucket catches everything beyond the last.
+    pub fn new(bounds: &[u64]) -> FixedHistogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        FixedHistogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The bucket bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the `+Inf` bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The mean sample, if any were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Merges two snapshots taken with identical bounds. Returns `None`
+    /// when the bounds differ (the histograms are not mergeable).
+    pub fn merged(&self, other: &FixedHistogram) -> Option<FixedHistogram> {
+        if self.bounds != other.bounds {
+            return None;
+        }
+        let mut out = self.clone();
+        for (c, o) in out.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        out.count += other.count;
+        out.sum = out.sum.saturating_add(other.sum);
+        Some(out)
+    }
+}
+
+/// The registry: three metric kinds under [`Key`]s.
+#[derive(Clone, Default, Debug)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, FixedHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first.
+    pub fn counter_add(&mut self, key: Key, delta: u64) {
+        *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, key: Key, value: f64) {
+        self.gauges.insert(key, value);
+    }
+
+    /// Records into a histogram with [`DEFAULT_TIME_BOUNDS_US`] buckets.
+    pub fn observe(&mut self, key: Key, value: u64) {
+        self.observe_with(key, value, DEFAULT_TIME_BOUNDS_US);
+    }
+
+    /// Records into a histogram created with the given bounds on first use.
+    pub fn observe_with(&mut self, key: Key, value: u64, bounds: &[u64]) {
+        self.histograms
+            .entry(key)
+            .or_insert_with(|| FixedHistogram::new(bounds))
+            .record(value);
+    }
+
+    /// Reads a counter (zero if never touched).
+    pub fn counter(&self, key: Key) -> u64 {
+        self.counters.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, key: Key) -> Option<f64> {
+        self.gauges.get(&key).copied()
+    }
+
+    /// Reads a histogram.
+    pub fn histogram(&self, key: Key) -> Option<&FixedHistogram> {
+        self.histograms.get(&key)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The distinct dotted family prefixes present (`"ckpt"`, `"kv"`, …).
+    pub fn families(&self) -> Vec<&'static str> {
+        let mut fams: Vec<&'static str> = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.name.split('.').next().unwrap_or(k.name))
+            .collect();
+        fams.sort_unstable();
+        fams.dedup();
+        fams
+    }
+
+    /// Renders the Prometheus text exposition format (`# TYPE` comments,
+    /// one sample per line, histograms as `_bucket`/`_sum`/`_count`).
+    /// Dots in names become underscores to satisfy the metric-name grammar.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type: Option<(String, &'static str)> = None;
+        let mut type_line = |out: &mut String, name: &str, kind: &'static str| {
+            if last_type.as_ref().map(|(n, k)| (n.as_str(), *k)) != Some((name, kind)) {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_type = Some((name.to_string(), kind));
+            }
+        };
+        for (key, value) in &self.counters {
+            let name = sanitize(key.name);
+            type_line(&mut out, &name, "counter");
+            let _ = writeln!(out, "{name}{} {value}", labels(key, None));
+        }
+        for (key, value) in &self.gauges {
+            let name = sanitize(key.name);
+            type_line(&mut out, &name, "gauge");
+            let _ = writeln!(out, "{name}{} {value}", labels(key, None));
+        }
+        for (key, hist) in &self.histograms {
+            let name = sanitize(key.name);
+            type_line(&mut out, &name, "histogram");
+            let mut cumulative = 0u64;
+            for (i, c) in hist.bucket_counts().iter().enumerate() {
+                cumulative += c;
+                let le = hist
+                    .bounds()
+                    .get(i)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "+Inf".to_string());
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {cumulative}",
+                    labels(key, Some(("le", &le)))
+                );
+            }
+            let _ = writeln!(out, "{name}_sum{} {}", labels(key, None), hist.sum());
+            let _ = writeln!(out, "{name}_count{} {}", labels(key, None), hist.count());
+        }
+        out
+    }
+
+    /// Renders the whole registry as a JSON object (hand-rolled, so the
+    /// output is identical whether or not `serde_json` is available).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_map(
+            &mut out,
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.display(), v.to_string())),
+        );
+        out.push_str("},\n  \"gauges\": {");
+        push_map(
+            &mut out,
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.display(), format_f64(*v))),
+        );
+        out.push_str("},\n  \"histograms\": {");
+        push_map(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| {
+                let mut body = format!(
+                    "{{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                    h.count(),
+                    h.sum()
+                );
+                for (i, c) in h.bucket_counts().iter().enumerate() {
+                    if i > 0 {
+                        body.push_str(", ");
+                    }
+                    match h.bounds().get(i) {
+                        Some(b) => {
+                            let _ = write!(body, "[{b}, {c}]");
+                        }
+                        None => {
+                            let _ = write!(body, "[null, {c}]");
+                        }
+                    }
+                }
+                body.push_str("]}");
+                (k.display(), body)
+            }),
+        );
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn push_map(out: &mut String, entries: impl Iterator<Item = (String, String)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{}\": {v}", crate::export::escape_json(&k));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+fn format_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn labels(key: &Key, extra: Option<(&str, &str)>) -> String {
+    match (key.label, extra) {
+        (None, None) => String::new(),
+        (Some((k, v)), None) => format!("{{{k}=\"{v}\"}}"),
+        (None, Some((k, v))) => format!("{{{k}=\"{v}\"}}"),
+        (Some((k1, v1)), Some((k2, v2))) => format!("{{{k1}=\"{v1}\",{k2}=\"{v2}\"}}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(Key::plain("kv.puts_total"), 1);
+        m.counter_add(Key::plain("kv.puts_total"), 2);
+        assert_eq!(m.counter(Key::plain("kv.puts_total")), 3);
+        assert_eq!(m.counter(Key::plain("kv.gets_total")), 0);
+    }
+
+    #[test]
+    fn labeled_keys_are_distinct() {
+        let mut m = MetricsRegistry::new();
+        let local = Key::labeled("recovery.tier_total", "tier", "local_cpu");
+        let remote = Key::labeled("recovery.tier_total", "tier", "remote_cpu");
+        m.counter_add(local, 5);
+        m.counter_add(remote, 1);
+        assert_eq!(m.counter(local), 5);
+        assert_eq!(m.counter(remote), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_inf() {
+        let mut h = FixedHistogram::new(&[10, 100]);
+        for v in [1, 9, 10, 11, 100, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_counts(), &[3, 2, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1 + 9 + 10 + 11 + 100 + 5000);
+    }
+
+    #[test]
+    fn merged_equals_concatenated_stream() {
+        let mut a = FixedHistogram::new(&[10, 100]);
+        let mut b = FixedHistogram::new(&[10, 100]);
+        let mut both = FixedHistogram::new(&[10, 100]);
+        for v in [1u64, 50, 200] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [3u64, 99, 10_000] {
+            b.record(v);
+            both.record(v);
+        }
+        assert_eq!(a.merged(&b).unwrap(), both);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_bounds() {
+        let a = FixedHistogram::new(&[10]);
+        let b = FixedHistogram::new(&[10, 100]);
+        assert!(a.merged(&b).is_none());
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(Key::plain("ckpt.chunks_total"), 7);
+        m.gauge_set(Key::plain("net.nic_busy_frac"), 0.25);
+        m.observe_with(
+            Key::labeled("recovery.retrieval_us", "tier", "remote_cpu"),
+            42,
+            &[10, 100],
+        );
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE ckpt_chunks_total counter"));
+        assert!(text.contains("ckpt_chunks_total 7"));
+        assert!(text.contains("net_nic_busy_frac 0.25"));
+        assert!(text.contains("recovery_retrieval_us_bucket{tier=\"remote_cpu\",le=\"100\"} 1"));
+        assert!(text.contains("recovery_retrieval_us_bucket{tier=\"remote_cpu\",le=\"+Inf\"} 1"));
+        assert!(text.contains("recovery_retrieval_us_count{tier=\"remote_cpu\"} 1"));
+        // Every line is a comment or "name[{labels}] value".
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample line");
+            value.parse::<f64>().expect("numeric sample value");
+        }
+    }
+
+    #[test]
+    fn families_deduplicate_prefixes() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(Key::plain("kv.puts_total"), 1);
+        m.counter_add(Key::plain("kv.gets_total"), 1);
+        m.gauge_set(Key::plain("net.nic_busy_frac"), 0.5);
+        assert_eq!(m.families(), vec!["kv", "net"]);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_ordered() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(Key::plain("z.last"), 1);
+        m.counter_add(Key::plain("a.first"), 1);
+        let j = m.to_json();
+        assert!(j.find("a.first").unwrap() < j.find("z.last").unwrap());
+        assert_eq!(j, m.clone().to_json());
+    }
+}

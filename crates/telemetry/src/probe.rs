@@ -1,0 +1,99 @@
+//! Adapter plugging a [`TelemetrySink`] into the simulation engine.
+//!
+//! [`gemini_sim::Engine`] exposes an [`EngineProbe`] hook so external
+//! observers can watch the event loop without the kernel depending on them.
+//! [`EngineTelemetryProbe`] is that observer: it counts processed events
+//! into `sim.events_processed` and, when the run ends, records the final
+//! clock as `sim.run_end_us`.
+
+use crate::sink::TelemetrySink;
+use gemini_sim::{EngineProbe, SimTime};
+
+/// Feeds engine-loop statistics into a [`TelemetrySink`].
+#[derive(Clone, Debug)]
+pub struct EngineTelemetryProbe {
+    sink: TelemetrySink,
+    batch: u64,
+    since_flush: u64,
+}
+
+impl EngineTelemetryProbe {
+    /// Creates a probe recording into `sink`. Event counts are flushed to
+    /// the `sim.events_processed` counter in batches of `batch` (clamped to
+    /// at least 1) to keep per-event overhead negligible.
+    pub fn new(sink: TelemetrySink, batch: u64) -> EngineTelemetryProbe {
+        EngineTelemetryProbe {
+            sink,
+            batch: batch.max(1),
+            since_flush: 0,
+        }
+    }
+
+    /// Boxes the probe for [`gemini_sim::Engine::with_probe`].
+    pub fn boxed(sink: TelemetrySink, batch: u64) -> Box<EngineTelemetryProbe> {
+        Box::new(EngineTelemetryProbe::new(sink, batch))
+    }
+}
+
+impl EngineProbe for EngineTelemetryProbe {
+    fn on_event(&mut self, _now: SimTime, _processed: u64) {
+        self.since_flush += 1;
+        if self.since_flush >= self.batch {
+            self.sink
+                .counter_add("sim.events_processed", self.since_flush);
+            self.since_flush = 0;
+        }
+    }
+
+    fn on_run_end(&mut self, now: SimTime, processed: u64) {
+        if self.since_flush > 0 {
+            self.sink
+                .counter_add("sim.events_processed", self.since_flush);
+            self.since_flush = 0;
+        }
+        self.sink
+            .gauge_set("sim.run_end_us", || (now.as_nanos() / 1_000) as f64);
+        self.sink.gauge_set("sim.total_events", || processed as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Key;
+
+    #[test]
+    fn probe_counts_events_and_records_run_end() {
+        let sink = TelemetrySink::enabled();
+        let mut probe = EngineTelemetryProbe::new(sink.clone(), 2);
+        let t = SimTime::from_secs(1);
+        probe.on_event(t, 1);
+        // Below batch size: not yet flushed.
+        assert_eq!(
+            sink.metrics_snapshot()
+                .counter(Key::plain("sim.events_processed")),
+            0
+        );
+        probe.on_event(t, 2);
+        assert_eq!(
+            sink.metrics_snapshot()
+                .counter(Key::plain("sim.events_processed")),
+            2
+        );
+        probe.on_event(t, 3);
+        probe.on_run_end(SimTime::from_secs(2), 3);
+        let snap = sink.metrics_snapshot();
+        assert_eq!(snap.counter(Key::plain("sim.events_processed")), 3);
+        assert_eq!(snap.gauge(Key::plain("sim.total_events")), Some(3.0));
+        assert_eq!(snap.gauge(Key::plain("sim.run_end_us")), Some(2_000_000.0));
+    }
+
+    #[test]
+    fn disabled_sink_probe_is_harmless() {
+        let sink = TelemetrySink::disabled();
+        let mut probe = EngineTelemetryProbe::new(sink.clone(), 1);
+        probe.on_event(SimTime::ZERO, 1);
+        probe.on_run_end(SimTime::ZERO, 1);
+        assert!(sink.metrics_snapshot().is_empty());
+    }
+}

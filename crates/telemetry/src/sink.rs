@@ -1,0 +1,346 @@
+//! The cheap, cloneable handle the whole stack records through.
+//!
+//! [`TelemetrySink`] is either **disabled** (the default: a `None`, no
+//! allocation whatsoever) or **enabled** (an `Arc<Mutex<_>>` around the
+//! event log, metrics registry and span tracker). Every recording method
+//! takes its payload through a closure that is *never evaluated* on a
+//! disabled sink, so instrumented hot paths pay exactly one branch when
+//! telemetry is off — the same contract as [`gemini_sim::TraceLog`].
+
+use crate::event::{TelemetryEvent, TimedEvent};
+use crate::metrics::{Key, MetricsRegistry};
+use crate::spans::{SpanRecord, SpanTracker};
+use gemini_sim::SimTime;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Shared state behind an enabled sink.
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<TimedEvent>,
+    metrics: MetricsRegistry,
+    spans: SpanTracker,
+}
+
+/// A handle onto a span opened with [`TelemetrySink::span_begin`].
+///
+/// On a disabled sink the handle is inert; ending it is a no-op.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanHandle {
+    id: Option<u64>,
+}
+
+impl SpanHandle {
+    /// A handle that never refers to a real span.
+    pub const INERT: SpanHandle = SpanHandle { id: None };
+}
+
+/// Records typed events, metrics and spans — or nothing at all.
+#[derive(Clone, Default)]
+pub struct TelemetrySink {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "TelemetrySink(disabled)"),
+            Some(inner) => {
+                let g = inner.lock().expect("telemetry lock");
+                write!(
+                    f,
+                    "TelemetrySink(enabled, {} events, {} spans)",
+                    g.events.len(),
+                    g.spans.closed().len()
+                )
+            }
+        }
+    }
+}
+
+impl TelemetrySink {
+    /// A sink that records nothing and never evaluates payload closures.
+    pub fn disabled() -> TelemetrySink {
+        TelemetrySink { inner: None }
+    }
+
+    /// A sink that records everything.
+    pub fn enabled() -> TelemetrySink {
+        TelemetrySink {
+            inner: Some(Arc::new(Mutex::new(Inner::default()))),
+        }
+    }
+
+    /// Whether this sink records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with_inner<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> Option<R> {
+        self.inner
+            .as_ref()
+            .map(|inner| f(&mut inner.lock().expect("telemetry lock")))
+    }
+
+    // ------------------------------------------------------------ events ----
+
+    /// Records a typed event at `time`. The closure building the event is
+    /// only evaluated on an enabled sink.
+    pub fn event(&self, time: SimTime, make: impl FnOnce() -> TelemetryEvent) {
+        self.with_inner(|inner| {
+            inner.events.push(TimedEvent {
+                time,
+                event: make(),
+            });
+        });
+    }
+
+    /// All recorded events, in recording order.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.with_inner(|inner| inner.events.clone())
+            .unwrap_or_default()
+    }
+
+    /// Events matching a predicate, in recording order.
+    pub fn find(&self, mut pred: impl FnMut(&TelemetryEvent) -> bool) -> Vec<TimedEvent> {
+        self.with_inner(|inner| {
+            inner
+                .events
+                .iter()
+                .filter(|te| pred(&te.event))
+                .cloned()
+                .collect()
+        })
+        .unwrap_or_default()
+    }
+
+    /// Renders the event log in the legacy [`gemini_sim::TraceLog`] line
+    /// format: `"[{time}] {message}\n"` per event.
+    pub fn render_trace(&self) -> String {
+        self.with_inner(|inner| {
+            let mut out = String::new();
+            for te in &inner.events {
+                out.push_str(&format!("[{}] {}\n", te.time, te.event.render()));
+            }
+            out
+        })
+        .unwrap_or_default()
+    }
+
+    // ----------------------------------------------------------- metrics ----
+
+    /// Increments a counter.
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        self.with_inner(|inner| inner.metrics.counter_add(Key::plain(name), delta));
+    }
+
+    /// Increments a labeled counter.
+    pub fn counter_add_labeled(
+        &self,
+        name: &'static str,
+        label: &'static str,
+        value: &'static str,
+        delta: u64,
+    ) {
+        self.with_inner(|inner| {
+            inner
+                .metrics
+                .counter_add(Key::labeled(name, label, value), delta)
+        });
+    }
+
+    /// Sets a gauge. The closure producing the value is only evaluated on
+    /// an enabled sink.
+    pub fn gauge_set(&self, name: &'static str, value: impl FnOnce() -> f64) {
+        self.with_inner(|inner| inner.metrics.gauge_set(Key::plain(name), value()));
+    }
+
+    /// Sets a labeled gauge.
+    pub fn gauge_set_labeled(
+        &self,
+        name: &'static str,
+        label: &'static str,
+        label_value: &'static str,
+        value: impl FnOnce() -> f64,
+    ) {
+        self.with_inner(|inner| {
+            inner
+                .metrics
+                .gauge_set(Key::labeled(name, label, label_value), value())
+        });
+    }
+
+    /// Records a microsecond sample into a time histogram (default bounds).
+    pub fn observe_us(&self, name: &'static str, value: impl FnOnce() -> u64) {
+        self.with_inner(|inner| inner.metrics.observe(Key::plain(name), value()));
+    }
+
+    /// Records a labeled microsecond sample.
+    pub fn observe_us_labeled(
+        &self,
+        name: &'static str,
+        label: &'static str,
+        label_value: &'static str,
+        value: impl FnOnce() -> u64,
+    ) {
+        self.with_inner(|inner| {
+            inner
+                .metrics
+                .observe(Key::labeled(name, label, label_value), value())
+        });
+    }
+
+    /// Runs a closure against the metrics registry (enabled sinks only).
+    /// Escape hatch for custom bounds or direct reads.
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> Option<R> {
+        self.with_inner(|inner| f(&mut inner.metrics))
+    }
+
+    /// A snapshot of the metrics registry (empty when disabled).
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        self.with_inner(|inner| inner.metrics.clone())
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------- spans ----
+
+    /// Opens a span at `start`; the name closure is only evaluated on an
+    /// enabled sink.
+    pub fn span_begin(
+        &self,
+        track: &'static str,
+        name: impl FnOnce() -> String,
+        start: SimTime,
+    ) -> SpanHandle {
+        SpanHandle {
+            id: self.with_inner(|inner| inner.spans.begin(track, name(), start)),
+        }
+    }
+
+    /// Closes a span opened with [`TelemetrySink::span_begin`].
+    pub fn span_end(&self, handle: SpanHandle, end: SimTime) {
+        if let Some(id) = handle.id {
+            self.with_inner(|inner| inner.spans.end(id, end));
+        }
+    }
+
+    /// Records an already-complete interval.
+    pub fn span(
+        &self,
+        track: &'static str,
+        name: impl FnOnce() -> String,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.with_inner(|inner| inner.spans.complete(track, name(), start, end));
+    }
+
+    /// All closed spans, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.with_inner(|inner| inner.spans.closed().to_vec())
+            .unwrap_or_default()
+    }
+
+    // ----------------------------------------------------------- exports ----
+
+    /// Chrome trace-event JSON covering all closed spans and events.
+    pub fn export_chrome_trace(&self) -> String {
+        self.with_inner(|inner| crate::export::chrome_trace(inner.spans.closed(), &inner.events))
+            .unwrap_or_else(|| crate::export::chrome_trace(&[], &[]))
+    }
+
+    /// Prometheus text exposition of the metrics registry.
+    pub fn export_prometheus(&self) -> String {
+        self.with_inner(|inner| inner.metrics.to_prometheus())
+            .unwrap_or_default()
+    }
+
+    /// Deterministic JSON snapshot of the metrics registry.
+    pub fn export_metrics_json(&self) -> String {
+        self.with_inner(|inner| inner.metrics.to_json())
+            .unwrap_or_else(|| MetricsRegistry::new().to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TelemetryEvent;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing_and_never_evaluates_closures() {
+        let sink = TelemetrySink::disabled();
+        assert!(!sink.is_enabled());
+        sink.event(t(1), || panic!("event closure evaluated on disabled sink"));
+        sink.gauge_set("g", || panic!("gauge closure evaluated"));
+        sink.observe_us("h", || panic!("observe closure evaluated"));
+        let h = sink.span_begin("x", || panic!("span name closure evaluated"), t(0));
+        sink.span_end(h, t(5));
+        sink.span("x", || panic!("span closure evaluated"), t(0), t(1));
+        sink.counter_add("c", 3);
+        assert!(sink.events().is_empty());
+        assert!(sink.spans().is_empty());
+        assert!(sink.metrics_snapshot().is_empty());
+        assert_eq!(sink.render_trace(), "");
+        assert_eq!(sink.export_prometheus(), "");
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!TelemetrySink::default().is_enabled());
+    }
+
+    #[test]
+    fn enabled_sink_records_through_clones() {
+        let sink = TelemetrySink::enabled();
+        let clone = sink.clone();
+        clone.event(t(10), || TelemetryEvent::CkptCommitted { iteration: 7 });
+        sink.counter_add("ckpt.rounds", 1);
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(
+            sink.metrics_snapshot()
+                .counter(crate::metrics::Key::plain("ckpt.rounds")),
+            1
+        );
+        assert_eq!(sink.render_trace(), "[10.00us] checkpoint 7 committed\n");
+    }
+
+    #[test]
+    fn find_filters_structurally() {
+        let sink = TelemetrySink::enabled();
+        sink.event(t(1), || TelemetryEvent::HeartbeatMissed { rank: 3 });
+        sink.event(t(2), || TelemetryEvent::RetrievalFinished);
+        sink.event(t(3), || TelemetryEvent::HeartbeatMissed { rank: 5 });
+        let missed = sink.find(|e| matches!(e, TelemetryEvent::HeartbeatMissed { .. }));
+        assert_eq!(missed.len(), 2);
+        assert!(matches!(
+            missed[1].event,
+            TelemetryEvent::HeartbeatMissed { rank: 5 }
+        ));
+    }
+
+    #[test]
+    fn span_lifecycle_round_trips_into_chrome_trace() {
+        let sink = TelemetrySink::enabled();
+        let h = sink.span_begin("recovery", || "retrieval".to_string(), t(100));
+        sink.span_end(h, t(400));
+        sink.span("ckpt", || "flush".to_string(), t(50), t(90));
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2);
+        let doc = sink.export_chrome_trace();
+        assert!(doc.contains("\"name\":\"retrieval\""));
+        assert!(doc.contains("\"name\":\"flush\""));
+    }
+
+    #[test]
+    fn disabled_exports_are_still_well_formed() {
+        let sink = TelemetrySink::disabled();
+        let doc = sink.export_chrome_trace();
+        assert!(doc.contains("traceEvents"));
+        assert!(sink.export_metrics_json().contains('{'));
+    }
+}

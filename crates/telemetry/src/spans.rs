@@ -1,0 +1,150 @@
+//! Begin/end intervals on the simulation clock.
+//!
+//! A span is a named interval on a subsystem track. The tracker keeps open
+//! spans in a small id-keyed map and moves them to the closed list when
+//! ended; closed spans are what the Chrome trace exporter consumes.
+
+use gemini_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A completed interval on the simulated clock.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// The subsystem track (Chrome trace thread) the span belongs to.
+    pub track: &'static str,
+    /// Human-readable span name.
+    pub name: String,
+    /// When the span opened.
+    pub start: SimTime,
+    /// When the span closed (`end >= start`).
+    pub end: SimTime,
+}
+
+impl SpanRecord {
+    /// The span's duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// An open span awaiting its end time.
+#[derive(Clone, Debug)]
+struct OpenSpan {
+    track: &'static str,
+    name: String,
+    start: SimTime,
+}
+
+/// Tracks open and closed spans; owned by the sink's inner state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SpanTracker {
+    open: BTreeMap<u64, OpenSpan>,
+    closed: Vec<SpanRecord>,
+    next_id: u64,
+}
+
+impl SpanTracker {
+    /// Opens a span and returns its id.
+    pub(crate) fn begin(&mut self, track: &'static str, name: String, start: SimTime) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.open.insert(id, OpenSpan { track, name, start });
+        id
+    }
+
+    /// Closes the span with the given id at `end`. Unknown ids are ignored
+    /// (a span may be closed at most once).
+    pub(crate) fn end(&mut self, id: u64, end: SimTime) {
+        if let Some(open) = self.open.remove(&id) {
+            let end = if end.as_nanos() < open.start.as_nanos() {
+                open.start
+            } else {
+                end
+            };
+            self.closed.push(SpanRecord {
+                track: open.track,
+                name: open.name,
+                start: open.start,
+                end,
+            });
+        }
+    }
+
+    /// Records an already-complete interval directly.
+    pub(crate) fn complete(
+        &mut self,
+        track: &'static str,
+        name: String,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let end = if end.as_nanos() < start.as_nanos() {
+            start
+        } else {
+            end
+        };
+        self.closed.push(SpanRecord {
+            track,
+            name,
+            start,
+            end,
+        });
+    }
+
+    /// All closed spans, in completion order.
+    pub(crate) fn closed(&self) -> &[SpanRecord] {
+        &self.closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_sim::SimTime;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    #[test]
+    fn begin_end_produces_a_closed_span() {
+        let mut tr = SpanTracker::default();
+        let id = tr.begin("ckpt", "flush".to_string(), t(10));
+        assert!(tr.closed().is_empty());
+        tr.end(id, t(25));
+        assert_eq!(tr.closed().len(), 1);
+        let s = &tr.closed()[0];
+        assert_eq!(s.track, "ckpt");
+        assert_eq!(s.name, "flush");
+        assert_eq!(s.duration(), gemini_sim::SimDuration::from_micros(15));
+    }
+
+    #[test]
+    fn double_end_is_ignored() {
+        let mut tr = SpanTracker::default();
+        let id = tr.begin("net", "xfer".to_string(), t(0));
+        tr.end(id, t(5));
+        tr.end(id, t(9));
+        assert_eq!(tr.closed().len(), 1);
+    }
+
+    #[test]
+    fn end_before_start_clamps() {
+        let mut tr = SpanTracker::default();
+        let id = tr.begin("kv", "lease".to_string(), t(100));
+        tr.end(id, t(50));
+        assert_eq!(tr.closed()[0].start, tr.closed()[0].end);
+    }
+
+    #[test]
+    fn complete_records_directly() {
+        let mut tr = SpanTracker::default();
+        tr.complete("recovery", "retrieval".to_string(), t(1), t(4));
+        assert_eq!(tr.closed().len(), 1);
+        assert_eq!(
+            tr.closed()[0].duration(),
+            gemini_sim::SimDuration::from_micros(3)
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the telemetry crate: histogram-merge
+//! equivalence and well-formedness of the Prometheus text exposition.
+
+use gemini_telemetry::{FixedHistogram, Key, MetricsRegistry};
+use proptest::prelude::*;
+
+/// Strictly-increasing bucket bounds.
+fn bounds_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::btree_set(1u64..1_000_000, 1..8).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    /// Merging two histograms is exactly recording the concatenated sample
+    /// stream — counts, sum and every bucket agree.
+    #[test]
+    fn histogram_merge_equals_concatenated_stream(
+        bounds in bounds_strategy(),
+        a in proptest::collection::vec(0u64..2_000_000, 0..60),
+        b in proptest::collection::vec(0u64..2_000_000, 0..60),
+    ) {
+        let mut ha = FixedHistogram::new(&bounds);
+        let mut hb = FixedHistogram::new(&bounds);
+        let mut hboth = FixedHistogram::new(&bounds);
+        for &v in &a {
+            ha.record(v);
+            hboth.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hboth.record(v);
+        }
+        let merged = ha.merged(&hb).expect("same bounds merge");
+        prop_assert_eq!(&merged, &hboth);
+        // Merge is symmetric.
+        prop_assert_eq!(hb.merged(&ha).expect("same bounds merge"), hboth);
+        // Invariants: total count equals the stream length, buckets sum to
+        // the count.
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.bucket_counts().iter().sum::<u64>(), merged.count());
+    }
+
+    /// The Prometheus exposition stays line-by-line parseable for any mix
+    /// of recorded metrics: every line is either a `# TYPE name kind`
+    /// comment or `name[{labels}] value` with a numeric value, names use
+    /// only legal characters, and every sample line's family was declared
+    /// by a preceding TYPE comment.
+    #[test]
+    fn prometheus_exposition_parses_line_by_line(
+        counters in proptest::collection::vec((0usize..4, 0u64..1_000), 0..12),
+        gauges in proptest::collection::vec((0usize..4, -1e9f64..1e9), 0..12),
+        samples in proptest::collection::vec((0usize..4, 0u64..10_000_000), 0..40),
+    ) {
+        const COUNTER_NAMES: [&str; 4] =
+            ["ckpt.chunks", "kv.heartbeats", "net.transfers", "recovery.plans"];
+        const GAUGE_NAMES: [&str; 4] = [
+            "net.nic_busy_frac",
+            "kv.alive_workers",
+            "ckpt.remaining_idle_us",
+            "sim.run_end_us",
+        ];
+        const HIST_KEYS: [Key; 4] = [
+            Key {
+                name: "recovery.retrieval_us",
+                label: Some(("tier", "local_cpu")),
+            },
+            Key {
+                name: "recovery.retrieval_us",
+                label: Some(("tier", "remote_cpu")),
+            },
+            Key {
+                name: "ckpt.stall_us",
+                label: None,
+            },
+            Key {
+                name: "net.transfer_queue_us",
+                label: None,
+            },
+        ];
+        let mut m = MetricsRegistry::new();
+        for (i, delta) in counters {
+            m.counter_add(Key::plain(COUNTER_NAMES[i]), delta);
+        }
+        for (i, value) in gauges {
+            m.gauge_set(Key::plain(GAUGE_NAMES[i]), value);
+        }
+        for (i, value) in samples {
+            m.observe(HIST_KEYS[i], value);
+        }
+
+        let text = m.to_prometheus();
+        let mut declared: Vec<String> = Vec::new();
+        for line in text.lines() {
+            prop_assert!(!line.is_empty(), "blank line in exposition");
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let name = it.next().expect("type name");
+                let kind = it.next().expect("type kind");
+                prop_assert!(it.next().is_none());
+                prop_assert!(["counter", "gauge", "histogram"].contains(&kind));
+                declared.push(name.to_string());
+                continue;
+            }
+            // Sample line: name[{labels}] value.
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            prop_assert!(
+                value.parse::<f64>().is_ok(),
+                "non-numeric value {value:?} in {line:?}"
+            );
+            let name = series.split('{').next().unwrap();
+            prop_assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "illegal metric name {name:?}"
+            );
+            // The family (histogram suffixes stripped) must have been
+            // declared by a TYPE line earlier in the text.
+            let family = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(name);
+            prop_assert!(
+                declared.iter().any(|d| d == family || d == name),
+                "sample {name:?} has no preceding TYPE declaration"
+            );
+            // Labels, when present, are balanced and quoted.
+            if let Some(idx) = series.find('{') {
+                prop_assert!(series.ends_with('}'), "unbalanced labels in {series:?}");
+                let body = &series[idx + 1..series.len() - 1];
+                for pair in body.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label pair");
+                    prop_assert!(!k.is_empty());
+                    prop_assert!(v.starts_with('"') && v.ends_with('"'), "{v:?}");
+                }
+            }
+        }
+        // Histogram invariant in the exposition: cumulative +Inf bucket
+        // equals the series count.
+        if m.histogram(HIST_KEYS[2]).is_some() {
+            let h = m.histogram(HIST_KEYS[2]).unwrap();
+            let needle = format!("ckpt_stall_us_count {}", h.count());
+            prop_assert!(text.contains(&needle), "{needle:?} missing");
+        }
+    }
+
+    /// JSON export round-trips deterministically: rendering twice (and
+    /// rendering a clone) yields byte-identical output.
+    #[test]
+    fn json_export_is_deterministic(
+        counters in proptest::collection::vec((0usize..3, 1u64..100), 0..10),
+    ) {
+        const NAMES: [&str; 3] = ["a.one", "b.two", "c.three"];
+        let mut m = MetricsRegistry::new();
+        for (i, delta) in counters {
+            m.counter_add(Key::plain(NAMES[i]), delta);
+        }
+        let once = m.to_json();
+        prop_assert_eq!(&once, &m.to_json());
+        prop_assert_eq!(&once, &m.clone().to_json());
+    }
+}
