@@ -96,6 +96,7 @@ E_CRIT="--extern criterion=$OUT/libcriterion.rlib"
 # name:path:externs, in dependency order.
 lib_externs() {
   case "$1" in
+    parallel)    echo "" ;;
     sim)         echo "$E_RAND $E_CHACHA $E_SERDE" ;;
     telemetry)   echo "--extern gemini_sim=$OUT/libgemini_sim.rlib $E_SERDE" ;;
     net)         echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib $E_SERDE" ;;
@@ -103,14 +104,14 @@ lib_externs() {
     collectives) echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_net=$OUT/libgemini_net.rlib $E_SERDE" ;;
     training)    echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_collectives=$OUT/libgemini_collectives.rlib $E_RAND $E_SERDE" ;;
     kvstore)     echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib $E_PLOT $E_SERDE" ;;
-    core)        echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_kvstore=$OUT/libgemini_kvstore.rlib $E_RAND $E_BYTES $E_SERDE $E_JSON" ;;
+    core)        echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_parallel=$OUT/libgemini_parallel.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_kvstore=$OUT/libgemini_kvstore.rlib $E_RAND $E_BYTES $E_SERDE $E_JSON" ;;
     baselines)   echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_core=$OUT/libgemini_core.rlib $E_SERDE" ;;
-    harness)     echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_collectives=$OUT/libgemini_collectives.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_kvstore=$OUT/libgemini_kvstore.rlib --extern gemini_core=$OUT/libgemini_core.rlib --extern gemini_baselines=$OUT/libgemini_baselines.rlib $E_RAND $E_SERDE $E_JSON" ;;
-    bench)       echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_core=$OUT/libgemini_core.rlib --extern gemini_baselines=$OUT/libgemini_baselines.rlib --extern gemini_harness=$OUT/libgemini_harness.rlib $E_JSON" ;;
+    harness)     echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_parallel=$OUT/libgemini_parallel.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_collectives=$OUT/libgemini_collectives.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_kvstore=$OUT/libgemini_kvstore.rlib --extern gemini_core=$OUT/libgemini_core.rlib --extern gemini_baselines=$OUT/libgemini_baselines.rlib $E_RAND $E_SERDE $E_JSON" ;;
+    bench)       echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_parallel=$OUT/libgemini_parallel.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_core=$OUT/libgemini_core.rlib --extern gemini_baselines=$OUT/libgemini_baselines.rlib --extern gemini_harness=$OUT/libgemini_harness.rlib $E_JSON" ;;
   esac
 }
 
-CRATES="sim telemetry net cluster collectives training kvstore core baselines harness bench"
+CRATES="parallel sim telemetry net cluster collectives training kvstore core baselines harness bench"
 
 for c in $CRATES; do
   src="$ROOT/crates/$c/src/lib.rs"
@@ -192,6 +193,21 @@ for b in "$ROOT"/crates/bench/benches/*.rs; do
   compile "benches/$name" --crate-type bin --crate-name "bench_$name" "$b" \
     $ALL_GEMINI $ALL_STUBS $E_CRIT -o "$OUT/bench_$name" || true
 done
+
+# ------------------------------------------- parallel determinism smoke ----
+# The figures bin must produce byte-identical output at --jobs 1 and
+# --jobs 2 (the deterministic-parallelism contract, docs/PERFORMANCE.md).
+if [ -x "$OUT/bin_figures" ]; then
+  note "parallel determinism smoke (figures --jobs 1 vs --jobs 2)"
+  if "$OUT/bin_figures" --fast --jobs 1 > "$OUT/figs_j1.md" 2>/dev/null \
+    && "$OUT/bin_figures" --fast --jobs 2 > "$OUT/figs_j2.md" 2>/dev/null \
+    && cmp -s "$OUT/figs_j1.md" "$OUT/figs_j2.md"; then
+    :
+  else
+    echo "FAILED: figures --jobs 1 vs --jobs 2 output differs" >&2
+    FAILED=1
+  fi
+fi
 
 if [ "$FAILED" -ne 0 ]; then
   echo "VERIFY: FAILURES PRESENT" >&2

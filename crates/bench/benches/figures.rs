@@ -2,9 +2,9 @@
 //! the canonical way to reproduce the paper's evaluation artifacts, and
 //! benchmarking them keeps their cost visible as the models grow.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gemini_harness::experiments::{
-    ablations, interleave, placement, recovery, scale, tables, throughput, wasted,
+    ablations, interleave, placement, recovery, render_all_jobs, scale, tables, throughput, wasted,
 };
 
 fn bench_tables(c: &mut Criterion) {
@@ -98,8 +98,23 @@ fn bench_ablations(c: &mut Criterion) {
     g.finish();
 }
 
+/// The full artifact set regenerated serially vs on the deterministic
+/// pool — the speedup the `figures --jobs N` flag buys (output is
+/// byte-identical either way; see `docs/PERFORMANCE.md`).
+fn bench_render_all_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("render_all_fast");
+    g.sample_size(10);
+    for jobs in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| black_box(render_all_jobs(true, jobs)))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
+    bench_render_all_parallel,
     bench_tables,
     bench_throughput_figures,
     bench_placement_figure,

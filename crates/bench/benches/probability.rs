@@ -1,0 +1,96 @@
+//! Benchmarks of the recovery-probability hot paths rebuilt in the
+//! bitmask/parallel overhaul: the Gosper-iterated exact enumerator (whose
+//! raised cap now admits subset counts the old recursive walk refused),
+//! the zero-allocation Monte-Carlo sampler vs its retained `BTreeSet`
+//! reference kernel, and the `u128` recoverability checks vs the legacy
+//! set-based entry point.
+//!
+//! ```text
+//! cargo bench -p gemini-bench --bench probability
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemini_core::placement::probability::{
+    binomial, exact_recovery_probability, monte_carlo_recovery_probability_jobs,
+    monte_carlo_recovery_probability_reference, FatalSets,
+};
+use gemini_core::Placement;
+use gemini_sim::DetRng;
+use std::collections::BTreeSet;
+
+/// Exact enumeration across the cap regimes: `C(24,4)` ≈ 1.1e4 (trivial),
+/// `C(40,7)` ≈ 1.9e7 (near the old 1e7 cap the recursive walk enforced),
+/// and `C(50,7)` ≈ 1.0e8 — the case the old implementation refused
+/// outright and the Gosper enumerator clears within the raised 2.5e8 cap.
+fn bench_exact_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_enumeration");
+    g.sample_size(10);
+    for (n, k) in [(24usize, 4usize), (40, 7), (50, 7)] {
+        let placement = Placement::mixed(n, 2).unwrap();
+        let subsets = binomial(n as u64, k as u64);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("C({n},{k})~{subsets:.1e}")),
+            &(n, k),
+            |b, &(_, k)| {
+                b.iter(|| exact_recovery_probability(black_box(&placement), black_box(k)).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Monte-Carlo trial throughput: the bitmask fast path (Floyd `u128`
+/// sampling + minimized fatal-mask cover test, zero heap allocations per
+/// trial) against the historical per-trial `Vec` + `BTreeSet` kernel.
+fn bench_monte_carlo_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monte_carlo_20k_trials");
+    g.sample_size(20);
+    let placement = Placement::mixed(32, 2).unwrap();
+    g.bench_function("bitmask", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| {
+            monte_carlo_recovery_probability_jobs(black_box(&placement), 2, 20_000, &mut rng, 1)
+        })
+    });
+    g.bench_function("btreeset_reference", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| {
+            monte_carlo_recovery_probability_reference(black_box(&placement), 2, 20_000, &mut rng)
+        })
+    });
+    g.bench_function("bitmask_jobs4", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| {
+            monte_carlo_recovery_probability_jobs(black_box(&placement), 2, 20_000, &mut rng, 4)
+        })
+    });
+    g.finish();
+}
+
+/// Single recoverability checks: the minimized fatal-mask kernel and the
+/// raw per-machine mask scan vs the `BTreeSet` entry point.
+fn bench_recoverable_checks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recoverable_n64_k3");
+    let placement = Placement::mixed(64, 2).unwrap();
+    let fatal = FatalSets::from_placement(&placement).unwrap();
+    let failed_mask: u128 = (1 << 3) | (1 << 17) | (1 << 40);
+    let failed_set: BTreeSet<usize> = [3usize, 17, 40].into_iter().collect();
+    g.bench_function("fatal_masks", |b| {
+        b.iter(|| fatal.recoverable(black_box(failed_mask)))
+    });
+    g.bench_function("placement_mask_scan", |b| {
+        b.iter(|| placement.recoverable_mask(black_box(failed_mask)))
+    });
+    g.bench_function("btreeset_entry", |b| {
+        b.iter(|| placement.recoverable(black_box(&failed_set)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_enumeration,
+    bench_monte_carlo_kernels,
+    bench_recoverable_checks
+);
+criterion_main!(benches);

@@ -13,6 +13,7 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(1)
     });
+    targs.install_jobs();
     let sink = targs.sink();
     println!("model          | iter (s) | net busy | net idle | largest idle | spans");
     println!("---------------|----------|----------|----------|--------------|------");

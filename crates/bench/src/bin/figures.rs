@@ -3,7 +3,12 @@
 //! ```text
 //! cargo run -p gemini-bench --bin figures [--fast] [--csv | --json]
 //! cargo run -p gemini-bench --bin figures -- --fast --metrics-out figs.prom
+//! cargo run --release -p gemini-bench --bin figures -- --jobs 4
 //! ```
+//!
+//! `--jobs N` (or `GEMINI_JOBS=N`) regenerates the artifacts on `N`
+//! worker threads; the output — markdown, CSV, JSON and every telemetry
+//! export — is byte-identical at any job count (`docs/PERFORMANCE.md`).
 //!
 //! With `--trace-out`/`--metrics-out`/`--metrics-json-out` the binary also
 //! runs the Fig. 14 recovery drill through an enabled telemetry sink and
@@ -18,6 +23,7 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(1)
     });
+    targs.install_jobs();
     let sink = targs.sink();
     let fast = args.iter().any(|a| a == "--fast");
     let csv = args.iter().any(|a| a == "--csv");

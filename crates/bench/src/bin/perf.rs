@@ -1,0 +1,201 @@
+//! Perf-trajectory reporter for the deterministic parallel engine and the
+//! placement hot-path kernels. Writes `BENCH_harness.json` at the repo
+//! root (override with `--out FILE`).
+//!
+//! ```text
+//! cargo run --release -p gemini-bench --bin perf
+//! cargo run --release -p gemini-bench --bin perf -- --jobs 8 --quick --out /tmp/b.json
+//! ```
+//!
+//! This is the one binary that records the **wall-clock** half of the
+//! `parallel.*` metric family (`parallel.jobs`, `parallel.speedup`,
+//! `parallel.wall_us`, `parallel.busy_us`) via
+//! [`gemini_harness::par::record_stats_timing`] — deliberately kept off
+//! the figure/table paths, whose telemetry exports are byte-compared
+//! across job counts. See `docs/PERFORMANCE.md`.
+//!
+//! Measurements:
+//!
+//! 1. **Figure regeneration** — full `render_all` serial vs `--jobs N`,
+//!    asserting the rendered markdown is byte-identical.
+//! 2. **Monte-Carlo recovery kernel** — bitmask fast path
+//!    (`sample_mask` + `FatalSets`) vs the retained `BTreeSet` reference
+//!    kernel, in trials/second.
+//! 3. **Exact enumeration** — Gosper-iterated subset walk at
+//!    C(50, 7) ≈ 9.99 × 10⁷ subsets (the old implementation's 10⁷ cap
+//!    refused this outright), in subsets/second.
+//! 4. **Recoverability check** — `recoverable_mask` vs the `BTreeSet`
+//!    wrapper, in checks/second.
+
+use gemini_bench::TelemetryArgs;
+use gemini_core::placement::probability::{
+    binomial, exact_recovery_probability, monte_carlo_recovery_probability_jobs,
+    monte_carlo_recovery_probability_reference, FatalSets,
+};
+use gemini_core::Placement;
+use gemini_harness::experiments::{render_all_jobs, render_all_stats};
+use gemini_harness::par;
+use gemini_sim::DetRng;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+fn secs(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let (targs, rest) = TelemetryArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1)
+    });
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Default to a parallel run even when --jobs/GEMINI_JOBS is absent:
+    // the whole point is to exercise the pool. Speedup is bounded by the
+    // host's core count (reported as "cpus" in the output).
+    let jobs = match targs.jobs {
+        Some(j) => j,
+        None => gemini_harness::par::default_jobs().max(cpus.max(2)),
+    };
+    let quick = rest.iter().any(|a| a == "--quick");
+    let out_path = rest
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| rest.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_harness.json".to_string());
+    let sink = gemini_telemetry::TelemetrySink::enabled();
+
+    // ---- 1. figure regeneration: serial vs parallel ---------------------
+    // Warm once (OnceLock tables, allocator) so both sides start equal.
+    let _ = render_all_jobs(true, 1);
+    let mut serial_tables = Vec::new();
+    let figures_serial_s = secs(|| serial_tables = render_all_jobs(false, 1));
+    let t0 = Instant::now();
+    let (par_tables, stats) = render_all_stats(false, jobs);
+    let figures_par_s = t0.elapsed().as_secs_f64();
+    par::record_stats_timing(&sink, &stats);
+    let serial_md: String = serial_tables.iter().map(|t| t.to_markdown()).collect();
+    let par_md: String = par_tables.iter().map(|t| t.to_markdown()).collect();
+    let byte_identical = serial_md == par_md;
+    assert!(byte_identical, "parallel render diverged from serial");
+    let figures_speedup = figures_serial_s / figures_par_s.max(1e-12);
+
+    // ---- 2. Monte-Carlo kernel: bitmask vs reference --------------------
+    let placement = Placement::mixed(32, 2).expect("valid placement");
+    let trials: u32 = if quick { 20_000 } else { 400_000 };
+    let mut p_fast = 0.0;
+    let mc_fast_s = secs(|| {
+        p_fast =
+            monte_carlo_recovery_probability_jobs(&placement, 2, trials, &mut DetRng::new(7), 1);
+    });
+    let mut p_ref = 0.0;
+    let mc_ref_s = secs(|| {
+        p_ref =
+            monte_carlo_recovery_probability_reference(&placement, 2, trials, &mut DetRng::new(7));
+    });
+    assert!((p_fast - p_ref).abs() < 0.02, "{p_fast} vs {p_ref}");
+    let mut p_par = 0.0;
+    let mc_par_s = secs(|| {
+        p_par =
+            monte_carlo_recovery_probability_jobs(&placement, 2, trials, &mut DetRng::new(7), jobs);
+    });
+    assert_eq!(p_fast.to_bits(), p_par.to_bits(), "MC not job-invariant");
+
+    // ---- 3. exact enumeration at ~1e8 subsets ---------------------------
+    let (en_n, en_k) = if quick { (40usize, 7usize) } else { (50, 7) };
+    let enum_placement = Placement::mixed(en_n, 2).expect("valid placement");
+    let subsets = binomial(en_n as u64, en_k as u64);
+    let mut p_enum = None;
+    let enum_s = secs(|| {
+        p_enum = exact_recovery_probability(&enum_placement, en_k);
+    });
+    let p_enum = p_enum.expect("within the enumeration cap");
+
+    // ---- 4. recoverability check: fatal-mask kernel vs BTreeSet entry ---
+    // `FatalSets::recoverable` is the deduplicated, superset-minimized
+    // bitmask kernel the enumerator and MC sampler sit on; the BTreeSet
+    // entry point is the legacy-shaped API (which now folds to a mask but
+    // still pays the set walk and the full per-machine host scan).
+    let checks: u64 = if quick { 200_000 } else { 2_000_000 };
+    let fatal = FatalSets::from_placement(&placement).expect("N <= 128");
+    let mut rng = DetRng::new(13);
+    let failed_masks: Vec<u128> = (0..1024).map(|_| rng.sample_mask(32, 3)).collect();
+    let failed_sets: Vec<BTreeSet<usize>> = failed_masks
+        .iter()
+        .map(|&m| (0..32).filter(|&i| m >> i & 1 == 1).collect())
+        .collect();
+    let mut acc = 0u64;
+    let mask_s = secs(|| {
+        for i in 0..checks {
+            acc += fatal.recoverable(failed_masks[(i % 1024) as usize]) as u64;
+        }
+    });
+    let mut acc2 = 0u64;
+    let set_s = secs(|| {
+        for i in 0..checks {
+            acc2 += placement.recoverable(&failed_sets[(i % 1024) as usize]) as u64;
+        }
+    });
+    assert_eq!(acc, acc2, "mask and set kernels disagree");
+
+    // Assembled by hand (no serde derive on the report shape) so the
+    // binary builds identically under the offline stub toolchain.
+    let pretty = format!(
+        "{{\n  \"bench\": \"harness\",\n  \"quick\": {quick},\n  \"jobs\": {jobs},\n  \
+         \"cpus\": {cpus},\n  \
+         \"figures\": {{\n    \"serial_s\": {figures_serial_s:.6},\n    \
+         \"parallel_s\": {figures_par_s:.6},\n    \"speedup\": {figures_speedup:.3},\n    \
+         \"byte_identical\": {byte_identical},\n    \"artifacts\": {artifacts}\n  }},\n  \
+         \"monte_carlo\": {{\n    \"trials\": {trials},\n    \"bitmask_s\": {mc_fast_s:.6},\n    \
+         \"reference_s\": {mc_ref_s:.6},\n    \"parallel_s\": {mc_par_s:.6},\n    \
+         \"bitmask_trials_per_s\": {bm_tps:.1},\n    \"reference_trials_per_s\": {ref_tps:.1},\n    \
+         \"kernel_speedup\": {mc_speedup:.3},\n    \"estimate\": {p_fast:.6}\n  }},\n  \
+         \"enumeration\": {{\n    \"n\": {en_n},\n    \"k\": {en_k},\n    \
+         \"subsets\": {subsets:.0},\n    \"wall_s\": {enum_s:.6},\n    \
+         \"subsets_per_s\": {en_sps:.1},\n    \"probability\": {p_enum:.9}\n  }},\n  \
+         \"recoverable\": {{\n    \"checks\": {checks},\n    \"mask_s\": {mask_s:.6},\n    \
+         \"btreeset_s\": {set_s:.6},\n    \"mask_checks_per_s\": {mask_cps:.1},\n    \
+         \"speedup\": {rec_speedup:.3}\n  }},\n  \"parallel_metrics\": {{\n    \
+         \"tasks\": {tasks},\n    \"pool_jobs\": {pool_jobs},\n    \
+         \"wall_us\": {wall_us:.1},\n    \"busy_us\": {busy_us:.1}\n  }}\n}}",
+        artifacts = serial_tables.len(),
+        bm_tps = trials as f64 / mc_fast_s.max(1e-12),
+        ref_tps = trials as f64 / mc_ref_s.max(1e-12),
+        mc_speedup = mc_ref_s / mc_fast_s.max(1e-12),
+        en_sps = subsets / enum_s.max(1e-12),
+        mask_cps = checks as f64 / mask_s.max(1e-12),
+        rec_speedup = set_s / mask_s.max(1e-12),
+        tasks = stats.tasks,
+        pool_jobs = stats.jobs,
+        wall_us = stats.wall.as_secs_f64() * 1e6,
+        busy_us = stats.busy.as_secs_f64() * 1e6,
+    );
+    // Sanity: the report must be valid JSON (serde_json is a real dep in
+    // the cargo build; the offline stub exposes from_str too).
+    let parsed: Result<serde_json::Value, _> = serde_json::from_str(&pretty);
+    assert!(parsed.is_ok(), "perf report is not valid JSON");
+    std::fs::write(&out_path, format!("{pretty}\n")).unwrap_or_else(|e| {
+        eprintln!("error: writing {out_path}: {e}");
+        std::process::exit(1)
+    });
+    println!("{pretty}");
+    eprintln!(
+        "figures: {figures_serial_s:.3}s -> {figures_par_s:.3}s at --jobs {jobs} \
+         ({figures_speedup:.2}x, byte-identical; host has {cpus} cpu(s))"
+    );
+    eprintln!(
+        "mc kernel: {:.2}x over reference; enumeration: {:.1}M subsets/s; \
+         recoverable: {:.2}x over BTreeSet",
+        mc_ref_s / mc_fast_s.max(1e-12),
+        subsets / enum_s.max(1e-12) / 1e6,
+        set_s / mask_s.max(1e-12),
+    );
+    eprintln!("wrote {out_path}");
+    if let Err(e) = targs.write(&sink) {
+        eprintln!("error: writing telemetry outputs: {e}");
+        std::process::exit(1)
+    }
+}

@@ -39,6 +39,7 @@ fn fail(msg: &str) -> ! {
 
 fn main() {
     let (targs, rest) = TelemetryArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| fail(&e));
+    targs.install_jobs();
     let sink = targs.sink();
     let arg = rest.first().cloned().unwrap_or_else(|| "{}".to_string());
     let cfg: serde_json::Value = serde_json::from_str(&arg)

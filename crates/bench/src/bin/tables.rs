@@ -13,6 +13,7 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(1)
     });
+    targs.install_jobs();
     let sink = targs.sink();
     for t in [table1_table(), table2_table()] {
         sink.counter_add("harness.artifacts_rendered", 1);

@@ -6,7 +6,10 @@
 //!   trace-event JSON (loadable in Perfetto / `chrome://tracing`);
 //! * `--metrics-out FILE` — write the metrics registry as Prometheus text
 //!   exposition;
-//! * `--metrics-json-out FILE` — write the metrics registry as JSON.
+//! * `--metrics-json-out FILE` — write the metrics registry as JSON;
+//! * `--jobs N` — run the harness's indexed task sets on `N` worker
+//!   threads (`GEMINI_JOBS` is the environment fallback). Output is
+//!   byte-identical at every `N`; see `docs/PERFORMANCE.md`.
 //!
 //! When none of the flags is present the returned sink is disabled, so the
 //! instrumented code paths cost a single branch.
@@ -23,6 +26,9 @@ pub struct TelemetryArgs {
     pub metrics_out: Option<PathBuf>,
     /// Destination for the JSON metrics snapshot, if requested.
     pub metrics_json_out: Option<PathBuf>,
+    /// Worker threads for the deterministic pool (`--jobs N`); `None`
+    /// falls back to `GEMINI_JOBS`, then serial.
+    pub jobs: Option<usize>,
 }
 
 impl TelemetryArgs {
@@ -36,6 +42,19 @@ impl TelemetryArgs {
         let mut rest = Vec::new();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
+            if arg == "--jobs" {
+                let n = it
+                    .next()
+                    .ok_or_else(|| "--jobs requires an N operand".to_string())?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a positive integer, got {n:?}"))?;
+                if n == 0 {
+                    return Err("--jobs expects a positive integer, got 0".to_string());
+                }
+                out.jobs = Some(n);
+                continue;
+            }
             let slot = match arg.as_str() {
                 "--trace-out" => &mut out.trace_out,
                 "--metrics-out" => &mut out.metrics_out,
@@ -51,6 +70,23 @@ impl TelemetryArgs {
             }
         }
         Ok((out, rest))
+    }
+
+    /// The effective worker count: `--jobs` if given, else the process
+    /// default (which already honours `GEMINI_JOBS`, falling back to 1).
+    pub fn effective_jobs(&self) -> usize {
+        gemini_harness::par::resolve_jobs(self.jobs)
+    }
+
+    /// Installs [`TelemetryArgs::effective_jobs`] as the process-wide
+    /// default, so every harness entry point that runs at
+    /// [`gemini_harness::par::default_jobs`] (figure regeneration,
+    /// campaign sweeps, Monte-Carlo estimators) picks it up. Returns the
+    /// installed count.
+    pub fn install_jobs(&self) -> usize {
+        let jobs = self.effective_jobs();
+        gemini_harness::par::set_default_jobs(jobs);
+        jobs
     }
 
     /// Whether any output was requested.
@@ -127,5 +163,20 @@ mod tests {
     #[test]
     fn missing_operand_is_an_error() {
         assert!(TelemetryArgs::parse(s(&["--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn parses_jobs() {
+        let (args, rest) = TelemetryArgs::parse(s(&["--jobs", "4", "--fast"])).unwrap();
+        assert_eq!(args.jobs, Some(4));
+        assert_eq!(rest, s(&["--fast"]));
+        assert_eq!(args.effective_jobs(), 4);
+    }
+
+    #[test]
+    fn jobs_rejects_bad_operands() {
+        assert!(TelemetryArgs::parse(s(&["--jobs"])).is_err());
+        assert!(TelemetryArgs::parse(s(&["--jobs", "zero"])).is_err());
+        assert!(TelemetryArgs::parse(s(&["--jobs", "0"])).is_err());
     }
 }

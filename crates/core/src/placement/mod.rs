@@ -253,8 +253,58 @@ impl Placement {
     /// Whether a simultaneous failure of `failed` machines is recoverable
     /// from CPU memory: every machine's replica set must retain at least
     /// one surviving host.
+    ///
+    /// Thin wrapper: for `N ≤ 128` the set is folded into a `u128` bitmask
+    /// and dispatched to [`Placement::recoverable_mask`]; larger clusters
+    /// keep the tree-lookup path.
     pub fn recoverable(&self, failed: &BTreeSet<usize>) -> bool {
+        if self.machines <= 128 {
+            let mask = failed
+                .iter()
+                .filter(|&&h| h < 128)
+                .fold(0u128, |acc, &h| acc | (1 << h));
+            return self.recoverable_mask(mask);
+        }
         (0..self.machines).all(|i| self.replica_hosts[i].iter().any(|h| !failed.contains(h)))
+    }
+
+    /// [`Placement::recoverable`] on a `u128` failure bitmask (bit `i` set
+    /// ⇔ machine `i` failed). Requires `N ≤ 128`; allocation-free — the
+    /// hot-path form used by the exact enumerator and Monte Carlo sampler.
+    pub fn recoverable_mask(&self, failed: u128) -> bool {
+        debug_assert!(
+            self.machines <= 128,
+            "recoverable_mask requires N <= 128, got {}",
+            self.machines
+        );
+        self.replica_hosts
+            .iter()
+            .all(|hosts| hosts.iter().any(|&h| failed >> h & 1 == 0))
+    }
+
+    /// [`Placement::recoverable`] on a sorted slice of failed ranks — the
+    /// allocation-free fallback for clusters wider than the 128-bit mask.
+    pub fn recoverable_sorted(&self, failed: &[usize]) -> bool {
+        debug_assert!(failed.windows(2).all(|w| w[0] < w[1]), "must be sorted");
+        self.replica_hosts
+            .iter()
+            .all(|hosts| hosts.iter().any(|&h| failed.binary_search(&h).is_err()))
+    }
+
+    /// The distinct replica host-sets as `u128` bitmasks (`None` when the
+    /// cluster exceeds the 128-machine mask width).
+    pub fn host_set_masks(&self) -> Option<Vec<u128>> {
+        if self.machines > 128 {
+            return None;
+        }
+        let mut masks: Vec<u128> = self
+            .replica_hosts
+            .iter()
+            .map(|hosts| hosts.iter().fold(0u128, |acc, &h| acc | (1 << h)))
+            .collect();
+        masks.sort_unstable();
+        masks.dedup();
+        Some(masks)
     }
 
     /// The distinct replica host-sets `S′ = unique(S)` of the Theorem 1
@@ -472,6 +522,55 @@ mod tests {
             }
         }
         assert_eq!(p.sends_per_machine(), 2);
+    }
+
+    #[test]
+    fn recoverable_mask_agrees_with_set_wrapper() {
+        // Exhaustive over all k=2 and k=3 failure sets for a mixed layout.
+        let p = Placement::mixed(11, 3).unwrap();
+        for a in 0..11 {
+            for b in (a + 1)..11 {
+                let set = failed(&[a, b]);
+                let mask = (1u128 << a) | (1 << b);
+                assert_eq!(p.recoverable(&set), p.recoverable_mask(mask), "{a},{b}");
+                let slice = [a, b];
+                assert_eq!(p.recoverable(&set), p.recoverable_sorted(&slice));
+                for c in (b + 1)..11 {
+                    let set = failed(&[a, b, c]);
+                    let mask = mask | (1u128 << c);
+                    assert_eq!(p.recoverable(&set), p.recoverable_mask(mask), "{a},{b},{c}");
+                    assert_eq!(p.recoverable(&set), p.recoverable_sorted(&[a, b, c]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_clusters_skip_the_mask_path() {
+        // > 128 machines: the BTreeSet wrapper and sorted-slice fallback
+        // must still agree (no u128 truncation).
+        let p = Placement::mixed(200, 2).unwrap();
+        assert!(p.host_set_masks().is_none());
+        for pair in [[0usize, 1], [0, 199], [198, 199], [50, 51]] {
+            let set = failed(&pair);
+            assert_eq!(p.recoverable(&set), p.recoverable_sorted(&pair), "{pair:?}");
+        }
+        // A whole group is fatal even past the mask width.
+        assert!(!p.recoverable(&failed(&[0, 1])));
+    }
+
+    #[test]
+    fn host_set_masks_match_unique_host_sets() {
+        let p = Placement::mixed(17, 2).unwrap();
+        let masks = p.host_set_masks().unwrap();
+        let sets = p.unique_host_sets();
+        assert_eq!(masks.len(), sets.len());
+        let mut rebuilt: Vec<u128> = sets
+            .iter()
+            .map(|s| s.iter().fold(0u128, |acc, &h| acc | (1 << h)))
+            .collect();
+        rebuilt.sort_unstable();
+        assert_eq!(masks, rebuilt);
     }
 
     #[test]

@@ -6,18 +6,70 @@
 //! 1. **Closed forms**: Corollary 1's bound for group placement, the
 //!    Theorem 1 upper bound and near-optimality gap, and the exact
 //!    no-adjacent-pair formula for ring placement with `m = 2`.
-//! 2. **Exact enumeration** over all `C(N, k)` failure sets (bitmask
-//!    subset checks, for `N ≤ 128`).
-//! 3. **Monte Carlo** sampling, for arbitrary sizes.
+//! 2. **Exact enumeration** over all `C(N, k)` failure sets (iterative
+//!    Gosper's-hack bitmask subset walking, for `N ≤ 128`).
+//! 3. **Monte Carlo** sampling, for arbitrary sizes — sharded so trials
+//!    can run on every core while the estimate stays bit-identical to a
+//!    serial run at any `jobs` count.
+//!
+//! The kernels here are the hot path of the Fig. 9 / Fig. 15 sweeps, so
+//! they run on `u128` failure bitmasks: zero heap allocation per
+//! enumerated subset or Monte-Carlo trial for `N ≤ 128`.
 
 use crate::placement::Placement;
+use gemini_parallel::{par_map, shard_ranges};
 use gemini_sim::DetRng;
+use rand::RngCore;
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
-/// `C(n, k)` as an `f64` (exact for the magnitudes used here).
+/// Largest `n` for which a Pascal-triangle lookup table backs
+/// [`binomial`]; also the bitmask width limit of the exact enumerator.
+pub const BINOMIAL_TABLE_N: usize = 128;
+
+/// The exact enumerator walks at most this many subsets before bailing to
+/// `None`. Raised from the historical `1e7` after the Gosper's-hack
+/// rewrite: ~`2.5e8` subsets fit the criterion bench budget on a CI-class
+/// machine.
+pub const EXACT_ENUMERATION_CAP: f64 = 2.5e8;
+
+/// Trials per Monte-Carlo shard. The shard structure is a pure function of
+/// the trial count — never of the job count — so the merged estimate is
+/// bit-identical at any parallelism.
+pub const MC_SHARD_TRIALS: usize = 4096;
+
+fn binomial_table() -> &'static Vec<Vec<f64>> {
+    static TABLE: OnceLock<Vec<Vec<f64>>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        // Pascal's recurrence: exact in f64 wherever the value fits in 53
+        // bits, and within an ulp of the true ratio elsewhere.
+        let n_max = BINOMIAL_TABLE_N;
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n_max + 1);
+        rows.push(vec![1.0]);
+        for n in 1..=n_max {
+            let prev = &rows[n - 1];
+            let mut row = vec![0.0; n + 1];
+            row[0] = 1.0;
+            row[n] = 1.0;
+            for k in 1..n {
+                row[k] = prev[k - 1] + prev[k];
+            }
+            rows.push(row);
+        }
+        rows
+    })
+}
+
+/// `C(n, k)` as an `f64` (exact for the magnitudes used here). Backed by a
+/// precomputed Pascal triangle for `n ≤ 128` (the exact enumerator asks
+/// for binomials once per `(n, k)` query but closed-form sweeps ask per
+/// point); larger `n` falls back to the multiplicative product.
 pub fn binomial(n: u64, k: u64) -> f64 {
     if k > n {
         return 0.0;
+    }
+    if n as usize <= BINOMIAL_TABLE_N {
+        return binomial_table()[n as usize][k as usize];
     }
     let k = k.min(n - k);
     let mut acc = 1.0f64;
@@ -72,9 +124,81 @@ pub fn ring_m2_probability(n: usize, k: usize) -> f64 {
     good / binomial(n as u64, k as u64)
 }
 
+/// The fatal-set masks of a placement strategy: a failure bitmask is fatal
+/// iff it covers one of these `u128` masks. Precomputed once and reused
+/// across every enumerated subset / Monte-Carlo trial, replacing the
+/// per-trial `BTreeSet` set-cover test.
+///
+/// Construction minimizes the family: duplicate host-sets collapse and any
+/// set that is a superset of another is dropped (covering the superset
+/// implies covering the subset, so it can never *add* a fatality).
+#[derive(Clone, Debug)]
+pub struct FatalSets {
+    masks: Vec<u128>,
+    machines: usize,
+    min_size: u32,
+}
+
+impl FatalSets {
+    /// Builds fatal-set masks from explicit host-sets over `n ≤ 128`
+    /// machines; `None` beyond the bitmask width.
+    pub fn from_host_sets(host_sets: &[Vec<usize>], n: usize) -> Option<FatalSets> {
+        if n > 128 {
+            return None;
+        }
+        let mut masks: Vec<u128> = host_sets
+            .iter()
+            .map(|hosts| hosts.iter().fold(0u128, |acc, &h| acc | (1 << h)))
+            .collect();
+        masks.sort_unstable();
+        masks.dedup();
+        // Drop supersets of other sets (minimal family only).
+        let minimal: Vec<u128> = masks
+            .iter()
+            .copied()
+            .filter(|&m| !masks.iter().any(|&other| other != m && other & m == other))
+            .collect();
+        let min_size = minimal.iter().map(|m| m.count_ones()).min().unwrap_or(0);
+        Some(FatalSets {
+            masks: minimal,
+            machines: n,
+            min_size,
+        })
+    }
+
+    /// Builds the fatal-set masks of `placement` (`None` when it has more
+    /// than 128 machines).
+    pub fn from_placement(placement: &Placement) -> Option<FatalSets> {
+        Self::from_host_sets(&placement.unique_host_sets(), placement.machines())
+    }
+
+    /// Whether the failure bitmask is survivable: no replica host-set is
+    /// fully contained in `failed`.
+    #[inline]
+    pub fn recoverable(&self, failed: u128) -> bool {
+        !self.masks.iter().any(|&s| s & failed == s)
+    }
+
+    /// Number of machines the masks are defined over.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// The minimal fatal-set cardinality: any failure of fewer machines is
+    /// recoverable outright — the early fatal-prune of the enumerator.
+    pub fn min_fatal_size(&self) -> u32 {
+        self.min_size
+    }
+
+    /// The minimal fatal masks (sorted, deduplicated, superset-free).
+    pub fn masks(&self) -> &[u128] {
+        &self.masks
+    }
+}
+
 /// Exact recovery probability by enumerating every `C(N, k)` failure set.
 /// Returns `None` when `N > 128` (bitmask width) or the subset count
-/// exceeds `10^7`.
+/// exceeds [`EXACT_ENUMERATION_CAP`].
 pub fn exact_recovery_probability(placement: &Placement, k: usize) -> Option<f64> {
     let sets: Vec<Vec<usize>> = placement.unique_host_sets();
     host_sets_recovery_probability(&sets, placement.machines(), k)
@@ -86,53 +210,130 @@ pub fn exact_recovery_probability(placement: &Placement, k: usize) -> Option<f64
 /// random strategies (any assignment of `m` hosts per machine, own machine
 /// included) are priced with the same enumerator and compared against
 /// [`theorem1_upper_bound`].
+///
+/// Enumeration is iterative (Gosper's hack over `u128` masks) rather than
+/// the old recursive `C(N, k)` walk, with the fatal-set family minimized
+/// up front and an early prune when `k` is below the smallest fatal set.
 pub fn host_sets_recovery_probability(host_sets: &[Vec<usize>], n: usize, k: usize) -> Option<f64> {
     if n > 128 || k > n {
         return None;
     }
-    if binomial(n as u64, k as u64) > 1e7 {
+    let total = binomial(n as u64, k as u64);
+    if total > EXACT_ENUMERATION_CAP {
         return None;
     }
-    // A failure set is fatal iff it fully covers some replica host-set.
-    let sets: Vec<u128> = host_sets
-        .iter()
-        .map(|hosts| hosts.iter().fold(0u128, |acc, &h| acc | (1 << h)))
-        .collect();
-    let mut total: u64 = 0;
+    let fatal = FatalSets::from_host_sets(host_sets, n)?;
+    // Early fatal-prune: fewer losses than the smallest replica set can
+    // never cover one — every subset is recoverable, skip the walk.
+    if (k as u32) < fatal.min_fatal_size() || k == 0 {
+        return Some(1.0);
+    }
+    let total_subsets = total as u64; // exact: capped well below 2^53
     let mut good: u64 = 0;
-    let mut chosen = vec![0usize; k];
-    enumerate_subsets(n, k, 0, 0, &mut chosen, &mut |mask: u128| {
-        total += 1;
-        if !sets.iter().any(|&s| s & mask == s) {
+    let mut remaining = total_subsets;
+    // First k-subset in Gosper order: the lowest k bits.
+    let mut v: u128 = if k == 128 {
+        u128::MAX
+    } else {
+        (1u128 << k) - 1
+    };
+    loop {
+        if fatal.recoverable(v) {
             good += 1;
         }
-    });
-    Some(good as f64 / total.max(1) as f64)
+        remaining -= 1;
+        if remaining == 0 {
+            break;
+        }
+        v = gosper_next(v);
+    }
+    Some(good as f64 / total_subsets.max(1) as f64)
 }
 
-fn enumerate_subsets(
-    n: usize,
-    k: usize,
-    depth: usize,
-    mask: u128,
-    chosen: &mut [usize],
-    visit: &mut impl FnMut(u128),
-) {
-    if depth == k {
-        visit(mask);
-        return;
-    }
-    let start = if depth == 0 { 0 } else { chosen[depth - 1] + 1 };
-    // Leave room for the remaining k - depth - 1 picks.
-    for i in start..=n - (k - depth) {
-        chosen[depth] = i;
-        enumerate_subsets(n, k, depth + 1, mask | (1 << i), chosen, visit);
-    }
+/// The next `k`-subset mask in Gosper's-hack order. Wrapping arithmetic:
+/// the caller never advances past the final subset of `0..n`, but the
+/// intermediate `v + c` may carry out of the top bit when `n = 128`.
+#[inline]
+fn gosper_next(v: u128) -> u128 {
+    let c = v & v.wrapping_neg();
+    let r = v.wrapping_add(c);
+    r | (((v ^ r) >> 2) / c)
 }
 
 /// Monte Carlo estimate of the recovery probability with `k` simultaneous
-/// uniform-random machine losses.
+/// uniform-random machine losses. Serial entry point — identical to
+/// [`monte_carlo_recovery_probability_jobs`] with `jobs = 1` (which is in
+/// turn bit-identical at any job count).
 pub fn monte_carlo_recovery_probability(
+    placement: &Placement,
+    k: usize,
+    trials: u32,
+    rng: &mut DetRng,
+) -> f64 {
+    monte_carlo_recovery_probability_jobs(placement, k, trials, rng, 1)
+}
+
+/// Sharded Monte Carlo estimate: `trials` are split into fixed-size shards
+/// ([`MC_SHARD_TRIALS`]), each shard forks an independent child stream
+/// from its shard index, and shard tallies merge by index — so the result
+/// is bit-identical for every `jobs` value.
+///
+/// For `N ≤ 128` the trial loop runs entirely on `u128` bitmasks
+/// ([`DetRng::sample_mask`] + [`FatalSets::recoverable`]): **zero heap
+/// allocations per trial** (the historical kernel built a `Vec` and a
+/// `BTreeSet` per trial). Larger clusters fall back to Floyd sampling into
+/// one reused scratch vector per shard.
+pub fn monte_carlo_recovery_probability_jobs(
+    placement: &Placement,
+    k: usize,
+    trials: u32,
+    rng: &mut DetRng,
+    jobs: usize,
+) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let n = placement.machines();
+    // Consume one draw so repeated calls on the same stream see fresh
+    // trials, then derive per-shard streams purely from (salt, shard id).
+    let salt = rng.next_u64();
+    let root = DetRng::new(salt);
+    let shards = shard_ranges(trials as usize, MC_SHARD_TRIALS);
+    let fatal = FatalSets::from_placement(placement);
+    let tallies: Vec<u64> = par_map(jobs, shards.len(), |s| {
+        let (start, end) = shards[s];
+        let mut srng = root.fork_index(s as u64);
+        let mut good = 0u64;
+        match &fatal {
+            Some(fatal) => {
+                // Fast path (N ≤ 128): mask sampling + mask cover test;
+                // no allocation inside this loop.
+                for _ in start..end {
+                    if fatal.recoverable(srng.sample_mask(n, k)) {
+                        good += 1;
+                    }
+                }
+            }
+            None => {
+                let mut scratch: Vec<usize> = Vec::with_capacity(k);
+                for _ in start..end {
+                    srng.sample_distinct_into(n, k, &mut scratch);
+                    if placement.recoverable_sorted(&scratch) {
+                        good += 1;
+                    }
+                }
+            }
+        }
+        good
+    });
+    let good: u64 = tallies.iter().sum();
+    good as f64 / (trials.max(1) as u64) as f64
+}
+
+/// The historical per-trial `Vec` + `BTreeSet` Monte-Carlo kernel, kept as
+/// the reference implementation for the `probability` criterion bench
+/// (bitmask-vs-BTreeSet throughput) and the statistical cross-check test.
+pub fn monte_carlo_recovery_probability_reference(
     placement: &Placement,
     k: usize,
     trials: u32,
@@ -162,6 +363,30 @@ mod tests {
         assert_eq!(binomial(16, 0), 1.0);
         assert_eq!(binomial(4, 5), 0.0);
         assert!((binomial(128, 3) - 341_376.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binomial_table_matches_multiplicative_product() {
+        // The Pascal LUT and the multiplicative fallback agree everywhere
+        // both are exact, and the LUT is exact where f64 integers are.
+        for n in [5u64, 16, 33, 50] {
+            for k in 0..=n {
+                let mut acc = 1.0f64;
+                let kk = k.min(n - k);
+                for i in 0..kk {
+                    acc = acc * (n - i) as f64 / (i + 1) as f64;
+                }
+                let lut = binomial(n, k);
+                assert!(
+                    (lut - acc).abs() <= acc * 1e-12,
+                    "C({n},{k}): lut {lut} vs product {acc}"
+                );
+            }
+        }
+        assert_eq!(binomial(20, 10), 184_756.0);
+        assert_eq!(binomial(50, 25), 126_410_606_437_752.0);
+        // And the > 128 fallback still works (Fig. 15b's N = 1000).
+        assert!((binomial(1000, 2) - 499_500.0).abs() < 1e-6);
     }
 
     #[test]
@@ -280,6 +505,53 @@ mod tests {
     }
 
     #[test]
+    fn fatal_sets_are_minimal_and_prune() {
+        // Duplicates collapse, supersets drop.
+        let sets = vec![vec![0, 1], vec![0, 1], vec![0, 1, 2], vec![3, 4, 5]];
+        let fatal = FatalSets::from_host_sets(&sets, 8).unwrap();
+        assert_eq!(fatal.masks().len(), 2);
+        assert_eq!(fatal.min_fatal_size(), 2);
+        assert!(fatal.recoverable(0b0000_0001)); // {0} alone survives
+        assert!(!fatal.recoverable(0b0000_0011)); // {0,1} is fatal
+        assert!(!fatal.recoverable(0b0011_1011)); // superset of {3,4,5}
+        assert!(fatal.recoverable(0b0001_1100)); // {2,3,4}: covers nothing
+                                                 // Beyond the mask width: None.
+        assert!(FatalSets::from_host_sets(&sets, 129).is_none());
+    }
+
+    #[test]
+    fn early_prune_short_circuits_below_min_fatal_size() {
+        // k = 1 < m = 2: certain recovery without walking C(64, 1).
+        let p = Placement::mixed(64, 2).unwrap();
+        assert_eq!(exact_recovery_probability(&p, 1), Some(1.0));
+    }
+
+    #[test]
+    fn gosper_walk_visits_every_subset_once() {
+        // Count subsets of C(10, 3) by brute force against the walk.
+        let sets = vec![vec![0usize, 1]];
+        let p = host_sets_recovery_probability(&sets, 10, 3).unwrap();
+        // Fatal: subsets containing both 0 and 1 → C(8,1) = 8 of C(10,3)=120.
+        assert!((p - (1.0 - 8.0 / 120.0)).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn raised_cap_admits_beyond_the_old_1e7_limit() {
+        // The cap admits ≥ 1e8-subset enumerations (the criterion bench
+        // times C(50, 7) ≈ 9.99e7); the unit test walks C(40, 7) ≈ 1.86e7
+        // — already beyond the old 1e7 bail-out — to stay debug-friendly.
+        assert!(EXACT_ENUMERATION_CAP >= 1e8);
+        assert!(binomial(50, 7) > 9.9e7 && binomial(50, 7) < EXACT_ENUMERATION_CAP);
+        assert!(binomial(40, 7) > 1.8e7);
+        let p = Placement::group(40, 2).unwrap();
+        let exact = exact_recovery_probability(&p, 7).unwrap();
+        let analytic_floor = corollary1_probability(40, 2, 7);
+        // Corollary 1 is a lower bound for k ≥ 2m.
+        assert!(exact >= analytic_floor - 1e-12);
+        assert!(exact < 1.0);
+    }
+
+    #[test]
     fn monte_carlo_agrees_with_exact() {
         let p = Placement::mixed(16, 2).unwrap();
         let exact = exact_recovery_probability(&p, 3).unwrap();
@@ -289,8 +561,45 @@ mod tests {
     }
 
     #[test]
+    fn monte_carlo_reference_kernel_agrees_with_bitmask_kernel() {
+        let p = Placement::mixed(16, 2).unwrap();
+        let exact = exact_recovery_probability(&p, 3).unwrap();
+        let mut rng = DetRng::new(7);
+        let reference = monte_carlo_recovery_probability_reference(&p, 3, 40_000, &mut rng);
+        let mut rng = DetRng::new(7);
+        let bitmask = monte_carlo_recovery_probability(&p, 3, 40_000, &mut rng);
+        assert!((reference - exact).abs() < 0.012, "ref {reference:.4}");
+        assert!((bitmask - exact).abs() < 0.012, "mask {bitmask:.4}");
+    }
+
+    #[test]
+    fn monte_carlo_is_bit_identical_across_job_counts() {
+        let p = Placement::mixed(48, 2).unwrap();
+        let serial = {
+            let mut rng = DetRng::new(5);
+            monte_carlo_recovery_probability_jobs(&p, 3, 30_000, &mut rng, 1)
+        };
+        for jobs in [2, 4, 8] {
+            let mut rng = DetRng::new(5);
+            let par = monte_carlo_recovery_probability_jobs(&p, 3, 30_000, &mut rng, jobs);
+            assert_eq!(serial.to_bits(), par.to_bits(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_repeat_calls_on_one_stream_differ() {
+        // The estimator consumes from the caller's stream, so back-to-back
+        // calls see fresh trials (matching the historical behaviour).
+        let p = Placement::mixed(16, 2).unwrap();
+        let mut rng = DetRng::new(3);
+        let a = monte_carlo_recovery_probability(&p, 2, 5_000, &mut rng);
+        let b = monte_carlo_recovery_probability(&p, 2, 5_000, &mut rng);
+        assert_ne!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
     fn monte_carlo_handles_big_clusters() {
-        // Fig. 15b scale: 1000 instances.
+        // Fig. 15b scale: 1000 instances (the > 128 scratch-vector path).
         let p = Placement::mixed(1000, 2).unwrap();
         let mut rng = DetRng::new(7);
         let mc = monte_carlo_recovery_probability(&p, 2, 20_000, &mut rng);
@@ -301,7 +610,7 @@ mod tests {
     #[test]
     fn enumeration_bails_out_gracefully() {
         let p = Placement::mixed(64, 2).unwrap();
-        // C(64, 8) ≈ 4.4e9 > 1e7 → None.
+        // C(64, 8) ≈ 4.4e9 > the raised cap → None.
         assert!(exact_recovery_probability(&p, 8).is_none());
         assert!(exact_recovery_probability(&p, 2).is_some());
     }

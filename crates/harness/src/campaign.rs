@@ -145,6 +145,37 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, GeminiErr
     run_campaign_with(config, &TelemetrySink::disabled())
 }
 
+/// Runs a batch of campaigns through the deterministic pool, returning
+/// results in the order of `configs`.
+///
+/// Each campaign's randomness derives purely from its own
+/// [`CampaignConfig::seed`] (`DetRng::new(seed).fork("campaign")`), never
+/// from scheduling, and results merge by task index — so the returned
+/// vector is bit-identical at every `jobs` value. On error, the error of
+/// the lowest-index failing config is returned (again independent of
+/// scheduling).
+pub fn run_campaigns(
+    configs: &[CampaignConfig],
+    jobs: usize,
+) -> Result<Vec<CampaignResult>, GeminiError> {
+    crate::par::try_par_map(jobs, configs.len(), |i| run_campaign(&configs[i]))
+}
+
+/// Builds the seeds × failure-rates × solutions cross-product of Fig. 15a
+/// campaign configs, in lexicographic (seed-major) order. Feed the result
+/// to [`run_campaigns`] for a deterministic parallel sweep.
+pub fn campaign_grid(seeds: &[u64], rates: &[f64], solutions: &[Solution]) -> Vec<CampaignConfig> {
+    let mut out = Vec::with_capacity(seeds.len() * rates.len() * solutions.len());
+    for &seed in seeds {
+        for &rate in rates {
+            for &sol in solutions {
+                out.push(CampaignConfig::fig15(sol, rate, seed));
+            }
+        }
+    }
+    out
+}
+
 /// Runs one campaign, recording per-solution metrics through `sink`:
 /// `campaign.failures{solution=…}`, a `campaign.rollback_us` histogram per
 /// injected failure, and the headline `campaign.effective_ratio` gauge.
@@ -405,6 +436,26 @@ mod tests {
             )),
             Some(r.effective_ratio)
         );
+    }
+
+    #[test]
+    fn batched_campaigns_match_serial_at_any_job_count() {
+        let grid = campaign_grid(
+            &[3, 9],
+            &[0.0, 4.0],
+            &[Solution::Gemini, Solution::HighFreq],
+        );
+        assert_eq!(grid.len(), 8);
+        let serial = run_campaigns(&grid, 1).unwrap();
+        for jobs in [2, 4, 8] {
+            let par = run_campaigns(&grid, jobs).unwrap();
+            assert_eq!(serial.len(), par.len());
+            for (s, p) in serial.iter().zip(par.iter()) {
+                assert_eq!(s.effective_ratio.to_bits(), p.effective_ratio.to_bits());
+                assert_eq!(s.failures, p.failures);
+                assert_eq!(s.iterations, p.iterations);
+            }
+        }
     }
 
     #[test]

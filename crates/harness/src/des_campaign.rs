@@ -168,6 +168,20 @@ impl Model for CampaignModel {
     }
 }
 
+/// Runs a batch of event-driven campaigns through the deterministic pool,
+/// returning results in the order of `configs`.
+///
+/// Each campaign's engine seeds purely from its own
+/// [`DesCampaignConfig::seed`], so results are independent of scheduling
+/// and bit-identical at every `jobs` value; on error, the lowest-index
+/// failure wins.
+pub fn run_des_sweep(
+    configs: &[DesCampaignConfig],
+    jobs: usize,
+) -> Result<Vec<DesCampaignResult>, GeminiError> {
+    crate::par::try_par_map(jobs, configs.len(), |i| run_des_campaign(&configs[i]))
+}
+
 /// Runs the event-driven campaign.
 pub fn run_des_campaign(config: &DesCampaignConfig) -> Result<DesCampaignResult, GeminiError> {
     let sys = config.scenario.build_system(config.seed)?;
@@ -309,6 +323,23 @@ mod tests {
         // With hardware_fraction = 1.0 every recovery-starting failure is
         // hardware.
         assert_eq!(r.hardware_failures, r.failures - r.absorbed_failures);
+    }
+
+    #[test]
+    fn des_sweep_is_bit_identical_across_job_counts() {
+        let configs: Vec<DesCampaignConfig> = [(2.0, 11), (8.0, 11), (4.0, 9), (0.0, 1)]
+            .iter()
+            .map(|&(per_day, seed)| DesCampaignConfig::software_only(per_day, seed))
+            .collect();
+        let serial = run_des_sweep(&configs, 1).unwrap();
+        for jobs in [2, 4] {
+            let par = run_des_sweep(&configs, jobs).unwrap();
+            for (s, p) in serial.iter().zip(par.iter()) {
+                assert_eq!(s.effective_ratio.to_bits(), p.effective_ratio.to_bits());
+                assert_eq!(s.iterations, p.iterations);
+                assert_eq!(s.failures, p.failures);
+            }
+        }
     }
 
     #[test]

@@ -33,15 +33,60 @@ pub mod tables;
 pub mod throughput;
 pub mod wasted;
 
+use crate::par;
 use crate::report::Table;
 use gemini_telemetry::TelemetrySink;
 
+/// The full artifact list in paper order (tables first, then figures).
+///
+/// Each entry is an independent regenerator `fn(fast) -> Table`; the table
+/// drives both the serial and the parallel render paths, so the two produce
+/// the artifacts in exactly the same order. Every regenerator is a pure
+/// function of `fast` (stochastic sweeps fork their own labelled
+/// [`gemini_sim::rng::DetRng`] streams), which is what makes index-merged
+/// parallel rendering byte-identical to the serial loop.
+const ARTIFACTS: &[fn(bool) -> Table] = &[
+    |_| tables::table1_table(),
+    |_| tables::table2_table(),
+    |_| wasted::fig1_table(),
+    |_| recovery::fig6_table(),
+    |_| throughput::fig7_table(),
+    |_| throughput::fig8_table(),
+    |_| placement::fig9_table(),
+    |_| wasted::fig10_table(),
+    |_| wasted::fig11_table(),
+    |_| wasted::fig12_table(),
+    |_| throughput::fig13_table(),
+    |_| recovery::fig14_table(),
+    |fast| scale::fig15a_table(fast),
+    |fast| scale::fig15b_table(fast),
+    |_| interleave::fig16_table(),
+    |_| ablations::replicas_table(),
+    |_| ablations::gamma_table(),
+    |_| ablations::sub_buffers_table(),
+    |_| ablations::standby_table(),
+    |_| ablations::rack_table(),
+    |_| summary::summary_table(),
+];
+
 /// [`render_all`], additionally accounting each regenerated artifact into
-/// `sink` (`harness.artifacts_rendered` / `harness.artifact_rows`
-/// counters), so figure regeneration shows up in metrics exports.
+/// `sink` (`harness.artifacts_rendered` / `harness.artifact_rows` counters
+/// plus the deterministic `parallel.tasks` counter), so figure regeneration
+/// shows up in metrics exports. Uses the process-default job count
+/// ([`gemini_parallel::default_jobs`], i.e. `--jobs` / `GEMINI_JOBS`).
 pub fn render_all_with(fast: bool, sink: &TelemetrySink) -> Vec<Table> {
-    let tables = render_all(fast);
+    render_all_with_jobs(fast, par::default_jobs(), sink)
+}
+
+/// [`render_all_jobs`] with telemetry accounting. The counters are recorded
+/// from the index-merged result vector *after* the parallel region, in
+/// artifact order — so metrics exports are byte-identical at every `jobs`
+/// value (only deterministic pool stats are recorded; see
+/// [`par::record_stats`]).
+pub fn render_all_with_jobs(fast: bool, jobs: usize, sink: &TelemetrySink) -> Vec<Table> {
+    let (tables, stats) = par::par_map_stats(jobs, ARTIFACTS.len(), |i| ARTIFACTS[i](fast));
     if sink.is_enabled() {
+        par::record_stats(sink, &stats);
         for t in &tables {
             sink.counter_add("harness.artifacts_rendered", 1);
             sink.counter_add("harness.artifact_rows", t.rows.len() as u64);
@@ -52,30 +97,25 @@ pub fn render_all_with(fast: bool, sink: &TelemetrySink) -> Vec<Table> {
 
 /// Renders every artifact (tables first, then figures in paper order).
 /// `fast` shrinks the stochastic sweeps so the suite stays test-friendly.
+/// Runs at the process-default job count (serial unless `--jobs` /
+/// `GEMINI_JOBS` raised it); output is byte-identical at any job count.
 pub fn render_all(fast: bool) -> Vec<Table> {
-    vec![
-        tables::table1_table(),
-        tables::table2_table(),
-        wasted::fig1_table(),
-        recovery::fig6_table(),
-        throughput::fig7_table(),
-        throughput::fig8_table(),
-        placement::fig9_table(),
-        wasted::fig10_table(),
-        wasted::fig11_table(),
-        wasted::fig12_table(),
-        throughput::fig13_table(),
-        recovery::fig14_table(),
-        scale::fig15a_table(fast),
-        scale::fig15b_table(fast),
-        interleave::fig16_table(),
-        ablations::replicas_table(),
-        ablations::gamma_table(),
-        ablations::sub_buffers_table(),
-        ablations::standby_table(),
-        ablations::rack_table(),
-        summary::summary_table(),
-    ]
+    render_all_jobs(fast, par::default_jobs())
+}
+
+/// [`render_all`] at an explicit job count. Artifacts are regenerated as an
+/// indexed task set and merged by index, so the returned vector (and hence
+/// all markdown/CSV/JSON derived from it) is byte-identical to the `jobs=1`
+/// serial loop.
+pub fn render_all_jobs(fast: bool, jobs: usize) -> Vec<Table> {
+    par::par_map(jobs, ARTIFACTS.len(), |i| ARTIFACTS[i](fast))
+}
+
+/// [`render_all_jobs`], also returning the pool statistics (task count plus
+/// wall/busy timings) for perf reporting — the `perf` binary feeds these to
+/// [`par::record_stats_timing`] when building `BENCH_harness.json`.
+pub fn render_all_stats(fast: bool, jobs: usize) -> (Vec<Table>, par::ParStats) {
+    par::par_map_stats(jobs, ARTIFACTS.len(), |i| ARTIFACTS[i](fast))
 }
 
 #[cfg(test)]
@@ -85,11 +125,43 @@ mod tests {
     #[test]
     fn everything_renders() {
         let tables = render_all(true);
+        assert_eq!(tables.len(), ARTIFACTS.len());
         assert_eq!(tables.len(), 21);
         for t in &tables {
             assert!(!t.rows.is_empty(), "{} is empty", t.title);
             let md = t.to_markdown();
             assert!(md.contains("|"), "{} markdown broken", t.title);
         }
+    }
+
+    #[test]
+    fn parallel_render_matches_serial() {
+        let serial = render_all_jobs(true, 1);
+        let parallel = render_all_jobs(true, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.title, p.title);
+            assert_eq!(s.to_markdown(), p.to_markdown(), "{} diverged", s.title);
+        }
+    }
+
+    #[test]
+    fn telemetry_render_counts_tasks_deterministically() {
+        let sink = TelemetrySink::enabled();
+        let tables = render_all_with_jobs(true, 3, &sink);
+        let snap = sink.metrics_snapshot();
+        assert_eq!(
+            snap.counter(gemini_telemetry::Key::plain("harness.artifacts_rendered")),
+            tables.len() as u64
+        );
+        assert_eq!(
+            snap.counter(gemini_telemetry::Key::plain("parallel.tasks")),
+            tables.len() as u64
+        );
+        // The wall-clock gauges must NOT be present on this path.
+        assert_eq!(
+            snap.gauge(gemini_telemetry::Key::plain("parallel.speedup")),
+            None
+        );
     }
 }

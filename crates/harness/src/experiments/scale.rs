@@ -1,6 +1,7 @@
 //! Figure 15: scalability to frequent failures and large clusters.
 
 use crate::campaign::{run_campaign, CampaignConfig, Solution};
+use crate::par;
 use crate::report::Table;
 
 /// One x-position of Fig. 15a or 15b.
@@ -18,22 +19,39 @@ pub struct ScaleRow {
     pub highfreq: f64,
 }
 
-fn sweep(xs: &[f64], mk: impl Fn(Solution, f64) -> CampaignConfig) -> Vec<ScaleRow> {
+/// The four solutions in a fixed sweep order (column order of Fig. 15).
+const SOLUTIONS: [Solution; 4] = [
+    Solution::NoFailure,
+    Solution::Gemini,
+    Solution::Strawman,
+    Solution::HighFreq,
+];
+
+/// Runs the xs × solutions campaign grid through the deterministic pool.
+///
+/// The grid is flattened to an indexed task set (`task t` → `x = xs[t / 4]`,
+/// `solution = SOLUTIONS[t % 4]`); each campaign derives its randomness from
+/// its own config (seeded per x), never from scheduling, and results merge
+/// by index — so the rows are byte-identical at every job count.
+fn sweep(xs: &[f64], mk: impl Fn(Solution, f64) -> CampaignConfig + Sync) -> Vec<ScaleRow> {
+    let ratios = par::par_map(par::default_jobs(), xs.len() * SOLUTIONS.len(), |t| {
+        let x = xs[t / SOLUTIONS.len()];
+        let sol = SOLUTIONS[t % SOLUTIONS.len()];
+        run_campaign(&mk(sol, x))
+            .expect("campaign runs")
+            .effective_ratio
+    });
     xs.iter()
-        .map(|&x| ScaleRow {
-            x,
-            no_failure: run_campaign(&mk(Solution::NoFailure, x))
-                .expect("campaign runs")
-                .effective_ratio,
-            gemini: run_campaign(&mk(Solution::Gemini, x))
-                .expect("campaign runs")
-                .effective_ratio,
-            strawman: run_campaign(&mk(Solution::Strawman, x))
-                .expect("campaign runs")
-                .effective_ratio,
-            highfreq: run_campaign(&mk(Solution::HighFreq, x))
-                .expect("campaign runs")
-                .effective_ratio,
+        .enumerate()
+        .map(|(i, &x)| {
+            let base = i * SOLUTIONS.len();
+            ScaleRow {
+                x,
+                no_failure: ratios[base],
+                gemini: ratios[base + 1],
+                strawman: ratios[base + 2],
+                highfreq: ratios[base + 3],
+            }
         })
         .collect()
 }

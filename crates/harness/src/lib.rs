@@ -13,6 +13,8 @@
 //!   `recover`) over the whole system, carrying real checkpoint bytes.
 //! * [`experiments`] — one function per table/figure returning structured
 //!   rows, plus markdown rendering.
+//! * [`par`] — deterministic parallel execution glue (`--jobs`): re-exports
+//!   the [`gemini_parallel`] pool and records the `parallel.*` metrics.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,13 +23,17 @@ pub mod campaign;
 pub mod des_campaign;
 pub mod drill;
 pub mod experiments;
+pub mod par;
 pub mod replay;
 pub mod report;
 pub mod runtime;
 pub mod scenario;
 
-pub use campaign::{run_campaign, run_campaign_with, CampaignConfig, CampaignResult, Solution};
-pub use des_campaign::{run_des_campaign, DesCampaignConfig, DesCampaignResult};
+pub use campaign::{
+    campaign_grid, run_campaign, run_campaign_with, run_campaigns, CampaignConfig, CampaignResult,
+    Solution,
+};
+pub use des_campaign::{run_des_campaign, run_des_sweep, DesCampaignConfig, DesCampaignResult};
 pub use drill::{run_drill, run_drill_with, DrillConfig, DrillReport};
 pub use replay::{replay_schedule, ReplayReport};
 pub use runtime::{GeminiRuntime, RecoveryReport};

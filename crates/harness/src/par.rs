@@ -1,0 +1,108 @@
+//! Harness-side glue for the deterministic parallel executor
+//! ([`gemini_parallel`]): job-count resolution plus telemetry recording of
+//! the `parallel.*` metric family.
+//!
+//! # Determinism contract
+//!
+//! Everything the harness parallelizes (figure regeneration, campaign
+//! sweeps, Monte-Carlo shards, DES sweeps) is expressed as an indexed task
+//! set whose per-task results depend only on the task index and the
+//! caller's configuration — never on scheduling. Results merge by index,
+//! so markdown/CSV/JSON artifacts and telemetry exports are byte-identical
+//! across `--jobs` counts. See `docs/PERFORMANCE.md`.
+//!
+//! # Telemetry split
+//!
+//! * [`record_stats`] records only the **deterministic** part of the pool
+//!   statistics (`parallel.tasks`, a counter): safe for exports that are
+//!   compared byte-for-byte across runs and job counts.
+//! * [`record_stats_timing`] additionally records the **wall-clock** part
+//!   (`parallel.jobs`, `parallel.speedup`, `parallel.wall_us` gauges).
+//!   Only perf-reporting paths (the `perf` bin behind `BENCH_harness.json`)
+//!   opt into it, precisely because wall-clock is not deterministic.
+
+pub use gemini_parallel::{
+    default_jobs, par_map, par_map_stats, resolve_jobs, set_default_jobs, shard_ranges,
+    try_par_map, ParStats,
+};
+
+use gemini_telemetry::TelemetrySink;
+
+/// Records the deterministic pool statistics: `parallel.tasks` (counter,
+/// total tasks executed through the pool). Identical at every `--jobs`
+/// value, so byte-compared exports stay stable.
+pub fn record_stats(sink: &TelemetrySink, stats: &ParStats) {
+    if sink.is_enabled() {
+        sink.counter_add("parallel.tasks", stats.tasks as u64);
+    }
+}
+
+/// Records the full pool statistics, including wall-clock-derived gauges
+/// (`parallel.jobs`, `parallel.speedup`, `parallel.wall_us`,
+/// `parallel.busy_us`). **Not** byte-stable across runs — reserved for
+/// perf-trajectory reporting, never for determinism-compared exports.
+pub fn record_stats_timing(sink: &TelemetrySink, stats: &ParStats) {
+    record_stats(sink, stats);
+    if sink.is_enabled() {
+        sink.gauge_set("parallel.jobs", || stats.jobs as f64);
+        sink.gauge_set("parallel.speedup", || stats.speedup());
+        sink.gauge_set("parallel.wall_us", || stats.wall.as_secs_f64() * 1e6);
+        sink.gauge_set("parallel.busy_us", || stats.busy.as_secs_f64() * 1e6);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn stats() -> ParStats {
+        ParStats {
+            tasks: 21,
+            jobs: 4,
+            wall: Duration::from_micros(500),
+            busy: Duration::from_micros(1500),
+        }
+    }
+
+    #[test]
+    fn deterministic_recording_only_touches_counters() {
+        let sink = TelemetrySink::enabled();
+        record_stats(&sink, &stats());
+        let snap = sink.metrics_snapshot();
+        assert_eq!(
+            snap.counter(gemini_telemetry::Key::plain("parallel.tasks")),
+            21
+        );
+        assert_eq!(
+            snap.gauge(gemini_telemetry::Key::plain("parallel.jobs")),
+            None
+        );
+    }
+
+    #[test]
+    fn timing_recording_adds_wall_clock_gauges() {
+        let sink = TelemetrySink::enabled();
+        record_stats_timing(&sink, &stats());
+        let snap = sink.metrics_snapshot();
+        assert_eq!(
+            snap.counter(gemini_telemetry::Key::plain("parallel.tasks")),
+            21
+        );
+        assert_eq!(
+            snap.gauge(gemini_telemetry::Key::plain("parallel.jobs")),
+            Some(4.0)
+        );
+        let speedup = snap
+            .gauge(gemini_telemetry::Key::plain("parallel.speedup"))
+            .unwrap();
+        assert!((speedup - 3.0).abs() < 1e-9, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn disabled_sink_is_free() {
+        let sink = TelemetrySink::disabled();
+        record_stats_timing(&sink, &stats());
+        assert!(!sink.is_enabled());
+    }
+}

@@ -86,23 +86,61 @@ impl DetRng {
     }
 
     /// Samples `k` distinct indices from `0..n` (a uniform random subset),
-    /// returned in ascending order. Clamps `k` to `n`. This is the inner loop
-    /// of the Monte Carlo recovery-probability estimator, so it avoids
-    /// allocating the full `0..n` vector via partial Fisher–Yates on indices.
+    /// returned in ascending order. Clamps `k` to `n`.
+    ///
+    /// Allocates the `k`-element result; the Monte Carlo hot loops use
+    /// [`DetRng::sample_distinct_into`] (caller-provided scratch) or
+    /// [`DetRng::sample_mask`] (a `u128` bitmask, zero allocation) instead.
     pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.sample_distinct_into(n, k, &mut out);
+        out
+    }
+
+    /// [`DetRng::sample_distinct`] into a caller-provided scratch vector —
+    /// allocation-free once the scratch has warmed to capacity `k`.
+    ///
+    /// Uses Floyd's algorithm: for `j` in `n−k .. n`, draw `t ∈ [0, j]`
+    /// and take `t` unless it was already taken, in which case take `j`.
+    /// Exactly `k` uniform draws, each subset equally likely, and no
+    /// lazily-materialized permutation (the previous implementation built a
+    /// `HashMap` swap table per call; the old clamp-`k` path degenerated to
+    /// materializing and sorting the whole range).
+    pub fn sample_distinct_into(&mut self, n: usize, k: usize, out: &mut Vec<usize>) {
         let k = k.min(n);
-        // Partial Fisher–Yates over a lazily-materialized permutation.
-        let mut swaps: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
-        let mut out = Vec::with_capacity(k);
-        for i in 0..k {
-            let j = self.uniform_u64(i as u64, n as u64) as usize;
-            let vi = *swaps.get(&i).unwrap_or(&i);
-            let vj = *swaps.get(&j).unwrap_or(&j);
-            swaps.insert(j, vi);
-            out.push(vj);
+        out.clear();
+        out.reserve(k);
+        for j in (n - k)..n {
+            let t = self.uniform_u64(0, (j + 1) as u64) as usize;
+            if out.contains(&t) {
+                out.push(j);
+            } else {
+                out.push(t);
+            }
         }
         out.sort_unstable();
-        out
+    }
+
+    /// Samples a uniform `k`-subset of `0..n` as a `u128` bitmask
+    /// (requires `n ≤ 128`; clamps `k` to `n`). Zero heap allocation —
+    /// the inner loop of the bitmask Monte Carlo recovery estimator.
+    ///
+    /// Consumes exactly the same draws as [`DetRng::sample_distinct_into`]
+    /// for the same `(n, k)`, so the two select identical subsets from
+    /// identical stream states (a property the sim proptests pin down).
+    pub fn sample_mask(&mut self, n: usize, k: usize) -> u128 {
+        debug_assert!(n <= 128, "sample_mask requires n <= 128, got {n}");
+        let k = k.min(n);
+        let mut mask: u128 = 0;
+        for j in (n - k)..n {
+            let t = self.uniform_u64(0, (j + 1) as u64) as usize;
+            if mask >> t & 1 == 1 {
+                mask |= 1u128 << j;
+            } else {
+                mask |= 1u128 << t;
+            }
+        }
+        mask
     }
 
     /// Shuffles a slice in place (Fisher–Yates).
@@ -241,6 +279,38 @@ mod tests {
                 (c as f64 - expected).abs() < expected * 0.05,
                 "counts={counts:?}"
             );
+        }
+    }
+
+    #[test]
+    fn sample_mask_matches_sample_distinct() {
+        // Same stream state, same (n, k) → same subset, both encodings.
+        for seed in [1u64, 7, 42, 1234] {
+            let mut a = DetRng::new(seed);
+            let mut b = DetRng::new(seed);
+            for (n, k) in [(16, 2), (128, 3), (5, 5), (10, 0), (1, 1)] {
+                let list = a.sample_distinct(n, k);
+                let mask = b.sample_mask(n, k);
+                let from_mask: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+                assert_eq!(list, from_mask, "seed={seed} n={n} k={k}");
+                assert_eq!(mask.count_ones() as usize, k.min(n));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_distinct_into_reuses_scratch() {
+        let mut rng = DetRng::new(23);
+        let mut scratch = Vec::new();
+        rng.sample_distinct_into(100, 10, &mut scratch);
+        let cap = scratch.capacity();
+        for _ in 0..50 {
+            rng.sample_distinct_into(100, 10, &mut scratch);
+            assert_eq!(scratch.len(), 10);
+            assert_eq!(scratch.capacity(), cap, "scratch must not reallocate");
+            for w in scratch.windows(2) {
+                assert!(w[0] < w[1]);
+            }
         }
     }
 

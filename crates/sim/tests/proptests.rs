@@ -172,3 +172,64 @@ proptest! {
         }
     }
 }
+
+// --- Floyd's-algorithm subset sampling (DetRng::sample_distinct family) ---
+
+proptest! {
+    /// Determinism: for any seed and (n, k), re-running from the same
+    /// stream state yields the same subset — including the legacy seeds
+    /// the unit tests use (11, 13, 42).
+    #[test]
+    fn sample_distinct_is_deterministic(seed in 0u64..1_000, n in 1usize..200, k in 0usize..200) {
+        let a = DetRng::new(seed).sample_distinct(n, k);
+        let b = DetRng::new(seed).sample_distinct(n, k);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The three encodings (allocating, scratch, bitmask) select identical
+    /// subsets from identical stream states.
+    #[test]
+    fn sample_encodings_agree(seed in 0u64..1_000, n in 1usize..128, k in 0usize..128) {
+        let list = DetRng::new(seed).sample_distinct(n, k);
+        let mut scratch = vec![999usize; 4];
+        DetRng::new(seed).sample_distinct_into(n, k, &mut scratch);
+        prop_assert_eq!(&list, &scratch);
+        let mask = DetRng::new(seed).sample_mask(n, k);
+        let from_mask: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+        prop_assert_eq!(&list, &from_mask);
+    }
+
+    /// Structural invariants: k·min(n) distinct sorted elements below n.
+    #[test]
+    fn sample_distinct_invariants(seed in 0u64..1_000, n in 1usize..300, k in 0usize..300) {
+        let s = DetRng::new(seed).sample_distinct(n, k);
+        prop_assert_eq!(s.len(), k.min(n));
+        prop_assert!(s.iter().all(|&x| x < n));
+        for w in s.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// Distribution is unchanged by the Floyd rewrite: single-element
+    /// inclusion frequency stays ≈ k/n (uniform subsets), checked with a
+    /// coarse tolerance so the test is seed-robust.
+    #[test]
+    fn sample_distinct_is_uniform_enough(seed in 0u64..50) {
+        let mut rng = DetRng::new(seed.wrapping_mul(0x9e3779b97f4a7c15));
+        let (n, k, trials) = (8usize, 3usize, 4_000usize);
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            let mask = rng.sample_mask(n, k);
+            for (i, c) in counts.iter_mut().enumerate() {
+                if mask >> i & 1 == 1 { *c += 1; }
+            }
+        }
+        let expected = trials as f64 * k as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64 - expected).abs() < expected * 0.12,
+                "index {} count {} vs expected {}", i, c, expected
+            );
+        }
+    }
+}
