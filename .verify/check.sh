@@ -209,6 +209,22 @@ if [ -x "$OUT/bin_figures" ]; then
   fi
 fi
 
+# --------------------------------------------------- chaos campaign smoke ----
+# The chaos bin must run the whole fault-plan catalog green (it exits
+# non-zero on any invariant violation) and produce byte-identical output
+# across reruns and --jobs counts. See docs/CHAOS.md.
+if [ -x "$OUT/bin_chaos" ] && [ "$MODE" != build ]; then
+  note "chaos determinism smoke (catalog, --jobs 2 vs --jobs 1)"
+  if "$OUT/bin_chaos" --jobs 2 > "$OUT/chaos_a.txt" 2>/dev/null \
+    && "$OUT/bin_chaos" --jobs 1 > "$OUT/chaos_b.txt" 2>/dev/null \
+    && cmp -s "$OUT/chaos_a.txt" "$OUT/chaos_b.txt"; then
+    :
+  else
+    echo "FAILED: chaos campaign not green or not jobs-invariant" >&2
+    FAILED=1
+  fi
+fi
+
 if [ "$FAILED" -ne 0 ]; then
   echo "VERIFY: FAILURES PRESENT" >&2
   exit 1

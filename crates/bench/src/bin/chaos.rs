@@ -1,0 +1,119 @@
+//! The chaos campaign runner: seeded fault-injection plans with invariant
+//! checking and byte-stable reports.
+//!
+//! ```text
+//! cargo run -p gemini-bench --bin chaos                     # full catalog x seeds 1,2,3
+//! cargo run -p gemini-bench --bin chaos -- --list           # plan names
+//! cargo run -p gemini-bench --bin chaos -- --plan root_churn --seed 7
+//! cargo run -p gemini-bench --bin chaos -- --seeds 1,2,3,4 --jobs 4
+//! cargo run -p gemini-bench --bin chaos -- --plan kill_mid_checkpoint \
+//!     --seed 1 --trace-out chaos.json --metrics-out chaos.prom
+//! ```
+//!
+//! Stdout is byte-identical across reruns with the same arguments (and
+//! across `--jobs` counts) — the CI chaos smoke diffs two same-seed runs.
+//! The process exits non-zero if any run violates an invariant.
+
+use gemini_bench::TelemetryArgs;
+use gemini_harness::{run_chaos_campaign, run_chaos_with, ChaosPlan};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let (targs, rest) =
+        TelemetryArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| fail(&e));
+    let jobs = targs.install_jobs();
+
+    let mut plan_name: Option<String> = None;
+    let mut seed: u64 = 1;
+    let mut seeds: Vec<u64> = vec![1, 2, 3];
+    let mut single_seed = false;
+    let mut list = false;
+    let mut it = rest.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--plan" => {
+                plan_name =
+                    Some(it.next().unwrap_or_else(|| fail("--plan requires a NAME")));
+            }
+            "--seed" => {
+                let s = it.next().unwrap_or_else(|| fail("--seed requires an N"));
+                seed = s
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--seed expects an integer, got {s:?}")));
+                single_seed = true;
+            }
+            "--seeds" => {
+                let s = it.next().unwrap_or_else(|| fail("--seeds requires a list"));
+                seeds = s
+                    .split(',')
+                    .map(|x| {
+                        x.trim().parse().unwrap_or_else(|_| {
+                            fail(&format!("--seeds expects integers, got {x:?}"))
+                        })
+                    })
+                    .collect();
+            }
+            other => fail(&format!("unknown argument {other:?}; see --list")),
+        }
+    }
+
+    let catalog = ChaosPlan::catalog();
+    if list {
+        for p in &catalog {
+            println!("{}", p.name);
+        }
+        return;
+    }
+
+    let plans: Vec<ChaosPlan> = match &plan_name {
+        Some(name) => {
+            let plan = catalog
+                .iter()
+                .find(|p| &p.name == name)
+                .unwrap_or_else(|| fail(&format!("unknown plan {name:?}; see --list")));
+            vec![plan.clone()]
+        }
+        None => catalog,
+    };
+    if single_seed {
+        seeds = vec![seed];
+    }
+
+    let mut violations = 0usize;
+    if plans.len() == 1 && seeds.len() == 1 {
+        // Single run: record through the (possibly enabled) sink so
+        // --trace-out / --metrics-out capture the whole timeline.
+        let sink = targs.sink();
+        let report = run_chaos_with(&plans[0], seeds[0], sink.clone())
+            .unwrap_or_else(|e| fail(&format!("chaos run failed: {e}")));
+        print!("{}", report.render());
+        violations += report.violations.len();
+        if let Err(e) = targs.write(&sink) {
+            fail(&format!("writing telemetry exports: {e}"));
+        }
+    } else {
+        let reports = run_chaos_campaign(&plans, &seeds, jobs)
+            .unwrap_or_else(|e| fail(&format!("chaos campaign failed: {e}")));
+        for (i, report) in reports.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            print!("{}", report.render());
+            violations += report.violations.len();
+        }
+        eprintln!(
+            "chaos campaign: {} plan(s) x {} seed(s), {} violation(s)",
+            plans.len(),
+            seeds.len(),
+            violations
+        );
+    }
+    if violations > 0 {
+        std::process::exit(2);
+    }
+}

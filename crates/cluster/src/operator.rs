@@ -62,6 +62,10 @@ pub struct CloudOperator {
     /// Times at which requested standby refills arrive.
     refills_pending: Vec<SimTime>,
     replacements_served: u64,
+    requests_denied: u64,
+    /// While set and in the future, the control plane denies requests
+    /// (chaos: API outage / capacity exhaustion window).
+    outage_until: Option<SimTime>,
     telemetry: TelemetrySink,
 }
 
@@ -73,6 +77,8 @@ impl CloudOperator {
             config,
             refills_pending: Vec::new(),
             replacements_served: 0,
+            requests_denied: 0,
+            outage_until: None,
             telemetry: TelemetrySink::disabled(),
         }
     }
@@ -100,6 +106,24 @@ impl CloudOperator {
         self.replacements_served
     }
 
+    /// Total requests denied during outage windows.
+    pub fn requests_denied(&self) -> u64 {
+        self.requests_denied
+    }
+
+    /// Declares a control-plane outage: until `until`, replacement
+    /// requests are denied ([`CloudOperator::try_request_replacement`]
+    /// returns `None`) and callers must retry with backoff. Chaos plans
+    /// use this to model slow/exhausted Auto Scaling Groups.
+    pub fn set_outage_until(&mut self, until: SimTime) {
+        self.outage_until = Some(until);
+    }
+
+    /// Whether the control plane is inside an outage window at `now`.
+    pub fn in_outage(&self, now: SimTime) -> bool {
+        self.outage_until.is_some_and(|t| now < t)
+    }
+
     fn absorb_refills(&mut self, now: SimTime) {
         let before = self.refills_pending.len();
         self.refills_pending.retain(|&t| t > now);
@@ -111,6 +135,27 @@ impl CloudOperator {
     /// ordered immediately, per §6.2); otherwise reserves a fresh machine
     /// from the cloud with a uniformly distributed 4–7 minute delay.
     pub fn request_replacement(&mut self, now: SimTime, rng: &mut DetRng) -> Provision {
+        self.try_request_replacement(now, rng)
+            .expect("request_replacement outside an outage window")
+    }
+
+    /// Like [`CloudOperator::request_replacement`], but fallible: returns
+    /// `None` while the control plane is in a declared outage window, in
+    /// which case the caller should back off and retry (see
+    /// `gemini_kvstore::RetryPolicy`). Prefer this entry point anywhere an
+    /// outage is possible — `request_replacement` keeps the infallible
+    /// contract for legacy callers that never declare outages.
+    pub fn try_request_replacement(
+        &mut self,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> Option<Provision> {
+        if self.in_outage(now) {
+            self.requests_denied += 1;
+            self.telemetry
+                .counter_add("cluster.replacement_denied", 1);
+            return None;
+        }
         self.absorb_refills(now);
         self.replacements_served += 1;
         let provision = if self.standbys_available > 0 {
@@ -145,7 +190,7 @@ impl CloudOperator {
                 provision.ready_at.saturating_since(now).as_nanos() / 1_000
             });
         }
-        provision
+        Some(provision)
     }
 
     fn reserve_delay(&self, rng: &mut DetRng) -> SimDuration {
@@ -196,6 +241,44 @@ mod tests {
         // And usable for the next failure.
         let p2 = op.request_replacement(SimTime::from_mins(9), &mut rng);
         assert!(p2.from_standby);
+    }
+
+    #[test]
+    fn outage_window_denies_then_recovers() {
+        let mut op = CloudOperator::new(OperatorConfig::default());
+        let mut rng = DetRng::new(4);
+        op.set_outage_until(SimTime::from_mins(10));
+        assert!(op.in_outage(SimTime::ZERO));
+        assert!(op
+            .try_request_replacement(SimTime::from_mins(5), &mut rng)
+            .is_none());
+        assert!(op
+            .try_request_replacement(SimTime::from_mins(9), &mut rng)
+            .is_none());
+        assert_eq!(op.requests_denied(), 2);
+        assert_eq!(op.replacements_served(), 0);
+        // Window over: requests succeed again.
+        assert!(!op.in_outage(SimTime::from_mins(10)));
+        let p = op
+            .try_request_replacement(SimTime::from_mins(10), &mut rng)
+            .unwrap();
+        assert!(!p.from_standby);
+        assert_eq!(op.replacements_served(), 1);
+    }
+
+    #[test]
+    fn outage_denies_even_with_standbys() {
+        // An API outage blocks standby activation too (the control plane
+        // brokers both paths) — zero-standby exhaustion plus outage is the
+        // chaos "replacement exhaustion" scenario.
+        let mut op = CloudOperator::new(OperatorConfig::with_standbys(2));
+        let mut rng = DetRng::new(5);
+        op.set_outage_until(SimTime::from_secs(100));
+        assert!(op
+            .try_request_replacement(SimTime::ZERO, &mut rng)
+            .is_none());
+        // The pool is untouched by denied requests.
+        assert_eq!(op.standbys_available(SimTime::from_secs(200)), 2);
     }
 
     #[test]

@@ -37,11 +37,18 @@ impl HealthStatus {
 
     fn decode(s: &str) -> Option<HealthStatus> {
         let mut it = s.split(':');
-        Some(HealthStatus {
+        let status = HealthStatus {
             rank: it.next()?.parse().ok()?,
             machine: it.next()?.parse().ok()?,
             beat: it.next()?.parse().ok()?,
-        })
+        };
+        // Strict: exactly three fields. Trailing garbage ("1:2:3:junk")
+        // means a corrupt or foreign writer — reject rather than silently
+        // truncate.
+        if it.next().is_some() {
+            return None;
+        }
+        Some(status)
     }
 }
 
@@ -77,11 +84,14 @@ impl WorkerAgent {
         format!("{HEALTH_PREFIX}{}", self.rank)
     }
 
-    /// Registers the health key under a fresh TTL lease.
+    /// Registers the health key under a fresh TTL lease. The heartbeat
+    /// sequence number is *not* reset: `beat` is monotonic for the lifetime
+    /// of the agent, so observers can distinguish a re-registered wedged
+    /// worker (beat continues) from a genuinely fresh one (beat restarts
+    /// at 0 only because the agent itself is new).
     pub fn register(&mut self, kv: &mut KvStore, now: SimTime) -> Result<(), KvError> {
         let lease = kv.grant_lease(now, self.config.health_ttl);
         self.lease = Some(lease);
-        self.beat = 0;
         let status = HealthStatus {
             rank: self.rank,
             machine: self.machine,
@@ -107,7 +117,13 @@ impl WorkerAgent {
                 kv.telemetry().counter_add("kv.heartbeats", 1);
                 Ok(())
             }
-            _ => self.register(kv, now),
+            _ => {
+                // Wedged past the TTL: the lease is gone, so re-register —
+                // but this is still a heartbeat, so the monotonic sequence
+                // advances rather than resetting to zero.
+                self.beat += 1;
+                self.register(kv, now)
+            }
         }
     }
 
@@ -131,10 +147,14 @@ impl WorkerAgent {
 /// What the root agent's scan reports.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScanReport {
-    /// Ranks whose health key is present.
+    /// Ranks in `0..n` whose health key is present.
     pub alive: Vec<usize>,
     /// Ranks expected but missing (their lease expired → failed).
     pub missing: Vec<usize>,
+    /// Ranks `>= n` found under the health prefix: stale keys from a
+    /// since-shrunk deployment or a foreign writer. Never treated as
+    /// alive; surfaced so operators can spot the pollution.
+    pub out_of_range: Vec<usize>,
 }
 
 /// The root agent.
@@ -172,7 +192,18 @@ impl RootAgent {
                 Ok(true)
             }
             Campaign::Follower { .. } => {
-                self.lease = None;
+                // Losing the campaign while still holding a live lease
+                // (e.g. the election key was lost in a KV blip but our
+                // lease survived) used to just drop the handle, stranding
+                // the lease in the store until its TTL. Revoke it instead
+                // so the live-lease population stays bounded by the number
+                // of current leaders.
+                if let Some(lease) = self.lease.take() {
+                    if kv.lease_alive(now, lease) {
+                        let _ = kv.revoke(now, lease);
+                        kv.telemetry().counter_add("kv.election_lease_revoked", 1);
+                    }
+                }
                 Ok(false)
             }
         }
@@ -188,23 +219,38 @@ impl RootAgent {
     /// distributed key-value store" (§3.2).
     pub fn scan(&self, kv: &mut KvStore, now: SimTime, n: usize) -> ScanReport {
         let mut alive = Vec::new();
-        let present: std::collections::BTreeSet<usize> = kv
-            .range(now, HEALTH_PREFIX)
-            .into_iter()
-            .filter_map(|(_, v)| HealthStatus::decode(&v.value))
-            .map(|h| {
-                alive.push(h.rank);
-                h.rank
-            })
-            .collect();
+        let mut out_of_range = Vec::new();
+        let mut present = std::collections::BTreeSet::new();
+        for (_, v) in kv.range(now, HEALTH_PREFIX) {
+            if let Some(h) = HealthStatus::decode(&v.value) {
+                // Only ranks in the expected set count as alive; a stale
+                // or foreign key must not inflate the membership view.
+                if h.rank < n {
+                    alive.push(h.rank);
+                    present.insert(h.rank);
+                } else {
+                    out_of_range.push(h.rank);
+                }
+            }
+        }
         let missing: Vec<usize> = (0..n).filter(|r| !present.contains(r)).collect();
         alive.sort_unstable();
         alive.dedup();
+        out_of_range.sort_unstable();
+        out_of_range.dedup();
         kv.telemetry().counter_add("kv.health_scans", 1);
+        if !out_of_range.is_empty() {
+            kv.telemetry()
+                .counter_add("kv.scan_out_of_range", out_of_range.len() as u64);
+        }
         let alive_count = alive.len();
         kv.telemetry()
             .gauge_set("kv.alive_workers", || alive_count as f64);
-        ScanReport { alive, missing }
+        ScanReport {
+            alive,
+            missing,
+            out_of_range,
+        }
     }
 
     /// Steps down voluntarily.
@@ -350,5 +396,110 @@ mod tests {
         };
         assert_eq!(HealthStatus::decode(&h.encode()), Some(h));
         assert_eq!(HealthStatus::decode("garbage"), None);
+    }
+
+    #[test]
+    fn health_status_decode_rejects_trailing_fields() {
+        // Regression: decode used to silently accept "1:2:3:junk",
+        // truncating instead of rejecting.
+        assert_eq!(HealthStatus::decode("1:2:3:junk"), None);
+        assert_eq!(HealthStatus::decode("1:2:3:"), None);
+        assert_eq!(HealthStatus::decode("1:2:3:4"), None);
+        // Too few fields and non-numeric fields still fail.
+        assert_eq!(HealthStatus::decode("1:2"), None);
+        assert_eq!(HealthStatus::decode("1:x:3"), None);
+        assert_eq!(HealthStatus::decode(""), None);
+        // Exactly three numeric fields pass.
+        assert_eq!(
+            HealthStatus::decode("1:2:3"),
+            Some(HealthStatus {
+                rank: 1,
+                machine: 2,
+                beat: 3
+            })
+        );
+    }
+
+    #[test]
+    fn reregistration_preserves_beat_counter() {
+        // Regression: a wedged worker re-registering used to restart its
+        // heartbeat sequence at 0, erasing the monotonic counter that lets
+        // observers order health observations.
+        let mut kv = KvStore::new();
+        let mut w = WorkerAgent::new(0, 0, cfg());
+        w.register(&mut kv, t(0)).unwrap();
+        let mut last_beat = 0u64;
+        for s in (5..=15).step_by(5) {
+            w.heartbeat(&mut kv, t(s)).unwrap();
+            let h = HealthStatus::decode(&kv.get(t(s), &w.health_key()).unwrap().value).unwrap();
+            assert!(h.beat > last_beat || (s == 5 && h.beat == 1));
+            last_beat = h.beat;
+        }
+        // Wedge: no heartbeats until t=50, lease long gone; the next
+        // heartbeat re-registers.
+        w.heartbeat(&mut kv, t(50)).unwrap();
+        let h = HealthStatus::decode(&kv.get(t(50), &w.health_key()).unwrap().value).unwrap();
+        assert!(
+            h.beat > last_beat,
+            "beat must stay monotonic across re-register: {} -> {}",
+            last_beat,
+            h.beat
+        );
+        // And it keeps climbing afterwards.
+        w.heartbeat(&mut kv, t(55)).unwrap();
+        let h2 = HealthStatus::decode(&kv.get(t(55), &w.health_key()).unwrap().value).unwrap();
+        assert!(h2.beat > h.beat);
+    }
+
+    #[test]
+    fn scan_bounds_alive_to_expected_ranks() {
+        // Regression: stale/foreign health keys with rank >= n used to be
+        // reported in `alive`, inflating the membership view.
+        let mut kv = KvStore::new();
+        for r in [0usize, 1, 7, 12] {
+            let mut w = WorkerAgent::new(r, r as u64, cfg());
+            w.register(&mut kv, t(0)).unwrap();
+        }
+        let root = RootAgent::new("r", &cfg());
+        let report = root.scan(&mut kv, t(1), 4);
+        assert_eq!(report.alive, vec![0, 1]);
+        assert_eq!(report.missing, vec![2, 3]);
+        assert_eq!(report.out_of_range, vec![7, 12]);
+        // The pollution is surfaced as a telemetry counter too.
+        let sink = gemini_telemetry::TelemetrySink::enabled();
+        let mut kv2 = KvStore::new().with_telemetry(sink.clone());
+        let mut w = WorkerAgent::new(9, 9, cfg());
+        w.register(&mut kv2, t(0)).unwrap();
+        root.scan(&mut kv2, t(1), 4);
+        let snap = sink.metrics_snapshot();
+        assert_eq!(
+            snap.counter(gemini_telemetry::Key::plain("kv.scan_out_of_range")),
+            1
+        );
+    }
+
+    #[test]
+    fn contested_root_campaigns_bound_live_leases() {
+        // Regression (lease leak): when the election key is lost while the
+        // holder's lease survives (a KV blip — exactly what the chaos
+        // engine injects), the displaced root used to drop its live lease
+        // handle on follow, stranding one lease per losing round until TTL
+        // (~15 stranded leases in steady state here). Post-fix the live
+        // population stays bounded by the number of campaigners.
+        let mut kv = KvStore::new();
+        let mut roots = [RootAgent::new("m0", &cfg()), RootAgent::new("m1", &cfg())];
+        for s in 0..60u64 {
+            // Alternate who campaigns first so leadership ping-pongs.
+            let first = (s % 2) as usize;
+            let _ = roots[first].campaign(&mut kv, t(s));
+            let _ = roots[1 - first].campaign(&mut kv, t(s));
+            assert!(
+                kv.live_leases(t(s)) <= 2,
+                "leaked leases at t={s}: {} live",
+                kv.live_leases(t(s))
+            );
+            // KV blip: the election key vanishes but leases survive.
+            let _ = kv.delete(t(s), ROOT_ELECTION_KEY);
+        }
     }
 }

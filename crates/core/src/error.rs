@@ -44,6 +44,15 @@ pub enum GeminiError {
     Codec(&'static str),
     /// No checkpoint is available in any tier (cannot recover).
     NoCheckpointAvailable,
+    /// A coordination operation exhausted its retry budget (chaos:
+    /// KV-store outage, replacement exhaustion). Carries the operation
+    /// name and how many attempts were made before giving up.
+    Timeout {
+        /// What was being retried (e.g. `"kv.put"`, `"replacement"`).
+        operation: &'static str,
+        /// Attempts made before the policy was exhausted.
+        attempts: u32,
+    },
 }
 
 impl core::fmt::Display for GeminiError {
@@ -83,6 +92,10 @@ impl core::fmt::Display for GeminiError {
             GeminiError::NoCheckpointAvailable => {
                 write!(f, "no checkpoint available in any storage tier")
             }
+            GeminiError::Timeout {
+                operation,
+                attempts,
+            } => write!(f, "{operation} timed out after {attempts} attempts"),
         }
     }
 }

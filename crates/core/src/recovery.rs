@@ -22,6 +22,41 @@ use gemini_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// How a coordination timeout should be handled, by how deep into the
+/// retry budget the caller is. Recovery code paths use this to decide
+/// between plain retry, retry-with-fallback-armed, and failing over — the
+/// classification the chaos drills assert on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TimeoutClass {
+    /// Early attempts (< half the budget): retry on the same path.
+    Transient,
+    /// Budget more than half spent: keep retrying but arm the fallback
+    /// tier (pre-open the persistent checkpoint, widen the source set).
+    Degraded,
+    /// Budget exhausted: stop retrying; fail over or report unrecoverable.
+    Fatal,
+}
+
+impl TimeoutClass {
+    /// Classifies failed attempt `attempt` (0-based) against a budget of
+    /// `max_attempts`.
+    pub fn classify(attempt: u32, max_attempts: u32) -> TimeoutClass {
+        let max = max_attempts.max(1);
+        if attempt + 1 >= max {
+            TimeoutClass::Fatal
+        } else if 2 * (attempt + 1) >= max {
+            TimeoutClass::Degraded
+        } else {
+            TimeoutClass::Transient
+        }
+    }
+
+    /// Whether the caller should attempt again.
+    pub fn should_retry(self) -> bool {
+        self != TimeoutClass::Fatal
+    }
+}
+
 /// Which of the paper's recovery mechanisms applies.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum RecoveryCase {
@@ -55,6 +90,10 @@ pub struct RecoveryPlan {
     pub sources: Vec<RetrievalSource>,
     /// Ranks that need replacement machines (hardware failures).
     pub replaced: Vec<usize>,
+    /// Set when the planner could not use its preferred tier and degraded
+    /// (e.g. remote-CPU sources partially unreachable → persistent
+    /// fallback). `None` for plans on the normal paths.
+    pub degraded: Option<String>,
 }
 
 impl RecoveryPlan {
@@ -82,6 +121,14 @@ impl RecoveryPlan {
                 from: src.from,
             });
             sink.counter_add_labeled("recovery.tier_hits", "tier", tier.label(), 1);
+        }
+        if let Some(reason) = &self.degraded {
+            sink.event(now, || {
+                gemini_telemetry::TelemetryEvent::RecoveryDegraded {
+                    reason: reason.clone(),
+                }
+            });
+            sink.counter_add("recovery.degraded", 1);
         }
         sink.counter_add("recovery.plans", 1);
         sink.gauge_set("recovery.rollback_iteration", || self.iteration as f64);
@@ -156,6 +203,22 @@ impl RecoveryPlanner {
         store: &HierarchicalStore,
         failures: &[(usize, FailureKind)],
     ) -> Result<RecoveryPlan, GeminiError> {
+        self.plan_degraded(store, failures, &BTreeSet::new())
+    }
+
+    /// Like [`RecoveryPlanner::plan`], but some surviving hosts are
+    /// temporarily *unreachable* over the network (degraded or partitioned
+    /// NICs). Their CPU memory is intact — they restart locally — but they
+    /// cannot serve remote-CPU retrievals. If a replacement machine's only
+    /// source is unreachable, the planner degrades gracefully to the
+    /// persistent checkpoint (for every rank, preserving consistency)
+    /// instead of erroring, recording why in [`RecoveryPlan::degraded`].
+    pub fn plan_degraded(
+        &self,
+        store: &HierarchicalStore,
+        failures: &[(usize, FailureKind)],
+        unreachable: &BTreeSet<usize>,
+    ) -> Result<RecoveryPlan, GeminiError> {
         let n = store.placement().machines();
         for &(rank, _) in failures {
             if rank >= n {
@@ -171,7 +234,8 @@ impl RecoveryPlanner {
         let replaced: Vec<usize> = hardware.iter().copied().collect();
 
         if hardware.is_empty() {
-            // Software-only: everything is in local CPU memory.
+            // Software-only: everything is in local CPU memory. Network
+            // reachability is irrelevant — nothing is fetched remotely.
             let iteration = store
                 .latest_recoverable(&cpu_intact)
                 .ok_or(GeminiError::NoCheckpointAvailable)?;
@@ -186,59 +250,91 @@ impl RecoveryPlanner {
                     })
                     .collect(),
                 replaced,
+                degraded: None,
             });
         }
 
-        match store.latest_recoverable(&cpu_intact) {
-            Some(iteration) => {
-                // Case 1: survivors restart locally; replacements fetch
-                // from a surviving peer holding their shard.
-                let mut sources = Vec::with_capacity(n);
-                for rank in 0..n {
-                    if hardware.contains(&rank) {
-                        let from = store
-                            .source_for(rank, iteration, &cpu_intact)
-                            .ok_or(GeminiError::NoCheckpointAvailable)?;
-                        sources.push(RetrievalSource {
+        // Hosts that can *serve* remote retrievals: intact CPU memory and
+        // a reachable NIC.
+        let serving: BTreeSet<usize> = cpu_intact.difference(unreachable).copied().collect();
+        if let Some(iteration) = store.latest_recoverable(&cpu_intact) {
+            // Case 1: survivors restart locally; replacements fetch from a
+            // surviving *reachable* peer holding their shard.
+            let mut sources = Vec::with_capacity(n);
+            let mut unreachable_only = false;
+            for rank in 0..n {
+                if hardware.contains(&rank) {
+                    match store.source_for(rank, iteration, &serving) {
+                        Some(from) => sources.push(RetrievalSource {
                             rank,
                             tier: StorageTier::RemoteCpu,
                             from: Some(from),
-                        });
-                    } else {
-                        sources.push(RetrievalSource {
-                            rank,
-                            tier: StorageTier::LocalCpu,
-                            from: None,
-                        });
+                        }),
+                        None => {
+                            // The shard survives in CPU memory but only on
+                            // unreachable hosts: remote retrieval is
+                            // partially unavailable.
+                            unreachable_only = true;
+                            break;
+                        }
                     }
+                } else {
+                    sources.push(RetrievalSource {
+                        rank,
+                        tier: StorageTier::LocalCpu,
+                        from: None,
+                    });
                 }
-                Ok(RecoveryPlan {
+            }
+            if !unreachable_only {
+                return Ok(RecoveryPlan {
                     case: RecoveryCase::HardwareFromCpu,
                     iteration,
                     sources,
                     replaced,
-                })
+                    degraded: None,
+                });
             }
-            None => {
-                // Case 2: consistency forces everyone to the persistent
-                // checkpoint.
-                let persistent = store
-                    .persistent()
-                    .ok_or(GeminiError::NoCheckpointAvailable)?;
-                Ok(RecoveryPlan {
-                    case: RecoveryCase::PersistentFallback,
-                    iteration: persistent.iteration,
-                    sources: (0..n)
-                        .map(|rank| RetrievalSource {
-                            rank,
-                            tier: StorageTier::Persistent,
-                            from: None,
-                        })
-                        .collect(),
-                    replaced,
-                })
-            }
+            // Degrade gracefully: every rank falls back to the persistent
+            // checkpoint for consistency, and the plan records why.
+            let persistent = store
+                .persistent()
+                .ok_or(GeminiError::NoCheckpointAvailable)?;
+            return Ok(RecoveryPlan {
+                case: RecoveryCase::PersistentFallback,
+                iteration: persistent.iteration,
+                sources: (0..n)
+                    .map(|rank| RetrievalSource {
+                        rank,
+                        tier: StorageTier::Persistent,
+                        from: None,
+                    })
+                    .collect(),
+                replaced,
+                degraded: Some(format!(
+                    "remote-CPU sources unreachable ({} host(s) partitioned)",
+                    unreachable.len()
+                )),
+            });
         }
+        // Case 2: consistency forces everyone to the persistent
+        // checkpoint.
+        let persistent = store
+            .persistent()
+            .ok_or(GeminiError::NoCheckpointAvailable)?;
+        Ok(RecoveryPlan {
+            case: RecoveryCase::PersistentFallback,
+            iteration: persistent.iteration,
+            sources: (0..n)
+                .map(|rank| RetrievalSource {
+                    rank,
+                    tier: StorageTier::Persistent,
+                    from: None,
+                })
+                .collect(),
+            replaced,
+            degraded: None,
+        })
     }
 }
 
@@ -402,6 +498,7 @@ mod tests {
                 },
             ],
             replaced: vec![1, 2],
+            degraded: None,
         };
         let net = TransferCost::pure_bandwidth(Bandwidth::from_gbytes_per_sec(10.0));
         let copy = TransferCost::pure_bandwidth(Bandwidth::from_gbytes_per_sec(20.0));
@@ -429,6 +526,84 @@ mod tests {
         let t = plan.retrieval_makespan(ByteSize::from_gb(75), 4, &net, &copy, &storage);
         // 300 GB through 2.5 GB/s = 120 s.
         assert!((t.as_secs_f64() - 120.0).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    fn partition_degrades_to_persistent_when_only_source_unreachable() {
+        // Rank 1 fails (hardware); its only surviving replica lives on
+        // rank 0, which is partitioned. The planner must not error — it
+        // degrades every rank to the persistent checkpoint and says why.
+        let mut s = store(4, 2);
+        s.machine_lost(1);
+        let unreachable: BTreeSet<usize> = [0].into_iter().collect();
+        let plan = RecoveryPlanner
+            .plan_degraded(&s, &[(1, FailureKind::Hardware)], &unreachable)
+            .unwrap();
+        assert_eq!(plan.case, RecoveryCase::PersistentFallback);
+        assert_eq!(plan.iteration, 100);
+        assert!(plan.degraded.is_some(), "degradation must be recorded");
+        assert!(plan
+            .sources
+            .iter()
+            .all(|s| s.tier == StorageTier::Persistent));
+    }
+
+    #[test]
+    fn partition_reroutes_to_reachable_source_when_one_exists() {
+        // With m = 3 the lost rank's shard survives on two peers; if one
+        // is partitioned the planner picks the reachable one and stays on
+        // the fast path.
+        let mut s = store(6, 3);
+        s.machine_lost(1);
+        let plan_clear = RecoveryPlanner
+            .plan(&s, &[(1, FailureKind::Hardware)])
+            .unwrap();
+        let preferred = plan_clear
+            .sources
+            .iter()
+            .find(|src| src.rank == 1)
+            .unwrap()
+            .from
+            .unwrap();
+        let unreachable: BTreeSet<usize> = [preferred].into_iter().collect();
+        let plan = RecoveryPlanner
+            .plan_degraded(&s, &[(1, FailureKind::Hardware)], &unreachable)
+            .unwrap();
+        assert_eq!(plan.case, RecoveryCase::HardwareFromCpu);
+        assert!(plan.degraded.is_none());
+        let src = plan.sources.iter().find(|src| src.rank == 1).unwrap();
+        assert_eq!(src.tier, StorageTier::RemoteCpu);
+        assert_ne!(src.from, Some(preferred));
+    }
+
+    #[test]
+    fn software_failures_ignore_partitions() {
+        let s = store(4, 2);
+        let unreachable: BTreeSet<usize> = [0, 2].into_iter().collect();
+        let plan = RecoveryPlanner
+            .plan_degraded(&s, &[(1, FailureKind::Software)], &unreachable)
+            .unwrap();
+        assert_eq!(plan.case, RecoveryCase::SoftwareLocal);
+        assert_eq!(plan.iteration, 310);
+        assert!(plan.degraded.is_none());
+    }
+
+    #[test]
+    fn timeout_class_partitions_the_retry_budget() {
+        use TimeoutClass::*;
+        // Budget of 6: attempts 0,1 transient; 2,3,4 degraded; 5 fatal.
+        let classes: Vec<TimeoutClass> =
+            (0..6).map(|a| TimeoutClass::classify(a, 6)).collect();
+        assert_eq!(
+            classes,
+            vec![Transient, Transient, Degraded, Degraded, Degraded, Fatal]
+        );
+        assert!(Transient.should_retry());
+        assert!(Degraded.should_retry());
+        assert!(!Fatal.should_retry());
+        // Degenerate budgets never panic and end fatal.
+        assert_eq!(TimeoutClass::classify(0, 1), Fatal);
+        assert_eq!(TimeoutClass::classify(0, 0), Fatal);
     }
 
     #[test]

@@ -33,19 +33,23 @@ pub struct ReplicaVault {
 impl ReplicaVault {
     /// Creates the vault for a placement with the given CPU-memory budget
     /// per host.
-    pub fn new(placement: &Placement, capacity_per_host: ByteSize) -> Self {
+    ///
+    /// Errors (rather than panicking — library paths must not panic) if the
+    /// placement reports an owner outside its own machine range, which
+    /// would indicate a corrupted placement.
+    pub fn new(placement: &Placement, capacity_per_host: ByteSize) -> Result<Self, GeminiError> {
         let mut slots = BTreeMap::new();
         for owner in 0..placement.machines() {
-            for &host in placement.replica_hosts(owner).expect("owner in range") {
+            for &host in placement.replica_hosts(owner)? {
                 slots.insert((host, owner), VaultSlot::default());
             }
         }
-        ReplicaVault {
+        Ok(ReplicaVault {
             capacity_per_host,
             slots,
             hosts: placement.machines(),
             telemetry: gemini_telemetry::TelemetrySink::disabled(),
-        }
+        })
     }
 
     /// Attaches a telemetry sink; staged/committed/fetched frames bump
@@ -181,7 +185,7 @@ mod tests {
 
     fn vault(n: usize, m: usize, cap_kb: u64) -> (Placement, ReplicaVault) {
         let p = Placement::mixed(n, m).unwrap();
-        let v = ReplicaVault::new(&p, ByteSize::from_kb(cap_kb));
+        let v = ReplicaVault::new(&p, ByteSize::from_kb(cap_kb)).unwrap();
         (p, v)
     }
 
@@ -273,6 +277,34 @@ mod tests {
         v.commit(0, 1).unwrap();
         assert!(matches!(v.fetch_verified(0, 1), Err(GeminiError::Codec(_))));
         let _ = p;
+    }
+
+    #[test]
+    fn out_of_range_owner_errors_instead_of_panicking() {
+        // `new` iterates owners `0..machines()` so its `replica_hosts`
+        // lookups are in range by construction — but the call now threads
+        // errors instead of `.expect`ing, and the out-of-range owner case
+        // surfaces as `UnknownRank` on every data-plane entry point.
+        let (p, mut v) = vault(4, 2, 64);
+        assert!(ReplicaVault::new(&p, ByteSize::from_kb(64)).is_ok());
+        assert!(matches!(
+            p.replica_hosts(4),
+            Err(GeminiError::UnknownRank(4))
+        ));
+        let frame = codec::encode(4, 1, &shard(4, 1));
+        assert!(matches!(
+            v.stage(0, 99, frame),
+            Err(GeminiError::UnknownRank(99))
+        ));
+        assert!(matches!(
+            v.stage(99, 0, codec::encode(0, 1, &shard(0, 1))),
+            Err(GeminiError::UnknownRank(99))
+        ));
+        assert!(matches!(
+            v.commit(0, 99),
+            Err(GeminiError::UnknownRank(99))
+        ));
+        assert!(v.fetch_verified(0, 99).is_err());
     }
 
     #[test]

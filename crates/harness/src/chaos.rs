@@ -1,0 +1,1532 @@
+//! The chaos engine: deterministic, seeded fault-injection campaigns.
+//!
+//! The recovery drill ([`crate::drill`]) injects exactly one failure batch
+//! and stops when training resumes. Real clusters misbehave in richer
+//! ways: machines die *while* a recovery is already in flight, whole
+//! placement groups go down together, the distributed KV store itself
+//! blacks out, heartbeats arrive late, NICs degrade or partition, the
+//! cloud operator runs out of capacity, and root agents churn. This
+//! module composes those faults into named, reproducible *chaos plans*
+//! and runs them through the same discrete-event stack the drill uses —
+//! worker/root agents heartbeating into [`gemini_kvstore::KvStore`],
+//! leader election, scan-based detection, serialization, replacement via
+//! [`gemini_cluster::CloudOperator`], plan-driven retrieval — hardened
+//! with bounded retry ([`gemini_kvstore::RetryPolicy`]) and graceful
+//! degradation ([`RecoveryPlanner::plan_degraded`]).
+//!
+//! # Detection under chaos
+//!
+//! The drill may treat the first missing health key as a confirmed
+//! failure because nothing else can make keys vanish. Under chaos a KV
+//! blackout or a delayed heartbeat batch can expire *every* lease at
+//! once; reacting instantly would trigger a spurious cluster-wide
+//! recovery. The chaos root therefore requires a **confirmation streak**:
+//! a rank is declared failed only after its key has been missing on
+//! [`CONFIRM_TICKS`] consecutive 1-second scans — longer than a heartbeat
+//! period, so a machine that is merely re-registering after a blip always
+//! clears itself in time.
+//!
+//! # Invariants
+//!
+//! Every run checks four invariants and reports violations in
+//! [`ChaosReport::violations`] (empty ⇔ green):
+//!
+//! 1. **At most one root leader at any instant** (checked on every scan
+//!    tick via the KV election).
+//! 2. **No committed checkpoint is lost below the placement tolerance**:
+//!    if the hardware-failed set is recoverable per
+//!    [`gemini_core::Placement::recoverable`] and no NIC partition is
+//!    active, recovery must not fall back to persistent storage or roll
+//!    back past the last committed iteration.
+//! 3. **Recovery always terminates**: no wave may still be in flight (and
+//!    no rank still down) when the horizon is reached.
+//! 4. **Byte-identical reruns per seed**: [`ChaosReport::render`] of two
+//!    runs with the same plan and seed must compare equal (asserted by
+//!    the integration suite and the CI smoke, not in-run).
+
+use crate::scenario::Scenario;
+use gemini_cluster::{CloudOperator, FailureKind, OperatorConfig};
+use gemini_core::agents::{RootAgent, WorkerAgent};
+use gemini_core::recovery::{RecoveryCase, RecoveryPlan, RecoveryPlanner, TimeoutClass};
+use gemini_core::GeminiError;
+use gemini_kvstore::{KvStore, RetryPolicy};
+use gemini_sim::{Context, Engine, Model, SimDuration, SimTime};
+use gemini_telemetry::{
+    EngineTelemetryProbe, FailureClass, TelemetryEvent, TelemetrySink,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Consecutive scans a health key must be missing before the root
+/// confirms the rank as failed (see the module docs). At one scan per
+/// second this is comfortably above the 5 s heartbeat period, so
+/// re-registration after a KV blip or a delayed heartbeat batch always
+/// wins the race against a spurious recovery.
+pub const CONFIRM_TICKS: u32 = 7;
+
+/// How long a churned (resigned) root abstains from re-campaigning, so
+/// leadership genuinely moves to another machine.
+const CHURN_MUTE: SimDuration = SimDuration::from_secs(15);
+
+/// One injectable fault.
+#[derive(Clone, Debug)]
+pub enum FaultKind {
+    /// Kill one machine (software: process crash; hardware: the machine
+    /// and its CPU checkpoint replicas are gone).
+    Kill {
+        /// The victim rank.
+        rank: usize,
+        /// Software or hardware.
+        kind: FailureKind,
+    },
+    /// Kill every member of one placement group simultaneously — the
+    /// correlated rack/switch failure that defeats group placement.
+    KillGroup {
+        /// Index into [`gemini_core::Placement::groups`].
+        group: usize,
+        /// Software or hardware.
+        kind: FailureKind,
+    },
+    /// The distributed KV store is unreachable for `duration`: heartbeats
+    /// are lost, campaigns and scans cannot run. Leases keep expiring.
+    KvOutage {
+        /// Outage length.
+        duration: SimDuration,
+    },
+    /// Heartbeats sent during the window are delivered only when it ends
+    /// (delayed delivery, not loss).
+    HeartbeatDelay {
+        /// Window length.
+        duration: SimDuration,
+    },
+    /// NIC bandwidth degradation: remote retrievals take `factor`× as
+    /// long while the window is active.
+    NicDegrade {
+        /// Slowdown multiplier (> 1).
+        factor: f64,
+        /// Window length.
+        duration: SimDuration,
+    },
+    /// NIC partition: the listed ranks cannot *serve* remote-CPU
+    /// retrievals while the window is active (their own heartbeats use
+    /// the control-plane path and still flow).
+    NicPartition {
+        /// Unreachable ranks.
+        ranks: Vec<usize>,
+        /// Window length.
+        duration: SimDuration,
+    },
+    /// The cloud operator's control plane denies replacement requests for
+    /// `duration` (ASG capacity exhaustion / API outage).
+    OperatorOutage {
+        /// Outage length.
+        duration: SimDuration,
+    },
+    /// Root-agent churn: `kills` times, every `period`, the current
+    /// leader resigns and abstains from re-campaigning for a while.
+    RootChurn {
+        /// Number of forced resignations.
+        kills: usize,
+        /// Spacing between them.
+        period: SimDuration,
+    },
+}
+
+/// A fault scheduled at an absolute simulation time.
+#[derive(Clone, Debug)]
+pub struct TimedFault {
+    /// When the fault strikes (window faults open at this instant).
+    pub at: SimTime,
+    /// What happens.
+    pub fault: FaultKind,
+}
+
+/// A named, fully deterministic chaos scenario.
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    /// Stable name (used in reports and the CI smoke).
+    pub name: String,
+    /// The deployment under test.
+    pub scenario: Scenario,
+    /// Cloud-operator behaviour (standbys etc.).
+    pub operator: OperatorConfig,
+    /// The fault schedule.
+    pub faults: Vec<TimedFault>,
+    /// How long the simulation runs. Recovery must finish before this.
+    pub horizon: SimTime,
+    /// Backoff schedule for replacement requests denied by the operator.
+    pub retry: RetryPolicy,
+}
+
+impl ChaosPlan {
+    fn base(name: &str) -> ChaosPlan {
+        ChaosPlan {
+            name: name.to_string(),
+            scenario: Scenario::gpt2_100b_p4d(),
+            operator: OperatorConfig::default(),
+            faults: Vec::new(),
+            horizon: SimTime::from_secs(2400),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// One hardware kill mid-iteration, while the checkpoint interleave
+    /// is streaming — the baseline chaos plan (drill-equivalent, but with
+    /// confirmation-streak detection and training resuming afterwards).
+    pub fn kill_mid_checkpoint() -> ChaosPlan {
+        let mut p = ChaosPlan::base("kill_mid_checkpoint");
+        p.faults = vec![TimedFault {
+            at: SimTime::from_secs(500),
+            fault: FaultKind::Kill {
+                rank: 5,
+                kind: FailureKind::Hardware,
+            },
+        }];
+        p
+    }
+
+    /// A whole placement group dies at once (correlated rack failure):
+    /// every CPU replica of the group's shards is gone, so recovery must
+    /// legitimately fall back to the persisted checkpoint.
+    pub fn correlated_group_loss() -> ChaosPlan {
+        let mut p = ChaosPlan::base("correlated_group_loss");
+        p.faults = vec![TimedFault {
+            at: SimTime::from_secs(600),
+            fault: FaultKind::KillGroup {
+                group: 1,
+                kind: FailureKind::Hardware,
+            },
+        }];
+        p.horizon = SimTime::from_secs(4800);
+        p
+    }
+
+    /// A 30 s KV-store blackout expires every health lease at once; the
+    /// confirmation streak must prevent a spurious cluster-wide recovery.
+    /// A real software failure later checks detection still works.
+    pub fn kv_outage_blackout() -> ChaosPlan {
+        let mut p = ChaosPlan::base("kv_outage_blackout");
+        p.faults = vec![
+            TimedFault {
+                at: SimTime::from_secs(300),
+                fault: FaultKind::KvOutage {
+                    duration: SimDuration::from_secs(30),
+                },
+            },
+            TimedFault {
+                at: SimTime::from_secs(700),
+                fault: FaultKind::Kill {
+                    rank: 3,
+                    kind: FailureKind::Software,
+                },
+            },
+        ];
+        p
+    }
+
+    /// The elected root resigns three times in a row; leadership must
+    /// hand over cleanly (never two leaders, no lease pile-up) and a
+    /// failure injected during the churn is still detected.
+    pub fn root_churn() -> ChaosPlan {
+        let mut p = ChaosPlan::base("root_churn");
+        p.faults = vec![
+            TimedFault {
+                at: SimTime::from_secs(200),
+                fault: FaultKind::RootChurn {
+                    kills: 3,
+                    period: SimDuration::from_secs(30),
+                },
+            },
+            TimedFault {
+                at: SimTime::from_secs(600),
+                fault: FaultKind::Kill {
+                    rank: 9,
+                    kind: FailureKind::Software,
+                },
+            },
+        ];
+        p
+    }
+
+    /// Zero standbys plus a 90 s operator outage that swallows the
+    /// replacement request: the root must retry with bounded backoff
+    /// ([`RetryPolicy`]) until the control plane recovers.
+    pub fn replacement_exhaustion() -> ChaosPlan {
+        let mut p = ChaosPlan::base("replacement_exhaustion");
+        p.faults = vec![
+            TimedFault {
+                at: SimTime::from_secs(390),
+                fault: FaultKind::Kill {
+                    rank: 6,
+                    kind: FailureKind::Hardware,
+                },
+            },
+            TimedFault {
+                at: SimTime::from_secs(400),
+                fault: FaultKind::OperatorOutage {
+                    duration: SimDuration::from_secs(90),
+                },
+            },
+        ];
+        // Worst-case patience 2+4+8+16+32+60+60 = 182 s > the 90 s outage.
+        p.retry = RetryPolicy::new(
+            8,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(60),
+        );
+        p.horizon = SimTime::from_secs(3000);
+        p
+    }
+
+    /// A hardware kill whose only remote-CPU source is NIC-partitioned
+    /// exactly when retrieval starts: the planner must degrade gracefully
+    /// to the persistent checkpoint instead of erroring.
+    pub fn degraded_nic_partition() -> ChaosPlan {
+        let mut p = ChaosPlan::base("degraded_nic_partition");
+        p.faults = vec![
+            TimedFault {
+                at: SimTime::from_secs(500),
+                fault: FaultKind::Kill {
+                    rank: 5,
+                    kind: FailureKind::Hardware,
+                },
+            },
+            // Rank 4 holds the only other replica of rank 5's shard
+            // (group placement pairs (4, 5)); partition it across the
+            // whole detection + serialization + replacement window.
+            TimedFault {
+                at: SimTime::from_secs(480),
+                fault: FaultKind::NicPartition {
+                    ranks: vec![4],
+                    duration: SimDuration::from_secs(720),
+                },
+            },
+        ];
+        p.horizon = SimTime::from_secs(4800);
+        p
+    }
+
+    /// Delayed heartbeat batches (long enough to expire leases, short
+    /// enough that re-registration beats the confirmation streak) plus a
+    /// degraded NIC during the eventual retrieval.
+    pub fn flaky_heartbeats() -> ChaosPlan {
+        let mut p = ChaosPlan::base("flaky_heartbeats");
+        p.faults = vec![
+            TimedFault {
+                at: SimTime::from_secs(250),
+                fault: FaultKind::HeartbeatDelay {
+                    duration: SimDuration::from_secs(12),
+                },
+            },
+            TimedFault {
+                at: SimTime::from_secs(320),
+                fault: FaultKind::HeartbeatDelay {
+                    duration: SimDuration::from_secs(12),
+                },
+            },
+            TimedFault {
+                at: SimTime::from_secs(700),
+                fault: FaultKind::NicDegrade {
+                    factor: 2.0,
+                    duration: SimDuration::from_secs(900),
+                },
+            },
+            TimedFault {
+                at: SimTime::from_secs(800),
+                fault: FaultKind::Kill {
+                    rank: 11,
+                    kind: FailureKind::Hardware,
+                },
+            },
+        ];
+        p
+    }
+
+    /// Every named plan — the campaign matrix runs each against several
+    /// seeds.
+    pub fn catalog() -> Vec<ChaosPlan> {
+        vec![
+            ChaosPlan::kill_mid_checkpoint(),
+            ChaosPlan::correlated_group_loss(),
+            ChaosPlan::kv_outage_blackout(),
+            ChaosPlan::root_churn(),
+            ChaosPlan::replacement_exhaustion(),
+            ChaosPlan::degraded_nic_partition(),
+            ChaosPlan::flaky_heartbeats(),
+        ]
+    }
+}
+
+/// One completed recovery wave.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WaveReport {
+    /// Wave number (0-based, in completion order).
+    pub index: usize,
+    /// The failures handled, as `rank:kind` labels.
+    pub failures: Vec<String>,
+    /// When the root confirmed the (first batch of) failures.
+    pub detected_at: SimTime,
+    /// Which recovery mechanism applied.
+    pub case: RecoveryCase,
+    /// The iteration training rolled back to.
+    pub resumed_from_iteration: u64,
+    /// When training resumed (or the wave completed, if more ranks were
+    /// still down).
+    pub resumed_at: SimTime,
+    /// `resumed_at - detected_at`.
+    pub downtime: SimDuration,
+    /// Why the plan degraded to persistent storage, if it did.
+    pub degraded: Option<String>,
+}
+
+/// The outcome of one chaos run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// The plan that ran.
+    pub plan_name: String,
+    /// The seed it ran under.
+    pub seed: u64,
+    /// The simulation horizon.
+    pub horizon: SimTime,
+    /// How many scheduled faults actually fired before the horizon.
+    pub faults_injected: usize,
+    /// Completed recovery waves, in order.
+    pub waves: Vec<WaveReport>,
+    /// Most concurrent leaders ever observed (invariant: ≤ 1).
+    pub max_concurrent_leaders: usize,
+    /// Times leadership changed identity.
+    pub leader_changes: u64,
+    /// Distinct alive ranks that ever reached the confirmation streak
+    /// (invariant: 0 — the streak must absorb KV blips).
+    pub spurious_detections: u64,
+    /// Denied replacement requests that were retried with backoff.
+    pub retry_attempts: u64,
+    /// Replacement requests the operator denied (outage windows).
+    pub replacements_denied: u64,
+    /// The training iteration reached by the horizon.
+    pub final_iteration: u64,
+    /// Invariant violations; empty ⇔ the run is green.
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether all invariants held.
+    pub fn is_green(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Deterministic plain-text rendering. Two runs of the same plan and
+    /// seed must produce byte-identical output (invariant 4); CI compares
+    /// this, not JSON, so the offline serde stubs stay out of the loop.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "chaos plan={} seed={} horizon={:.3}s\n",
+            self.plan_name,
+            self.seed,
+            self.horizon.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "faults_injected={} waves={}\n",
+            self.faults_injected,
+            self.waves.len()
+        ));
+        out.push_str(&format!(
+            "leaders max_concurrent={} changes={}\n",
+            self.max_concurrent_leaders, self.leader_changes
+        ));
+        out.push_str(&format!(
+            "counters retries={} denied={} spurious={}\n",
+            self.retry_attempts, self.replacements_denied, self.spurious_detections
+        ));
+        for w in &self.waves {
+            out.push_str(&format!(
+                "wave {}: failures=[{}] detected={:.3}s case={:?} resumed_iter={} \
+                 resumed_at={:.3}s downtime={:.3}s degraded={}\n",
+                w.index,
+                w.failures.join(","),
+                w.detected_at.as_secs_f64(),
+                w.case,
+                w.resumed_from_iteration,
+                w.resumed_at.as_secs_f64(),
+                w.downtime.as_secs_f64(),
+                w.degraded.as_deref().unwrap_or("-"),
+            ));
+        }
+        out.push_str(&format!("final_iteration={}\n", self.final_iteration));
+        if self.violations.is_empty() {
+            out.push_str("violations: none\n");
+        } else {
+            for v in &self.violations {
+                out.push_str(&format!("violation: {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn class_of(kind: FailureKind) -> FailureClass {
+    match kind {
+        FailureKind::Hardware => FailureClass::Hardware,
+        FailureKind::Software => FailureClass::Software,
+    }
+}
+
+fn kind_label(kind: FailureKind) -> &'static str {
+    match kind {
+        FailureKind::Hardware => "hw",
+        FailureKind::Software => "sw",
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    IterationDone(u64),
+    Heartbeat(usize),
+    DeliverHeartbeat(usize),
+    CoordinationTick,
+    Inject(usize),
+    Churn { remaining: usize, period: SimDuration },
+    SerializeDone { wave: usize, token: u64 },
+    ReplacementAttempt { wave: usize, rank: usize, attempt: u32 },
+    ReplacementReady { wave: usize, rank: usize },
+    RetrievalDone { wave: usize },
+    WarmupDone { wave: usize },
+}
+
+struct Wave {
+    index: usize,
+    failures: Vec<(usize, FailureKind)>,
+    detected_at: SimTime,
+    serialize_token: u64,
+    serialize_done: bool,
+    replacements_pending: BTreeSet<usize>,
+    plan: Option<RecoveryPlan>,
+    committed_at_detect: u64,
+}
+
+struct ChaosModel {
+    sys: crate::scenario::GeminiSystem,
+    kv: KvStore,
+    sink: TelemetrySink,
+    workers: Vec<WorkerAgent>,
+    roots: Vec<RootAgent>,
+    operator: CloudOperator,
+    retry: RetryPolicy,
+    faults: Vec<TimedFault>,
+    // Precomputed fault windows.
+    kv_outages: Vec<(SimTime, SimTime)>,
+    hb_delays: Vec<(SimTime, SimTime)>,
+    degrades: Vec<(SimTime, SimTime, f64)>,
+    partitions: Vec<(SimTime, SimTime, Vec<usize>)>,
+    // Live state.
+    down: BTreeMap<usize, FailureKind>,
+    muted_until: Vec<SimTime>,
+    streak: Vec<u32>,
+    handled: BTreeSet<usize>,
+    wave: Option<Wave>,
+    waves_done: Vec<WaveReport>,
+    next_wave_index: usize,
+    serialize_seq: u64,
+    current_iteration: u64,
+    last_committed: u64,
+    training_blocked: bool,
+    // Accounting.
+    injected: usize,
+    max_leaders: usize,
+    leader_changes: u64,
+    last_leader: Option<String>,
+    spurious: BTreeSet<usize>,
+    retry_attempts: u64,
+    violations: Vec<String>,
+}
+
+fn in_window(windows: &[(SimTime, SimTime)], now: SimTime) -> bool {
+    windows.iter().any(|&(s, e)| s <= now && now < e)
+}
+
+impl ChaosModel {
+    fn kv_out(&self, now: SimTime) -> bool {
+        in_window(&self.kv_outages, now)
+    }
+
+    /// If a heartbeat-delay window is active, the instant delivery
+    /// resumes (the latest end among active windows).
+    fn hb_delay_release(&self, now: SimTime) -> Option<SimTime> {
+        self.hb_delays
+            .iter()
+            .filter(|&&(s, e)| s <= now && now < e)
+            .map(|&(_, e)| e)
+            .max()
+    }
+
+    fn unreachable_at(&self, now: SimTime) -> BTreeSet<usize> {
+        let mut set = BTreeSet::new();
+        for (s, e, ranks) in &self.partitions {
+            if *s <= now && now < *e {
+                set.extend(ranks.iter().copied());
+            }
+        }
+        set
+    }
+
+    fn degrade_factor_at(&self, now: SimTime) -> f64 {
+        self.degrades
+            .iter()
+            .filter(|&&(s, e, _)| s <= now && now < e)
+            .map(|&(_, _, f)| f.max(1.0))
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    fn kill(&mut self, ctx: &mut Context<'_, Ev>, rank: usize, kind: FailureKind) {
+        if rank >= self.sys.cluster.len() || self.down.contains_key(&rank) {
+            return;
+        }
+        self.down.insert(rank, kind);
+        self.sys.cluster.fail(rank, kind).expect("rank exists");
+        if kind == FailureKind::Hardware {
+            self.sys.store.machine_lost(rank);
+        }
+        self.training_blocked = true;
+        self.sink
+            .event(ctx.now(), || TelemetryEvent::FailureInjected {
+                rank,
+                kind: class_of(kind),
+            });
+    }
+
+    fn begin_hw_replacement(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        wave_idx: usize,
+        rank: usize,
+    ) {
+        self.sys
+            .cluster
+            .begin_replacement(rank)
+            .expect("rank exists");
+        if let Some(w) = self.wave.as_mut() {
+            w.replacements_pending.insert(rank);
+        }
+        ctx.schedule_after(
+            SimDuration::ZERO,
+            Ev::ReplacementAttempt {
+                wave: wave_idx,
+                rank,
+                attempt: 0,
+            },
+        );
+    }
+
+    fn announce_failures(&mut self, now: SimTime, ranks: &[usize]) {
+        for &rank in ranks {
+            self.sink
+                .event(now, || TelemetryEvent::HeartbeatMissed { rank });
+        }
+        let by = self.last_leader.clone().unwrap_or_default();
+        let rank_vec = ranks.to_vec();
+        self.sink.event(now, || TelemetryEvent::FailureDetected {
+            ranks: rank_vec,
+            by,
+        });
+    }
+
+    fn start_wave(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        now: SimTime,
+        failures: Vec<(usize, FailureKind)>,
+    ) {
+        let index = self.next_wave_index;
+        self.next_wave_index += 1;
+        for &(r, _) in &failures {
+            self.handled.insert(r);
+        }
+        let ranks: Vec<usize> = failures.iter().map(|&(r, _)| r).collect();
+        self.announce_failures(now, &ranks);
+        self.serialize_seq += 1;
+        let token = self.serialize_seq;
+        let alive_count = self.sys.cluster.len() - self.down.len();
+        self.sink
+            .event(now, || TelemetryEvent::SerializationStarted {
+                ranks: alive_count,
+            });
+        ctx.schedule_after(
+            self.sys.serialize_time(),
+            Ev::SerializeDone { wave: index, token },
+        );
+        self.wave = Some(Wave {
+            index,
+            failures: failures.clone(),
+            detected_at: now,
+            serialize_token: token,
+            serialize_done: false,
+            replacements_pending: BTreeSet::new(),
+            plan: None,
+            committed_at_detect: self.last_committed,
+        });
+        for (rank, kind) in failures {
+            if kind == FailureKind::Hardware {
+                self.begin_hw_replacement(ctx, index, rank);
+            }
+        }
+    }
+
+    /// A failure confirmed while the active wave is still serializing is
+    /// merged into it: the wave restarts its serialization clock (the
+    /// snapshot must now exclude the new victim) and requests any extra
+    /// replacements.
+    fn merge_wave(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        now: SimTime,
+        failures: Vec<(usize, FailureKind)>,
+    ) {
+        let Some(index) = self.wave.as_ref().map(|w| w.index) else {
+            return;
+        };
+        for &(r, _) in &failures {
+            self.handled.insert(r);
+        }
+        let ranks: Vec<usize> = failures.iter().map(|&(r, _)| r).collect();
+        self.announce_failures(now, &ranks);
+        self.serialize_seq += 1;
+        let token = self.serialize_seq;
+        if let Some(w) = self.wave.as_mut() {
+            w.failures.extend(failures.iter().copied());
+            w.serialize_token = token;
+            w.serialize_done = false;
+        }
+        ctx.schedule_after(
+            self.sys.serialize_time(),
+            Ev::SerializeDone { wave: index, token },
+        );
+        for (rank, kind) in failures {
+            if kind == FailureKind::Hardware {
+                self.begin_hw_replacement(ctx, index, rank);
+            }
+        }
+    }
+
+    fn maybe_start_retrieval(&mut self, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        let ready = self.wave.as_ref().is_some_and(|w| {
+            w.plan.is_none() && w.serialize_done && w.replacements_pending.is_empty()
+        });
+        if !ready {
+            return;
+        }
+        let unreachable = self.unreachable_at(now);
+        let failures = self.wave.as_ref().expect("wave active").failures.clone();
+        let plan = match RecoveryPlanner.plan_degraded(&self.sys.store, &failures, &unreachable)
+        {
+            Ok(p) => p,
+            Err(e) => {
+                self.violations
+                    .push(format!("recovery planning failed: {e}"));
+                self.wave = None;
+                return;
+            }
+        };
+        // Invariant 2: with the *cumulative* hardware-failed set within
+        // tolerance and no partition active, the committed checkpoint
+        // must survive in CPU memory.
+        let hw_down: BTreeSet<usize> = self
+            .down
+            .iter()
+            .filter(|&(_, &k)| k == FailureKind::Hardware)
+            .map(|(&r, _)| r)
+            .collect();
+        if self.sys.placement.recoverable(&hw_down) && unreachable.is_empty() {
+            let committed = self
+                .wave
+                .as_ref()
+                .expect("wave active")
+                .committed_at_detect;
+            if plan.case == RecoveryCase::PersistentFallback {
+                self.violations.push(format!(
+                    "committed checkpoint lost below placement tolerance at t={:.0}s",
+                    now.as_secs_f64()
+                ));
+            } else if plan.iteration < committed {
+                self.violations.push(format!(
+                    "rolled back past committed iteration {} to {} at t={:.0}s",
+                    committed,
+                    plan.iteration,
+                    now.as_secs_f64()
+                ));
+            }
+        }
+        plan.record_telemetry(&self.sink, now);
+        let mut makespan = plan.retrieval_makespan(
+            self.sys.scenario.ckpt_bytes_per_machine(),
+            self.sys.scenario.machines,
+            &self.sys.scenario.instance.ckpt_net_cost(),
+            &self.sys.scenario.instance.copy_cost(),
+            &self.sys.scenario.storage_cost(),
+        );
+        if plan.case != RecoveryCase::SoftwareLocal {
+            let factor = self.degrade_factor_at(now);
+            if factor > 1.0 {
+                makespan = makespan.mul_f64(factor);
+            }
+        }
+        let index = self.wave.as_ref().expect("wave active").index;
+        self.wave.as_mut().expect("wave active").plan = Some(plan);
+        ctx.schedule_after(makespan, Ev::RetrievalDone { wave: index });
+    }
+
+    fn coordination_tick(&mut self, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        if self.kv_out(now) {
+            return; // the KV store is unreachable: no campaigns, no scans
+        }
+        // Every alive, un-muted machine campaigns; the store arbitrates.
+        for rank in 0..self.roots.len() {
+            if self.down.contains_key(&rank) || now < self.muted_until[rank] {
+                continue;
+            }
+            let _ = self.roots[rank].campaign(&mut self.kv, now);
+        }
+        // Invariant 1: leader census through the election key.
+        let mut leaders: Vec<usize> = Vec::new();
+        for rank in 0..self.roots.len() {
+            if self.down.contains_key(&rank) {
+                continue;
+            }
+            if self.roots[rank].is_leader(&mut self.kv, now) {
+                leaders.push(rank);
+            }
+        }
+        self.max_leaders = self.max_leaders.max(leaders.len());
+        if leaders.len() > 1 {
+            self.violations.push(format!(
+                "{} concurrent leaders at t={:.0}s",
+                leaders.len(),
+                now.as_secs_f64()
+            ));
+        }
+        let Some(&leader) = leaders.first() else {
+            return; // leaderless gap (lease not yet expired): no scan
+        };
+        let identity = self.roots[leader].identity().to_string();
+        if self.last_leader.as_deref() != Some(identity.as_str()) {
+            if self.last_leader.is_some() {
+                self.leader_changes += 1;
+            }
+            self.last_leader = Some(identity);
+        }
+        // Scan and advance confirmation streaks.
+        let n = self.sys.cluster.len();
+        let report = self.roots[leader].scan(&mut self.kv, now, n);
+        for rank in 0..n {
+            if report.missing.contains(&rank) {
+                self.streak[rank] = self.streak[rank].saturating_add(1);
+            } else if report.alive.contains(&rank) {
+                self.streak[rank] = 0;
+            }
+        }
+        let confirmed: Vec<usize> = (0..n)
+            .filter(|&r| self.streak[r] >= CONFIRM_TICKS && !self.handled.contains(&r))
+            .collect();
+        if confirmed.is_empty() {
+            return;
+        }
+        let mut real: Vec<(usize, FailureKind)> = Vec::new();
+        for rank in confirmed {
+            match self.down.get(&rank) {
+                Some(&kind) => real.push((rank, kind)),
+                None => {
+                    // Alive but confirmed missing: the streak failed to
+                    // absorb a blip. Counted, asserted zero by the suite.
+                    if self.spurious.insert(rank) {
+                        self.sink.counter_add("chaos.spurious_detections", 1);
+                    }
+                }
+            }
+        }
+        if real.is_empty() {
+            return;
+        }
+        enum Action {
+            Start,
+            Merge,
+            Defer,
+        }
+        let action = match &self.wave {
+            None => Action::Start,
+            Some(w) if w.plan.is_none() => Action::Merge,
+            Some(_) => Action::Defer,
+        };
+        match action {
+            Action::Start => self.start_wave(ctx, now, real),
+            Action::Merge => self.merge_wave(ctx, now, real),
+            // Retrieval already in flight: the ranks stay missing, their
+            // streaks stay saturated, and the next tick after this wave
+            // completes starts the follow-up wave.
+            Action::Defer => {}
+        }
+    }
+}
+
+impl Model for ChaosModel {
+    type Event = Ev;
+
+    fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+        match event {
+            Ev::IterationDone(i) => {
+                if self.training_blocked {
+                    return; // chain dies; restarted when training resumes
+                }
+                self.current_iteration = i;
+                self.sys.store.record_complete(i);
+                self.last_committed = i;
+                self.sink
+                    .event(ctx.now(), || TelemetryEvent::IterationComplete {
+                        iteration: i,
+                    });
+                ctx.schedule_after(self.sys.iteration_time(), Ev::IterationDone(i + 1));
+            }
+            Ev::Heartbeat(rank) => {
+                if self.down.contains_key(&rank) {
+                    return; // the process is gone; restarted on recovery
+                }
+                let now = ctx.now();
+                if let Some(release) = self.hb_delay_release(now) {
+                    // Sent now, delivered when the delay window closes.
+                    ctx.schedule_at(release, Ev::DeliverHeartbeat(rank));
+                } else if !self.kv_out(now) {
+                    self.workers[rank]
+                        .heartbeat(&mut self.kv, now)
+                        .expect("heartbeat");
+                }
+                ctx.schedule_after(
+                    self.sys.scenario.config.heartbeat_period,
+                    Ev::Heartbeat(rank),
+                );
+            }
+            Ev::DeliverHeartbeat(rank) => {
+                let now = ctx.now();
+                if self.down.contains_key(&rank) || self.kv_out(now) {
+                    return;
+                }
+                self.workers[rank]
+                    .heartbeat(&mut self.kv, now)
+                    .expect("heartbeat");
+            }
+            Ev::CoordinationTick => {
+                self.coordination_tick(ctx);
+                ctx.schedule_after(SimDuration::from_secs(1), Ev::CoordinationTick);
+            }
+            Ev::Inject(i) => {
+                let fault = self.faults[i].fault.clone();
+                self.injected += 1;
+                let label = format!("{fault:?}");
+                self.sink
+                    .event(ctx.now(), || TelemetryEvent::ChaosFault { fault: label });
+                self.sink.counter_add("chaos.faults", 1);
+                match fault {
+                    FaultKind::Kill { rank, kind } => self.kill(ctx, rank, kind),
+                    FaultKind::KillGroup { group, kind } => {
+                        let members: Vec<usize> = self
+                            .sys
+                            .placement
+                            .groups()
+                            .get(group)
+                            .map(|g| g.members.clone())
+                            .unwrap_or_default();
+                        for rank in members {
+                            self.kill(ctx, rank, kind);
+                        }
+                    }
+                    FaultKind::OperatorOutage { duration } => {
+                        self.operator.set_outage_until(ctx.now() + duration);
+                    }
+                    FaultKind::RootChurn { kills, period } => {
+                        if kills > 0 {
+                            ctx.schedule_after(
+                                SimDuration::ZERO,
+                                Ev::Churn {
+                                    remaining: kills,
+                                    period,
+                                },
+                            );
+                        }
+                    }
+                    // Window faults act through the precomputed windows;
+                    // the Inject event only marks them in the event log.
+                    FaultKind::KvOutage { .. }
+                    | FaultKind::HeartbeatDelay { .. }
+                    | FaultKind::NicDegrade { .. }
+                    | FaultKind::NicPartition { .. } => {}
+                }
+            }
+            Ev::Churn { remaining, period } => {
+                let now = ctx.now();
+                if !self.kv_out(now) {
+                    let mut leader = None;
+                    for rank in 0..self.roots.len() {
+                        if !self.down.contains_key(&rank)
+                            && self.roots[rank].is_leader(&mut self.kv, now)
+                        {
+                            leader = Some(rank);
+                            break;
+                        }
+                    }
+                    if let Some(rank) = leader {
+                        let _ = self.roots[rank].resign(&mut self.kv, now);
+                        self.muted_until[rank] = now + CHURN_MUTE;
+                        let label =
+                            format!("root churn: {} resigned", self.roots[rank].identity());
+                        self.sink
+                            .event(now, || TelemetryEvent::ChaosFault { fault: label });
+                    }
+                }
+                if remaining > 1 {
+                    ctx.schedule_after(
+                        period,
+                        Ev::Churn {
+                            remaining: remaining - 1,
+                            period,
+                        },
+                    );
+                }
+            }
+            Ev::SerializeDone { wave, token } => {
+                let current = self
+                    .wave
+                    .as_ref()
+                    .is_some_and(|w| w.index == wave && w.serialize_token == token);
+                if !current {
+                    return; // superseded by a merge, or a stale wave
+                }
+                self.wave.as_mut().expect("wave active").serialize_done = true;
+                self.sink
+                    .event(ctx.now(), || TelemetryEvent::SerializationFinished);
+                self.maybe_start_retrieval(ctx);
+            }
+            Ev::ReplacementAttempt {
+                wave,
+                rank,
+                attempt,
+            } => {
+                let active = self
+                    .wave
+                    .as_ref()
+                    .is_some_and(|w| w.index == wave && w.replacements_pending.contains(&rank));
+                if !active {
+                    return;
+                }
+                let now = ctx.now();
+                match self.operator.try_request_replacement(now, ctx.rng()) {
+                    Some(provision) => {
+                        self.sink
+                            .event(now, || TelemetryEvent::ReplacementRequested {
+                                rank,
+                                standby: provision.from_standby,
+                                ready_at: provision.ready_at,
+                            });
+                        ctx.schedule_at(
+                            provision.ready_at,
+                            Ev::ReplacementReady { wave, rank },
+                        );
+                    }
+                    None => {
+                        self.retry_attempts += 1;
+                        let class = TimeoutClass::classify(attempt, self.retry.max_attempts);
+                        let label = match class {
+                            TimeoutClass::Transient => "transient",
+                            TimeoutClass::Degraded => "degraded",
+                            TimeoutClass::Fatal => "fatal",
+                        };
+                        self.sink.counter_add_labeled(
+                            "chaos.replacement_retries",
+                            "class",
+                            label,
+                            1,
+                        );
+                        match self.retry.backoff(attempt) {
+                            Some(backoff) => {
+                                self.sink.event(now, || TelemetryEvent::RetryAttempt {
+                                    operation: "cluster.replacement".to_string(),
+                                    attempt,
+                                    backoff,
+                                });
+                                ctx.schedule_after(
+                                    backoff,
+                                    Ev::ReplacementAttempt {
+                                        wave,
+                                        rank,
+                                        attempt: attempt + 1,
+                                    },
+                                );
+                            }
+                            None => {
+                                // Fatal: the wave can never finish; the
+                                // termination invariant reports it.
+                                self.violations.push(format!(
+                                    "replacement retry budget exhausted for rank {rank} \
+                                     after {} attempts",
+                                    attempt + 1
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::ReplacementReady { wave, rank } => {
+                let active = self
+                    .wave
+                    .as_ref()
+                    .is_some_and(|w| w.index == wave && w.replacements_pending.contains(&rank));
+                if !active {
+                    return;
+                }
+                self.sys
+                    .cluster
+                    .complete_replacement(rank, ctx.now())
+                    .expect("rank was put in Replacing state");
+                self.wave
+                    .as_mut()
+                    .expect("wave active")
+                    .replacements_pending
+                    .remove(&rank);
+                self.sink
+                    .event(ctx.now(), || TelemetryEvent::MachineReplaced { rank });
+                self.maybe_start_retrieval(ctx);
+            }
+            Ev::RetrievalDone { wave } => {
+                let active = self
+                    .wave
+                    .as_ref()
+                    .is_some_and(|w| w.index == wave && w.plan.is_some());
+                if !active {
+                    return;
+                }
+                self.sink
+                    .event(ctx.now(), || TelemetryEvent::RetrievalFinished);
+                ctx.schedule_after(
+                    self.sys.scenario.config.restart_warmup,
+                    Ev::WarmupDone { wave },
+                );
+            }
+            Ev::WarmupDone { wave } => {
+                if !self.wave.as_ref().is_some_and(|w| w.index == wave) {
+                    return;
+                }
+                let now = ctx.now();
+                let w = self.wave.take().expect("wave active");
+                let plan = w.plan.expect("retrieval implies a plan");
+                for &(rank, kind) in &w.failures {
+                    if kind == FailureKind::Software {
+                        self.sys.cluster.restart(rank).expect("rank exists");
+                    }
+                    self.down.remove(&rank);
+                    self.handled.remove(&rank);
+                    self.streak[rank] = 0;
+                    if !self.kv_out(now) {
+                        self.workers[rank]
+                            .register(&mut self.kv, now)
+                            .expect("re-register");
+                    }
+                    ctx.schedule_after(
+                        self.sys.scenario.config.heartbeat_period,
+                        Ev::Heartbeat(rank),
+                    );
+                }
+                self.current_iteration = plan.iteration;
+                self.sink
+                    .event(now, || TelemetryEvent::TrainingResumed {
+                        iteration: plan.iteration,
+                    });
+                self.sink.counter_add("chaos.waves", 1);
+                if self.sink.is_enabled() {
+                    let name = format!("wave-{}", w.index);
+                    self.sink.span("chaos", || name.clone(), w.detected_at, now);
+                }
+                self.waves_done.push(WaveReport {
+                    index: w.index,
+                    failures: w
+                        .failures
+                        .iter()
+                        .map(|&(r, k)| format!("{r}:{}", kind_label(k)))
+                        .collect(),
+                    detected_at: w.detected_at,
+                    case: plan.case,
+                    resumed_from_iteration: plan.iteration,
+                    resumed_at: now,
+                    downtime: now.saturating_since(w.detected_at),
+                    degraded: plan.degraded.clone(),
+                });
+                if self.down.is_empty() {
+                    self.training_blocked = false;
+                    ctx.schedule_after(
+                        self.sys.iteration_time(),
+                        Ev::IterationDone(plan.iteration + 1),
+                    );
+                }
+                // Otherwise more ranks are still down (killed during the
+                // retrieval); their saturated streaks start the next wave
+                // on the next coordination tick.
+            }
+        }
+    }
+}
+
+/// Runs one chaos plan under `seed`, recording through a fresh enabled
+/// sink.
+pub fn run_chaos(plan: &ChaosPlan, seed: u64) -> Result<ChaosReport, GeminiError> {
+    run_chaos_with(plan, seed, TelemetrySink::enabled())
+}
+
+/// Runs one chaos plan under `seed`, recording through `sink`. Telemetry
+/// never feeds back into the model, so a disabled sink yields the exact
+/// same report, faster.
+pub fn run_chaos_with(
+    plan: &ChaosPlan,
+    seed: u64,
+    sink: TelemetrySink,
+) -> Result<ChaosReport, GeminiError> {
+    let mut sys = plan.scenario.build_system(seed)?;
+    // Jobs start from a persisted initial checkpoint (iteration 0) — what
+    // the persistent-fallback path rolls back to.
+    sys.store.persist(0);
+    sys.schedule.record_telemetry(&sink, SimTime::ZERO);
+    let n = sys.cluster.len();
+    let groups = sys.placement.groups().len();
+    for f in &plan.faults {
+        match &f.fault {
+            FaultKind::Kill { rank, .. } if *rank >= n => {
+                return Err(GeminiError::UnknownRank(*rank));
+            }
+            FaultKind::KillGroup { group, .. } if *group >= groups => {
+                return Err(GeminiError::InvalidPartitionInput(
+                    "chaos plan references an unknown placement group",
+                ));
+            }
+            FaultKind::NicPartition { ranks, .. } => {
+                if let Some(&r) = ranks.iter().find(|&&r| r >= n) {
+                    return Err(GeminiError::UnknownRank(r));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Precompute the window faults.
+    let mut kv_outages = Vec::new();
+    let mut hb_delays = Vec::new();
+    let mut degrades = Vec::new();
+    let mut partitions = Vec::new();
+    for f in &plan.faults {
+        match &f.fault {
+            FaultKind::KvOutage { duration } => kv_outages.push((f.at, f.at + *duration)),
+            FaultKind::HeartbeatDelay { duration } => {
+                hb_delays.push((f.at, f.at + *duration));
+            }
+            FaultKind::NicDegrade { factor, duration } => {
+                degrades.push((f.at, f.at + *duration, *factor));
+            }
+            FaultKind::NicPartition { ranks, duration } => {
+                partitions.push((f.at, f.at + *duration, ranks.clone()));
+            }
+            _ => {}
+        }
+    }
+
+    let gcfg = sys.scenario.config;
+    let iter_time = sys.iteration_time();
+    let mut kv = KvStore::new().with_telemetry(sink.clone());
+    let mut workers: Vec<WorkerAgent> = (0..n)
+        .map(|r| WorkerAgent::new(r, r as u64, gcfg))
+        .collect();
+    for w in workers.iter_mut() {
+        w.register(&mut kv, SimTime::ZERO).expect("register");
+    }
+    let roots: Vec<RootAgent> = (0..n)
+        .map(|r| RootAgent::new(&format!("machine-{r}"), &gcfg))
+        .collect();
+
+    let mut model = ChaosModel {
+        sys,
+        kv,
+        sink: sink.clone(),
+        workers,
+        roots,
+        operator: CloudOperator::new(plan.operator).with_telemetry(sink.clone()),
+        retry: plan.retry,
+        faults: plan.faults.clone(),
+        kv_outages,
+        hb_delays,
+        degrades,
+        partitions,
+        down: BTreeMap::new(),
+        muted_until: vec![SimTime::ZERO; n],
+        streak: vec![0; n],
+        handled: BTreeSet::new(),
+        wave: None,
+        waves_done: Vec::new(),
+        next_wave_index: 0,
+        serialize_seq: 0,
+        current_iteration: 0,
+        last_committed: 0,
+        training_blocked: false,
+        injected: 0,
+        max_leaders: 0,
+        leader_changes: 0,
+        last_leader: None,
+        spurious: BTreeSet::new(),
+        retry_attempts: 0,
+        violations: Vec::new(),
+    };
+
+    let mut engine =
+        Engine::new(seed).with_probe(EngineTelemetryProbe::boxed(sink.clone(), 256));
+    engine.prime_at(SimTime::ZERO, Ev::CoordinationTick);
+    for r in 0..n {
+        engine.prime_after(gcfg.heartbeat_period, Ev::Heartbeat(r));
+    }
+    engine.prime_after(iter_time, Ev::IterationDone(1));
+    for (i, f) in plan.faults.iter().enumerate() {
+        engine.prime_at(f.at, Ev::Inject(i));
+    }
+    engine.run(&mut model, Some(plan.horizon), 50_000_000);
+
+    // Invariant 3: recovery terminates before the horizon.
+    let mut violations = model.violations;
+    if let Some(w) = &model.wave {
+        violations.push(format!(
+            "recovery wave {} still in flight at the horizon",
+            w.index
+        ));
+    }
+    if !model.down.is_empty() {
+        violations.push(format!(
+            "{} rank(s) still down at the horizon",
+            model.down.len()
+        ));
+    }
+    if sink.is_enabled() {
+        sink.counter_add("chaos.runs", 1);
+        sink.counter_add("chaos.violations", violations.len() as u64);
+    }
+
+    Ok(ChaosReport {
+        plan_name: plan.name.clone(),
+        seed,
+        horizon: plan.horizon,
+        faults_injected: model.injected,
+        waves: model.waves_done,
+        max_concurrent_leaders: model.max_leaders,
+        leader_changes: model.leader_changes,
+        spurious_detections: model.spurious.len() as u64,
+        retry_attempts: model.retry_attempts,
+        replacements_denied: model.operator.requests_denied(),
+        final_iteration: model.current_iteration,
+        violations,
+    })
+}
+
+/// Runs every `plan` × every `seed` (plan-major order) across `jobs`
+/// workers, with telemetry disabled for speed. Deterministic: the result
+/// vector depends only on the inputs, never on scheduling.
+pub fn run_chaos_campaign(
+    plans: &[ChaosPlan],
+    seeds: &[u64],
+    jobs: usize,
+) -> Result<Vec<ChaosReport>, GeminiError> {
+    let total = plans.len() * seeds.len();
+    crate::par::try_par_map(jobs, total, |i| {
+        let plan = &plans[i / seeds.len()];
+        let seed = seeds[i % seeds.len()];
+        run_chaos_with(plan, seed, TelemetrySink::disabled())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_mid_checkpoint_recovers_green() {
+        let report = run_chaos(&ChaosPlan::kill_mid_checkpoint(), 1).unwrap();
+        assert!(report.is_green(), "violations: {:?}", report.violations);
+        assert_eq!(report.waves.len(), 1);
+        assert_eq!(report.waves[0].case, RecoveryCase::HardwareFromCpu);
+        assert_eq!(report.max_concurrent_leaders, 1);
+        assert_eq!(report.spurious_detections, 0);
+        // Training resumed and kept iterating after the wave.
+        assert!(report.final_iteration > report.waves[0].resumed_from_iteration);
+    }
+
+    #[test]
+    fn confirmation_streak_delays_detection_but_bounds_it() {
+        let report = run_chaos(&ChaosPlan::kill_mid_checkpoint(), 1).unwrap();
+        let detected = report.waves[0].detected_at.as_secs_f64();
+        // Kill at 500 s; TTL 15 s + CONFIRM_TICKS scans + scan granularity.
+        assert!(
+            (515.0..=525.0).contains(&detected),
+            "detected at {detected:.1}s"
+        );
+    }
+
+    #[test]
+    fn group_loss_degrades_to_persistent_legitimately() {
+        let report = run_chaos(&ChaosPlan::correlated_group_loss(), 2).unwrap();
+        assert!(report.is_green(), "violations: {:?}", report.violations);
+        assert_eq!(report.waves.len(), 1);
+        assert_eq!(report.waves[0].case, RecoveryCase::PersistentFallback);
+        assert_eq!(report.waves[0].resumed_from_iteration, 0);
+    }
+
+    #[test]
+    fn kv_outage_causes_no_spurious_recovery() {
+        // Outage only — every lease expires, nothing must be "recovered".
+        let mut plan = ChaosPlan::kv_outage_blackout();
+        plan.faults.truncate(1); // keep only the KvOutage
+        let report = run_chaos(&plan, 3).unwrap();
+        assert!(report.is_green(), "violations: {:?}", report.violations);
+        assert!(report.waves.is_empty());
+        assert_eq!(report.spurious_detections, 0);
+    }
+
+    #[test]
+    fn kv_outage_then_real_failure_still_detected() {
+        let report = run_chaos(&ChaosPlan::kv_outage_blackout(), 3).unwrap();
+        assert!(report.is_green(), "violations: {:?}", report.violations);
+        assert_eq!(report.waves.len(), 1);
+        assert_eq!(report.waves[0].case, RecoveryCase::SoftwareLocal);
+        assert_eq!(report.spurious_detections, 0);
+    }
+
+    #[test]
+    fn root_churn_never_elects_two_leaders() {
+        let report = run_chaos(&ChaosPlan::root_churn(), 4).unwrap();
+        assert!(report.is_green(), "violations: {:?}", report.violations);
+        assert_eq!(report.max_concurrent_leaders, 1);
+        // Three forced resignations → leadership moved at least three times.
+        assert!(
+            report.leader_changes >= 3,
+            "leader_changes = {}",
+            report.leader_changes
+        );
+        assert_eq!(report.waves.len(), 1);
+    }
+
+    #[test]
+    fn replacement_exhaustion_retries_with_backoff_until_success() {
+        let report = run_chaos(&ChaosPlan::replacement_exhaustion(), 5).unwrap();
+        assert!(report.is_green(), "violations: {:?}", report.violations);
+        assert!(report.retry_attempts > 0, "expected denied-then-retried");
+        assert_eq!(report.retry_attempts, report.replacements_denied);
+        assert_eq!(report.waves.len(), 1);
+        assert_eq!(report.waves[0].case, RecoveryCase::HardwareFromCpu);
+    }
+
+    #[test]
+    fn nic_partition_degrades_to_persistent_gracefully() {
+        let report = run_chaos(&ChaosPlan::degraded_nic_partition(), 6).unwrap();
+        assert!(report.is_green(), "violations: {:?}", report.violations);
+        assert_eq!(report.waves.len(), 1);
+        assert_eq!(report.waves[0].case, RecoveryCase::PersistentFallback);
+        assert!(
+            report.waves[0].degraded.is_some(),
+            "degradation reason must be recorded"
+        );
+    }
+
+    #[test]
+    fn flaky_heartbeats_absorbed_by_the_streak() {
+        let report = run_chaos(&ChaosPlan::flaky_heartbeats(), 7).unwrap();
+        assert!(report.is_green(), "violations: {:?}", report.violations);
+        assert_eq!(report.spurious_detections, 0);
+        assert_eq!(report.waves.len(), 1, "only the real kill recovers");
+    }
+
+    #[test]
+    fn failure_during_serialization_merges_into_the_wave() {
+        // First kill at 500 s → confirmed ≈ 522 s, serialization runs to
+        // ≈ 684 s. A second victim confirmed ≈ 552 s lands mid-serialize
+        // and must merge into the active wave (the snapshot restarts).
+        let mut plan = ChaosPlan::kill_mid_checkpoint();
+        plan.faults.push(TimedFault {
+            at: SimTime::from_secs(530),
+            fault: FaultKind::Kill {
+                rank: 10,
+                kind: FailureKind::Software,
+            },
+        });
+        let report = run_chaos(&plan, 8).unwrap();
+        assert!(report.is_green(), "violations: {:?}", report.violations);
+        assert_eq!(report.waves.len(), 1, "merged into one wave");
+        assert_eq!(report.waves[0].failures.len(), 2);
+        assert_eq!(report.waves[0].case, RecoveryCase::HardwareFromCpu);
+    }
+
+    #[test]
+    fn failure_during_retrieval_starts_a_second_wave() {
+        // The second kill strikes while wave 0 is retrieving/warming up:
+        // it must not corrupt the in-flight wave, and must be recovered
+        // by a follow-up wave once the first completes.
+        let mut plan = ChaosPlan::kill_mid_checkpoint();
+        plan.faults.push(TimedFault {
+            at: SimTime::from_secs(1000),
+            fault: FaultKind::Kill {
+                rank: 2,
+                kind: FailureKind::Software,
+            },
+        });
+        plan.horizon = SimTime::from_secs(3600);
+        let report = run_chaos(&plan, 8).unwrap();
+        assert!(report.is_green(), "violations: {:?}", report.violations);
+        assert_eq!(report.waves.len(), 2, "second failure gets its own wave");
+        assert_eq!(report.waves[1].case, RecoveryCase::SoftwareLocal);
+    }
+
+    #[test]
+    fn same_seed_reruns_are_byte_identical() {
+        for plan in [ChaosPlan::kill_mid_checkpoint(), ChaosPlan::root_churn()] {
+            let a = run_chaos_with(&plan, 9, TelemetrySink::disabled()).unwrap();
+            let b = run_chaos_with(&plan, 9, TelemetrySink::enabled()).unwrap();
+            assert_eq!(a.render(), b.render(), "plan {}", plan.name);
+        }
+    }
+
+    #[test]
+    fn chaos_emits_typed_fault_and_retry_events() {
+        use TelemetryEvent as E;
+        let sink = TelemetrySink::enabled();
+        run_chaos_with(&ChaosPlan::replacement_exhaustion(), 5, sink.clone()).unwrap();
+        assert!(!sink.find(|e| matches!(e, E::ChaosFault { .. })).is_empty());
+        assert!(!sink.find(|e| matches!(e, E::RetryAttempt { .. })).is_empty());
+        let snap = sink.metrics_snapshot();
+        assert!(snap.counter(gemini_telemetry::Key::plain("chaos.faults")) >= 2);
+        assert_eq!(snap.counter(gemini_telemetry::Key::plain("chaos.runs")), 1);
+        assert!(
+            snap.counter(gemini_telemetry::Key::plain("cluster.replacement_denied")) > 0
+        );
+    }
+
+    #[test]
+    fn unknown_rank_in_plan_rejected() {
+        let mut plan = ChaosPlan::kill_mid_checkpoint();
+        plan.faults[0].fault = FaultKind::Kill {
+            rank: 99,
+            kind: FailureKind::Hardware,
+        };
+        assert!(run_chaos(&plan, 1).is_err());
+    }
+
+    #[test]
+    fn campaign_runs_the_catalog_deterministically() {
+        let plans = vec![ChaosPlan::kill_mid_checkpoint(), ChaosPlan::root_churn()];
+        let seeds = [1, 2];
+        let a = run_chaos_campaign(&plans, &seeds, 1).unwrap();
+        let b = run_chaos_campaign(&plans, &seeds, 2).unwrap();
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.render(), y.render());
+        }
+    }
+}

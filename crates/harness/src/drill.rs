@@ -588,6 +588,71 @@ mod tests {
     }
 
     #[test]
+    fn matrix_software_plus_hardware_simultaneous() {
+        // One process crash and one machine loss in the same instant: the
+        // hardware loss dominates the recovery tier, the software victim
+        // restarts in place, and only the hardware rank gets a
+        // replacement machine.
+        let mut cfg = DrillConfig::fig14();
+        cfg.failures = vec![(4, FailureKind::Software), (9, FailureKind::Hardware)];
+        let report = run_drill(&cfg).unwrap();
+        assert_eq!(report.case, RecoveryCase::HardwareFromCpu);
+        assert_eq!(report.resumed_from_iteration, 3);
+        // Detection is bounded by the health TTL plus one 1 s scan tick
+        // (the scan runs once per second, so the lapse can be noticed up
+        // to a tick after the lease expires).
+        let ttl = cfg.scenario.config.health_ttl;
+        assert!(
+            report.detect_latency <= ttl + SimDuration::from_secs(1),
+            "detect = {:.1}s > ttl + scan tick",
+            report.detect_latency.as_secs_f64()
+        );
+        // A replacement was actually waited for (ASG window).
+        let wait = report.replacement_wait.as_secs_f64() / 60.0;
+        assert!((4.0..=7.1).contains(&wait), "replacement = {wait:.1} min");
+    }
+
+    #[test]
+    fn matrix_root_plus_worker_simultaneous() {
+        // The initial root (rank 0) and a worker die together: leadership
+        // must fail over before anyone can detect either failure, so the
+        // bound gains one election TTL on top of the health TTL.
+        let mut cfg = DrillConfig::fig14();
+        cfg.failures = vec![(0, FailureKind::Hardware), (7, FailureKind::Software)];
+        let report = run_drill(&cfg).unwrap();
+        assert_ne!(report.detecting_root, "machine-0");
+        assert_eq!(report.case, RecoveryCase::HardwareFromCpu);
+        assert_eq!(report.resumed_from_iteration, 3);
+        let ttl = cfg.scenario.config.health_ttl;
+        assert!(
+            report.detect_latency <= ttl + ttl + SimDuration::from_secs(1),
+            "detect = {:.1}s > 2×ttl + scan tick",
+            report.detect_latency.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn matrix_detection_latency_bounded_for_every_single_failure() {
+        // Sweep victim ranks and kinds: for non-root victims the lapse is
+        // noticed within health_ttl plus one scan tick, regardless of
+        // which machine or failure class is involved.
+        let ttl = DrillConfig::fig14().scenario.config.health_ttl;
+        let bound = ttl + SimDuration::from_secs(1);
+        for rank in [1usize, 6, 15] {
+            for kind in [FailureKind::Software, FailureKind::Hardware] {
+                let mut cfg = DrillConfig::fig14();
+                cfg.failures = vec![(rank, kind)];
+                let report = run_drill(&cfg).unwrap();
+                assert!(
+                    report.detect_latency <= bound,
+                    "rank {rank} {kind:?}: detect = {:.1}s",
+                    report.detect_latency.as_secs_f64()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn typed_events_cover_the_recovery_milestones() {
         use TelemetryEvent as E;
         let sink = TelemetrySink::enabled();

@@ -9,6 +9,10 @@
 //!   exact timeline trace.
 //! * [`campaign`] — long-horizon training campaigns with Poisson failure
 //!   injection, producing the *effective training time ratio* of Fig. 15.
+//! * [`chaos`] — the deterministic fault-injection engine: named chaos
+//!   plans (correlated group kills, KV blackouts, delayed heartbeats,
+//!   NIC degradation/partition, replacement exhaustion, root churn)
+//!   driven through the DES stack, with four run invariants.
 //! * [`runtime`] — a synchronous façade (`train` / `inject_failure` /
 //!   `recover`) over the whole system, carrying real checkpoint bytes.
 //! * [`experiments`] — one function per table/figure returning structured
@@ -20,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod chaos;
 pub mod des_campaign;
 pub mod drill;
 pub mod experiments;
@@ -32,6 +37,10 @@ pub mod scenario;
 pub use campaign::{
     campaign_grid, run_campaign, run_campaign_with, run_campaigns, CampaignConfig, CampaignResult,
     Solution,
+};
+pub use chaos::{
+    run_chaos, run_chaos_campaign, run_chaos_with, ChaosPlan, ChaosReport, FaultKind, TimedFault,
+    WaveReport,
 };
 pub use des_campaign::{run_des_campaign, run_des_sweep, DesCampaignConfig, DesCampaignResult};
 pub use drill::{run_drill, run_drill_with, DrillConfig, DrillReport};

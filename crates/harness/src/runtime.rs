@@ -91,7 +91,7 @@ impl GeminiRuntime {
             // Byte-level capacity scaled to the synthetic shard size: the
             // same 2-buffers × m-replicas headroom as the real deployment.
             ByteSize::from_bytes((shard_bytes as u64 + 64) * 2 * gcfg.replicas as u64 + 4096),
-        );
+        )?;
         // The data pipeline: a synthetic stand-in for Wikipedia-en, sharded
         // across the world. The loader's position is part of every
         // checkpoint so recovery replays the exact sample sequence.

@@ -69,10 +69,14 @@ impl Election {
                 leader: current.value,
             });
         }
-        // Key absent: race to create it under our lease.
-        let lease = match existing_lease {
-            Some(l) if kv.lease_alive(now, l) => l,
-            _ => kv.grant_lease(now, self.ttl),
+        // Key absent: race to create it under our lease. Track whether the
+        // lease was freshly granted for this round: if the CAS loses the
+        // race, a freshly granted lease must be revoked, or every losing
+        // campaign strands a live lease in the store until its TTL lapses
+        // (a slow leak under contested elections).
+        let (lease, fresh) = match existing_lease {
+            Some(l) if kv.lease_alive(now, l) => (l, false),
+            _ => (kv.grant_lease(now, self.ttl), true),
         };
         kv.telemetry().counter_add("kv.election_rounds", 1);
         match kv.compare_and_swap(now, &self.key, None, candidate, Some(lease)) {
@@ -84,9 +88,19 @@ impl Election {
                 });
                 Ok(Campaign::Leader(lease))
             }
-            Err(KvError::CasFailed { actual, .. }) => Ok(Campaign::Follower {
-                leader: actual.unwrap_or_default(),
-            }),
+            Err(KvError::CasFailed { actual, .. }) => {
+                if fresh {
+                    // Nothing is attached to the fresh lease yet, so revoke
+                    // only drops the lease record. Ignore LeaseNotFound:
+                    // `compare_and_swap`'s internal tick may already have
+                    // retired it.
+                    let _ = kv.revoke(now, lease);
+                    kv.telemetry().counter_add("kv.election_lease_revoked", 1);
+                }
+                Ok(Campaign::Follower {
+                    leader: actual.unwrap_or_default(),
+                })
+            }
             Err(e) => Err(e),
         }
     }
@@ -175,6 +189,57 @@ mod tests {
         assert_eq!(e.leader(&mut kv, t(1)), None);
         let r = e.campaign(&mut kv, t(1), "m1", None).unwrap();
         assert!(matches!(r, Campaign::Leader(_)));
+    }
+
+    #[test]
+    fn losing_campaigns_do_not_leak_leases() {
+        // Under repeated contested campaigns the live-lease count must stay
+        // bounded by the number of lease holders, not grow per round. (The
+        // agent-level regression — a live lease dropped on follow — is
+        // covered in `gemini_core::agents`; here we pin the store-level
+        // invariant.)
+        let mut kv = KvStore::new();
+        let e = election();
+        let Campaign::Leader(leader_lease) = e.campaign(&mut kv, t(0), "m0", None).unwrap() else {
+            panic!("m0 should lead");
+        };
+        let challengers = ["m1", "m2", "m3", "m4", "m5"];
+        for s in 0..100u64 {
+            // Leader renews; everyone else campaigns (without retaining a
+            // lease across rounds, like a fresh candidate each time) and
+            // loses.
+            let r = e.campaign(&mut kv, t(s), "m0", Some(leader_lease)).unwrap();
+            assert_eq!(r, Campaign::Leader(leader_lease));
+            for c in challengers {
+                let r = e.campaign(&mut kv, t(s), c, None).unwrap();
+                assert!(matches!(r, Campaign::Follower { .. }));
+            }
+            // Only the leader's lease may be live. Pre-fix this grows by
+            // |challengers| per round until TTL catches up (≈ ttl *
+            // |challengers| in steady state = 50 here).
+            assert_eq!(
+                kv.live_leases(t(s)),
+                1,
+                "leaked leases at t={s}: {}",
+                kv.live_leases(t(s))
+            );
+        }
+    }
+
+    #[test]
+    fn losing_campaign_retains_existing_live_lease() {
+        // A candidate that brings its own still-live lease to a losing
+        // campaign keeps it (it may be attached to other keys, e.g. the
+        // worker's health key) — only *freshly granted* leases are revoked.
+        let mut kv = KvStore::new();
+        let e = election();
+        e.campaign(&mut kv, t(0), "m0", None).unwrap();
+        let own = kv.grant_lease(t(0), SimDuration::from_secs(30));
+        kv.put(t(0), "gemini/health/1", "1:0:0", Some(own)).unwrap();
+        let r = e.campaign(&mut kv, t(1), "m1", Some(own)).unwrap();
+        assert!(matches!(r, Campaign::Follower { .. }));
+        assert!(kv.lease_alive(t(1), own), "existing lease must survive");
+        assert!(kv.get(t(1), "gemini/health/1").is_some());
     }
 
     #[test]

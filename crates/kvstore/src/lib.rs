@@ -19,10 +19,12 @@
 
 pub mod election;
 pub mod lease;
+pub mod retry;
 pub mod store;
 pub mod watch;
 
 pub use election::{Campaign, Election};
 pub use lease::{Lease, LeaseId};
+pub use retry::RetryPolicy;
 pub use store::{KvError, KvStore, Revision, VersionedValue, WatcherId};
 pub use watch::{EventKind, WatchEvent, Watcher};

@@ -1,0 +1,114 @@
+//! Bounded retry with deterministic exponential backoff.
+//!
+//! Recovery paths that talk to the KV store or the cloud operator must not
+//! spin forever when the dependency is down (chaos: KV-node crashes,
+//! replacement exhaustion). `RetryPolicy` gives them a shared, fully
+//! deterministic schedule: attempt `i` (0-based) backs off for
+//! `base * 2^i`, capped at `max_backoff`, for at most `max_attempts`
+//! attempts. No jitter — byte-identical reruns per seed are a chaos-engine
+//! invariant, so randomized backoff would have to be seeded anyway and
+//! deterministic truncated-exponential keeps traces legible.
+
+use gemini_sim::SimDuration;
+
+/// A bounded exponential-backoff schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts (>= 1). The first attempt is immediate;
+    /// the policy is exhausted after `max_attempts` failures.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt (doubles each retry).
+    pub base: SimDuration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    /// 6 attempts, 1 s base, 30 s cap: 1 + 2 + 4 + 8 + 16 (+ give up)
+    /// ≈ 31 s of patience — comfortably above one health TTL (15 s) so a
+    /// single KV hiccup is absorbed, but bounded so recovery terminates.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base: SimDuration::from_secs(1),
+            max_backoff: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` attempts, backoff starting at `base`
+    /// and capped at `max_backoff`.
+    pub fn new(max_attempts: u32, base: SimDuration, max_backoff: SimDuration) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base,
+            max_backoff,
+        }
+    }
+
+    /// The backoff to wait after failed attempt `attempt` (0-based), or
+    /// `None` when the policy is exhausted and the caller must give up.
+    pub fn backoff(&self, attempt: u32) -> Option<SimDuration> {
+        if attempt + 1 >= self.max_attempts {
+            return None;
+        }
+        // base * 2^attempt, saturating, capped.
+        let shift = attempt.min(30);
+        let nanos = self.base.as_nanos().saturating_mul(1u64 << shift);
+        let capped = nanos.min(self.max_backoff.as_nanos());
+        Some(SimDuration::from_nanos(capped))
+    }
+
+    /// Total time spent backing off if every attempt fails (the worst-case
+    /// added latency before the caller reports a timeout).
+    pub fn worst_case_backoff(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        let mut attempt = 0;
+        while let Some(b) = self.backoff(attempt) {
+            total = total + b;
+            attempt += 1;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy::new(
+            8,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(10),
+        );
+        let seq: Vec<u64> = (0..7)
+            .map(|i| p.backoff(i).unwrap().as_nanos() / 1_000_000_000)
+            .collect();
+        assert_eq!(seq, vec![1, 2, 4, 8, 10, 10, 10]);
+        assert_eq!(p.backoff(7), None);
+    }
+
+    #[test]
+    fn single_attempt_never_backs_off() {
+        let p = RetryPolicy::new(1, SimDuration::from_secs(1), SimDuration::from_secs(1));
+        assert_eq!(p.backoff(0), None);
+    }
+
+    #[test]
+    fn worst_case_is_sum_of_backoffs() {
+        let p = RetryPolicy::default();
+        // 1 + 2 + 4 + 8 + 16 = 31 s.
+        assert_eq!(p.worst_case_backoff(), SimDuration::from_secs(31));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let p = RetryPolicy::default();
+        for i in 0..10 {
+            assert_eq!(p.backoff(i), p.backoff(i));
+        }
+    }
+}

@@ -347,6 +347,16 @@ impl KvStore {
             .ok_or(KvError::WatcherNotFound(id.0))
     }
 
+    /// Number of live (unexpired) leases at `now`.
+    ///
+    /// Useful for leak detection: a correct agent population keeps this
+    /// bounded by the number of live participants, so tests can assert a
+    /// ceiling under repeated contested elections.
+    pub fn live_leases(&mut self, now: SimTime) -> usize {
+        self.tick(now);
+        self.leases.len()
+    }
+
     /// Number of live keys.
     pub fn len(&self) -> usize {
         self.map.len()

@@ -176,6 +176,26 @@ pub enum TelemetryEvent {
         /// Its max-min fair completion time.
         completes_in: SimDuration,
     },
+    /// The chaos engine injected (or lifted) a fault.
+    ChaosFault {
+        /// Human-readable fault description (e.g. `"kill rank 3"`,
+        /// `"kv outage start"`).
+        fault: String,
+    },
+    /// A coordination operation failed and is backing off before retrying.
+    RetryAttempt {
+        /// What is being retried (e.g. `"replacement"`, `"kv.put"`).
+        operation: String,
+        /// 0-based attempt number that just failed.
+        attempt: u32,
+        /// How long the caller backs off before the next attempt.
+        backoff: SimDuration,
+    },
+    /// The recovery planner could not use its preferred tier and degraded.
+    RecoveryDegraded {
+        /// Why (e.g. remote-CPU sources unreachable).
+        reason: String,
+    },
     /// Free-form annotation (escape hatch; prefer a typed variant).
     Note {
         /// The message.
@@ -207,6 +227,9 @@ impl TelemetryEvent {
             E::RetrievalFinished => "recovery.retrieval_finished",
             E::TrainingResumed { .. } => "training.resumed",
             E::FlowScheduled { .. } => "net.flow_scheduled",
+            E::ChaosFault { .. } => "chaos.fault",
+            E::RetryAttempt { .. } => "recovery.retry_attempt",
+            E::RecoveryDegraded { .. } => "recovery.degraded",
             E::Note { .. } => "note",
         }
     }
@@ -274,6 +297,13 @@ impl TelemetryEvent {
                 bytes,
                 completes_in,
             } => format!("flow {flow} scheduled ({bytes} B, completes in {completes_in})"),
+            E::ChaosFault { fault } => format!("chaos: {fault}"),
+            E::RetryAttempt {
+                operation,
+                attempt,
+                backoff,
+            } => format!("{operation} attempt {attempt} failed, backing off {backoff}"),
+            E::RecoveryDegraded { reason } => format!("recovery degraded: {reason}"),
             E::Note { message } => message.clone(),
         }
     }

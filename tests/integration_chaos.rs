@@ -1,0 +1,125 @@
+//! End-to-end chaos campaign: every catalogued fault plan crossed with
+//! several seeds, with all four engine invariants asserted green and the
+//! byte-identical-rerun (determinism) invariant checked explicitly.
+
+use gemini_core::recovery::RecoveryCase;
+use gemini_harness::{run_chaos_campaign, run_chaos_with, ChaosPlan};
+use gemini_telemetry::TelemetrySink;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+#[test]
+fn full_catalog_times_seeds_runs_green() {
+    let plans = ChaosPlan::catalog();
+    assert!(plans.len() >= 5, "catalog must hold at least 5 plans");
+    let reports = run_chaos_campaign(&plans, &SEEDS, 2).unwrap();
+    assert_eq!(reports.len(), plans.len() * SEEDS.len());
+    for report in &reports {
+        // Invariants 1-3 are folded into `violations` by the engine.
+        assert!(
+            report.is_green(),
+            "plan {} seed {}: {:?}",
+            report.plan_name,
+            report.seed,
+            report.violations
+        );
+        // Invariant 1, belt and braces: never two leaders.
+        assert!(
+            report.max_concurrent_leaders <= 1,
+            "plan {} seed {}: {} concurrent leaders",
+            report.plan_name,
+            report.seed,
+            report.max_concurrent_leaders
+        );
+        // The confirmation streak absorbed every blip.
+        assert_eq!(
+            report.spurious_detections, 0,
+            "plan {} seed {}: spurious detections",
+            report.plan_name, report.seed
+        );
+        // Faults actually fired and training made progress to the horizon.
+        assert!(report.faults_injected > 0);
+        assert!(report.final_iteration > 0);
+    }
+}
+
+#[test]
+fn reruns_with_the_same_seed_are_byte_identical() {
+    // Invariant 4. Rendering (not JSON) is the canonical comparison form,
+    // and an enabled telemetry sink must not perturb the model.
+    for plan in ChaosPlan::catalog() {
+        for seed in SEEDS {
+            let a = run_chaos_with(&plan, seed, TelemetrySink::disabled()).unwrap();
+            let b = run_chaos_with(&plan, seed, TelemetrySink::disabled()).unwrap();
+            let c = run_chaos_with(&plan, seed, TelemetrySink::enabled()).unwrap();
+            assert_eq!(
+                a.render(),
+                b.render(),
+                "plan {} seed {seed} differs across reruns",
+                plan.name
+            );
+            assert_eq!(
+                a.render(),
+                c.render(),
+                "plan {} seed {seed} perturbed by telemetry",
+                plan.name
+            );
+        }
+    }
+}
+
+#[test]
+fn campaign_is_jobs_invariant() {
+    let plans = ChaosPlan::catalog();
+    let serial = run_chaos_campaign(&plans, &SEEDS, 1).unwrap();
+    let parallel = run_chaos_campaign(&plans, &SEEDS, 4).unwrap();
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.render(), b.render());
+    }
+}
+
+#[test]
+fn recovery_tiers_cover_all_three_cases_across_the_catalog() {
+    // The catalog is diverse enough to exercise every recovery mechanism.
+    let plans = ChaosPlan::catalog();
+    let reports = run_chaos_campaign(&plans, &[1], 2).unwrap();
+    let cases: Vec<RecoveryCase> = reports
+        .iter()
+        .flat_map(|r| r.waves.iter().map(|w| w.case))
+        .collect();
+    for expect in [
+        RecoveryCase::SoftwareLocal,
+        RecoveryCase::HardwareFromCpu,
+        RecoveryCase::PersistentFallback,
+    ] {
+        assert!(
+            cases.contains(&expect),
+            "no catalogued plan exercised {expect:?} (got {cases:?})"
+        );
+    }
+}
+
+#[test]
+fn hardened_paths_exercise_retry_and_degradation() {
+    let exhaustion = run_chaos_with(
+        &ChaosPlan::replacement_exhaustion(),
+        1,
+        TelemetrySink::disabled(),
+    )
+    .unwrap();
+    assert!(exhaustion.is_green(), "{:?}", exhaustion.violations);
+    assert!(exhaustion.retry_attempts > 0);
+    assert_eq!(exhaustion.retry_attempts, exhaustion.replacements_denied);
+
+    let partition = run_chaos_with(
+        &ChaosPlan::degraded_nic_partition(),
+        1,
+        TelemetrySink::disabled(),
+    )
+    .unwrap();
+    assert!(partition.is_green(), "{:?}", partition.violations);
+    assert_eq!(partition.waves.len(), 1);
+    assert!(partition.waves[0].degraded.is_some());
+    assert_eq!(partition.waves[0].case, RecoveryCase::PersistentFallback);
+}
