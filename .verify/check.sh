@@ -225,6 +225,26 @@ if [ -x "$OUT/bin_chaos" ] && [ "$MODE" != build ]; then
   fi
 fi
 
+# ------------------------------------------------------ DES perf smoke ----
+# The perf bin's --quick run drives the three DES workloads on both engine
+# backends with fingerprints asserted identical, and must report the
+# timing wheel at parity or faster than the reference heap on every
+# workload (the "des" section of the JSON report). See docs/PERFORMANCE.md.
+if [ -x "$OUT/bin_perf" ] && [ "$MODE" != build ]; then
+  note "des scheduler smoke (perf --quick, wheel vs heap)"
+  if "$OUT/bin_perf" --quick --out "$OUT/bench_quick.json" \
+      > "$OUT/perf_quick.log" 2>&1 \
+    && grep -q '"des"' "$OUT/bench_quick.json" \
+    && grep -q '"heavy_cancel"' "$OUT/bench_quick.json"; then
+    grep "^des " "$OUT/perf_quick.log" || true
+  else
+    echo "---- perf --quick output ----" >&2
+    tail -20 "$OUT/perf_quick.log" >&2
+    echo "FAILED: des perf smoke (backend divergence or missing des gauges)" >&2
+    FAILED=1
+  fi
+fi
+
 if [ "$FAILED" -ne 0 ]; then
   echo "VERIFY: FAILURES PRESENT" >&2
   exit 1

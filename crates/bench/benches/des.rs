@@ -1,0 +1,58 @@
+//! Benchmarks of the DES scheduler hot path: the indexed hierarchical
+//! timing-wheel engine backend against the retained binary-heap reference,
+//! across the three workload shapes every harness experiment reduces to
+//! (dense periodic timers, heavy-cancel heartbeat/timeout re-arming, and
+//! RNG-driven chaos-plan replay with run/resume segments).
+//!
+//! Every timed iteration returns the workload fingerprint, so Criterion's
+//! `black_box` keeps the equivalence-relevant observables live and the
+//! numbers here stay comparable to the `des.*` gauges the `perf` bin
+//! writes into `BENCH_harness.json`.
+//!
+//! ```text
+//! cargo bench -p gemini-bench --bench des
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemini_bench::{run_des, DesWorkload};
+use gemini_sim::QueueBackend;
+
+const EVENTS: u64 = 100_000;
+
+fn bench_scheduler_matrix(c: &mut Criterion) {
+    for workload in DesWorkload::ALL {
+        let mut g = c.benchmark_group(format!("des_{}_100k", workload.key()));
+        g.sample_size(15);
+        for (name, backend) in [
+            ("timing_wheel", QueueBackend::TimingWheel),
+            ("reference_heap", QueueBackend::ReferenceHeap),
+        ] {
+            g.bench_with_input(BenchmarkId::from_parameter(name), &backend, |b, &be| {
+                b.iter(|| black_box(run_des(black_box(workload), be, EVENTS)))
+            });
+        }
+        g.finish();
+    }
+}
+
+/// Cross-backend equivalence on the exact benchmarked configuration, so a
+/// regression that skews the comparison (one backend silently doing less
+/// work) fails loudly rather than flattering the numbers.
+fn bench_equivalence_guard(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_equivalence_guard");
+    g.sample_size(10);
+    g.bench_function("all_workloads_20k", |b| {
+        b.iter(|| {
+            for w in DesWorkload::ALL {
+                let wheel = run_des(w, QueueBackend::TimingWheel, 20_000);
+                let heap = run_des(w, QueueBackend::ReferenceHeap, 20_000);
+                assert_eq!(wheel, heap, "backend divergence on {w:?}");
+                black_box(wheel);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler_matrix, bench_equivalence_guard);
+criterion_main!(benches);

@@ -26,8 +26,13 @@
 //!    refused this outright), in subsets/second.
 //! 4. **Recoverability check** — `recoverable_mask` vs the `BTreeSet`
 //!    wrapper, in checks/second.
+//! 5. **DES scheduler** — the timing-wheel engine backend vs the
+//!    reference binary heap on three workloads (dense timers,
+//!    heavy-cancel heartbeats, chaos-plan replay), in events/second,
+//!    with fingerprints asserted identical across backends. Recorded as
+//!    `des.*` gauges and the `"des"` report section.
 
-use gemini_bench::TelemetryArgs;
+use gemini_bench::{run_des, DesWorkload, TelemetryArgs};
 use gemini_core::placement::probability::{
     binomial, exact_recovery_probability, monte_carlo_recovery_probability_jobs,
     monte_carlo_recovery_probability_reference, FatalSets,
@@ -141,6 +146,63 @@ fn main() {
     });
     assert_eq!(acc, acc2, "mask and set kernels disagree");
 
+    // ---- 5. DES scheduler: timing wheel vs reference heap ---------------
+    // Each workload runs on both engine backends; the fingerprints
+    // (processed count, final clock, event-stream checksum) must match, so
+    // the timed runs double as an equivalence check. `des.*` gauges land in
+    // the telemetry export; the JSON section feeds docs/PERFORMANCE.md.
+    let des_events: u64 = if quick { 200_000 } else { 2_000_000 };
+    use gemini_sim::QueueBackend;
+    let mut des_rows = Vec::new();
+    for w in DesWorkload::ALL {
+        // Warm both backends once so allocator effects cancel out.
+        let _ = run_des(w, QueueBackend::TimingWheel, des_events / 20);
+        let _ = run_des(w, QueueBackend::ReferenceHeap, des_events / 20);
+        let mut wheel_fp = None;
+        let wheel_s = secs(|| wheel_fp = Some(run_des(w, QueueBackend::TimingWheel, des_events)));
+        let mut heap_fp = None;
+        let heap_s = secs(|| heap_fp = Some(run_des(w, QueueBackend::ReferenceHeap, des_events)));
+        let (wheel_fp, heap_fp) = (wheel_fp.unwrap(), heap_fp.unwrap());
+        assert_eq!(
+            wheel_fp,
+            heap_fp,
+            "backend divergence on {} while benchmarking",
+            w.key()
+        );
+        assert_eq!(
+            wheel_fp.processed,
+            des_events,
+            "{} did not consume its whole event budget",
+            w.key()
+        );
+        let speedup = heap_s / wheel_s.max(1e-12);
+        let processed = wheel_fp.processed;
+        sink.gauge_set_labeled("des.wheel_events_per_s", "workload", w.key(), || {
+            processed as f64 / wheel_s.max(1e-12)
+        });
+        sink.gauge_set_labeled("des.heap_events_per_s", "workload", w.key(), || {
+            processed as f64 / heap_s.max(1e-12)
+        });
+        sink.gauge_set_labeled("des.speedup", "workload", w.key(), || speedup);
+        des_rows.push((w, processed, wheel_s, heap_s, speedup));
+    }
+    sink.gauge_set("des.events", || des_events as f64);
+    let des_json: String = des_rows
+        .iter()
+        .map(|(w, processed, wheel_s, heap_s, speedup)| {
+            format!(
+                "    \"{key}\": {{\n      \"events\": {processed},\n      \
+                 \"wheel_s\": {wheel_s:.6},\n      \"heap_s\": {heap_s:.6},\n      \
+                 \"wheel_events_per_s\": {wps:.1},\n      \
+                 \"heap_events_per_s\": {hps:.1},\n      \"speedup\": {speedup:.3}\n    }}",
+                key = w.key(),
+                wps = *processed as f64 / wheel_s.max(1e-12),
+                hps = *processed as f64 / heap_s.max(1e-12),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     // Assembled by hand (no serde derive on the report shape) so the
     // binary builds identically under the offline stub toolchain.
     let pretty = format!(
@@ -158,7 +220,8 @@ fn main() {
          \"subsets_per_s\": {en_sps:.1},\n    \"probability\": {p_enum:.9}\n  }},\n  \
          \"recoverable\": {{\n    \"checks\": {checks},\n    \"mask_s\": {mask_s:.6},\n    \
          \"btreeset_s\": {set_s:.6},\n    \"mask_checks_per_s\": {mask_cps:.1},\n    \
-         \"speedup\": {rec_speedup:.3}\n  }},\n  \"parallel_metrics\": {{\n    \
+         \"speedup\": {rec_speedup:.3}\n  }},\n  \"des\": {{\n{des_json}\n  }},\n  \
+         \"parallel_metrics\": {{\n    \
          \"tasks\": {tasks},\n    \"pool_jobs\": {pool_jobs},\n    \
          \"wall_us\": {wall_us:.1},\n    \"busy_us\": {busy_us:.1}\n  }}\n}}",
         artifacts = serial_tables.len(),
@@ -193,6 +256,14 @@ fn main() {
         subsets / enum_s.max(1e-12) / 1e6,
         set_s / mask_s.max(1e-12),
     );
+    for (w, processed, wheel_s, heap_s, speedup) in &des_rows {
+        eprintln!(
+            "des {}: wheel {:.1}M ev/s vs heap {:.1}M ev/s ({speedup:.2}x)",
+            w.key(),
+            *processed as f64 / wheel_s.max(1e-12) / 1e6,
+            *processed as f64 / heap_s.max(1e-12) / 1e6,
+        );
+    }
     eprintln!("wrote {out_path}");
     if let Err(e) = targs.write(&sink) {
         eprintln!("error: writing telemetry outputs: {e}");

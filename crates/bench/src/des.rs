@@ -1,0 +1,267 @@
+//! DES scheduler workloads for the heap-vs-wheel perf trajectory.
+//!
+//! Three workload shapes, chosen to bracket what the harness actually puts
+//! through `gemini_sim::Engine::run`:
+//!
+//! * **dense timers** — a population of self-rescheduling periodic timers
+//!   (iteration ticks, telemetry flushes). Pure schedule/pop pressure with
+//!   many same-slot collisions; no cancellation.
+//! * **heavy-cancel heartbeats** — every heartbeat arrival re-arms a
+//!   far-future failure timeout, cancelling the previous one. Nearly every
+//!   scheduled event is cancelled before it fires — the exact shape that
+//!   made the historic tombstone `HashSet` grow without bound and is the
+//!   headline O(1)-true-cancel case for the timing wheel.
+//! * **chaos replay** — an RNG-driven mix of near/far spawns, cancels of
+//!   recent handles and run/resume segments, shaped like the fault-injection
+//!   plans in `gemini_harness::chaos`.
+//!
+//! Each workload runs identically on either [`QueueBackend`] and returns a
+//! [`DesFingerprint`]; the perf bin and the Criterion bench assert the
+//! fingerprints match across backends, so every timing claim is backed by
+//! an observational-equivalence check on the very run being timed.
+
+use gemini_sim::{Context, Engine, EventHandle, Model, QueueBackend, SimDuration, SimTime};
+
+/// Which DES workload to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DesWorkload {
+    /// Self-rescheduling periodic timers; no cancellation.
+    DenseTimers,
+    /// Heartbeat/timeout re-arming; ~1 cancel per processed event.
+    HeavyCancel,
+    /// RNG-driven chaos-plan-shaped mix with run/resume segments.
+    ChaosReplay,
+}
+
+impl DesWorkload {
+    /// All workloads, in report order.
+    pub const ALL: [DesWorkload; 3] = [
+        DesWorkload::DenseTimers,
+        DesWorkload::HeavyCancel,
+        DesWorkload::ChaosReplay,
+    ];
+
+    /// Stable snake_case key used in `BENCH_harness.json` and gauge names.
+    pub fn key(self) -> &'static str {
+        match self {
+            DesWorkload::DenseTimers => "dense_timers",
+            DesWorkload::HeavyCancel => "heavy_cancel",
+            DesWorkload::ChaosReplay => "chaos_replay",
+        }
+    }
+}
+
+/// Everything observable about a finished workload run. Equal fingerprints
+/// across backends mean the run being timed is also the run being verified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DesFingerprint {
+    /// Events processed by the engine.
+    pub processed: u64,
+    /// Final simulated clock, nanoseconds.
+    pub now_ns: u64,
+    /// Workload-specific checksum (fired ids, cancel verdicts, RNG draws).
+    pub checksum: u64,
+    /// Events still pending when the run stopped.
+    pub pending: usize,
+}
+
+fn mix(acc: u64, x: u64) -> u64 {
+    // splitmix64-style fold; order-sensitive so reordered events change it.
+    let mut z = acc ^ x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------- dense ----
+
+struct DenseTimers {
+    periods: Vec<u64>,
+    checksum: u64,
+}
+
+impl Model for DenseTimers {
+    type Event = usize;
+    fn handle(&mut self, ctx: &mut Context<'_, usize>, id: usize) {
+        self.checksum = mix(self.checksum, (id as u64) ^ ctx.now().as_nanos());
+        let period = self.periods[id % self.periods.len()];
+        ctx.schedule_after(SimDuration::from_nanos(period), id);
+    }
+}
+
+fn run_dense_timers(backend: QueueBackend, events: u64) -> DesFingerprint {
+    const TIMERS: usize = 256;
+    let mut engine = Engine::new_with_backend(42, backend);
+    let mut model = DenseTimers {
+        // Co-prime-ish spread so slots collide and interleave irregularly.
+        periods: (0..TIMERS).map(|i| 1_000 + 37 * i as u64).collect(),
+        checksum: 0,
+    };
+    for i in 0..TIMERS {
+        engine.prime_at(SimTime::from_nanos((i as u64) * 13), i);
+    }
+    engine.run(&mut model, None, events);
+    DesFingerprint {
+        processed: engine.processed(),
+        now_ns: engine.now().as_nanos(),
+        checksum: model.checksum,
+        pending: engine.pending_events(),
+    }
+}
+
+// ----------------------------------------------------------- heartbeats ----
+
+#[derive(Clone, Copy)]
+enum Hb {
+    Beat(usize),
+    Timeout(usize),
+}
+
+struct Heartbeats {
+    armed: Vec<Option<EventHandle>>,
+    timeouts_fired: u64,
+    checksum: u64,
+}
+
+impl Model for Heartbeats {
+    type Event = Hb;
+    fn handle(&mut self, ctx: &mut Context<'_, Hb>, ev: Hb) {
+        match ev {
+            Hb::Beat(p) => {
+                // Re-arm: cancel the pending far-future timeout, arm a new
+                // one, schedule the next beat with a little jitter.
+                if let Some(h) = self.armed[p].take() {
+                    let hit = ctx.cancel(h);
+                    self.checksum = mix(self.checksum, hit as u64);
+                }
+                self.armed[p] =
+                    Some(ctx.schedule_after(SimDuration::from_millis(150), Hb::Timeout(p)));
+                let jitter = ctx.rng().uniform_u64(0, 200_000);
+                ctx.schedule_after(SimDuration::from_nanos(1_000_000 + jitter), Hb::Beat(p));
+            }
+            Hb::Timeout(p) => {
+                self.timeouts_fired += 1;
+                self.armed[p] = None;
+                self.checksum = mix(self.checksum, 0xdead ^ p as u64);
+            }
+        }
+    }
+}
+
+fn run_heavy_cancel(backend: QueueBackend, events: u64) -> DesFingerprint {
+    const PEERS: usize = 64;
+    let mut engine = Engine::new_with_backend(7, backend);
+    let mut model = Heartbeats {
+        armed: vec![None; PEERS],
+        timeouts_fired: 0,
+        checksum: 0,
+    };
+    for p in 0..PEERS {
+        engine.prime_at(SimTime::from_nanos((p as u64) * 17), Hb::Beat(p));
+    }
+    engine.run(&mut model, None, events);
+    DesFingerprint {
+        processed: engine.processed(),
+        now_ns: engine.now().as_nanos(),
+        checksum: mix(model.checksum, model.timeouts_fired),
+        pending: engine.pending_events(),
+    }
+}
+
+// --------------------------------------------------------- chaos replay ----
+
+struct ChaosReplay {
+    handles: Vec<EventHandle>,
+    checksum: u64,
+}
+
+impl Model for ChaosReplay {
+    type Event = u64;
+    fn handle(&mut self, ctx: &mut Context<'_, u64>, id: u64) {
+        self.checksum = mix(self.checksum, id ^ ctx.now().as_nanos());
+        // Always keep the population alive with one near-future successor.
+        let dt = ctx.rng().uniform_u64(100, 500_000);
+        ctx.schedule_after(SimDuration::from_nanos(dt), id.wrapping_mul(3) + 1);
+        let roll = ctx.rng().unit();
+        if roll < 0.35 {
+            // Arm a "failure" far in the future and remember the handle.
+            let far = ctx.rng().uniform_u64(1_000_000, 5_000_000_000);
+            let h = ctx.schedule_after(SimDuration::from_nanos(far), id ^ 0xff);
+            self.handles.push(h);
+        } else if roll < 0.75 && !self.handles.is_empty() {
+            // Abort a previously armed failure (most chaos plans do).
+            let back = ctx.rng().uniform_u64(0, self.handles.len() as u64) as usize;
+            let h = self.handles.swap_remove(back);
+            let hit = ctx.cancel(h);
+            self.checksum = mix(self.checksum, hit as u64);
+        }
+    }
+}
+
+fn run_chaos_replay(backend: QueueBackend, events: u64) -> DesFingerprint {
+    let mut engine = Engine::new_with_backend(1234, backend);
+    let mut model = ChaosReplay {
+        handles: Vec::new(),
+        checksum: 0,
+    };
+    for i in 0..16u64 {
+        engine.prime_at(SimTime::from_nanos(i * 101), i);
+    }
+    // Run/resume in segments, the way harness::runtime drives multi-phase
+    // drills: each segment gets a time limit and a slice of the budget.
+    // Segments repeat until the whole budget is consumed, so the timed
+    // work is exactly `events` processed events regardless of how the
+    // until-limits land (the population self-reschedules and never dies).
+    let mut remaining = events;
+    let mut limit = SimTime::from_nanos(0);
+    while remaining > 0 && engine.pending_events() > 0 {
+        // `remaining >= 1` inside the loop, so the clamp bounds are ordered.
+        let slice = (events / 16).clamp(1, remaining);
+        limit = SimTime::from_nanos(limit.as_nanos() + 40_000_000);
+        let before = engine.processed();
+        engine.run(&mut model, Some(limit), slice);
+        remaining -= (engine.processed() - before).min(remaining);
+    }
+    DesFingerprint {
+        processed: engine.processed(),
+        now_ns: engine.now().as_nanos(),
+        checksum: model.checksum,
+        pending: engine.pending_events(),
+    }
+}
+
+// -------------------------------------------------------------- driver ----
+
+/// Runs `workload` on `backend`, processing (up to) `events` events.
+pub fn run_des(workload: DesWorkload, backend: QueueBackend, events: u64) -> DesFingerprint {
+    match workload {
+        DesWorkload::DenseTimers => run_dense_timers(backend, events),
+        DesWorkload::HeavyCancel => run_heavy_cancel(backend, events),
+        DesWorkload::ChaosReplay => run_chaos_replay(backend, events),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backends_agree_on_every_workload() {
+        for w in DesWorkload::ALL {
+            let wheel = run_des(w, QueueBackend::TimingWheel, 20_000);
+            let heap = run_des(w, QueueBackend::ReferenceHeap, 20_000);
+            assert_eq!(wheel, heap, "fingerprint mismatch on {w:?}");
+            assert_eq!(wheel.processed, 20_000, "budget is exact on {w:?}");
+        }
+    }
+
+    #[test]
+    fn workloads_have_distinct_signatures() {
+        let fps: Vec<u64> = DesWorkload::ALL
+            .iter()
+            .map(|&w| run_des(w, QueueBackend::TimingWheel, 5_000).checksum)
+            .collect();
+        assert_ne!(fps[0], fps[1]);
+        assert_ne!(fps[1], fps[2]);
+    }
+}

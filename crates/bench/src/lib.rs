@@ -9,7 +9,8 @@
 //! * `calib` — prints the calibrated timeline anchors.
 //!
 //! Criterion benches (one per experiment family): `placement`,
-//! `partition`, `timeline`, `figures`.
+//! `partition`, `timeline`, `figures`, `probability`, `des` (the
+//! heap-vs-wheel scheduler matrix over the [`des`] workloads).
 //!
 //! Every binary additionally accepts `--trace-out FILE` (Chrome
 //! trace-event JSON for Perfetto), `--metrics-out FILE` (Prometheus text)
@@ -18,6 +19,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod des;
 pub mod out;
 
+pub use des::{run_des, DesFingerprint, DesWorkload};
 pub use out::TelemetryArgs;

@@ -10,9 +10,12 @@
 //! * [`SimTime`] and [`SimDuration`] are integer nanosecond types, so every
 //!   simulation is exactly reproducible across platforms (no floating-point
 //!   clock drift).
-//! * [`Engine`] is a classic calendar-queue discrete-event loop, generic over
-//!   the user's event type. Ties are broken by insertion order, which keeps
-//!   runs deterministic even when many events share a timestamp.
+//! * [`Engine`] is a discrete-event loop, generic over the user's event
+//!   type, running on a pluggable [`EventQueue`]: an indexed hierarchical
+//!   timing wheel by default (O(1) schedule, true O(1) cancel, amortized
+//!   O(1) pop) with the original binary heap retained as a reference
+//!   backend. Ties are broken by insertion order, which keeps runs
+//!   deterministic even when many events share a timestamp.
 //! * [`DetRng`] wraps a counter-based PRNG and supports labelled forking so
 //!   independent subsystems draw from independent, reproducible streams.
 //! * [`Timeline`] implements the busy/idle span algebra that the GEMINI
@@ -22,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -29,6 +33,7 @@ pub mod timeline;
 pub mod trace;
 
 pub use engine::{Context, Engine, EngineProbe, EventHandle, Model};
+pub use queue::{EventQueue, QueueBackend, ReferenceHeapQueue, TimingWheelQueue};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

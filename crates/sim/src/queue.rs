@@ -1,0 +1,887 @@
+//! Indexed event queues for the discrete-event engine.
+//!
+//! The engine's hot path is `schedule → pop → (maybe) cancel`, repeated
+//! hundreds of millions of times across recovery drills, chaos plans and
+//! fig15-style DES campaigns. Two backends implement the [`EventQueue`]
+//! contract:
+//!
+//! * [`TimingWheelQueue`] — the production backend: a hierarchical
+//!   timing wheel (11 levels × 64 slots over the full `u64`-nanosecond
+//!   range) backed by slab-allocated event nodes. `schedule` is O(1),
+//!   `cancel` is a **true O(1) removal** (the [`EventHandle`] carries the
+//!   slab index and a generation token — no tombstones, no leak), and
+//!   `pop` is amortized O(1): the cursor jumps straight to the next
+//!   occupied slot via per-level occupancy bitmaps, cascading coarse
+//!   slots down as simulated time advances.
+//! * [`ReferenceHeapQueue`] — the original `BinaryHeap` kept as the
+//!   executable specification. Its historic tombstone leak is fixed (a
+//!   cancel of an already-fired or already-cancelled handle is a no-op;
+//!   tombstones are bounded by the number of *pending* cancelled
+//!   events), but it still pays O(log n) per operation and a tombstone
+//!   pass on pop. The differential proptest in
+//!   `crates/sim/tests/queue_differential.rs` proves both backends
+//!   produce byte-identical pop order, final clock and trace output
+//!   under randomized schedule/cancel/run interleavings.
+//!
+//! # Ordering contract
+//!
+//! Both backends pop events in exact `(time, seq)` order, where `seq` is
+//! the engine's monotone insertion counter. The wheel restores this total
+//! order even when same-timestamp events reach the innermost level by
+//! different routes (direct insert vs cascade): a level-0 slot holds
+//! exactly one timestamp, and its nodes are seq-sorted once when the slot
+//! is drained into the ready run.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, usable for cancellation.
+///
+/// Handles are backend-specific capabilities: the wheel encodes the slab
+/// slot and a generation token so a stale handle (one whose event already
+/// fired or was already cancelled) can never cancel a *different* event
+/// that later reuses the same slot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle {
+    /// Engine-wide insertion sequence of the event (unique, never reused).
+    seq: u64,
+    /// Slab slot (wheel backend) or `u32::MAX` (heap backend).
+    slot: u32,
+    /// Slot generation at scheduling time (wheel backend).
+    token: u32,
+}
+
+impl EventHandle {
+    fn heap(seq: u64) -> EventHandle {
+        EventHandle {
+            seq,
+            slot: u32::MAX,
+            token: 0,
+        }
+    }
+
+    fn wheel(seq: u64, slot: u32, token: u32) -> EventHandle {
+        EventHandle { seq, slot, token }
+    }
+
+    /// The engine-wide insertion sequence this handle refers to.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Which queue implementation an `Engine` runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum QueueBackend {
+    /// The indexed hierarchical timing wheel (production default).
+    #[default]
+    TimingWheel,
+    /// The original binary heap, kept as the reference implementation.
+    ReferenceHeap,
+}
+
+/// The pending-event set of a discrete-event engine.
+///
+/// Implementations must pop events in exact `(time, seq)` order and must
+/// treat a cancel of a fired/cancelled/foreign handle as a no-op that
+/// consumes no memory.
+pub trait EventQueue<E> {
+    /// Inserts `event` at `time` with the engine-assigned sequence `seq`.
+    /// `seq` values must be strictly increasing across calls and `time`
+    /// must be `>=` the time of the most recently popped event.
+    fn schedule(&mut self, time: SimTime, seq: u64, event: E) -> EventHandle;
+
+    /// Removes a pending event. Returns `true` if the handle named a
+    /// still-pending event that is now removed; `false` (a true no-op)
+    /// for fired, already-cancelled or foreign handles.
+    fn cancel(&mut self, handle: EventHandle) -> bool;
+
+    /// The timestamp of the next live event, if any. May advance internal
+    /// bookkeeping (wheel cascades) but never changes the pop order.
+    fn next_time(&mut self) -> Option<SimTime>;
+
+    /// Removes and returns the earliest live event as `(time, seq, event)`.
+    fn pop(&mut self) -> Option<(SimTime, u64, E)>;
+
+    /// Number of live (scheduled, not fired, not cancelled) events.
+    fn len(&self) -> usize;
+
+    /// Whether no live events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cancellation bookkeeping still held: tombstones awaiting their pop
+    /// (heap) or cancelled nodes awaiting a lazy free in the current
+    /// same-timestamp batch (wheel). Bounded by `len()` in both backends —
+    /// the historic unbounded tombstone leak is structurally impossible.
+    fn cancelled_backlog(&self) -> usize;
+}
+
+/// Mutable references forward to the underlying queue, so drivers that only
+/// borrow a backend (differential harnesses, pooled engines) satisfy the
+/// trait bound without moving the queue.
+impl<E, Q: EventQueue<E> + ?Sized> EventQueue<E> for &mut Q {
+    fn schedule(&mut self, time: SimTime, seq: u64, event: E) -> EventHandle {
+        (**self).schedule(time, seq, event)
+    }
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        (**self).cancel(handle)
+    }
+    fn next_time(&mut self) -> Option<SimTime> {
+        (**self).next_time()
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        (**self).pop()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn cancelled_backlog(&self) -> usize {
+        (**self).cancelled_backlog()
+    }
+}
+
+// --------------------------------------------------------------------------
+// Reference implementation: binary heap + bounded tombstones.
+// --------------------------------------------------------------------------
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The original `BinaryHeap` scheduler, retained as the executable
+/// specification for the timing wheel.
+///
+/// Unlike the historic engine-internal version, cancellation is precise:
+/// a `live` set tracks pending sequences, so cancelling a fired or stale
+/// handle inserts **no** tombstone (the old version leaked one `HashSet`
+/// entry per such call, forever).
+pub struct ReferenceHeapQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    /// Sequences scheduled and not yet fired or cancelled.
+    live: HashSet<u64>,
+    /// Sequences cancelled while still queued; consumed on pop.
+    tombstones: HashSet<u64>,
+}
+
+impl<E> Default for ReferenceHeapQueue<E> {
+    fn default() -> Self {
+        ReferenceHeapQueue::new()
+    }
+}
+
+impl<E> ReferenceHeapQueue<E> {
+    /// An empty queue.
+    pub fn new() -> ReferenceHeapQueue<E> {
+        ReferenceHeapQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            tombstones: HashSet::new(),
+        }
+    }
+
+    /// Discards cancelled entries sitting at the top of the heap so that
+    /// `peek` sees a live event.
+    fn skim(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.tombstones.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<E> EventQueue<E> for ReferenceHeapQueue<E> {
+    fn schedule(&mut self, time: SimTime, seq: u64, event: E) -> EventHandle {
+        self.live.insert(seq);
+        self.heap.push(Scheduled { time, seq, event });
+        EventHandle::heap(seq)
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        // Only a still-live sequence earns a tombstone: cancelling a
+        // fired or doubly-cancelled handle is a true no-op, so tombstone
+        // memory is bounded by the number of pending events.
+        if self.live.remove(&handle.seq) {
+            self.tombstones.insert(handle.seq);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        self.skim();
+        self.heap.peek().map(|s| s.time)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        self.skim();
+        let sched = self.heap.pop()?;
+        self.live.remove(&sched.seq);
+        Some((sched.time, sched.seq, sched.event))
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    fn cancelled_backlog(&self) -> usize {
+        self.tombstones.len()
+    }
+}
+
+// --------------------------------------------------------------------------
+// Production implementation: hierarchical timing wheel over a node slab.
+// --------------------------------------------------------------------------
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels: ceil(64 / 6) = 11 covers the full `u64` nanosecond range.
+const LEVELS: usize = 11;
+/// Total buckets across all levels.
+const BUCKETS: usize = LEVELS * SLOTS;
+/// Null link / free-node marker.
+const NIL: u32 = u32::MAX;
+/// Bucket tag for nodes staged in the ready run.
+const READY: u32 = u32::MAX - 1;
+
+struct Node<E> {
+    time: SimTime,
+    seq: u64,
+    /// `Some` while live; taken on fire or cancel.
+    event: Option<E>,
+    prev: u32,
+    next: u32,
+    /// Bumped every time the slot is freed, invalidating old handles.
+    gen: u32,
+    /// `level * SLOTS + slot` when linked, [`READY`] when staged,
+    /// [`NIL`] when free.
+    bucket: u32,
+}
+
+/// The indexed hierarchical timing wheel (see module docs).
+pub struct TimingWheelQueue<E> {
+    nodes: Vec<Node<E>>,
+    free: Vec<u32>,
+    heads: Vec<u32>,
+    tails: Vec<u32>,
+    /// One occupancy bitmap per level; bit `s` set iff bucket `(l, s)`
+    /// holds at least one node.
+    occupancy: [u64; LEVELS],
+    /// The wheel's notion of "now", in nanoseconds: the timestamp of the
+    /// most recently drained level-0 slot. Never exceeds any queued time.
+    cursor: u64,
+    /// The seq-sorted batch of nodes at `cursor`, drained from level 0.
+    ready: Vec<u32>,
+    ready_pos: usize,
+    /// Live events (scheduled, not fired, not cancelled).
+    len: usize,
+    /// Cancelled-while-staged nodes awaiting their lazy free.
+    deferred: usize,
+}
+
+impl<E> Default for TimingWheelQueue<E> {
+    fn default() -> Self {
+        TimingWheelQueue::new()
+    }
+}
+
+impl<E> TimingWheelQueue<E> {
+    /// An empty wheel with its cursor at the simulation start.
+    pub fn new() -> TimingWheelQueue<E> {
+        TimingWheelQueue {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            heads: vec![NIL; BUCKETS],
+            tails: vec![NIL; BUCKETS],
+            occupancy: [0; LEVELS],
+            cursor: 0,
+            ready: Vec::new(),
+            ready_pos: 0,
+            len: 0,
+            deferred: 0,
+        }
+    }
+
+    /// Number of slab slots ever allocated (capacity watermark, for the
+    /// bounded-memory tests: it tracks peak concurrency, not call count).
+    pub fn slab_capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The level whose slot resolution separates `t` from the cursor.
+    #[inline]
+    fn level_for(cursor: u64, t: u64) -> usize {
+        let diff = cursor ^ t;
+        if diff == 0 {
+            0
+        } else {
+            (63 - diff.leading_zeros()) as usize / SLOT_BITS as usize
+        }
+    }
+
+    /// The absolute start time of bucket `(level, slot)` relative to the
+    /// current cursor rotation.
+    #[inline]
+    fn slot_base(cursor: u64, level: usize, slot: usize) -> u64 {
+        let lo = SLOT_BITS * level as u32;
+        let hi = lo + SLOT_BITS;
+        let upper = if hi >= 64 { 0 } else { (cursor >> hi) << hi };
+        upper | ((slot as u64) << lo)
+    }
+
+    fn alloc(&mut self, time: SimTime, seq: u64, event: E) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let node = &mut self.nodes[idx as usize];
+            node.time = time;
+            node.seq = seq;
+            node.event = Some(event);
+            node.prev = NIL;
+            node.next = NIL;
+            debug_assert_eq!(node.bucket, NIL);
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                time,
+                seq,
+                event: Some(event),
+                prev: NIL,
+                next: NIL,
+                gen: 0,
+                bucket: NIL,
+            });
+            idx
+        }
+    }
+
+    /// Returns the slot to the free list, invalidating outstanding handles.
+    fn release(&mut self, idx: u32) {
+        let node = &mut self.nodes[idx as usize];
+        node.gen = node.gen.wrapping_add(1);
+        node.bucket = NIL;
+        node.event = None;
+        node.prev = NIL;
+        node.next = NIL;
+        self.free.push(idx);
+    }
+
+    /// Appends node `idx` to the bucket its time falls into.
+    fn link(&mut self, idx: u32) {
+        let t = self.nodes[idx as usize].time.as_nanos();
+        debug_assert!(t >= self.cursor, "linking into the past");
+        let level = Self::level_for(self.cursor, t);
+        let slot = ((t >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        let bucket = level * SLOTS + slot;
+        let tail = self.tails[bucket];
+        {
+            let node = &mut self.nodes[idx as usize];
+            node.bucket = bucket as u32;
+            node.prev = tail;
+            node.next = NIL;
+        }
+        if tail == NIL {
+            self.heads[bucket] = idx;
+        } else {
+            self.nodes[tail as usize].next = idx;
+        }
+        self.tails[bucket] = idx;
+        self.occupancy[level] |= 1u64 << slot;
+    }
+
+    /// Unlinks a bucket-resident node in O(1).
+    fn unlink(&mut self, idx: u32) {
+        let (bucket, prev, next) = {
+            let node = &self.nodes[idx as usize];
+            (node.bucket as usize, node.prev, node.next)
+        };
+        debug_assert!(bucket < BUCKETS);
+        if prev == NIL {
+            self.heads[bucket] = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tails[bucket] = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+        if self.heads[bucket] == NIL {
+            self.occupancy[bucket / SLOTS] &= !(1u64 << (bucket % SLOTS));
+        }
+    }
+
+    /// Moves the whole bucket `(level, slot)` down the hierarchy after
+    /// advancing the cursor to the bucket's base time.
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let base = Self::slot_base(self.cursor, level, slot);
+        debug_assert!(base >= self.cursor, "cascade went backwards");
+        self.cursor = base;
+        let bucket = level * SLOTS + slot;
+        let mut idx = self.heads[bucket];
+        self.heads[bucket] = NIL;
+        self.tails[bucket] = NIL;
+        self.occupancy[level] &= !(1u64 << slot);
+        while idx != NIL {
+            let next = self.nodes[idx as usize].next;
+            self.link(idx);
+            idx = next;
+        }
+    }
+
+    /// Drains level-0 slot `slot` (a single timestamp) into the ready run,
+    /// seq-sorted so the `(time, seq)` total order holds regardless of how
+    /// each node reached the innermost level.
+    fn drain_level0(&mut self, slot: usize) {
+        debug_assert!(self.ready_pos >= self.ready.len());
+        self.ready.clear();
+        self.ready_pos = 0;
+        let mut idx = self.heads[slot];
+        self.heads[slot] = NIL;
+        self.tails[slot] = NIL;
+        self.occupancy[0] &= !(1u64 << slot);
+        while idx != NIL {
+            let node = &mut self.nodes[idx as usize];
+            let next = node.next;
+            node.bucket = READY;
+            node.prev = NIL;
+            node.next = NIL;
+            self.ready.push(idx);
+            idx = next;
+        }
+        let Self { ready, nodes, .. } = self;
+        ready.sort_unstable_by_key(|&i| nodes[i as usize].seq);
+    }
+
+    /// Advances the wheel until the front of the ready run is a live node
+    /// at the earliest pending timestamp, returning that timestamp.
+    fn settle(&mut self) -> Option<SimTime> {
+        loop {
+            while self.ready_pos < self.ready.len() {
+                let idx = self.ready[self.ready_pos];
+                if self.nodes[idx as usize].event.is_some() {
+                    return Some(SimTime::from_nanos(self.cursor));
+                }
+                // Cancelled while staged: free it now.
+                self.ready_pos += 1;
+                self.deferred -= 1;
+                self.release(idx);
+            }
+            self.ready.clear();
+            self.ready_pos = 0;
+            if self.len == 0 {
+                return None;
+            }
+            if self.occupancy[0] != 0 {
+                let slot = self.occupancy[0].trailing_zeros() as usize;
+                let time = (self.cursor & !(SLOTS as u64 - 1)) | slot as u64;
+                debug_assert!(time >= self.cursor, "level-0 slot behind the cursor");
+                self.cursor = time;
+                self.drain_level0(slot);
+                continue;
+            }
+            let level = (1..LEVELS)
+                .find(|&l| self.occupancy[l] != 0)
+                .expect("len > 0 implies an occupied bucket");
+            let slot = self.occupancy[level].trailing_zeros() as usize;
+            self.cascade(level, slot);
+        }
+    }
+}
+
+impl<E> EventQueue<E> for TimingWheelQueue<E> {
+    fn schedule(&mut self, time: SimTime, seq: u64, event: E) -> EventHandle {
+        // The engine clamps to `now >= cursor`; clamp defensively so a
+        // direct user of the queue cannot corrupt the wheel invariants.
+        let time = time.max(SimTime::from_nanos(self.cursor));
+        let idx = self.alloc(time, seq, event);
+        self.link(idx);
+        self.len += 1;
+        let token = self.nodes[idx as usize].gen;
+        EventHandle::wheel(seq, idx, token)
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        let idx = handle.slot as usize;
+        let Some(node) = self.nodes.get(idx) else {
+            return false;
+        };
+        // A valid handle names a slot whose generation still matches,
+        // holding a live event with the same sequence. Anything else —
+        // fired, already cancelled, or a reused slot — is a no-op.
+        if node.gen != handle.token || node.seq != handle.seq || node.event.is_none() {
+            return false;
+        }
+        match node.bucket {
+            NIL => false,
+            READY => {
+                // Staged in the current same-timestamp batch: drop the
+                // payload now, free the slot lazily when the run drains.
+                self.nodes[idx].event = None;
+                self.deferred += 1;
+                self.len -= 1;
+                true
+            }
+            _ => {
+                self.unlink(handle.slot);
+                self.release(handle.slot);
+                self.len -= 1;
+                true
+            }
+        }
+    }
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        self.settle()
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        let time = self.settle()?;
+        let idx = self.ready[self.ready_pos];
+        self.ready_pos += 1;
+        let node = &mut self.nodes[idx as usize];
+        debug_assert_eq!(node.time, time);
+        let seq = node.seq;
+        let event = node.event.take().expect("settle fronted a live node");
+        self.release(idx);
+        self.len -= 1;
+        Some((time, seq, event))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn cancelled_backlog(&self) -> usize {
+        self.deferred
+    }
+}
+
+// --------------------------------------------------------------------------
+// Engine-internal backend dispatch (static, branch-predictable).
+// --------------------------------------------------------------------------
+
+pub(crate) enum QueueImpl<E> {
+    Wheel(TimingWheelQueue<E>),
+    Heap(ReferenceHeapQueue<E>),
+}
+
+impl<E> QueueImpl<E> {
+    pub(crate) fn new(backend: QueueBackend) -> QueueImpl<E> {
+        match backend {
+            QueueBackend::TimingWheel => QueueImpl::Wheel(TimingWheelQueue::new()),
+            QueueBackend::ReferenceHeap => QueueImpl::Heap(ReferenceHeapQueue::new()),
+        }
+    }
+
+    pub(crate) fn backend(&self) -> QueueBackend {
+        match self {
+            QueueImpl::Wheel(_) => QueueBackend::TimingWheel,
+            QueueImpl::Heap(_) => QueueBackend::ReferenceHeap,
+        }
+    }
+}
+
+impl<E> EventQueue<E> for QueueImpl<E> {
+    fn schedule(&mut self, time: SimTime, seq: u64, event: E) -> EventHandle {
+        match self {
+            QueueImpl::Wheel(q) => q.schedule(time, seq, event),
+            QueueImpl::Heap(q) => q.schedule(time, seq, event),
+        }
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        match self {
+            QueueImpl::Wheel(q) => q.cancel(handle),
+            QueueImpl::Heap(q) => q.cancel(handle),
+        }
+    }
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        match self {
+            QueueImpl::Wheel(q) => q.next_time(),
+            QueueImpl::Heap(q) => q.next_time(),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        match self {
+            QueueImpl::Wheel(q) => q.pop(),
+            QueueImpl::Heap(q) => q.pop(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            QueueImpl::Wheel(q) => q.len(),
+            QueueImpl::Heap(q) => q.len(),
+        }
+    }
+
+    fn cancelled_backlog(&self) -> usize {
+        match self {
+            QueueImpl::Wheel(q) => q.cancelled_backlog(),
+            QueueImpl::Heap(q) => q.cancelled_backlog(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    /// Drains a queue completely, returning `(time, seq)` pairs.
+    fn drain<E, Q: EventQueue<E>>(q: &mut Q) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some((time, seq, _)) = q.pop() {
+            out.push((time.as_nanos(), seq));
+        }
+        out
+    }
+
+    fn backends() -> (TimingWheelQueue<u32>, ReferenceHeapQueue<u32>) {
+        (TimingWheelQueue::new(), ReferenceHeapQueue::new())
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let times = [
+            5u64,
+            1,
+            1,
+            100,
+            64,
+            63,
+            65,
+            4096,
+            4095,
+            1 << 30,
+            (1 << 30) + 1,
+            u64::MAX,
+            u64::MAX - 1,
+            0,
+        ];
+        let (mut w, mut h) = backends();
+        for (seq, &tm) in times.iter().enumerate() {
+            w.schedule(t(tm), seq as u64, seq as u32);
+            h.schedule(t(tm), seq as u64, seq as u32);
+        }
+        let expect = {
+            let mut v: Vec<(u64, u64)> = times
+                .iter()
+                .enumerate()
+                .map(|(s, &tm)| (tm, s as u64))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(drain(&mut w), expect);
+        assert_eq!(drain(&mut h), expect);
+    }
+
+    #[test]
+    fn cancel_removes_only_the_named_event() {
+        let (mut w, mut h) = backends();
+        let hw = w.schedule(t(10), 0, 0);
+        w.schedule(t(10), 1, 1);
+        let hh = h.schedule(t(10), 0, 0);
+        h.schedule(t(10), 1, 1);
+        assert!(w.cancel(hw));
+        assert!(h.cancel(hh));
+        assert_eq!(drain(&mut w), vec![(10, 1)]);
+        assert_eq!(drain(&mut h), vec![(10, 1)]);
+    }
+
+    #[test]
+    fn stale_cancel_is_a_true_noop() {
+        let (mut w, mut h) = backends();
+        let hw = w.schedule(t(1), 0, 0);
+        let hh = h.schedule(t(1), 0, 0);
+        assert_eq!(w.pop().unwrap().1, 0);
+        assert_eq!(h.pop().unwrap().1, 0);
+        for _ in 0..10_000 {
+            assert!(!w.cancel(hw));
+            assert!(!h.cancel(hh));
+        }
+        assert_eq!(w.cancelled_backlog(), 0);
+        assert_eq!(h.cancelled_backlog(), 0);
+        assert_eq!(w.len(), 0);
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn stale_wheel_handle_cannot_cancel_a_slot_reuser() {
+        let mut w = TimingWheelQueue::new();
+        let stale = w.schedule(t(1), 0, 0u32);
+        w.pop().unwrap(); // slot 0 freed, generation bumped
+        w.schedule(t(2), 1, 1); // reuses slab slot 0
+        assert!(!w.cancel(stale), "stale handle must not hit the reuser");
+        assert_eq!(drain(&mut w), vec![(2, 1)]);
+    }
+
+    #[test]
+    fn double_cancel_counts_once() {
+        let (mut w, mut h) = backends();
+        let hw = w.schedule(t(5), 0, 0);
+        let hh = h.schedule(t(5), 0, 0);
+        assert!(w.cancel(hw));
+        assert!(!w.cancel(hw));
+        assert!(h.cancel(hh));
+        assert!(!h.cancel(hh));
+        assert!(w.is_empty());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn heap_tombstones_bounded_by_pending_cancels() {
+        let mut h = ReferenceHeapQueue::new();
+        let handle = h.schedule(t(1), 0, 0u32);
+        h.pop().unwrap();
+        for _ in 0..1_000 {
+            h.cancel(handle);
+        }
+        assert_eq!(h.cancelled_backlog(), 0, "stale cancels must not leak");
+        let pending = h.schedule(t(2), 1, 1);
+        h.cancel(pending);
+        assert_eq!(h.cancelled_backlog(), 1, "one pending tombstone");
+        assert!(h.pop().is_none());
+        assert_eq!(h.cancelled_backlog(), 0, "tombstone consumed by pop");
+    }
+
+    #[test]
+    fn wheel_slab_reuses_slots() {
+        let mut w = TimingWheelQueue::new();
+        for round in 0..1_000u64 {
+            let h = w.schedule(t(round), round * 2, 0u32);
+            w.schedule(t(round), round * 2 + 1, 1u32);
+            w.cancel(h);
+            w.pop().unwrap();
+        }
+        assert!(
+            w.slab_capacity() <= 4,
+            "slab grew to {} despite peak concurrency 2",
+            w.slab_capacity()
+        );
+    }
+
+    #[test]
+    fn cancel_while_staged_in_ready_run() {
+        let mut w = TimingWheelQueue::new();
+        let a = w.schedule(t(7), 0, 0u32);
+        let _b = w.schedule(t(7), 1, 1u32);
+        // Settle stages both at t=7; then cancel the front one.
+        assert_eq!(w.next_time(), Some(t(7)));
+        assert!(w.cancel(a));
+        assert_eq!(w.cancelled_backlog(), 1);
+        assert_eq!(w.pop().unwrap().1, 1);
+        assert_eq!(w.cancelled_backlog(), 0, "deferred free happened");
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn same_timestamp_via_different_routes_stays_seq_ordered() {
+        // seq 0 is scheduled far ahead (coarse level), seq 1 at the same
+        // absolute time but scheduled after the cursor moved close (level
+        // 0). The drain sort must still fire 0 before 1.
+        let mut w = TimingWheelQueue::new();
+        let target = 1_000_000u64;
+        w.schedule(t(target), 0, 0u32);
+        w.schedule(t(target - 100_000), 1, 1u32);
+        let (ti, seq, _) = w.pop().unwrap();
+        assert_eq!((ti.as_nanos(), seq), (target - 100_000, 1));
+        // Cursor now sits 100_000 ns before target; this insert lands in
+        // a finer level than seq 0 originally did.
+        w.schedule(t(target), 2, 2u32);
+        assert_eq!(drain(&mut w), vec![(target, 0), (target, 2)]);
+    }
+
+    #[test]
+    fn far_future_and_max_times() {
+        let mut w = TimingWheelQueue::new();
+        w.schedule(SimTime::MAX, 0, 0u32);
+        w.schedule(t(1), 1, 1u32);
+        w.schedule(SimTime::from_hours(1_000), 2, 2u32);
+        assert_eq!(
+            drain(&mut w),
+            vec![
+                (1, 1),
+                (SimTime::from_hours(1_000).as_nanos(), 2),
+                (u64::MAX, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn next_time_matches_pop() {
+        let (mut w, mut h) = backends();
+        for (seq, tm) in [(0u64, 300u64), (1, 5), (2, 5), (3, 1 << 40)] {
+            w.schedule(t(tm), seq, seq as u32);
+            h.schedule(t(tm), seq, seq as u32);
+        }
+        while let Some(nt) = w.next_time() {
+            let hp = h.next_time().unwrap();
+            assert_eq!(nt, hp);
+            assert_eq!(w.pop().unwrap().0, nt);
+            assert_eq!(h.pop().unwrap().0, nt);
+        }
+        assert!(h.next_time().is_none());
+    }
+
+    #[test]
+    fn level_math_is_sound() {
+        assert_eq!(TimingWheelQueue::<u32>::level_for(0, 0), 0);
+        assert_eq!(TimingWheelQueue::<u32>::level_for(0, 63), 0);
+        assert_eq!(TimingWheelQueue::<u32>::level_for(0, 64), 1);
+        assert_eq!(TimingWheelQueue::<u32>::level_for(0, u64::MAX), 10);
+        assert_eq!(TimingWheelQueue::<u32>::level_for(100, 100), 0);
+        // Slot bases never precede the cursor for ahead-of-cursor slots.
+        // The top level only has 2^(64 - 60) = 16 addressable slots.
+        let cursor = 0xDEAD_BEEF_u64;
+        for level in 0..LEVELS {
+            let lo = SLOT_BITS * level as u32;
+            let max_slot = if lo + SLOT_BITS > 64 {
+                1 << (64 - lo)
+            } else {
+                SLOTS
+            };
+            let cur_slot = ((cursor >> lo) & (SLOTS as u64 - 1)) as usize;
+            for slot in (cur_slot + 1)..max_slot {
+                assert!(TimingWheelQueue::<u32>::slot_base(cursor, level, slot) >= cursor);
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Differential proptests: the timing-wheel engine backend must be
+//! observationally **byte-identical** to the reference binary heap across
+//! randomized schedule/cancel/run-resume interleavings — same pop order,
+//! same final clock, same processed count, same trace output, same RNG
+//! stream positions. This is the equivalence proof ISSUE 4 demands before
+//! the wheel may carry every drill, chaos plan and DES campaign.
+
+use gemini_sim::queue::EventQueue;
+use gemini_sim::{
+    Context, Engine, EventHandle, Model, QueueBackend, ReferenceHeapQueue, SimDuration, SimTime,
+    TimingWheelQueue,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Raw queue differential: identical op scripts → identical pop streams.
+// ---------------------------------------------------------------------------
+
+/// One scripted queue operation.
+#[derive(Clone, Debug)]
+enum QueueOp {
+    /// Schedule an event `dt` nanoseconds after the last popped time.
+    Schedule { dt: u64 },
+    /// Cancel the `back`-th most recently issued handle.
+    Cancel { back: usize },
+    /// Pop up to `n` events.
+    Pop { n: usize },
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        4 => (0u64..5_000).prop_map(|dt| QueueOp::Schedule { dt }),
+        // Occasional far-future events exercise the coarse wheel levels.
+        1 => (0u64..(1 << 45)).prop_map(|dt| QueueOp::Schedule { dt }),
+        2 => (0usize..8).prop_map(|back| QueueOp::Cancel { back }),
+        2 => (1usize..6).prop_map(|n| QueueOp::Pop { n }),
+    ]
+}
+
+/// Replays `ops` against one queue backend, returning the full observable
+/// history: every pop as `(time, seq, payload)` plus every cancel result.
+fn replay<Q: EventQueue<u64>>(mut q: Q, ops: &[QueueOp]) -> (Vec<(u64, u64, u64)>, Vec<bool>) {
+    let mut pops = Vec::new();
+    let mut cancels = Vec::new();
+    let mut handles: Vec<EventHandle> = Vec::new();
+    let mut seq = 0u64;
+    let mut last_time = 0u64;
+    for op in ops {
+        match *op {
+            QueueOp::Schedule { dt } => {
+                let at = SimTime::from_nanos(last_time.saturating_add(dt));
+                let h = q.schedule(at, seq, seq * 31);
+                handles.push(h);
+                seq += 1;
+            }
+            QueueOp::Cancel { back } => {
+                if back < handles.len() {
+                    let h = handles[handles.len() - 1 - back];
+                    cancels.push(q.cancel(h));
+                }
+            }
+            QueueOp::Pop { n } => {
+                for _ in 0..n {
+                    match q.pop() {
+                        Some((t, s, payload)) => {
+                            last_time = t.as_nanos();
+                            pops.push((t.as_nanos(), s, payload));
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+    // Drain whatever is left so the comparison covers the full stream.
+    while let Some((t, s, payload)) = q.pop() {
+        pops.push((t.as_nanos(), s, payload));
+    }
+    (pops, cancels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The wheel and the heap agree on every pop and every cancel verdict
+    /// for arbitrary schedule/cancel/pop interleavings.
+    #[test]
+    fn queues_are_observationally_identical(ops in proptest::collection::vec(queue_op(), 1..120)) {
+        let (wheel_pops, wheel_cancels) = replay(TimingWheelQueue::new(), &ops);
+        let (heap_pops, heap_cancels) = replay(ReferenceHeapQueue::new(), &ops);
+        prop_assert_eq!(&wheel_pops, &heap_pops);
+        prop_assert_eq!(&wheel_cancels, &heap_cancels);
+        // The stream respects the (time, seq) total order.
+        for w in wheel_pops.windows(2) {
+            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    /// Neither backend retains cancellation bookkeeping once drained.
+    #[test]
+    fn drained_queues_hold_no_residue(ops in proptest::collection::vec(queue_op(), 1..80)) {
+        let mut wheel = TimingWheelQueue::new();
+        let mut heap = ReferenceHeapQueue::new();
+        let _ = replay(&mut wheel, &ops);
+        let _ = replay(&mut heap, &ops);
+        prop_assert_eq!(wheel.len(), 0);
+        prop_assert_eq!(heap.len(), 0);
+        prop_assert_eq!(wheel.cancelled_backlog(), 0);
+        prop_assert_eq!(heap.cancelled_backlog(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-engine differential: a scripted model under randomized run/resume
+// segments must leave both backends in byte-identical states.
+// ---------------------------------------------------------------------------
+
+/// A reaction an event performs when it fires.
+#[derive(Clone, Debug)]
+enum Action {
+    /// Schedule a follow-up event `dt` nanoseconds from now.
+    Spawn { dt: u64 },
+    /// Cancel the `back`-th most recently issued handle.
+    CancelBack { back: usize },
+    /// Draw from the engine RNG (stream positions must stay in lockstep).
+    Draw,
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (0u64..200_000).prop_map(|dt| Action::Spawn { dt }),
+        1 => (0u64..(1 << 40)).prop_map(|dt| Action::Spawn { dt }),
+        3 => (0usize..6).prop_map(|back| Action::CancelBack { back }),
+        2 => Just(Action::Draw),
+    ]
+}
+
+/// The scripted model: event `id` executes `reactions[id % reactions.len()]`.
+struct Scripted {
+    reactions: Vec<Vec<Action>>,
+    /// Total events ever created (primed + spawned); also the next id.
+    created: usize,
+    /// Hard cap on created events so every script terminates.
+    cap: usize,
+    handles: Vec<EventHandle>,
+    fired: Vec<(u64, usize)>,
+    draws: Vec<u64>,
+}
+
+impl Model for Scripted {
+    type Event = usize;
+
+    fn handle(&mut self, ctx: &mut Context<'_, usize>, id: usize) {
+        self.fired.push((ctx.now().as_nanos(), id));
+        ctx.trace(|| format!("fire {id}"));
+        let script = self.reactions[id % self.reactions.len()].clone();
+        for act in script {
+            match act {
+                Action::Spawn { dt } => {
+                    if self.created < self.cap {
+                        let h = ctx.schedule_after(SimDuration::from_nanos(dt), self.created);
+                        self.created += 1;
+                        self.handles.push(h);
+                    }
+                }
+                Action::CancelBack { back } => {
+                    if back < self.handles.len() {
+                        let h = self.handles[self.handles.len() - 1 - back];
+                        ctx.cancel(h);
+                    }
+                }
+                Action::Draw => {
+                    self.draws.push(ctx.rng().unit().to_bits());
+                }
+            }
+        }
+    }
+}
+
+/// The observable outcome of one scripted multi-segment engine run.
+#[derive(PartialEq, Debug)]
+struct Outcome {
+    fired: Vec<(u64, usize)>,
+    draws: Vec<u64>,
+    trace: String,
+    /// After every segment: (now, processed, pending).
+    segments: Vec<(u64, u64, usize)>,
+}
+
+fn drive(
+    backend: QueueBackend,
+    seed: u64,
+    primes: &[u64],
+    reactions: &[Vec<Action>],
+    segments: &[(Option<u64>, u64)],
+) -> Outcome {
+    let mut engine = Engine::new_with_backend(seed, backend).with_trace();
+    let mut model = Scripted {
+        reactions: reactions.to_vec(),
+        created: 0,
+        cap: 400,
+        handles: Vec::new(),
+        fired: Vec::new(),
+        draws: Vec::new(),
+    };
+    for &at in primes {
+        let id = model.created;
+        model.created += 1;
+        let h = engine.prime_at(SimTime::from_nanos(at), id);
+        model.handles.push(h);
+    }
+    let mut seg_obs = Vec::new();
+    for &(until, budget) in segments {
+        let end = engine.run(&mut model, until.map(SimTime::from_nanos), budget);
+        seg_obs.push((end.as_nanos(), engine.processed(), engine.pending_events()));
+    }
+    // Final unbounded drain so every live event is accounted for.
+    engine.run(&mut model, None, 1_000_000);
+    seg_obs.push((
+        engine.now().as_nanos(),
+        engine.processed(),
+        engine.pending_events(),
+    ));
+    Outcome {
+        fired: model.fired,
+        draws: model.draws,
+        trace: engine.trace().render(),
+        segments: seg_obs,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Randomized schedule/cancel/run-resume interleavings leave both
+    /// engine backends byte-identical: event order, clock, processed
+    /// counts, RNG stream and trace export.
+    #[test]
+    fn engine_backends_are_byte_identical(
+        seed in any::<u64>(),
+        primes in proptest::collection::vec(0u64..1_000_000, 1..8),
+        reactions in proptest::collection::vec(
+            proptest::collection::vec(action(), 0..4),
+            1..6,
+        ),
+        segments in proptest::collection::vec(
+            ((0u64..2_000_000).prop_map(Some), 0u64..500),
+            0..4,
+        ),
+    ) {
+        // Ensure increasing until-limits so each segment can make progress.
+        let mut segs: Vec<(Option<u64>, u64)> = Vec::new();
+        let mut floor = 0u64;
+        for (until, budget) in segments {
+            let u = until.map(|u| {
+                floor = floor.saturating_add(u);
+                floor
+            });
+            segs.push((u, budget));
+        }
+        let wheel = drive(QueueBackend::TimingWheel, seed, &primes, &reactions, &segs);
+        let heap = drive(QueueBackend::ReferenceHeap, seed, &primes, &reactions, &segs);
+        prop_assert_eq!(&wheel.fired, &heap.fired);
+        prop_assert_eq!(&wheel.draws, &heap.draws);
+        prop_assert_eq!(&wheel.trace, &heap.trace);
+        prop_assert_eq!(&wheel.segments, &heap.segments);
+        // Events fire in (time, seq)-consistent order: times non-decreasing.
+        for w in wheel.fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+    }
+}
