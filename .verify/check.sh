@@ -21,7 +21,9 @@ STUBS="$ROOT/.verify/stubs"
 MODE="${1:-all}"
 mkdir -p "$OUT"
 
-RUSTC="rustc --edition 2021 -O -C debuginfo=0 -L $OUT"
+# `-D deprecated` mirrors CI's RUSTFLAGS: internal code must not call the
+# deprecated pre-builder `run_*_with` shims or the old `Scenario` alias.
+RUSTC="rustc --edition 2021 -O -C debuginfo=0 -D deprecated -L $OUT"
 FAILED=0
 
 note() { echo "== $*"; }
@@ -241,6 +243,30 @@ if [ -x "$OUT/bin_perf" ] && [ "$MODE" != build ]; then
     echo "---- perf --quick output ----" >&2
     tail -20 "$OUT/perf_quick.log" >&2
     echo "FAILED: des perf smoke (backend divergence or missing des gauges)" >&2
+    FAILED=1
+  fi
+fi
+
+# ------------------------------------------------------- policy smoke ----
+# The policy bin's --quick run executes the smoke chaos matrix once per
+# fault-tolerance policy (adaptive + each fixed comparator) and exits
+# non-zero unless: every run is invariant-green, the adaptive engine never
+# has a less fresh committed checkpoint recoverable at detection than the
+# paper's fixed configuration, adaptive aggregate wasted time <= the best
+# fixed aggregate, and the campaign renders byte-identically across --jobs
+# counts. See docs/POLICY.md.
+if [ -x "$OUT/bin_policy" ] && [ "$MODE" != build ]; then
+  note "policy smoke (adaptive vs fixed, --quick)"
+  rm -f "$OUT/policy_quick.json"
+  if "$OUT/bin_policy" --quick --jobs 2 --out "$OUT/policy_quick.json" \
+      > "$OUT/policy_quick.log" 2>&1 \
+    && grep -q '"policy"' "$OUT/policy_quick.json" \
+    && grep -q '"safety_violations": 0' "$OUT/policy_quick.json"; then
+    grep "^adaptive " "$OUT/policy_quick.log" || true
+  else
+    echo "---- policy --quick output ----" >&2
+    tail -20 "$OUT/policy_quick.log" >&2
+    echo "FAILED: policy smoke (gate tripped or missing policy section)" >&2
     FAILED=1
   fi
 fi

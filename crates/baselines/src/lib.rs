@@ -11,7 +11,9 @@
 //!   serialization stalls;
 //! * [`schemes`] — **Blocking**, **Naive interleave**, **Interleave
 //!   without pipeline** and **GEMINI** evaluated on the same idle-span
-//!   profile.
+//!   profile, plus the fixed fault-tolerance comparator policies
+//!   ([`fixed_policies`]) the adaptive `gemini_core::policy` engine is
+//!   benchmarked against.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -20,4 +22,4 @@ pub mod remote;
 pub mod schemes;
 
 pub use remote::{highfreq, strawman, RemoteBaseline, RemoteSetup};
-pub use schemes::{evaluate_scheme, InterleaveScheme, SchemeOutcome};
+pub use schemes::{evaluate_scheme, fixed_policies, InterleaveScheme, SchemeOutcome};

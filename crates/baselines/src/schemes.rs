@@ -206,6 +206,54 @@ pub fn evaluate_scheme(
     }
 }
 
+/// The fixed fault-tolerance comparator policies the adaptive engine is
+/// benchmarked against (`bench policy`). Every one freezes its knobs at
+/// launch — the published GEMINI behaviour and the obvious neighbours:
+///
+/// * `paper_3h` — the paper's §7.1 configuration: commit every iteration,
+///   persist every three hours, CPU tiers first.
+/// * `no_persist` — pure in-memory protection, never persists.
+/// * `dense_persist_10m` — persists as fast as the upload pipe allows
+///   (every 10 min), paying the interference everywhere.
+/// * `amortized_8` — commits every 8th iteration (stale in-memory
+///   checkpoints, cheap when checkpoints carry visible overhead).
+pub fn fixed_policies() -> Vec<gemini_core::FixedPolicy> {
+    use gemini_core::{FixedPolicy, PolicyKnobs, TierPreference};
+    let base = PolicyKnobs {
+        ckpt_every_iters: 1,
+        persist_interval: Some(SimDuration::from_hours(3)),
+        replicas: 2,
+        tier: TierPreference::CpuFirst,
+    };
+    vec![
+        FixedPolicy {
+            name: "paper_3h",
+            knobs: base,
+        },
+        FixedPolicy {
+            name: "no_persist",
+            knobs: PolicyKnobs {
+                persist_interval: None,
+                ..base
+            },
+        },
+        FixedPolicy {
+            name: "dense_persist_10m",
+            knobs: PolicyKnobs {
+                persist_interval: Some(SimDuration::from_mins(10)),
+                ..base
+            },
+        },
+        FixedPolicy {
+            name: "amortized_8",
+            knobs: PolicyKnobs {
+                ckpt_every_iters: 8,
+                ..base
+            },
+        },
+    ]
+}
+
 fn outcome(
     scheme: InterleaveScheme,
     iteration: SimDuration,
@@ -345,6 +393,19 @@ mod tests {
                 "GEMINI"
             ]
         );
+    }
+
+    #[test]
+    fn fixed_policy_catalog_is_stable() {
+        let cat = fixed_policies();
+        let names: Vec<&str> = cat.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["paper_3h", "no_persist", "dense_persist_10m", "amortized_8"]
+        );
+        assert!(cat.iter().all(|p| p.knobs.replicas == 2));
+        assert_eq!(cat[1].knobs.persist_interval, None);
+        assert_eq!(cat[3].knobs.ckpt_every_iters, 8);
     }
 
     #[test]

@@ -4,16 +4,17 @@
 //! `--metrics-out FILE` exports the calibration anchors as labeled gauges
 //! (`calib_iteration_us{model="…"}` etc.) in Prometheus text.
 
-use gemini_bench::TelemetryArgs;
+use gemini_bench::BenchCli;
 use gemini_cluster::InstanceType;
 use gemini_training::{ModelConfig, TimelineBuilder};
 
 fn main() {
-    let (targs, _) = TelemetryArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+    let cli = BenchCli::from_env();
+    let targs = cli.telemetry.clone();
+    cli.reject_unknown().unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1)
     });
-    targs.install_jobs();
     let sink = targs.sink();
     println!("model          | iter (s) | net busy | net idle | largest idle | spans");
     println!("---------------|----------|----------|----------|--------------|------");

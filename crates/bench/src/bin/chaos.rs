@@ -14,8 +14,8 @@
 //! across `--jobs` counts) — the CI chaos smoke diffs two same-seed runs.
 //! The process exits non-zero if any run violates an invariant.
 
-use gemini_bench::TelemetryArgs;
-use gemini_harness::{run_chaos_campaign, run_chaos_with, ChaosPlan};
+use gemini_bench::BenchCli;
+use gemini_harness::{run_chaos_campaign, ChaosPlan, Scenario};
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -23,44 +23,14 @@ fn fail(msg: &str) -> ! {
 }
 
 fn main() {
-    let (targs, rest) =
-        TelemetryArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| fail(&e));
-    let jobs = targs.install_jobs();
-
-    let mut plan_name: Option<String> = None;
-    let mut seed: u64 = 1;
-    let mut seeds: Vec<u64> = vec![1, 2, 3];
-    let mut single_seed = false;
-    let mut list = false;
-    let mut it = rest.into_iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--list" => list = true,
-            "--plan" => {
-                plan_name =
-                    Some(it.next().unwrap_or_else(|| fail("--plan requires a NAME")));
-            }
-            "--seed" => {
-                let s = it.next().unwrap_or_else(|| fail("--seed requires an N"));
-                seed = s
-                    .parse()
-                    .unwrap_or_else(|_| fail(&format!("--seed expects an integer, got {s:?}")));
-                single_seed = true;
-            }
-            "--seeds" => {
-                let s = it.next().unwrap_or_else(|| fail("--seeds requires a list"));
-                seeds = s
-                    .split(',')
-                    .map(|x| {
-                        x.trim().parse().unwrap_or_else(|_| {
-                            fail(&format!("--seeds expects integers, got {x:?}"))
-                        })
-                    })
-                    .collect();
-            }
-            other => fail(&format!("unknown argument {other:?}; see --list")),
-        }
-    }
+    let mut cli = BenchCli::from_env();
+    let targs = cli.telemetry.clone();
+    let jobs = targs.effective_jobs();
+    let list = cli.flag("--list");
+    let plan_name = cli.value("--plan").unwrap_or_else(|e| fail(&e));
+    cli.reject_unknown()
+        .unwrap_or_else(|e| fail(&format!("{e}; see --list")));
+    let seeds = cli.seeds_or(&[1, 2, 3]);
 
     let catalog = ChaosPlan::catalog();
     if list {
@@ -80,16 +50,16 @@ fn main() {
         }
         None => catalog,
     };
-    if single_seed {
-        seeds = vec![seed];
-    }
 
     let mut violations = 0usize;
     if plans.len() == 1 && seeds.len() == 1 {
         // Single run: record through the (possibly enabled) sink so
         // --trace-out / --metrics-out capture the whole timeline.
         let sink = targs.sink();
-        let report = run_chaos_with(&plans[0], seeds[0], sink.clone())
+        let report = Scenario::chaos(plans[0].clone())
+            .seed(seeds[0])
+            .sink(sink.clone())
+            .run()
             .unwrap_or_else(|e| fail(&format!("chaos run failed: {e}")));
         print!("{}", report.render());
         violations += report.violations.len();

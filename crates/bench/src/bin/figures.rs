@@ -14,25 +14,26 @@
 //! runs the Fig. 14 recovery drill through an enabled telemetry sink and
 //! exports the resulting spans, events and metrics.
 
-use gemini_bench::TelemetryArgs;
+use gemini_bench::BenchCli;
 use gemini_harness::experiments::render_all_with;
-use gemini_harness::{run_drill_with, DrillConfig};
+use gemini_harness::{DrillConfig, Scenario};
 
 fn main() {
-    let (targs, args) = TelemetryArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+    let mut cli = BenchCli::from_env();
+    let targs = cli.telemetry.clone();
+    let sink = targs.sink();
+    let fast = cli.flag("--fast");
+    let csv = cli.flag("--csv");
+    let json = cli.flag("--json");
+    cli.reject_unknown().unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1)
     });
-    targs.install_jobs();
-    let sink = targs.sink();
-    let fast = args.iter().any(|a| a == "--fast");
-    let csv = args.iter().any(|a| a == "--csv");
-    let json = args.iter().any(|a| a == "--json");
 
     // When telemetry export is requested, seed the trace with the Fig. 14
     // drill so the span/event tracks are populated.
     if sink.is_enabled() {
-        let _ = run_drill_with(&DrillConfig::fig14(), sink.clone());
+        let _ = Scenario::drill(DrillConfig::fig14()).sink(sink.clone()).run();
     }
 
     let tables = render_all_with(fast, &sink);

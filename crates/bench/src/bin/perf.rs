@@ -32,7 +32,7 @@
 //!    with fingerprints asserted identical across backends. Recorded as
 //!    `des.*` gauges and the `"des"` report section.
 
-use gemini_bench::{run_des, DesWorkload, TelemetryArgs};
+use gemini_bench::{run_des, BenchCli, DesWorkload};
 use gemini_core::placement::probability::{
     binomial, exact_recovery_probability, monte_carlo_recovery_probability_jobs,
     monte_carlo_recovery_probability_reference, FatalSets,
@@ -51,10 +51,8 @@ fn secs(f: impl FnOnce()) -> f64 {
 }
 
 fn main() {
-    let (targs, rest) = TelemetryArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1)
-    });
+    let mut cli = BenchCli::from_env();
+    let targs = cli.telemetry.clone();
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -65,12 +63,18 @@ fn main() {
         Some(j) => j,
         None => gemini_harness::par::default_jobs().max(cpus.max(2)),
     };
-    let quick = rest.iter().any(|a| a == "--quick");
-    let out_path = rest
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| rest.get(i + 1).cloned())
+    let quick = cli.flag("--quick");
+    let out_path = cli
+        .value("--out")
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1)
+        })
         .unwrap_or_else(|| "BENCH_harness.json".to_string());
+    cli.reject_unknown().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1)
+    });
     let sink = gemini_telemetry::TelemetrySink::enabled();
 
     // ---- 1. figure regeneration: serial vs parallel ---------------------

@@ -1,0 +1,280 @@
+//! The policy comparison matrix: every chaos plan × seed cell runs once
+//! per fault-tolerance policy (the adaptive engine plus each fixed
+//! comparator from [`gemini_baselines::fixed_policies`]), and the bin
+//! reports the wasted-time ledger (paper §2.1: rework + downtime +
+//! visible overhead) per cell and per policy.
+//!
+//! ```text
+//! cargo run --release -p gemini-bench --bin policy              # full matrix
+//! cargo run -p gemini-bench --bin policy -- --quick             # CI smoke matrix
+//! cargo run -p gemini-bench --bin policy -- --seeds 1,2 --jobs 4
+//! cargo run -p gemini-bench --bin policy -- --out /tmp/bench.json
+//! ```
+//!
+//! Checks (the process exits non-zero when any fails):
+//!
+//! 1. **Green runs** — every report passes the chaos invariants.
+//! 2. **Safety** — per cell, the adaptive run never has a *less* fresh
+//!    committed checkpoint recoverable at detection than the paper's
+//!    fixed configuration (`paper_3h`) on the same plan and seed
+//!    ([`check_policy_preserves_commits`]). Other comparators are not
+//!    baselines for this check: `dense_persist_10m` deliberately buys
+//!    freshness with 18× the persist traffic.
+//! 3. **Competitiveness** — full matrix: adaptive total wasted time ≤
+//!    the best fixed policy's in ≥ 80 % of cells; `--quick` smoke:
+//!    adaptive aggregate ≤ the best fixed aggregate.
+//! 4. **Determinism** — the adaptive campaign renders byte-identically
+//!    at `--jobs N` and `--jobs 1`.
+//!
+//! The summary is spliced into `BENCH_harness.json` (written by the
+//! `perf` bin; `--out FILE` overrides the path) as the `"policy"`
+//! section, replacing any previous one.
+
+use gemini_baselines::fixed_policies;
+use gemini_bench::BenchCli;
+use gemini_core::policy::PolicySpec;
+use gemini_core::WastedLedger;
+use gemini_harness::{check_policy_preserves_commits, ChaosPlan, ChaosReport, Scenario};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
+/// Runs the full matrix for one policy: plans × seeds, plan-major.
+fn campaign(
+    plans: &[ChaosPlan],
+    seeds: &[u64],
+    jobs: usize,
+    spec: &PolicySpec,
+) -> Vec<ChaosReport> {
+    Scenario::chaos_campaign(plans.to_vec())
+        .seeds(seeds)
+        .jobs(jobs)
+        .policy(spec.clone())
+        .run()
+        .unwrap_or_else(|e| fail(&format!("chaos campaign under {:?}: {e}", spec.name())))
+}
+
+fn main() {
+    let mut cli = BenchCli::from_env();
+    let jobs = cli.telemetry.effective_jobs();
+    let quick = cli.flag("--quick");
+    let out_path = cli
+        .value("--out")
+        .unwrap_or_else(|e| fail(&e))
+        .unwrap_or_else(|| "BENCH_harness.json".to_string());
+    cli.reject_unknown().unwrap_or_else(|e| fail(&e));
+    let seeds = if quick {
+        cli.seeds_or(&[1])
+    } else {
+        cli.seeds_or(&[1, 2, 3])
+    };
+
+    let plans: Vec<ChaosPlan> = if quick {
+        vec![
+            ChaosPlan::kill_mid_checkpoint(),
+            ChaosPlan::repeat_group_loss(),
+            ChaosPlan::nic_collapse(),
+        ]
+    } else {
+        ChaosPlan::catalog()
+    };
+    let cells = plans.len() * seeds.len();
+
+    // Policy column order: adaptive first, then the fixed comparators.
+    let mut specs: Vec<PolicySpec> = vec![PolicySpec::adaptive()];
+    specs.extend(fixed_policies().into_iter().map(PolicySpec::Fixed));
+    let names: Vec<String> = specs.iter().map(|s| s.name().to_string()).collect();
+
+    // ---- run the matrix ------------------------------------------------
+    let runs: Vec<Vec<ChaosReport>> = specs
+        .iter()
+        .map(|spec| campaign(&plans, &seeds, jobs, spec))
+        .collect();
+
+    // Determinism: the adaptive campaign must render byte-identically on
+    // a single worker.
+    let adaptive_serial = campaign(&plans, &seeds, 1, &specs[0]);
+    let render_all =
+        |rs: &[ChaosReport]| rs.iter().map(|r| r.render()).collect::<Vec<_>>().join("\n");
+    if render_all(&runs[0]) != render_all(&adaptive_serial) {
+        fail("adaptive campaign is not byte-identical across --jobs counts");
+    }
+
+    // ---- per-cell wasted totals, invariants, safety --------------------
+    let mut violations = 0usize;
+    for (p, reports) in runs.iter().enumerate() {
+        for r in reports {
+            if !r.violations.is_empty() {
+                eprintln!(
+                    "invariant violations under {}: {} seed {}: {:?}",
+                    names[p], r.plan_name, r.seed, r.violations
+                );
+                violations += r.violations.len();
+            }
+        }
+    }
+    let baseline = names
+        .iter()
+        .position(|n| n == "paper_3h")
+        .unwrap_or_else(|| fail("fixed_policies() no longer offers paper_3h"));
+    let mut safety = Vec::new();
+    for cell in 0..cells {
+        for v in check_policy_preserves_commits(&runs[0][cell], &runs[baseline][cell]) {
+            safety.push(format!(
+                "{} seed {}: {v}",
+                runs[0][cell].plan_name, runs[0][cell].seed
+            ));
+        }
+    }
+
+    // ---- the markdown table --------------------------------------------
+    let wasted = |r: &ChaosReport| r.wasted.total().as_secs_f64();
+    println!(
+        "# Policy comparison: {} plan(s) x {} seed(s), wasted time in seconds\n",
+        plans.len(),
+        seeds.len()
+    );
+    print!("| plan | seed |");
+    for n in &names {
+        print!(" {n} |");
+    }
+    println!(" best |");
+    print!("|------|------|");
+    for _ in &names {
+        print!("---:|");
+    }
+    println!("------|");
+    let mut adaptive_wins = 0usize;
+    for cell in 0..cells {
+        let row: Vec<f64> = runs.iter().map(|rs| wasted(&rs[cell])).collect();
+        let best = row.iter().cloned().fold(f64::INFINITY, f64::min);
+        let best_name = &names[row.iter().position(|&w| w == best).unwrap_or(0)];
+        // "Adaptive wins" = no fixed policy strictly beats it (ties count).
+        if row[0] <= best + 1e-9 {
+            adaptive_wins += 1;
+        }
+        print!(
+            "| {} | {} |",
+            runs[0][cell].plan_name, runs[0][cell].seed
+        );
+        for w in &row {
+            print!(" {w:.1} |");
+        }
+        println!(" {best_name} |");
+    }
+
+    // ---- per-policy aggregates ------------------------------------------
+    let mut aggregates: Vec<WastedLedger> = Vec::new();
+    for reports in &runs {
+        let mut total = WastedLedger::default();
+        for r in reports {
+            total.merge(&r.wasted);
+        }
+        aggregates.push(total);
+    }
+    println!("\n| policy | failures | rework (s) | downtime (s) | overhead (s) | total (s) |");
+    println!("|--------|---------:|-----------:|-------------:|-------------:|----------:|");
+    for (n, a) in names.iter().zip(&aggregates) {
+        println!(
+            "| {n} | {} | {:.1} | {:.1} | {:.1} | {:.1} |",
+            a.failures,
+            a.rework.as_secs_f64(),
+            a.downtime.as_secs_f64(),
+            a.overhead.as_secs_f64(),
+            a.total().as_secs_f64()
+        );
+    }
+    let win_rate = adaptive_wins as f64 / cells.max(1) as f64;
+    println!(
+        "\nadaptive best-or-tied in {adaptive_wins}/{cells} cells ({:.0}%); \
+         safety violations: {}",
+        win_rate * 100.0,
+        safety.len()
+    );
+
+    // ---- splice the "policy" section into the bench report ---------------
+    let per_policy: String = names
+        .iter()
+        .zip(&aggregates)
+        .map(|(n, a)| {
+            format!(
+                "      \"{n}\": {{\n        \"failures\": {},\n        \
+                 \"rework_s\": {:.3},\n        \"downtime_s\": {:.3},\n        \
+                 \"overhead_s\": {:.3},\n        \"wasted_s\": {:.3}\n      }}",
+                a.failures,
+                a.rework.as_secs_f64(),
+                a.downtime.as_secs_f64(),
+                a.overhead.as_secs_f64(),
+                a.total().as_secs_f64()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let seeds_json: String = seeds
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let section = format!(
+        "  \"policy\": {{\n    \"quick\": {quick},\n    \"plans\": {},\n    \
+         \"seeds\": [{seeds_json}],\n    \"cells\": {cells},\n    \
+         \"adaptive_best_or_tied_cells\": {adaptive_wins},\n    \
+         \"adaptive_win_rate\": {win_rate:.3},\n    \
+         \"safety_violations\": {},\n    \"policies\": {{\n{per_policy}\n    }}\n  }}",
+        plans.len(),
+        safety.len(),
+    );
+    let existing = std::fs::read_to_string(&out_path)
+        .unwrap_or_else(|_| "{\n  \"bench\": \"harness\"\n}\n".to_string());
+    let base = match existing.find(",\n  \"policy\": {") {
+        Some(i) => existing[..i].to_string(),
+        None => match existing.rfind('}') {
+            Some(i) => existing[..i].trim_end().to_string(),
+            None => fail(&format!("{out_path} is not a JSON object")),
+        },
+    };
+    let merged = format!("{base},\n{section}\n}}\n");
+    let parsed: Result<serde_json::Value, _> = serde_json::from_str(&merged);
+    if parsed.is_err() {
+        fail("spliced bench report is not valid JSON");
+    }
+    std::fs::write(&out_path, &merged)
+        .unwrap_or_else(|e| fail(&format!("writing {out_path}: {e}")));
+    eprintln!("spliced \"policy\" section into {out_path}");
+
+    // ---- gates -----------------------------------------------------------
+    let mut failed = false;
+    if violations > 0 {
+        eprintln!("FAILED: {violations} chaos invariant violation(s)");
+        failed = true;
+    }
+    if !safety.is_empty() {
+        for v in &safety {
+            eprintln!("FAILED safety: {v}");
+        }
+        failed = true;
+    }
+    if quick {
+        // Smoke gate: adaptive aggregate <= the best fixed aggregate.
+        let adaptive = aggregates[0].total().as_secs_f64();
+        let best_fixed = aggregates[1..]
+            .iter()
+            .map(|a| a.total().as_secs_f64())
+            .fold(f64::INFINITY, f64::min);
+        if adaptive > best_fixed + 1e-9 {
+            eprintln!(
+                "FAILED: adaptive wasted {adaptive:.1}s > best fixed {best_fixed:.1}s \
+                 on the smoke matrix"
+            );
+            failed = true;
+        }
+    } else if win_rate < 0.8 {
+        eprintln!("FAILED: adaptive best-or-tied rate {win_rate:.2} < 0.80");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

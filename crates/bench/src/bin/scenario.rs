@@ -10,7 +10,8 @@
 //! `--trace-out FILE` exports the run (checkpoint interleave, failure
 //! detection, recovery phases) as Chrome trace-event JSON for Perfetto;
 //! `--metrics-out FILE` writes Prometheus text; `--metrics-json-out FILE`
-//! writes the same registry as JSON.
+//! writes the same registry as JSON; `--seed N` overrides the config's
+//! `"seed"` field.
 //!
 //! Config fields (all optional):
 //!
@@ -27,9 +28,9 @@
 //! }
 //! ```
 
-use gemini_bench::TelemetryArgs;
+use gemini_bench::BenchCli;
 use gemini_cluster::{FailureKind, InstanceType, OperatorConfig};
-use gemini_harness::{run_drill_with, DrillConfig, Scenario};
+use gemini_harness::{Deployment, DrillConfig, Scenario};
 use gemini_training::ModelConfig;
 
 fn fail(msg: &str) -> ! {
@@ -38,10 +39,10 @@ fn fail(msg: &str) -> ! {
 }
 
 fn main() {
-    let (targs, rest) = TelemetryArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| fail(&e));
-    targs.install_jobs();
+    let cli = BenchCli::from_env();
+    let targs = cli.telemetry.clone();
     let sink = targs.sink();
-    let arg = rest.first().cloned().unwrap_or_else(|| "{}".to_string());
+    let arg = cli.rest().first().cloned().unwrap_or_else(|| "{}".to_string());
     let cfg: serde_json::Value = serde_json::from_str(&arg)
         .unwrap_or_else(|e| fail(&format!("config is not valid JSON: {e}")));
 
@@ -54,7 +55,8 @@ fn main() {
     let machines = cfg["machines"].as_u64().unwrap_or(16) as usize;
     let replicas = cfg["replicas"].as_u64().unwrap_or(2) as usize;
     let standbys = cfg["standbys"].as_u64().unwrap_or(0) as usize;
-    let seed = cfg["seed"].as_u64().unwrap_or(1);
+    // `--seed N` on the command line overrides the config's "seed" field.
+    let seed = cli.seed.unwrap_or_else(|| cfg["seed"].as_u64().unwrap_or(1));
     let fail_iter = cfg["fail_during_iteration"].as_u64().unwrap_or(4);
 
     let mut failures: Vec<(usize, FailureKind)> = Vec::new();
@@ -76,7 +78,7 @@ fn main() {
         failures.push((machines.saturating_sub(1) / 2, FailureKind::Hardware));
     }
 
-    let mut scenario = Scenario {
+    let mut scenario = Deployment {
         model,
         instance,
         machines,
@@ -129,7 +131,7 @@ fn main() {
         },
         seed,
     };
-    match run_drill_with(&drill, sink.clone()) {
+    match Scenario::drill(drill).sink(sink.clone()).run() {
         Ok(r) => {
             println!("\n## Failure drill ({failures:?} during iteration {fail_iter})");
             println!("- case: {:?}", r.case);

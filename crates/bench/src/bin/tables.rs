@@ -5,15 +5,16 @@
 //! cargo run -p gemini-bench --bin tables -- --metrics-out tables.prom
 //! ```
 
-use gemini_bench::TelemetryArgs;
+use gemini_bench::BenchCli;
 use gemini_harness::experiments::tables::{table1_table, table2_table};
 
 fn main() {
-    let (targs, _) = TelemetryArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+    let cli = BenchCli::from_env();
+    let targs = cli.telemetry.clone();
+    cli.reject_unknown().unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1)
     });
-    targs.install_jobs();
     let sink = targs.sink();
     for t in [table1_table(), table2_table()] {
         sink.counter_add("harness.artifacts_rendered", 1);

@@ -1,0 +1,229 @@
+//! The shared command-line front end for the bench binaries.
+//!
+//! Every binary historically re-implemented the same scraps of argument
+//! handling: the telemetry/`--jobs` flags ([`TelemetryArgs`]), `--seed N`
+//! and `--seeds A,B,C`, and an ad-hoc scan for its own flags with ad-hoc
+//! "unknown argument" behaviour. [`BenchCli`] centralizes all of it:
+//!
+//! ```
+//! # use gemini_bench::cli::BenchCli;
+//! let mut cli = BenchCli::parse(
+//!     ["--seed", "7", "--quick", "--out", "b.json"]
+//!         .iter()
+//!         .map(|s| s.to_string()),
+//! )
+//! .unwrap();
+//! let quick = cli.flag("--quick");
+//! let out = cli.value("--out").unwrap().unwrap_or_else(|| "BENCH.json".into());
+//! assert_eq!(cli.seeds_or(&[1, 2, 3]), vec![7]);
+//! assert!(quick);
+//! assert_eq!(out, "b.json");
+//! cli.reject_unknown().unwrap(); // everything was consumed
+//! ```
+//!
+//! * Telemetry and `--jobs` flags land in [`BenchCli::telemetry`]
+//!   (see [`TelemetryArgs`]).
+//! * `--seed N` (single) and `--seeds A,B,C` (list) land in
+//!   [`BenchCli::seed`] / [`BenchCli::seeds`]; [`BenchCli::seeds_or`]
+//!   folds them against a binary-specific default, with `--seed`
+//!   taking precedence.
+//! * Binary-specific flags are consumed with [`BenchCli::flag`] /
+//!   [`BenchCli::value`], and whatever remains is either collected with
+//!   [`BenchCli::rest`] (positional operands) or rejected with
+//!   [`BenchCli::reject_unknown`].
+//!
+//! [`BenchCli::from_env`] is the `main()`-shaped entry point: it parses
+//! the process arguments and exits with a diagnostic on malformed input.
+
+use crate::out::TelemetryArgs;
+
+/// Parsed common flags plus a cursor over the binary-specific remainder.
+#[derive(Clone, Debug, Default)]
+pub struct BenchCli {
+    /// The telemetry/`--jobs` flags shared by every binary.
+    pub telemetry: TelemetryArgs,
+    /// `--seed N`, when given. Takes precedence over [`BenchCli::seeds`]
+    /// in [`BenchCli::seeds_or`].
+    pub seed: Option<u64>,
+    /// `--seeds A,B,C`, when given.
+    pub seeds: Option<Vec<u64>>,
+    remainder: Vec<String>,
+}
+
+impl BenchCli {
+    /// Parses `args`, splitting out the telemetry flags, `--seed` and
+    /// `--seeds`. Unrecognized arguments are kept (in order) for
+    /// [`BenchCli::flag`] / [`BenchCli::value`] / [`BenchCli::rest`].
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<BenchCli, String> {
+        let (telemetry, rest) = TelemetryArgs::parse(args)?;
+        let mut out = BenchCli {
+            telemetry,
+            ..BenchCli::default()
+        };
+        let mut it = rest.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--seed" => {
+                    let s = it
+                        .next()
+                        .ok_or_else(|| "--seed requires an N operand".to_string())?;
+                    let n = s
+                        .parse()
+                        .map_err(|_| format!("--seed expects an integer, got {s:?}"))?;
+                    out.seed = Some(n);
+                }
+                "--seeds" => {
+                    let s = it
+                        .next()
+                        .ok_or_else(|| "--seeds requires a LIST operand".to_string())?;
+                    let seeds = s
+                        .split(',')
+                        .map(|x| {
+                            x.trim()
+                                .parse()
+                                .map_err(|_| format!("--seeds expects integers, got {x:?}"))
+                        })
+                        .collect::<Result<Vec<u64>, String>>()?;
+                    if seeds.is_empty() {
+                        return Err("--seeds expects a non-empty list".to_string());
+                    }
+                    out.seeds = Some(seeds);
+                }
+                _ => out.remainder.push(arg),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, printing the diagnostic and exiting
+    /// non-zero on malformed input. Also installs the effective `--jobs`
+    /// count as the process-wide default.
+    pub fn from_env() -> BenchCli {
+        match BenchCli::parse(std::env::args().skip(1)) {
+            Ok(cli) => {
+                cli.telemetry.install_jobs();
+                cli
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
+
+    /// The seed set for this run: `--seed N` wins (a single-element set),
+    /// then `--seeds A,B,C`, then `default`.
+    pub fn seeds_or(&self, default: &[u64]) -> Vec<u64> {
+        if let Some(seed) = self.seed {
+            vec![seed]
+        } else if let Some(seeds) = &self.seeds {
+            seeds.clone()
+        } else {
+            default.to_vec()
+        }
+    }
+
+    /// Consumes the boolean flag `name` from the remainder, returning
+    /// whether it was present (every occurrence is removed).
+    pub fn flag(&mut self, name: &str) -> bool {
+        let before = self.remainder.len();
+        self.remainder.retain(|a| a != name);
+        self.remainder.len() != before
+    }
+
+    /// Consumes `name VALUE` from the remainder. `Ok(None)` when absent;
+    /// an error when the flag is present without its operand.
+    pub fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+        match self.remainder.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(i) if i + 1 < self.remainder.len() => {
+                self.remainder.remove(i);
+                Ok(Some(self.remainder.remove(i)))
+            }
+            Some(_) => Err(format!("{name} requires an operand")),
+        }
+    }
+
+    /// The unconsumed remainder (positional operands), in input order.
+    pub fn rest(&self) -> &[String] {
+        &self.remainder
+    }
+
+    /// Errors on any unconsumed argument — the standard tail call for
+    /// binaries with no positional operands.
+    pub fn reject_unknown(&self) -> Result<(), String> {
+        match self.remainder.first() {
+            None => Ok(()),
+            Some(arg) => Err(format!("unknown argument {arg:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn splits_common_flags_and_keeps_the_rest() {
+        let cli = BenchCli::parse(s(&[
+            "--plan",
+            "root_churn",
+            "--seed",
+            "7",
+            "--trace-out",
+            "t.json",
+            "--fast",
+        ]))
+        .unwrap();
+        assert_eq!(cli.seed, Some(7));
+        assert!(cli.telemetry.trace_out.is_some());
+        assert_eq!(cli.rest(), s(&["--plan", "root_churn", "--fast"]));
+    }
+
+    #[test]
+    fn seed_wins_over_seeds_and_default() {
+        let cli = BenchCli::parse(s(&["--seed", "9", "--seeds", "1,2,3"])).unwrap();
+        assert_eq!(cli.seeds_or(&[4, 5]), vec![9]);
+        let cli = BenchCli::parse(s(&["--seeds", "1, 2,3"])).unwrap();
+        assert_eq!(cli.seeds_or(&[4, 5]), vec![1, 2, 3]);
+        let cli = BenchCli::parse(s(&[])).unwrap();
+        assert_eq!(cli.seeds_or(&[4, 5]), vec![4, 5]);
+    }
+
+    #[test]
+    fn malformed_seed_flags_error() {
+        assert!(BenchCli::parse(s(&["--seed"])).is_err());
+        assert!(BenchCli::parse(s(&["--seed", "x"])).is_err());
+        assert!(BenchCli::parse(s(&["--seeds"])).is_err());
+        assert!(BenchCli::parse(s(&["--seeds", "1,x"])).is_err());
+        assert!(BenchCli::parse(s(&["--seeds", ""])).is_err());
+    }
+
+    #[test]
+    fn flag_and_value_consume() {
+        let mut cli = BenchCli::parse(s(&["--quick", "--out", "b.json", "pos"])).unwrap();
+        assert!(cli.flag("--quick"));
+        assert!(!cli.flag("--quick"));
+        assert_eq!(cli.value("--out").unwrap().as_deref(), Some("b.json"));
+        assert_eq!(cli.value("--out").unwrap(), None);
+        assert_eq!(cli.rest(), s(&["pos"]));
+        assert!(cli.reject_unknown().is_err());
+    }
+
+    #[test]
+    fn value_without_operand_errors() {
+        let mut cli = BenchCli::parse(s(&["--out"])).unwrap();
+        assert!(cli.value("--out").is_err());
+    }
+
+    #[test]
+    fn reject_unknown_passes_when_everything_is_consumed() {
+        let mut cli = BenchCli::parse(s(&["--list"])).unwrap();
+        assert!(cli.flag("--list"));
+        assert!(cli.reject_unknown().is_ok());
+    }
+}

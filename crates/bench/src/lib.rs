@@ -13,14 +13,18 @@
 //! heap-vs-wheel scheduler matrix over the [`des`] workloads).
 //!
 //! Every binary additionally accepts `--trace-out FILE` (Chrome
-//! trace-event JSON for Perfetto), `--metrics-out FILE` (Prometheus text)
-//! and `--metrics-json-out FILE` — see [`out::TelemetryArgs`].
+//! trace-event JSON for Perfetto), `--metrics-out FILE` (Prometheus text),
+//! `--metrics-json-out FILE`, `--jobs N`, and — where seeding applies —
+//! `--seed N` / `--seeds A,B,C`; all parsed by the shared [`cli::BenchCli`]
+//! front end (telemetry flags themselves live in [`out::TelemetryArgs`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod des;
 pub mod out;
 
+pub use cli::BenchCli;
 pub use des::{run_des, DesFingerprint, DesWorkload};
 pub use out::TelemetryArgs;

@@ -38,6 +38,7 @@ pub mod frequency;
 pub mod partition;
 pub mod pipeline;
 pub mod placement;
+pub mod policy;
 pub mod recovery;
 pub mod retention;
 pub mod schedule;
@@ -50,8 +51,12 @@ pub use config::GeminiConfig;
 pub use error::GeminiError;
 pub use partition::{Chunk, PartitionInput, PartitionPlan};
 pub use placement::{Placement, PlacementGroup, PlacementStrategy};
+pub use policy::{
+    FixedPolicy, PolicyConfig, PolicyDecisionRecord, PolicyEngine, PolicyKnobs, PolicySignals,
+    PolicySpec, PolicyStats, TierPreference,
+};
 pub use recovery::{RecoveryCase, RecoveryPlan, RecoveryPlanner, RetrievalSource};
 pub use retention::{PersistentLedger, RetentionPolicy};
 pub use schedule::{CkptSchedule, ScheduleOutcome};
 pub use vault::ReplicaVault;
-pub use wasted::WastedTimeModel;
+pub use wasted::{WastedLedger, WastedTimeModel};

@@ -1,0 +1,719 @@
+//! Online fault-tolerance policy engine (the runtime-control layer).
+//!
+//! GEMINI as published fixes its checkpoint frequency, placement group
+//! size and retrieval tier at launch; §5.3 already concedes the need to
+//! adapt the frequency when the idle spans cannot absorb a checkpoint.
+//! This module closes the loop: a [`PolicyEngine`] consumes runtime
+//! signals the stack already produces — confirmed-failure rate and
+//! correlation structure (chaos/agents), idle-span budget
+//! (timeline/schedule), replica health (vault/recovery) — and re-plans
+//!
+//! * the **checkpoint cadence** (commit every `k` iterations, via the
+//!   Young–Daly rule when checkpoints carry visible overhead),
+//! * the **persistent-checkpoint interval** (risk-scaled by the rate of
+//!   *correlated* failures, the only kind CPU replication cannot absorb),
+//! * the **retrieval-tier preference** (local/remote CPU first vs
+//!   persistent first, by total-cost comparison including rollback), and
+//! * the **placement group size** `m` (raised under sustained correlated
+//!   loss; applied by the runtime at safe boundaries only),
+//!
+//! at iteration boundaries, with **hysteresis** so a single chaos blip
+//! never flaps a decision: a changed target must be re-proposed for
+//! [`PolicyConfig::hysteresis_streak`] consecutive evaluations *and*
+//! survive a cooldown since the last applied change before it takes
+//! effect.
+//!
+//! Everything is pure arithmetic over the sampled [`PolicySignals`], so
+//! decisions are byte-reproducible across reruns and `--jobs` counts.
+
+use gemini_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which storage tier the recovery planner should try first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TierPreference {
+    /// The paper's hierarchy: local CPU, then remote CPU, then persistent.
+    CpuFirst,
+    /// Go straight to persistent storage (chosen when degraded networks
+    /// make remote-CPU retrieval costlier than a fresh persistent anchor).
+    PersistentFirst,
+}
+
+impl TierPreference {
+    /// Stable label for telemetry and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TierPreference::CpuFirst => "cpu_first",
+            TierPreference::PersistentFirst => "persistent_first",
+        }
+    }
+}
+
+/// The knobs a policy controls. This is both the engine's *active* state
+/// and the shape of a fixed (non-adaptive) comparator policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyKnobs {
+    /// Commit an in-memory checkpoint every `k` iterations (`k ≥ 1`).
+    pub ckpt_every_iters: u64,
+    /// Interval between persistent-storage checkpoints; `None` disables
+    /// persistence entirely (pure in-memory protection).
+    pub persist_interval: Option<SimDuration>,
+    /// Placement-group replica count `m` the policy wants in force.
+    pub replicas: usize,
+    /// Retrieval-tier preference for the next recovery.
+    pub tier: TierPreference,
+}
+
+impl PolicyKnobs {
+    /// The paper's defaults: checkpoint every iteration, persist every
+    /// three hours (§7.1), `m = 2`, CPU tiers first.
+    pub fn paper_default() -> Self {
+        PolicyKnobs {
+            ckpt_every_iters: 1,
+            persist_interval: Some(SimDuration::from_hours(3)),
+            replicas: 2,
+            tier: TierPreference::CpuFirst,
+        }
+    }
+}
+
+/// A fixed comparator policy: the knobs never move, whatever the runtime
+/// observes. The baseline catalog lives in `gemini_baselines::schemes`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedPolicy {
+    /// Stable name for reports and telemetry labels.
+    pub name: &'static str,
+    /// The frozen knobs.
+    pub knobs: PolicyKnobs,
+}
+
+/// What drives the fault-tolerance knobs of a run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PolicySpec {
+    /// Knobs frozen at launch (the published GEMINI behaviour and every
+    /// baseline scheme).
+    Fixed(FixedPolicy),
+    /// Online adaptation through a [`PolicyEngine`].
+    Adaptive(PolicyConfig),
+}
+
+impl PolicySpec {
+    /// The adaptive spec with default tuning.
+    pub fn adaptive() -> Self {
+        PolicySpec::Adaptive(PolicyConfig::default())
+    }
+
+    /// Stable name for reports (`adaptive` or the fixed policy's name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::Fixed(f) => f.name,
+            PolicySpec::Adaptive(_) => "adaptive",
+        }
+    }
+}
+
+/// Tuning of the adaptive engine. Defaults are deliberately conservative:
+/// the engine must *earn* a knob change with a sustained signal.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Half-life of the failure-rate EWMA estimators. Older failures decay
+    /// by `2^(−Δt/halflife)`.
+    pub halflife: SimDuration,
+    /// A changed target must be proposed for this many *consecutive*
+    /// evaluations before it is applied (hysteresis). A blip shorter than
+    /// the streak can never change the active policy.
+    pub hysteresis_streak: u32,
+    /// Minimum time between two applied changes.
+    pub cooldown: SimDuration,
+    /// Absolute floor for the persistent interval (on top of the physical
+    /// floor, the upload time itself).
+    pub min_persist_interval: SimDuration,
+    /// Ceiling for the persistent interval (the paper's 3 h default).
+    pub max_persist_interval: SimDuration,
+    /// Correlated failures per hour above which the engine asks for one
+    /// more replica (`m + 1`).
+    pub corr_rate_for_extra_replica: f64,
+    /// Upper bound on `m` the engine may request.
+    pub max_replicas: usize,
+    /// Persistent retrieval (incl. rollback loss) must be cheaper than
+    /// CPU retrieval by this factor before the tier preference flips.
+    pub tier_margin: f64,
+    /// Cadence used while no failure has ever been observed and
+    /// checkpoints carry visible overhead.
+    pub fallback_every_iters: u64,
+    /// Hard cap on the cadence (`k ≤ cap`), so Young–Daly under a tiny
+    /// failure rate cannot starve commit freshness entirely.
+    pub max_every_iters: u64,
+    /// Quantum the persist-interval target is rounded to. Without
+    /// rounding, the Young–Daly interval would drift a few milliseconds
+    /// per evaluation as the EWMA decays, no two consecutive proposals
+    /// would ever compare equal, and the hysteresis streak could never
+    /// complete.
+    pub persist_quantum: SimDuration,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            halflife: SimDuration::from_hours(1),
+            hysteresis_streak: 3,
+            cooldown: SimDuration::from_mins(10),
+            min_persist_interval: SimDuration::from_mins(10),
+            max_persist_interval: SimDuration::from_hours(3),
+            corr_rate_for_extra_replica: 0.5,
+            max_replicas: 4,
+            tier_margin: 1.25,
+            fallback_every_iters: 1,
+            max_every_iters: 64,
+            persist_quantum: SimDuration::from_mins(1),
+        }
+    }
+}
+
+/// Runtime signals sampled at one iteration boundary. Every field is
+/// already produced somewhere in the stack; the engine only reads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PolicySignals {
+    /// Simulated time of the boundary.
+    pub now: SimTime,
+    /// Last *committed* (in-memory durable) iteration.
+    pub committed: u64,
+    /// Profiled iteration time (timeline).
+    pub iteration_time: SimDuration,
+    /// Per-checkpoint overhead visible to training after the idle spans
+    /// absorbed what they could (`ScheduleOutcome`): zero when the
+    /// checkpoint hides entirely in idle time.
+    pub ckpt_overhead: SimDuration,
+    /// Estimated remote-CPU retrieval time *at the current network
+    /// degrade factor* (recovery planner + NIC health).
+    pub retrieval_remote: SimDuration,
+    /// Estimated persistent-storage retrieval time.
+    pub retrieval_persistent: SimDuration,
+    /// Time a full-model persistent upload takes (physical floor of the
+    /// persist interval).
+    pub persist_upload: SimDuration,
+    /// Iteration of the newest durable persistent checkpoint, if any.
+    pub persist_anchor: Option<u64>,
+    /// Healthy machines right now (vault / health scan).
+    pub healthy_machines: usize,
+    /// Total machines in the job.
+    pub machines: usize,
+}
+
+/// One applied decision, for telemetry and reports.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicyDecisionRecord {
+    /// When the change took effect.
+    pub at: SimTime,
+    /// The knobs now in force.
+    pub knobs: PolicyKnobs,
+    /// Human-readable why (stable across reruns).
+    pub reason: String,
+    /// All-failure rate estimate at decision time (per hour).
+    pub failure_rate_per_hour: f64,
+    /// Correlated-failure rate estimate at decision time (per hour).
+    pub correlated_rate_per_hour: f64,
+}
+
+/// Exponentially-weighted point-process rate estimator: each event adds
+/// `ln 2 / halflife` and the whole estimate decays by `2^(−Δt/halflife)`,
+/// so a steady Poisson stream of intensity `λ` converges to exactly `λ`.
+#[derive(Clone, Debug, PartialEq)]
+struct RateEstimator {
+    halflife_secs: f64,
+    rate_per_sec: f64,
+    last: SimTime,
+}
+
+impl RateEstimator {
+    fn new(halflife: SimDuration) -> Self {
+        RateEstimator {
+            halflife_secs: halflife.as_secs_f64().max(1.0),
+            rate_per_sec: 0.0,
+            last: SimTime::ZERO,
+        }
+    }
+
+    fn decay_to(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        if dt > 0.0 {
+            self.rate_per_sec *= 0.5_f64.powf(dt / self.halflife_secs);
+            self.last = now;
+        }
+    }
+
+    fn observe(&mut self, now: SimTime) {
+        self.decay_to(now);
+        self.rate_per_sec += std::f64::consts::LN_2 / self.halflife_secs;
+    }
+
+    fn per_sec(&mut self, now: SimTime) -> f64 {
+        self.decay_to(now);
+        self.rate_per_sec
+    }
+}
+
+/// Aggregate statistics of an engine's lifetime (for reports).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyStats {
+    /// Evaluations run (iteration boundaries sampled).
+    pub evaluations: u64,
+    /// Evaluations whose target differed from the active knobs.
+    pub proposals: u64,
+    /// Proposals that survived hysteresis and were applied.
+    pub applied: u64,
+    /// Proposals cancelled because the target reverted before the streak
+    /// completed (blips absorbed by hysteresis).
+    pub blips_absorbed: u64,
+}
+
+/// The online policy engine. Feed it failures as they are *confirmed*
+/// (post-detection-streak, so KV blackouts don't count) and call
+/// [`PolicyEngine::evaluate`] at iteration boundaries.
+#[derive(Clone, Debug)]
+pub struct PolicyEngine {
+    cfg: PolicyConfig,
+    active: PolicyKnobs,
+    initial_replicas: usize,
+    all: RateEstimator,
+    correlated: RateEstimator,
+    pending: Option<(PolicyKnobs, u32)>,
+    last_applied: Option<SimTime>,
+    stats: PolicyStats,
+    decisions: Vec<PolicyDecisionRecord>,
+}
+
+impl PolicyEngine {
+    /// Creates an engine starting from `initial` knobs.
+    pub fn new(cfg: PolicyConfig, initial: PolicyKnobs) -> Self {
+        PolicyEngine {
+            all: RateEstimator::new(cfg.halflife),
+            correlated: RateEstimator::new(cfg.halflife),
+            cfg,
+            active: initial,
+            initial_replicas: initial.replicas,
+            pending: None,
+            last_applied: None,
+            stats: PolicyStats::default(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The knobs currently in force.
+    pub fn active(&self) -> PolicyKnobs {
+        self.active
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    /// Every applied decision, in order.
+    pub fn decisions(&self) -> &[PolicyDecisionRecord] {
+        &self.decisions
+    }
+
+    /// Records a *confirmed* failure. `correlated` marks failures that
+    /// took down a whole placement group (or otherwise defeat CPU
+    /// replication) — the only kind the persistent tier protects against.
+    pub fn observe_failure(&mut self, now: SimTime, correlated: bool) {
+        self.all.observe(now);
+        if correlated {
+            self.correlated.observe(now);
+        }
+    }
+
+    /// All-failure rate estimate, per hour.
+    pub fn failure_rate_per_hour(&mut self, now: SimTime) -> f64 {
+        self.all.per_sec(now) * 3_600.0
+    }
+
+    /// Correlated-failure rate estimate, per hour.
+    pub fn correlated_rate_per_hour(&mut self, now: SimTime) -> f64 {
+        self.correlated.per_sec(now) * 3_600.0
+    }
+
+    /// The target knobs the current signals ask for, before hysteresis.
+    /// Exposed for tests; [`PolicyEngine::evaluate`] is the real entry.
+    pub fn target(&mut self, s: &PolicySignals) -> PolicyKnobs {
+        let lam_all = self.all.per_sec(s.now);
+        let lam_corr = self.correlated.per_sec(s.now);
+        PolicyKnobs {
+            ckpt_every_iters: self.target_cadence(s, lam_all),
+            persist_interval: Some(self.target_persist(s, lam_corr)),
+            replicas: self.target_replicas(lam_corr * 3_600.0),
+            tier: self.target_tier(s),
+        }
+    }
+
+    /// Cadence: free checkpoints (no visible overhead) always commit every
+    /// iteration. With overhead, the Young–Daly rule `T_opt =
+    /// √(2·overhead/λ)` balances checkpoint cost against expected rework.
+    fn target_cadence(&self, s: &PolicySignals, lam_all: f64) -> u64 {
+        let overhead = s.ckpt_overhead.as_secs_f64();
+        if overhead <= f64::EPSILON {
+            return 1;
+        }
+        if lam_all <= 1e-12 {
+            return self.cfg.fallback_every_iters.max(1);
+        }
+        let t_iter = s.iteration_time.as_secs_f64().max(1e-9);
+        let opt_interval = (2.0 * overhead / lam_all).sqrt();
+        let k = (opt_interval / t_iter).round() as u64;
+        k.clamp(1, self.cfg.max_every_iters.max(1))
+    }
+
+    /// Persist interval: Young–Daly against the *correlated* failure rate
+    /// (CPU replication absorbs everything else), floored by the physical
+    /// upload time and the configured minimum, capped at the paper's 3 h.
+    fn target_persist(&self, s: &PolicySignals, lam_corr: f64) -> SimDuration {
+        let floor = s.persist_upload.max(self.cfg.min_persist_interval);
+        let cap = self.cfg.max_persist_interval.max(floor);
+        if lam_corr <= 1e-12 {
+            return cap;
+        }
+        let cost = s.persist_upload.as_secs_f64().max(1.0);
+        let opt = (2.0 * cost / lam_corr).sqrt();
+        // Quantize so the slow EWMA decay between evaluations cannot keep
+        // producing not-quite-equal targets that reset the hysteresis
+        // streak forever.
+        let q = self.cfg.persist_quantum.as_secs_f64().max(1.0);
+        let opt = (opt / q).round().max(1.0) * q;
+        SimDuration::from_secs_f64(opt).clamp_range(floor, cap)
+    }
+
+    /// Replicas: one extra above the launch `m` while the correlated rate
+    /// stays above the configured threshold; decays back when it subsides.
+    fn target_replicas(&self, corr_per_hour: f64) -> usize {
+        let base = self.initial_replicas;
+        if corr_per_hour >= self.cfg.corr_rate_for_extra_replica {
+            (base + 1).min(self.cfg.max_replicas)
+        } else {
+            base
+        }
+    }
+
+    /// Tier: persistent-first only when a durable anchor exists and its
+    /// total cost (retrieval + rollback rework) beats degraded remote-CPU
+    /// retrieval by the configured margin.
+    fn target_tier(&self, s: &PolicySignals) -> TierPreference {
+        let Some(anchor) = s.persist_anchor else {
+            return TierPreference::CpuFirst;
+        };
+        let rollback = s.committed.saturating_sub(anchor) as f64
+            * s.iteration_time.as_secs_f64();
+        let persistent_total = s.retrieval_persistent.as_secs_f64() + rollback;
+        let cpu_total = s.retrieval_remote.as_secs_f64();
+        if persistent_total * self.cfg.tier_margin < cpu_total {
+            TierPreference::PersistentFirst
+        } else {
+            TierPreference::CpuFirst
+        }
+    }
+
+    /// Evaluates the signals at an iteration boundary. Returns the applied
+    /// decision when (and only when) the active knobs changed.
+    ///
+    /// Hysteresis: a target differing from the active knobs must be
+    /// re-proposed unchanged for `hysteresis_streak` consecutive
+    /// evaluations, and the cooldown since the last applied change must
+    /// have elapsed. A target that reverts mid-streak cancels the pending
+    /// proposal (the blip is absorbed).
+    pub fn evaluate(&mut self, s: &PolicySignals) -> Option<PolicyDecisionRecord> {
+        self.stats.evaluations += 1;
+        let target = self.target(s);
+        if target == self.active {
+            if self.pending.take().is_some() {
+                self.stats.blips_absorbed += 1;
+            }
+            return None;
+        }
+        self.stats.proposals += 1;
+        let streak = match self.pending.take() {
+            Some((prev, n)) if prev == target => n + 1,
+            Some(_) | None => 1,
+        };
+        let cooled = match self.last_applied {
+            Some(t) => s.now.saturating_since(t) >= self.cfg.cooldown,
+            None => true,
+        };
+        if streak < self.cfg.hysteresis_streak || !cooled {
+            self.pending = Some((target, streak));
+            return None;
+        }
+        let reason = self.describe_change(&target);
+        self.active = target;
+        self.last_applied = Some(s.now);
+        self.stats.applied += 1;
+        let record = PolicyDecisionRecord {
+            at: s.now,
+            knobs: target,
+            reason,
+            failure_rate_per_hour: self.all.per_sec(s.now) * 3_600.0,
+            correlated_rate_per_hour: self.correlated.per_sec(s.now) * 3_600.0,
+        };
+        self.decisions.push(record.clone());
+        Some(record)
+    }
+
+    fn describe_change(&self, target: &PolicyKnobs) -> String {
+        let mut parts = Vec::new();
+        if target.ckpt_every_iters != self.active.ckpt_every_iters {
+            parts.push(format!(
+                "cadence {}→{}",
+                self.active.ckpt_every_iters, target.ckpt_every_iters
+            ));
+        }
+        if target.persist_interval != self.active.persist_interval {
+            parts.push(format!(
+                "persist {}→{}",
+                fmt_interval(self.active.persist_interval),
+                fmt_interval(target.persist_interval)
+            ));
+        }
+        if target.replicas != self.active.replicas {
+            parts.push(format!("m {}→{}", self.active.replicas, target.replicas));
+        }
+        if target.tier != self.active.tier {
+            parts.push(format!(
+                "tier {}→{}",
+                self.active.tier.label(),
+                target.tier.label()
+            ));
+        }
+        parts.join(", ")
+    }
+}
+
+fn fmt_interval(i: Option<SimDuration>) -> String {
+    match i {
+        Some(d) => format!("{}s", d.as_secs_f64().round() as u64),
+        None => "never".to_string(),
+    }
+}
+
+/// Clamp helper on [`SimDuration`] (kept private to this module).
+trait ClampRange {
+    fn clamp_range(self, lo: SimDuration, hi: SimDuration) -> SimDuration;
+}
+
+impl ClampRange for SimDuration {
+    fn clamp_range(self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        self.max(lo).min(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signals(now_s: u64) -> PolicySignals {
+        PolicySignals {
+            now: SimTime::from_secs(now_s),
+            committed: now_s / 62,
+            iteration_time: SimDuration::from_secs(62),
+            ckpt_overhead: SimDuration::ZERO,
+            retrieval_remote: SimDuration::from_secs(60),
+            retrieval_persistent: SimDuration::from_secs(480),
+            persist_upload: SimDuration::from_secs(480),
+            persist_anchor: None,
+            healthy_machines: 16,
+            machines: 16,
+        }
+    }
+
+    #[test]
+    fn ewma_converges_to_poisson_intensity() {
+        // One failure every 600 s for 20 half-lives → rate ≈ 1/600 s⁻¹.
+        let mut e = RateEstimator::new(SimDuration::from_hours(1));
+        let mut t = 0;
+        while t < 72_000 * 4 {
+            t += 600;
+            e.observe(SimTime::from_secs(t));
+        }
+        let per_sec = e.per_sec(SimTime::from_secs(t));
+        let expect = 1.0 / 600.0;
+        // A *discrete* stream sampled right at an event carries an
+        // upward bias of ≈ λ_decay·Δ/2 (≈ 5.8% at Δ = 600 s, halflife
+        // 1 h); a true Poisson stream converges to λ exactly.
+        assert!(
+            (per_sec - expect).abs() / expect < 0.08,
+            "rate {per_sec} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn zero_overhead_keeps_cadence_1() {
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        for i in 0..50 {
+            eng.observe_failure(SimTime::from_secs(i * 120), false);
+        }
+        let t = eng.target(&signals(6_000));
+        assert_eq!(t.ckpt_every_iters, 1);
+    }
+
+    #[test]
+    fn young_daly_cadence_with_overhead() {
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        // λ = 1/3600 s⁻¹ steady.
+        let mut t = 0;
+        while t < 72_000 {
+            t += 3_600;
+            eng.observe_failure(SimTime::from_secs(t), false);
+        }
+        let mut s = signals(t);
+        s.ckpt_overhead = SimDuration::from_secs(10);
+        let k = eng.target(&s).ckpt_every_iters;
+        // T_opt = sqrt(2·10·3600) ≈ 268 s → k ≈ 268/62 ≈ 4.
+        assert!((3..=6).contains(&k), "k = {k}");
+    }
+
+    #[test]
+    fn persist_interval_shrinks_under_correlated_failures() {
+        let cfg = PolicyConfig::default();
+        let mut eng = PolicyEngine::new(cfg.clone(), PolicyKnobs::paper_default());
+        let quiet = eng.target(&signals(1_000)).persist_interval.unwrap();
+        assert_eq!(quiet, cfg.max_persist_interval);
+        // Correlated losses every 30 min.
+        let mut t = 0;
+        while t < 36_000 {
+            t += 1_800;
+            eng.observe_failure(SimTime::from_secs(t), true);
+        }
+        let hot = eng.target(&signals(t)).persist_interval.unwrap();
+        assert!(hot < quiet, "hot {hot:?} quiet {quiet:?}");
+        assert!(hot >= SimDuration::from_secs(480), "floor holds: {hot:?}");
+    }
+
+    #[test]
+    fn tier_flips_only_with_fresh_anchor_and_margin() {
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        let mut s = signals(10_000);
+        // No anchor → CPU first even under degrade.
+        s.retrieval_remote = SimDuration::from_hours(10);
+        assert_eq!(eng.target(&s).tier, TierPreference::CpuFirst);
+        // Fresh anchor + collapsed network → persistent first.
+        s.persist_anchor = Some(s.committed);
+        assert_eq!(eng.target(&s).tier, TierPreference::PersistentFirst);
+        // Healthy network → stays CPU first despite the anchor.
+        s.retrieval_remote = SimDuration::from_secs(60);
+        assert_eq!(eng.target(&s).tier, TierPreference::CpuFirst);
+        // Stale anchor whose rollback dwarfs the degrade → CPU first.
+        s.retrieval_remote = SimDuration::from_hours(10);
+        s.persist_anchor = Some(0);
+        s.committed = 10_000;
+        assert_eq!(eng.target(&s).tier, TierPreference::CpuFirst);
+    }
+
+    #[test]
+    fn replicas_step_up_under_sustained_correlated_rate() {
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        let mut t = 0;
+        while t < 36_000 {
+            t += 1_800; // 2 per hour > 0.5 threshold
+            eng.observe_failure(SimTime::from_secs(t), true);
+        }
+        assert_eq!(eng.target(&signals(t)).replicas, 3);
+        // Rate decays → back to the launch m.
+        assert_eq!(eng.target(&signals(t + 40_000)).replicas, 2);
+    }
+
+    #[test]
+    fn hysteresis_absorbs_sub_streak_blip() {
+        let cfg = PolicyConfig::default();
+        let streak = cfg.hysteresis_streak;
+        let mut eng = PolicyEngine::new(cfg, PolicyKnobs::paper_default());
+        let before = eng.active();
+        // Correlated burst pushes a different target…
+        for i in 0..20 {
+            eng.observe_failure(SimTime::from_secs(1_000 + i), true);
+        }
+        // …but it is proposed for fewer than `streak` evaluations.
+        for k in 0..streak - 1 {
+            let s = signals(2_000 + k as u64 * 62);
+            assert_ne!(eng.target(&s), before, "burst must move the target");
+            assert!(eng.evaluate(&s).is_none());
+        }
+        // The burst decays before the streak completes: target reverts.
+        let late = signals(200_000);
+        assert_eq!(eng.target(&late), before);
+        assert!(eng.evaluate(&late).is_none());
+        assert_eq!(eng.active(), before, "blip must not change the policy");
+        assert_eq!(eng.stats().blips_absorbed, 1);
+        assert_eq!(eng.stats().applied, 0);
+    }
+
+    #[test]
+    fn sustained_signal_is_applied_after_streak() {
+        let cfg = PolicyConfig::default();
+        let streak = cfg.hysteresis_streak;
+        let mut eng = PolicyEngine::new(cfg, PolicyKnobs::paper_default());
+        let mut t = 0;
+        while t < 36_000 {
+            t += 1_800;
+            eng.observe_failure(SimTime::from_secs(t), true);
+        }
+        let mut applied = None;
+        for k in 0..streak {
+            applied = eng.evaluate(&signals(t + k as u64 * 62));
+        }
+        let rec = applied.expect("sustained target applies on the streak-th eval");
+        assert_eq!(rec.knobs, eng.active());
+        assert!(rec.correlated_rate_per_hour > 0.5);
+        assert!(!rec.reason.is_empty());
+        assert_eq!(eng.stats().applied, 1);
+    }
+
+    #[test]
+    fn cooldown_blocks_rapid_reapplication() {
+        let mut cfg = PolicyConfig::default();
+        cfg.hysteresis_streak = 1;
+        cfg.cooldown = SimDuration::from_mins(10);
+        let mut eng = PolicyEngine::new(cfg, PolicyKnobs::paper_default());
+        let mut t = 0;
+        while t < 36_000 {
+            t += 1_800;
+            eng.observe_failure(SimTime::from_secs(t), true);
+        }
+        assert!(eng.evaluate(&signals(t)).is_some());
+        // Rate decays quickly past the threshold boundary → target flips
+        // back, but the cooldown holds it pending.
+        let soon = signals(t + 60);
+        if eng.target(&soon) != eng.active() {
+            assert!(eng.evaluate(&soon).is_none(), "cooldown must block");
+        }
+        assert_eq!(eng.stats().applied, 1);
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let run = || {
+            let mut eng =
+                PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+            let mut out = Vec::new();
+            for i in 0..200u64 {
+                if i % 7 == 0 {
+                    eng.observe_failure(SimTime::from_secs(i * 300), i % 14 == 0);
+                }
+                let mut s = signals(i * 300 + 1);
+                s.ckpt_overhead = SimDuration::from_secs((i % 5) * 3);
+                if let Some(rec) = eng.evaluate(&s) {
+                    out.push(format!("{rec:?}"));
+                }
+            }
+            (out, format!("{:?}", eng.stats()))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn spec_names_are_stable() {
+        assert_eq!(PolicySpec::adaptive().name(), "adaptive");
+        let fixed = PolicySpec::Fixed(FixedPolicy {
+            name: "per_iteration",
+            knobs: PolicyKnobs::paper_default(),
+        });
+        assert_eq!(fixed.name(), "per_iteration");
+    }
+}

@@ -88,6 +88,65 @@ impl WastedTimeModel {
     }
 }
 
+/// An *accumulator* over an actual run, complementing the closed-form
+/// [`WastedTimeModel`]: every failure contributes the rework of the
+/// iterations rolled back plus the recovery downtime, and every
+/// checkpoint/persist contributes its visible overhead. The policy bench
+/// compares adaptive vs fixed policies by the [`WastedLedger::total`] of
+/// otherwise-identical chaos campaigns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WastedLedger {
+    /// Failures recorded.
+    pub failures: u64,
+    /// Iterations of lost progress re-done after rollbacks.
+    pub rework_iters: u64,
+    /// Time re-training the rolled-back iterations.
+    pub rework: SimDuration,
+    /// Downtime spent detecting + recovering (training stalled).
+    pub downtime: SimDuration,
+    /// Checkpoint/persist overhead visible to training.
+    pub overhead: SimDuration,
+}
+
+impl WastedLedger {
+    /// Records one failure: `rolled_back` iterations of `iteration_time`
+    /// each must be re-trained, and `downtime` passed with training
+    /// stalled.
+    pub fn record_failure(
+        &mut self,
+        rolled_back: u64,
+        iteration_time: SimDuration,
+        downtime: SimDuration,
+    ) {
+        self.failures += 1;
+        self.rework_iters += rolled_back;
+        self.rework = self.rework.saturating_add(iteration_time * rolled_back);
+        self.downtime = self.downtime.saturating_add(downtime);
+    }
+
+    /// Records checkpoint (or persistent-upload) overhead visible to
+    /// training.
+    pub fn record_overhead(&mut self, overhead: SimDuration) {
+        self.overhead = self.overhead.saturating_add(overhead);
+    }
+
+    /// Total wasted time: rework + downtime + overhead.
+    pub fn total(&self) -> SimDuration {
+        self.rework
+            .saturating_add(self.downtime)
+            .saturating_add(self.overhead)
+    }
+
+    /// Merges another ledger into this one (campaign aggregation).
+    pub fn merge(&mut self, other: &WastedLedger) {
+        self.failures += other.failures;
+        self.rework_iters += other.rework_iters;
+        self.rework = self.rework.saturating_add(other.rework);
+        self.downtime = self.downtime.saturating_add(other.downtime);
+        self.overhead = self.overhead.saturating_add(other.overhead);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +209,26 @@ mod tests {
         let g = WastedTimeModel::new(t_iter, t_iter, t_iter, SimDuration::ZERO);
         let ratio = g.average_wasted().as_secs_f64() / t_iter.as_secs_f64();
         assert!((ratio - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_accumulates_and_merges() {
+        let mut a = WastedLedger::default();
+        a.record_failure(10, SimDuration::from_secs(62), mins(5));
+        a.record_overhead(SimDuration::from_secs(30));
+        assert_eq!(a.failures, 1);
+        assert_eq!(a.rework_iters, 10);
+        assert_eq!(a.rework, SimDuration::from_secs(620));
+        assert_eq!(
+            a.total(),
+            SimDuration::from_secs(620) + mins(5) + SimDuration::from_secs(30)
+        );
+        let mut b = WastedLedger::default();
+        b.record_failure(3, SimDuration::from_secs(100), SimDuration::ZERO);
+        b.merge(&a);
+        assert_eq!(b.failures, 2);
+        assert_eq!(b.rework_iters, 13);
+        assert_eq!(b.total(), SimDuration::from_secs(300) + a.total());
     }
 
     #[test]

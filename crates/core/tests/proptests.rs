@@ -5,6 +5,9 @@
 use gemini_core::codec;
 use gemini_core::partition::{checkpoint_partition, PartitionInput};
 use gemini_core::pipeline::run_pipeline;
+use gemini_core::policy::{
+    PolicyConfig, PolicyEngine, PolicyKnobs, PolicySignals, TierPreference,
+};
 use gemini_core::placement::probability::{
     corollary1_probability, exact_recovery_probability, host_sets_recovery_probability,
     theorem1_gap_bound, theorem1_upper_bound,
@@ -14,12 +17,40 @@ use gemini_core::retention::{PersistentLedger, RetentionPolicy};
 use gemini_core::wasted::WastedTimeModel;
 use gemini_core::Placement;
 use gemini_net::{Bandwidth, ByteSize, TransferCost};
-use gemini_sim::{DetRng, SimDuration};
+use gemini_sim::{DetRng, SimDuration, SimTime};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 fn nm_strategy() -> impl Strategy<Value = (usize, usize)> {
     (1usize..=48).prop_flat_map(|n| (Just(n), 1usize..=n.min(6)))
+}
+
+/// Baseline signals whose target is exactly [`PolicyKnobs::paper_default`]
+/// while no failure has ever been observed: zero visible overhead, no
+/// durable anchor, healthy cluster.
+fn baseline_signals(now_s: u64) -> PolicySignals {
+    PolicySignals {
+        now: SimTime::from_secs(now_s),
+        committed: now_s / 62,
+        iteration_time: SimDuration::from_secs(62),
+        ckpt_overhead: SimDuration::ZERO,
+        retrieval_remote: SimDuration::from_secs(60),
+        retrieval_persistent: SimDuration::from_secs(480),
+        persist_upload: SimDuration::from_secs(480),
+        persist_anchor: None,
+        healthy_machines: 16,
+        machines: 16,
+    }
+}
+
+/// The same boundary with a collapsed training fabric and a fresh durable
+/// anchor: the pure-signal perturbation that flips the tier target to
+/// `PersistentFirst` (and reverts the instant the signals do).
+fn perturbed_signals(now_s: u64) -> PolicySignals {
+    let mut s = baseline_signals(now_s);
+    s.persist_anchor = Some(s.committed);
+    s.retrieval_remote = SimDuration::from_hours(10);
+    s
 }
 
 proptest! {
@@ -339,5 +370,73 @@ proptest! {
         prop_assert!(w.average_wasted() <= w.worst_case());
         // Equation 2's floor.
         prop_assert!(w.interval >= SimDuration::from_secs(ckpt_s.max(iter_s)));
+    }
+
+    // ---- Adaptive policy hysteresis ----
+
+    #[test]
+    fn sub_streak_blip_never_changes_the_active_policy(
+        streak in 2u32..8,
+        blip in 1u32..8,
+        pre in 0u64..5,
+        post in 1u64..5,
+        step in 30u64..600,
+    ) {
+        // A perturbed target proposed for fewer than `streak` consecutive
+        // evaluations must never be applied, whatever the evaluation
+        // cadence around it.
+        prop_assume!(blip < streak);
+        let cfg = PolicyConfig {
+            hysteresis_streak: streak,
+            ..PolicyConfig::default()
+        };
+        let initial = PolicyKnobs::paper_default();
+        let mut eng = PolicyEngine::new(cfg, initial);
+        let mut t = 1_000u64;
+        for _ in 0..pre {
+            prop_assert!(eng.evaluate(&baseline_signals(t)).is_none());
+            t += step;
+        }
+        for _ in 0..blip {
+            let s = perturbed_signals(t);
+            prop_assert_eq!(eng.target(&s).tier, TierPreference::PersistentFirst);
+            prop_assert!(eng.evaluate(&s).is_none(), "sub-streak blip applied");
+            t += step;
+        }
+        for _ in 0..post {
+            prop_assert!(eng.evaluate(&baseline_signals(t)).is_none());
+            t += step;
+        }
+        prop_assert_eq!(eng.active(), initial);
+        let stats = eng.stats();
+        prop_assert_eq!(stats.applied, 0);
+        prop_assert_eq!(stats.blips_absorbed, 1);
+        prop_assert_eq!(stats.proposals, blip as u64);
+    }
+
+    #[test]
+    fn sustained_proposal_applies_exactly_on_the_streak(
+        streak in 1u32..8,
+        step in 30u64..600,
+    ) {
+        let cfg = PolicyConfig {
+            hysteresis_streak: streak,
+            ..PolicyConfig::default()
+        };
+        let initial = PolicyKnobs::paper_default();
+        let mut eng = PolicyEngine::new(cfg, initial);
+        let mut t = 1_000u64;
+        for k in 1..=streak {
+            let applied = eng.evaluate(&perturbed_signals(t));
+            if k < streak {
+                prop_assert!(applied.is_none(), "applied before the streak at {k}");
+            } else {
+                let rec = applied.expect("streak-th evaluation applies");
+                prop_assert_eq!(rec.knobs.tier, TierPreference::PersistentFirst);
+                prop_assert_eq!(rec.knobs, eng.active());
+            }
+            t += step;
+        }
+        prop_assert_eq!(eng.stats().applied, 1);
     }
 }

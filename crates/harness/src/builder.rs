@@ -1,0 +1,305 @@
+//! The builder-style run API: one front door for every simulation the
+//! harness offers.
+//!
+//! Historically each runner grew its own `run_x` / `run_x_with` pair (and
+//! the chaos engine a third, policy-taking variant). [`Scenario`] collapses
+//! the sprawl into a single chainable surface:
+//!
+//! ```
+//! use gemini_harness::{DrillConfig, Scenario};
+//! let report = Scenario::drill(DrillConfig::fig14()).seed(7).run().unwrap();
+//! assert!(report.total_downtime.as_secs_f64() > 0.0);
+//! ```
+//!
+//! * [`Scenario::drill`] — the Fig. 14 single-failure recovery drill.
+//! * [`Scenario::campaign`] — a Fig. 15 long-horizon training campaign.
+//! * [`Scenario::campaign_sweep`] — a batch of campaigns across `--jobs`.
+//! * [`Scenario::chaos`] — one chaos plan (optionally under a policy).
+//! * [`Scenario::chaos_campaign`] — plans × seeds across `--jobs`.
+//!
+//! Common knobs chain on every variant: [`Scenario::seed`] (overrides the
+//! config's seed), [`Scenario::seeds`] + [`Scenario::jobs`] (batch
+//! variants), [`Scenario::sink`] (telemetry), [`Scenario::policy`] (chaos
+//! only — fault-tolerance knobs under a fixed or adaptive
+//! [`PolicySpec`]). The old `run_*_with` free functions survive as
+//! `#[deprecated]` shims over the same executors.
+
+use crate::campaign::{execute_campaign, CampaignConfig, CampaignResult};
+use crate::chaos::{execute_chaos, ChaosPlan, ChaosReport};
+use crate::drill::{execute_drill, DrillConfig, DrillReport};
+use gemini_core::policy::PolicySpec;
+use gemini_core::GeminiError;
+use gemini_telemetry::TelemetrySink;
+
+/// A configured run, built with the `Scenario::*` constructors and
+/// executed with `run()`. The type parameter is the underlying config
+/// (drill, campaign, chaos plan, or a batch thereof).
+#[derive(Clone, Debug)]
+pub struct Scenario<C> {
+    cfg: C,
+    seed: Option<u64>,
+    seeds: Vec<u64>,
+    jobs: usize,
+    sink: Option<TelemetrySink>,
+    policy: Option<PolicySpec>,
+}
+
+impl Scenario<()> {
+    /// An event-driven failure-recovery drill (Fig. 14).
+    pub fn drill(cfg: DrillConfig) -> Scenario<DrillConfig> {
+        Scenario::wrap(cfg)
+    }
+
+    /// A long-horizon training campaign with Poisson failures (Fig. 15).
+    pub fn campaign(cfg: CampaignConfig) -> Scenario<CampaignConfig> {
+        Scenario::wrap(cfg)
+    }
+
+    /// A batch of campaigns, run deterministically across
+    /// [`Scenario::jobs`] workers (results in input order, bit-identical
+    /// at every jobs count).
+    pub fn campaign_sweep(cfgs: Vec<CampaignConfig>) -> Scenario<Vec<CampaignConfig>> {
+        Scenario::wrap(cfgs)
+    }
+
+    /// One chaos plan through the DES stack; accepts
+    /// [`Scenario::policy`].
+    pub fn chaos(plan: ChaosPlan) -> Scenario<ChaosPlan> {
+        Scenario::wrap(plan)
+    }
+
+    /// Every plan × every seed (plan-major order) across
+    /// [`Scenario::jobs`] workers, telemetry disabled for speed; accepts
+    /// [`Scenario::policy`].
+    pub fn chaos_campaign(plans: Vec<ChaosPlan>) -> Scenario<Vec<ChaosPlan>> {
+        Scenario::wrap(plans)
+    }
+}
+
+impl<C> Scenario<C> {
+    fn wrap(cfg: C) -> Scenario<C> {
+        Scenario {
+            cfg,
+            seed: None,
+            seeds: Vec::new(),
+            jobs: 1,
+            sink: None,
+            policy: None,
+        }
+    }
+
+    /// Overrides the run's seed (the config's own seed otherwise; chaos
+    /// plans carry no seed and default to 1).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The seed set of a batch run (chaos campaigns). Defaults to the
+    /// single [`Scenario::seed`].
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Worker count for batch runs. Results never depend on it.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Records telemetry through `sink` (the caller keeps the handle for
+    /// exports). Single-run variants only.
+    pub fn sink(mut self, sink: TelemetrySink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Puts the run's fault-tolerance knobs under `policy` (chaos
+    /// variants only; drills and campaigns model the paper's fixed
+    /// configuration).
+    pub fn policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    fn reject_policy(&self, what: &'static str) -> Result<(), GeminiError> {
+        if self.policy.is_some() {
+            return Err(GeminiError::InvalidPartitionInput(what));
+        }
+        Ok(())
+    }
+}
+
+impl Scenario<DrillConfig> {
+    /// Runs the drill. Default sink: enabled (the report carries the
+    /// typed event log).
+    pub fn run(self) -> Result<DrillReport, GeminiError> {
+        self.reject_policy("drills run the paper's fixed configuration; use Scenario::chaos for policy runs")?;
+        let mut cfg = self.cfg;
+        if let Some(seed) = self.seed {
+            cfg.seed = seed;
+        }
+        execute_drill(&cfg, self.sink.unwrap_or_else(TelemetrySink::enabled))
+    }
+}
+
+impl Scenario<CampaignConfig> {
+    /// Runs the campaign. Default sink: disabled (campaigns are
+    /// closed-form sweeps; enable one to collect `campaign.*` metrics).
+    pub fn run(self) -> Result<CampaignResult, GeminiError> {
+        self.reject_policy("campaigns run the paper's fixed configuration; use Scenario::chaos for policy runs")?;
+        let mut cfg = self.cfg;
+        if let Some(seed) = self.seed {
+            cfg.seed = seed;
+        }
+        execute_campaign(&cfg, &self.sink.unwrap_or_else(TelemetrySink::disabled))
+    }
+}
+
+impl Scenario<Vec<CampaignConfig>> {
+    /// Runs every config across the worker pool, in input order.
+    pub fn run(self) -> Result<Vec<CampaignResult>, GeminiError> {
+        self.reject_policy("campaigns run the paper's fixed configuration; use Scenario::chaos_campaign for policy runs")?;
+        if self.seed.is_some() || !self.seeds.is_empty() {
+            return Err(GeminiError::InvalidPartitionInput(
+                "campaign sweeps take their seeds from each config; build the grid with campaign_grid",
+            ));
+        }
+        if self.sink.is_some() {
+            return Err(GeminiError::InvalidPartitionInput(
+                "batch runs execute with telemetry disabled; run a single campaign with .sink(…)",
+            ));
+        }
+        let cfgs = self.cfg;
+        crate::par::try_par_map(self.jobs, cfgs.len(), |i| {
+            execute_campaign(&cfgs[i], &TelemetrySink::disabled())
+        })
+    }
+}
+
+impl Scenario<ChaosPlan> {
+    /// Runs the plan (seed defaults to 1). Default sink: enabled.
+    pub fn run(self) -> Result<ChaosReport, GeminiError> {
+        execute_chaos(
+            &self.cfg,
+            self.seed.unwrap_or(1),
+            self.sink.unwrap_or_else(TelemetrySink::enabled),
+            self.policy.as_ref(),
+        )
+    }
+}
+
+impl Scenario<Vec<ChaosPlan>> {
+    /// Runs every plan × every seed (plan-major) across the worker pool.
+    /// Telemetry stays disabled; results are bit-identical at every
+    /// [`Scenario::jobs`] count.
+    pub fn run(self) -> Result<Vec<ChaosReport>, GeminiError> {
+        if self.sink.is_some() {
+            return Err(GeminiError::InvalidPartitionInput(
+                "batch runs execute with telemetry disabled; run a single plan with .sink(…)",
+            ));
+        }
+        let seeds = if self.seeds.is_empty() {
+            vec![self.seed.unwrap_or(1)]
+        } else {
+            self.seeds
+        };
+        let plans = self.cfg;
+        let policy = self.policy;
+        let total = plans.len() * seeds.len();
+        crate::par::try_par_map(self.jobs, total, |i| {
+            execute_chaos(
+                &plans[i / seeds.len()],
+                seeds[i % seeds.len()],
+                TelemetrySink::disabled(),
+                policy.as_ref(),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_core::policy::{FixedPolicy, PolicyKnobs};
+
+    #[test]
+    fn drill_builder_matches_the_free_function() {
+        let a = Scenario::drill(DrillConfig::fig14()).run().unwrap();
+        let b = crate::drill::run_drill(&DrillConfig::fig14()).unwrap();
+        assert_eq!(a.total_downtime, b.total_downtime);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn drill_seed_override_wins() {
+        let a = Scenario::drill(DrillConfig::fig14()).seed(999).run().unwrap();
+        let mut cfg = DrillConfig::fig14();
+        cfg.seed = 999;
+        let b = crate::drill::run_drill(&cfg).unwrap();
+        assert_eq!(a.replacement_wait, b.replacement_wait);
+    }
+
+    #[test]
+    fn campaign_builder_matches_the_free_function() {
+        use crate::campaign::{run_campaign, Solution};
+        let cfg = CampaignConfig::fig15(Solution::Gemini, 4.0, 7);
+        let a = Scenario::campaign(cfg.clone()).run().unwrap();
+        let b = run_campaign(&cfg).unwrap();
+        assert_eq!(a.effective_ratio, b.effective_ratio);
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn chaos_builder_supports_policy_and_seed() {
+        let spec = PolicySpec::Fixed(FixedPolicy {
+            name: "paper_3h",
+            knobs: PolicyKnobs::paper_default(),
+        });
+        let report = Scenario::chaos(ChaosPlan::kill_mid_checkpoint())
+            .seed(11)
+            .policy(spec)
+            .run()
+            .unwrap();
+        assert_eq!(report.policy, "paper_3h");
+        assert!(report.is_green(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn chaos_campaign_is_jobs_invariant() {
+        let plans = vec![
+            ChaosPlan::kill_mid_checkpoint(),
+            ChaosPlan::correlated_group_loss(),
+        ];
+        let run = |jobs| {
+            Scenario::chaos_campaign(plans.clone())
+                .seeds(&[1, 2])
+                .jobs(jobs)
+                .policy(PolicySpec::adaptive())
+                .run()
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.render(), y.render());
+        }
+    }
+
+    #[test]
+    fn policy_is_rejected_where_it_cannot_apply() {
+        assert!(Scenario::drill(DrillConfig::fig14())
+            .policy(PolicySpec::adaptive())
+            .run()
+            .is_err());
+        use crate::campaign::Solution;
+        assert!(
+            Scenario::campaign(CampaignConfig::fig15(Solution::Gemini, 4.0, 7))
+                .policy(PolicySpec::adaptive())
+                .run()
+                .is_err()
+        );
+    }
+}

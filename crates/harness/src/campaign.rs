@@ -13,7 +13,7 @@
 //! either is swept directly (Fig. 15a) or derives from OPT-175B's observed
 //! 1.5% machine-failures/day at the given cluster size (Fig. 15b).
 
-use crate::scenario::Scenario;
+use crate::scenario::Deployment;
 use gemini_baselines::remote::{highfreq, strawman, RemoteBaseline, RemoteSetup};
 use gemini_core::ckpt::StorageTier;
 use gemini_core::GeminiError;
@@ -50,7 +50,7 @@ impl Solution {
 #[derive(Clone, Debug)]
 pub struct CampaignConfig {
     /// The deployment.
-    pub scenario: Scenario,
+    pub scenario: Deployment,
     /// The solution under test.
     pub solution: Solution,
     /// Simulated wall-clock horizon.
@@ -65,7 +65,7 @@ impl CampaignConfig {
     /// The Fig. 15 base: GPT-2 100B on 16 p4d over one simulated week.
     pub fn fig15(solution: Solution, failures_per_day: f64, seed: u64) -> CampaignConfig {
         CampaignConfig {
-            scenario: Scenario::gpt2_100b_p4d(),
+            scenario: Deployment::gpt2_100b_p4d(),
             solution,
             horizon: SimDuration::from_hours(7 * 24),
             failures_per_day,
@@ -120,7 +120,7 @@ struct Regime {
     completion_lag: f64,
 }
 
-fn remote_setup(scenario: &Scenario, iteration_time: f64) -> RemoteSetup {
+fn remote_setup(scenario: &Deployment, iteration_time: f64) -> RemoteSetup {
     RemoteSetup {
         total_bytes: scenario.ckpt_bytes_total(),
         machines: scenario.machines,
@@ -142,7 +142,17 @@ fn baseline_regime(b: &RemoteBaseline, detection: f64, warmup: f64) -> Regime {
 
 /// Runs one campaign.
 pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, GeminiError> {
-    run_campaign_with(config, &TelemetrySink::disabled())
+    execute_campaign(config, &TelemetrySink::disabled())
+}
+
+/// Deprecated shim over [`crate::Scenario::campaign`] with an explicit
+/// sink.
+#[deprecated(note = "use gemini_harness::Scenario::campaign(cfg).sink(sink).run()")]
+pub fn run_campaign_with(
+    config: &CampaignConfig,
+    sink: &TelemetrySink,
+) -> Result<CampaignResult, GeminiError> {
+    execute_campaign(config, sink)
 }
 
 /// Runs a batch of campaigns through the deterministic pool, returning
@@ -179,7 +189,7 @@ pub fn campaign_grid(seeds: &[u64], rates: &[f64], solutions: &[Solution]) -> Ve
 /// Runs one campaign, recording per-solution metrics through `sink`:
 /// `campaign.failures{solution=…}`, a `campaign.rollback_us` histogram per
 /// injected failure, and the headline `campaign.effective_ratio` gauge.
-pub fn run_campaign_with(
+pub(crate) fn execute_campaign(
     config: &CampaignConfig,
     sink: &TelemetrySink,
 ) -> Result<CampaignResult, GeminiError> {
@@ -418,7 +428,7 @@ mod tests {
     #[test]
     fn campaign_metrics_flow_through_the_sink() {
         let sink = TelemetrySink::enabled();
-        let r = run_campaign_with(&CampaignConfig::fig15(Solution::Gemini, 4.0, 9), &sink).unwrap();
+        let r = execute_campaign(&CampaignConfig::fig15(Solution::Gemini, 4.0, 9), &sink).unwrap();
         let snap = sink.metrics_snapshot();
         assert_eq!(
             snap.counter(gemini_telemetry::Key::labeled(

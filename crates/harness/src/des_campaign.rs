@@ -18,7 +18,7 @@
 //! a similar overhead as from software failures if standby machines are
 //! used".
 
-use crate::scenario::Scenario;
+use crate::scenario::Deployment;
 use gemini_cluster::{CloudOperator, OperatorConfig};
 use gemini_core::ckpt::StorageTier;
 use gemini_core::GeminiError;
@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Debug)]
 pub struct DesCampaignConfig {
     /// The deployment.
-    pub scenario: Scenario,
+    pub scenario: Deployment,
     /// Simulated horizon.
     pub horizon: SimDuration,
     /// Expected failures per day across the cluster.
@@ -47,7 +47,7 @@ impl DesCampaignConfig {
     /// The paper's Fig. 15 configuration: software failures only.
     pub fn software_only(failures_per_day: f64, seed: u64) -> DesCampaignConfig {
         DesCampaignConfig {
-            scenario: Scenario::gpt2_100b_p4d(),
+            scenario: Deployment::gpt2_100b_p4d(),
             horizon: SimDuration::from_hours(7 * 24),
             failures_per_day,
             hardware_fraction: 0.0,

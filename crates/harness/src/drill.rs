@@ -15,7 +15,7 @@
 //! store's election once the old root's lease expires, and the new root
 //! performs the detection.
 
-use crate::scenario::{GeminiSystem, Scenario};
+use crate::scenario::{GeminiSystem, Deployment};
 use gemini_cluster::{CloudOperator, FailureKind, OperatorConfig};
 use gemini_core::agents::{RootAgent, WorkerAgent};
 use gemini_core::recovery::{RecoveryCase, RecoveryPlan, RecoveryPlanner};
@@ -46,7 +46,7 @@ fn case_tier_label(case: RecoveryCase) -> &'static str {
 #[derive(Clone, Debug)]
 pub struct DrillConfig {
     /// The deployment.
-    pub scenario: Scenario,
+    pub scenario: Deployment,
     /// Which ranks fail, with what kind, all at the same instant.
     pub failures: Vec<(usize, FailureKind)>,
     /// The iteration during which the failure strikes (1-based; the paper
@@ -63,7 +63,7 @@ impl DrillConfig {
     /// iteration 4, no standby machines.
     pub fn fig14() -> DrillConfig {
         DrillConfig {
-            scenario: Scenario::gpt2_100b_p4d(),
+            scenario: Deployment::gpt2_100b_p4d(),
             failures: vec![(5, FailureKind::Hardware)],
             fail_during_iteration: 4,
             operator: OperatorConfig::default(),
@@ -98,9 +98,7 @@ pub struct DrillReport {
     pub failed_iteration: u64,
     /// Which rank ended up being the detecting root.
     pub detecting_root: String,
-    /// The rendered event trace (legacy string shim over the typed log).
-    pub trace: String,
-    /// The typed event log the trace is rendered from.
+    /// The typed event log of the drill (empty on a disabled sink).
     pub events: Vec<TimedEvent>,
 }
 
@@ -344,14 +342,23 @@ impl Model for DrillModel {
 /// Runs a drill and reports the recovery-time breakdown, recording the
 /// full typed-event log through a fresh sink.
 pub fn run_drill(config: &DrillConfig) -> Result<DrillReport, GeminiError> {
-    run_drill_with(config, TelemetrySink::enabled())
+    execute_drill(config, TelemetrySink::enabled())
+}
+
+/// Deprecated shim over [`crate::Scenario::drill`] with an explicit sink.
+#[deprecated(note = "use gemini_harness::Scenario::drill(cfg).sink(sink).run()")]
+pub fn run_drill_with(
+    config: &DrillConfig,
+    sink: TelemetrySink,
+) -> Result<DrillReport, GeminiError> {
+    execute_drill(config, sink)
 }
 
 /// Runs a drill recording through `sink` — the caller keeps the handle, so
 /// it can query events, snapshot metrics and export traces afterwards.
 /// With a [`TelemetrySink::disabled`] sink the drill runs at full speed and
-/// the report's `trace`/`events` come back empty.
-pub fn run_drill_with(
+/// the report's `events` come back empty.
+pub(crate) fn execute_drill(
     config: &DrillConfig,
     sink: TelemetrySink,
 ) -> Result<DrillReport, GeminiError> {
@@ -495,7 +502,6 @@ pub fn run_drill_with(
         resumed_from_iteration: plan.iteration,
         failed_iteration: model.fail_during_iteration,
         detecting_root: model.detecting_root.clone().unwrap_or_default(),
-        trace: sink.render_trace(),
         events: sink.events(),
     })
 }
@@ -656,7 +662,7 @@ mod tests {
     fn typed_events_cover_the_recovery_milestones() {
         use TelemetryEvent as E;
         let sink = TelemetrySink::enabled();
-        let report = run_drill_with(&DrillConfig::fig14(), sink.clone()).unwrap();
+        let report = execute_drill(&DrillConfig::fig14(), sink.clone()).unwrap();
         // Every milestone is queryable structurally — no string grepping.
         assert_eq!(
             sink.find(|e| matches!(
@@ -745,7 +751,7 @@ mod tests {
     #[test]
     fn recovery_spans_and_metrics_match_the_report() {
         let sink = TelemetrySink::enabled();
-        let report = run_drill_with(&DrillConfig::fig14(), sink.clone()).unwrap();
+        let report = execute_drill(&DrillConfig::fig14(), sink.clone()).unwrap();
         let spans = sink.spans();
         let find = |name: &str| {
             spans
@@ -780,34 +786,26 @@ mod tests {
     #[test]
     fn disabled_sink_still_reports_the_same_breakdown() {
         let enabled = run_drill(&DrillConfig::fig14()).unwrap();
-        let silent = run_drill_with(&DrillConfig::fig14(), TelemetrySink::disabled()).unwrap();
+        let silent = execute_drill(&DrillConfig::fig14(), TelemetrySink::disabled()).unwrap();
         assert_eq!(silent.total_downtime, enabled.total_downtime);
         assert_eq!(silent.detect_latency, enabled.detect_latency);
         assert_eq!(silent.case, enabled.case);
-        assert!(silent.trace.is_empty());
         assert!(silent.events.is_empty());
     }
 
-    /// The one string-shim compatibility test: [`TelemetryEvent::render`]
-    /// keeps the legacy `TraceLog` lines (and their substring assertions)
-    /// working for the whole drill.
+    /// The typed event log carries every drill milestone (the structured
+    /// replacement for the removed legacy string-trace assertions).
     #[test]
-    fn trace_contains_the_milestones() {
+    fn typed_events_contain_the_milestones() {
+        use TelemetryEvent as E;
         let report = run_drill(&DrillConfig::fig14()).unwrap();
-        for needle in [
-            "failed (Hardware)",
-            "detected failed ranks",
-            "serialization finished",
-            "replacement machine",
-            "retrieval finished",
-            "training resumed",
-        ] {
-            assert!(
-                report.trace.contains(needle),
-                "trace missing {needle:?}:\n{}",
-                report.trace
-            );
-        }
+        let has = |pred: &dyn Fn(&E) -> bool| report.events.iter().any(|te| pred(&te.event));
+        assert!(has(&|e| matches!(e, E::FailureInjected { .. })));
+        assert!(has(&|e| matches!(e, E::FailureDetected { .. })));
+        assert!(has(&|e| matches!(e, E::SerializationFinished)));
+        assert!(has(&|e| matches!(e, E::MachineReplaced { .. })));
+        assert!(has(&|e| matches!(e, E::RetrievalFinished)));
+        assert!(has(&|e| matches!(e, E::TrainingResumed { .. })));
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! Figure 16: the traffic-interleaving ablation.
 
 use crate::report::{secs, Table};
-use crate::scenario::Scenario;
+use crate::scenario::Deployment;
 use gemini_baselines::schemes::{evaluate_scheme, InterleaveScheme, SchemeOutcome};
 use gemini_sim::DetRng;
 
 /// Regenerates Figure 16: iteration time of GPT-2 40B on 16 p3dn under the
 /// five checkpointing-to-CPU-memory schemes.
 pub fn fig16() -> Vec<SchemeOutcome> {
-    let scenario = Scenario::gpt2_40b_p3dn();
+    let scenario = Deployment::gpt2_40b_p3dn();
     let mut rng = DetRng::new(16);
     let profile = scenario.profile(&mut rng);
     InterleaveScheme::all()

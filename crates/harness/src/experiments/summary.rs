@@ -3,7 +3,7 @@
 //! reproduction.
 
 use crate::report::Table;
-use crate::scenario::Scenario;
+use crate::scenario::Deployment;
 
 /// One headline claim.
 #[derive(Clone, Debug)]
@@ -60,7 +60,7 @@ pub fn headline_claims() -> Vec<Claim> {
     });
 
     // "optimal checkpoint frequency, i.e., every iteration"
-    let sys = Scenario::gpt2_100b_p4d()
+    let sys = Deployment::gpt2_100b_p4d()
         .build_system(13)
         .expect("scenario assembles");
     claims.push(Claim {

@@ -1,7 +1,7 @@
 //! Figures 7, 8 and 13: training throughput with and without GEMINI.
 
 use crate::report::{secs, Table};
-use crate::scenario::Scenario;
+use crate::scenario::Deployment;
 use gemini_cluster::InstanceType;
 use gemini_training::ModelConfig;
 
@@ -23,7 +23,7 @@ pub struct ThroughputRow {
 }
 
 fn run(model: &'static ModelConfig, instance: &'static InstanceType) -> ThroughputRow {
-    let scenario = Scenario {
+    let scenario = Deployment {
         model,
         instance,
         machines: 16,

@@ -14,15 +14,20 @@
 //!   NIC degradation/partition, replacement exhaustion, root churn)
 //!   driven through the DES stack, with four run invariants.
 //! * [`runtime`] — a synchronous façade (`train` / `inject_failure` /
-//!   `recover`) over the whole system, carrying real checkpoint bytes.
+//!   `recover`) over the whole system, carrying real checkpoint bytes,
+//!   with an optional fault-tolerance policy driving its knobs.
 //! * [`experiments`] — one function per table/figure returning structured
 //!   rows, plus markdown rendering.
 //! * [`par`] — deterministic parallel execution glue (`--jobs`): re-exports
 //!   the [`gemini_parallel`] pool and records the `parallel.*` metrics.
+//! * [`builder`] — the [`Scenario`] run builder, the single front door to
+//!   drills, campaigns and chaos runs
+//!   (`Scenario::chaos(plan).seed(s).policy(p).run()`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod builder;
 pub mod campaign;
 pub mod chaos;
 pub mod des_campaign;
@@ -34,16 +39,22 @@ pub mod report;
 pub mod runtime;
 pub mod scenario;
 
+pub use builder::Scenario;
 pub use campaign::{
-    campaign_grid, run_campaign, run_campaign_with, run_campaigns, CampaignConfig, CampaignResult,
-    Solution,
+    campaign_grid, run_campaign, run_campaigns, CampaignConfig, CampaignResult, Solution,
 };
+#[allow(deprecated)]
+pub use campaign::run_campaign_with;
 pub use chaos::{
-    run_chaos, run_chaos_campaign, run_chaos_with, ChaosPlan, ChaosReport, FaultKind, TimedFault,
-    WaveReport,
+    check_policy_preserves_commits, run_chaos, run_chaos_campaign, ChaosPlan, ChaosReport,
+    FaultKind, TimedFault, WaveReport,
 };
+#[allow(deprecated)]
+pub use chaos::run_chaos_with;
 pub use des_campaign::{run_des_campaign, run_des_sweep, DesCampaignConfig, DesCampaignResult};
-pub use drill::{run_drill, run_drill_with, DrillConfig, DrillReport};
+pub use drill::{run_drill, DrillConfig, DrillReport};
+#[allow(deprecated)]
+pub use drill::run_drill_with;
 pub use replay::{replay_schedule, ReplayReport};
 pub use runtime::{GeminiRuntime, RecoveryReport};
-pub use scenario::{GeminiSystem, Scenario};
+pub use scenario::{Deployment, GeminiSystem};

@@ -10,9 +10,14 @@ use gemini_net::{ByteSize, TransferCost};
 use gemini_sim::{DetRng, SimDuration};
 use gemini_training::{IdleProfile, ModelConfig, OnlineProfiler, TimelineBuilder};
 
+/// The old name of [`Deployment`]. `Scenario` at the crate root now names
+/// the builder-style run API ([`crate::Scenario`]).
+#[deprecated(note = "renamed to `Deployment`; `gemini_harness::Scenario` is now the run builder")]
+pub type Scenario = Deployment;
+
 /// A training deployment: which model, on what hardware, at what scale.
 #[derive(Clone, Debug)]
-pub struct Scenario {
+pub struct Deployment {
     /// The model under training.
     pub model: &'static ModelConfig,
     /// The instance type.
@@ -27,10 +32,10 @@ pub struct Scenario {
     pub rack_topology: Option<Topology>,
 }
 
-impl Scenario {
+impl Deployment {
     /// The paper's main evaluation setting: GPT-2 100B on 16 p4d.24xlarge.
-    pub fn gpt2_100b_p4d() -> Scenario {
-        Scenario {
+    pub fn gpt2_100b_p4d() -> Deployment {
+        Deployment {
             model: ModelConfig::gpt2_100b(),
             instance: InstanceType::p4d(),
             machines: 16,
@@ -40,8 +45,8 @@ impl Scenario {
     }
 
     /// The Fig. 16 setting: GPT-2 40B on 16 p3dn.24xlarge.
-    pub fn gpt2_40b_p3dn() -> Scenario {
-        Scenario {
+    pub fn gpt2_40b_p3dn() -> Deployment {
+        Deployment {
             model: ModelConfig::gpt2_40b(),
             instance: InstanceType::p3dn(),
             machines: 16,
@@ -124,7 +129,7 @@ impl Scenario {
 /// A fully assembled GEMINI deployment, ready to train and fail.
 pub struct GeminiSystem {
     /// The scenario it was built from.
-    pub scenario: Scenario,
+    pub scenario: Deployment,
     /// The machine fleet.
     pub cluster: Cluster,
     /// The checkpoint placement in force.
@@ -182,7 +187,7 @@ mod tests {
 
     #[test]
     fn main_scenario_assembles() {
-        let sys = Scenario::gpt2_100b_p4d().build_system(1).unwrap();
+        let sys = Deployment::gpt2_100b_p4d().build_system(1).unwrap();
         assert_eq!(sys.cluster.len(), 16);
         assert_eq!(sys.placement.machines(), 16);
         assert!(sys.schedule.is_interference_free());
@@ -195,14 +200,14 @@ mod tests {
     fn serialize_time_is_about_162s() {
         // §7.3: 162 s to serialize the two checkpoint replicas a machine
         // holds (2 × 75 GB at ≈0.93 GB/s).
-        let sys = Scenario::gpt2_100b_p4d().build_system(1).unwrap();
+        let sys = Deployment::gpt2_100b_p4d().build_system(1).unwrap();
         let t = sys.serialize_time().as_secs_f64();
         assert!((t - 161.3).abs() < 3.0, "t = {t:.1}");
     }
 
     #[test]
     fn retrieval_ladder() {
-        let sys = Scenario::gpt2_100b_p4d().build_system(1).unwrap();
+        let sys = Deployment::gpt2_100b_p4d().build_system(1).unwrap();
         let local = sys.retrieval_time(StorageTier::LocalCpu);
         let remote = sys.retrieval_time(StorageTier::RemoteCpu);
         let persist = sys.retrieval_time(StorageTier::Persistent);
@@ -212,8 +217,8 @@ mod tests {
 
     #[test]
     fn deterministic_build() {
-        let a = Scenario::gpt2_100b_p4d().build_system(7).unwrap();
-        let b = Scenario::gpt2_100b_p4d().build_system(7).unwrap();
+        let a = Deployment::gpt2_100b_p4d().build_system(7).unwrap();
+        let b = Deployment::gpt2_100b_p4d().build_system(7).unwrap();
         assert_eq!(a.profile.iteration_time, b.profile.iteration_time);
         assert_eq!(
             a.schedule.outcome.ckpt_network_time,
@@ -223,7 +228,7 @@ mod tests {
 
     #[test]
     fn rack_aware_scenario_assembles_and_spans_racks() {
-        let mut scenario = Scenario::gpt2_100b_p4d();
+        let mut scenario = Deployment::gpt2_100b_p4d();
         scenario.rack_topology = Some(Topology::contiguous(16, 4).unwrap());
         let sys = scenario.build_system(3).unwrap();
         let topo = scenario.rack_topology.as_ref().unwrap();
@@ -240,7 +245,7 @@ mod tests {
 
     #[test]
     fn p3dn_scenario_assembles() {
-        let sys = Scenario::gpt2_40b_p3dn().build_system(2).unwrap();
+        let sys = Deployment::gpt2_40b_p3dn().build_system(2).unwrap();
         assert!(sys.schedule.outcome.overhead < SimDuration::from_secs(1));
     }
 }

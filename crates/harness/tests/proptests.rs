@@ -2,11 +2,14 @@
 //! train/fail/recover sequences must preserve the system's invariants —
 //! the job always recovers (given the persistent anchor), iterations never
 //! run backwards past the recovery point, and the data trajectory is
-//! preserved whenever recovery stays in CPU memory.
+//! preserved whenever recovery stays in CPU memory. Plus the policy-run
+//! determinism contract: adaptive chaos runs render byte-identically per
+//! seed and across `--jobs` counts.
 
 use gemini_cluster::{FailureKind, OperatorConfig};
+use gemini_core::policy::PolicySpec;
 use gemini_core::recovery::RecoveryCase;
-use gemini_harness::{GeminiRuntime, Scenario};
+use gemini_harness::{ChaosPlan, Deployment, GeminiRuntime, Scenario};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
@@ -30,7 +33,7 @@ fn op_strategy(machines: usize) -> impl Strategy<Value = Op> {
 }
 
 fn small_runtime(seed: u64) -> GeminiRuntime {
-    let mut scenario = Scenario::gpt2_40b_p3dn();
+    let mut scenario = Deployment::gpt2_40b_p3dn();
     scenario.machines = 8;
     scenario.config.profile_iterations = 3;
     GeminiRuntime::launch(scenario, OperatorConfig::with_standbys(1), 512, seed)
@@ -117,5 +120,53 @@ proptest! {
         let report = rt.recover().unwrap();
         prop_assert_ne!(report.case, RecoveryCase::PersistentFallback);
         prop_assert_eq!(rt.peek_next_batches(), expected);
+    }
+}
+
+proptest! {
+    // Chaos runs are full DES simulations; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn adaptive_chaos_runs_are_byte_identical_per_seed(
+        seed in any::<u64>(),
+        plan_idx in 0usize..9,
+    ) {
+        let plan = ChaosPlan::catalog()
+            .into_iter()
+            .nth(plan_idx)
+            .expect("catalog index");
+        let run = || {
+            Scenario::chaos(plan.clone())
+                .seed(seed)
+                .policy(PolicySpec::adaptive())
+                .run()
+                .expect("chaos run")
+                .render()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn adaptive_chaos_campaigns_are_jobs_invariant(
+        seed in any::<u64>(),
+        jobs in 2usize..5,
+    ) {
+        let plans = vec![
+            ChaosPlan::kill_mid_checkpoint(),
+            ChaosPlan::repeat_group_loss(),
+        ];
+        let run = |j: usize| {
+            Scenario::chaos_campaign(plans.clone())
+                .seeds(&[seed])
+                .jobs(j)
+                .policy(PolicySpec::adaptive())
+                .run()
+                .expect("campaign")
+                .iter()
+                .map(|r| r.render())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(1), run(jobs));
     }
 }

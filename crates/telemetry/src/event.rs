@@ -2,9 +2,9 @@
 //!
 //! One enum, one variant per noteworthy occurrence. Variants carry typed
 //! fields (ranks, byte counts, tiers) so tests and tools can match on them
-//! structurally; [`TelemetryEvent::render`] provides the legacy free-form
-//! line for each, byte-compatible with the strings the recovery drill used
-//! to push into [`gemini_sim::TraceLog`].
+//! structurally. The legacy free-form `render()` shim (PR 1's bridge from
+//! the `gemini_sim::TraceLog` era) has been removed: every consumer now
+//! asserts on typed events.
 
 use gemini_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -196,6 +196,19 @@ pub enum TelemetryEvent {
         /// Why (e.g. remote-CPU sources unreachable).
         reason: String,
     },
+    /// The fault-tolerance policy engine applied a knob change.
+    PolicyDecision {
+        /// Commit an in-memory checkpoint every `k` iterations.
+        ckpt_every_iters: u64,
+        /// Persistent-checkpoint interval in seconds (`None` = never).
+        persist_interval_secs: Option<u64>,
+        /// Placement-group replica count the policy wants.
+        replicas: u64,
+        /// Retrieval-tier preference label (`cpu_first`/`persistent_first`).
+        tier_preference: String,
+        /// Why the knobs moved (stable, human-readable).
+        reason: String,
+    },
     /// Free-form annotation (escape hatch; prefer a typed variant).
     Note {
         /// The message.
@@ -230,6 +243,7 @@ impl TelemetryEvent {
             E::ChaosFault { .. } => "chaos.fault",
             E::RetryAttempt { .. } => "recovery.retry_attempt",
             E::RecoveryDegraded { .. } => "recovery.degraded",
+            E::PolicyDecision { .. } => "policy.decision",
             E::Note { .. } => "note",
         }
     }
@@ -237,75 +251,6 @@ impl TelemetryEvent {
     /// The subsystem track the event belongs to (Chrome trace category).
     pub fn track(&self) -> &'static str {
         self.name().split('.').next().unwrap_or("note")
-    }
-
-    /// Renders the legacy free-form line for this event — the shim that
-    /// keeps [`gemini_sim::TraceLog`]-era output (and its substring
-    /// assertions) working.
-    pub fn render(&self) -> String {
-        use TelemetryEvent as E;
-        match self {
-            E::IterationComplete { iteration } => {
-                format!("iteration {iteration} complete, checkpoint {iteration} committed")
-            }
-            E::CkptChunkSent { chunk, bytes } => {
-                format!("ckpt chunk {chunk} sent ({bytes} B)")
-            }
-            E::CkptFlushStaged { host, owner, bytes } => {
-                format!("ckpt flush staged on host {host} for owner {owner} ({bytes} B)")
-            }
-            E::CkptCommitted { iteration } => format!("checkpoint {iteration} committed"),
-            E::HeartbeatMissed { rank } => format!("heartbeat missed for rank {rank}"),
-            E::LeaseExpired { key } => format!("lease expired: {key}"),
-            E::LeaderElected { key, leader } => {
-                format!("leader elected on {key}: {leader}")
-            }
-            E::FailureInjected { rank, kind } => format!("rank {rank} failed ({kind})"),
-            E::FailureDetected { ranks, by } => {
-                format!("root {by} detected failed ranks {ranks:?}")
-            }
-            E::SerializationStarted { ranks } => {
-                format!("checkpoint serialization started on {ranks} alive ranks")
-            }
-            E::SerializationFinished => "checkpoint serialization finished".to_string(),
-            E::ReplacementRequested {
-                rank,
-                standby,
-                ready_at,
-            } => format!(
-                "replacement for rank {rank} requested (standby: {standby}, ready at {ready_at})"
-            ),
-            E::ReplacementProvisioned { standby } => {
-                format!("replacement provisioned (standby: {standby})")
-            }
-            E::MachineReplaced { rank } => {
-                format!("replacement machine for rank {rank} joined")
-            }
-            E::RecoveryTierHit { rank, tier, from } => match from {
-                Some(host) => format!("rank {rank} retrieves from {tier} via host {host}"),
-                None => format!("rank {rank} retrieves from {tier}"),
-            },
-            E::RetrievalStarted { case, rollback_to } => {
-                format!("retrieval started: case {case}, rollback to iteration {rollback_to}")
-            }
-            E::RetrievalFinished => "checkpoint retrieval finished".to_string(),
-            E::TrainingResumed { iteration } => {
-                format!("training resumed from iteration {iteration}")
-            }
-            E::FlowScheduled {
-                flow,
-                bytes,
-                completes_in,
-            } => format!("flow {flow} scheduled ({bytes} B, completes in {completes_in})"),
-            E::ChaosFault { fault } => format!("chaos: {fault}"),
-            E::RetryAttempt {
-                operation,
-                attempt,
-                backoff,
-            } => format!("{operation} attempt {attempt} failed, backing off {backoff}"),
-            E::RecoveryDegraded { reason } => format!("recovery degraded: {reason}"),
-            E::Note { message } => message.clone(),
-        }
     }
 }
 
@@ -323,20 +268,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn renders_are_compatible_with_legacy_trace_lines() {
-        let e = TelemetryEvent::FailureInjected {
-            rank: 5,
-            kind: FailureClass::Hardware,
+    fn policy_decision_carries_its_track() {
+        let e = TelemetryEvent::PolicyDecision {
+            ckpt_every_iters: 1,
+            persist_interval_secs: Some(480),
+            replicas: 2,
+            tier_preference: "cpu_first".to_string(),
+            reason: "persist 10800s→480s".to_string(),
         };
-        assert_eq!(e.render(), "rank 5 failed (Hardware)");
-        let e = TelemetryEvent::TrainingResumed { iteration: 3 };
-        assert_eq!(e.render(), "training resumed from iteration 3");
-        let e = TelemetryEvent::MachineReplaced { rank: 5 };
-        assert!(e.render().contains("replacement machine"));
-        assert_eq!(
-            TelemetryEvent::SerializationFinished.render(),
-            "checkpoint serialization finished"
-        );
+        assert_eq!(e.name(), "policy.decision");
+        assert_eq!(e.track(), "policy");
     }
 
     #[test]

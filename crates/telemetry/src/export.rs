@@ -8,8 +8,8 @@
 //! * one `"X"` (complete) event per closed [`SpanRecord`], with `ts` and
 //!   `dur` in **integer microseconds** (`as_nanos() / 1000`) so the output
 //!   is deterministic and diff-friendly;
-//! * one `"i"` (instant) event per [`TimedEvent`], carrying the legacy
-//!   rendered line under `args.message`.
+//! * one `"i"` (instant) event per [`TimedEvent`], carrying the typed
+//!   event's `Debug` form under `args.message`.
 //!
 //! Tracks map to Chrome "threads": pid is always 1 and each distinct track
 //! gets a tid in first-use order (spans first, then events), so a given
@@ -124,7 +124,7 @@ pub fn chrome_trace(spans: &[SpanRecord], events: &[TimedEvent]) -> String {
                  \"args\":{{\"message\":\"{}\"}}}}",
                 escape_json(e.event.track()),
                 escape_json(e.event.name()),
-                escape_json(&e.event.render())
+                escape_json(&format!("{:?}", e.event))
             ),
         );
     }
@@ -170,7 +170,7 @@ mod tests {
         assert!(doc.contains("\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":100,\"dur\":150"));
         assert!(doc.contains("\"ph\":\"i\""));
         assert!(doc.contains("\"name\":\"ckpt.committed\""));
-        assert!(doc.contains("checkpoint 1 committed"));
+        assert!(doc.contains("CkptCommitted { iteration: 1 }"));
         assert!(doc.trim_end().ends_with("]}"));
     }
 

@@ -8,10 +8,9 @@
 //! * **Typed events** — [`TelemetryEvent`] is a closed enum of everything
 //!   noteworthy that happens across the stack (checkpoint chunks leaving
 //!   the NIC, heartbeats lapsing, leaders being elected, recovery tiers
-//!   being hit, …), each carrying a [`gemini_sim::SimTime`] and typed
-//!   fields. Tests query events structurally instead of grepping strings;
-//!   a rendering shim ([`TelemetryEvent::render`]) keeps the old
-//!   `TraceLog`-style lines available for humans.
+//!   being hit, policy knobs moving, …), each carrying a
+//!   [`gemini_sim::SimTime`] and typed fields. Tests query events
+//!   structurally instead of grepping strings.
 //! * **Metrics** — [`MetricsRegistry`] holds counters, gauges and
 //!   fixed-bucket histograms keyed by `&'static str` names (plus optional
 //!   static labels), driven entirely by simulated time. Snapshots export

@@ -114,19 +114,6 @@ impl TelemetrySink {
         .unwrap_or_default()
     }
 
-    /// Renders the event log in the legacy [`gemini_sim::TraceLog`] line
-    /// format: `"[{time}] {message}\n"` per event.
-    pub fn render_trace(&self) -> String {
-        self.with_inner(|inner| {
-            let mut out = String::new();
-            for te in &inner.events {
-                out.push_str(&format!("[{}] {}\n", te.time, te.event.render()));
-            }
-            out
-        })
-        .unwrap_or_default()
-    }
-
     // ----------------------------------------------------------- metrics ----
 
     /// Increments a counter.
@@ -285,7 +272,6 @@ mod tests {
         assert!(sink.events().is_empty());
         assert!(sink.spans().is_empty());
         assert!(sink.metrics_snapshot().is_empty());
-        assert_eq!(sink.render_trace(), "");
         assert_eq!(sink.export_prometheus(), "");
     }
 
@@ -306,7 +292,10 @@ mod tests {
                 .counter(crate::metrics::Key::plain("ckpt.rounds")),
             1
         );
-        assert_eq!(sink.render_trace(), "[10.00us] checkpoint 7 committed\n");
+        assert!(matches!(
+            sink.events()[0].event,
+            TelemetryEvent::CkptCommitted { iteration: 7 }
+        ));
     }
 
     #[test]

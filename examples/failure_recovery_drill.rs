@@ -60,7 +60,14 @@ fn main() {
         r.detecting_root, r.total_downtime
     );
 
-    // Full event trace of the first drill.
-    println!("== event trace (hardware failure) ==");
-    print!("{}", run_drill(&hardware).unwrap().trace);
+    // Typed event log of the first drill.
+    println!("== typed events (hardware failure) ==");
+    for te in run_drill(&hardware).unwrap().events {
+        println!(
+            "[{:>10.3}s] {:<32} {:?}",
+            te.time.as_secs_f64(),
+            te.event.name(),
+            te.event
+        );
+    }
 }

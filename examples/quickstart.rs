@@ -7,11 +7,11 @@
 //! ```
 
 use gemini_cluster::FailureKind;
-use gemini_harness::{run_drill, DrillConfig, Scenario};
+use gemini_harness::{run_drill, DrillConfig, Deployment};
 
 fn main() {
     // 1. Describe the deployment: model × instance type × machine count.
-    let scenario = Scenario::gpt2_100b_p4d();
+    let scenario = Deployment::gpt2_100b_p4d();
     println!(
         "deployment: {} on {} x {}",
         scenario.model.name, scenario.machines, scenario.instance.name

@@ -7,11 +7,11 @@
 //! ```
 
 use gemini_cluster::{FailureKind, OperatorConfig};
-use gemini_harness::{GeminiRuntime, Scenario};
+use gemini_harness::{GeminiRuntime, Deployment};
 
 fn main() {
     let mut rt = GeminiRuntime::launch(
-        Scenario::gpt2_100b_p4d(),
+        Deployment::gpt2_100b_p4d(),
         OperatorConfig::with_standbys(1),
         64 * 1024, // synthetic 64 KiB shards in the byte vault
         2026,

@@ -7,12 +7,12 @@
 //! ```
 
 use gemini_baselines::schemes::{evaluate_scheme, InterleaveScheme};
-use gemini_harness::Scenario;
+use gemini_harness::Deployment;
 use gemini_sim::DetRng;
 
 fn main() {
     // The Fig. 16 setting: GPT-2 40B on 16 p3dn.24xlarge.
-    let scenario = Scenario::gpt2_40b_p3dn();
+    let scenario = Deployment::gpt2_40b_p3dn();
     let mut rng = DetRng::new(16);
     let profile = scenario.profile(&mut rng);
 

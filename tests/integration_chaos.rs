@@ -3,7 +3,7 @@
 //! byte-identical-rerun (determinism) invariant checked explicitly.
 
 use gemini_core::recovery::RecoveryCase;
-use gemini_harness::{run_chaos_campaign, run_chaos_with, ChaosPlan};
+use gemini_harness::{run_chaos_campaign, ChaosPlan, Scenario};
 use gemini_telemetry::TelemetrySink;
 
 const SEEDS: [u64; 3] = [1, 2, 3];
@@ -49,9 +49,16 @@ fn reruns_with_the_same_seed_are_byte_identical() {
     // and an enabled telemetry sink must not perturb the model.
     for plan in ChaosPlan::catalog() {
         for seed in SEEDS {
-            let a = run_chaos_with(&plan, seed, TelemetrySink::disabled()).unwrap();
-            let b = run_chaos_with(&plan, seed, TelemetrySink::disabled()).unwrap();
-            let c = run_chaos_with(&plan, seed, TelemetrySink::enabled()).unwrap();
+            let run = |sink: TelemetrySink| {
+                Scenario::chaos(plan.clone())
+                    .seed(seed)
+                    .sink(sink)
+                    .run()
+                    .unwrap()
+            };
+            let a = run(TelemetrySink::disabled());
+            let b = run(TelemetrySink::disabled());
+            let c = run(TelemetrySink::enabled());
             assert_eq!(
                 a.render(),
                 b.render(),
@@ -102,22 +109,20 @@ fn recovery_tiers_cover_all_three_cases_across_the_catalog() {
 
 #[test]
 fn hardened_paths_exercise_retry_and_degradation() {
-    let exhaustion = run_chaos_with(
-        &ChaosPlan::replacement_exhaustion(),
-        1,
-        TelemetrySink::disabled(),
-    )
-    .unwrap();
+    let exhaustion = Scenario::chaos(ChaosPlan::replacement_exhaustion())
+        .seed(1)
+        .sink(TelemetrySink::disabled())
+        .run()
+        .unwrap();
     assert!(exhaustion.is_green(), "{:?}", exhaustion.violations);
     assert!(exhaustion.retry_attempts > 0);
     assert_eq!(exhaustion.retry_attempts, exhaustion.replacements_denied);
 
-    let partition = run_chaos_with(
-        &ChaosPlan::degraded_nic_partition(),
-        1,
-        TelemetrySink::disabled(),
-    )
-    .unwrap();
+    let partition = Scenario::chaos(ChaosPlan::degraded_nic_partition())
+        .seed(1)
+        .sink(TelemetrySink::disabled())
+        .run()
+        .unwrap();
     assert!(partition.is_green(), "{:?}", partition.violations);
     assert_eq!(partition.waves.len(), 1);
     assert!(partition.waves[0].degraded.is_some());

@@ -2,8 +2,8 @@
 //! identical results, different seeds genuinely differ where randomness is
 //! involved.
 
-use gemini_harness::campaign::{run_campaign, run_campaign_with, CampaignConfig, Solution};
-use gemini_harness::{run_drill, run_drill_with, DrillConfig};
+use gemini_harness::campaign::{run_campaign, CampaignConfig, Solution};
+use gemini_harness::{run_drill, DrillConfig, Scenario};
 use gemini_sim::DetRng;
 use gemini_telemetry::TelemetrySink;
 
@@ -14,7 +14,7 @@ fn drill_is_bit_identical_across_runs() {
     assert_eq!(a.detect_latency, b.detect_latency);
     assert_eq!(a.replacement_wait, b.replacement_wait);
     assert_eq!(a.total_downtime, b.total_downtime);
-    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.events, b.events);
 }
 
 #[test]
@@ -59,24 +59,28 @@ fn forked_streams_are_stable_across_fork_order() {
 fn telemetry_exports_are_byte_identical_across_same_seeded_runs() {
     let export = || {
         let sink = TelemetrySink::enabled();
-        run_drill_with(&DrillConfig::fig14(), sink.clone()).unwrap();
-        run_campaign_with(&CampaignConfig::fig15(Solution::Gemini, 4.0, 7), &sink).unwrap();
+        Scenario::drill(DrillConfig::fig14())
+            .sink(sink.clone())
+            .run()
+            .unwrap();
+        Scenario::campaign(CampaignConfig::fig15(Solution::Gemini, 4.0, 7))
+            .sink(sink.clone())
+            .run()
+            .unwrap();
         (
             sink.export_chrome_trace(),
             sink.export_prometheus(),
             sink.export_metrics_json(),
-            sink.render_trace(),
         )
     };
-    let (trace_a, prom_a, json_a, render_a) = export();
-    let (trace_b, prom_b, json_b, render_b) = export();
+    let (trace_a, prom_a, json_a) = export();
+    let (trace_b, prom_b, json_b) = export();
     assert_eq!(
         trace_a, trace_b,
         "Chrome trace export must be deterministic"
     );
     assert_eq!(prom_a, prom_b, "Prometheus export must be deterministic");
     assert_eq!(json_a, json_b, "metrics JSON export must be deterministic");
-    assert_eq!(render_a, render_b, "rendered trace must be deterministic");
     // And the exports are non-trivial: the trace covers the recovery spans
     // and the exposition carries every required metric family.
     assert!(trace_a.contains("\"traceEvents\""));
@@ -90,8 +94,14 @@ fn telemetry_exports_are_byte_identical_across_same_seeded_runs() {
 fn typed_event_log_is_seed_stable() {
     let sink_a = TelemetrySink::enabled();
     let sink_b = TelemetrySink::enabled();
-    run_drill_with(&DrillConfig::fig14(), sink_a.clone()).unwrap();
-    run_drill_with(&DrillConfig::fig14(), sink_b.clone()).unwrap();
+    Scenario::drill(DrillConfig::fig14())
+        .sink(sink_a.clone())
+        .run()
+        .unwrap();
+    Scenario::drill(DrillConfig::fig14())
+        .sink(sink_b.clone())
+        .run()
+        .unwrap();
     assert_eq!(sink_a.events(), sink_b.events());
 }
 

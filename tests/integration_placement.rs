@@ -8,7 +8,7 @@ use gemini_collectives::hierarchical::hierarchy_overhead_factor;
 use gemini_core::placement::topology::{rack_aware_mixed, rack_survival_rate, Topology};
 use gemini_core::recovery::{RecoveryCase, RecoveryPlanner};
 use gemini_core::{HierarchicalStore, Placement};
-use gemini_harness::{run_drill, DrillConfig, Scenario};
+use gemini_harness::{run_drill, DrillConfig, Deployment};
 use gemini_net::{
     fluid_completion_times, Bandwidth, ByteSize, FlowResource, FluidFlow, FluidNetwork,
     PersistentStorage, TransferCost,
@@ -62,7 +62,7 @@ fn end_to_end_rack_failure_drill_with_topology() {
     // 4-machine rack dies and training still recovers from CPU memory.
     let topology = Topology::contiguous(16, 4).unwrap();
     let victims = topology.machines_in_rack(1);
-    let mut scenario = Scenario::gpt2_100b_p4d();
+    let mut scenario = Deployment::gpt2_100b_p4d();
     scenario.rack_topology = Some(topology);
     let mut cfg = DrillConfig::fig14();
     cfg.scenario = scenario;

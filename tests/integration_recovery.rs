@@ -4,7 +4,7 @@
 
 use gemini_cluster::{FailureKind, OperatorConfig};
 use gemini_core::recovery::RecoveryCase;
-use gemini_harness::{run_drill, DrillConfig, Scenario};
+use gemini_harness::{run_drill, DrillConfig, Deployment};
 use gemini_sim::SimDuration;
 
 fn base() -> DrillConfig {
@@ -96,9 +96,9 @@ fn end_to_end_smaller_cluster_still_recovers() {
     // GPT-2 40B on 4 machines: 120 GB shards still fit the double-buffered
     // CPU budget (2 shards × 2 buffers × 120 GB = 480 GB < 768 GB).
     let mut cfg = base();
-    cfg.scenario = Scenario {
+    cfg.scenario = Deployment {
         machines: 4,
-        ..Scenario::gpt2_40b_p3dn()
+        ..Deployment::gpt2_40b_p3dn()
     };
     cfg.failures = vec![(3, FailureKind::Hardware)];
     let r = run_drill(&cfg).unwrap();
@@ -111,9 +111,9 @@ fn cpu_memory_validation_rejects_infeasible_deployments() {
     // CPU memory per host — more than p4d's 1152 GB. The system refuses to
     // assemble rather than silently overcommitting (§2.3.1's premise is
     // checked, not assumed).
-    let scenario = Scenario {
+    let scenario = Deployment {
         machines: 4,
-        ..Scenario::gpt2_100b_p4d()
+        ..Deployment::gpt2_100b_p4d()
     };
     assert!(scenario.build_system(1).is_err());
 }
@@ -121,7 +121,7 @@ fn cpu_memory_validation_rejects_infeasible_deployments() {
 #[test]
 fn end_to_end_p3dn_deployment_recovers() {
     let mut cfg = base();
-    cfg.scenario = Scenario::gpt2_40b_p3dn();
+    cfg.scenario = Deployment::gpt2_40b_p3dn();
     cfg.failures = vec![(9, FailureKind::Hardware)];
     let r = run_drill(&cfg).unwrap();
     assert_eq!(r.case, RecoveryCase::HardwareFromCpu);
