@@ -271,6 +271,45 @@ if [ -x "$OUT/bin_policy" ] && [ "$MODE" != build ]; then
   fi
 fi
 
+# ---------------------------------------------------- incidents smoke ----
+# The incidents bin stitches every chaos run's causal trace into
+# postmortems and exits non-zero unless each run yields at least one
+# incident whose wasted-time attribution matches the ledger to the
+# nanosecond. Output must be byte-identical across --jobs counts (the
+# flight recorder observes, it never perturbs). See docs/OBSERVABILITY.md.
+if [ -x "$OUT/bin_incidents" ] && [ "$MODE" != build ]; then
+  note "incident flight-recorder smoke (incidents --quick, --jobs 2 vs 1)"
+  if "$OUT/bin_incidents" --quick --jobs 2 > "$OUT/incidents_a.txt" 2>/dev/null \
+    && "$OUT/bin_incidents" --quick --jobs 1 > "$OUT/incidents_b.txt" 2>/dev/null \
+    && cmp -s "$OUT/incidents_a.txt" "$OUT/incidents_b.txt" \
+    && grep -q "attribution: exact" "$OUT/incidents_a.txt"; then
+    :
+  else
+    echo "FAILED: incidents smoke (attribution gate or jobs-invariance)" >&2
+    FAILED=1
+  fi
+fi
+
+# --------------------------------------------------- benchgate smoke ----
+# The regression gate compares the deterministic sections of the quick
+# bench reports produced above against the committed baselines; a drift
+# beyond 25% in an event count or a simulated policy outcome fails.
+if [ -x "$OUT/bin_benchgate" ] && [ "$MODE" != build ]; then
+  note "bench trajectory gate (fresh --quick vs committed baselines)"
+  if [ -f "$OUT/bench_quick.json" ] \
+    && ! "$OUT/bin_benchgate" --fresh "$OUT/bench_quick.json" \
+        --baseline "$ROOT/crates/bench/baselines/perf_quick.json" >&2; then
+    echo "FAILED: benchgate (perf quick report drifted from baseline)" >&2
+    FAILED=1
+  fi
+  if [ -f "$OUT/policy_quick.json" ] \
+    && ! "$OUT/bin_benchgate" --fresh "$OUT/policy_quick.json" \
+        --baseline "$ROOT/crates/bench/baselines/policy_quick.json" >&2; then
+    echo "FAILED: benchgate (policy quick report drifted from baseline)" >&2
+    FAILED=1
+  fi
+fi
+
 if [ "$FAILED" -ne 0 ]; then
   echo "VERIFY: FAILURES PRESENT" >&2
   exit 1

@@ -1,0 +1,305 @@
+//! The bench-trajectory regression gate: compares a freshly generated
+//! bench report (`perf --quick --out …` / `policy --quick --out …`)
+//! against a committed baseline and fails CI when a deterministic metric
+//! drifts beyond the tolerance.
+//!
+//! ```text
+//! cargo run -p gemini-bench --bin benchgate -- \
+//!     --fresh /tmp/bench_quick.json \
+//!     --baseline crates/bench/baselines/perf_quick.json \
+//!     --tolerance 25
+//! ```
+//!
+//! Machine-dependent readings (wall-clock seconds, speedups, throughput
+//! rates, pool sizes) are skipped everywhere *except* the `policy`
+//! section, whose `*_s` values are simulated time and therefore exact.
+//! Deterministic metrics — event counts, trial counts, byte-identity
+//! flags, policy rework/downtime/overhead — are compared with a relative
+//! tolerance (default 25%). Every numeric key present in the baseline
+//! must also exist in the fresh report (schema regressions fail too).
+//! Exit status 2 on any regression or missing key.
+//!
+//! The parser is a deliberately small recursive-descent walk that
+//! flattens numeric (and boolean) leaves into `section.key` paths — the
+//! report files are produced by our own bins, not arbitrary JSON.
+
+use std::collections::BTreeMap;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
+/// A minimal JSON reader that records every numeric leaf (booleans count
+/// as 0/1) under its dotted path. Strings and nulls are parsed but not
+/// recorded; array elements get their index as a path segment.
+struct Flattener<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Flattener<'a> {
+    fn new(text: &'a str) -> Self {
+        Flattener {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", want as char)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = self.peek().ok_or_else(|| self.error("unterminated string"))?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'u' => {
+                            // \uXXXX — skip the hex digits; escaped
+                            // unicode never appears in our key names.
+                            self.pos += 4.min(self.bytes.len() - self.pos);
+                            out.push('?');
+                        }
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        other => out.push(other as char),
+                    }
+                }
+                other => out.push(other as char),
+            }
+        }
+    }
+
+    fn value(
+        &mut self,
+        path: &mut Vec<String>,
+        out: &mut BTreeMap<String, f64>,
+    ) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.error("unexpected end"))? {
+            b'{' => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    path.push(key);
+                    self.value(path, out)?;
+                    path.pop();
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.error("expected , or } in object")),
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                let mut index = 0usize;
+                loop {
+                    path.push(index.to_string());
+                    self.value(path, out)?;
+                    path.pop();
+                    index += 1;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.error("expected , or ] in array")),
+                    }
+                }
+            }
+            b'"' => {
+                self.string()?;
+                Ok(())
+            }
+            b't' => self.literal("true", path, out, Some(1.0)),
+            b'f' => self.literal("false", path, out, Some(0.0)),
+            b'n' => self.literal("null", path, out, None),
+            _ => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                ) {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("non-utf8 number"))?;
+                let n: f64 = raw
+                    .parse()
+                    .map_err(|_| self.error(&format!("bad number {raw:?}")))?;
+                out.insert(path.join("."), n);
+                Ok(())
+            }
+        }
+    }
+
+    fn literal(
+        &mut self,
+        word: &str,
+        path: &mut [String],
+        out: &mut BTreeMap<String, f64>,
+        record: Option<f64>,
+    ) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            if let Some(n) = record {
+                out.insert(path.join("."), n);
+            }
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {word}")))
+        }
+    }
+}
+
+fn flatten(path: &str) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+    let mut out = BTreeMap::new();
+    let mut stack = Vec::new();
+    let mut parser = Flattener::new(&text);
+    parser
+        .value(&mut stack, &mut out)
+        .unwrap_or_else(|e| fail(&format!("parsing {path}: {e}")));
+    out
+}
+
+/// Whether a dotted path is machine-dependent and must not be gated.
+/// Simulated-time values under `policy.` are deterministic and kept.
+fn skipped(path: &str) -> bool {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if leaf == "quick" || leaf == "jobs" || leaf == "cpus" || leaf == "pool_jobs" {
+        return true;
+    }
+    let policy_section = path == "policy" || path.starts_with("policy.");
+    if policy_section {
+        // Only genuinely-wall-clock keys are volatile here.
+        return leaf.contains("wall") || leaf.contains("speedup") || leaf.contains("per_s");
+    }
+    leaf.contains("wall")
+        || leaf.contains("speedup")
+        || leaf.contains("per_s")
+        || leaf.contains("busy")
+        || leaf.ends_with("_s")
+        || leaf.ends_with("_us")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut fresh_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance_pct = 25.0f64;
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--fresh" => fresh_path = Some(take("--fresh")),
+            "--baseline" => baseline_path = Some(take("--baseline")),
+            "--tolerance" => {
+                let raw = take("--tolerance");
+                tolerance_pct = raw
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad --tolerance {raw:?}")));
+            }
+            other => fail(&format!(
+                "unknown argument {other:?} (--fresh F --baseline F [--tolerance PCT])"
+            )),
+        }
+    }
+    let fresh_path = fresh_path.unwrap_or_else(|| fail("--fresh is required"));
+    let baseline_path = baseline_path.unwrap_or_else(|| fail("--baseline is required"));
+
+    let fresh = flatten(&fresh_path);
+    let baseline = flatten(&baseline_path);
+
+    if let (Some(fq), Some(bq)) = (fresh.get("quick"), baseline.get("quick")) {
+        if fq != bq {
+            fail("fresh and baseline were produced at different depths (quick flags differ)");
+        }
+    }
+
+    let tolerance = tolerance_pct / 100.0;
+    let mut compared = 0usize;
+    let mut skipped_count = 0usize;
+    let mut failures = 0usize;
+    for (path, base) in &baseline {
+        if skipped(path) {
+            skipped_count += 1;
+            continue;
+        }
+        match fresh.get(path) {
+            None => {
+                eprintln!("  MISSING    {path}: baseline={base} absent from fresh report");
+                failures += 1;
+            }
+            Some(value) => {
+                compared += 1;
+                let denom = base.abs().max(1e-12);
+                let drift = (value - base) / denom;
+                if drift.abs() > tolerance {
+                    eprintln!(
+                        "  REGRESSION {path}: baseline={base} fresh={value} ({:+.1}%)",
+                        drift * 100.0
+                    );
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    eprintln!(
+        "benchgate: {compared} metric(s) compared, {skipped_count} skipped \
+         (machine-dependent), {failures} failure(s), tolerance {tolerance_pct}%"
+    );
+    if failures > 0 {
+        std::process::exit(2);
+    }
+}

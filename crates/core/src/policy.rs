@@ -200,6 +200,25 @@ pub struct PolicySignals {
     pub machines: usize,
 }
 
+impl PolicySignals {
+    /// Freezes the signals into the telemetry-layer mirror attached to
+    /// flight-recorder `PolicyDecision` events, so postmortems can show
+    /// exactly what the engine saw when the knobs moved.
+    pub fn snapshot(&self) -> gemini_telemetry::PolicySignalsSnapshot {
+        gemini_telemetry::PolicySignalsSnapshot {
+            committed: self.committed,
+            iteration_time: self.iteration_time,
+            ckpt_overhead: self.ckpt_overhead,
+            retrieval_remote: self.retrieval_remote,
+            retrieval_persistent: self.retrieval_persistent,
+            persist_upload: self.persist_upload,
+            persist_anchor: self.persist_anchor,
+            healthy_machines: self.healthy_machines as u64,
+            machines: self.machines as u64,
+        }
+    }
+}
+
 /// One applied decision, for telemetry and reports.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PolicyDecisionRecord {

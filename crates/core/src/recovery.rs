@@ -134,6 +134,33 @@ impl RecoveryPlan {
         sink.gauge_set("recovery.rollback_iteration", || self.iteration as f64);
     }
 
+    /// How many sources read from each tier, as
+    /// `(local_cpu, remote_cpu, persistent)` — the per-tier summary the
+    /// incident flight recorder attaches to `RetrievalStarted` causal
+    /// events.
+    pub fn tier_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for src in &self.sources {
+            match src.tier {
+                StorageTier::LocalCpu => counts.0 += 1,
+                StorageTier::RemoteCpu => counts.1 += 1,
+                StorageTier::Persistent => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// The flight-recorder `TierRead` causal events for the ranks this
+    /// plan actually restores (`replaced` ranks for hardware cases, every
+    /// source's rank otherwise), in rank order.
+    pub fn tier_reads(&self) -> Vec<(usize, gemini_telemetry::Tier)> {
+        self.sources
+            .iter()
+            .filter(|src| self.replaced.is_empty() || self.replaced.contains(&src.rank))
+            .map(|src| (src.rank, tier_label(src.tier)))
+            .collect()
+    }
+
     /// The wall-clock retrieval makespan of this plan, accounting for
     /// *source contention*: two replacement machines fetching from the
     /// same surviving host serialize on that host's transmit path (which
@@ -349,6 +376,46 @@ mod tests {
         s.persist(100);
         s.record_complete(310);
         s
+    }
+
+    #[test]
+    fn tier_counts_and_reads_summarize_sources() {
+        let plan = RecoveryPlan {
+            case: RecoveryCase::HardwareFromCpu,
+            iteration: 310,
+            sources: vec![
+                RetrievalSource {
+                    rank: 0,
+                    tier: StorageTier::LocalCpu,
+                    from: None,
+                },
+                RetrievalSource {
+                    rank: 1,
+                    tier: StorageTier::RemoteCpu,
+                    from: Some(0),
+                },
+                RetrievalSource {
+                    rank: 2,
+                    tier: StorageTier::Persistent,
+                    from: None,
+                },
+            ],
+            replaced: vec![1],
+            degraded: None,
+        };
+        assert_eq!(plan.tier_counts(), (1, 1, 1));
+        // Hardware case: only the replaced rank's read is an incident
+        // TierRead.
+        assert_eq!(
+            plan.tier_reads(),
+            vec![(1, gemini_telemetry::Tier::RemoteCpu)]
+        );
+        // Software case (no replacements): every source counts.
+        let soft = RecoveryPlan {
+            replaced: vec![],
+            ..plan
+        };
+        assert_eq!(soft.tier_reads().len(), 3);
     }
 
     #[test]

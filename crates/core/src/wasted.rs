@@ -137,6 +137,44 @@ impl WastedLedger {
             .saturating_add(self.overhead)
     }
 
+    /// The three wasted-time categories as `(name, amount)` pairs, in
+    /// ledger-field order. This is the contract the incident flight
+    /// recorder's attribution invariant checks against: per-category
+    /// attribution sums must reproduce these amounts *exactly*.
+    pub fn components(&self) -> [(&'static str, SimDuration); 3] {
+        [
+            ("rework", self.rework),
+            ("downtime", self.downtime),
+            ("overhead", self.overhead),
+        ]
+    }
+
+    /// Whether per-category sums reproduce this ledger exactly; on
+    /// mismatch, returns the categories that disagree as
+    /// `(name, ledger_amount, attributed_amount)`.
+    pub fn check_attribution(
+        &self,
+        rework: SimDuration,
+        downtime: SimDuration,
+        overhead: SimDuration,
+    ) -> Result<(), Vec<(&'static str, SimDuration, SimDuration)>> {
+        let mut bad = Vec::new();
+        for (name, ledger, attributed) in [
+            ("rework", self.rework, rework),
+            ("downtime", self.downtime, downtime),
+            ("overhead", self.overhead, overhead),
+        ] {
+            if ledger != attributed {
+                bad.push((name, ledger, attributed));
+            }
+        }
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(bad)
+        }
+    }
+
     /// Merges another ledger into this one (campaign aggregation).
     pub fn merge(&mut self, other: &WastedLedger) {
         self.failures += other.failures;
@@ -229,6 +267,34 @@ mod tests {
         assert_eq!(b.failures, 2);
         assert_eq!(b.rework_iters, 13);
         assert_eq!(b.total(), SimDuration::from_secs(300) + a.total());
+    }
+
+    #[test]
+    fn attribution_check_demands_exact_sums() {
+        let mut l = WastedLedger::default();
+        l.record_failure(10, SimDuration::from_secs(62), mins(5));
+        l.record_overhead(SimDuration::from_secs(30));
+        assert!(l
+            .check_attribution(
+                SimDuration::from_secs(620),
+                mins(5),
+                SimDuration::from_secs(30)
+            )
+            .is_ok());
+        // One nanosecond off in any category is a mismatch.
+        let err = l
+            .check_attribution(
+                SimDuration::from_secs(620) + SimDuration::from_nanos(1),
+                mins(5),
+                SimDuration::from_secs(30),
+            )
+            .unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].0, "rework");
+        assert_eq!(
+            l.components().map(|(n, _)| n),
+            ["rework", "downtime", "overhead"]
+        );
     }
 
     #[test]

@@ -72,7 +72,8 @@ use gemini_core::{GeminiError, StorageTier, WastedLedger};
 use gemini_kvstore::{KvStore, RetryPolicy};
 use gemini_sim::{Context, Engine, Model, SimDuration, SimTime};
 use gemini_telemetry::{
-    EngineTelemetryProbe, FailureClass, TelemetryEvent, TelemetrySink,
+    intern_label, CausalEvent, CausalKind, EngineTelemetryProbe, FailureClass, Key,
+    PolicySignalsSnapshot, TelemetryEvent, TelemetrySink,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -511,6 +512,12 @@ pub struct ChaosReport {
     /// The wasted-time ledger (paper §2.1): rework + downtime + visible
     /// checkpoint/persist overhead.
     pub wasted: WastedLedger,
+    /// The causal flight-recorder trace: every recovery narrated as
+    /// incident-stitched events (fault injected → confirmed → wave →
+    /// retrieval → rollback → resume) plus background policy/persist
+    /// events. Model-side state, so it is identical with the sink on or
+    /// off and byte-identical across `--jobs` (covered by `render`).
+    pub trace: Vec<CausalEvent>,
     /// Invariant violations; empty ⇔ the run is green.
     pub violations: Vec<String>,
 }
@@ -581,6 +588,17 @@ impl ChaosReport {
             for v in &self.violations {
                 out.push_str(&format!("violation: {v}\n"));
             }
+        }
+        for ev in &self.trace {
+            out.push_str(&ev.render_line());
+            out.push('\n');
+        }
+        // Derived incident analysis rides the same byte-identity
+        // invariant: critical path, bounding phase and the exact
+        // attribution check are all part of the canonical rendering.
+        for line in crate::incident::render_summary(self) {
+            out.push_str(&line);
+            out.push('\n');
         }
         out
     }
@@ -708,6 +726,21 @@ struct ChaosModel {
     spurious: BTreeSet<usize>,
     retry_attempts: u64,
     violations: Vec<String>,
+    // Flight recorder (model-side, sink-independent).
+    trace: Vec<CausalEvent>,
+    /// rank → trace indices (FaultInjected/Confirmed) still awaiting the
+    /// incident id of the wave that will adopt them.
+    pending_trace: BTreeMap<usize, Vec<usize>>,
+    injected_at: BTreeMap<usize, SimTime>,
+    confirm_noted: BTreeSet<usize>,
+    /// Applied-decision counter: the policy epoch stamped onto waves and
+    /// persist charges.
+    policy_epoch: u64,
+    /// Interned `"{plan}:{seed}"` label scoping per-run counters; empty
+    /// (and unused) when the sink is disabled.
+    cell: &'static str,
+    /// Interned plan name for the detection-latency histogram.
+    plan_label: &'static str,
 }
 
 fn in_window(windows: &[(SimTime, SimTime)], now: SimTime) -> bool {
@@ -764,6 +797,45 @@ impl ChaosModel {
         cpu.max(anchor)
     }
 
+    /// Appends one event to the model-side flight recorder and returns
+    /// its index (for later incident-id patching).
+    fn push_trace(&mut self, incident: Option<u64>, at: SimTime, kind: CausalKind) -> usize {
+        let idx = self.trace.len();
+        self.trace.push(CausalEvent { incident, at, kind });
+        idx
+    }
+
+    /// Patches the still-unadopted FaultInjected/Confirmed events of
+    /// `ranks` with the incident id of the wave adopting them.
+    fn adopt_pending(&mut self, incident: u64, ranks: &[usize]) {
+        for rank in ranks {
+            if let Some(idxs) = self.pending_trace.remove(rank) {
+                for idx in idxs {
+                    self.trace[idx].incident = Some(incident);
+                }
+            }
+        }
+    }
+
+    /// The machine-group label for a set of failed ranks: `gN` when every
+    /// rank sits in the same placement group, `multi` otherwise.
+    fn group_label(&self, ranks: &[usize]) -> String {
+        let groups = self.sys.placement.groups();
+        for (gi, group) in groups.iter().enumerate() {
+            if ranks.iter().all(|r| group.members.contains(r)) {
+                return format!("g{gi}");
+            }
+        }
+        "multi".to_string()
+    }
+
+    /// Bumps a counter scoped to this run's `(plan, seed)` cell, so
+    /// concurrent `Scenario` runs sharing a sink never blend series.
+    fn cell_count(&self, name: &'static str) {
+        self.sink
+            .counter_add_key(Key::labeled(name, "cell", self.cell), 1);
+    }
+
     /// Feeds confirmed failures into the adaptive engine (fixed drivers
     /// and policy-off runs ignore them). A failure is *correlated* when
     /// its rank went down as part of a whole-group kill — the only kind
@@ -810,8 +882,11 @@ impl ChaosModel {
             machines: self.sys.cluster.len(),
         };
         let driver = self.policy.as_mut().expect("policy driver present");
+        let mut decided: Option<(String, PolicySignalsSnapshot)> = None;
+        let mut charged: Option<SimDuration> = None;
         if let Some(engine) = driver.engine.as_mut() {
-            self.sink.counter_add("policy.evaluations", 1);
+            self.sink
+                .counter_add_key(Key::labeled("policy.evaluations", "cell", self.cell), 1);
             if let Some(rec) = engine.evaluate(&signals) {
                 // Apply cadence / persist / tier; `m` re-planning is the
                 // runtime's job (placement rebuilds are unsafe mid-chaos).
@@ -819,7 +894,10 @@ impl ChaosModel {
                     replicas: driver.knobs.replicas,
                     ..rec.knobs
                 };
-                self.sink.counter_add("policy.decisions", 1);
+                self.sink
+                    .counter_add_key(Key::labeled("policy.decisions", "cell", self.cell), 1);
+                self.policy_epoch += 1;
+                decided = Some((rec.reason.clone(), signals.snapshot()));
                 let knobs = rec.knobs;
                 let reason = rec.reason.clone();
                 self.sink.event(now, move || TelemetryEvent::PolicyDecision {
@@ -842,11 +920,31 @@ impl ChaosModel {
                 driver.last_persist_at = now;
                 let token = driver.persist_token;
                 let iteration = self.last_committed;
-                self.ledger
-                    .record_overhead(persist_upload.mul_f64(PERSIST_VISIBLE_FRAC));
-                self.sink.counter_add("policy.persists_started", 1);
+                let overhead = persist_upload.mul_f64(PERSIST_VISIBLE_FRAC);
+                self.ledger.record_overhead(overhead);
+                charged = Some(overhead);
+                self.sink.counter_add_key(
+                    Key::labeled("policy.persists_started", "cell", self.cell),
+                    1,
+                );
                 ctx.schedule_after(persist_upload, Ev::PersistDone { iteration, token });
             }
+        }
+        if let Some((reason, signals)) = decided {
+            let epoch = self.policy_epoch;
+            self.push_trace(
+                None,
+                now,
+                CausalKind::PolicyDecision {
+                    epoch,
+                    reason,
+                    signals,
+                },
+            );
+        }
+        if let Some(amount) = charged {
+            let epoch = self.policy_epoch;
+            self.push_trace(None, now, CausalKind::PersistCharged { amount, epoch });
         }
     }
 
@@ -860,11 +958,21 @@ impl ChaosModel {
             self.sys.store.machine_lost(rank);
         }
         self.training_blocked = true;
-        self.sink
-            .event(ctx.now(), || TelemetryEvent::FailureInjected {
+        let now = ctx.now();
+        self.injected_at.insert(rank, now);
+        let idx = self.push_trace(
+            None,
+            now,
+            CausalKind::FaultInjected {
                 rank,
-                kind: class_of(kind),
-            });
+                class: class_of(kind),
+            },
+        );
+        self.pending_trace.entry(rank).or_default().push(idx);
+        self.sink.event(now, || TelemetryEvent::FailureInjected {
+            rank,
+            kind: class_of(kind),
+        });
     }
 
     fn begin_hw_replacement(
@@ -939,6 +1047,19 @@ impl ChaosModel {
             committed_at_detect: self.last_committed,
             available_at_detect: self.available_now(),
         });
+        let incident = index as u64;
+        self.adopt_pending(incident, &ranks);
+        let group = self.group_label(&ranks);
+        let policy_epoch = self.policy_epoch;
+        self.push_trace(
+            Some(incident),
+            now,
+            CausalKind::WaveOpened {
+                ranks: ranks.clone(),
+                group,
+                policy_epoch,
+            },
+        );
         for (rank, kind) in failures {
             if kind == FailureKind::Hardware {
                 self.begin_hw_replacement(ctx, index, rank);
@@ -978,6 +1099,17 @@ impl ChaosModel {
         ctx.schedule_after(
             self.sys.serialize_time(),
             Ev::SerializeDone { wave: index, token },
+        );
+        let incident = index as u64;
+        self.adopt_pending(incident, &ranks);
+        let group = self.group_label(&ranks);
+        self.push_trace(
+            Some(incident),
+            now,
+            CausalKind::WaveMerged {
+                ranks: ranks.clone(),
+                group,
+            },
         );
         for (rank, kind) in failures {
             if kind == FailureKind::Hardware {
@@ -1080,6 +1212,25 @@ impl ChaosModel {
             }
         }
         plan.record_telemetry(&self.sink, now);
+        let incident = self.wave.as_ref().expect("wave active").index as u64;
+        let (local, remote, persistent) = plan.tier_counts();
+        let case = format!("{:?}", plan.case);
+        let rollback_to = plan.iteration;
+        let reads = plan.tier_reads();
+        self.push_trace(
+            Some(incident),
+            now,
+            CausalKind::RetrievalStarted {
+                case,
+                rollback_to,
+                local,
+                remote,
+                persistent,
+            },
+        );
+        for (rank, tier) in reads {
+            self.push_trace(Some(incident), now, CausalKind::TierRead { rank, tier });
+        }
         let mut makespan = plan.retrieval_makespan(
             self.sys.scenario.ckpt_bytes_per_machine(),
             self.sys.scenario.machines,
@@ -1152,6 +1303,25 @@ impl ChaosModel {
                 self.streak[rank] = 0;
             }
         }
+        // Record the confirmation instant once per real failure: the
+        // flight recorder's Detect phase and the per-plan
+        // detection-latency histogram both hang off this event.
+        for rank in 0..n {
+            if self.streak[rank] >= CONFIRM_TICKS
+                && self.down.contains_key(&rank)
+                && self.confirm_noted.insert(rank)
+            {
+                let injected = self.injected_at.get(&rank).copied().unwrap_or(now);
+                let latency = now.saturating_since(injected);
+                let idx = self.push_trace(None, now, CausalKind::Confirmed { rank, latency });
+                self.pending_trace.entry(rank).or_default().push(idx);
+                self.sink.observe_us_key(
+                    Key::labeled("chaos.detection_latency_us", "plan", self.plan_label),
+                    crate::incident::DETECTION_LATENCY_BOUNDS_US,
+                    || latency.as_nanos() / 1_000,
+                );
+            }
+        }
         let confirmed: Vec<usize> = (0..n)
             .filter(|&r| self.streak[r] >= CONFIRM_TICKS && !self.handled.contains(&r))
             .collect();
@@ -1166,7 +1336,7 @@ impl ChaosModel {
                     // Alive but confirmed missing: the streak failed to
                     // absorb a blip. Counted, asserted zero by the suite.
                     if self.spurious.insert(rank) {
-                        self.sink.counter_add("chaos.spurious_detections", 1);
+                        self.cell_count("chaos.spurious_detections");
                     }
                 }
             }
@@ -1240,7 +1410,7 @@ impl Model for ChaosModel {
                 if monotonic {
                     self.sys.store.persist(iteration);
                 }
-                self.sink.counter_add("policy.persists", 1);
+                self.cell_count("policy.persists");
                 self.sink.event(ctx.now(), || TelemetryEvent::Note {
                     message: format!("persistent checkpoint durable at iteration {iteration}"),
                 });
@@ -1282,7 +1452,7 @@ impl Model for ChaosModel {
                 let label = format!("{fault:?}");
                 self.sink
                     .event(ctx.now(), || TelemetryEvent::ChaosFault { fault: label });
-                self.sink.counter_add("chaos.faults", 1);
+                self.cell_count("chaos.faults");
                 match fault {
                     FaultKind::Kill { rank, kind } => self.kill(ctx, rank, kind),
                     FaultKind::KillGroup { group, kind } => {
@@ -1364,6 +1534,7 @@ impl Model for ChaosModel {
                     return; // superseded by a merge, or a stale wave
                 }
                 self.wave.as_mut().expect("wave active").serialize_done = true;
+                self.push_trace(Some(wave as u64), ctx.now(), CausalKind::SerializeDone);
                 self.sink
                     .event(ctx.now(), || TelemetryEvent::SerializationFinished);
                 self.maybe_start_retrieval(ctx);
@@ -1402,10 +1573,14 @@ impl Model for ChaosModel {
                             TimeoutClass::Degraded => "degraded",
                             TimeoutClass::Fatal => "fatal",
                         };
-                        self.sink.counter_add_labeled(
-                            "chaos.replacement_retries",
-                            "class",
-                            label,
+                        self.sink.counter_add_key(
+                            Key::labeled2(
+                                "chaos.replacement_retries",
+                                "class",
+                                label,
+                                "cell",
+                                self.cell,
+                            ),
                             1,
                         );
                         match self.retry.backoff(attempt) {
@@ -1454,6 +1629,11 @@ impl Model for ChaosModel {
                     .expect("wave active")
                     .replacements_pending
                     .remove(&rank);
+                self.push_trace(
+                    Some(wave as u64),
+                    ctx.now(),
+                    CausalKind::ReplacementReady { rank },
+                );
                 self.sink
                     .event(ctx.now(), || TelemetryEvent::MachineReplaced { rank });
                 self.maybe_start_retrieval(ctx);
@@ -1466,6 +1646,7 @@ impl Model for ChaosModel {
                 if !active {
                     return;
                 }
+                self.push_trace(Some(wave as u64), ctx.now(), CausalKind::RetrievalDone);
                 self.sink
                     .event(ctx.now(), || TelemetryEvent::RetrievalFinished);
                 ctx.schedule_after(
@@ -1487,6 +1668,9 @@ impl Model for ChaosModel {
                     self.down.remove(&rank);
                     self.handled.remove(&rank);
                     self.streak[rank] = 0;
+                    self.confirm_noted.remove(&rank);
+                    self.injected_at.remove(&rank);
+                    self.pending_trace.remove(&rank);
                     if !self.kv_out(now) {
                         self.workers[rank]
                             .register(&mut self.kv, now)
@@ -1506,12 +1690,32 @@ impl Model for ChaosModel {
                     self.sys.iteration_time(),
                     now.saturating_since(w.detected_at),
                 );
+                let incident = w.index as u64;
+                // Same expression as the ledger's rework contribution, so
+                // the attribution invariant holds to the nanosecond.
+                let rework = self.sys.iteration_time() * rolled_back;
+                self.push_trace(
+                    Some(incident),
+                    now,
+                    CausalKind::RolledBack {
+                        from: self.current_iteration,
+                        to: plan.iteration,
+                        rework,
+                    },
+                );
                 self.current_iteration = plan.iteration;
+                self.push_trace(
+                    Some(incident),
+                    now,
+                    CausalKind::Resumed {
+                        iteration: plan.iteration,
+                    },
+                );
                 self.sink
                     .event(now, || TelemetryEvent::TrainingResumed {
                         iteration: plan.iteration,
                     });
-                self.sink.counter_add("chaos.waves", 1);
+                self.cell_count("chaos.waves");
                 if self.sink.is_enabled() {
                     let name = format!("wave-{}", w.index);
                     self.sink.span("chaos", || name.clone(), w.detected_at, now);
@@ -1631,6 +1835,18 @@ pub(crate) fn execute_chaos(
         .map(|r| RootAgent::new(&format!("machine-{r}"), &gcfg))
         .collect();
 
+    // The cell label scopes per-run counters to this (plan, seed); interning
+    // only matters when metrics are actually recorded, so skip the global
+    // intern table entirely on disabled sinks (campaign hot path).
+    let (cell, plan_label) = if sink.is_enabled() {
+        (
+            intern_label(&format!("{}:{}", plan.name, seed)),
+            intern_label(&plan.name),
+        )
+    } else {
+        ("", "")
+    };
+
     let mut model = ChaosModel {
         sys,
         kv,
@@ -1665,6 +1881,13 @@ pub(crate) fn execute_chaos(
         spurious: BTreeSet::new(),
         retry_attempts: 0,
         violations: Vec::new(),
+        trace: Vec::new(),
+        pending_trace: BTreeMap::new(),
+        injected_at: BTreeMap::new(),
+        confirm_noted: BTreeSet::new(),
+        policy_epoch: 0,
+        cell,
+        plan_label,
     };
 
     let mut engine =
@@ -1694,8 +1917,11 @@ pub(crate) fn execute_chaos(
         ));
     }
     if sink.is_enabled() {
-        sink.counter_add("chaos.runs", 1);
-        sink.counter_add("chaos.violations", violations.len() as u64);
+        sink.counter_add_key(Key::labeled("chaos.runs", "cell", cell), 1);
+        sink.counter_add_key(
+            Key::labeled("chaos.violations", "cell", cell),
+            violations.len() as u64,
+        );
     }
 
     let (policy_name, policy_decisions, persists_completed, tier_overrides) =
@@ -1709,7 +1935,7 @@ pub(crate) fn execute_chaos(
             None => ("off".to_string(), 0, 0, 0),
         };
 
-    Ok(ChaosReport {
+    let report = ChaosReport {
         plan_name: plan.name.clone(),
         seed,
         horizon: plan.horizon,
@@ -1726,8 +1952,14 @@ pub(crate) fn execute_chaos(
         persists_completed,
         tier_overrides,
         wasted: model.ledger,
+        trace: model.trace,
         violations,
-    })
+    };
+    // Post-run sink artifacts (flight-recorder mirror, incident metrics,
+    // phase spans, chrome-trace flow lane). Emitted *after* the run so the
+    // enabled-sink event stream never perturbs model execution order.
+    crate::incident::record_sink_artifacts(&report, &sink);
+    Ok(report)
 }
 
 /// The cross-run policy-safety check: for every wave (matched by index),
@@ -1947,8 +2179,10 @@ mod tests {
         assert!(!sink.find(|e| matches!(e, E::ChaosFault { .. })).is_empty());
         assert!(!sink.find(|e| matches!(e, E::RetryAttempt { .. })).is_empty());
         let snap = sink.metrics_snapshot();
-        assert!(snap.counter(gemini_telemetry::Key::plain("chaos.faults")) >= 2);
-        assert_eq!(snap.counter(gemini_telemetry::Key::plain("chaos.runs")), 1);
+        // Run-scoped counters carry the (plan, seed) cell label.
+        let cell = intern_label("replacement_exhaustion:5");
+        assert!(snap.counter(Key::labeled("chaos.faults", "cell", cell)) >= 2);
+        assert_eq!(snap.counter(Key::labeled("chaos.runs", "cell", cell)), 1);
         assert!(
             snap.counter(gemini_telemetry::Key::plain("cluster.replacement_denied")) > 0
         );
@@ -2068,8 +2302,9 @@ mod tests {
             .find(|e| matches!(e, TelemetryEvent::PolicyDecision { .. }))
             .is_empty());
         let snap = sink.metrics_snapshot();
-        assert!(snap.counter(gemini_telemetry::Key::plain("policy.evaluations")) > 0);
-        assert!(snap.counter(gemini_telemetry::Key::plain("policy.persists")) >= 1);
+        let cell = intern_label("repeat_group_loss:1");
+        assert!(snap.counter(Key::labeled("policy.evaluations", "cell", cell)) > 0);
+        assert!(snap.counter(Key::labeled("policy.persists", "cell", cell)) >= 1);
     }
 
     #[test]

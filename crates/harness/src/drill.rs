@@ -23,7 +23,7 @@ use gemini_core::GeminiError;
 use gemini_kvstore::KvStore;
 use gemini_sim::{Context, Engine, Model, SimDuration, SimTime};
 use gemini_telemetry::{
-    EngineTelemetryProbe, FailureClass, TelemetryEvent, TelemetrySink, TimedEvent,
+    EngineTelemetryProbe, FailureClass, FlowPhase, Key, TelemetryEvent, TelemetrySink, TimedEvent,
 };
 use serde::{Deserialize, Serialize};
 
@@ -487,7 +487,21 @@ pub(crate) fn execute_drill(
             || us(retrieval_time),
         );
         sink.observe_us("recovery.total_downtime_us", || us(total_downtime));
+        sink.observe_us_key(
+            Key::labeled("chaos.detection_latency_us", "plan", "drill"),
+            crate::incident::DETECTION_LATENCY_BOUNDS_US,
+            || us(detected_at - failed_at),
+        );
         sink.counter_add("recovery.drills", 1);
+        // A flow lane threads the single drill incident through the
+        // recovery phases, so chrome://tracing draws arrows from the
+        // failure instant to detection, retrieval and the resume point.
+        sink.flow("recovery", || "incident".to_string(), 0, failed_at, FlowPhase::Start);
+        sink.flow("recovery", || "incident".to_string(), 0, detected_at, FlowPhase::Step);
+        if let Some(s) = model.retrieval_started {
+            sink.flow("recovery", || "incident".to_string(), 0, s, FlowPhase::Step);
+        }
+        sink.flow("recovery", || "incident".to_string(), 0, resumed_at, FlowPhase::End);
     }
 
     Ok(DrillReport {

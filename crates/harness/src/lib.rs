@@ -16,6 +16,11 @@
 //! * [`runtime`] — a synchronous façade (`train` / `inject_failure` /
 //!   `recover`) over the whole system, carrying real checkpoint bytes,
 //!   with an optional fault-tolerance policy driving its knobs.
+//! * [`incident`] — the flight-recorder analysis layer: stitches the
+//!   chaos causal trace into [`incident::Incident`] records, computes
+//!   per-incident critical paths and attributes the wasted-time ledger
+//!   exactly (postmortems, attribution tables, sink metric/span/flow
+//!   projection).
 //! * [`experiments`] — one function per table/figure returning structured
 //!   rows, plus markdown rendering.
 //! * [`par`] — deterministic parallel execution glue (`--jobs`): re-exports
@@ -33,6 +38,7 @@ pub mod chaos;
 pub mod des_campaign;
 pub mod drill;
 pub mod experiments;
+pub mod incident;
 pub mod par;
 pub mod replay;
 pub mod report;
@@ -53,6 +59,10 @@ pub use chaos::{
 pub use chaos::run_chaos_with;
 pub use des_campaign::{run_des_campaign, run_des_sweep, DesCampaignConfig, DesCampaignResult};
 pub use drill::{run_drill, DrillConfig, DrillReport};
+pub use incident::{
+    analyze, stitch, AttributionRow, Incident, IncidentAnalysis,
+    DETECTION_LATENCY_BOUNDS_US, RECOVERY_PHASE_BOUNDS_US,
+};
 #[allow(deprecated)]
 pub use drill::run_drill_with;
 pub use replay::{replay_schedule, ReplayReport};

@@ -9,7 +9,8 @@
 use gemini_cluster::{FailureKind, OperatorConfig};
 use gemini_core::policy::PolicySpec;
 use gemini_core::recovery::RecoveryCase;
-use gemini_harness::{ChaosPlan, Deployment, GeminiRuntime, Scenario};
+use gemini_harness::{incident, ChaosPlan, Deployment, GeminiRuntime, Scenario};
+use gemini_telemetry::TelemetrySink;
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
@@ -168,5 +169,67 @@ proptest! {
                 .collect::<Vec<_>>()
         };
         prop_assert_eq!(run(1), run(jobs));
+    }
+
+    // The flight recorder is an observer: the causal trace, the stitched
+    // incidents, the attribution rows and the rendered postmortem must be
+    // byte-identical across `--jobs` counts and with the telemetry sink
+    // on or off — and the attribution invariant must hold exactly for
+    // every seed the fuzzer picks, not just the catalog defaults.
+    #[test]
+    fn incident_analysis_is_deterministic_and_exact(
+        seed in any::<u64>(),
+        plan_idx in 0usize..9,
+        jobs in 2usize..5,
+    ) {
+        let plan = ChaosPlan::catalog()
+            .into_iter()
+            .nth(plan_idx)
+            .expect("catalog index");
+
+        // Sink on vs off: identical trace and identical analysis.
+        let run = |sink: TelemetrySink| {
+            Scenario::chaos(plan.clone())
+                .seed(seed)
+                .sink(sink)
+                .policy(PolicySpec::adaptive())
+                .run()
+                .expect("chaos run")
+        };
+        let off = run(TelemetrySink::disabled());
+        let on = run(TelemetrySink::enabled());
+        prop_assert_eq!(&off.trace, &on.trace);
+        prop_assert_eq!(incident::analyze(&off), incident::analyze(&on));
+        prop_assert_eq!(
+            incident::incidents_json(&off),
+            incident::incidents_json(&on)
+        );
+
+        let analysis = incident::analyze(&off);
+        prop_assert!(
+            analysis.attribution_exact(),
+            "plan {} seed {seed}: {:?}",
+            &plan.name,
+            &analysis.mismatches
+        );
+
+        // Jobs 1 vs N through the campaign path: identical postmortems.
+        let campaign = |j: usize| {
+            Scenario::chaos_campaign(vec![plan.clone()])
+                .seeds(&[seed])
+                .jobs(j)
+                .policy(PolicySpec::adaptive())
+                .run()
+                .expect("campaign")
+                .iter()
+                .map(|r| {
+                    let mut doc = incident::postmortem(r).to_markdown();
+                    doc.push_str(&incident::attribution_table(r).to_markdown());
+                    doc.push_str(&incident::render_summary(r).join("\n"));
+                    doc
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(campaign(1), campaign(jobs));
     }
 }

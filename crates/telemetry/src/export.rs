@@ -9,14 +9,17 @@
 //!   `dur` in **integer microseconds** (`as_nanos() / 1000`) so the output
 //!   is deterministic and diff-friendly;
 //! * one `"i"` (instant) event per [`TimedEvent`], carrying the typed
-//!   event's `Debug` form under `args.message`.
+//!   event's `Debug` form under `args.message`;
+//! * one `"s"`/`"t"`/`"f"` (flow) event per [`FlowRecord`] hop, so causal
+//!   chains — e.g. a recovery incident's fault → detect → retrieve →
+//!   resume path — render as arrows across tracks.
 //!
 //! Tracks map to Chrome "threads": pid is always 1 and each distinct track
 //! gets a tid in first-use order (spans first, then events), so a given
 //! simulation always yields byte-identical output.
 
 use crate::event::TimedEvent;
-use crate::spans::SpanRecord;
+use crate::spans::{FlowRecord, SpanRecord};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -40,10 +43,12 @@ pub fn escape_json(s: &str) -> String {
     out
 }
 
-/// Assigns tids to tracks in first-use order (spans, then instants).
+/// Assigns tids to tracks in first-use order (spans, then instants, then
+/// flow hops).
 fn track_ids<'a>(
     spans: &'a [SpanRecord],
     events: &'a [TimedEvent],
+    flows: &'a [FlowRecord],
 ) -> (Vec<&'a str>, BTreeMap<&'a str, usize>) {
     let mut order: Vec<&str> = Vec::new();
     let mut ids: BTreeMap<&str, usize> = BTreeMap::new();
@@ -59,12 +64,16 @@ fn track_ids<'a>(
     for e in events {
         intern(e.event.track(), &mut order, &mut ids);
     }
+    for f in flows {
+        intern(f.track, &mut order, &mut ids);
+    }
     (order, ids)
 }
 
-/// Renders spans and instant events as a Chrome trace-event JSON document.
-pub fn chrome_trace(spans: &[SpanRecord], events: &[TimedEvent]) -> String {
-    let (order, ids) = track_ids(spans, events);
+/// Renders spans, instant events and flow arrows as a Chrome trace-event
+/// JSON document.
+pub fn chrome_trace(spans: &[SpanRecord], events: &[TimedEvent], flows: &[FlowRecord]) -> String {
+    let (order, ids) = track_ids(spans, events, flows);
     let mut out = String::new();
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
@@ -129,6 +138,29 @@ pub fn chrome_trace(spans: &[SpanRecord], events: &[TimedEvent]) -> String {
         );
     }
 
+    for fl in flows {
+        let tid = ids[fl.track];
+        let ts = fl.at.as_nanos() / 1_000;
+        // "f" (finish) hops carry `"bp":"e"` so the arrow binds to the
+        // enclosing slice, matching what chrome://tracing expects.
+        let bp = match fl.phase.ph() {
+            "f" => ",\"bp\":\"e\"",
+            _ => "",
+        };
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"{}\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"id\":{}{bp},\
+                 \"cat\":\"{}\",\"name\":\"{}\"}}",
+                fl.phase.ph(),
+                fl.id,
+                escape_json(fl.track),
+                escape_json(&fl.name)
+            ),
+        );
+    }
+
     out.push_str("\n]}\n");
     out
 }
@@ -163,7 +195,7 @@ mod tests {
             time: t(300),
             event: TelemetryEvent::CkptCommitted { iteration: 1 },
         }];
-        let doc = chrome_trace(&spans, &events);
+        let doc = chrome_trace(&spans, &events, &[]);
         assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
         assert!(doc.contains("\"ph\":\"M\""));
         assert!(doc.contains("\"name\":\"gemini-sim\""));
@@ -186,15 +218,49 @@ mod tests {
                 event: TelemetryEvent::RetrievalFinished,
             },
         ];
-        let doc = chrome_trace(&[], &events);
+        let doc = chrome_trace(&[], &events, &[]);
         assert!(doc.contains("\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"kv\"}"));
         assert!(doc.contains("\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"recovery\"}"));
     }
 
     #[test]
     fn empty_inputs_still_form_valid_document() {
-        let doc = chrome_trace(&[], &[]);
+        let doc = chrome_trace(&[], &[], &[]);
         assert!(doc.contains("traceEvents"));
         assert!(doc.contains("process_name"));
+    }
+
+    #[test]
+    fn flow_hops_render_as_arrows_with_shared_ids() {
+        use crate::spans::{FlowPhase, FlowRecord};
+        let flows = vec![
+            FlowRecord {
+                track: "incident",
+                name: "incident-0".to_string(),
+                id: 7,
+                at: t(100),
+                phase: FlowPhase::Start,
+            },
+            FlowRecord {
+                track: "recovery",
+                name: "incident-0".to_string(),
+                id: 7,
+                at: t(250),
+                phase: FlowPhase::Step,
+            },
+            FlowRecord {
+                track: "incident",
+                name: "incident-0".to_string(),
+                id: 7,
+                at: t(400),
+                phase: FlowPhase::End,
+            },
+        ];
+        let doc = chrome_trace(&[], &[], &flows);
+        assert!(doc.contains("\"ph\":\"s\",\"pid\":1,\"tid\":0,\"ts\":100,\"id\":7"));
+        assert!(doc.contains("\"ph\":\"t\",\"pid\":1,\"tid\":1,\"ts\":250,\"id\":7"));
+        assert!(doc.contains("\"ph\":\"f\",\"pid\":1,\"tid\":0,\"ts\":400,\"id\":7,\"bp\":\"e\""));
+        // Flow tracks get thread-name metadata like any other track.
+        assert!(doc.contains("\"args\":{\"name\":\"incident\"}"));
     }
 }

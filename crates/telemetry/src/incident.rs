@@ -1,0 +1,444 @@
+//! The incident flight recorder: a causal event alphabet for recovery
+//! incidents plus a bounded ring buffer holding them.
+//!
+//! A chaos run (or any failure-recovery pipeline) narrates each recovery
+//! as a chain of [`CausalEvent`]s sharing an incident id: fault injected →
+//! confirmed by the detection streak → wave opened (possibly merged) →
+//! serialization done → replacements ready → retrieval per tier → rollback
+//! → training resumed — plus background events (policy decisions with
+//! their full signal snapshot, persistent-upload charges) that carry no
+//! incident id. The harness stitches these into `Incident` records,
+//! computes the critical path over the causal DAG and attributes every
+//! nanosecond of the wasted-time ledger to an (incident, phase,
+//! machine-group, policy-epoch) key; this module only defines the shared
+//! vocabulary and the sink-side [`FlightRecorder`] ring buffer so the
+//! types stay usable from every layer (core emits, harness stitches,
+//! bench renders).
+//!
+//! Everything here is plain data with deterministic rendering
+//! ([`CausalEvent::render_line`]): two runs of the same seeded simulation
+//! produce byte-identical traces, with the sink enabled or not.
+
+use crate::event::{FailureClass, Tier};
+use gemini_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default capacity of a sink's [`FlightRecorder`] ring buffer.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4_096;
+
+/// A recovery phase, the unit of critical-path analysis and wasted-time
+/// attribution. The first five partition an incident's detect→resume
+/// window; [`Phase::Rework`] and [`Phase::Overhead`] account the ledger's
+/// other two categories (re-training rolled-back iterations, and
+/// training-visible checkpoint/persist interference).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum Phase {
+    /// Fault injected → confirmed by the detection streak.
+    Detect,
+    /// Alive ranks serializing their checkpoint replicas.
+    Serialize,
+    /// Waiting on cloud-operator machine replacements (the part that
+    /// outlasted serialization).
+    Replace,
+    /// Checkpoint retrieval from the assigned tiers.
+    Retrieve,
+    /// Restart warm-up before training resumes.
+    Warmup,
+    /// Re-training the rolled-back iterations.
+    Rework,
+    /// Checkpoint/persist overhead visible to training.
+    Overhead,
+}
+
+impl Phase {
+    /// Stable label for metric labels, attribution keys and rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Detect => "detect",
+            Phase::Serialize => "serialize",
+            Phase::Replace => "replace",
+            Phase::Retrieve => "retrieve",
+            Phase::Warmup => "warmup",
+            Phase::Rework => "rework",
+            Phase::Overhead => "overhead",
+        }
+    }
+
+    /// Every phase, in pipeline order.
+    pub fn all() -> [Phase; 7] {
+        [
+            Phase::Detect,
+            Phase::Serialize,
+            Phase::Replace,
+            Phase::Retrieve,
+            Phase::Warmup,
+            Phase::Rework,
+            Phase::Overhead,
+        ]
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A frozen copy of the policy engine's input signals, attached to every
+/// [`CausalKind::PolicyDecision`] so a postmortem can answer *why* the
+/// knobs moved (telemetry-local mirror of `gemini_core::PolicySignals`;
+/// lower layers must not depend on the core crate).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct PolicySignalsSnapshot {
+    /// Last committed in-memory checkpoint iteration.
+    pub committed: u64,
+    /// Current training iteration time.
+    pub iteration_time: SimDuration,
+    /// Visible per-checkpoint overhead.
+    pub ckpt_overhead: SimDuration,
+    /// Estimated remote-CPU retrieval time (degradation included).
+    pub retrieval_remote: SimDuration,
+    /// Estimated persistent-tier retrieval time.
+    pub retrieval_persistent: SimDuration,
+    /// Persistent upload duration.
+    pub persist_upload: SimDuration,
+    /// Iteration of the durable persistent anchor, if any.
+    pub persist_anchor: Option<u64>,
+    /// Machines currently healthy.
+    pub healthy_machines: u64,
+    /// Cluster size.
+    pub machines: u64,
+}
+
+/// What happened at one point of an incident's causal chain.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum CausalKind {
+    /// A fault was injected against `rank`.
+    FaultInjected {
+        /// The victim rank.
+        rank: usize,
+        /// Hardware or software.
+        class: FailureClass,
+    },
+    /// The detection streak confirmed `rank` as failed.
+    Confirmed {
+        /// The confirmed rank.
+        rank: usize,
+        /// Injection → confirmation.
+        latency: SimDuration,
+    },
+    /// A recovery wave opened over the confirmed ranks.
+    WaveOpened {
+        /// The ranks the wave handles.
+        ranks: Vec<usize>,
+        /// Machine-group label (`"g<N>"` when every rank shares one
+        /// placement group, `"multi"` otherwise).
+        group: String,
+        /// The policy epoch (applied-decision count) at detection.
+        policy_epoch: u64,
+    },
+    /// Late confirmations merged into the still-serializing wave.
+    WaveMerged {
+        /// The merged ranks.
+        ranks: Vec<usize>,
+        /// Machine-group label of the merged batch.
+        group: String,
+    },
+    /// Checkpoint serialization finished (the last restart, post-merge).
+    SerializeDone,
+    /// A replacement machine joined for `rank`.
+    ReplacementReady {
+        /// The replaced rank.
+        rank: usize,
+    },
+    /// Retrieval started per the recovery plan.
+    RetrievalStarted {
+        /// `Debug` form of the recovery case.
+        case: String,
+        /// The iteration all ranks roll back to.
+        rollback_to: u64,
+        /// Sources reading from local CPU memory.
+        local: usize,
+        /// Sources reading from a peer's CPU memory.
+        remote: usize,
+        /// Sources reading from persistent storage.
+        persistent: usize,
+    },
+    /// One recovering rank was assigned its retrieval tier.
+    TierRead {
+        /// The recovering rank.
+        rank: usize,
+        /// The tier it reads from.
+        tier: Tier,
+    },
+    /// Retrieval finished.
+    RetrievalDone,
+    /// Training rolled back, wiping progress past the checkpoint.
+    RolledBack {
+        /// Iteration reached before the failure.
+        from: u64,
+        /// Iteration rolled back to.
+        to: u64,
+        /// Exact re-training cost charged to the wasted-time ledger.
+        rework: SimDuration,
+    },
+    /// Training resumed; the incident is closed.
+    Resumed {
+        /// The iteration training restarts from.
+        iteration: u64,
+    },
+    /// The policy engine applied a knob change (background event).
+    PolicyDecision {
+        /// The policy epoch this decision opened (1-based).
+        epoch: u64,
+        /// Why the knobs moved (stable, human-readable).
+        reason: String,
+        /// The full signal snapshot the engine evaluated.
+        signals: PolicySignalsSnapshot,
+    },
+    /// A persistent upload charged its visible fraction to the ledger
+    /// (background event).
+    PersistCharged {
+        /// Exact overhead charged, as recorded in the ledger.
+        amount: SimDuration,
+        /// The policy epoch active at the charge.
+        epoch: u64,
+    },
+}
+
+impl CausalKind {
+    /// A stable dotted name (the flight-recorder analogue of
+    /// [`crate::TelemetryEvent::name`]).
+    pub fn name(&self) -> &'static str {
+        use CausalKind as K;
+        match self {
+            K::FaultInjected { .. } => "incident.fault_injected",
+            K::Confirmed { .. } => "incident.confirmed",
+            K::WaveOpened { .. } => "incident.wave_opened",
+            K::WaveMerged { .. } => "incident.wave_merged",
+            K::SerializeDone => "incident.serialize_done",
+            K::ReplacementReady { .. } => "incident.replacement_ready",
+            K::RetrievalStarted { .. } => "incident.retrieval_started",
+            K::TierRead { .. } => "incident.tier_read",
+            K::RetrievalDone => "incident.retrieval_done",
+            K::RolledBack { .. } => "incident.rolled_back",
+            K::Resumed { .. } => "incident.resumed",
+            K::PolicyDecision { .. } => "incident.policy_decision",
+            K::PersistCharged { .. } => "incident.persist_charged",
+        }
+    }
+}
+
+/// One causal event: an incident id (or `None` for background events),
+/// a timestamp and what happened.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct CausalEvent {
+    /// The incident this event belongs to. `None` for background events
+    /// (policy decisions, persist charges) and for faults whose wave has
+    /// not opened yet (the recorder patches the id at wave open).
+    pub incident: Option<u64>,
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: CausalKind,
+}
+
+impl CausalEvent {
+    /// One deterministic plain-text line, used by report rendering so the
+    /// byte-identity invariants cover the whole trace.
+    pub fn render_line(&self) -> String {
+        let id = match self.incident {
+            Some(i) => i.to_string(),
+            None => "-".to_string(),
+        };
+        let secs = self.at.as_secs_f64();
+        use CausalKind as K;
+        let what = match &self.kind {
+            K::FaultInjected { rank, class } => format!("fault_injected rank={rank} class={class}"),
+            K::Confirmed { rank, latency } => {
+                format!("confirmed rank={rank} latency={:.3}s", latency.as_secs_f64())
+            }
+            K::WaveOpened {
+                ranks,
+                group,
+                policy_epoch,
+            } => format!(
+                "wave_opened ranks={ranks:?} group={group} epoch={policy_epoch}"
+            ),
+            K::WaveMerged { ranks, group } => {
+                format!("wave_merged ranks={ranks:?} group={group}")
+            }
+            K::SerializeDone => "serialize_done".to_string(),
+            K::ReplacementReady { rank } => format!("replacement_ready rank={rank}"),
+            K::RetrievalStarted {
+                case,
+                rollback_to,
+                local,
+                remote,
+                persistent,
+            } => format!(
+                "retrieval_started case={case} rollback_to={rollback_to} \
+                 tiers=local:{local},remote:{remote},persistent:{persistent}"
+            ),
+            K::TierRead { rank, tier } => format!("tier_read rank={rank} tier={tier}"),
+            K::RetrievalDone => "retrieval_done".to_string(),
+            K::RolledBack { from, to, rework } => format!(
+                "rolled_back from={from} to={to} rework={:.3}s",
+                rework.as_secs_f64()
+            ),
+            K::Resumed { iteration } => format!("resumed iteration={iteration}"),
+            K::PolicyDecision {
+                epoch,
+                reason,
+                signals,
+            } => format!(
+                "policy_decision epoch={epoch} reason=\"{reason}\" \
+                 committed={} healthy={}/{}",
+                signals.committed, signals.healthy_machines, signals.machines
+            ),
+            K::PersistCharged { amount, epoch } => format!(
+                "persist_charged amount={:.3}s epoch={epoch}",
+                amount.as_secs_f64()
+            ),
+        };
+        format!("trace t={secs:.3}s incident={id} {what}")
+    }
+}
+
+/// A bounded ring buffer of [`CausalEvent`]s: the sink-side flight
+/// recorder. When full it drops the *oldest* events (and counts them), so
+/// a long-running instrumented process keeps the most recent incidents
+/// without unbounded growth. Iteration yields events oldest-first.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightRecorder {
+    buf: Vec<CausalEvent>,
+    head: usize,
+    dropped: u64,
+    capacity: usize,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            buf: Vec::new(),
+            head: 0,
+            dropped: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: CausalEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> Vec<CausalEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// How many events are currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> CausalEvent {
+        CausalEvent {
+            incident: Some(i),
+            at: SimTime::from_secs(i),
+            kind: CausalKind::RetrievalDone,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut r = FlightRecorder::with_capacity(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let kept: Vec<u64> = r.events().iter().map(|e| e.incident.unwrap()).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_order() {
+        let mut r = FlightRecorder::with_capacity(10);
+        for i in 0..4 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.dropped(), 0);
+        let kept: Vec<u64> = r.events().iter().map(|e| e.incident.unwrap()).collect();
+        assert_eq!(kept, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn phase_labels_are_stable() {
+        assert_eq!(Phase::Detect.label(), "detect");
+        assert_eq!(Phase::Overhead.label(), "overhead");
+        assert_eq!(Phase::all().len(), 7);
+    }
+
+    #[test]
+    fn render_line_is_deterministic() {
+        let e = CausalEvent {
+            incident: Some(0),
+            at: SimTime::from_secs(522),
+            kind: CausalKind::Confirmed {
+                rank: 5,
+                latency: SimDuration::from_secs(22),
+            },
+        };
+        assert_eq!(
+            e.render_line(),
+            "trace t=522.000s incident=0 confirmed rank=5 latency=22.000s"
+        );
+        let bg = CausalEvent {
+            incident: None,
+            at: SimTime::from_secs(1),
+            kind: CausalKind::PersistCharged {
+                amount: SimDuration::from_secs(120),
+                epoch: 2,
+            },
+        };
+        assert!(bg.render_line().starts_with("trace t=1.000s incident=- persist_charged"));
+    }
+}

@@ -39,13 +39,20 @@
 
 pub mod event;
 pub mod export;
+pub mod incident;
 pub mod metrics;
 pub mod probe;
 pub mod sink;
 pub mod spans;
 
 pub use event::{FailureClass, TelemetryEvent, Tier, TimedEvent};
-pub use metrics::{FixedHistogram, Key, MetricsRegistry, DEFAULT_TIME_BOUNDS_US};
+pub use incident::{
+    CausalEvent, CausalKind, FlightRecorder, Phase, PolicySignalsSnapshot,
+    DEFAULT_FLIGHT_CAPACITY,
+};
+pub use metrics::{
+    intern_label, FixedHistogram, Key, MetricsRegistry, DEFAULT_TIME_BOUNDS_US,
+};
 pub use probe::EngineTelemetryProbe;
 pub use sink::{SpanHandle, TelemetrySink};
-pub use spans::SpanRecord;
+pub use spans::{FlowPhase, FlowRecord, SpanRecord};

@@ -6,8 +6,9 @@
 //! deterministic simulations.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
 
 /// Default histogram bucket upper bounds, in microseconds: decades from
 /// 10 µs to 1000 s. Everything above the last bound lands in `+Inf`.
@@ -23,19 +24,26 @@ pub const DEFAULT_TIME_BOUNDS_US: &[u64] = &[
     1_000_000_000,
 ];
 
-/// A metric identity: a dotted family name and at most one static label.
+/// A metric identity: a dotted family name and at most two static labels.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Key {
     /// Dotted family name, e.g. `"recovery.retrieval_us"`.
     pub name: &'static str,
     /// Optional `(label_key, label_value)` pair, e.g. `("tier", "local_cpu")`.
     pub label: Option<(&'static str, &'static str)>,
+    /// Optional second label pair, e.g. `("cell", "kill_mid_checkpoint:1")`.
+    /// Dynamic values (plan/seed cells) come from [`intern_label`].
+    pub label2: Option<(&'static str, &'static str)>,
 }
 
 impl Key {
     /// A label-free key.
     pub fn plain(name: &'static str) -> Key {
-        Key { name, label: None }
+        Key {
+            name,
+            label: None,
+            label2: None,
+        }
     }
 
     /// A key with one label.
@@ -43,16 +51,59 @@ impl Key {
         Key {
             name,
             label: Some((key, value)),
+            label2: None,
         }
     }
 
-    /// Human-readable form: `name` or `name{key="value"}`.
-    pub fn display(&self) -> String {
-        match self.label {
-            Some((k, v)) => format!("{}{{{}=\"{}\"}}", self.name, k, v),
-            None => self.name.to_string(),
+    /// A key with two labels.
+    pub fn labeled2(
+        name: &'static str,
+        key1: &'static str,
+        value1: &'static str,
+        key2: &'static str,
+        value2: &'static str,
+    ) -> Key {
+        Key {
+            name,
+            label: Some((key1, value1)),
+            label2: Some((key2, value2)),
         }
     }
+
+    /// All label pairs present, in declaration order.
+    pub fn label_pairs(&self) -> Vec<(&'static str, &'static str)> {
+        self.label.into_iter().chain(self.label2).collect()
+    }
+
+    /// Human-readable form: `name`, `name{key="value"}` or
+    /// `name{k1="v1",k2="v2"}`.
+    pub fn display(&self) -> String {
+        let pairs = self.label_pairs();
+        if pairs.is_empty() {
+            return self.name.to_string();
+        }
+        let body: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+}
+
+/// Interns a dynamic label value (e.g. a `plan:seed` campaign cell) into a
+/// `&'static str` usable in a [`Key`]. Each distinct string is leaked once
+/// and reused afterwards; the working set is bounded by the catalog × seed
+/// matrix, so the leak is a deliberate, bounded cost.
+pub fn intern_label(value: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let set = INTERNED.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut set = set.lock().expect("label interner poisoned");
+    if let Some(existing) = set.get(value) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(value.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
 }
 
 /// A histogram over `u64` samples with caller-fixed bucket bounds.
@@ -340,12 +391,19 @@ fn sanitize(name: &str) -> String {
 }
 
 fn labels(key: &Key, extra: Option<(&str, &str)>) -> String {
-    match (key.label, extra) {
-        (None, None) => String::new(),
-        (Some((k, v)), None) => format!("{{{k}=\"{v}\"}}"),
-        (None, Some((k, v))) => format!("{{{k}=\"{v}\"}}"),
-        (Some((k1, v1)), Some((k2, v2))) => format!("{{{k1}=\"{v1}\",{k2}=\"{v2}\"}}"),
+    let mut pairs: Vec<(&str, &str)> = key
+        .label_pairs()
+        .into_iter()
+        .map(|(k, v)| (k, v))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push((k, v));
     }
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", body.join(","))
 }
 
 #[cfg(test)]
@@ -431,6 +489,30 @@ mod tests {
             let (_, value) = line.rsplit_once(' ').expect("sample line");
             value.parse::<f64>().expect("numeric sample value");
         }
+    }
+
+    #[test]
+    fn two_label_keys_render_everywhere() {
+        let cell = intern_label("kill_mid_checkpoint:1");
+        assert_eq!(cell, "kill_mid_checkpoint:1");
+        // Interning the same value twice returns the same pointer.
+        assert!(std::ptr::eq(cell, intern_label("kill_mid_checkpoint:1")));
+        let key = Key::labeled2("chaos.replacement_retries", "class", "hardware", "cell", cell);
+        assert_eq!(
+            key.display(),
+            "chaos.replacement_retries{class=\"hardware\",cell=\"kill_mid_checkpoint:1\"}"
+        );
+        let mut m = MetricsRegistry::new();
+        m.counter_add(key, 3);
+        m.observe_with(Key::labeled2("a.us", "x", "1", "y", "2"), 5, &[10]);
+        let text = m.to_prometheus();
+        assert!(text.contains(
+            "chaos_replacement_retries{class=\"hardware\",cell=\"kill_mid_checkpoint:1\"} 3"
+        ));
+        assert!(text.contains("a_us_bucket{x=\"1\",y=\"2\",le=\"10\"} 1"));
+        assert!(m.to_json().contains(
+            "chaos.replacement_retries{class=\\\"hardware\\\",cell=\\\"kill_mid_checkpoint:1\\\"}"
+        ));
     }
 
     #[test]

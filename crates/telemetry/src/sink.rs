@@ -8,8 +8,9 @@
 //! telemetry is off — the same contract as [`gemini_sim::TraceLog`].
 
 use crate::event::{TelemetryEvent, TimedEvent};
+use crate::incident::{CausalEvent, FlightRecorder};
 use crate::metrics::{Key, MetricsRegistry};
-use crate::spans::{SpanRecord, SpanTracker};
+use crate::spans::{FlowPhase, FlowRecord, SpanRecord, SpanTracker};
 use gemini_sim::SimTime;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -20,6 +21,8 @@ struct Inner {
     events: Vec<TimedEvent>,
     metrics: MetricsRegistry,
     spans: SpanTracker,
+    flows: Vec<FlowRecord>,
+    flight: FlightRecorder,
 }
 
 /// A handle onto a span opened with [`TelemetrySink::span_begin`].
@@ -177,6 +180,19 @@ impl TelemetrySink {
         });
     }
 
+    /// Increments a counter under an arbitrary [`Key`] (use for two-label
+    /// or interned-label keys).
+    pub fn counter_add_key(&self, key: Key, delta: u64) {
+        self.with_inner(|inner| inner.metrics.counter_add(key, delta));
+    }
+
+    /// Records a microsecond sample under an arbitrary [`Key`], with
+    /// caller-chosen bucket bounds. The closure is only evaluated on an
+    /// enabled sink.
+    pub fn observe_us_key(&self, key: Key, bounds: &[u64], value: impl FnOnce() -> u64) {
+        self.with_inner(|inner| inner.metrics.observe_with(key, value(), bounds));
+    }
+
     /// Runs a closure against the metrics registry (enabled sinks only).
     /// Escape hatch for custom bounds or direct reads.
     pub fn with_metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> Option<R> {
@@ -228,12 +244,63 @@ impl TelemetrySink {
             .unwrap_or_default()
     }
 
+    // ---------------------------------------- flows & flight recorder ----
+
+    /// Records one hop of a flow arrow (rendered in `chrome://tracing` as
+    /// an arrow chaining hops that share `id`). The name closure is only
+    /// evaluated on an enabled sink.
+    pub fn flow(
+        &self,
+        track: &'static str,
+        name: impl FnOnce() -> String,
+        id: u64,
+        at: SimTime,
+        phase: FlowPhase,
+    ) {
+        self.with_inner(|inner| {
+            inner.flows.push(FlowRecord {
+                track,
+                name: name(),
+                id,
+                at,
+                phase,
+            });
+        });
+    }
+
+    /// All recorded flow hops, in recording order.
+    pub fn flows(&self) -> Vec<FlowRecord> {
+        self.with_inner(|inner| inner.flows.clone())
+            .unwrap_or_default()
+    }
+
+    /// Appends a causal event to the flight recorder's ring buffer. The
+    /// closure building the event is only evaluated on an enabled sink.
+    pub fn causal(&self, make: impl FnOnce() -> CausalEvent) {
+        self.with_inner(|inner| inner.flight.push(make()));
+    }
+
+    /// The flight recorder's current contents, oldest first.
+    pub fn causal_events(&self) -> Vec<CausalEvent> {
+        self.with_inner(|inner| inner.flight.events())
+            .unwrap_or_default()
+    }
+
+    /// Causal events evicted from the ring so far.
+    pub fn causal_dropped(&self) -> u64 {
+        self.with_inner(|inner| inner.flight.dropped())
+            .unwrap_or(0)
+    }
+
     // ----------------------------------------------------------- exports ----
 
-    /// Chrome trace-event JSON covering all closed spans and events.
+    /// Chrome trace-event JSON covering all closed spans, instant events
+    /// and flow arrows.
     pub fn export_chrome_trace(&self) -> String {
-        self.with_inner(|inner| crate::export::chrome_trace(inner.spans.closed(), &inner.events))
-            .unwrap_or_else(|| crate::export::chrome_trace(&[], &[]))
+        self.with_inner(|inner| {
+            crate::export::chrome_trace(inner.spans.closed(), &inner.events, &inner.flows)
+        })
+        .unwrap_or_else(|| crate::export::chrome_trace(&[], &[], &[]))
     }
 
     /// Prometheus text exposition of the metrics registry.
@@ -323,6 +390,59 @@ mod tests {
         let doc = sink.export_chrome_trace();
         assert!(doc.contains("\"name\":\"retrieval\""));
         assert!(doc.contains("\"name\":\"flush\""));
+    }
+
+    #[test]
+    fn flows_and_causal_events_ride_the_sink() {
+        use crate::incident::{CausalEvent, CausalKind};
+        let sink = TelemetrySink::enabled();
+        sink.flow(
+            "incident",
+            || "incident-0".to_string(),
+            0,
+            t(100),
+            FlowPhase::Start,
+        );
+        sink.flow(
+            "incident",
+            || "incident-0".to_string(),
+            0,
+            t(200),
+            FlowPhase::End,
+        );
+        sink.causal(|| CausalEvent {
+            incident: Some(0),
+            at: t(150),
+            kind: CausalKind::RetrievalDone,
+        });
+        assert_eq!(sink.flows().len(), 2);
+        assert_eq!(sink.causal_events().len(), 1);
+        assert_eq!(sink.causal_dropped(), 0);
+        let doc = sink.export_chrome_trace();
+        assert!(doc.contains("\"ph\":\"s\""));
+        assert!(doc.contains("\"ph\":\"f\""));
+
+        let off = TelemetrySink::disabled();
+        off.flow("incident", || panic!("flow closure evaluated"), 0, t(0), FlowPhase::Start);
+        off.causal(|| panic!("causal closure evaluated"));
+        assert!(off.flows().is_empty());
+        assert!(off.causal_events().is_empty());
+    }
+
+    #[test]
+    fn key_based_metrics_record_two_label_series() {
+        let sink = TelemetrySink::enabled();
+        let key = Key::labeled2("chaos.replacement_retries", "class", "hardware", "cell", "p:1");
+        sink.counter_add_key(key, 2);
+        sink.observe_us_key(Key::labeled("chaos.detection_latency_us", "plan", "p"), &[10], || 5);
+        let m = sink.metrics_snapshot();
+        assert_eq!(m.counter(key), 2);
+        assert_eq!(
+            m.histogram(Key::labeled("chaos.detection_latency_us", "plan", "p"))
+                .unwrap()
+                .count(),
+            1
+        );
     }
 
     #[test]

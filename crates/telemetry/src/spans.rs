@@ -28,6 +28,48 @@ impl SpanRecord {
     }
 }
 
+/// Which leg of a flow arrow a [`FlowRecord`] marks.
+///
+/// Chrome trace flow events chain `"s"` (start) → `"t"` (step) → `"f"`
+/// (finish) records sharing an id into one arrow across tracks — exactly
+/// how an incident's causal chain renders in `chrome://tracing`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FlowPhase {
+    /// The arrow's origin (`"ph":"s"`).
+    Start,
+    /// An intermediate hop (`"ph":"t"`).
+    Step,
+    /// The arrow's terminus (`"ph":"f"`).
+    End,
+}
+
+impl FlowPhase {
+    /// The Chrome trace `ph` value.
+    pub fn ph(&self) -> &'static str {
+        match self {
+            FlowPhase::Start => "s",
+            FlowPhase::Step => "t",
+            FlowPhase::End => "f",
+        }
+    }
+}
+
+/// One hop of a flow arrow: a named point on a track at a time, tied to
+/// other hops by `id`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// The subsystem track (Chrome trace thread) the hop sits on.
+    pub track: &'static str,
+    /// Human-readable hop name (constant across a flow for clean arrows).
+    pub name: String,
+    /// The flow id shared by every hop of one arrow.
+    pub id: u64,
+    /// When the hop happened.
+    pub at: SimTime,
+    /// Which leg this hop is.
+    pub phase: FlowPhase,
+}
+
 /// An open span awaiting its end time.
 #[derive(Clone, Debug)]
 struct OpenSpan {

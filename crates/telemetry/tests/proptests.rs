@@ -62,18 +62,22 @@ proptest! {
             Key {
                 name: "recovery.retrieval_us",
                 label: Some(("tier", "local_cpu")),
+                label2: None,
             },
             Key {
                 name: "recovery.retrieval_us",
                 label: Some(("tier", "remote_cpu")),
+                label2: Some(("cell", "kill_mid_checkpoint:1")),
             },
             Key {
                 name: "ckpt.stall_us",
                 label: None,
+                label2: None,
             },
             Key {
                 name: "net.transfer_queue_us",
                 label: None,
+                label2: None,
             },
         ];
         let mut m = MetricsRegistry::new();

@@ -4,7 +4,8 @@
 
 use gemini_core::recovery::RecoveryCase;
 use gemini_harness::{run_chaos_campaign, ChaosPlan, Scenario};
-use gemini_telemetry::TelemetrySink;
+use gemini_sim::SimDuration;
+use gemini_telemetry::{CausalKind, TelemetrySink};
 
 const SEEDS: [u64; 3] = [1, 2, 3];
 
@@ -127,4 +128,90 @@ fn hardened_paths_exercise_retry_and_degradation() {
     assert_eq!(partition.waves.len(), 1);
     assert!(partition.waves[0].degraded.is_some());
     assert_eq!(partition.waves[0].case, RecoveryCase::PersistentFallback);
+}
+
+#[test]
+fn shared_sink_counters_stay_cell_scoped_across_runs() {
+    // Label hygiene: two Scenario runs recording into one sink must not
+    // collapse their run counters into a single cell — each run's counts
+    // stay attributable under its own `cell="{plan}:{seed}"` label.
+    use gemini_telemetry::{intern_label, Key};
+    let sink = TelemetrySink::enabled();
+    for seed in [1u64, 2] {
+        Scenario::chaos(ChaosPlan::kill_mid_checkpoint())
+            .seed(seed)
+            .sink(sink.clone())
+            .run()
+            .unwrap();
+    }
+    let snap = sink.metrics_snapshot();
+    for seed in [1u64, 2] {
+        let cell = intern_label(&format!("kill_mid_checkpoint:{seed}"));
+        assert_eq!(
+            snap.counter(Key::labeled("chaos.runs", "cell", cell)),
+            1,
+            "seed {seed}: chaos.runs not cell-scoped"
+        );
+        assert_eq!(
+            snap.counter(Key::labeled("chaos.faults", "cell", cell)),
+            1,
+            "seed {seed}: chaos.faults not cell-scoped"
+        );
+        assert_eq!(
+            snap.counter(Key::labeled("chaos.waves", "cell", cell)),
+            1,
+            "seed {seed}: chaos.waves not cell-scoped"
+        );
+    }
+    // No un-labelled fallback cell silently aggregating across runs.
+    assert_eq!(snap.counter(Key::plain("chaos.runs")), 0);
+    assert_eq!(snap.counter(Key::plain("chaos.faults")), 0);
+}
+
+#[test]
+fn detection_latency_respects_the_confirmation_bound_on_every_plan() {
+    // Worst case for a clean fault: up to one heartbeat period (5s) before
+    // the last beat ages, the 15s health TTL, then 7 one-second
+    // confirmation scans — comfortably under 30s. Plans that *delay*
+    // heartbeats (delayed_heartbeats, root_churn mutes) can stretch the
+    // confirmed timestamp but never past the churn-mute ceiling, so the
+    // bound still holds; a regression in the detector (longer streak,
+    // slower scans, missed TTL expiry) pushes past it.
+    let bound = SimDuration::from_secs(30);
+    for plan in ChaosPlan::catalog() {
+        let sink = TelemetrySink::enabled();
+        let report = Scenario::chaos(plan.clone())
+            .seed(1)
+            .sink(sink.clone())
+            .run()
+            .unwrap();
+        let mut confirmed = 0usize;
+        for ev in &report.trace {
+            if let CausalKind::Confirmed { rank, latency } = &ev.kind {
+                confirmed += 1;
+                assert!(
+                    *latency <= bound,
+                    "plan {} rank {rank}: detection took {latency} (> {bound})",
+                    plan.name
+                );
+            }
+        }
+        assert!(
+            confirmed > 0,
+            "plan {}: no Confirmed events in the causal trace",
+            plan.name
+        );
+        // The same latencies are exported as a per-plan histogram.
+        let prom = sink.export_prometheus();
+        assert!(
+            prom.contains("chaos_detection_latency_us"),
+            "plan {}: detection-latency histogram missing from export",
+            plan.name
+        );
+        assert!(
+            prom.contains(&format!("plan=\"{}\"", plan.name)),
+            "plan {}: histogram not labelled with the plan name",
+            plan.name
+        );
+    }
 }
