@@ -32,9 +32,12 @@ fn main() {
         .unwrap_or_else(|e| fail(&format!("{e}; see --list")));
     let seeds = cli.seeds_or(&[1, 2, 3]);
 
-    let catalog = ChaosPlan::catalog();
+    // `--list` and `--plan` resolve against the extended catalog (which
+    // adds the 10k-machine fleet plan); a bare run sweeps the paper-scale
+    // catalog only, keeping the default campaign matrix identical.
+    let extended = ChaosPlan::extended_catalog();
     if list {
-        for p in &catalog {
+        for p in &extended {
             println!("{}", p.name);
         }
         return;
@@ -42,13 +45,13 @@ fn main() {
 
     let plans: Vec<ChaosPlan> = match &plan_name {
         Some(name) => {
-            let plan = catalog
+            let plan = extended
                 .iter()
                 .find(|p| &p.name == name)
                 .unwrap_or_else(|| fail(&format!("unknown plan {name:?}; see --list")));
             vec![plan.clone()]
         }
-        None => catalog,
+        None => ChaosPlan::catalog(),
     };
 
     let mut violations = 0usize;

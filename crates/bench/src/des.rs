@@ -31,6 +31,13 @@ pub enum DesWorkload {
     HeavyCancel,
     /// RNG-driven chaos-plan-shaped mix with run/resume segments.
     ChaosReplay,
+    /// 10,000 machines' heartbeat/timeout chains spanning one simulated
+    /// month — the fleet-scale frontier workload for the `scale` report
+    /// section. Not part of [`DesWorkload::ALL`]: it parameterizes its
+    /// timer period from the event budget so the simulated clock crosses
+    /// the month regardless of budget, which makes its fingerprint
+    /// budget-dependent in a way the three bracket workloads are not.
+    FleetMonth,
 }
 
 impl DesWorkload {
@@ -47,9 +54,16 @@ impl DesWorkload {
             DesWorkload::DenseTimers => "dense_timers",
             DesWorkload::HeavyCancel => "heavy_cancel",
             DesWorkload::ChaosReplay => "chaos_replay",
+            DesWorkload::FleetMonth => "fleet_month",
         }
     }
 }
+
+/// Machines in the [`DesWorkload::FleetMonth`] fleet.
+pub const FLEET_MACHINES: usize = 10_000;
+
+/// Simulated span the fleet workload must cross, in nanoseconds (30 days).
+pub const FLEET_MONTH_NS: u64 = 30 * 24 * 3600 * 1_000_000_000;
 
 /// Everything observable about a finished workload run. Equal fingerprints
 /// across backends mean the run being timed is also the run being verified.
@@ -230,6 +244,73 @@ fn run_chaos_replay(backend: QueueBackend, events: u64) -> DesFingerprint {
     }
 }
 
+// ---------------------------------------------------------- fleet month ----
+
+struct FleetMonth {
+    armed: Vec<Option<EventHandle>>,
+    period: u64,
+    checksum: u64,
+}
+
+impl Model for FleetMonth {
+    type Event = Hb;
+    fn handle(&mut self, ctx: &mut Context<'_, Hb>, ev: Hb) {
+        match ev {
+            Hb::Beat(p) => {
+                self.checksum = mix(self.checksum, (p as u64) ^ ctx.now().as_nanos());
+                // Re-arm the machine's failure timeout (cancelling the old
+                // one — the heavy-cancel shape the harness's health TTLs
+                // put through the wheel) and schedule the next heartbeat.
+                if let Some(h) = self.armed[p].take() {
+                    let hit = ctx.cancel(h);
+                    self.checksum = mix(self.checksum, hit as u64);
+                }
+                let timeout = self.period.saturating_mul(3);
+                self.armed[p] =
+                    Some(ctx.schedule_after(SimDuration::from_nanos(timeout), Hb::Timeout(p)));
+                // A sub-microsecond per-machine stagger keeps the rounds
+                // from collapsing into one wheel slot without perturbing
+                // the month-crossing arithmetic.
+                let dt = self.period + (p as u64 % 97);
+                ctx.schedule_after(SimDuration::from_nanos(dt), Hb::Beat(p));
+            }
+            Hb::Timeout(p) => {
+                // Only reachable if a beat round was starved past 3 periods,
+                // which the budget arithmetic rules out — but stay honest in
+                // the fingerprint if it ever happens.
+                self.armed[p] = None;
+                self.checksum = mix(self.checksum, 0xfee7 ^ p as u64);
+            }
+        }
+    }
+}
+
+fn run_fleet_month(backend: QueueBackend, events: u64) -> DesFingerprint {
+    let events = events.max(FLEET_MACHINES as u64);
+    // Tune the heartbeat period so the processed-event budget carries the
+    // simulated clock across one month: each machine beats
+    // `events / FLEET_MACHINES` times, the last beat landing at
+    // `(beats - 1) * period >= FLEET_MONTH_NS`.
+    let beats = events / FLEET_MACHINES as u64;
+    let period = FLEET_MONTH_NS.div_ceil(beats.saturating_sub(1).max(1));
+    let mut engine = Engine::new_with_backend(99, backend);
+    let mut model = FleetMonth {
+        armed: vec![None; FLEET_MACHINES],
+        period,
+        checksum: 0,
+    };
+    for p in 0..FLEET_MACHINES {
+        engine.prime_at(SimTime::from_nanos((p as u64) * 13), Hb::Beat(p));
+    }
+    engine.run(&mut model, None, events);
+    DesFingerprint {
+        processed: engine.processed(),
+        now_ns: engine.now().as_nanos(),
+        checksum: model.checksum,
+        pending: engine.pending_events(),
+    }
+}
+
 // -------------------------------------------------------------- driver ----
 
 /// Runs `workload` on `backend`, processing (up to) `events` events.
@@ -238,6 +319,7 @@ pub fn run_des(workload: DesWorkload, backend: QueueBackend, events: u64) -> Des
         DesWorkload::DenseTimers => run_dense_timers(backend, events),
         DesWorkload::HeavyCancel => run_heavy_cancel(backend, events),
         DesWorkload::ChaosReplay => run_chaos_replay(backend, events),
+        DesWorkload::FleetMonth => run_fleet_month(backend, events),
     }
 }
 
@@ -263,5 +345,22 @@ mod tests {
             .collect();
         assert_ne!(fps[0], fps[1]);
         assert_ne!(fps[1], fps[2]);
+    }
+
+    #[test]
+    fn fleet_month_backends_agree_and_cross_the_month() {
+        let events = 200_000u64; // 20 beats per machine
+        let wheel = run_des(DesWorkload::FleetMonth, QueueBackend::TimingWheel, events);
+        let heap = run_des(DesWorkload::FleetMonth, QueueBackend::ReferenceHeap, events);
+        assert_eq!(wheel, heap, "fleet fingerprint mismatch across backends");
+        assert_eq!(wheel.processed, events, "budget is exact");
+        assert!(
+            wheel.now_ns >= FLEET_MONTH_NS,
+            "simulated clock stopped at {} ns, short of one month ({} ns)",
+            wheel.now_ns,
+            FLEET_MONTH_NS
+        );
+        // Every machine stays live: its re-armed failure timeout is pending.
+        assert!(wheel.pending >= FLEET_MACHINES, "machines dropped out");
     }
 }

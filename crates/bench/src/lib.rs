@@ -26,5 +26,5 @@ pub mod des;
 pub mod out;
 
 pub use cli::BenchCli;
-pub use des::{run_des, DesFingerprint, DesWorkload};
+pub use des::{run_des, DesFingerprint, DesWorkload, FLEET_MACHINES, FLEET_MONTH_NS};
 pub use out::TelemetryArgs;

@@ -1,8 +1,25 @@
 //! The training cluster: `N` ranked machines of one instance type.
+//!
+//! # Struct-of-arrays layout
+//!
+//! The cluster's hot state is stored as flat per-field lanes (`ids`,
+//! `health`, `joined_at`, `ckpt_mem_used`) indexed by rank, not as a
+//! `Vec<Machine>` of per-machine structs. The fleet-scale chaos and DES
+//! paths scan *one* field across *all* ranks (health sweeps, liveness
+//! censuses) thousands of times per simulated second; a lane scan touches
+//! `N × 1` field worth of cache lines instead of `N × sizeof(Machine)`,
+//! which is what keeps a 10 000-machine month-long run inside the DES
+//! event budget. Aggregate counts (`healthy`, `cpu_intact`) are maintained
+//! incrementally on every health transition, so the common "is everyone
+//! up / how many survivors" queries are O(1).
+//!
+//! [`Machine`] remains the assembled per-rank *view* ([`Cluster::machine`]
+//! returns it by value); nothing outside this module depends on the
+//! storage layout.
 
 use crate::catalog::InstanceType;
 use crate::machine::{FailureKind, HealthState, Machine, MachineId};
-use gemini_net::{Fabric, FabricConfig};
+use gemini_net::{ByteSize, Fabric, FabricConfig};
 use gemini_sim::SimTime;
 
 /// Errors from cluster operations.
@@ -28,23 +45,37 @@ impl core::fmt::Display for ClusterError {
 impl std::error::Error for ClusterError {}
 
 /// A static, synchronous training cluster (the setting GEMINI targets, §1:
-/// fixed computation resources, all ranks advance in lockstep).
+/// fixed computation resources, all ranks advance in lockstep), stored as
+/// struct-of-arrays (see the module docs).
 #[derive(Clone, Debug)]
 pub struct Cluster {
     instance: &'static InstanceType,
-    machines: Vec<Machine>,
+    /// Identity lane: the physical machine currently holding each rank.
+    ids: Vec<MachineId>,
+    /// Health lane — the hottest field; scanned by censuses and sweeps.
+    health: Vec<HealthState>,
+    /// When the physical machine at each rank joined the job.
+    joined_at: Vec<SimTime>,
+    /// Checkpoint-replica bytes resident in each rank's CPU memory.
+    ckpt_mem_used: Vec<ByteSize>,
+    /// Count cache: ranks with `health.is_healthy()`.
+    healthy: usize,
+    /// Count cache: ranks with `health.cpu_memory_intact()`.
+    cpu_intact: usize,
     next_id: u64,
 }
 
 impl Cluster {
     /// Creates a cluster of `n` healthy machines.
     pub fn new(instance: &'static InstanceType, n: usize) -> Self {
-        let machines = (0..n)
-            .map(|rank| Machine::new(MachineId(rank as u64), rank, instance, SimTime::ZERO))
-            .collect();
         Cluster {
             instance,
-            machines,
+            ids: (0..n).map(|rank| MachineId(rank as u64)).collect(),
+            health: vec![HealthState::Healthy; n],
+            joined_at: vec![SimTime::ZERO; n],
+            ckpt_mem_used: vec![ByteSize::ZERO; n],
+            healthy: n,
+            cpu_intact: n,
             next_id: n as u64,
         }
     }
@@ -56,72 +87,118 @@ impl Cluster {
 
     /// Number of ranks (constant for the lifetime of the job).
     pub fn len(&self) -> usize {
-        self.machines.len()
+        self.health.len()
     }
 
     /// Whether the cluster has no machines.
     pub fn is_empty(&self) -> bool {
-        self.machines.is_empty()
+        self.health.is_empty()
     }
 
     /// Total number of GPUs (the world size of ZeRO-3).
     pub fn world_size(&self) -> usize {
-        self.machines.len() * self.instance.gpus as usize
+        self.health.len() * self.instance.gpus as usize
     }
 
-    /// All machines in rank order.
-    pub fn machines(&self) -> &[Machine] {
-        &self.machines
+    /// The health lane, indexed by rank — the raw SoA view for hot scans.
+    pub fn health_lane(&self) -> &[HealthState] {
+        &self.health
     }
 
-    /// The machine at `rank`.
-    pub fn machine(&self, rank: usize) -> Result<&Machine, ClusterError> {
-        self.machines
-            .get(rank)
-            .ok_or(ClusterError::UnknownRank(rank))
+    /// The identity lane, indexed by rank.
+    pub fn id_lane(&self) -> &[MachineId] {
+        &self.ids
     }
 
-    /// Mutable access to the machine at `rank`.
-    pub fn machine_mut(&mut self, rank: usize) -> Result<&mut Machine, ClusterError> {
-        self.machines
-            .get_mut(rank)
-            .ok_or(ClusterError::UnknownRank(rank))
+    /// All machines in rank order, assembled from the lanes. Cold-path
+    /// convenience (reports, tests) — hot paths use the lane accessors.
+    pub fn machines(&self) -> Vec<Machine> {
+        (0..self.len()).map(|r| self.assemble(r)).collect()
+    }
+
+    /// The machine at `rank`, assembled by value from the lanes.
+    pub fn machine(&self, rank: usize) -> Result<Machine, ClusterError> {
+        if rank >= self.len() {
+            return Err(ClusterError::UnknownRank(rank));
+        }
+        Ok(self.assemble(rank))
+    }
+
+    fn assemble(&self, rank: usize) -> Machine {
+        Machine {
+            id: self.ids[rank],
+            rank,
+            health: self.health[rank],
+            joined_at: self.joined_at[rank],
+            cpu_mem: self.instance.cpu_mem,
+            ckpt_mem_used: self.ckpt_mem_used[rank],
+        }
     }
 
     /// Ranks that are currently healthy.
     pub fn healthy_ranks(&self) -> Vec<usize> {
-        self.machines
-            .iter()
-            .filter(|m| m.health.is_healthy())
-            .map(|m| m.rank)
-            .collect()
+        let mut out = Vec::with_capacity(self.healthy);
+        out.extend(
+            self.health
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.is_healthy())
+                .map(|(r, _)| r),
+        );
+        out
     }
 
     /// Ranks whose CPU memory (and thus in-memory checkpoints) is intact.
     pub fn cpu_intact_ranks(&self) -> Vec<usize> {
-        self.machines
-            .iter()
-            .filter(|m| m.health.cpu_memory_intact())
-            .map(|m| m.rank)
-            .collect()
+        let mut out = Vec::with_capacity(self.cpu_intact);
+        out.extend(
+            self.health
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.cpu_memory_intact())
+                .map(|(r, _)| r),
+        );
+        out
     }
 
-    /// Whether every rank is healthy (training can proceed).
+    /// Number of healthy ranks — O(1) from the count cache.
+    pub fn healthy_count(&self) -> usize {
+        self.healthy
+    }
+
+    /// Number of ranks with intact CPU memory — O(1) from the count cache.
+    pub fn cpu_intact_count(&self) -> usize {
+        self.cpu_intact
+    }
+
+    /// Whether every rank is healthy (training can proceed). O(1).
     pub fn all_healthy(&self) -> bool {
-        self.machines.iter().all(|m| m.health.is_healthy())
+        self.healthy == self.len()
+    }
+
+    /// Sets `rank`'s health, keeping the aggregate counts in step.
+    fn set_health(&mut self, rank: usize, new: HealthState) {
+        let old = std::mem::replace(&mut self.health[rank], new);
+        self.healthy = self.healthy + new.is_healthy() as usize - old.is_healthy() as usize;
+        self.cpu_intact =
+            self.cpu_intact + new.cpu_memory_intact() as usize - old.cpu_memory_intact() as usize;
     }
 
     /// Marks `rank` failed with the given kind.
     pub fn fail(&mut self, rank: usize, kind: FailureKind) -> Result<(), ClusterError> {
-        let m = self.machine_mut(rank)?;
-        m.health = HealthState::Failed(kind);
+        if rank >= self.len() {
+            return Err(ClusterError::UnknownRank(rank));
+        }
+        self.set_health(rank, HealthState::Failed(kind));
         Ok(())
     }
 
     /// Marks `rank` as awaiting a replacement machine.
     pub fn begin_replacement(&mut self, rank: usize) -> Result<(), ClusterError> {
-        let m = self.machine_mut(rank)?;
-        m.health = HealthState::Replacing;
+        if rank >= self.len() {
+            return Err(ClusterError::UnknownRank(rank));
+        }
+        self.set_health(rank, HealthState::Replacing);
         Ok(())
     }
 
@@ -132,30 +209,58 @@ impl Cluster {
         rank: usize,
         now: SimTime,
     ) -> Result<MachineId, ClusterError> {
-        if rank >= self.machines.len() {
+        if rank >= self.len() {
             return Err(ClusterError::UnknownRank(rank));
         }
-        if self.machines[rank].health != HealthState::Replacing {
+        if self.health[rank] != HealthState::Replacing {
             return Err(ClusterError::NotReplacing(rank));
         }
         let id = MachineId(self.next_id);
         self.next_id += 1;
-        self.machines[rank] = Machine::new(id, rank, self.instance, now);
+        self.ids[rank] = id;
+        self.joined_at[rank] = now;
+        self.ckpt_mem_used[rank] = ByteSize::ZERO;
+        self.set_health(rank, HealthState::Healthy);
         Ok(id)
     }
 
     /// Restarts the training process on a software-failed machine (no
     /// hardware change, CPU memory intact).
     pub fn restart(&mut self, rank: usize) -> Result<(), ClusterError> {
-        let m = self.machine_mut(rank)?;
-        m.health = HealthState::Healthy;
+        if rank >= self.len() {
+            return Err(ClusterError::UnknownRank(rank));
+        }
+        self.set_health(rank, HealthState::Healthy);
+        Ok(())
+    }
+
+    /// Accounts for storing `size` of checkpoint data in `rank`'s CPU
+    /// memory; returns `Ok(false)` (and stores nothing) if it does not fit.
+    pub fn store_ckpt(&mut self, rank: usize, size: ByteSize) -> Result<bool, ClusterError> {
+        if rank >= self.len() {
+            return Err(ClusterError::UnknownRank(rank));
+        }
+        let free = self.instance.cpu_mem.saturating_sub(self.ckpt_mem_used[rank]);
+        if size > free {
+            return Ok(false);
+        }
+        self.ckpt_mem_used[rank] += size;
+        Ok(true)
+    }
+
+    /// Releases `size` of checkpoint data from `rank`'s CPU memory.
+    pub fn release_ckpt(&mut self, rank: usize, size: ByteSize) -> Result<(), ClusterError> {
+        if rank >= self.len() {
+            return Err(ClusterError::UnknownRank(rank));
+        }
+        self.ckpt_mem_used[rank] = self.ckpt_mem_used[rank].saturating_sub(size);
         Ok(())
     }
 
     /// The fabric configuration for checkpoint traffic on this cluster.
     pub fn ckpt_fabric_config(&self) -> FabricConfig {
         FabricConfig {
-            machines: self.machines.len(),
+            machines: self.len(),
             network: self.instance.ckpt_net_cost(),
             copy: self.instance.copy_cost(),
         }
@@ -182,6 +287,8 @@ mod tests {
         assert_eq!(c.world_size(), 128);
         assert!(c.all_healthy());
         assert_eq!(c.healthy_ranks().len(), 16);
+        assert_eq!(c.healthy_count(), 16);
+        assert_eq!(c.cpu_intact_count(), 16);
     }
 
     #[test]
@@ -190,8 +297,10 @@ mod tests {
         c.fail(2, FailureKind::Software).unwrap();
         assert!(!c.all_healthy());
         assert_eq!(c.healthy_ranks(), vec![0, 1, 3]);
+        assert_eq!(c.healthy_count(), 3);
         // Software failure: CPU memory still intact on all machines.
         assert_eq!(c.cpu_intact_ranks().len(), 4);
+        assert_eq!(c.cpu_intact_count(), 4);
         c.restart(2).unwrap();
         assert!(c.all_healthy());
     }
@@ -201,6 +310,8 @@ mod tests {
         let mut c = cluster(4);
         c.fail(1, FailureKind::Hardware).unwrap();
         assert_eq!(c.cpu_intact_ranks(), vec![0, 2, 3]);
+        assert_eq!(c.cpu_intact_count(), 3);
+        assert_eq!(c.health_lane()[1], HealthState::Failed(FailureKind::Hardware));
     }
 
     #[test]
@@ -215,6 +326,7 @@ mod tests {
         assert_eq!(m.rank, 3);
         assert!(m.health.is_healthy());
         assert_eq!(m.joined_at, SimTime::from_secs(300));
+        assert_eq!(c.id_lane()[3], new_id);
     }
 
     #[test]
@@ -235,6 +347,56 @@ mod tests {
         let mut c = cluster(2);
         assert!(c.fail(5, FailureKind::Software).is_err());
         assert!(c.machine(5).is_err());
+        assert!(c.store_ckpt(5, ByteSize::from_gb(1)).is_err());
+    }
+
+    #[test]
+    fn ckpt_accounting_tracks_per_rank_lane() {
+        let mut c = cluster(2);
+        assert!(c.store_ckpt(0, ByteSize::from_gb(100)).unwrap());
+        assert_eq!(c.machine(0).unwrap().ckpt_mem_used, ByteSize::from_gb(100));
+        assert_eq!(c.machine(1).unwrap().ckpt_mem_used, ByteSize::ZERO);
+        // Overflow is rejected without storing anything.
+        assert!(!c.store_ckpt(0, ByteSize::from_gb(10_000)).unwrap());
+        c.release_ckpt(0, ByteSize::from_gb(40)).unwrap();
+        assert_eq!(c.machine(0).unwrap().ckpt_mem_used, ByteSize::from_gb(60));
+        // A hardware replacement wipes the rank's checkpoint memory.
+        c.fail(0, FailureKind::Hardware).unwrap();
+        c.begin_replacement(0).unwrap();
+        c.complete_replacement(0, SimTime::from_secs(60)).unwrap();
+        assert_eq!(c.machine(0).unwrap().ckpt_mem_used, ByteSize::ZERO);
+    }
+
+    #[test]
+    fn count_caches_stay_consistent_at_fleet_scale() {
+        // 10k ranks: churn a pseudo-random third of the fleet through
+        // every transition and check the caches against full lane scans.
+        let n = 10_000;
+        let mut c = cluster(n);
+        for i in 0..n / 3 {
+            let rank = (i * 7919) % n;
+            let kind = if i % 2 == 0 {
+                FailureKind::Software
+            } else {
+                FailureKind::Hardware
+            };
+            c.fail(rank, kind).unwrap();
+            match kind {
+                FailureKind::Software => c.restart(rank).unwrap(),
+                FailureKind::Hardware => {
+                    c.begin_replacement(rank).unwrap();
+                    if i % 3 == 0 {
+                        c.complete_replacement(rank, SimTime::from_secs(i as u64)).unwrap();
+                    }
+                }
+            }
+        }
+        assert_eq!(c.healthy_count(), c.healthy_ranks().len());
+        assert_eq!(c.cpu_intact_count(), c.cpu_intact_ranks().len());
+        assert_eq!(
+            c.all_healthy(),
+            c.health_lane().iter().all(|h| h.is_healthy())
+        );
     }
 
     #[test]

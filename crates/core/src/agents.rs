@@ -220,20 +220,23 @@ impl RootAgent {
     pub fn scan(&self, kv: &mut KvStore, now: SimTime, n: usize) -> ScanReport {
         let mut alive = Vec::new();
         let mut out_of_range = Vec::new();
-        let mut present = std::collections::BTreeSet::new();
-        for (_, v) in kv.range(now, HEALTH_PREFIX) {
+        let mut present = vec![false; n];
+        // The non-cloning visitor keeps the once-a-second scan allocation-
+        // free per key; a flat presence bitmap replaces the BTreeSet so the
+        // sweep stays O(n) at fleet scale.
+        kv.for_each_in_range(now, HEALTH_PREFIX, |_, v| {
             if let Some(h) = HealthStatus::decode(&v.value) {
                 // Only ranks in the expected set count as alive; a stale
                 // or foreign key must not inflate the membership view.
                 if h.rank < n {
                     alive.push(h.rank);
-                    present.insert(h.rank);
+                    present[h.rank] = true;
                 } else {
                     out_of_range.push(h.rank);
                 }
             }
-        }
-        let missing: Vec<usize> = (0..n).filter(|r| !present.contains(r)).collect();
+        });
+        let missing: Vec<usize> = (0..n).filter(|&r| !present[r]).collect();
         alive.sort_unstable();
         alive.dedup();
         out_of_range.sort_unstable();

@@ -19,6 +19,7 @@
 //! both avoids network traffic for that copy and enables instant recovery
 //! from software failures (§4, §6.2).
 
+pub mod analytic;
 pub mod probability;
 pub mod topology;
 

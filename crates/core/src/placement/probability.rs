@@ -17,7 +17,7 @@
 //! enumerated subset or Monte-Carlo trial for `N ≤ 128`.
 
 use crate::placement::Placement;
-use gemini_parallel::{par_map, shard_ranges};
+use gemini_parallel::{par_map_cost, shard_ranges, TaskCost};
 use gemini_sim::DetRng;
 use rand::RngCore;
 use std::collections::BTreeSet;
@@ -179,6 +179,28 @@ impl FatalSets {
         !self.masks.iter().any(|&s| s & failed == s)
     }
 
+    /// Batched cover test: how many of the eight failure masks are
+    /// survivable. Sweeps the fatal family once per *block* instead of once
+    /// per trial, giving the AND/compare units eight independent masks per
+    /// fatal set (the Monte-Carlo kernels process trials in blocks of 8
+    /// through this). Exactly equivalent to eight [`Self::recoverable`]
+    /// calls.
+    #[inline]
+    pub fn recoverable_batch8(&self, failed: &[u128; 8]) -> u32 {
+        let mut fatal_lanes = 0u32;
+        for &s in &self.masks {
+            let mut hits = 0u32;
+            for (lane, &f) in failed.iter().enumerate() {
+                hits |= ((s & f == s) as u32) << lane;
+            }
+            fatal_lanes |= hits;
+            if fatal_lanes == 0xff {
+                break; // every lane already fatal — nothing left to learn
+            }
+        }
+        8 - fatal_lanes.count_ones()
+    }
+
     /// Number of machines the masks are defined over.
     pub fn machines(&self) -> usize {
         self.machines
@@ -300,15 +322,30 @@ pub fn monte_carlo_recovery_probability_jobs(
     let root = DetRng::new(salt);
     let shards = shard_ranges(trials as usize, MC_SHARD_TRIALS);
     let fatal = FatalSets::from_placement(placement);
-    let tallies: Vec<u64> = par_map(jobs, shards.len(), |s| {
+    // Cost hint: a 4096-trial shard of mask tests runs in a few hundred
+    // microseconds, so one shard is never worth a thread but a real sweep
+    // (dozens of shards) is — the pool decides from here.
+    let tallies: Vec<u64> = par_map_cost(jobs, shards.len(), TaskCost::micros(200), |s| {
         let (start, end) = shards[s];
         let mut srng = root.fork_index(s as u64);
         let mut good = 0u64;
         match &fatal {
             Some(fatal) => {
                 // Fast path (N ≤ 128): mask sampling + mask cover test;
-                // no allocation inside this loop.
-                for _ in start..end {
+                // no allocation inside this loop. Trials run in blocks of
+                // 8 masks so one sweep of the fatal family covers eight
+                // trials ([`FatalSets::recoverable_batch8`]); the RNG draw
+                // order is identical to the scalar loop, so the estimate
+                // is bit-identical to it.
+                let total = end - start;
+                let mut masks = [0u128; 8];
+                for _ in 0..total / 8 {
+                    for m in masks.iter_mut() {
+                        *m = srng.sample_mask(n, k);
+                    }
+                    good += u64::from(fatal.recoverable_batch8(&masks));
+                }
+                for _ in 0..total % 8 {
                     if fatal.recoverable(srng.sample_mask(n, k)) {
                         good += 1;
                     }
@@ -356,6 +393,42 @@ pub fn monte_carlo_recovery_probability_reference(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batched_cover_test_matches_scalar() {
+        for (n, m) in [(9usize, 2usize), (16, 3), (25, 2), (128, 3)] {
+            let p = Placement::mixed(n, m).unwrap();
+            let fatal = FatalSets::from_placement(&p).unwrap();
+            let mut rng = DetRng::new(0x5eed ^ n as u64);
+            for k in [1usize, m, m + 1, n / 2] {
+                let mut masks = [0u128; 8];
+                for m in masks.iter_mut() {
+                    *m = rng.sample_mask(n, k);
+                }
+                let scalar = masks
+                    .iter()
+                    .filter(|&&f| fatal.recoverable(f))
+                    .count() as u32;
+                assert_eq!(fatal.recoverable_batch8(&masks), scalar, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_monte_carlo_is_bit_identical_to_any_jobs() {
+        // The block-of-8 kernel must not perturb the estimate: same draws,
+        // same tally, at every job count (serial included).
+        let p = Placement::ring(24, 2).unwrap();
+        let baseline = {
+            let mut rng = DetRng::new(77);
+            monte_carlo_recovery_probability_jobs(&p, 3, 10_000, &mut rng, 1)
+        };
+        for jobs in [2usize, 4, 8] {
+            let mut rng = DetRng::new(77);
+            let est = monte_carlo_recovery_probability_jobs(&p, 3, 10_000, &mut rng, jobs);
+            assert_eq!(est.to_bits(), baseline.to_bits(), "jobs={jobs}");
+        }
+    }
 
     #[test]
     fn binomial_basics() {

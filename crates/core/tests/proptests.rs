@@ -8,9 +8,10 @@ use gemini_core::pipeline::run_pipeline;
 use gemini_core::policy::{
     PolicyConfig, PolicyEngine, PolicyKnobs, PolicySignals, TierPreference,
 };
+use gemini_core::placement::analytic::analytic_recovery_probability;
 use gemini_core::placement::probability::{
-    corollary1_probability, exact_recovery_probability, host_sets_recovery_probability,
-    theorem1_gap_bound, theorem1_upper_bound,
+    binomial, corollary1_probability, exact_recovery_probability,
+    host_sets_recovery_probability, theorem1_gap_bound, theorem1_upper_bound,
 };
 use gemini_core::placement::topology::{rack_aware_mixed, Topology};
 use gemini_core::retention::{PersistentLedger, RetentionPolicy};
@@ -23,6 +24,45 @@ use std::collections::BTreeSet;
 
 fn nm_strategy() -> impl Strategy<Value = (usize, usize)> {
     (1usize..=48).prop_flat_map(|n| (Just(n), 1usize..=n.min(6)))
+}
+
+/// The slowest, most obviously correct estimator: walk every `k`-subset of
+/// `0..n` (lexicographic combination stepping) and ask
+/// `Placement::recoverable(&BTreeSet)`. Divides the same exact integers as
+/// the Gosper and analytic kernels, so agreement is bit-exact.
+fn btreeset_reference_probability(p: &Placement, k: usize) -> f64 {
+    let n = p.machines();
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    let mut good = 0u64;
+    let mut total = 0u64;
+    loop {
+        let failed: BTreeSet<usize> = idx.iter().copied().collect();
+        total += 1;
+        if p.recoverable(&failed) {
+            good += 1;
+        }
+        // Advance to the next combination, rightmost-movable first.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return good as f64 / total as f64;
+            }
+            i -= 1;
+            if idx[i] < n - (k - i) {
+                idx[i] += 1;
+                for j in i + 1..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
 }
 
 /// Baseline signals whose target is exactly [`PolicyKnobs::paper_default`]
@@ -88,6 +128,53 @@ proptest! {
         let set = &sets[pick.index(sets.len())];
         let failed: BTreeSet<usize> = set.iter().copied().collect();
         prop_assert!(!p.recoverable(&failed));
+    }
+
+    /// The differential contract of the analytic DP kernel: for every
+    /// placement with N ≤ 30 and k ≤ 7 — across mixed, group and ring
+    /// strategies — the DP kernel, the Gosper enumeration and (where the
+    /// subset count stays walkable) the BTreeSet reference agree on the
+    /// recovery probability *bit-exactly* as f64: all three divide the
+    /// same exact integer pair `good / C(N, k)`.
+    #[test]
+    fn analytic_gosper_and_btreeset_reference_agree_bit_exactly(
+        n in 1usize..=30,
+        m_seed in any::<prop::sample::Index>(),
+        k in 0usize..=7,
+    ) {
+        let m = 1 + m_seed.index(n.min(4));
+        let mut placements = vec![
+            Placement::mixed(n, m).unwrap(),
+            Placement::ring(n, m).unwrap(),
+        ];
+        if n % m == 0 {
+            placements.push(Placement::group(n, m).unwrap());
+        }
+        for p in &placements {
+            let analytic = analytic_recovery_probability(p, k);
+            if k > n {
+                // The enumerator declines k > N; the analytic kernel and
+                // the reference both call it a certain loss.
+                prop_assert_eq!(analytic, 0.0);
+                prop_assert_eq!(btreeset_reference_probability(p, k), 0.0);
+                continue;
+            }
+            let gosper = exact_recovery_probability(p, k)
+                .expect("C(30,7) is far below the enumeration cap");
+            prop_assert_eq!(
+                analytic.to_bits(), gosper.to_bits(),
+                "n={} m={} k={} {:?}: analytic {} vs gosper {}",
+                n, m, k, p.strategy(), analytic, gosper
+            );
+            if binomial(n as u64, k as u64) <= 30_000.0 {
+                let reference = btreeset_reference_probability(p, k);
+                prop_assert_eq!(
+                    analytic.to_bits(), reference.to_bits(),
+                    "n={} m={} k={} {:?}: analytic {} vs reference {}",
+                    n, m, k, p.strategy(), analytic, reference
+                );
+            }
+        }
     }
 
     #[test]

@@ -70,13 +70,13 @@ use gemini_core::recovery::{
 };
 use gemini_core::{GeminiError, StorageTier, WastedLedger};
 use gemini_kvstore::{KvStore, RetryPolicy};
-use gemini_sim::{Context, Engine, Model, SimDuration, SimTime};
+use gemini_sim::{Context, DetRng, Engine, Model, SimDuration, SimTime};
 use gemini_telemetry::{
     intern_label, CausalEvent, CausalKind, EngineTelemetryProbe, FailureClass, Key,
     PolicySignalsSnapshot, TelemetryEvent, TelemetrySink,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Consecutive scans a health key must be missing before the root
 /// confirms the rank as failed (see the module docs). At one scan per
@@ -88,6 +88,14 @@ pub const CONFIRM_TICKS: u32 = 7;
 /// How long a churned (resigned) root abstains from re-campaigning, so
 /// leadership genuinely moves to another machine.
 const CHURN_MUTE: SimDuration = SimDuration::from_secs(15);
+
+/// How many ranks (the lowest-numbered) act as root-leader candidates.
+/// At the paper's 16-machine scale this covers the whole cluster, so
+/// behaviour is identical to all-ranks candidacy; at fleet scale it
+/// bounds the per-tick KV campaign/census cost to a constant instead of
+/// O(N), mirroring how production deployments elect among a small seed
+/// set rather than the entire fleet.
+pub const ROOT_CANDIDATES: usize = 16;
 
 /// Fraction of a persistent upload's duration charged to the wasted-time
 /// ledger as training-visible interference. The upload itself runs on the
@@ -427,6 +435,63 @@ impl ChaosPlan {
         p
     }
 
+    /// Fleet-scale churn: 10 000 machines riding the SoA state path.
+    /// Independent Poisson single-machine (software) churn — exponential
+    /// inter-arrivals sampled once, at plan construction, from a fixed
+    /// [`DetRng`] stream so the plan is a deterministic value — plus one
+    /// correlated hardware group loss mid-run. The four invariants apply
+    /// unchanged: single leader (over the [`ROOT_CANDIDATES`] seed set),
+    /// no committed checkpoint lost below tolerance, recovery terminates
+    /// before the horizon, zero spurious detections despite thousands of
+    /// live heartbeat leases.
+    pub fn fleet_wide_churn() -> ChaosPlan {
+        const FLEET: usize = 10_000;
+        let mut p = ChaosPlan::base("fleet_wide_churn");
+        p.scenario.machines = FLEET;
+        let mut rng = DetRng::new(0xF1EE7);
+        let mut faults = Vec::new();
+        // Poisson churn over [500 s, 1400 s): mean inter-arrival 180 s.
+        // At 10k machines one iteration takes ~7 minutes, so the window
+        // opens only after the first in-memory checkpoint has committed
+        // (~426 s) — before that, a software-only failure has nothing to
+        // recover from and the planner (correctly) refuses. Ranks are
+        // drawn outside the root-candidate seed set so leader election
+        // stays live however the churn lands (candidate loss is covered
+        // by the paper-scale plans).
+        let mut t = 500.0f64;
+        loop {
+            t += rng.exponential(1.0 / 180.0);
+            if t >= 1400.0 {
+                break;
+            }
+            let rank = rng.uniform_u64(ROOT_CANDIDATES as u64, FLEET as u64) as usize;
+            faults.push(TimedFault {
+                at: SimTime::from_secs(t as u64),
+                fault: FaultKind::Kill {
+                    rank,
+                    kind: FailureKind::Software,
+                },
+            });
+        }
+        // One correlated rack loss in the middle of the churn window:
+        // group 100 of mixed(10 000, 2) is the machine pair (200, 201) —
+        // well clear of the candidate set.
+        faults.push(TimedFault {
+            at: SimTime::from_secs(900),
+            fault: FaultKind::KillGroup {
+                group: 100,
+                kind: FailureKind::Hardware,
+            },
+        });
+        faults.sort_by_key(|f| f.at);
+        p.faults = faults;
+        // Waves queue behind each other under churn (confirmed failures
+        // arriving mid-retrieval defer to a follow-up wave), so the
+        // horizon leaves room for the deferred tail to drain.
+        p.horizon = SimTime::from_secs(4_200);
+        p
+    }
+
     /// Every named plan — the campaign matrix runs each against several
     /// seeds.
     pub fn catalog() -> Vec<ChaosPlan> {
@@ -441,6 +506,16 @@ impl ChaosPlan {
             ChaosPlan::repeat_group_loss(),
             ChaosPlan::nic_collapse(),
         ]
+    }
+
+    /// [`Self::catalog`] plus the fleet-scale plan — everything the chaos
+    /// bin can name or run individually. The default campaign matrix
+    /// sticks to the paper-scale catalog (the policy baselines are priced
+    /// over it); the 10 000-machine plan runs as its own smoke and bench.
+    pub fn extended_catalog() -> Vec<ChaosPlan> {
+        let mut all = Self::catalog();
+        all.push(Self::fleet_wide_churn());
+        all
     }
 }
 
@@ -707,10 +782,21 @@ struct ChaosModel {
     policy: Option<PolicyDriver>,
     ledger: WastedLedger,
     correlated_pending: BTreeSet<usize>,
-    down: BTreeMap<usize, FailureKind>,
+    // Per-rank hot state lives in flat rank-indexed lanes (SoA), not
+    // keyed maps: the coordination tick scans every rank once per
+    // simulated second, and at fleet scale (10k machines × a month) the
+    // O(log n) probes and pointer-chasing of per-rank map entries are
+    // what the DES event budget goes to. Lane scans also visit ranks in
+    // ascending order, which is exactly the iteration order the old
+    // BTree keys had — reports and traces are unchanged.
+    /// Failure lane: `Some(kind)` while the rank is down.
+    down: Vec<Option<FailureKind>>,
+    /// Number of `Some` entries in `down` — O(1) "anyone down?" checks.
+    down_count: usize,
     muted_until: Vec<SimTime>,
     streak: Vec<u32>,
-    handled: BTreeSet<usize>,
+    /// Ranks already adopted by a recovery wave.
+    handled: Vec<bool>,
     wave: Option<Wave>,
     waves_done: Vec<WaveReport>,
     next_wave_index: usize,
@@ -723,16 +809,20 @@ struct ChaosModel {
     max_leaders: usize,
     leader_changes: u64,
     last_leader: Option<String>,
-    spurious: BTreeSet<usize>,
+    /// Lane of ranks already counted as spurious detections.
+    spurious: Vec<bool>,
+    spurious_count: u64,
     retry_attempts: u64,
     violations: Vec<String>,
     // Flight recorder (model-side, sink-independent).
     trace: Vec<CausalEvent>,
-    /// rank → trace indices (FaultInjected/Confirmed) still awaiting the
-    /// incident id of the wave that will adopt them.
-    pending_trace: BTreeMap<usize, Vec<usize>>,
-    injected_at: BTreeMap<usize, SimTime>,
-    confirm_noted: BTreeSet<usize>,
+    /// Per-rank trace indices (FaultInjected/Confirmed) still awaiting
+    /// the incident id of the wave that will adopt them.
+    pending_trace: Vec<Vec<usize>>,
+    /// When the rank's current failure was injected.
+    injected_at: Vec<Option<SimTime>>,
+    /// Ranks whose current failure already recorded its Confirmed event.
+    confirm_noted: Vec<bool>,
     /// Applied-decision counter: the policy epoch stamped onto waves and
     /// persist charges.
     policy_epoch: u64,
@@ -786,7 +876,7 @@ impl ChaosModel {
     /// persistent anchor, whichever is newer.
     fn available_now(&self) -> u64 {
         let cpu_intact: BTreeSet<usize> = (0..self.sys.cluster.len())
-            .filter(|r| !matches!(self.down.get(r), Some(&FailureKind::Hardware)))
+            .filter(|&r| !matches!(self.down[r], Some(FailureKind::Hardware)))
             .collect();
         let cpu = self
             .sys
@@ -808,11 +898,9 @@ impl ChaosModel {
     /// Patches the still-unadopted FaultInjected/Confirmed events of
     /// `ranks` with the incident id of the wave adopting them.
     fn adopt_pending(&mut self, incident: u64, ranks: &[usize]) {
-        for rank in ranks {
-            if let Some(idxs) = self.pending_trace.remove(rank) {
-                for idx in idxs {
-                    self.trace[idx].incident = Some(incident);
-                }
+        for &rank in ranks {
+            for idx in std::mem::take(&mut self.pending_trace[rank]) {
+                self.trace[idx].incident = Some(incident);
             }
         }
     }
@@ -878,7 +966,7 @@ impl ChaosModel {
             retrieval_persistent: persist_upload,
             persist_upload,
             persist_anchor: self.sys.store.persistent().map(|m| m.iteration),
-            healthy_machines: self.sys.cluster.len() - self.down.len(),
+            healthy_machines: self.sys.cluster.len() - self.down_count,
             machines: self.sys.cluster.len(),
         };
         let driver = self.policy.as_mut().expect("policy driver present");
@@ -949,17 +1037,18 @@ impl ChaosModel {
     }
 
     fn kill(&mut self, ctx: &mut Context<'_, Ev>, rank: usize, kind: FailureKind) {
-        if rank >= self.sys.cluster.len() || self.down.contains_key(&rank) {
+        if rank >= self.sys.cluster.len() || self.down[rank].is_some() {
             return;
         }
-        self.down.insert(rank, kind);
+        self.down[rank] = Some(kind);
+        self.down_count += 1;
         self.sys.cluster.fail(rank, kind).expect("rank exists");
         if kind == FailureKind::Hardware {
             self.sys.store.machine_lost(rank);
         }
         self.training_blocked = true;
         let now = ctx.now();
-        self.injected_at.insert(rank, now);
+        self.injected_at[rank] = Some(now);
         let idx = self.push_trace(
             None,
             now,
@@ -968,7 +1057,7 @@ impl ChaosModel {
                 class: class_of(kind),
             },
         );
-        self.pending_trace.entry(rank).or_default().push(idx);
+        self.pending_trace[rank].push(idx);
         self.sink.event(now, || TelemetryEvent::FailureInjected {
             rank,
             kind: class_of(kind),
@@ -1020,14 +1109,14 @@ impl ChaosModel {
         let index = self.next_wave_index;
         self.next_wave_index += 1;
         for &(r, _) in &failures {
-            self.handled.insert(r);
+            self.handled[r] = true;
         }
         self.note_confirmed(now, &failures);
         let ranks: Vec<usize> = failures.iter().map(|&(r, _)| r).collect();
         self.announce_failures(now, &ranks);
         self.serialize_seq += 1;
         let token = self.serialize_seq;
-        let alive_count = self.sys.cluster.len() - self.down.len();
+        let alive_count = self.sys.cluster.len() - self.down_count;
         self.sink
             .event(now, || TelemetryEvent::SerializationStarted {
                 ranks: alive_count,
@@ -1081,7 +1170,7 @@ impl ChaosModel {
             return;
         };
         for &(r, _) in &failures {
-            self.handled.insert(r);
+            self.handled[r] = true;
         }
         self.note_confirmed(now, &failures);
         let ranks: Vec<usize> = failures.iter().map(|&(r, _)| r).collect();
@@ -1178,8 +1267,9 @@ impl ChaosModel {
         let hw_down: BTreeSet<usize> = self
             .down
             .iter()
-            .filter(|&(_, &k)| k == FailureKind::Hardware)
-            .map(|(&r, _)| r)
+            .enumerate()
+            .filter(|(_, k)| matches!(k, Some(FailureKind::Hardware)))
+            .map(|(r, _)| r)
             .collect();
         if !tier_overridden
             && self.sys.placement.recoverable(&hw_down)
@@ -1258,17 +1348,23 @@ impl ChaosModel {
         if self.kv_out(now) {
             return; // the KV store is unreachable: no campaigns, no scans
         }
-        // Every alive, un-muted machine campaigns; the store arbitrates.
-        for rank in 0..self.roots.len() {
-            if self.down.contains_key(&rank) || now < self.muted_until[rank] {
+        // Every alive, un-muted *candidate* campaigns; the store
+        // arbitrates. Candidacy is capped at the first ROOT_CANDIDATES
+        // ranks: at the paper's 16-machine scale every machine is a
+        // candidate (behaviour unchanged), while at fleet scale a
+        // 10k-rank cluster does not need — and production seed-node sets
+        // do not run — ten thousand campaigns per coordination second.
+        let candidates = self.roots.len().min(ROOT_CANDIDATES);
+        for rank in 0..candidates {
+            if self.down[rank].is_some() || now < self.muted_until[rank] {
                 continue;
             }
             let _ = self.roots[rank].campaign(&mut self.kv, now);
         }
         // Invariant 1: leader census through the election key.
         let mut leaders: Vec<usize> = Vec::new();
-        for rank in 0..self.roots.len() {
-            if self.down.contains_key(&rank) {
+        for rank in 0..candidates {
+            if self.down[rank].is_some() {
                 continue;
             }
             if self.roots[rank].is_leader(&mut self.kv, now) {
@@ -1293,28 +1389,32 @@ impl ChaosModel {
             }
             self.last_leader = Some(identity);
         }
-        // Scan and advance confirmation streaks.
+        // Scan and advance confirmation streaks. The report's rank lists
+        // are iterated directly (missing applied after alive, so a rank
+        // somehow present in both still counts as missing) rather than
+        // probing `contains` per rank — that inner probe made the tick
+        // O(n^2) and dominated fleet-scale runs at n = 10,000.
         let n = self.sys.cluster.len();
         let report = self.roots[leader].scan(&mut self.kv, now, n);
-        for rank in 0..n {
-            if report.missing.contains(&rank) {
-                self.streak[rank] = self.streak[rank].saturating_add(1);
-            } else if report.alive.contains(&rank) {
-                self.streak[rank] = 0;
-            }
+        for &rank in &report.alive {
+            self.streak[rank] = 0;
+        }
+        for &rank in &report.missing {
+            self.streak[rank] = self.streak[rank].saturating_add(1);
         }
         // Record the confirmation instant once per real failure: the
         // flight recorder's Detect phase and the per-plan
         // detection-latency histogram both hang off this event.
         for rank in 0..n {
             if self.streak[rank] >= CONFIRM_TICKS
-                && self.down.contains_key(&rank)
-                && self.confirm_noted.insert(rank)
+                && self.down[rank].is_some()
+                && !self.confirm_noted[rank]
             {
-                let injected = self.injected_at.get(&rank).copied().unwrap_or(now);
+                self.confirm_noted[rank] = true;
+                let injected = self.injected_at[rank].unwrap_or(now);
                 let latency = now.saturating_since(injected);
                 let idx = self.push_trace(None, now, CausalKind::Confirmed { rank, latency });
-                self.pending_trace.entry(rank).or_default().push(idx);
+                self.pending_trace[rank].push(idx);
                 self.sink.observe_us_key(
                     Key::labeled("chaos.detection_latency_us", "plan", self.plan_label),
                     crate::incident::DETECTION_LATENCY_BOUNDS_US,
@@ -1323,19 +1423,21 @@ impl ChaosModel {
             }
         }
         let confirmed: Vec<usize> = (0..n)
-            .filter(|&r| self.streak[r] >= CONFIRM_TICKS && !self.handled.contains(&r))
+            .filter(|&r| self.streak[r] >= CONFIRM_TICKS && !self.handled[r])
             .collect();
         if confirmed.is_empty() {
             return;
         }
         let mut real: Vec<(usize, FailureKind)> = Vec::new();
         for rank in confirmed {
-            match self.down.get(&rank) {
-                Some(&kind) => real.push((rank, kind)),
+            match self.down[rank] {
+                Some(kind) => real.push((rank, kind)),
                 None => {
                     // Alive but confirmed missing: the streak failed to
                     // absorb a blip. Counted, asserted zero by the suite.
-                    if self.spurious.insert(rank) {
+                    if !self.spurious[rank] {
+                        self.spurious[rank] = true;
+                        self.spurious_count += 1;
                         self.cell_count("chaos.spurious_detections");
                     }
                 }
@@ -1416,7 +1518,7 @@ impl Model for ChaosModel {
                 });
             }
             Ev::Heartbeat(rank) => {
-                if self.down.contains_key(&rank) {
+                if self.down[rank].is_some() {
                     return; // the process is gone; restarted on recovery
                 }
                 let now = ctx.now();
@@ -1435,7 +1537,7 @@ impl Model for ChaosModel {
             }
             Ev::DeliverHeartbeat(rank) => {
                 let now = ctx.now();
-                if self.down.contains_key(&rank) || self.kv_out(now) {
+                if self.down[rank].is_some() || self.kv_out(now) {
                     return;
                 }
                 self.workers[rank]
@@ -1498,8 +1600,8 @@ impl Model for ChaosModel {
                 let now = ctx.now();
                 if !self.kv_out(now) {
                     let mut leader = None;
-                    for rank in 0..self.roots.len() {
-                        if !self.down.contains_key(&rank)
+                    for rank in 0..self.roots.len().min(ROOT_CANDIDATES) {
+                        if self.down[rank].is_none()
                             && self.roots[rank].is_leader(&mut self.kv, now)
                         {
                             leader = Some(rank);
@@ -1665,12 +1767,14 @@ impl Model for ChaosModel {
                     if kind == FailureKind::Software {
                         self.sys.cluster.restart(rank).expect("rank exists");
                     }
-                    self.down.remove(&rank);
-                    self.handled.remove(&rank);
+                    if self.down[rank].take().is_some() {
+                        self.down_count -= 1;
+                    }
+                    self.handled[rank] = false;
                     self.streak[rank] = 0;
-                    self.confirm_noted.remove(&rank);
-                    self.injected_at.remove(&rank);
-                    self.pending_trace.remove(&rank);
+                    self.confirm_noted[rank] = false;
+                    self.injected_at[rank] = None;
+                    self.pending_trace[rank].clear();
                     if !self.kv_out(now) {
                         self.workers[rank]
                             .register(&mut self.kv, now)
@@ -1735,7 +1839,7 @@ impl Model for ChaosModel {
                     degraded: plan.degraded.clone(),
                     available_at_detect: w.available_at_detect,
                 });
-                if self.down.is_empty() {
+                if self.down_count == 0 {
                     self.training_blocked = false;
                     ctx.schedule_after(
                         self.sys.iteration_time(),
@@ -1863,10 +1967,11 @@ pub(crate) fn execute_chaos(
         policy: policy.map(PolicyDriver::new),
         ledger: WastedLedger::default(),
         correlated_pending: BTreeSet::new(),
-        down: BTreeMap::new(),
+        down: vec![None; n],
+        down_count: 0,
         muted_until: vec![SimTime::ZERO; n],
         streak: vec![0; n],
-        handled: BTreeSet::new(),
+        handled: vec![false; n],
         wave: None,
         waves_done: Vec::new(),
         next_wave_index: 0,
@@ -1878,13 +1983,14 @@ pub(crate) fn execute_chaos(
         max_leaders: 0,
         leader_changes: 0,
         last_leader: None,
-        spurious: BTreeSet::new(),
+        spurious: vec![false; n],
+        spurious_count: 0,
         retry_attempts: 0,
         violations: Vec::new(),
         trace: Vec::new(),
-        pending_trace: BTreeMap::new(),
-        injected_at: BTreeMap::new(),
-        confirm_noted: BTreeSet::new(),
+        pending_trace: vec![Vec::new(); n],
+        injected_at: vec![None; n],
+        confirm_noted: vec![false; n],
         policy_epoch: 0,
         cell,
         plan_label,
@@ -1910,10 +2016,10 @@ pub(crate) fn execute_chaos(
             w.index
         ));
     }
-    if !model.down.is_empty() {
+    if model.down_count > 0 {
         violations.push(format!(
             "{} rank(s) still down at the horizon",
-            model.down.len()
+            model.down_count
         ));
     }
     if sink.is_enabled() {
@@ -1943,7 +2049,7 @@ pub(crate) fn execute_chaos(
         waves: model.waves_done,
         max_concurrent_leaders: model.max_leaders,
         leader_changes: model.leader_changes,
-        spurious_detections: model.spurious.len() as u64,
+        spurious_detections: model.spurious_count,
         retry_attempts: model.retry_attempts,
         replacements_denied: model.operator.requests_denied(),
         final_iteration: model.current_iteration,

@@ -69,6 +69,12 @@ const ARTIFACTS: &[fn(bool) -> Table] = &[
     |_| summary::summary_table(),
 ];
 
+/// Per-artifact cost hint for the pool's granularity model: even the
+/// cheapest table regenerates in milliseconds, so the whole set is always
+/// worth parallelizing on a multi-core host (and the hint lets the pool
+/// skip threads only when the host itself cannot run two at once).
+const ARTIFACT_COST: par::TaskCost = par::TaskCost::millis(2);
+
 /// [`render_all`], additionally accounting each regenerated artifact into
 /// `sink` (`harness.artifacts_rendered` / `harness.artifact_rows` counters
 /// plus the deterministic `parallel.tasks` counter), so figure regeneration
@@ -84,7 +90,8 @@ pub fn render_all_with(fast: bool, sink: &TelemetrySink) -> Vec<Table> {
 /// value (only deterministic pool stats are recorded; see
 /// [`par::record_stats`]).
 pub fn render_all_with_jobs(fast: bool, jobs: usize, sink: &TelemetrySink) -> Vec<Table> {
-    let (tables, stats) = par::par_map_stats(jobs, ARTIFACTS.len(), |i| ARTIFACTS[i](fast));
+    let (tables, stats) =
+        par::par_map_stats_cost(jobs, ARTIFACTS.len(), ARTIFACT_COST, |i| ARTIFACTS[i](fast));
     if sink.is_enabled() {
         par::record_stats(sink, &stats);
         for t in &tables {
@@ -108,14 +115,14 @@ pub fn render_all(fast: bool) -> Vec<Table> {
 /// all markdown/CSV/JSON derived from it) is byte-identical to the `jobs=1`
 /// serial loop.
 pub fn render_all_jobs(fast: bool, jobs: usize) -> Vec<Table> {
-    par::par_map(jobs, ARTIFACTS.len(), |i| ARTIFACTS[i](fast))
+    par::par_map_cost(jobs, ARTIFACTS.len(), ARTIFACT_COST, |i| ARTIFACTS[i](fast))
 }
 
 /// [`render_all_jobs`], also returning the pool statistics (task count plus
 /// wall/busy timings) for perf reporting — the `perf` binary feeds these to
 /// [`par::record_stats_timing`] when building `BENCH_harness.json`.
 pub fn render_all_stats(fast: bool, jobs: usize) -> (Vec<Table>, par::ParStats) {
-    par::par_map_stats(jobs, ARTIFACTS.len(), |i| ARTIFACTS[i](fast))
+    par::par_map_stats_cost(jobs, ARTIFACTS.len(), ARTIFACT_COST, |i| ARTIFACTS[i](fast))
 }
 
 #[cfg(test)]

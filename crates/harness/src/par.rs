@@ -22,8 +22,8 @@
 //!   opt into it, precisely because wall-clock is not deterministic.
 
 pub use gemini_parallel::{
-    default_jobs, par_map, par_map_stats, resolve_jobs, set_default_jobs, shard_ranges,
-    try_par_map, ParStats,
+    default_jobs, host_parallelism, par_map, par_map_cost, par_map_stats, par_map_stats_cost,
+    resolve_jobs, set_default_jobs, shard_ranges, try_par_map, ParStats, TaskCost,
 };
 
 use gemini_telemetry::TelemetrySink;
@@ -60,6 +60,7 @@ mod tests {
         ParStats {
             tasks: 21,
             jobs: 4,
+            requested: 4,
             wall: Duration::from_micros(500),
             busy: Duration::from_micros(1500),
         }

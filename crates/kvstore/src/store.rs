@@ -94,6 +94,13 @@ pub struct KvStore {
     next_lease: u64,
     watchers: Vec<Watcher>,
     telemetry: TelemetrySink,
+    /// Lower bound on the earliest lease deadline: while `now` stays below
+    /// it, no lease can be expired and [`KvStore::tick`] returns without
+    /// scanning. Keep-alives only push deadlines later (the bound stays
+    /// valid, merely conservative); grants lower it; sweeps recompute it
+    /// exactly. `SimTime` defaults to zero, so a fresh store sweeps (and
+    /// tightens the bound) on its first operation.
+    next_expiry: SimTime,
 }
 
 impl KvStore {
@@ -136,6 +143,12 @@ impl KvStore {
     /// Called implicitly by all time-taking operations; public so agents
     /// can force expiry processing on their heartbeat.
     pub fn tick(&mut self, now: SimTime) {
+        // Fast path: nothing can have expired yet. Without this, every
+        // store operation scans the full lease table — O(leases) per
+        // heartbeat, which is what made 10k-machine fleet runs quadratic.
+        if now < self.next_expiry {
+            return;
+        }
         let mut expired: Vec<u64> = self
             .leases
             .iter()
@@ -167,6 +180,12 @@ impl KvStore {
                 }
             }
         }
+        self.next_expiry = self
+            .leases
+            .values()
+            .map(|l| l.deadline)
+            .min()
+            .unwrap_or(SimTime::MAX);
     }
 
     /// Grants a lease with the given TTL.
@@ -174,7 +193,9 @@ impl KvStore {
         self.tick(now);
         let id = LeaseId(self.next_lease);
         self.next_lease += 1;
-        self.leases.insert(id.0, Lease::granted(id, now, ttl));
+        let lease = Lease::granted(id, now, ttl);
+        self.next_expiry = self.next_expiry.min(lease.deadline);
+        self.leases.insert(id.0, lease);
         self.telemetry.counter_add("kv.leases_granted", 1);
         id
     }
@@ -284,6 +305,27 @@ impl KvStore {
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
+    }
+
+    /// Visits every key/value pair under a prefix in key order without
+    /// cloning. [`KvStore::range`] materializes owned pairs, which is fine
+    /// for election keys but allocates tens of thousands of strings per
+    /// health scan at fleet scale — hot readers (the root agent's
+    /// once-a-second sweep over `health/`) use this instead.
+    pub fn for_each_in_range(
+        &mut self,
+        now: SimTime,
+        prefix: &str,
+        mut f: impl FnMut(&str, &VersionedValue),
+    ) {
+        self.tick(now);
+        for (k, v) in self
+            .map
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+        {
+            f(k, v);
+        }
     }
 
     /// Deletes a key.

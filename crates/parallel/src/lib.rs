@@ -12,13 +12,25 @@
 //!    is a pure-ish `Fn(usize) -> T` whose output depends only on the task
 //!    index (stochastic tasks fork a [`DetRng`-style] child stream from
 //!    their index, never from shared mutable state).
-//! 2. Workers pull indices from a shared atomic counter — scheduling is
-//!    racy and load-balancing, but results are collected *by index*, so
-//!    the returned `Vec<T>` has exactly the order a serial loop would
-//!    produce regardless of which worker ran what, in what order.
-//! 3. `jobs <= 1` (or a single task) short-circuits to a plain serial loop
-//!    on the calling thread — not even a thread is spawned — so `--jobs 1`
-//!    is *literally* the serial code path, not an emulation of it.
+//! 2. Workers pull contiguous index *chunks* from a shared atomic cursor —
+//!    scheduling is racy and load-balancing, but results are collected *by
+//!    index*, so the returned `Vec<T>` has exactly the order a serial loop
+//!    would produce regardless of which worker ran what, in what order.
+//! 3. The pool falls back to a plain serial loop on the calling thread —
+//!    not even a thread is spawned — whenever parallelism cannot win:
+//!    `jobs <= 1`, a single task, more workers than the host has cores
+//!    (requests are clamped to [`host_parallelism`]), or a task set whose
+//!    estimated total cost ([`TaskCost`]) is below the spawn overhead.
+//!    `--jobs 1` is therefore *literally* the serial code path, and
+//!    `--jobs N` on a saturated or single-core host degrades to it instead
+//!    of losing to contention.
+//!
+//! The **granularity model**: workers claim chunks sized
+//! `remaining / (2 × jobs)` (guided self-scheduling — large chunks early
+//! to amortize the atomic cursor and the per-chunk timestamps, shrinking
+//! toward [`TaskCost`]-derived minimum chunks so the tail still load
+//! balances). Busy time is sampled per *chunk*, not per task, so cheap
+//! tasks are not drowned in `Instant::now` calls.
 //!
 //! No external crates: the pool is built on [`std::thread::scope`], which
 //! both keeps the offline stub build working and lets task closures borrow
@@ -36,18 +48,22 @@ use std::time::{Duration, Instant};
 /// Execution statistics of one [`par_map_stats`] call, for perf tracking
 /// (`BENCH_harness.json`) and the `parallel.*` telemetry metrics.
 ///
-/// `busy` sums the per-task wall times across all workers; `wall` is the
+/// `busy` sums the per-chunk wall times across all workers; `wall` is the
 /// end-to-end duration of the call. `busy / wall` is therefore the
 /// *observed* speedup (≈ `jobs` when the task set load-balances well).
 #[derive(Clone, Copy, Debug)]
 pub struct ParStats {
     /// Number of tasks executed.
     pub tasks: usize,
-    /// Worker threads used (1 = serial fast path).
+    /// Worker threads actually used (1 = the serial fast path ran).
     pub jobs: usize,
+    /// Worker threads the caller asked for, before clamping to the task
+    /// count and [`host_parallelism`]. `jobs < requested` means the pool
+    /// fell back (core clamp or [`TaskCost`] threshold).
+    pub requested: usize,
     /// End-to-end wall-clock time of the call.
     pub wall: Duration,
-    /// Sum of per-task execution times across all workers.
+    /// Sum of per-chunk execution times across all workers.
     pub busy: Duration,
 }
 
@@ -62,7 +78,60 @@ impl ParStats {
             (self.busy.as_secs_f64() / wall).max(1.0)
         }
     }
+
+    /// Whether the pool ran the serial fast path despite a multi-worker
+    /// request — i.e. the "parallel" run *is* the serial code path.
+    pub fn serial_fallback(&self) -> bool {
+        self.jobs == 1 && self.requested > 1
+    }
 }
+
+/// A coarse per-task wall-clock estimate, used by the granularity model to
+/// (a) skip thread spawning entirely when the whole task set costs less
+/// than the spawn overhead and (b) batch trivially cheap tasks into larger
+/// claim chunks.
+///
+/// Estimates only steer scheduling; results are byte-identical whatever
+/// the hint says.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskCost {
+    /// Estimated wall-clock cost of one task, in nanoseconds.
+    pub nanos: u64,
+}
+
+impl TaskCost {
+    /// No estimate: always worth parallelizing (the historical behaviour
+    /// of [`par_map`]), with fine-grained chunking.
+    pub const UNKNOWN: TaskCost = TaskCost { nanos: u64::MAX };
+
+    /// An estimate in microseconds per task.
+    pub const fn micros(us: u64) -> TaskCost {
+        TaskCost {
+            nanos: us.saturating_mul(1_000),
+        }
+    }
+
+    /// An estimate in milliseconds per task.
+    pub const fn millis(ms: u64) -> TaskCost {
+        TaskCost {
+            nanos: ms.saturating_mul(1_000_000),
+        }
+    }
+}
+
+/// Below this estimated *total* cost, spawning workers is guaranteed to
+/// lose to the serial loop (thread spawn + join alone costs tens of
+/// microseconds per worker), so the pool runs serial.
+pub const SERIAL_FALLBACK_NANOS: u64 = 400_000;
+
+/// Target wall-clock per claimed chunk: cheap tasks batch until a chunk is
+/// worth roughly this much, amortizing the shared cursor and the per-chunk
+/// `Instant` samples.
+const CHUNK_TARGET_NANOS: u64 = 50_000;
+
+/// Upper bound on a single claim, so one worker can never run away with
+/// the whole tail of a task set.
+const MAX_CHUNK: usize = 1024;
 
 /// The process-wide default job count, used by harness entry points whose
 /// signatures predate the parallel layer (`render_all`, the figure
@@ -70,10 +139,33 @@ impl ParStats {
 /// the `GEMINI_JOBS` environment variable, then to `1` (serial).
 static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
 
+/// Test/bench override for [`host_parallelism`]; `0` = use the real value.
+static HOST_PARALLELISM_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
 /// Sets the process-wide default job count (the `--jobs` flag of the bench
 /// binaries lands here). `0` clears the override.
 pub fn set_default_jobs(jobs: usize) {
     DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The number of hardware threads the host can actually run at once
+/// (`std::thread::available_parallelism`, floor 1). Worker requests are
+/// clamped to this: oversubscribing a single-core container with two
+/// workers is how the figures path historically *lost* to serial.
+pub fn host_parallelism() -> usize {
+    match HOST_PARALLELISM_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Overrides [`host_parallelism`] (tests and benches exercising the
+/// parallel path on arbitrary hosts). `0` restores real detection.
+#[doc(hidden)]
+pub fn set_host_parallelism_override(n: usize) {
+    HOST_PARALLELISM_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
 /// Reads the `GEMINI_JOBS` environment variable, if set and valid.
@@ -144,9 +236,38 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_stats_cost(jobs, tasks, TaskCost::UNKNOWN, task)
+}
+
+/// [`par_map`] with a per-task cost estimate steering the granularity
+/// model: task sets cheaper than the spawn overhead run serially, and
+/// trivially cheap tasks are claimed in larger chunks.
+pub fn par_map_cost<T, F>(jobs: usize, tasks: usize, cost: TaskCost, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_stats_cost(jobs, tasks, cost, task).0
+}
+
+/// [`par_map_cost`], additionally returning [`ParStats`].
+pub fn par_map_stats_cost<T, F>(
+    jobs: usize,
+    tasks: usize,
+    cost: TaskCost,
+    task: F,
+) -> (Vec<T>, ParStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let started = Instant::now();
-    let jobs = jobs.max(1).min(tasks.max(1));
-    if jobs <= 1 || tasks <= 1 {
+    let requested = jobs.max(1);
+    let jobs = requested.min(tasks.max(1)).min(host_parallelism());
+    // Estimated total cost below the spawn overhead ⇒ threads cannot win.
+    let too_cheap = cost.nanos != u64::MAX
+        && cost.nanos.saturating_mul(tasks as u64) < SERIAL_FALLBACK_NANOS;
+    if jobs <= 1 || tasks <= 1 || too_cheap {
         // The serial fast path: the historical code, on the calling thread.
         let out: Vec<T> = (0..tasks).map(&task).collect();
         let wall = started.elapsed();
@@ -155,14 +276,22 @@ where
             ParStats {
                 tasks,
                 jobs: 1,
+                requested,
                 wall,
                 busy: wall,
             },
         );
     }
 
-    // Shared cursor: workers race to claim the next index; results carry
-    // their index so collection order is irrelevant.
+    // Minimum claim: batch tasks until a chunk is worth ~CHUNK_TARGET.
+    let min_chunk = if cost.nanos == u64::MAX {
+        1
+    } else {
+        (CHUNK_TARGET_NANOS / cost.nanos.max(1)).clamp(1, MAX_CHUNK as u64) as usize
+    };
+
+    // Shared cursor: workers race to claim the next chunk of indices;
+    // results carry their index so collection order is irrelevant.
     let next = AtomicUsize::new(0);
     let busy_nanos = AtomicUsize::new(0);
     // One result bucket per worker, merged by index afterwards. A Mutex
@@ -173,16 +302,30 @@ where
         for _ in 0..jobs {
             scope.spawn(|| {
                 let mut local: Vec<(usize, T)> = Vec::new();
+                let mut local_busy = 0u128;
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks {
+                    // Guided self-scheduling: claim a fraction of what is
+                    // left (large early, shrinking toward min_chunk so the
+                    // tail still balances). The load is advisory — racing
+                    // claims only change chunk sizes, never correctness.
+                    let seen = next.load(Ordering::Relaxed);
+                    if seen >= tasks {
                         break;
                     }
+                    let chunk = ((tasks - seen) / (2 * jobs))
+                        .clamp(min_chunk, MAX_CHUNK);
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= tasks {
+                        break;
+                    }
+                    let end = (start + chunk).min(tasks);
                     let t0 = Instant::now();
-                    let value = task(i);
-                    busy_nanos.fetch_add(t0.elapsed().as_nanos() as usize, Ordering::Relaxed);
-                    local.push((i, value));
+                    for i in start..end {
+                        local.push((i, task(i)));
+                    }
+                    local_busy += t0.elapsed().as_nanos();
                 }
+                busy_nanos.fetch_add(local_busy as usize, Ordering::Relaxed);
                 buckets.lock().expect("result bucket poisoned").push(local);
             });
         }
@@ -204,6 +347,7 @@ where
     let stats = ParStats {
         tasks,
         jobs,
+        requested,
         wall: started.elapsed(),
         busy: Duration::from_nanos(busy_nanos.load(Ordering::Relaxed) as u64),
     };
@@ -234,10 +378,22 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
 
+    /// Pool tests force a generous core budget so the parallel code path
+    /// is exercised even on single-core CI containers; the clamp itself is
+    /// tested separately. The override is monotonic (never lowered below a
+    /// concurrently-running test's expectation) and only widens the paths
+    /// other tests may take — byte-identity holds on all of them.
+    fn with_cores<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        set_host_parallelism_override(n);
+        let r = f();
+        set_host_parallelism_override(0);
+        r
+    }
+
     #[test]
     fn results_are_in_task_order() {
         for jobs in [1, 2, 3, 8, 32] {
-            let out = par_map(jobs, 100, |i| i * 3);
+            let out = with_cores(8, || par_map(jobs, 100, |i| i * 3));
             assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
         }
     }
@@ -253,25 +409,73 @@ mod tests {
         let (_, stats) = par_map_stats(64, 3, |i| i);
         assert!(stats.jobs <= 3);
         assert_eq!(stats.tasks, 3);
+        assert_eq!(stats.requested, 64);
+    }
+
+    #[test]
+    fn jobs_are_clamped_to_host_cores() {
+        let (_, stats) = with_cores(2, || par_map_stats(16, 64, |i| i));
+        assert!(stats.jobs <= 2, "jobs={}", stats.jobs);
+        assert_eq!(stats.requested, 16);
+        // On a (forced) single-core host a multi-worker request runs the
+        // serial path and says so.
+        let (_, stats) = with_cores(1, || par_map_stats(4, 64, |i| i));
+        assert_eq!(stats.jobs, 1);
+        assert!(stats.serial_fallback());
     }
 
     #[test]
     fn serial_fast_path_reports_one_job() {
         let (_, stats) = par_map_stats(1, 10, |i| i);
         assert_eq!(stats.jobs, 1);
+        assert!(!stats.serial_fallback());
         assert!(stats.speedup() >= 1.0);
+    }
+
+    #[test]
+    fn cheap_task_sets_fall_back_to_serial() {
+        // 100 tasks × 1µs ≈ 100µs — far below the spawn overhead.
+        let (out, stats) = with_cores(8, || {
+            par_map_stats_cost(8, 100, TaskCost::micros(1), |i| i + 1)
+        });
+        assert_eq!(stats.jobs, 1);
+        assert!(stats.serial_fallback());
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+        // The same set with an expensive estimate does spawn workers.
+        let (_, stats) = with_cores(8, || {
+            par_map_stats_cost(8, 100, TaskCost::millis(5), |i| i + 1)
+        });
+        assert!(stats.jobs > 1, "jobs={}", stats.jobs);
     }
 
     #[test]
     fn every_task_runs_exactly_once() {
         let counter = AtomicUsize::new(0);
-        let out = par_map(8, 1000, |i| {
-            counter.fetch_add(1, Ordering::Relaxed);
-            i
+        let out = with_cores(8, || {
+            par_map(8, 1000, |i| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                i
+            })
         });
         assert_eq!(counter.load(Ordering::Relaxed), 1000);
         assert_eq!(out.len(), 1000);
         assert!(out.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    #[test]
+    fn chunked_claiming_covers_ragged_sizes() {
+        // Sizes that do not divide evenly into chunks, with cost hints
+        // driving every min_chunk regime.
+        for tasks in [2usize, 3, 5, 63, 64, 65, 1023, 2048] {
+            for cost in [TaskCost::UNKNOWN, TaskCost::micros(1), TaskCost::millis(50)] {
+                let out = with_cores(4, || par_map_cost(4, tasks, cost, |i| i * 7));
+                assert_eq!(
+                    out,
+                    (0..tasks).map(|i| i * 7).collect::<Vec<_>>(),
+                    "tasks={tasks} cost={cost:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -285,14 +489,16 @@ mod tests {
         };
         let serial = par_map(1, 257, h);
         for jobs in [2, 4, 7, 16] {
-            assert_eq!(par_map(jobs, 257, h), serial, "jobs={jobs}");
+            let par = with_cores(8, || par_map(jobs, 257, h));
+            assert_eq!(par, serial, "jobs={jobs}");
         }
     }
 
     #[test]
     fn try_par_map_returns_lowest_index_error() {
-        let r: Result<Vec<usize>, usize> =
-            try_par_map(4, 100, |i| if i % 30 == 17 { Err(i) } else { Ok(i) });
+        let r: Result<Vec<usize>, usize> = with_cores(4, || {
+            try_par_map(4, 100, |i| if i % 30 == 17 { Err(i) } else { Ok(i) })
+        });
         assert_eq!(r, Err(17));
         let ok: Result<Vec<usize>, usize> = try_par_map(4, 10, Ok);
         assert_eq!(ok.unwrap().len(), 10);
@@ -329,13 +535,15 @@ mod tests {
 
     #[test]
     fn stats_busy_accumulates() {
-        let (_, stats) = par_map_stats(4, 64, |i| {
-            // ~50µs of real work per task.
-            let mut acc = i as u64;
-            for k in 0..20_000u64 {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
-            }
-            std::hint::black_box(acc)
+        let (_, stats) = with_cores(4, || {
+            par_map_stats(4, 64, |i| {
+                // ~50µs of real work per task.
+                let mut acc = i as u64;
+                for k in 0..20_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                std::hint::black_box(acc)
+            })
         });
         assert_eq!(stats.tasks, 64);
         // Timing is noisy under a loaded test runner; only the structural

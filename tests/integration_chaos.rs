@@ -109,6 +109,51 @@ fn recovery_tiers_cover_all_three_cases_across_the_catalog() {
 }
 
 #[test]
+fn fleet_wide_churn_holds_invariants_at_ten_thousand_machines() {
+    // The extended-catalog plan: 10,000 machines, Poisson single-machine
+    // software churn plus one correlated hardware pair loss. Exercises the
+    // SoA cluster/chaos state lanes and the O(n) scan path at fleet scale
+    // under the same four invariants as the paper-scale catalog. Kept out
+    // of the default campaign matrix so the committed baselines (9 plans)
+    // stay byte-identical.
+    let plan = ChaosPlan::fleet_wide_churn();
+    assert!(
+        !ChaosPlan::catalog().iter().any(|p| p.name == plan.name),
+        "fleet plan must not join the default campaign matrix"
+    );
+    assert!(
+        ChaosPlan::extended_catalog()
+            .iter()
+            .any(|p| p.name == plan.name),
+        "fleet plan missing from the extended catalog"
+    );
+    let report = Scenario::chaos(plan)
+        .seed(1)
+        .sink(TelemetrySink::disabled())
+        .run()
+        .unwrap();
+    // Invariants 1-3 fold into `violations`; "ranks still down at the
+    // horizon" is a violation too, so green means every wave completed.
+    assert!(report.is_green(), "{:?}", report.violations);
+    assert!(report.max_concurrent_leaders <= 1);
+    assert_eq!(report.spurious_detections, 0, "spurious detections");
+    assert!(report.faults_injected >= 5, "churn too sparse");
+    assert!(report.waves.len() >= 2, "waves merged into fewer than 2");
+    // Single-machine churn recovers from local CPU memory; the correlated
+    // pair loss destroys both replicas of a shard and must fall back to
+    // the persistent tier.
+    assert!(report
+        .waves
+        .iter()
+        .any(|w| w.case == RecoveryCase::SoftwareLocal));
+    assert!(report
+        .waves
+        .iter()
+        .any(|w| w.case == RecoveryCase::PersistentFallback));
+    assert!(report.final_iteration > 0, "training never progressed");
+}
+
+#[test]
 fn hardened_paths_exercise_retry_and_degradation() {
     let exhaustion = Scenario::chaos(ChaosPlan::replacement_exhaustion())
         .seed(1)
