@@ -1,0 +1,547 @@
+//! Competing fault-tolerance schemes (Chameleon-style selectable
+//! baselines).
+//!
+//! GEMINI's wasted-time model (§2.1) prices exactly one scheme:
+//! CPU-memory checkpointing with interleaved traffic. The adaptive-FT
+//! layer needs real competitors to choose between, so this module models
+//! the three published alternatives on the same net/training machinery:
+//!
+//! * **Checkmate-style gradient replication** — each machine pushes its
+//!   gradient shard to its replica peers during the all-reduce window,
+//!   making *every* iteration recoverable. The price is fabric time every
+//!   iteration (the extra ring traffic cannot be hidden once the NIC is
+//!   the bottleneck), not per-checkpoint overhead.
+//! * **TierCheck-style GPU-memory tier** — a checkpoint tier *above* CPU
+//!   memory: software failures restore from device memory at copy-engine
+//!   speed. Feasible only while the checkpoint shard fits in the GPU
+//!   headroom that large-model training leaves free (§5.2 profiles "a
+//!   few hundred MB" — which is exactly why GEMINI targets CPU memory).
+//! * **REFT-style hybrid-parallel sharding** — each machine's checkpoint
+//!   is scattered over a fan-out set instead of whole-copied to one
+//!   peer, so a replacement re-assembles it fan-in from many NICs at
+//!   once. Retrieval shrinks by the fan-out; commits pay a scatter tax.
+//!
+//! Every scheme implements [`SchemeModel`], so the policy bin's
+//! plan×seed×policy matrix and the chaos invariants treat them
+//! uniformly, and [`scheme_signals`] compresses the capacity facts into
+//! the [`SchemeSignals`] the adaptive `PolicyEngine` prices at iteration
+//! boundaries.
+
+use gemini_cluster::InstanceType;
+use gemini_core::policy::{SchemeChoice, SchemeSignals};
+use gemini_core::RecoveryCase;
+use gemini_net::{ByteSize, TransferCost};
+use gemini_sim::SimDuration;
+use gemini_training::models::COMM_BYTES_PER_PARAM;
+use gemini_training::ModelConfig;
+
+/// Capacity and timing facts a scheme is priced against. Plain numbers —
+/// everything here is derivable at launch from the cluster spec and the
+/// profiled iteration, so scheme pricing stays byte-deterministic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SchemeInputs {
+    /// Machines in the job.
+    pub machines: usize,
+    /// Placement-group replica count `m`.
+    pub replicas: usize,
+    /// Checkpoint shard per machine (fp32 master + Adam state).
+    pub ckpt_bytes_per_machine: ByteSize,
+    /// Gradient shard per machine (fp16), the payload Checkmate
+    /// replicates.
+    pub grad_bytes_per_machine: ByteSize,
+    /// Profiled iteration time.
+    pub iteration_time: SimDuration,
+    /// Visible per-commit overhead of the interleaved CPU checkpoint
+    /// (zero when it hides entirely in idle spans).
+    pub ckpt_overhead: SimDuration,
+    /// Local-CPU retrieval time (software failure, healthy network).
+    pub retrieval_local: SimDuration,
+    /// Remote-CPU retrieval time (replacement machine, healthy network).
+    pub retrieval_remote: SimDuration,
+    /// Persistent-storage retrieval time.
+    pub retrieval_persistent: SimDuration,
+    /// GPU memory headroom per machine (all GPUs together).
+    pub gpu_headroom_per_machine: ByteSize,
+    /// Checkpoint-traffic cost of the inter-machine fabric.
+    pub fabric: TransferCost,
+    /// GPU↔CPU copy-engine cost.
+    pub copy: TransferCost,
+}
+
+impl SchemeInputs {
+    /// Builds the inputs from a deployment spec plus profiled timings.
+    /// Gradient bytes are the fp16 shard (`2 B/param`), one sixth of the
+    /// persisted `12 B/param` checkpoint state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_deployment(
+        instance: &InstanceType,
+        model: &ModelConfig,
+        machines: usize,
+        replicas: usize,
+        iteration_time: SimDuration,
+        ckpt_overhead: SimDuration,
+        retrieval_local: SimDuration,
+        retrieval_remote: SimDuration,
+        retrieval_persistent: SimDuration,
+    ) -> Self {
+        let grad_total = ByteSize::from_bytes(model.params() * COMM_BYTES_PER_PARAM);
+        SchemeInputs {
+            machines,
+            replicas,
+            ckpt_bytes_per_machine: model.checkpoint_bytes_per_machine(machines),
+            grad_bytes_per_machine: grad_total / machines.max(1) as u64,
+            iteration_time,
+            ckpt_overhead,
+            retrieval_local,
+            retrieval_remote,
+            retrieval_persistent,
+            gpu_headroom_per_machine: instance.gpu_headroom * instance.gpus as u64,
+            fabric: instance.ckpt_net_cost(),
+            copy: instance.copy_cost(),
+        }
+    }
+}
+
+/// The common face of a fault-tolerance scheme: what it costs to stay
+/// protected, how fresh recovery is, what each recovery path costs, and
+/// whether the cluster can run it at all.
+pub trait SchemeModel {
+    /// Which policy-level choice this model prices.
+    fn choice(&self) -> SchemeChoice;
+
+    /// Whether the cluster spec can run this scheme at all.
+    fn feasible(&self, inputs: &SchemeInputs) -> bool;
+
+    /// Visible overhead charged per *commit event* at checkpoint cadence
+    /// `k` (schemes that protect every iteration commit every iteration,
+    /// whatever `k` says).
+    fn ckpt_overhead(&self, inputs: &SchemeInputs, cadence: u64) -> SimDuration;
+
+    /// Worst-case iterations rolled back when a failure strikes under
+    /// cadence `k`. Never exceeds `k`.
+    fn recovery_freshness(&self, cadence: u64) -> u64;
+
+    /// Retrieval time of the given recovery path under this scheme.
+    fn retrieval_cost(&self, inputs: &SchemeInputs, case: RecoveryCase) -> SimDuration;
+}
+
+/// The paper's scheme: interleaved CPU-memory checkpointing (§4–§5).
+pub struct CpuInterleavedModel;
+
+/// Checkmate-style gradient replication during the all-reduce.
+pub struct GradientReplicateModel;
+
+/// TierCheck-style GPU-memory checkpoint tier.
+pub struct GpuTierModel;
+
+/// REFT-style hybrid-parallel in-memory sharding.
+pub struct ShardedHybridModel;
+
+/// Fan-out a sharded checkpoint is scattered over: half the job, but at
+/// least the replica pair and at most 8 peers (past that the per-peer
+/// alpha dominates the bandwidth win).
+pub fn sharded_fanout(machines: usize) -> usize {
+    (machines / 2).clamp(2, 8)
+}
+
+/// The extra per-commit scatter tax sharding pays: the same bytes cross
+/// the NIC, but every extra peer costs one more transfer setup per
+/// replica copy.
+fn scatter_tax(inputs: &SchemeInputs) -> SimDuration {
+    let extra_peers = (sharded_fanout(inputs.machines) - 1) as u64;
+    let copies = inputs.replicas.saturating_sub(1).max(1) as u64;
+    SimDuration::from_secs_f64(inputs.fabric.alpha.as_secs_f64() * (extra_peers * copies) as f64)
+}
+
+impl SchemeModel for CpuInterleavedModel {
+    fn choice(&self) -> SchemeChoice {
+        SchemeChoice::CpuInterleaved
+    }
+
+    fn feasible(&self, _inputs: &SchemeInputs) -> bool {
+        true
+    }
+
+    fn ckpt_overhead(&self, inputs: &SchemeInputs, _cadence: u64) -> SimDuration {
+        inputs.ckpt_overhead
+    }
+
+    fn recovery_freshness(&self, cadence: u64) -> u64 {
+        cadence
+    }
+
+    fn retrieval_cost(&self, inputs: &SchemeInputs, case: RecoveryCase) -> SimDuration {
+        match case {
+            RecoveryCase::SoftwareLocal => inputs.retrieval_local,
+            RecoveryCase::HardwareFromCpu => inputs.retrieval_remote,
+            RecoveryCase::PersistentFallback => inputs.retrieval_persistent,
+        }
+    }
+}
+
+impl SchemeModel for GradientReplicateModel {
+    fn choice(&self) -> SchemeChoice {
+        SchemeChoice::GradientReplicate
+    }
+
+    /// The replication traffic must fit inside the iteration it protects.
+    fn feasible(&self, inputs: &SchemeInputs) -> bool {
+        inputs.machines >= 2 && self.ckpt_overhead(inputs, 1) < inputs.iteration_time
+    }
+
+    /// One extra fabric transfer of the gradient shard per replica copy,
+    /// paid every iteration (the commit *is* the iteration).
+    fn ckpt_overhead(&self, inputs: &SchemeInputs, _cadence: u64) -> SimDuration {
+        let copies = inputs.replicas.saturating_sub(1).max(1) as u64;
+        inputs.fabric.time_n(inputs.grad_bytes_per_machine, copies)
+    }
+
+    /// Every iteration is recoverable; only the in-flight one is redone.
+    fn recovery_freshness(&self, _cadence: u64) -> u64 {
+        0
+    }
+
+    fn retrieval_cost(&self, inputs: &SchemeInputs, case: RecoveryCase) -> SimDuration {
+        match case {
+            RecoveryCase::SoftwareLocal => inputs.retrieval_local,
+            RecoveryCase::HardwareFromCpu => inputs.retrieval_remote,
+            RecoveryCase::PersistentFallback => inputs.retrieval_persistent,
+        }
+    }
+}
+
+impl SchemeModel for GpuTierModel {
+    fn choice(&self) -> SchemeChoice {
+        SchemeChoice::GpuTier
+    }
+
+    /// The whole checkpoint shard must fit in the training job's GPU
+    /// headroom — at paper scale (GPT-2 100B on 16 machines: 75 GB/shard
+    /// vs ≈ 6.4 GB headroom) it does not, which is exactly why GEMINI
+    /// checkpoints to CPU memory instead.
+    fn feasible(&self, inputs: &SchemeInputs) -> bool {
+        inputs.ckpt_bytes_per_machine <= inputs.gpu_headroom_per_machine
+    }
+
+    /// The device-memory snapshot rides the same interleaved schedule;
+    /// its visible overhead is the CPU path's.
+    fn ckpt_overhead(&self, inputs: &SchemeInputs, _cadence: u64) -> SimDuration {
+        inputs.ckpt_overhead
+    }
+
+    fn recovery_freshness(&self, cadence: u64) -> u64 {
+        cadence
+    }
+
+    /// Software failures restore from device memory at copy-engine speed
+    /// (degrade-immune: no NIC involved); hardware failures lose the GPU
+    /// tier with the machine and walk the CPU path.
+    fn retrieval_cost(&self, inputs: &SchemeInputs, case: RecoveryCase) -> SimDuration {
+        match case {
+            RecoveryCase::SoftwareLocal => inputs
+                .copy
+                .time(inputs.ckpt_bytes_per_machine)
+                .min(inputs.retrieval_local),
+            RecoveryCase::HardwareFromCpu => inputs.retrieval_remote,
+            RecoveryCase::PersistentFallback => inputs.retrieval_persistent,
+        }
+    }
+}
+
+impl SchemeModel for ShardedHybridModel {
+    fn choice(&self) -> SchemeChoice {
+        SchemeChoice::ShardedHybrid
+    }
+
+    /// Needs peers beyond the replica pair to fan out over.
+    fn feasible(&self, inputs: &SchemeInputs) -> bool {
+        inputs.machines >= 4
+    }
+
+    /// The interleaved commit plus the scatter tax.
+    fn ckpt_overhead(&self, inputs: &SchemeInputs, _cadence: u64) -> SimDuration {
+        inputs.ckpt_overhead + scatter_tax(inputs)
+    }
+
+    fn recovery_freshness(&self, cadence: u64) -> u64 {
+        cadence
+    }
+
+    /// A replacement pulls its shard fan-in from `fanout` peers at once:
+    /// the bandwidth-bound remote path divides by the fan-out. A whole
+    /// lost group has nothing to fan in from and pays the full fallback.
+    fn retrieval_cost(&self, inputs: &SchemeInputs, case: RecoveryCase) -> SimDuration {
+        match case {
+            RecoveryCase::SoftwareLocal => inputs.retrieval_local,
+            RecoveryCase::HardwareFromCpu => SimDuration::from_secs_f64(
+                inputs.retrieval_remote.as_secs_f64() / sharded_fanout(inputs.machines) as f64,
+            ),
+            RecoveryCase::PersistentFallback => inputs.retrieval_persistent,
+        }
+    }
+}
+
+/// Every competing model behind the common trait, in policy order.
+pub fn all_models() -> [&'static dyn SchemeModel; 4] {
+    [
+        &CpuInterleavedModel,
+        &GradientReplicateModel,
+        &GpuTierModel,
+        &ShardedHybridModel,
+    ]
+}
+
+/// Compresses the capacity facts into the [`SchemeSignals`] the adaptive
+/// engine prices at iteration boundaries. Infeasible schemes report
+/// `*_feasible: false` and are never proposed.
+pub fn scheme_signals(inputs: &SchemeInputs) -> SchemeSignals {
+    SchemeSignals {
+        gradient_feasible: GradientReplicateModel.feasible(inputs),
+        gradient_overhead: GradientReplicateModel.ckpt_overhead(inputs, 1),
+        gpu_feasible: GpuTierModel.feasible(inputs),
+        gpu_retrieval: GpuTierModel.retrieval_cost(inputs, RecoveryCase::SoftwareLocal),
+        sharded_feasible: ShardedHybridModel.feasible(inputs),
+        sharded_overhead: scatter_tax(inputs),
+        sharded_factor: 1.0 / sharded_fanout(inputs.machines) as f64,
+        // On a healthy fabric the replacement machine's own ingress NIC is
+        // already the bottleneck, so fan-in cannot beat this; it only claws
+        // back per-link degradation.
+        remote_baseline: inputs.retrieval_remote,
+    }
+}
+
+/// The fixed competing-scheme comparator policies the policy bin runs
+/// alongside [`crate::fixed_policies`]: each freezes the paper's knobs
+/// but swaps the scheme, so every column differs in exactly one
+/// dimension.
+pub fn fixed_scheme_policies() -> Vec<gemini_core::FixedPolicy> {
+    use gemini_core::{FixedPolicy, PolicyKnobs};
+    let base = PolicyKnobs::paper_default();
+    vec![
+        FixedPolicy {
+            name: "checkmate_grad",
+            knobs: PolicyKnobs {
+                scheme: SchemeChoice::GradientReplicate,
+                ..base
+            },
+        },
+        FixedPolicy {
+            name: "tiercheck_gpu",
+            knobs: PolicyKnobs {
+                scheme: SchemeChoice::GpuTier,
+                ..base
+            },
+        },
+        FixedPolicy {
+            name: "reft_sharded",
+            knobs: PolicyKnobs {
+                scheme: SchemeChoice::ShardedHybrid,
+                ..base
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_sim::SimTime;
+
+    /// The paper's large setting: GPT-2 100B on 16 p4d machines.
+    fn paper_inputs() -> SchemeInputs {
+        SchemeInputs::from_deployment(
+            InstanceType::p4d(),
+            ModelConfig::gpt2_100b(),
+            16,
+            2,
+            SimDuration::from_secs(62),
+            SimDuration::ZERO,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(480),
+        )
+    }
+
+    #[test]
+    fn gpu_tier_is_infeasible_at_paper_scale() {
+        // 100B params / 16 machines → 75 GB checkpoint shard, far above
+        // the ≈ 6.4 GB of GPU headroom — the capacity argument for
+        // CPU-memory checkpointing the paper makes in §5.2.
+        let inputs = paper_inputs();
+        assert!(inputs.ckpt_bytes_per_machine > ByteSize::from_gb(70));
+        assert!(!GpuTierModel.feasible(&inputs));
+        assert!(!scheme_signals(&inputs).gpu_feasible);
+    }
+
+    #[test]
+    fn gpu_tier_feasible_for_small_shards() {
+        let mut inputs = paper_inputs();
+        inputs.ckpt_bytes_per_machine = ByteSize::from_gb(4);
+        assert!(GpuTierModel.feasible(&inputs));
+        let sig = scheme_signals(&inputs);
+        assert!(sig.gpu_feasible);
+        // Device restore beats the local-CPU path or at worst matches it.
+        assert!(sig.gpu_retrieval <= inputs.retrieval_local);
+    }
+
+    #[test]
+    fn gradient_replication_prices_fabric_time_per_iteration() {
+        let inputs = paper_inputs();
+        let ovh = GradientReplicateModel.ckpt_overhead(&inputs, 1);
+        // One extra transfer of the 12.5 GB gradient shard on a p4d NIC
+        // (~100 Gbps × 0.8): seconds, not milliseconds — Checkmate's
+        // "zero overhead" claim does not survive an honest fabric model
+        // at this scale.
+        assert!(ovh > SimDuration::from_millis(200), "ovh = {ovh}");
+        assert!(ovh < inputs.iteration_time, "must stay feasible");
+        assert!(GradientReplicateModel.feasible(&inputs));
+        // Cadence does not change the per-commit price: the commit is
+        // the iteration.
+        assert_eq!(ovh, GradientReplicateModel.ckpt_overhead(&inputs, 8));
+    }
+
+    #[test]
+    fn sharded_fan_in_divides_remote_retrieval() {
+        let inputs = paper_inputs();
+        let fanout = sharded_fanout(inputs.machines);
+        assert_eq!(fanout, 8);
+        let full = CpuInterleavedModel.retrieval_cost(&inputs, RecoveryCase::HardwareFromCpu);
+        let sharded = ShardedHybridModel.retrieval_cost(&inputs, RecoveryCase::HardwareFromCpu);
+        assert_eq!(
+            sharded,
+            SimDuration::from_secs_f64(full.as_secs_f64() / fanout as f64)
+        );
+        // The group-loss fallback is untouched: nothing to fan in from.
+        assert_eq!(
+            ShardedHybridModel.retrieval_cost(&inputs, RecoveryCase::PersistentFallback),
+            inputs.retrieval_persistent
+        );
+    }
+
+    #[test]
+    fn scheme_policy_catalog_is_stable() {
+        let cat = fixed_scheme_policies();
+        let names: Vec<&str> = cat.iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["checkmate_grad", "tiercheck_gpu", "reft_sharded"]);
+        // Every comparator keeps the paper's knobs except the scheme.
+        let base = gemini_core::PolicyKnobs::paper_default();
+        for p in &cat {
+            assert_eq!(p.knobs.ckpt_every_iters, base.ckpt_every_iters);
+            assert_eq!(p.knobs.persist_interval, base.persist_interval);
+            assert_eq!(p.knobs.replicas, base.replicas);
+            assert_ne!(p.knobs.scheme, base.scheme);
+        }
+    }
+
+    #[test]
+    fn engine_picks_sharded_under_degrade_with_real_signals() {
+        // End-to-end: capacity facts from this module drive the core
+        // engine to the sharded scheme once the network degrades.
+        use gemini_core::policy::{PolicyConfig, PolicyEngine, PolicyKnobs, PolicySignals};
+        let inputs = paper_inputs();
+        let sig = scheme_signals(&inputs);
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        let mut s = PolicySignals {
+            now: SimTime::from_secs(10_000),
+            committed: 100,
+            iteration_time: inputs.iteration_time,
+            ckpt_overhead: inputs.ckpt_overhead,
+            retrieval_remote: inputs.retrieval_remote,
+            retrieval_persistent: inputs.retrieval_persistent,
+            persist_upload: SimDuration::from_secs(480),
+            persist_anchor: None,
+            healthy_machines: 16,
+            machines: 16,
+            scheme: sig,
+        };
+        assert_eq!(eng.target(&s).scheme, SchemeChoice::CpuInterleaved);
+        // NIC collapse: remote retrieval 5 s → 30 min.
+        s.retrieval_remote = SimDuration::from_mins(30);
+        assert_eq!(eng.target(&s).scheme, SchemeChoice::ShardedHybrid);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn any_inputs() -> impl Strategy<Value = SchemeInputs> {
+            (
+                (1usize..64, 1usize..5, 1u64..200, 1u64..600),
+                (0u64..30_000, 1u64..30, 1u64..7_200),
+            )
+                .prop_map(
+                    |(
+                        (machines, replicas, ckpt_gb, iter_s),
+                        (ovh_ms, retr_local_s, retr_remote_s),
+                    )| SchemeInputs {
+                        machines,
+                        replicas,
+                        ckpt_bytes_per_machine: ByteSize::from_gb(ckpt_gb),
+                        grad_bytes_per_machine: ByteSize::from_gb(ckpt_gb) / 6,
+                        iteration_time: SimDuration::from_secs(iter_s),
+                        ckpt_overhead: SimDuration::from_millis(ovh_ms),
+                        retrieval_local: SimDuration::from_secs(retr_local_s),
+                        retrieval_remote: SimDuration::from_secs(retr_remote_s),
+                        retrieval_persistent: SimDuration::from_secs(480),
+                        gpu_headroom_per_machine: ByteSize::from_gb(6),
+                        fabric: InstanceType::p4d().ckpt_net_cost(),
+                        copy: InstanceType::p4d().copy_cost(),
+                    },
+                )
+        }
+
+        proptest! {
+            /// The trait invariants the policy layer relies on, for every
+            /// model over arbitrary inputs: overhead is finite, freshness
+            /// never exceeds the cadence, every retrieval path is
+            /// defined, and feasibility is a pure function of the inputs.
+            #[test]
+            fn scheme_model_invariants(inputs in any_inputs(), cadence in 1u64..64) {
+                for model in all_models() {
+                    let ovh = model.ckpt_overhead(&inputs, cadence);
+                    prop_assert!(ovh.as_secs_f64().is_finite());
+                    prop_assert!(model.recovery_freshness(cadence) <= cadence);
+                    for case in [
+                        RecoveryCase::SoftwareLocal,
+                        RecoveryCase::HardwareFromCpu,
+                        RecoveryCase::PersistentFallback,
+                    ] {
+                        let t = model.retrieval_cost(&inputs, case);
+                        prop_assert!(t.as_secs_f64().is_finite());
+                    }
+                    prop_assert_eq!(model.feasible(&inputs), model.feasible(&inputs));
+                }
+            }
+
+            /// Signals never mark an infeasible scheme feasible, and the
+            /// engine (which only proposes feasible candidates) can thus
+            /// never select one: the GPU tier above headroom is the
+            /// canonical case.
+            #[test]
+            fn infeasible_never_signalled(inputs in any_inputs()) {
+                let sig = scheme_signals(&inputs);
+                prop_assert_eq!(sig.gradient_feasible, GradientReplicateModel.feasible(&inputs));
+                prop_assert_eq!(sig.gpu_feasible, GpuTierModel.feasible(&inputs));
+                prop_assert_eq!(sig.sharded_feasible, ShardedHybridModel.feasible(&inputs));
+                if inputs.ckpt_bytes_per_machine > inputs.gpu_headroom_per_machine {
+                    prop_assert!(!sig.gpu_feasible);
+                }
+                prop_assert!(sig.sharded_factor > 0.0 && sig.sharded_factor <= 0.5);
+            }
+
+            /// Sharded retrieval is never slower than the paper's remote
+            /// path, and the scatter tax is the only extra commit cost.
+            #[test]
+            fn sharded_dominates_on_hardware_path(inputs in any_inputs(), cadence in 1u64..64) {
+                let full = CpuInterleavedModel
+                    .retrieval_cost(&inputs, RecoveryCase::HardwareFromCpu);
+                let sharded = ShardedHybridModel
+                    .retrieval_cost(&inputs, RecoveryCase::HardwareFromCpu);
+                prop_assert!(sharded <= full);
+                let extra = ShardedHybridModel.ckpt_overhead(&inputs, cadence)
+                    .saturating_sub(CpuInterleavedModel.ckpt_overhead(&inputs, cadence));
+                prop_assert_eq!(extra, scatter_tax(&inputs));
+            }
+        }
+    }
+}

@@ -13,13 +13,23 @@
 //!   without pipeline** and **GEMINI** evaluated on the same idle-span
 //!   profile, plus the fixed fault-tolerance comparator policies
 //!   ([`fixed_policies`]) the adaptive `gemini_core::policy` engine is
-//!   benchmarked against.
+//!   benchmarked against;
+//! * [`competing`] — the competing *fault-tolerance* schemes from related
+//!   work, priced on the same fabric/timeline models: **Checkmate**-style
+//!   gradient replication, **TierCheck**-style GPU-memory checkpoints and
+//!   **REFT**-style hybrid-parallel sharding, behind a common
+//!   [`SchemeModel`] trait.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod competing;
 pub mod remote;
 pub mod schemes;
 
+pub use competing::{
+    all_models, fixed_scheme_policies, scheme_signals, CpuInterleavedModel, GradientReplicateModel,
+    GpuTierModel, SchemeInputs, SchemeModel, ShardedHybridModel,
+};
 pub use remote::{highfreq, strawman, RemoteBaseline, RemoteSetup};
 pub use schemes::{evaluate_scheme, fixed_policies, InterleaveScheme, SchemeOutcome};

@@ -218,12 +218,13 @@ pub fn evaluate_scheme(
 /// * `amortized_8` — commits every 8th iteration (stale in-memory
 ///   checkpoints, cheap when checkpoints carry visible overhead).
 pub fn fixed_policies() -> Vec<gemini_core::FixedPolicy> {
-    use gemini_core::{FixedPolicy, PolicyKnobs, TierPreference};
+    use gemini_core::{FixedPolicy, PolicyKnobs, SchemeChoice, TierPreference};
     let base = PolicyKnobs {
         ckpt_every_iters: 1,
         persist_interval: Some(SimDuration::from_hours(3)),
         replicas: 2,
         tier: TierPreference::CpuFirst,
+        scheme: SchemeChoice::CpuInterleaved,
     };
     vec![
         FixedPolicy {

@@ -18,7 +18,10 @@
 //! same tolerance as the deterministic metrics.
 //! Deterministic metrics — event counts, trial counts, byte-identity
 //! flags, policy rework/downtime/overhead — are compared with a relative
-//! tolerance (default 25%). Every numeric key present in the baseline
+//! tolerance (default 25%) over an absolute floor (`--abs-eps`, default
+//! 1e-6): a baseline at or near zero would turn float noise into an
+//! unbounded relative drift, so any |fresh − baseline| within the floor
+//! passes outright. Every numeric key present in the baseline
 //! must also exist in the fresh report (schema regressions fail too).
 //! Exit status 2 on any regression or missing key.
 //!
@@ -242,11 +245,27 @@ fn skipped(path: &str) -> bool {
         || leaf.ends_with("_us")
 }
 
+/// Whether `value` drifted from `base` beyond the gate. Relative drift
+/// alone explodes against a zero or near-zero baseline (the denominator
+/// clamps at 1e-12, so a 1e-9 absolute wobble in a "0.0" metric reads as
+/// +100 000 % and fails the gate); any |value − base| within the
+/// absolute floor `abs_eps` passes first, and only then is the relative
+/// tolerance applied.
+fn drift_exceeds(value: f64, base: f64, tolerance: f64, abs_eps: f64) -> bool {
+    let abs = (value - base).abs();
+    if abs <= abs_eps {
+        return false;
+    }
+    let denom = base.abs().max(1e-12);
+    abs / denom > tolerance
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut fresh_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut tolerance_pct = 25.0f64;
+    let mut abs_eps = 1e-6f64;
     while let Some(arg) = args.next() {
         let mut take = |what: &str| {
             args.next()
@@ -261,8 +280,15 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail(&format!("bad --tolerance {raw:?}")));
             }
+            "--abs-eps" => {
+                let raw = take("--abs-eps");
+                abs_eps = raw
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad --abs-eps {raw:?}")));
+            }
             other => fail(&format!(
-                "unknown argument {other:?} (--fresh F --baseline F [--tolerance PCT])"
+                "unknown argument {other:?} \
+                 (--fresh F --baseline F [--tolerance PCT] [--abs-eps X])"
             )),
         }
     }
@@ -294,9 +320,8 @@ fn main() {
             }
             Some(value) => {
                 compared += 1;
-                let denom = base.abs().max(1e-12);
-                let drift = (value - base) / denom;
-                if drift.abs() > tolerance {
+                if drift_exceeds(*value, *base, tolerance, abs_eps) {
+                    let drift = (value - base) / base.abs().max(1e-12);
                     eprintln!(
                         "  REGRESSION {path}: baseline={base} fresh={value} ({:+.1}%)",
                         drift * 100.0
@@ -313,5 +338,50 @@ fn main() {
     );
     if failures > 0 {
         std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::drift_exceeds;
+
+    const EPS: f64 = 1e-6;
+
+    #[test]
+    fn zero_baseline_tolerates_float_noise() {
+        // Without the absolute floor this is a 1e8-percent "regression".
+        assert!(!drift_exceeds(1e-9, 0.0, 0.25, EPS));
+        assert!(!drift_exceeds(-1e-9, 0.0, 0.25, EPS));
+        assert!(!drift_exceeds(0.0, 0.0, 0.25, EPS));
+    }
+
+    #[test]
+    fn zero_baseline_still_catches_real_drift() {
+        // A metric that was 0 and became 3.2 is a genuine regression.
+        assert!(drift_exceeds(3.2, 0.0, 0.25, EPS));
+        assert!(drift_exceeds(2e-6, 0.0, 0.25, EPS));
+    }
+
+    #[test]
+    fn near_zero_baseline_uses_the_floor_not_the_ratio() {
+        // base 1e-9: a same-magnitude wobble is a 100% relative drift but
+        // sits far inside the absolute floor.
+        assert!(!drift_exceeds(2e-9, 1e-9, 0.25, EPS));
+        assert!(drift_exceeds(0.5, 1e-9, 0.25, EPS));
+    }
+
+    #[test]
+    fn normal_baselines_keep_the_relative_gate() {
+        assert!(!drift_exceeds(110.0, 100.0, 0.25, EPS));
+        assert!(drift_exceeds(130.0, 100.0, 0.25, EPS));
+        assert!(drift_exceeds(70.0, 100.0, 0.25, EPS));
+        // Exactly on the tolerance edge passes (strict >).
+        assert!(!drift_exceeds(125.0, 100.0, 0.25, 0.0));
+    }
+
+    #[test]
+    fn zero_floor_reproduces_the_old_behaviour() {
+        // abs_eps = 0 is the historical gate: near-zero baselines explode.
+        assert!(drift_exceeds(1e-9, 0.0, 0.25, 0.0));
     }
 }

@@ -1,8 +1,11 @@
 //! The policy comparison matrix: every chaos plan × seed cell runs once
-//! per fault-tolerance policy (the adaptive engine plus each fixed
-//! comparator from [`gemini_baselines::fixed_policies`]), and the bin
-//! reports the wasted-time ledger (paper §2.1: rework + downtime +
-//! visible overhead) per cell and per policy.
+//! per fault-tolerance policy (the adaptive engine, each fixed knob
+//! comparator from [`gemini_baselines::fixed_policies`], and each fixed
+//! competing-scheme comparator from
+//! [`gemini_baselines::fixed_scheme_policies`] — Checkmate-style gradient
+//! replication, TierCheck-style GPU tiering, REFT-style sharding), and
+//! the bin reports the wasted-time ledger (paper §2.1: rework + downtime
+//! + visible overhead) per cell and per policy.
 //!
 //! ```text
 //! cargo run --release -p gemini-bench --bin policy              # full matrix
@@ -20,9 +23,13 @@
 //!    ([`check_policy_preserves_commits`]). Other comparators are not
 //!    baselines for this check: `dense_persist_10m` deliberately buys
 //!    freshness with 18× the persist traffic.
-//! 3. **Competitiveness** — full matrix: adaptive total wasted time ≤
-//!    the best fixed policy's in ≥ 80 % of cells; `--quick` smoke:
-//!    adaptive aggregate ≤ the best fixed aggregate.
+//! 3. **Competitiveness** — adaptive aggregate wasted time ≤ the best
+//!    fixed comparator's (scheme comparators included); on the full
+//!    matrix additionally best-or-tied vs the fixed *knob* comparators
+//!    in ≥ 80 % of cells. (Per-cell wins against the scheme comparators
+//!    are reported, not gated: each fixed scheme wins its native niche
+//!    by construction — `reft_sharded` on NIC-degrade plans — and the
+//!    engine's hysteresis deliberately refuses sub-margin switches.)
 //! 4. **Determinism** — the adaptive campaign renders byte-identically
 //!    at `--jobs N` and `--jobs 1`.
 //!
@@ -30,7 +37,7 @@
 //! `perf` bin; `--out FILE` overrides the path) as the `"policy"`
 //! section, replacing any previous one.
 
-use gemini_baselines::fixed_policies;
+use gemini_baselines::{fixed_policies, fixed_scheme_policies};
 use gemini_bench::BenchCli;
 use gemini_core::policy::PolicySpec;
 use gemini_core::WastedLedger;
@@ -82,9 +89,14 @@ fn main() {
     };
     let cells = plans.len() * seeds.len();
 
-    // Policy column order: adaptive first, then the fixed comparators.
+    // Policy column order: adaptive first, then the fixed knob
+    // comparators, then the fixed competing-scheme comparators.
     let mut specs: Vec<PolicySpec> = vec![PolicySpec::adaptive()];
     specs.extend(fixed_policies().into_iter().map(PolicySpec::Fixed));
+    // Columns 1..=knob_cols are the fixed knob comparators; scheme
+    // comparators follow (the split matters for the win-rate gate).
+    let knob_cols = specs.len() - 1;
+    specs.extend(fixed_scheme_policies().into_iter().map(PolicySpec::Fixed));
     let names: Vec<String> = specs.iter().map(|s| s.name().to_string()).collect();
 
     // ---- run the matrix ------------------------------------------------
@@ -147,6 +159,7 @@ fn main() {
     }
     println!("------|");
     let mut adaptive_wins = 0usize;
+    let mut adaptive_wins_knobs = 0usize;
     for cell in 0..cells {
         let row: Vec<f64> = runs.iter().map(|rs| wasted(&rs[cell])).collect();
         let best = row.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -154,6 +167,13 @@ fn main() {
         // "Adaptive wins" = no fixed policy strictly beats it (ties count).
         if row[0] <= best + 1e-9 {
             adaptive_wins += 1;
+        }
+        let best_knobs = row[1..=knob_cols]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        if row[0] <= best_knobs + 1e-9 {
+            adaptive_wins_knobs += 1;
         }
         print!(
             "| {} | {} |",
@@ -187,10 +207,13 @@ fn main() {
         );
     }
     let win_rate = adaptive_wins as f64 / cells.max(1) as f64;
+    let win_rate_knobs = adaptive_wins_knobs as f64 / cells.max(1) as f64;
     println!(
-        "\nadaptive best-or-tied in {adaptive_wins}/{cells} cells ({:.0}%); \
-         safety violations: {}",
+        "\nadaptive best-or-tied in {adaptive_wins}/{cells} cells ({:.0}%) \
+         overall, {adaptive_wins_knobs}/{cells} ({:.0}%) vs the knob \
+         comparators; safety violations: {}",
         win_rate * 100.0,
+        win_rate_knobs * 100.0,
         safety.len()
     );
 
@@ -222,6 +245,7 @@ fn main() {
          \"seeds\": [{seeds_json}],\n    \"cells\": {cells},\n    \
          \"adaptive_best_or_tied_cells\": {adaptive_wins},\n    \
          \"adaptive_win_rate\": {win_rate:.3},\n    \
+         \"adaptive_win_rate_knobs\": {win_rate_knobs:.3},\n    \
          \"safety_violations\": {},\n    \"policies\": {{\n{per_policy}\n    }}\n  }}",
         plans.len(),
         safety.len(),
@@ -256,22 +280,25 @@ fn main() {
         }
         failed = true;
     }
-    if quick {
-        // Smoke gate: adaptive aggregate <= the best fixed aggregate.
-        let adaptive = aggregates[0].total().as_secs_f64();
-        let best_fixed = aggregates[1..]
-            .iter()
-            .map(|a| a.total().as_secs_f64())
-            .fold(f64::INFINITY, f64::min);
-        if adaptive > best_fixed + 1e-9 {
-            eprintln!(
-                "FAILED: adaptive wasted {adaptive:.1}s > best fixed {best_fixed:.1}s \
-                 on the smoke matrix"
-            );
-            failed = true;
-        }
-    } else if win_rate < 0.8 {
-        eprintln!("FAILED: adaptive best-or-tied rate {win_rate:.2} < 0.80");
+    // Aggregate gate (both modes): the scheme-switching adaptive policy
+    // must beat or tie the best fixed comparator — scheme comparators
+    // included — in total wasted time.
+    let adaptive = aggregates[0].total().as_secs_f64();
+    let best_fixed = aggregates[1..]
+        .iter()
+        .map(|a| a.total().as_secs_f64())
+        .fold(f64::INFINITY, f64::min);
+    if adaptive > best_fixed + 1e-9 {
+        eprintln!("FAILED: adaptive wasted {adaptive:.1}s > best fixed {best_fixed:.1}s");
+        failed = true;
+    }
+    // Per-cell gate (full matrix): the knob comparators must not beat
+    // the adaptive engine in more than 20 % of cells.
+    if !quick && win_rate_knobs < 0.8 {
+        eprintln!(
+            "FAILED: adaptive best-or-tied rate {win_rate_knobs:.2} < 0.80 \
+             vs the knob comparators"
+        );
         failed = true;
     }
     if failed {

@@ -53,7 +53,7 @@ pub use partition::{Chunk, PartitionInput, PartitionPlan};
 pub use placement::{Placement, PlacementGroup, PlacementStrategy};
 pub use policy::{
     FixedPolicy, PolicyConfig, PolicyDecisionRecord, PolicyEngine, PolicyKnobs, PolicySignals,
-    PolicySpec, PolicyStats, TierPreference,
+    PolicySpec, PolicyStats, SchemeChoice, SchemeSignals, TierPreference,
 };
 pub use recovery::{RecoveryCase, RecoveryPlan, RecoveryPlanner, RetrievalSource};
 pub use retention::{PersistentLedger, RetentionPolicy};

@@ -49,6 +49,85 @@ impl TierPreference {
     }
 }
 
+/// Which fault-tolerance *scheme* protects the job. The paper's own
+/// scheme is [`SchemeChoice::CpuInterleaved`]; the other three model the
+/// published competitors (see `gemini_baselines::competing`) so the
+/// engine can switch between them at iteration boundaries,
+/// Chameleon-style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemeChoice {
+    /// GEMINI: CPU-memory checkpoints with traffic interleaving (§4).
+    CpuInterleaved,
+    /// Checkmate-style gradient replication piggybacked on the all-reduce:
+    /// every iteration is recoverable, priced as extra fabric time per
+    /// iteration instead of per-checkpoint overhead.
+    GradientReplicate,
+    /// TierCheck-style GPU-memory checkpoint tier above CPU memory:
+    /// software failures restore from device memory, hardware failures
+    /// fall back to the CPU tiers. Feasible only when the shard fits in
+    /// GPU headroom.
+    GpuTier,
+    /// REFT-style hybrid-parallel sharding: each machine's checkpoint is
+    /// scattered across the group, so a replacement re-assembles it
+    /// fan-in from many peers instead of one.
+    ShardedHybrid,
+}
+
+impl SchemeChoice {
+    /// Stable label for telemetry and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeChoice::CpuInterleaved => "cpu_interleaved",
+            SchemeChoice::GradientReplicate => "gradient_replicate",
+            SchemeChoice::GpuTier => "gpu_tier",
+            SchemeChoice::ShardedHybrid => "sharded_hybrid",
+        }
+    }
+}
+
+/// Scheme-pricing signals sampled once from the cluster/model spec (they
+/// are capacity facts, not runtime state). The default is "no competitor
+/// is feasible", which makes the engine keep the paper's scheme — so
+/// callers that never price competitors are unaffected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SchemeSignals {
+    /// Gradient replication fits the fabric/capacity budget.
+    pub gradient_feasible: bool,
+    /// Extra per-iteration fabric time gradient replication costs.
+    pub gradient_overhead: SimDuration,
+    /// The checkpoint shard fits in GPU memory headroom.
+    pub gpu_feasible: bool,
+    /// Retrieval time from the GPU tier (device-local, degrade-immune).
+    pub gpu_retrieval: SimDuration,
+    /// Sharded re-assembly is supported by the placement.
+    pub sharded_feasible: bool,
+    /// Extra per-commit scatter time sharding costs.
+    pub sharded_overhead: SimDuration,
+    /// Multiplier (< 1) sharded fan-in applies to remote-CPU retrieval.
+    pub sharded_factor: f64,
+    /// The healthy (undegraded) remote retrieval time — the
+    /// ingress-bound floor fan-in cannot beat: with a healthy fabric the
+    /// replacement machine's own NIC is the bottleneck, so parallel
+    /// senders buy nothing; fan-in only claws back per-link degradation
+    /// above this floor. `ZERO` (the default) disables the floor.
+    pub remote_baseline: SimDuration,
+}
+
+impl Default for SchemeSignals {
+    fn default() -> Self {
+        SchemeSignals {
+            gradient_feasible: false,
+            gradient_overhead: SimDuration::ZERO,
+            gpu_feasible: false,
+            gpu_retrieval: SimDuration::ZERO,
+            sharded_feasible: false,
+            sharded_overhead: SimDuration::ZERO,
+            sharded_factor: 1.0,
+            remote_baseline: SimDuration::ZERO,
+        }
+    }
+}
+
 /// The knobs a policy controls. This is both the engine's *active* state
 /// and the shape of a fixed (non-adaptive) comparator policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,17 +141,21 @@ pub struct PolicyKnobs {
     pub replicas: usize,
     /// Retrieval-tier preference for the next recovery.
     pub tier: TierPreference,
+    /// The fault-tolerance scheme in force.
+    pub scheme: SchemeChoice,
 }
 
 impl PolicyKnobs {
     /// The paper's defaults: checkpoint every iteration, persist every
-    /// three hours (§7.1), `m = 2`, CPU tiers first.
+    /// three hours (§7.1), `m = 2`, CPU tiers first, interleaved
+    /// CPU-memory checkpointing.
     pub fn paper_default() -> Self {
         PolicyKnobs {
             ckpt_every_iters: 1,
             persist_interval: Some(SimDuration::from_hours(3)),
             replicas: 2,
             tier: TierPreference::CpuFirst,
+            scheme: SchemeChoice::CpuInterleaved,
         }
     }
 }
@@ -150,6 +233,19 @@ pub struct PolicyConfig {
     /// would ever compare equal, and the hysteresis streak could never
     /// complete.
     pub persist_quantum: SimDuration,
+    /// Master switch for the scheme dimension. Off, the engine never
+    /// proposes a scheme other than the active one.
+    pub scheme_switching: bool,
+    /// A competitor's expected wasted-time rate must beat the active
+    /// scheme's by this factor before a switch is proposed.
+    pub scheme_margin: f64,
+    /// Failure-rate prior (per hour) used as a floor when pricing
+    /// schemes, so a quiet trace with a degraded network can still
+    /// pre-position on the cheaper recovery path before the first loss.
+    pub scheme_rate_prior_per_hour: f64,
+    /// Absolute wasted-rate gain (seconds wasted per second of wall
+    /// time) a switch must clear on top of the relative margin.
+    pub scheme_min_gain: f64,
 }
 
 impl Default for PolicyConfig {
@@ -166,6 +262,10 @@ impl Default for PolicyConfig {
             fallback_every_iters: 1,
             max_every_iters: 64,
             persist_quantum: SimDuration::from_mins(1),
+            scheme_switching: true,
+            scheme_margin: 1.25,
+            scheme_rate_prior_per_hour: 1.0,
+            scheme_min_gain: 1e-3,
         }
     }
 }
@@ -198,6 +298,8 @@ pub struct PolicySignals {
     pub healthy_machines: usize,
     /// Total machines in the job.
     pub machines: usize,
+    /// Scheme-pricing capacity facts (defaults = no competitor feasible).
+    pub scheme: SchemeSignals,
 }
 
 impl PolicySignals {
@@ -262,8 +364,16 @@ impl RateEstimator {
     }
 
     fn observe(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last).as_secs_f64();
         self.decay_to(now);
-        self.rate_per_sec += std::f64::consts::LN_2 / self.halflife_secs;
+        // Credit the event as if it were smeared over the gap since the
+        // previous observation rather than as a point mass at the sample
+        // instant: a raw `+= ln2/h` biases a periodic stream upward by
+        // ≈ ln2·Δ/(2h) (≈ 5.8% at Δ = 600 s, halflife 1 h) because the
+        // estimate is always read right after an increment. Discounting
+        // by half the gap's decay cancels the bias to O((Δ/h)²).
+        self.rate_per_sec += std::f64::consts::LN_2 / self.halflife_secs
+            * 0.5_f64.powf(dt / (2.0 * self.halflife_secs));
     }
 
     fn per_sec(&mut self, now: SimTime) -> f64 {
@@ -296,6 +406,7 @@ pub struct PolicyEngine {
     initial_replicas: usize,
     all: RateEstimator,
     correlated: RateEstimator,
+    software: RateEstimator,
     pending: Option<(PolicyKnobs, u32)>,
     last_applied: Option<SimTime>,
     stats: PolicyStats,
@@ -308,6 +419,7 @@ impl PolicyEngine {
         PolicyEngine {
             all: RateEstimator::new(cfg.halflife),
             correlated: RateEstimator::new(cfg.halflife),
+            software: RateEstimator::new(cfg.halflife),
             cfg,
             active: initial,
             initial_replicas: initial.replicas,
@@ -336,10 +448,15 @@ impl PolicyEngine {
     /// Records a *confirmed* failure. `correlated` marks failures that
     /// took down a whole placement group (or otherwise defeat CPU
     /// replication) — the only kind the persistent tier protects against.
-    pub fn observe_failure(&mut self, now: SimTime, correlated: bool) {
+    /// `software` marks failures that leave the machine (and its device
+    /// memory) intact — the only kind a GPU-tier checkpoint survives.
+    pub fn observe_failure(&mut self, now: SimTime, correlated: bool, software: bool) {
         self.all.observe(now);
         if correlated {
             self.correlated.observe(now);
+        }
+        if software {
+            self.software.observe(now);
         }
     }
 
@@ -358,11 +475,17 @@ impl PolicyEngine {
     pub fn target(&mut self, s: &PolicySignals) -> PolicyKnobs {
         let lam_all = self.all.per_sec(s.now);
         let lam_corr = self.correlated.per_sec(s.now);
+        let lam_sw = self.software.per_sec(s.now);
+        let cadence = self.target_cadence(s, lam_all);
+        // Scheme first: the tier rule judges the persistent override
+        // against the remote path the *chosen* scheme actually pays.
+        let scheme = self.target_scheme(s, cadence, lam_all, lam_corr, lam_sw);
         PolicyKnobs {
-            ckpt_every_iters: self.target_cadence(s, lam_all),
+            ckpt_every_iters: cadence,
             persist_interval: Some(self.target_persist(s, lam_corr)),
             replicas: self.target_replicas(lam_corr * 3_600.0),
-            tier: self.target_tier(s),
+            tier: self.target_tier(s, scheme),
+            scheme,
         }
     }
 
@@ -415,19 +538,138 @@ impl PolicyEngine {
 
     /// Tier: persistent-first only when a durable anchor exists and its
     /// total cost (retrieval + rollback rework) beats degraded remote-CPU
-    /// retrieval by the configured margin.
-    fn target_tier(&self, s: &PolicySignals) -> TierPreference {
+    /// retrieval by the configured margin. The remote side is priced
+    /// under the scheme being proposed: a fan-in scheme shrinks the
+    /// degraded remote path, and overriding to a persistent rollback
+    /// that the sharded retrieval would have beaten wastes the rework.
+    fn target_tier(&self, s: &PolicySignals, scheme: SchemeChoice) -> TierPreference {
         let Some(anchor) = s.persist_anchor else {
             return TierPreference::CpuFirst;
         };
         let rollback = s.committed.saturating_sub(anchor) as f64
             * s.iteration_time.as_secs_f64();
         let persistent_total = s.retrieval_persistent.as_secs_f64() + rollback;
-        let cpu_total = s.retrieval_remote.as_secs_f64();
+        let mut cpu_total = s.retrieval_remote.as_secs_f64();
+        if scheme == SchemeChoice::ShardedHybrid && s.scheme.sharded_feasible {
+            let f = s.scheme.sharded_factor.clamp(0.0, 1.0);
+            cpu_total = (cpu_total * f)
+                .max(s.scheme.remote_baseline.as_secs_f64())
+                .min(cpu_total);
+        }
         if persistent_total * self.cfg.tier_margin < cpu_total {
             TierPreference::PersistentFirst
         } else {
             TierPreference::CpuFirst
+        }
+    }
+
+    /// Scheme: price each *feasible* scheme's expected wasted-time rate
+    /// (seconds wasted per second of wall time) from the same signals and
+    /// keep the active one unless a competitor clears both the relative
+    /// margin and the absolute gain floor. An infeasible active scheme
+    /// falls straight to the cheapest candidate. The paper's scheme is
+    /// always a candidate, so the engine can never strand itself.
+    ///
+    /// Cost model, mirroring the chaos executor's accounting:
+    /// * overhead rate — visible checkpoint overhead per wall-second
+    ///   (per-commit for checkpoint schemes, per-iteration for gradient
+    ///   replication),
+    /// * expected rework — `t_iter·(k−1)/2` at cadence `k` (zero when
+    ///   every iteration is recoverable), and
+    /// * expected retrieval — the scheme's recovery path, with the
+    ///   failure-mix shares (software / correlated) blending the paths a
+    ///   scheme only improves for some failure kinds.
+    fn target_scheme(
+        &self,
+        s: &PolicySignals,
+        cadence: u64,
+        lam_all: f64,
+        lam_corr: f64,
+        lam_sw: f64,
+    ) -> SchemeChoice {
+        if !self.cfg.scheme_switching {
+            return self.active.scheme;
+        }
+        let sc = s.scheme;
+        let t_iter = s.iteration_time.as_secs_f64().max(1e-9);
+        // The rate prior keeps the pricing meaningful on a quiet trace:
+        // with zero observed failures every failure-dependent term would
+        // vanish and no retrieval-path advantage could ever register.
+        let lam_eff = lam_all.max(self.cfg.scheme_rate_prior_per_hour / 3_600.0);
+        let corr_share = if lam_all > 1e-12 {
+            (lam_corr / lam_all).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let sw_share = if lam_all > 1e-12 {
+            (lam_sw / lam_all).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let kf = cadence.max(1) as f64;
+        let rework = t_iter * (kf - 1.0) / 2.0;
+        let ovh_rate = s.ckpt_overhead.as_secs_f64() / (kf * t_iter);
+        let retr = s.retrieval_remote.as_secs_f64();
+
+        let mut candidates = vec![(
+            SchemeChoice::CpuInterleaved,
+            ovh_rate + lam_eff * (rework + retr),
+        )];
+        if sc.gradient_feasible {
+            // Recoverable every iteration (no rework), but the fabric
+            // tax is paid every iteration, commit cadence or not.
+            candidates.push((
+                SchemeChoice::GradientReplicate,
+                sc.gradient_overhead.as_secs_f64() / t_iter + lam_eff * retr,
+            ));
+        }
+        if sc.gpu_feasible {
+            // Software failures restore from device memory; hardware
+            // failures still walk the CPU tiers.
+            let blend = sw_share * sc.gpu_retrieval.as_secs_f64() + (1.0 - sw_share) * retr;
+            candidates.push((
+                SchemeChoice::GpuTier,
+                ovh_rate + lam_eff * (rework + blend),
+            ));
+        }
+        if sc.sharded_feasible {
+            // Fan-in shrinks single-machine remote retrieval, floored at
+            // the healthy ingress-bound time (parallel senders cannot
+            // push a NIC past line rate); a whole lost group still pays
+            // the full path. Scatter overhead is paid per commit on top
+            // of the interleaved checkpoint.
+            let f = sc.sharded_factor.clamp(0.0, 1.0);
+            let fanned = (retr * f).max(sc.remote_baseline.as_secs_f64()).min(retr);
+            let blend = (1.0 - corr_share) * fanned + corr_share * retr;
+            candidates.push((
+                SchemeChoice::ShardedHybrid,
+                ovh_rate
+                    + sc.sharded_overhead.as_secs_f64() / (kf * t_iter)
+                    + lam_eff * (rework + blend),
+            ));
+        }
+
+        let (best, best_cost) = candidates
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("cpu_interleaved is always a candidate");
+        match candidates
+            .iter()
+            .find(|(c, _)| *c == self.active.scheme)
+            .map(|&(_, cost)| cost)
+        {
+            // Active scheme no longer feasible → take the best candidate.
+            None => best,
+            Some(active_cost) => {
+                if best_cost * self.cfg.scheme_margin < active_cost
+                    && active_cost - best_cost > self.cfg.scheme_min_gain
+                {
+                    best
+                } else {
+                    self.active.scheme
+                }
+            }
         }
     }
 
@@ -501,6 +743,13 @@ impl PolicyEngine {
                 target.tier.label()
             ));
         }
+        if target.scheme != self.active.scheme {
+            parts.push(format!(
+                "scheme {}→{}",
+                self.active.scheme.label(),
+                target.scheme.label()
+            ));
+        }
         parts.join(", ")
     }
 }
@@ -539,12 +788,13 @@ mod tests {
             persist_anchor: None,
             healthy_machines: 16,
             machines: 16,
+            scheme: SchemeSignals::default(),
         }
     }
 
     #[test]
     fn ewma_converges_to_poisson_intensity() {
-        // One failure every 600 s for 20 half-lives → rate ≈ 1/600 s⁻¹.
+        // One failure every 600 s for 80 half-lives → rate ≈ 1/600 s⁻¹.
         let mut e = RateEstimator::new(SimDuration::from_hours(1));
         let mut t = 0;
         while t < 72_000 * 4 {
@@ -553,11 +803,11 @@ mod tests {
         }
         let per_sec = e.per_sec(SimTime::from_secs(t));
         let expect = 1.0 / 600.0;
-        // A *discrete* stream sampled right at an event carries an
-        // upward bias of ≈ λ_decay·Δ/2 (≈ 5.8% at Δ = 600 s, halflife
-        // 1 h); a true Poisson stream converges to λ exactly.
+        // Reading right after an increment used to carry an upward bias
+        // of ≈ ln2·Δ/(2h) (≈ 5.8% here); the half-gap discount in
+        // `observe` cancels it to O((Δ/h)²) ≈ 0.1%.
         assert!(
-            (per_sec - expect).abs() / expect < 0.08,
+            (per_sec - expect).abs() / expect < 0.01,
             "rate {per_sec} vs {expect}"
         );
     }
@@ -566,7 +816,7 @@ mod tests {
     fn zero_overhead_keeps_cadence_1() {
         let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
         for i in 0..50 {
-            eng.observe_failure(SimTime::from_secs(i * 120), false);
+            eng.observe_failure(SimTime::from_secs(i * 120), false, false);
         }
         let t = eng.target(&signals(6_000));
         assert_eq!(t.ckpt_every_iters, 1);
@@ -579,7 +829,7 @@ mod tests {
         let mut t = 0;
         while t < 72_000 {
             t += 3_600;
-            eng.observe_failure(SimTime::from_secs(t), false);
+            eng.observe_failure(SimTime::from_secs(t), false, false);
         }
         let mut s = signals(t);
         s.ckpt_overhead = SimDuration::from_secs(10);
@@ -598,7 +848,7 @@ mod tests {
         let mut t = 0;
         while t < 36_000 {
             t += 1_800;
-            eng.observe_failure(SimTime::from_secs(t), true);
+            eng.observe_failure(SimTime::from_secs(t), true, false);
         }
         let hot = eng.target(&signals(t)).persist_interval.unwrap();
         assert!(hot < quiet, "hot {hot:?} quiet {quiet:?}");
@@ -631,7 +881,7 @@ mod tests {
         let mut t = 0;
         while t < 36_000 {
             t += 1_800; // 2 per hour > 0.5 threshold
-            eng.observe_failure(SimTime::from_secs(t), true);
+            eng.observe_failure(SimTime::from_secs(t), true, false);
         }
         assert_eq!(eng.target(&signals(t)).replicas, 3);
         // Rate decays → back to the launch m.
@@ -646,7 +896,7 @@ mod tests {
         let before = eng.active();
         // Correlated burst pushes a different target…
         for i in 0..20 {
-            eng.observe_failure(SimTime::from_secs(1_000 + i), true);
+            eng.observe_failure(SimTime::from_secs(1_000 + i), true, false);
         }
         // …but it is proposed for fewer than `streak` evaluations.
         for k in 0..streak - 1 {
@@ -671,7 +921,7 @@ mod tests {
         let mut t = 0;
         while t < 36_000 {
             t += 1_800;
-            eng.observe_failure(SimTime::from_secs(t), true);
+            eng.observe_failure(SimTime::from_secs(t), true, false);
         }
         let mut applied = None;
         for k in 0..streak {
@@ -693,7 +943,7 @@ mod tests {
         let mut t = 0;
         while t < 36_000 {
             t += 1_800;
-            eng.observe_failure(SimTime::from_secs(t), true);
+            eng.observe_failure(SimTime::from_secs(t), true, false);
         }
         assert!(eng.evaluate(&signals(t)).is_some());
         // Rate decays quickly past the threshold boundary → target flips
@@ -713,7 +963,7 @@ mod tests {
             let mut out = Vec::new();
             for i in 0..200u64 {
                 if i % 7 == 0 {
-                    eng.observe_failure(SimTime::from_secs(i * 300), i % 14 == 0);
+                    eng.observe_failure(SimTime::from_secs(i * 300), i % 14 == 0, i % 21 == 0);
                 }
                 let mut s = signals(i * 300 + 1);
                 s.ckpt_overhead = SimDuration::from_secs((i % 5) * 3);
@@ -734,5 +984,110 @@ mod tests {
             knobs: PolicyKnobs::paper_default(),
         });
         assert_eq!(fixed.name(), "per_iteration");
+    }
+
+    /// With the default (all-infeasible) scheme signals the engine can
+    /// never leave the paper's scheme, whatever the failure mix.
+    #[test]
+    fn infeasible_schemes_are_never_proposed() {
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        let mut t = 0;
+        while t < 36_000 {
+            t += 600;
+            eng.observe_failure(SimTime::from_secs(t), t % 1_800 == 0, t % 1_200 == 0);
+        }
+        let mut s = signals(t);
+        s.retrieval_remote = SimDuration::from_hours(2);
+        assert_eq!(eng.target(&s).scheme, SchemeChoice::CpuInterleaved);
+    }
+
+    /// An active scheme whose feasibility disappears (e.g. the model
+    /// grew past GPU headroom) falls back to the paper's scheme.
+    #[test]
+    fn infeasible_active_scheme_falls_back() {
+        let mut knobs = PolicyKnobs::paper_default();
+        knobs.scheme = SchemeChoice::GpuTier;
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), knobs);
+        assert_eq!(eng.target(&signals(1_000)).scheme, SchemeChoice::CpuInterleaved);
+    }
+
+    /// When the per-iteration checkpoint is free (GEMINI's interleaved
+    /// setting), Checkmate-style gradient replication has nothing to buy:
+    /// there is no rework to save and its fabric tax is pure loss.
+    #[test]
+    fn gradient_replication_loses_at_free_cadence_1() {
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        let mut s = signals(5_000);
+        s.scheme.gradient_feasible = true;
+        s.scheme.gradient_overhead = SimDuration::from_millis(500);
+        let t = eng.target(&s);
+        assert_eq!(t.ckpt_every_iters, 1);
+        assert_eq!(t.scheme, SchemeChoice::CpuInterleaved);
+    }
+
+    /// When checkpoints carry visible overhead and Young–Daly stretches
+    /// the cadence, per-iteration gradient replication wins back the
+    /// expected rework and the engine switches.
+    #[test]
+    fn gradient_wins_when_young_daly_stretches_cadence() {
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        let mut t = 0;
+        while t < 72_000 {
+            t += 3_600;
+            eng.observe_failure(SimTime::from_secs(t), false, false);
+        }
+        let mut s = signals(t);
+        s.ckpt_overhead = SimDuration::from_secs(10);
+        s.scheme.gradient_feasible = true;
+        s.scheme.gradient_overhead = SimDuration::from_millis(500);
+        let target = eng.target(&s);
+        assert!(target.ckpt_every_iters > 1, "Young–Daly must stretch k");
+        assert_eq!(target.scheme, SchemeChoice::GradientReplicate);
+    }
+
+    /// Under a degraded network the sharded fan-in path's cheaper
+    /// retrieval beats the paper scheme even before any failure lands
+    /// (the rate prior keeps the pricing live on a quiet trace).
+    #[test]
+    fn sharded_wins_under_degraded_retrieval() {
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        let mut s = signals(5_000);
+        s.scheme.sharded_feasible = true;
+        s.scheme.sharded_factor = 0.25;
+        s.scheme.sharded_overhead = SimDuration::from_secs(2);
+        // Healthy network: scatter overhead is not worth it.
+        assert_eq!(eng.target(&s).scheme, SchemeChoice::CpuInterleaved);
+        // NIC collapse inflates remote retrieval 60 s → 1 h.
+        s.retrieval_remote = SimDuration::from_hours(1);
+        assert_eq!(eng.target(&s).scheme, SchemeChoice::ShardedHybrid);
+    }
+
+    /// A software-dominated failure mix makes the GPU tier's device-local
+    /// restore the cheapest path when the shard fits in headroom.
+    #[test]
+    fn gpu_tier_wins_under_software_heavy_mix() {
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        let mut t = 0;
+        while t < 36_000 {
+            t += 600;
+            eng.observe_failure(SimTime::from_secs(t), false, true);
+        }
+        let mut s = signals(t);
+        s.scheme.gpu_feasible = true;
+        s.scheme.gpu_retrieval = SimDuration::from_secs(2);
+        assert_eq!(eng.target(&s).scheme, SchemeChoice::GpuTier);
+    }
+
+    /// `scheme_switching: false` pins the scheme whatever the signals.
+    #[test]
+    fn scheme_switch_master_switch() {
+        let mut cfg = PolicyConfig::default();
+        cfg.scheme_switching = false;
+        let mut eng = PolicyEngine::new(cfg, PolicyKnobs::paper_default());
+        let mut s = signals(5_000);
+        s.scheme.sharded_feasible = true;
+        s.scheme.sharded_factor = 0.1;
+        s.retrieval_remote = SimDuration::from_hours(2);
+        assert_eq!(eng.target(&s).scheme, SchemeChoice::CpuInterleaved);
     }
 }

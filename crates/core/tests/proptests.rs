@@ -6,7 +6,7 @@ use gemini_core::codec;
 use gemini_core::partition::{checkpoint_partition, PartitionInput};
 use gemini_core::pipeline::run_pipeline;
 use gemini_core::policy::{
-    PolicyConfig, PolicyEngine, PolicyKnobs, PolicySignals, TierPreference,
+    PolicyConfig, PolicyEngine, PolicyKnobs, PolicySignals, SchemeSignals, TierPreference,
 };
 use gemini_core::placement::analytic::analytic_recovery_probability;
 use gemini_core::placement::probability::{
@@ -80,6 +80,7 @@ fn baseline_signals(now_s: u64) -> PolicySignals {
         persist_anchor: None,
         healthy_machines: 16,
         machines: 16,
+        scheme: SchemeSignals::default(),
     }
 }
 
@@ -499,6 +500,37 @@ proptest! {
         prop_assert_eq!(stats.applied, 0);
         prop_assert_eq!(stats.blips_absorbed, 1);
         prop_assert_eq!(stats.proposals, blip as u64);
+    }
+
+    /// The EWMA failure-rate estimator tracks the analytic intensity of a
+    /// synthetic Poisson trace. Halflife 10 h keeps λ·h ≥ 60, so the
+    /// estimator's intrinsic relative std (≈ √(ln2 / 2λh) ≤ 7.6%) sits
+    /// far inside the 35% tolerance; the midpoint-decay fix removes the
+    /// systematic sampling bias that would otherwise stack on top.
+    #[test]
+    fn ewma_tracks_poisson_intensity_on_synthetic_traces(
+        us in proptest::collection::vec(1e-4f64..1.0, 1_500..2_000usize),
+        mean_gap_s in 200.0f64..600.0,
+    ) {
+        let cfg = PolicyConfig {
+            halflife: SimDuration::from_hours(10),
+            ..PolicyConfig::default()
+        };
+        let mut eng = PolicyEngine::new(cfg, PolicyKnobs::paper_default());
+        // Exponential inter-arrival gaps by inverse CDF over the uniforms.
+        let mut t = 0.0f64;
+        for u in &us {
+            t += -u.ln() * mean_gap_s;
+            eng.observe_failure(SimTime::from_secs_f64(t), false, false);
+        }
+        // Compare against the trace's own empirical rate, so tail
+        // truncation of the uniforms cancels out.
+        let analytic = us.len() as f64 / t * 3_600.0;
+        let estimated = eng.failure_rate_per_hour(SimTime::from_secs_f64(t));
+        prop_assert!(
+            (estimated - analytic).abs() / analytic < 0.35,
+            "estimated {estimated}/h vs analytic {analytic}/h"
+        );
     }
 
     #[test]

@@ -60,10 +60,12 @@
 //!    the integration suite and the CI smoke, not in-run).
 
 use crate::scenario::Deployment;
+use gemini_baselines::competing::{scheme_signals, SchemeInputs};
 use gemini_cluster::{CloudOperator, FailureKind, OperatorConfig};
 use gemini_core::agents::{RootAgent, WorkerAgent};
 use gemini_core::policy::{
-    PolicyEngine, PolicyKnobs, PolicySignals, PolicySpec, TierPreference,
+    PolicyEngine, PolicyKnobs, PolicySignals, PolicySpec, SchemeChoice, SchemeSignals,
+    TierPreference,
 };
 use gemini_core::recovery::{
     RecoveryCase, RecoveryPlan, RecoveryPlanner, RetrievalSource, TimeoutClass,
@@ -584,6 +586,11 @@ pub struct ChaosReport {
     /// Recoveries rerouted to the persistent tier by the policy's tier
     /// preference.
     pub tier_overrides: u64,
+    /// The fault-tolerance scheme active when the horizon was reached
+    /// (`off` when no policy drives the run).
+    pub scheme: String,
+    /// Scheme switches the adaptive engine applied (0 for fixed / off).
+    pub scheme_switches: u64,
     /// The wasted-time ledger (paper §2.1): rework + downtime + visible
     /// checkpoint/persist overhead.
     pub wasted: WastedLedger,
@@ -628,8 +635,13 @@ impl ChaosReport {
             self.retry_attempts, self.replacements_denied, self.spurious_detections
         ));
         out.push_str(&format!(
-            "policy={} decisions={} persists={} tier_overrides={}\n",
-            self.policy, self.policy_decisions, self.persists_completed, self.tier_overrides
+            "policy={} decisions={} persists={} tier_overrides={} scheme={} scheme_switches={}\n",
+            self.policy,
+            self.policy_decisions,
+            self.persists_completed,
+            self.tier_overrides,
+            self.scheme,
+            self.scheme_switches
         ));
         out.push_str(&format!(
             "wasted failures={} rework_iters={} rework={:.3}s downtime={:.3}s \
@@ -740,6 +752,7 @@ struct PolicyDriver {
     persist_inflight: bool,
     persists_done: u64,
     tier_overrides: u64,
+    scheme_switches: u64,
 }
 
 impl PolicyDriver {
@@ -760,6 +773,7 @@ impl PolicyDriver {
             persist_inflight: false,
             persists_done: 0,
             tier_overrides: 0,
+            scheme_switches: 0,
         }
     }
 }
@@ -780,6 +794,11 @@ struct ChaosModel {
     partitions: Vec<(SimTime, SimTime, Vec<usize>)>,
     // Live state.
     policy: Option<PolicyDriver>,
+    /// Feasibility and pricing of the competing fault-tolerance schemes
+    /// on this deployment, computed once at launch (the fabric and model
+    /// shapes never change mid-run; degradation enters through the
+    /// retrieval signals instead).
+    scheme_signals: SchemeSignals,
     ledger: WastedLedger,
     correlated_pending: BTreeSet<usize>,
     // Per-rank hot state lives in flat rank-indexed lanes (SoA), not
@@ -934,8 +953,12 @@ impl ChaosModel {
             .as_mut()
             .and_then(|driver| driver.engine.as_mut())
         {
-            for &(rank, _) in failures {
-                engine.observe_failure(now, self.correlated_pending.contains(&rank));
+            for &(rank, kind) in failures {
+                engine.observe_failure(
+                    now,
+                    self.correlated_pending.contains(&rank),
+                    kind == FailureKind::Software,
+                );
             }
         }
         for &(rank, _) in failures {
@@ -968,6 +991,7 @@ impl ChaosModel {
             persist_anchor: self.sys.store.persistent().map(|m| m.iteration),
             healthy_machines: self.sys.cluster.len() - self.down_count,
             machines: self.sys.cluster.len(),
+            scheme: self.scheme_signals,
         };
         let driver = self.policy.as_mut().expect("policy driver present");
         let mut decided: Option<(String, PolicySignalsSnapshot)> = None;
@@ -976,12 +1000,29 @@ impl ChaosModel {
             self.sink
                 .counter_add_key(Key::labeled("policy.evaluations", "cell", self.cell), 1);
             if let Some(rec) = engine.evaluate(&signals) {
-                // Apply cadence / persist / tier; `m` re-planning is the
-                // runtime's job (placement rebuilds are unsafe mid-chaos).
+                // Apply cadence / persist / tier / scheme; `m` re-planning
+                // is the runtime's job (placement rebuilds are unsafe
+                // mid-chaos).
+                let prev_scheme = driver.knobs.scheme;
                 driver.knobs = PolicyKnobs {
                     replicas: driver.knobs.replicas,
                     ..rec.knobs
                 };
+                if driver.knobs.scheme != prev_scheme {
+                    driver.scheme_switches += 1;
+                    self.sink.counter_add_key(
+                        Key::labeled("policy.scheme.switches", "cell", self.cell),
+                        1,
+                    );
+                    let from = prev_scheme.label().to_string();
+                    let to = driver.knobs.scheme.label().to_string();
+                    let why = rec.reason.clone();
+                    self.sink.event(now, move || TelemetryEvent::SchemeSwitch {
+                        from,
+                        to,
+                        reason: why,
+                    });
+                }
                 self.sink
                     .counter_add_key(Key::labeled("policy.decisions", "cell", self.cell), 1);
                 self.policy_epoch += 1;
@@ -1332,10 +1373,45 @@ impl ChaosModel {
         // retrieval only. Local copies and the separate storage path
         // (persistent tier) bypass it — that bypass is exactly what the
         // persistent-first tier preference exploits.
+        let base_makespan = makespan;
         if plan.case == RecoveryCase::HardwareFromCpu {
             let factor = self.degrade_factor_at(now);
             if factor > 1.0 {
                 makespan = makespan.mul_f64(factor);
+            }
+        }
+        // Competing-scheme retrieval effects (policy runs only; the
+        // CpuInterleaved default is the exact legacy path):
+        // * GpuTier — a software-only wave restores from the victim's own
+        //   GPU memory, capping the makespan at the PCIe copy-back time
+        //   (hardware losses take the GPU tier with them: no effect).
+        // * ShardedHybrid — hardware waves fan the shard reads in from
+        //   several peers. On a healthy fabric the replacement machine's
+        //   own ingress NIC is already the bottleneck, so fan-in is
+        //   floored at the undegraded makespan; it only claws back
+        //   per-link degradation.
+        if let Some(driver) = self.policy.as_ref() {
+            match driver.knobs.scheme {
+                SchemeChoice::GpuTier
+                    if self.scheme_signals.gpu_feasible
+                        && plan.case == RecoveryCase::SoftwareLocal
+                        && self.scheme_signals.gpu_retrieval < makespan =>
+                {
+                    makespan = self.scheme_signals.gpu_retrieval;
+                    self.cell_count("policy.scheme.fast_retrievals");
+                }
+                SchemeChoice::ShardedHybrid
+                    if self.scheme_signals.sharded_feasible
+                        && plan.case == RecoveryCase::HardwareFromCpu =>
+                {
+                    let fanned = base_makespan
+                        .max(makespan.mul_f64(self.scheme_signals.sharded_factor));
+                    if fanned < makespan {
+                        makespan = fanned;
+                        self.cell_count("policy.scheme.fast_retrievals");
+                    }
+                }
+                _ => {}
             }
         }
         let index = self.wave.as_ref().expect("wave active").index;
@@ -1478,10 +1554,24 @@ impl Model for ChaosModel {
                 }
                 let now = ctx.now();
                 self.current_iteration = i;
-                let cadence = self
-                    .policy
-                    .as_ref()
-                    .map_or(1, |p| p.knobs.ckpt_every_iters.max(1));
+                // Checkmate-style gradient replication makes *every*
+                // iteration recoverable regardless of the checkpoint
+                // cadence — the replicated gradients reconstruct the step
+                // — but pays its fabric tax on every iteration (priced
+                // below). Infeasible deployments fall back to the plain
+                // cadence, so a frozen `checkmate_grad` comparator on an
+                // undersized cluster degrades to `paper_3h`, not to magic.
+                let grad_active = self.policy.as_ref().is_some_and(|p| {
+                    p.knobs.scheme == SchemeChoice::GradientReplicate
+                        && self.scheme_signals.gradient_feasible
+                });
+                let cadence = if grad_active {
+                    1
+                } else {
+                    self.policy
+                        .as_ref()
+                        .map_or(1, |p| p.knobs.ckpt_every_iters.max(1))
+                };
                 if i % cadence == 0 {
                     self.sys.store.record_complete(i);
                     self.last_committed = i;
@@ -1490,7 +1580,15 @@ impl Model for ChaosModel {
                     });
                 }
                 self.policy_boundary(ctx, now);
-                ctx.schedule_after(self.sys.iteration_time(), Ev::IterationDone(i + 1));
+                let mut next_in = self.sys.iteration_time();
+                if grad_active {
+                    // The all-reduce stretches by the replication traffic:
+                    // visible overhead in the ledger *and* a longer step.
+                    let tax = self.scheme_signals.gradient_overhead;
+                    self.ledger.record_overhead(tax);
+                    next_in = next_in + tax;
+                }
+                ctx.schedule_after(next_in, Ev::IterationDone(i + 1));
             }
             Ev::PersistDone { iteration, token } => {
                 let Some(driver) = self.policy.as_mut() else {
@@ -1928,6 +2026,20 @@ pub(crate) fn execute_chaos(
 
     let gcfg = sys.scenario.config;
     let iter_time = sys.iteration_time();
+    // Price the competing fault-tolerance schemes on this deployment once:
+    // feasibility and static costs feed the policy engine's scheme choice
+    // and the executor's retrieval/commit effects.
+    let scheme_sig = scheme_signals(&SchemeInputs::from_deployment(
+        sys.scenario.instance,
+        sys.scenario.model,
+        n,
+        gcfg.replicas,
+        iter_time,
+        sys.schedule.outcome.overhead,
+        sys.retrieval_time(StorageTier::LocalCpu),
+        sys.retrieval_time(StorageTier::RemoteCpu),
+        sys.retrieval_time(StorageTier::Persistent),
+    ));
     let mut kv = KvStore::new().with_telemetry(sink.clone());
     let mut workers: Vec<WorkerAgent> = (0..n)
         .map(|r| WorkerAgent::new(r, r as u64, gcfg))
@@ -1965,6 +2077,7 @@ pub(crate) fn execute_chaos(
         degrades,
         partitions,
         policy: policy.map(PolicyDriver::new),
+        scheme_signals: scheme_sig,
         ledger: WastedLedger::default(),
         correlated_pending: BTreeSet::new(),
         down: vec![None; n],
@@ -2030,15 +2143,17 @@ pub(crate) fn execute_chaos(
         );
     }
 
-    let (policy_name, policy_decisions, persists_completed, tier_overrides) =
+    let (policy_name, policy_decisions, persists_completed, tier_overrides, scheme, scheme_switches) =
         match &model.policy {
             Some(d) => (
                 d.name.clone(),
                 d.engine.as_ref().map_or(0, |e| e.stats().applied),
                 d.persists_done,
                 d.tier_overrides,
+                d.knobs.scheme.label().to_string(),
+                d.scheme_switches,
             ),
-            None => ("off".to_string(), 0, 0, 0),
+            None => ("off".to_string(), 0, 0, 0, "off".to_string(), 0),
         };
 
     let report = ChaosReport {
@@ -2057,6 +2172,8 @@ pub(crate) fn execute_chaos(
         policy_decisions,
         persists_completed,
         tier_overrides,
+        scheme,
+        scheme_switches,
         wasted: model.ledger,
         trace: model.trace,
         violations,
@@ -2414,7 +2531,12 @@ mod tests {
     }
 
     #[test]
-    fn adaptive_reroutes_to_persistent_when_the_nic_collapses() {
+    fn adaptive_fans_in_when_the_nic_collapses() {
+        // The engine pre-positions onto the sharded scheme during the
+        // degrade window (the fan-in claws back the per-link slowdown),
+        // and the tier rule — priced against the *sharded* remote path —
+        // keeps CPU-first rather than paying a persistent rollback the
+        // fan-in beats.
         let plan = ChaosPlan::nic_collapse();
         let adaptive =
             chaos_policy(&plan, 1, TelemetrySink::disabled(), &PolicySpec::adaptive())
@@ -2423,10 +2545,12 @@ mod tests {
             chaos_policy(&plan, 1, TelemetrySink::disabled(), &paper_fixed()).unwrap();
         assert!(adaptive.is_green(), "violations: {:?}", adaptive.violations);
         assert!(fixed.is_green(), "violations: {:?}", fixed.violations);
-        assert_eq!(adaptive.tier_overrides, 1, "tier override must fire");
-        assert_eq!(adaptive.waves[0].case, RecoveryCase::PersistentFallback);
+        assert!(adaptive.scheme_switches >= 1, "scheme switch must fire");
+        assert_eq!(adaptive.scheme, "sharded_hybrid");
+        assert_eq!(adaptive.tier_overrides, 0, "fan-in supersedes the reroute");
+        assert_eq!(adaptive.waves[0].case, RecoveryCase::HardwareFromCpu);
         assert_eq!(fixed.waves[0].case, RecoveryCase::HardwareFromCpu);
-        // Rerouting beats grinding the 1500×-degraded fabric.
+        // Fanning in beats grinding the 1500×-degraded fabric alone.
         assert!(
             adaptive.waves[0].downtime < fixed.waves[0].downtime,
             "adaptive {:?} vs fixed {:?}",

@@ -35,6 +35,7 @@
 use std::collections::BTreeSet;
 
 use crate::scenario::{GeminiSystem, Deployment};
+use gemini_baselines::competing::{scheme_signals, SchemeInputs};
 use gemini_cluster::{CloudOperator, FailureKind, OperatorConfig};
 use gemini_core::agents::{RootAgent, WorkerAgent};
 use gemini_core::policy::{
@@ -328,6 +329,17 @@ impl GeminiRuntime {
             persist_anchor: self.sys.store.persistent().map(|m| m.iteration),
             healthy_machines: self.sys.cluster.len() - self.pending_failures.len(),
             machines: self.sys.cluster.len(),
+            scheme: scheme_signals(&SchemeInputs::from_deployment(
+                self.sys.scenario.instance,
+                self.sys.scenario.model,
+                self.sys.cluster.len(),
+                self.sys.scenario.config.replicas,
+                self.sys.iteration_time(),
+                self.sys.schedule.outcome.overhead,
+                self.sys.retrieval_time(StorageTier::LocalCpu),
+                self.sys.retrieval_time(StorageTier::RemoteCpu),
+                self.sys.retrieval_time(StorageTier::Persistent),
+            )),
         }
     }
 
@@ -503,8 +515,8 @@ impl GeminiRuntime {
                 .iter()
                 .any(|g| g.members.iter().all(|m| hw_down.contains(m)));
             let now = self.clock;
-            for _ in &self.pending_failures {
-                engine.observe_failure(now, correlated);
+            for &(_, kind) in &self.pending_failures {
+                engine.observe_failure(now, correlated, kind == FailureKind::Software);
             }
         }
 
@@ -783,6 +795,7 @@ mod tests {
                 persist_interval: None,
                 replicas: 2,
                 tier: TierPreference::CpuFirst,
+                ..PolicyKnobs::paper_default()
             },
         );
         let mut rt = GeminiRuntime::launch_with_policy(
@@ -813,6 +826,7 @@ mod tests {
                 persist_interval: Some(SimDuration::from_mins(10)),
                 replicas: 2,
                 tier: TierPreference::PersistentFirst,
+                ..PolicyKnobs::paper_default()
             },
         );
         let mut rt = GeminiRuntime::launch_with_policy(

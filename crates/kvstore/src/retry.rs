@@ -50,7 +50,10 @@ impl RetryPolicy {
     /// The backoff to wait after failed attempt `attempt` (0-based), or
     /// `None` when the policy is exhausted and the caller must give up.
     pub fn backoff(&self, attempt: u32) -> Option<SimDuration> {
-        if attempt + 1 >= self.max_attempts {
+        // `attempt + 1` wraps to 0 at `attempt = u32::MAX` in release
+        // builds (and panics in debug), which would hand the caller a
+        // backoff after the policy was exhausted; saturate instead.
+        if attempt.saturating_add(1) >= self.max_attempts {
             return None;
         }
         // base * 2^attempt, saturating, capped.
@@ -109,6 +112,99 @@ mod tests {
         let p = RetryPolicy::default();
         for i in 0..10 {
             assert_eq!(p.backoff(i), p.backoff(i));
+        }
+    }
+
+    /// Regression: `attempt + 1` used to wrap at `attempt = u32::MAX`,
+    /// returning `Some(backoff)` long after the policy was exhausted
+    /// (release builds; debug builds panicked on the overflow). Failed
+    /// before the saturating comparison, passes after.
+    #[test]
+    fn exhausted_at_u32_max_attempt() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(u32::MAX), None);
+        assert_eq!(p.backoff(u32::MAX - 1), None);
+        let unbounded = RetryPolicy::new(
+            u32::MAX,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(30),
+        );
+        // Still within budget at MAX-1 failures, exhausted at MAX.
+        assert!(unbounded.backoff(u32::MAX - 2).is_some());
+        assert_eq!(unbounded.backoff(u32::MAX), None);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Never panics and never hands out a backoff at or past the
+            /// attempt budget, for ANY (attempt, max_attempts) pair —
+            /// including the u32::MAX corner that used to overflow.
+            #[test]
+            fn backoff_total_and_bounded(
+                attempt in any::<u32>(),
+                max_attempts in any::<u32>(),
+                base_ms in 1u64..10_000,
+                cap_ms in 1u64..120_000,
+            ) {
+                let p = RetryPolicy::new(
+                    max_attempts,
+                    SimDuration::from_millis(base_ms),
+                    SimDuration::from_millis(cap_ms),
+                );
+                match p.backoff(attempt) {
+                    Some(b) => {
+                        prop_assert!(u64::from(attempt) + 1 < u64::from(p.max_attempts));
+                        prop_assert!(b.as_nanos() <= p.max_backoff.as_nanos().max(p.base.as_nanos()));
+                    }
+                    None => prop_assert!(u64::from(attempt) + 1 >= u64::from(p.max_attempts)),
+                }
+            }
+
+            /// The schedule is monotone non-decreasing up to the cap.
+            #[test]
+            fn backoff_monotone_up_to_cap(
+                max_attempts in 1u32..64,
+                base_ms in 1u64..10_000,
+                cap_ms in 1u64..120_000,
+            ) {
+                let p = RetryPolicy::new(
+                    max_attempts,
+                    SimDuration::from_millis(base_ms),
+                    SimDuration::from_millis(cap_ms),
+                );
+                let mut prev = SimDuration::ZERO;
+                let mut attempt = 0;
+                while let Some(b) = p.backoff(attempt) {
+                    prop_assert!(b >= prev, "backoff shrank at attempt {attempt}");
+                    prev = b;
+                    attempt += 1;
+                }
+            }
+
+            /// `worst_case_backoff` is exactly the sum of every
+            /// per-attempt backoff the policy will ever grant.
+            #[test]
+            fn worst_case_equals_sum(
+                max_attempts in 1u32..64,
+                base_ms in 1u64..10_000,
+                cap_ms in 1u64..120_000,
+            ) {
+                let p = RetryPolicy::new(
+                    max_attempts,
+                    SimDuration::from_millis(base_ms),
+                    SimDuration::from_millis(cap_ms),
+                );
+                let mut total = SimDuration::ZERO;
+                for attempt in 0..p.max_attempts {
+                    if let Some(b) = p.backoff(attempt) {
+                        total = total + b;
+                    }
+                }
+                prop_assert_eq!(p.worst_case_backoff(), total);
+            }
         }
     }
 }

@@ -209,6 +209,15 @@ pub enum TelemetryEvent {
         /// Why the knobs moved (stable, human-readable).
         reason: String,
     },
+    /// The policy engine switched the active fault-tolerance scheme.
+    SchemeSwitch {
+        /// Scheme label being left (e.g. `"cpu_interleaved"`).
+        from: String,
+        /// Scheme label now active (e.g. `"sharded_hybrid"`).
+        to: String,
+        /// Why the scheme moved (stable, human-readable).
+        reason: String,
+    },
     /// Free-form annotation (escape hatch; prefer a typed variant).
     Note {
         /// The message.
@@ -244,6 +253,7 @@ impl TelemetryEvent {
             E::RetryAttempt { .. } => "recovery.retry_attempt",
             E::RecoveryDegraded { .. } => "recovery.degraded",
             E::PolicyDecision { .. } => "policy.decision",
+            E::SchemeSwitch { .. } => "policy.scheme_switch",
             E::Note { .. } => "note",
         }
     }
