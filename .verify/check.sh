@@ -109,11 +109,12 @@ lib_externs() {
     core)        echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_parallel=$OUT/libgemini_parallel.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_kvstore=$OUT/libgemini_kvstore.rlib $E_RAND $E_BYTES $E_SERDE $E_JSON" ;;
     baselines)   echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_core=$OUT/libgemini_core.rlib $E_SERDE" ;;
     harness)     echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_parallel=$OUT/libgemini_parallel.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_collectives=$OUT/libgemini_collectives.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_kvstore=$OUT/libgemini_kvstore.rlib --extern gemini_core=$OUT/libgemini_core.rlib --extern gemini_baselines=$OUT/libgemini_baselines.rlib $E_RAND $E_SERDE $E_JSON" ;;
-    bench)       echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_parallel=$OUT/libgemini_parallel.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_core=$OUT/libgemini_core.rlib --extern gemini_baselines=$OUT/libgemini_baselines.rlib --extern gemini_harness=$OUT/libgemini_harness.rlib $E_JSON" ;;
+    service)     echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_parallel=$OUT/libgemini_parallel.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_core=$OUT/libgemini_core.rlib --extern gemini_baselines=$OUT/libgemini_baselines.rlib --extern gemini_harness=$OUT/libgemini_harness.rlib" ;;
+    bench)       echo "--extern gemini_sim=$OUT/libgemini_sim.rlib --extern gemini_parallel=$OUT/libgemini_parallel.rlib --extern gemini_telemetry=$OUT/libgemini_telemetry.rlib --extern gemini_net=$OUT/libgemini_net.rlib --extern gemini_cluster=$OUT/libgemini_cluster.rlib --extern gemini_training=$OUT/libgemini_training.rlib --extern gemini_core=$OUT/libgemini_core.rlib --extern gemini_baselines=$OUT/libgemini_baselines.rlib --extern gemini_harness=$OUT/libgemini_harness.rlib --extern gemini_service=$OUT/libgemini_service.rlib $E_JSON" ;;
   esac
 }
 
-CRATES="parallel sim telemetry net cluster collectives training kvstore core baselines harness bench"
+CRATES="parallel sim telemetry net cluster collectives training kvstore core baselines harness service bench"
 
 for c in $CRATES; do
   src="$ROOT/crates/$c/src/lib.rs"
@@ -290,6 +291,50 @@ if [ -x "$OUT/bin_incidents" ] && [ "$MODE" != build ]; then
   fi
 fi
 
+# ------------------------------------------------------- serve smoke ----
+# Scenario-as-a-service: the canned query batch must serve byte-identically
+# at --jobs 2 vs --jobs 1, in file-batch vs stdin-streaming mode, and on a
+# warm rerun. (The byte-for-byte diff against the equivalent one-shot
+# Scenario builder runs lives in tests/integration_service.rs, compiled and
+# run above.) See docs/SERVICE.md.
+if [ -x "$OUT/bin_scenario" ] && [ "$MODE" != build ]; then
+  note "serve smoke (canned batch: jobs 2 vs 1, file vs stdin, warm rerun)"
+  SMOKE="$ROOT/crates/bench/baselines/serve_smoke.ndjson"
+  if "$OUT/bin_scenario" serve --requests "$SMOKE" --jobs 2 > "$OUT/serve_a.txt" 2>/dev/null \
+    && "$OUT/bin_scenario" serve --requests "$SMOKE" --jobs 1 > "$OUT/serve_b.txt" 2>/dev/null \
+    && "$OUT/bin_scenario" serve < "$SMOKE" > "$OUT/serve_c.txt" 2>/dev/null \
+    && cmp -s "$OUT/serve_a.txt" "$OUT/serve_b.txt" \
+    && cmp -s "$OUT/serve_a.txt" "$OUT/serve_c.txt" \
+    && [ "$(wc -l < "$OUT/serve_a.txt")" -eq "$(grep -c . "$SMOKE")" ] \
+    && grep -q '"id":"q10","kind":"drill","ok":false' "$OUT/serve_a.txt" \
+    && ! grep -q '"id":"q1","kind":"drill","ok":false' "$OUT/serve_a.txt"; then
+    :
+  else
+    echo "FAILED: serve smoke (responses not jobs/mode-invariant or error isolation broken)" >&2
+    FAILED=1
+  fi
+fi
+
+# ---------------------------------------------------- service bench smoke ----
+# The service bin asserts response byte-identity (jobs 1 vs N, cold vs
+# warm), exact error isolation and single-flight collapse internally, and
+# splices the "service" section used by the benchgate below.
+if [ -x "$OUT/bin_service" ] && [ "$MODE" != build ]; then
+  note "service bench smoke (service --quick)"
+  rm -f "$OUT/service_quick.json"
+  if "$OUT/bin_service" --quick --jobs 2 --out "$OUT/service_quick.json" \
+      > "$OUT/service_quick.log" 2>&1 \
+    && grep -q '"service"' "$OUT/service_quick.json" \
+    && grep -q '"dedup_collapsed": 1' "$OUT/service_quick.json"; then
+    grep "| queries |" "$OUT/service_quick.log" || true
+  else
+    echo "---- service --quick output ----" >&2
+    tail -20 "$OUT/service_quick.log" >&2
+    echo "FAILED: service bench smoke (determinism or dedup gate tripped)" >&2
+    FAILED=1
+  fi
+fi
+
 # --------------------------------------------------- benchgate smoke ----
 # The regression gate compares the deterministic sections of the quick
 # bench reports produced above against the committed baselines; a drift
@@ -306,6 +351,12 @@ if [ -x "$OUT/bin_benchgate" ] && [ "$MODE" != build ]; then
     && ! "$OUT/bin_benchgate" --fresh "$OUT/policy_quick.json" \
         --baseline "$ROOT/crates/bench/baselines/policy_quick.json" >&2; then
     echo "FAILED: benchgate (policy quick report drifted from baseline)" >&2
+    FAILED=1
+  fi
+  if [ -f "$OUT/service_quick.json" ] \
+    && ! "$OUT/bin_benchgate" --fresh "$OUT/service_quick.json" \
+        --baseline "$ROOT/crates/bench/baselines/service_quick.json" >&2; then
+    echo "FAILED: benchgate (service quick report drifted from baseline)" >&2
     FAILED=1
   fi
 fi

@@ -5,7 +5,17 @@
 //! cargo run -p gemini-bench --bin scenario -- '{"model":"GPT-2 100B"}'
 //! cargo run -p gemini-bench --bin scenario -- "$(cat my_scenario.json)"
 //! cargo run -p gemini-bench --bin scenario -- --trace-out drill.json --metrics-out drill.prom
+//! cargo run -p gemini-bench --bin scenario -- serve --requests queries.ndjson --jobs 4
+//! echo '{"id":"q1","kind":"drill"}' | cargo run -p gemini-bench --bin scenario -- serve
 //! ```
+//!
+//! `serve` switches the bin into scenario-as-a-service mode: line-delimited
+//! JSON queries arrive on stdin (or from `--requests FILE`), one JSON
+//! response per line leaves on stdout, in input order. Responses are
+//! byte-identical at any `--jobs`, cache cold or warm, sink on or off, and
+//! match the equivalent one-shot run (see `docs/SERVICE.md` for the query
+//! schema). A malformed query yields a per-query error response; the
+//! process stays up.
 //!
 //! `--trace-out FILE` exports the run (checkpoint interleave, failure
 //! detection, recovery phases) as Chrome trace-event JSON for Perfetto;
@@ -38,8 +48,68 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1)
 }
 
+/// The long-running query loop: read NDJSON queries, write NDJSON
+/// responses. Batch mode (`--requests FILE`) serves the whole file across
+/// `--jobs` workers; stdin mode serves line-by-line as queries arrive.
+fn serve(mut cli: BenchCli) -> ! {
+    use std::io::{BufRead, Write};
+    let targs = cli.telemetry.clone();
+    let sink = targs.sink();
+    let jobs = targs.effective_jobs();
+    let requests = cli.value("--requests").unwrap_or_else(|e| fail(&e));
+    let rest = cli.rest();
+    if rest.first().map(String::as_str) != Some("serve") || rest.len() != 1 {
+        fail("serve mode takes no positional operands");
+    }
+    let engine = gemini_service::ServiceEngine::new(sink.clone());
+    let stdout = std::io::stdout();
+    match requests {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+            let lines: Vec<String> = text
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(str::to_string)
+                .collect();
+            let (responses, stats) = engine.serve_batch_with_stats(&lines, jobs);
+            let mut out = stdout.lock();
+            for r in &responses {
+                writeln!(out, "{r}").unwrap_or_else(|e| fail(&format!("stdout: {e}")));
+            }
+            drop(out);
+            eprintln!(
+                "served {} queries ({} errors), cache hits {} misses {}, dedup {}",
+                stats.queries, stats.errors, stats.cache_hits, stats.cache_misses, stats.dedup_hits
+            );
+        }
+        None => {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line = line.unwrap_or_else(|e| fail(&format!("stdin: {e}")));
+                if line.trim().is_empty() {
+                    continue;
+                }
+                // One-element batches so the `service.*` counters stay
+                // live in streaming mode too.
+                let (responses, _) = engine.serve_batch_with_stats(&[line], 1);
+                let response = &responses[0];
+                let mut out = stdout.lock();
+                writeln!(out, "{response}").unwrap_or_else(|e| fail(&format!("stdout: {e}")));
+            }
+        }
+    }
+    if let Err(e) = targs.write(&sink) {
+        fail(&format!("writing telemetry outputs: {e}"));
+    }
+    std::process::exit(0)
+}
+
 fn main() {
     let cli = BenchCli::from_env();
+    if cli.rest().first().map(String::as_str) == Some("serve") {
+        serve(cli);
+    }
     let targs = cli.telemetry.clone();
     let sink = targs.sink();
     let arg = cli.rest().first().cloned().unwrap_or_else(|| "{}".to_string());

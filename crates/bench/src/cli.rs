@@ -70,6 +70,9 @@ impl BenchCli {
                     let n = s
                         .parse()
                         .map_err(|_| format!("--seed expects an integer, got {s:?}"))?;
+                    if out.seed.is_some() {
+                        return Err("--seed given more than once".to_string());
+                    }
                     out.seed = Some(n);
                 }
                 "--seeds" => {
@@ -86,6 +89,9 @@ impl BenchCli {
                         .collect::<Result<Vec<u64>, String>>()?;
                     if seeds.is_empty() {
                         return Err("--seeds expects a non-empty list".to_string());
+                    }
+                    if out.seeds.is_some() {
+                        return Err("--seeds given more than once".to_string());
                     }
                     out.seeds = Some(seeds);
                 }
@@ -132,8 +138,14 @@ impl BenchCli {
     }
 
     /// Consumes `name VALUE` from the remainder. `Ok(None)` when absent;
-    /// an error when the flag is present without its operand.
+    /// an error when the flag is present without its operand or given more
+    /// than once (a repeated value flag used to leave its second occurrence
+    /// in the remainder, surfacing later as a misleading "unknown
+    /// argument").
     pub fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+        if self.remainder.iter().filter(|a| *a == name).count() > 1 {
+            return Err(format!("{name} given more than once"));
+        }
         match self.remainder.iter().position(|a| a == name) {
             None => Ok(None),
             Some(i) if i + 1 < self.remainder.len() => {
@@ -150,11 +162,13 @@ impl BenchCli {
     }
 
     /// Errors on any unconsumed argument — the standard tail call for
-    /// binaries with no positional operands.
+    /// binaries with no positional operands. Flag-like leftovers and
+    /// trailing operands get distinct diagnostics.
     pub fn reject_unknown(&self) -> Result<(), String> {
         match self.remainder.first() {
             None => Ok(()),
-            Some(arg) => Err(format!("unknown argument {arg:?}")),
+            Some(arg) if arg.starts_with('-') => Err(format!("unknown argument {arg:?}")),
+            Some(arg) => Err(format!("unexpected operand {arg:?}")),
         }
     }
 }
@@ -225,5 +239,46 @@ mod tests {
         let mut cli = BenchCli::parse(s(&["--list"])).unwrap();
         assert!(cli.flag("--list"));
         assert!(cli.reject_unknown().is_ok());
+    }
+
+    #[test]
+    fn zero_jobs_is_rejected_at_the_cli_layer() {
+        // TelemetryArgs already guards this; pin it at the BenchCli front
+        // door so a refactor can't silently drop the check.
+        let err = BenchCli::parse(s(&["--jobs", "0"])).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        assert!(BenchCli::parse(s(&["--jobs", "2"])).is_ok());
+    }
+
+    #[test]
+    fn duplicate_value_flags_error_instead_of_misleading() {
+        // Pre-fix: value() consumed only the first occurrence, so the
+        // second surfaced later as "unknown argument --out".
+        let mut cli = BenchCli::parse(s(&["--out", "a.json", "--out", "b.json"])).unwrap();
+        let err = cli.value("--out").unwrap_err();
+        assert_eq!(err, "--out given more than once");
+    }
+
+    #[test]
+    fn duplicate_common_flags_error() {
+        for (args, flag) in [
+            (vec!["--seed", "1", "--seed", "2"], "--seed"),
+            (vec!["--seeds", "1,2", "--seeds", "3"], "--seeds"),
+            (vec!["--jobs", "2", "--jobs", "4"], "--jobs"),
+            (vec!["--trace-out", "a", "--trace-out", "b"], "--trace-out"),
+        ] {
+            let err = BenchCli::parse(s(&args)).unwrap_err();
+            assert_eq!(err, format!("{flag} given more than once"));
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_gets_a_distinct_diagnostic() {
+        let mut cli = BenchCli::parse(s(&["--quick", "trailing", "junk"])).unwrap();
+        assert!(cli.flag("--quick"));
+        let err = cli.reject_unknown().unwrap_err();
+        assert_eq!(err, "unexpected operand \"trailing\"");
+        let cli = BenchCli::parse(s(&["--bogus"])).unwrap();
+        assert_eq!(cli.reject_unknown().unwrap_err(), "unknown argument \"--bogus\"");
     }
 }

@@ -52,6 +52,9 @@ impl TelemetryArgs {
                 if n == 0 {
                     return Err("--jobs expects a positive integer, got 0".to_string());
                 }
+                if out.jobs.is_some() {
+                    return Err("--jobs given more than once".to_string());
+                }
                 out.jobs = Some(n);
                 continue;
             }
@@ -64,6 +67,9 @@ impl TelemetryArgs {
                     continue;
                 }
             };
+            if slot.is_some() {
+                return Err(format!("{arg} given more than once"));
+            }
             match it.next() {
                 Some(path) => *slot = Some(PathBuf::from(path)),
                 None => return Err(format!("{arg} requires a FILE operand")),

@@ -53,6 +53,14 @@ pub enum GeminiError {
         /// Attempts made before the policy was exhausted.
         attempts: u32,
     },
+    /// A drill/what-if query configuration is structurally invalid
+    /// (duplicate victim ranks, zero failure iteration, …). Service-facing
+    /// paths surface this per query instead of panicking the process.
+    InvalidDrill(&'static str),
+    /// A KV-store coordination step failed mid-simulation (lease or
+    /// election state violated an agent's expectation). Carries the
+    /// operation name; service-facing paths surface it per query.
+    Coordination(&'static str),
 }
 
 impl core::fmt::Display for GeminiError {
@@ -96,6 +104,10 @@ impl core::fmt::Display for GeminiError {
                 operation,
                 attempts,
             } => write!(f, "{operation} timed out after {attempts} attempts"),
+            GeminiError::InvalidDrill(r) => write!(f, "invalid drill config: {r}"),
+            GeminiError::Coordination(op) => {
+                write!(f, "coordination failure during {op}")
+            }
         }
     }
 }

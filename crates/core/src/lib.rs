@@ -42,6 +42,7 @@ pub mod policy;
 pub mod recovery;
 pub mod retention;
 pub mod schedule;
+pub mod snapshot;
 pub mod timing;
 pub mod vault;
 pub mod wasted;
@@ -58,5 +59,6 @@ pub use policy::{
 pub use recovery::{RecoveryCase, RecoveryPlan, RecoveryPlanner, RetrievalSource};
 pub use retention::{PersistentLedger, RetentionPolicy};
 pub use schedule::{CkptSchedule, ScheduleOutcome};
+pub use snapshot::{Fork, MemoCache, PlacementSpecKey, RecoveryMemo, Snapshot};
 pub use vault::ReplicaVault;
 pub use wasted::{WastedLedger, WastedTimeModel};

@@ -1,0 +1,411 @@
+//! Copy-on-write snapshots and keyed memoization for the query service.
+//!
+//! A long-running what-if service answers thousands of concurrent queries
+//! against the *same* immutable world description (instance catalogs,
+//! deployment templates, placement math). Two primitives make that cheap:
+//!
+//! * [`Snapshot`]/[`Fork`] — an `Arc`-backed copy-on-write cell. A
+//!   snapshot is the shared immutable base; a fork is a per-query view
+//!   that reads through to the base for free and clones it **only on
+//!   first write**. Queries that never mutate (the overwhelming majority)
+//!   share one allocation across every tenant; a `lookahead` query that
+//!   wants to perturb the world pays for exactly one clone.
+//! * [`MemoCache`]/[`RecoveryMemo`] — a bounded, keyed memo table with
+//!   hit/miss telemetry. The flagship user is the placement
+//!   recoverability curve: `(strategy, N, m, k) → P(recovery | k)` is a
+//!   pure function (the [`analytic`] kernel), identical for every query
+//!   that shares a placement spec, and far too expensive to recompute per
+//!   tenant at fleet scale.
+//!
+//! Determinism: neither primitive changes any computed value — forks
+//! materialize the same bytes a deep clone would, and the memo returns
+//! exactly what the underlying kernel returns. Only the cost (and the
+//! `service.*` counters) depend on sharing.
+//!
+//! [`analytic`]: crate::placement::analytic
+
+use crate::placement::{analytic::analytic_recovery_probability, Placement, PlacementStrategy};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An immutable, shareable snapshot of a world description `T`.
+///
+/// Cloning a `Snapshot` is an `Arc` bump; [`Snapshot::fork`] hands a query
+/// its own copy-on-write view.
+#[derive(Debug)]
+pub struct Snapshot<T> {
+    base: Arc<T>,
+}
+
+impl<T> Clone for Snapshot<T> {
+    fn clone(&self) -> Self {
+        Snapshot {
+            base: Arc::clone(&self.base),
+        }
+    }
+}
+
+impl<T> Snapshot<T> {
+    /// Wraps a fully-built world description.
+    pub fn new(value: T) -> Snapshot<T> {
+        Snapshot {
+            base: Arc::new(value),
+        }
+    }
+
+    /// Reads the shared base.
+    pub fn get(&self) -> &T {
+        &self.base
+    }
+
+    /// Whether two snapshots share the same underlying allocation.
+    pub fn shares_with(&self, other: &Snapshot<T>) -> bool {
+        Arc::ptr_eq(&self.base, &other.base)
+    }
+
+    /// How many handles (snapshots + un-diverged forks) share the base.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.base)
+    }
+}
+
+impl<T: Clone> Snapshot<T> {
+    /// A per-query copy-on-write view: free until first mutation.
+    pub fn fork(&self) -> Fork<T> {
+        Fork {
+            base: Arc::clone(&self.base),
+            overlay: None,
+        }
+    }
+}
+
+/// A copy-on-write view over a [`Snapshot`] base.
+///
+/// Reads ([`Fork::get`]) see the overlay if the fork has diverged, the
+/// shared base otherwise. The first [`Fork::make_mut`] clones the base
+/// into a private overlay; the base — and every other tenant's view — is
+/// never affected.
+#[derive(Debug)]
+pub struct Fork<T: Clone> {
+    base: Arc<T>,
+    overlay: Option<T>,
+}
+
+impl<T: Clone> Fork<T> {
+    /// Reads the effective value (overlay if diverged, base otherwise).
+    pub fn get(&self) -> &T {
+        self.overlay.as_ref().unwrap_or(&self.base)
+    }
+
+    /// Mutable access, cloning the shared base into a private overlay on
+    /// first use (the "copy" in copy-on-write).
+    pub fn make_mut(&mut self) -> &mut T {
+        if self.overlay.is_none() {
+            self.overlay = Some((*self.base).clone());
+        }
+        self.overlay.as_mut().expect("overlay just materialized")
+    }
+
+    /// Whether this fork has paid for its own copy.
+    pub fn is_diverged(&self) -> bool {
+        self.overlay.is_some()
+    }
+
+    /// Promotes the fork into a snapshot of its own: the overlay if it
+    /// diverged, otherwise the still-shared base (no copy either way).
+    pub fn freeze(self) -> Snapshot<T> {
+        match self.overlay {
+            Some(owned) => Snapshot::new(owned),
+            None => Snapshot { base: self.base },
+        }
+    }
+
+    /// Consumes the fork, returning an owned value (clones only when the
+    /// base is still shared and the fork never diverged).
+    pub fn into_owned(self) -> T {
+        match self.overlay {
+            Some(owned) => owned,
+            None => Arc::try_unwrap(self.base).unwrap_or_else(|base| (*base).clone()),
+        }
+    }
+}
+
+/// A bounded, thread-safe memo table keyed by `K` with hit/miss counters.
+///
+/// At the capacity bound, new results are still computed and returned but
+/// no longer inserted — memory stays bounded and values never change,
+/// only the hit rate degrades. (Values must be pure functions of their
+/// key or the memo would break determinism.)
+pub struct MemoCache<K: Ord + Clone, V: Clone> {
+    entries: Mutex<BTreeMap<K, V>>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Ord + Clone, V: Clone> MemoCache<K, V> {
+    /// An empty memo admitting at most `cap` entries.
+    pub fn new(cap: usize) -> MemoCache<K, V> {
+        MemoCache {
+            entries: Mutex::new(BTreeMap::new()),
+            cap: cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the memoized value for `key`, computing and (capacity
+    /// permitting) inserting it on a miss.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: K, compute: F) -> V {
+        {
+            let entries = self.entries.lock().expect("memo cache poisoned");
+            if let Some(v) = entries.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return v.clone();
+            }
+        }
+        // Compute outside the lock: a slow kernel must not serialize every
+        // other tenant's cache hits. (Racing misses may compute twice; the
+        // single-flight layer above this dedups when that matters.)
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        let mut entries = self.entries.lock().expect("memo cache poisoned");
+        if entries.len() < self.cap || entries.contains_key(&key) {
+            entries.insert(key, value.clone());
+        }
+        value
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits over total lookups (0.0 when nothing was looked up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Number of memoized entries (bounded by the cap).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("memo cache poisoned").len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Canonical memo key for a placement spec: the recoverability curve is a
+/// pure function of `(strategy, N, m)` — group membership is derived
+/// deterministically and the analytic kernel is label-invariant — so two
+/// tenants asking about the same spec share one cache line per `k`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct PlacementSpecKey {
+    /// Placement strategy, as a stable small integer.
+    pub strategy: u8,
+    /// Number of machines `N`.
+    pub machines: u32,
+    /// Replication factor `m`.
+    pub replicas: u32,
+}
+
+impl PlacementSpecKey {
+    /// The canonical key of an existing placement.
+    pub fn of(placement: &Placement) -> PlacementSpecKey {
+        let strategy = match placement.strategy() {
+            PlacementStrategy::Group => 0,
+            PlacementStrategy::Ring => 1,
+            PlacementStrategy::Mixed => 2,
+        };
+        PlacementSpecKey {
+            strategy,
+            machines: placement.machines() as u32,
+            replicas: placement.replicas() as u32,
+        }
+    }
+}
+
+/// Default bound on distinct `(placement spec, k)` memo entries; each
+/// entry is a few dozen bytes, so the worst case is well under a MiB.
+pub const RECOVERY_MEMO_CAP: usize = 16_384;
+
+/// The placement-recoverability memo: `(placement spec, k) →
+/// P(recovery | k failures)` over the exact analytic kernel, shared by
+/// every query evaluating the same placement spec.
+pub struct RecoveryMemo {
+    cache: MemoCache<(PlacementSpecKey, u32), f64>,
+}
+
+impl Default for RecoveryMemo {
+    fn default() -> Self {
+        RecoveryMemo::new()
+    }
+}
+
+impl RecoveryMemo {
+    /// An empty memo with the default capacity bound.
+    pub fn new() -> RecoveryMemo {
+        RecoveryMemo {
+            cache: MemoCache::new(RECOVERY_MEMO_CAP),
+        }
+    }
+
+    /// `P(recovery | k failures)` for this placement, memoized by
+    /// canonical spec. Bit-identical to calling
+    /// [`analytic_recovery_probability`] directly.
+    pub fn probability(&self, placement: &Placement, k: usize) -> f64 {
+        let key = (PlacementSpecKey::of(placement), k as u32);
+        self.cache
+            .get_or_insert_with(key, || analytic_recovery_probability(placement, k))
+    }
+
+    /// The whole curve `k = 0 ..= max_k` (each point memoized).
+    pub fn curve(&self, placement: &Placement, max_k: usize) -> Vec<f64> {
+        (0..=max_k)
+            .map(|k| self.probability(placement, k))
+            .collect()
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Hits over total lookups.
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Number of memoized curve points.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct World {
+        machines: usize,
+        note: String,
+    }
+
+    #[test]
+    fn fork_reads_share_the_base_until_first_write() {
+        let snap = Snapshot::new(World {
+            machines: 16,
+            note: "base".into(),
+        });
+        let fork = snap.fork();
+        assert!(!fork.is_diverged());
+        // Reading through the fork is literally the base allocation.
+        assert!(std::ptr::eq(fork.get(), snap.get()));
+        assert_eq!(snap.handle_count(), 2);
+    }
+
+    #[test]
+    fn fork_write_clones_once_and_never_touches_the_base() {
+        let snap = Snapshot::new(World {
+            machines: 16,
+            note: "base".into(),
+        });
+        let mut fork = snap.fork();
+        fork.make_mut().machines = 32;
+        fork.make_mut().note = "overlay".into();
+        assert!(fork.is_diverged());
+        assert_eq!(fork.get().machines, 32);
+        // The shared base is untouched; other tenants still see it.
+        assert_eq!(snap.get().machines, 16);
+        assert_eq!(snap.get().note, "base");
+        let other = snap.fork();
+        assert_eq!(other.get().machines, 16);
+    }
+
+    #[test]
+    fn freeze_promotes_without_copying_undiverged_forks() {
+        let snap = Snapshot::new(World {
+            machines: 8,
+            note: "base".into(),
+        });
+        let clean = snap.fork().freeze();
+        assert!(clean.shares_with(&snap));
+        let mut fork = snap.fork();
+        fork.make_mut().machines = 9;
+        let diverged = fork.freeze();
+        assert!(!diverged.shares_with(&snap));
+        assert_eq!(diverged.get().machines, 9);
+    }
+
+    #[test]
+    fn memo_counts_hits_and_misses() {
+        let memo: MemoCache<u32, u64> = MemoCache::new(8);
+        assert_eq!(memo.get_or_insert_with(1, || 10), 10);
+        assert_eq!(memo.get_or_insert_with(1, || 99), 10, "hit returns memo");
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 1);
+        assert!((memo.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memo_capacity_bounds_memory_not_correctness() {
+        let memo: MemoCache<u32, u32> = MemoCache::new(4);
+        for k in 0..100u32 {
+            assert_eq!(memo.get_or_insert_with(k, move || k * 2), k * 2);
+        }
+        assert!(memo.len() <= 4, "len={} exceeds cap", memo.len());
+        // Beyond-cap keys are recomputed, never wrong.
+        assert_eq!(memo.get_or_insert_with(99, || 198), 198);
+    }
+
+    #[test]
+    fn recovery_memo_matches_the_analytic_kernel_exactly() {
+        let memo = RecoveryMemo::new();
+        for (n, m) in [(8usize, 2usize), (12, 3), (16, 4)] {
+            let p = Placement::mixed(n, m).unwrap();
+            for k in 0..=m + 1 {
+                let direct = analytic_recovery_probability(&p, k);
+                let cold = memo.probability(&p, k);
+                let warm = memo.probability(&p, k);
+                assert_eq!(direct.to_bits(), cold.to_bits(), "N={n} m={m} k={k}");
+                assert_eq!(cold.to_bits(), warm.to_bits());
+            }
+        }
+        assert!(memo.hits() > 0 && memo.misses() > 0);
+    }
+
+    #[test]
+    fn recovery_memo_key_is_shared_across_equivalent_placements() {
+        let memo = RecoveryMemo::new();
+        let a = Placement::mixed(16, 4).unwrap();
+        let b = Placement::mixed(16, 4).unwrap();
+        let _ = memo.probability(&a, 2);
+        let before = memo.misses();
+        let _ = memo.probability(&b, 2);
+        assert_eq!(memo.misses(), before, "equivalent spec must hit");
+    }
+}

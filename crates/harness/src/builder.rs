@@ -50,6 +50,27 @@ impl Scenario<()> {
         Scenario::wrap(cfg)
     }
 
+    /// A drill against a copy-on-write fork of a shared deployment
+    /// snapshot (see [`crate::Deployment::snapshot`]): the service's
+    /// per-query entry point. The fork's overlay (if it diverged) becomes
+    /// the drill's deployment; the shared base is never copied for
+    /// read-only forks with a unique handle, and never mutated.
+    pub fn drill_from_fork(
+        fork: gemini_core::Fork<crate::Deployment>,
+        failures: Vec<(usize, gemini_cluster::FailureKind)>,
+        fail_during_iteration: u64,
+        operator: gemini_cluster::OperatorConfig,
+        seed: u64,
+    ) -> Scenario<DrillConfig> {
+        Scenario::wrap(DrillConfig {
+            scenario: fork.into_owned(),
+            failures,
+            fail_during_iteration,
+            operator,
+            seed,
+        })
+    }
+
     /// A long-horizon training campaign with Poisson failures (Fig. 15).
     pub fn campaign(cfg: CampaignConfig) -> Scenario<CampaignConfig> {
         Scenario::wrap(cfg)
@@ -230,6 +251,41 @@ mod tests {
         let b = crate::drill::run_drill(&DrillConfig::fig14()).unwrap();
         assert_eq!(a.total_downtime, b.total_downtime);
         assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn drill_from_fork_matches_direct_and_leaves_the_base_untouched() {
+        use gemini_cluster::{FailureKind, OperatorConfig};
+        let base = crate::Deployment::gpt2_100b_p4d().snapshot();
+        // An undiverged fork is byte-equivalent to the plain constructor.
+        let a = Scenario::drill_from_fork(
+            base.fork(),
+            vec![(5, FailureKind::Hardware)],
+            4,
+            OperatorConfig::default(),
+            1,
+        )
+        .run()
+        .unwrap();
+        let b = Scenario::drill(DrillConfig::fig14()).run().unwrap();
+        assert_eq!(a.total_downtime, b.total_downtime);
+        assert_eq!(a.events, b.events);
+        // A diverged fork carries its overlay into the drill…
+        let mut fork = base.fork();
+        fork.make_mut().machines = 8;
+        assert!(fork.is_diverged());
+        let small = Scenario::drill_from_fork(
+            fork,
+            vec![(5, FailureKind::Hardware)],
+            4,
+            OperatorConfig::default(),
+            1,
+        )
+        .run()
+        .unwrap();
+        assert!(small.total_downtime.as_secs_f64() > 0.0);
+        // …while the shared base still reads 16 machines for everyone.
+        assert_eq!(base.get().machines, 16);
     }
 
     #[test]

@@ -102,6 +102,35 @@ pub struct DrillReport {
     pub events: Vec<TimedEvent>,
 }
 
+impl DrillReport {
+    /// The canonical plain-text rendering: every sink-independent field,
+    /// one per line, in declaration order. This is the byte-identity
+    /// contract the service's `drill` query responses are compared
+    /// against (the [`DrillReport::events`] log is deliberately excluded
+    /// — it is only populated under an enabled sink).
+    pub fn render(&self) -> String {
+        format!(
+            "drill case={:?}\n\
+             failed_at={:.3}s failed_iteration={}\n\
+             detect={:.3}s serialize={:.3}s replacement={:.3}s \
+             retrieval={:.3}s warmup={:.3}s\n\
+             total_downtime={:.3}s resumed_from_iteration={}\n\
+             detecting_root={}\n",
+            self.case,
+            self.failed_at.as_secs_f64(),
+            self.failed_iteration,
+            self.detect_latency.as_secs_f64(),
+            self.serialize_time.as_secs_f64(),
+            self.replacement_wait.as_secs_f64(),
+            self.retrieval_time.as_secs_f64(),
+            self.warmup_time.as_secs_f64(),
+            self.total_downtime.as_secs_f64(),
+            self.resumed_from_iteration,
+            self.detecting_root,
+        )
+    }
+}
+
 #[derive(Debug)]
 enum Ev {
     IterationDone(u64),
@@ -139,11 +168,25 @@ struct DrillModel {
     retrieval_finished: Option<SimTime>,
     resumed_at: Option<SimTime>,
     done: bool,
+    /// First typed error hit mid-simulation; the drill stops and
+    /// [`execute_drill`] surfaces it as a per-query `Err` instead of a
+    /// process-killing panic (a service stays up when one query is bad).
+    error: Option<GeminiError>,
 }
 
 impl DrillModel {
     fn failed_ranks(&self) -> Vec<usize> {
         self.failures.iter().map(|(r, _)| *r).collect()
+    }
+
+    /// Records the first error and halts the simulation; every later
+    /// event handler becomes a no-op via `done`.
+    fn abort(&mut self, ctx: &mut Context<'_, Ev>, err: GeminiError) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
+        self.done = true;
+        ctx.stop();
     }
 
     fn maybe_start_retrieval(&mut self, ctx: &mut Context<'_, Ev>) {
@@ -155,9 +198,10 @@ impl DrillModel {
             return;
         }
         let planner = RecoveryPlanner;
-        let plan = planner
-            .plan(&self.sys.store, &self.failures)
-            .expect("recovery must be plannable in the drill");
+        let plan = match planner.plan(&self.sys.store, &self.failures) {
+            Ok(plan) => plan,
+            Err(err) => return self.abort(ctx, err),
+        };
         // Retrieval: every rank fetches per its source, in parallel except
         // where they share a serving host (or the persistent pipe) — the
         // contention-aware makespan.
@@ -202,9 +246,9 @@ impl Model for DrillModel {
                 if dead || self.done {
                     return; // the process is gone; no more heartbeats
                 }
-                self.workers[rank]
-                    .heartbeat(&mut self.kv, ctx.now())
-                    .expect("heartbeat");
+                if self.workers[rank].heartbeat(&mut self.kv, ctx.now()).is_err() {
+                    return self.abort(ctx, GeminiError::Coordination("worker heartbeat"));
+                }
                 ctx.schedule_after(
                     self.sys.scenario.config.heartbeat_period,
                     Ev::Heartbeat(rank),
@@ -256,10 +300,12 @@ impl Model for DrillModel {
                         // Request replacements for hardware failures.
                         for &(rank, kind) in &self.failures.clone() {
                             if kind == FailureKind::Hardware {
-                                self.sys
-                                    .cluster
-                                    .begin_replacement(rank)
-                                    .expect("rank exists");
+                                if self.sys.cluster.begin_replacement(rank).is_err() {
+                                    return self.abort(
+                                        ctx,
+                                        GeminiError::Coordination("replacement request"),
+                                    );
+                                }
                                 self.replacements_pending += 1;
                                 let provision = self.operator.request_replacement(now, ctx.rng());
                                 self.sink
@@ -279,7 +325,9 @@ impl Model for DrillModel {
                 self.failed_at = Some(ctx.now());
                 self.training_blocked = true;
                 for &(rank, kind) in &self.failures.clone() {
-                    self.sys.cluster.fail(rank, kind).expect("rank exists");
+                    if self.sys.cluster.fail(rank, kind).is_err() {
+                        return self.abort(ctx, GeminiError::UnknownRank(rank));
+                    }
                     if kind == FailureKind::Hardware {
                         self.sys.store.machine_lost(rank);
                     }
@@ -298,10 +346,9 @@ impl Model for DrillModel {
                 self.maybe_start_retrieval(ctx);
             }
             Ev::ReplacementReady(rank) => {
-                self.sys
-                    .cluster
-                    .complete_replacement(rank, ctx.now())
-                    .expect("rank was put in Replacing state at detection");
+                if self.sys.cluster.complete_replacement(rank, ctx.now()).is_err() {
+                    return self.abort(ctx, GeminiError::Coordination("replacement completion"));
+                }
                 self.replacements_pending = self.replacements_pending.saturating_sub(1);
                 self.replacement_ready_at = Some(
                     self.replacement_ready_at
@@ -323,11 +370,21 @@ impl Model for DrillModel {
                 self.training_blocked = false;
                 // Restart software-failed ranks in place.
                 for &(rank, kind) in &self.failures.clone() {
-                    if kind == FailureKind::Software {
-                        self.sys.cluster.restart(rank).expect("rank exists");
+                    if kind == FailureKind::Software
+                        && self.sys.cluster.restart(rank).is_err()
+                    {
+                        return self.abort(ctx, GeminiError::Coordination("software restart"));
                     }
                 }
-                let resume_iter = self.plan.as_ref().expect("plan exists").iteration;
+                let resume_iter = match self.plan.as_ref() {
+                    Some(plan) => plan.iteration,
+                    None => {
+                        return self.abort(
+                            ctx,
+                            GeminiError::Coordination("recovery plan missing at resume"),
+                        )
+                    }
+                };
                 self.sink
                     .event(ctx.now(), || TelemetryEvent::TrainingResumed {
                         iteration: resume_iter,
@@ -362,6 +419,29 @@ pub(crate) fn execute_drill(
     config: &DrillConfig,
     sink: TelemetrySink,
 ) -> Result<DrillReport, GeminiError> {
+    // Up-front structural validation: every rejection here is a typed,
+    // per-query error. A serve loop feeds arbitrary tenant configs through
+    // this path, so nothing below may panic on bad input.
+    if config.failures.is_empty() {
+        return Err(GeminiError::InvalidDrill(
+            "at least one failure must be injected",
+        ));
+    }
+    if config.fail_during_iteration == 0 {
+        return Err(GeminiError::InvalidDrill(
+            "fail_during_iteration is 1-based and must be >= 1",
+        ));
+    }
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        for &(rank, _) in &config.failures {
+            if !seen.insert(rank) {
+                return Err(GeminiError::InvalidDrill(
+                    "duplicate victim rank in failure list",
+                ));
+            }
+        }
+    }
     let mut sys = config.scenario.build_system(config.seed)?;
     // Jobs start from a persisted initial checkpoint (iteration 0), which
     // is what the persistent-fallback path rolls back to if a whole
@@ -384,7 +464,8 @@ pub(crate) fn execute_drill(
         .map(|r| WorkerAgent::new(r, r as u64, gcfg))
         .collect();
     for w in workers.iter_mut() {
-        w.register(&mut kv, SimTime::ZERO).expect("register");
+        w.register(&mut kv, SimTime::ZERO)
+            .map_err(|_| GeminiError::Coordination("worker registration"))?;
     }
     let roots: Vec<RootAgent> = (0..n)
         .map(|r| RootAgent::new(&format!("machine-{r}"), &gcfg))
@@ -414,6 +495,7 @@ pub(crate) fn execute_drill(
         retrieval_finished: None,
         resumed_at: None,
         done: false,
+        error: None,
     };
 
     let mut engine =
@@ -432,12 +514,20 @@ pub(crate) fn execute_drill(
 
     engine.run(&mut model, Some(SimTime::from_hours(6)), 10_000_000);
 
-    let failed_at = model.failed_at.ok_or(GeminiError::NoCheckpointAvailable)?;
+    if let Some(err) = model.error.take() {
+        return Err(err);
+    }
+    let failed_at = model.failed_at.ok_or(GeminiError::InvalidDrill(
+        "failure never struck within the simulation horizon",
+    ))?;
     let detected_at = model
         .detected_at
         .ok_or(GeminiError::NoCheckpointAvailable)?;
     let resumed_at = model.resumed_at.ok_or(GeminiError::NoCheckpointAvailable)?;
-    let plan = model.plan.as_ref().expect("plan exists if resumed");
+    let plan = model
+        .plan
+        .as_ref()
+        .ok_or(GeminiError::Coordination("recovery plan missing at resume"))?;
     let serialize_time = model
         .serialize_finished
         .zip(model.serialize_started)
@@ -827,5 +917,40 @@ mod tests {
         let mut cfg = DrillConfig::fig14();
         cfg.failures = vec![(99, FailureKind::Software)];
         assert!(run_drill(&cfg).is_err());
+    }
+
+    #[test]
+    fn malformed_configs_yield_typed_errors_not_panics() {
+        // Pre-fix, a duplicate victim rank panicked inside the event loop
+        // (`begin_replacement` hit a machine already in Replacing state);
+        // a long-running serve loop must get a per-query Err instead.
+        let mut cfg = DrillConfig::fig14();
+        cfg.failures = vec![(5, FailureKind::Hardware), (5, FailureKind::Hardware)];
+        assert!(matches!(
+            run_drill(&cfg),
+            Err(GeminiError::InvalidDrill(_))
+        ));
+
+        let mut cfg = DrillConfig::fig14();
+        cfg.failures.clear();
+        assert!(matches!(
+            run_drill(&cfg),
+            Err(GeminiError::InvalidDrill(_))
+        ));
+
+        let mut cfg = DrillConfig::fig14();
+        cfg.fail_during_iteration = 0;
+        assert!(matches!(
+            run_drill(&cfg),
+            Err(GeminiError::InvalidDrill(_))
+        ));
+
+        // A failure slot past the simulation horizon ends cleanly too.
+        let mut cfg = DrillConfig::fig14();
+        cfg.fail_during_iteration = 1_000_000;
+        assert!(matches!(
+            run_drill(&cfg),
+            Err(GeminiError::InvalidDrill(_))
+        ));
     }
 }

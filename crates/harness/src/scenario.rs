@@ -55,6 +55,15 @@ impl Deployment {
         }
     }
 
+    /// Wraps this deployment in a shareable copy-on-write snapshot: the
+    /// service catalog entry form. Queries call
+    /// [`gemini_core::Snapshot::fork`] for a per-tenant view that reads
+    /// the shared base for free and clones only if it mutates (e.g. a
+    /// what-if that resizes the fleet).
+    pub fn snapshot(self) -> gemini_core::Snapshot<Deployment> {
+        gemini_core::Snapshot::new(self)
+    }
+
     /// Per-machine checkpoint shard size.
     pub fn ckpt_bytes_per_machine(&self) -> ByteSize {
         self.model.checkpoint_bytes_per_machine(self.machines)

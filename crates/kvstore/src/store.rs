@@ -216,6 +216,17 @@ impl KvStore {
             .leases
             .remove(&id.0)
             .ok_or(KvError::LeaseNotFound(id))?;
+        // If the revoked lease carried the watermark, recompute it exactly;
+        // leaving it stale-low is safe (a lower bound stays a lower bound)
+        // but buys one pointless full sweep at the next tick.
+        if lease.deadline <= self.next_expiry {
+            self.next_expiry = self
+                .leases
+                .values()
+                .map(|l| l.deadline)
+                .min()
+                .unwrap_or(SimTime::MAX);
+        }
         for key in lease.keys {
             if let Some(old) = self.map.remove(&key) {
                 let revision = self.bump();

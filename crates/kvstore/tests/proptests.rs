@@ -28,6 +28,17 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// A random lease-table operation for the watermark equivalence test.
+#[derive(Clone, Debug)]
+enum LeaseOp {
+    Grant(u64),
+    KeepAlive(usize),
+    Revoke(usize),
+    PutLeased { which: usize, key: u8 },
+    Advance(u64),
+    Tick,
+}
+
 proptest! {
     /// Model-based check: the store agrees with a simple map + lease model
     /// after any operation sequence, and revisions strictly increase.
@@ -127,6 +138,110 @@ proptest! {
             }
             // The underlying key count for the election is at most 1.
             prop_assert!(kv.range(now, "root").len() <= 1);
+        }
+    }
+
+    /// The `next_expiry` watermark fast path is observationally identical
+    /// to a naive store that sweeps the full lease table on every
+    /// operation. Audit note (long-running-process sweep): the watermark
+    /// is maintained as a *lower bound* — `grant_lease` lowers it via
+    /// `min`, keep-alives only push deadlines later under monotonic time
+    /// (deadline = now + ttl), sweeps recompute it exactly, and `revoke`
+    /// recomputes when it removes the lease carrying the bound. No
+    /// missed-expiry bug was found; this test pins the equivalence under
+    /// arbitrary grant/keep-alive/revoke/advance interleavings.
+    #[test]
+    fn lease_watermark_matches_sweep_every_time_reference(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (1u64..20).prop_map(LeaseOp::Grant),
+                (0usize..12).prop_map(LeaseOp::KeepAlive),
+                (0usize..12).prop_map(LeaseOp::Revoke),
+                (0usize..12, 0u8..4).prop_map(|(which, key)| LeaseOp::PutLeased { which, key }),
+                (1u64..25).prop_map(LeaseOp::Advance),
+                Just(LeaseOp::Tick),
+            ],
+            1..150,
+        )
+    ) {
+        let mut kv = KvStore::new();
+        // Reference: no watermark, expiry recomputed from scratch at every
+        // step. lease id → (deadline, ttl); key → owning lease id.
+        let mut ref_leases: HashMap<u64, (SimTime, SimDuration)> = HashMap::new();
+        let mut ref_keys: HashMap<String, u64> = HashMap::new();
+        let mut granted: Vec<gemini_kvstore::LeaseId> = Vec::new();
+        let mut now = SimTime::ZERO;
+
+        for op in ops {
+            // The reference sweeps unconditionally — the behavior the
+            // watermark fast path must be indistinguishable from.
+            ref_leases.retain(|_, (deadline, _)| now < *deadline);
+            ref_keys.retain(|_, id| ref_leases.contains_key(id));
+            match op {
+                LeaseOp::Grant(ttl_s) => {
+                    let ttl = SimDuration::from_secs(ttl_s);
+                    let id = kv.grant_lease(now, ttl);
+                    ref_leases.insert(id.0, (now + ttl, ttl));
+                    granted.push(id);
+                }
+                LeaseOp::KeepAlive(which) => {
+                    if let Some(id) = granted.get(which % granted.len().max(1)) {
+                        let res = kv.keep_alive(now, *id);
+                        match ref_leases.get_mut(&id.0) {
+                            Some((deadline, ttl)) => {
+                                prop_assert!(res.is_ok());
+                                *deadline = now + *ttl;
+                            }
+                            None => prop_assert!(res.is_err()),
+                        }
+                    }
+                }
+                LeaseOp::Revoke(which) => {
+                    if let Some(id) = granted.get(which % granted.len().max(1)) {
+                        let res = kv.revoke(now, *id);
+                        if ref_leases.remove(&id.0).is_some() {
+                            prop_assert!(res.is_ok());
+                            ref_keys.retain(|_, owner| *owner != id.0);
+                        } else {
+                            prop_assert!(res.is_err());
+                        }
+                    }
+                }
+                LeaseOp::PutLeased { which, key } => {
+                    if let Some(id) = granted.get(which % granted.len().max(1)) {
+                        let k = format!("lk/{key}");
+                        let res = kv.put(now, &k, "v", Some(*id));
+                        if ref_leases.contains_key(&id.0) {
+                            prop_assert!(res.is_ok());
+                            ref_keys.insert(k, id.0);
+                        } else {
+                            prop_assert!(res.is_err());
+                        }
+                    }
+                }
+                LeaseOp::Advance(secs) => now += SimDuration::from_secs(secs),
+                LeaseOp::Tick => kv.tick(now),
+            }
+            // Observational equivalence after every step: lease liveness
+            // and leased-key visibility agree with the sweep-every-time
+            // reference.
+            ref_leases.retain(|_, (deadline, _)| now < *deadline);
+            ref_keys.retain(|_, id| ref_leases.contains_key(id));
+            for id in &granted {
+                prop_assert_eq!(
+                    kv.lease_alive(now, *id),
+                    ref_leases.contains_key(&id.0),
+                    "lease {} at {}", id, now
+                );
+            }
+            for key in 0..4u8 {
+                let k = format!("lk/{key}");
+                prop_assert_eq!(
+                    kv.get(now, &k).is_some(),
+                    ref_keys.contains_key(&k),
+                    "key {} at {}", k, now
+                );
+            }
         }
     }
 

@@ -41,8 +41,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Execution statistics of one [`par_map_stats`] call, for perf tracking
@@ -373,6 +374,168 @@ where
     Ok(out)
 }
 
+/// The lifecycle of one in-flight computation inside a [`SingleFlight`].
+enum FlightState<V> {
+    /// The leader is still computing; followers wait on the condvar.
+    Pending,
+    /// The leader finished; followers clone this value.
+    Done(V),
+    /// The leader panicked before producing a value; followers fall back
+    /// to computing independently (no dedup, but no deadlock either).
+    Abandoned,
+}
+
+type FlightSlot<V> = Arc<(Mutex<FlightState<V>>, Condvar)>;
+
+/// Collapses *concurrent* identical computations: while a computation for
+/// key `K` is in flight, every other caller with the same key blocks and
+/// receives a clone of the leader's result instead of recomputing.
+///
+/// This is deduplication, not caching — once the leader completes, the key
+/// is forgotten and the next caller computes afresh. Long-lived memoization
+/// belongs in a cache in front of this; `SingleFlight` only shields a
+/// service from redundant work when many tenants ask the same expensive
+/// question *at the same moment*.
+///
+/// Determinism: callers receive a clone of the value the leader computed,
+/// so as long as the computation itself is a pure function of the key, the
+/// responses are byte-identical whether a caller led, followed, or ran
+/// alone. Only the [`dedup_hits`](SingleFlight::dedup_hits) /
+/// [`executions`](SingleFlight::executions) telemetry counters are
+/// timing-dependent.
+///
+/// A leader that panics marks its slot [`FlightState::Abandoned`] and
+/// wakes all followers, which then compute independently — a malformed
+/// computation can never strand other tenants on a condvar.
+pub struct SingleFlight<K: Ord + Clone, V: Clone> {
+    slots: Mutex<BTreeMap<K, FlightSlot<V>>>,
+    executions: AtomicU64,
+    dedup_hits: AtomicU64,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+/// Restores a slot to a follower-safe state if the leader unwinds before
+/// publishing a value.
+struct AbandonGuard<'a, K: Ord + Clone, V: Clone> {
+    flight: &'a SingleFlight<K, V>,
+    key: &'a K,
+    slot: &'a FlightSlot<V>,
+    armed: bool,
+}
+
+impl<K: Ord + Clone, V: Clone> Drop for AbandonGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let (lock, cv) = &**self.slot;
+        *lock.lock().expect("single-flight slot poisoned") = FlightState::Abandoned;
+        cv.notify_all();
+        self.flight
+            .slots
+            .lock()
+            .expect("single-flight map poisoned")
+            .remove(self.key);
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> SingleFlight<K, V> {
+    /// An empty single-flight group.
+    pub const fn new() -> SingleFlight<K, V> {
+        SingleFlight {
+            slots: Mutex::new(BTreeMap::new()),
+            executions: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `compute` for `key`, deduplicating against concurrent callers:
+    /// exactly one caller (the leader) executes `compute`; the rest block
+    /// and receive a clone of its result. Returns the value plus `true` if
+    /// this caller was the leader.
+    pub fn run<F: FnOnce() -> V>(&self, key: K, compute: F) -> (V, bool) {
+        let existing = {
+            let mut slots = self.slots.lock().expect("single-flight map poisoned");
+            match slots.get(&key) {
+                Some(slot) => Some(Arc::clone(slot)),
+                None => {
+                    let slot: FlightSlot<V> =
+                        Arc::new((Mutex::new(FlightState::Pending), Condvar::new()));
+                    slots.insert(key.clone(), Arc::clone(&slot));
+                    drop(slots);
+                    let mut guard = AbandonGuard {
+                        flight: self,
+                        key: &key,
+                        slot: &slot,
+                        armed: true,
+                    };
+                    let value = compute();
+                    {
+                        let (lock, cv) = &*slot;
+                        *lock.lock().expect("single-flight slot poisoned") =
+                            FlightState::Done(value.clone());
+                        cv.notify_all();
+                    }
+                    self.slots
+                        .lock()
+                        .expect("single-flight map poisoned")
+                        .remove(&key);
+                    guard.armed = false;
+                    self.executions.fetch_add(1, Ordering::Relaxed);
+                    return (value, true);
+                }
+            }
+        };
+        // Follower: wait for the leader's verdict.
+        let slot = existing.expect("follower always has a slot");
+        let (lock, cv) = &*slot;
+        let mut state = lock.lock().expect("single-flight slot poisoned");
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    state = cv.wait(state).expect("single-flight slot poisoned");
+                }
+                FlightState::Done(v) => {
+                    self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    return (v.clone(), false);
+                }
+                FlightState::Abandoned => {
+                    drop(state);
+                    // The leader unwound: compute independently rather
+                    // than deadlock or re-enter (no dedup for this call).
+                    self.executions.fetch_add(1, Ordering::Relaxed);
+                    return (compute(), false);
+                }
+            }
+        }
+    }
+
+    /// How many times a computation actually executed (leaders, plus
+    /// followers that recovered from an abandoned leader).
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Ordering::Relaxed)
+    }
+
+    /// How many callers were served a leader's result instead of
+    /// recomputing — the work the dedup saved.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of computations currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("single-flight map poisoned")
+            .len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,6 +694,93 @@ mod tests {
         assert_eq!(resolve_jobs(Some(2)), 2);
         assert_eq!(resolve_jobs(Some(0)), 1);
         set_default_jobs(0);
+    }
+
+    #[test]
+    fn single_flight_collapses_concurrent_identical_keys() {
+        let flight: SingleFlight<u64, u64> = SingleFlight::new();
+        let computed = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        let results: Vec<(u64, bool)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        flight.run(42, || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            // Hold the flight open long enough for every
+                            // sibling to arrive as a follower.
+                            std::thread::sleep(Duration::from_millis(100));
+                            999
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|(v, _)| *v == 999));
+        let leaders = results.iter().filter(|(_, led)| *led).count();
+        assert_eq!(leaders as u64, flight.executions());
+        assert_eq!(flight.dedup_hits(), 8 - flight.executions());
+        // With a 100ms flight and a barrier start, at least one caller
+        // must have followed rather than led.
+        assert!(flight.dedup_hits() > 0, "no dedup observed");
+        assert_eq!(computed.load(Ordering::Relaxed) as u64, flight.executions());
+        assert_eq!(flight.in_flight(), 0);
+    }
+
+    #[test]
+    fn single_flight_is_dedup_not_cache() {
+        let flight: SingleFlight<&'static str, usize> = SingleFlight::new();
+        let computed = AtomicUsize::new(0);
+        let make = || {
+            flight
+                .run("k", || computed.fetch_add(1, Ordering::Relaxed) + 1)
+                .0
+        };
+        assert_eq!(make(), 1);
+        assert_eq!(make(), 2, "sequential calls must recompute");
+        assert_eq!(flight.executions(), 2);
+        assert_eq!(flight.dedup_hits(), 0);
+    }
+
+    #[test]
+    fn single_flight_distinct_keys_run_independently() {
+        let flight: SingleFlight<u64, u64> = SingleFlight::new();
+        let out: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|k| {
+                    let flight = &flight;
+                    scope.spawn(move || flight.run(k, move || k * 10).0)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        assert_eq!(flight.executions(), 4);
+    }
+
+    #[test]
+    fn single_flight_abandoned_leader_does_not_strand_followers() {
+        let flight: Arc<SingleFlight<u64, u64>> = Arc::new(SingleFlight::new());
+        let entered = Arc::new(std::sync::Barrier::new(2));
+        let leader = {
+            let flight = Arc::clone(&flight);
+            let entered = Arc::clone(&entered);
+            std::thread::spawn(move || {
+                let _ = flight.run(7, || {
+                    entered.wait();
+                    std::thread::sleep(Duration::from_millis(50));
+                    panic!("leader dies mid-flight");
+                });
+            })
+        };
+        entered.wait(); // the leader is inside its computation now
+        let (value, led) = flight.run(7, || 123);
+        assert_eq!(value, 123, "follower must recover by computing itself");
+        assert!(!led);
+        assert!(leader.join().is_err(), "leader thread should have panicked");
+        assert_eq!(flight.in_flight(), 0);
     }
 
     #[test]

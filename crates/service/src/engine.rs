@@ -1,0 +1,443 @@
+//! The long-running query engine.
+//!
+//! [`ServiceEngine`] owns the shared immutable world state — a catalog of
+//! base deployments wrapped in [`Snapshot`]s, the chaos-plan catalog, the
+//! keyed recoverability memo and the single-flight table — and answers
+//! batches of queries in parallel. Three layers keep thousands of
+//! concurrent tenants cheap:
+//!
+//! 1. **Copy-on-write forks** ([`gemini_core::Fork`]): a query evaluates
+//!    against a fork of a catalog snapshot; the base deployment is cloned
+//!    only when the query actually diverges (resizes the fleet, changes
+//!    the replica count).
+//! 2. **Keyed memoization** ([`gemini_core::RecoveryMemo`]): placement
+//!    recoverability curves are pure functions of (strategy, N, m, k), so
+//!    distinct tenants asking about equivalent placements share one
+//!    computation, with hit/miss telemetry.
+//! 3. **Single-flight dedup** ([`gemini_parallel::SingleFlight`]): whole
+//!    queries are keyed on their canonical form ([`Query::canonical`]);
+//!    identical questions in flight at the same moment run once and
+//!    everyone gets the answer.
+//!
+//! Determinism is the load-bearing guarantee: a response depends only on
+//! the query (never on cache state, dedup timing, worker count or the
+//! telemetry sink), so serving is byte-identical at any `--jobs`, cold or
+//! warm, sink on or off — and identical to the equivalent one-shot
+//! [`Scenario`] builder run. Simulations triggered by queries always run
+//! with a *disabled* sink internally; the engine's own sink only carries
+//! `service.*` counters about the serving layer itself.
+
+use crate::query::{ChaosQuery, DrillQuery, LookaheadQuery, Query, QueryKind, RecoverabilityQuery};
+use gemini_cluster::OperatorConfig;
+use gemini_core::policy::PolicySpec;
+use gemini_core::{Fork, RecoveryMemo, Snapshot};
+use gemini_harness::{ChaosPlan, Deployment, Scenario};
+use gemini_parallel::{par_map, SingleFlight};
+use gemini_telemetry::TelemetrySink;
+
+/// Serving statistics for one [`ServiceEngine::serve_batch_with_stats`]
+/// call. Counter fields are deltas over the batch, not engine lifetime
+/// totals.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Lines served (responses emitted), including error responses.
+    pub queries: u64,
+    /// Responses with `"ok":false`.
+    pub errors: u64,
+    /// Whole-query executions that actually ran (single-flight leaders).
+    pub executions: u64,
+    /// Queries answered by piggybacking on an identical in-flight one.
+    pub dedup_hits: u64,
+    /// Recoverability-memo hits.
+    pub cache_hits: u64,
+    /// Recoverability-memo misses.
+    pub cache_misses: u64,
+    /// Wall-clock latency per response, input order (microseconds).
+    /// Purely observational — never part of a response.
+    pub latencies_us: Vec<u64>,
+}
+
+impl BatchStats {
+    /// The p-th latency percentile (nearest-rank), 0 for an empty batch.
+    pub fn latency_percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+}
+
+/// The multi-tenant what-if query engine. Cheap to share by reference
+/// across a serve loop; all interior state is synchronized.
+pub struct ServiceEngine {
+    catalog: Vec<Snapshot<Deployment>>,
+    plans: Vec<(ChaosPlan, Snapshot<Deployment>)>,
+    memo: RecoveryMemo,
+    flight: SingleFlight<String, String>,
+    sink: TelemetrySink,
+}
+
+impl ServiceEngine {
+    /// An engine over the default catalog (the paper's two deployments)
+    /// and the full extended chaos-plan catalog. The sink carries the
+    /// `service.*` serving metrics; pass a disabled sink to opt out.
+    pub fn new(sink: TelemetrySink) -> ServiceEngine {
+        let plans = ChaosPlan::extended_catalog()
+            .into_iter()
+            .map(|plan| {
+                let base = plan.scenario.clone().snapshot();
+                (plan, base)
+            })
+            .collect();
+        ServiceEngine {
+            catalog: vec![
+                Deployment::gpt2_100b_p4d().snapshot(),
+                Deployment::gpt2_40b_p3dn().snapshot(),
+            ],
+            plans,
+            memo: RecoveryMemo::new(),
+            flight: SingleFlight::new(),
+            sink,
+        }
+    }
+
+    /// Serves one request line: parse, dedup, answer. Always returns a
+    /// single-line JSON response; never panics on malformed input.
+    pub fn serve_line(&self, line: &str) -> String {
+        let query = match Query::parse(line) {
+            Ok(q) => q,
+            Err(e) => {
+                self.sink.counter_add("service.parse_errors", 1);
+                // Best-effort id recovery so tenants can correlate the
+                // error even when validation (not syntax) failed.
+                let id = crate::json::parse(line)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(|i| i.as_str().map(str::to_string)))
+                    .unwrap_or_default();
+                return format!(
+                    "{{\"id\":\"{}\",\"ok\":false,\"error\":\"{}\"}}",
+                    crate::json::escape(&id),
+                    crate::json::escape(&e)
+                );
+            }
+        };
+        let (tail, _deduped) = self
+            .flight
+            .run(query.canonical(), || self.answer_tail(&query));
+        format!("{{\"id\":\"{}\",{tail}}}", crate::json::escape(&query.id))
+    }
+
+    /// Serves a batch of request lines across `jobs` workers, responses
+    /// in input order. Byte-identical output at any `jobs`, cold or warm.
+    pub fn serve_batch(&self, lines: &[String], jobs: usize) -> Vec<String> {
+        self.serve_batch_with_stats(lines, jobs).0
+    }
+
+    /// [`ServiceEngine::serve_batch`] plus serving statistics, and the
+    /// `service.*` counters updated on the engine's sink.
+    pub fn serve_batch_with_stats(&self, lines: &[String], jobs: usize) -> (Vec<String>, BatchStats) {
+        let (hits0, miss0) = (self.memo.hits(), self.memo.misses());
+        let (exec0, dedup0) = (self.flight.executions(), self.flight.dedup_hits());
+        let timed: Vec<(String, u64)> = par_map(jobs.max(1), lines.len(), |i| {
+            let start = std::time::Instant::now();
+            let response = self.serve_line(&lines[i]);
+            (response, start.elapsed().as_micros() as u64)
+        });
+        let mut responses = Vec::with_capacity(timed.len());
+        let mut stats = BatchStats::default();
+        for (response, us) in timed {
+            stats.queries += 1;
+            if response.contains("\"ok\":false") {
+                stats.errors += 1;
+            }
+            stats.latencies_us.push(us);
+            responses.push(response);
+        }
+        stats.cache_hits = self.memo.hits() - hits0;
+        stats.cache_misses = self.memo.misses() - miss0;
+        stats.executions = self.flight.executions() - exec0;
+        stats.dedup_hits = self.flight.dedup_hits() - dedup0;
+        self.sink.counter_add("service.queries", stats.queries);
+        self.sink.counter_add("service.errors", stats.errors);
+        self.sink.counter_add("service.cache_hits", stats.cache_hits);
+        self.sink.counter_add("service.cache_misses", stats.cache_misses);
+        self.sink.counter_add("service.executions", stats.executions);
+        self.sink.counter_add("service.dedup_hits", stats.dedup_hits);
+        for &us in &stats.latencies_us {
+            self.sink.observe_us("service.query_latency_us", || us);
+        }
+        (responses, stats)
+    }
+
+    /// Recoverability-memo hit rate over the engine's lifetime.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.memo.hit_rate()
+    }
+
+    /// Lifetime single-flight counters `(executions, dedup_hits)`.
+    pub fn flight_counters(&self) -> (u64, u64) {
+        (self.flight.executions(), self.flight.dedup_hits())
+    }
+
+    /// The response minus its `id` field — everything after `{"id":"…",`.
+    /// This is the unit the single-flight layer shares between tenants:
+    /// identical canonical queries from different ids get the same tail.
+    fn answer_tail(&self, query: &Query) -> String {
+        let kind = query.kind_tag();
+        match self.answer(&query.kind) {
+            Ok(body) => format!(
+                "\"kind\":\"{kind}\",\"ok\":true,\"body\":\"{}\"",
+                crate::json::escape(&body)
+            ),
+            Err(e) => format!(
+                "\"kind\":\"{kind}\",\"ok\":false,\"error\":\"{}\"",
+                crate::json::escape(&e)
+            ),
+        }
+    }
+
+    fn answer(&self, kind: &QueryKind) -> Result<String, String> {
+        match kind {
+            QueryKind::Drill(q) => self.answer_drill(q),
+            QueryKind::Recoverability(q) => self.answer_recoverability(q),
+            QueryKind::Chaos(q) => self.answer_chaos(q),
+            QueryKind::Lookahead(q) => self.answer_lookahead(q),
+        }
+    }
+
+    /// A copy-on-write fork of the catalog base matching the query's
+    /// model × instance, or a fresh single-use snapshot for combinations
+    /// outside the catalog.
+    fn fork_for(&self, q: &DrillQuery) -> Fork<Deployment> {
+        for base in &self.catalog {
+            let d = base.get();
+            if std::ptr::eq(d.model, q.model) && std::ptr::eq(d.instance, q.instance) {
+                return base.fork();
+            }
+        }
+        Deployment {
+            model: q.model,
+            instance: q.instance,
+            machines: q.machines,
+            config: Default::default(),
+            rack_topology: None,
+        }
+        .snapshot()
+        .fork()
+    }
+
+    fn answer_drill(&self, q: &DrillQuery) -> Result<String, String> {
+        let mut fork = self.fork_for(q);
+        if fork.get().machines != q.machines {
+            fork.make_mut().machines = q.machines;
+        }
+        if fork.get().config.replicas != q.replicas {
+            fork.make_mut().config.replicas = q.replicas;
+        }
+        let report = Scenario::drill_from_fork(
+            fork,
+            q.failures.clone(),
+            q.fail_during_iteration,
+            OperatorConfig {
+                standbys: q.standbys,
+                ..OperatorConfig::default()
+            },
+            q.seed,
+        )
+        .run()
+        .map_err(|e| e.to_string())?;
+        Ok(report.render())
+    }
+
+    fn answer_recoverability(&self, q: &RecoverabilityQuery) -> Result<String, String> {
+        let deployment = Deployment {
+            model: gemini_training::ModelConfig::gpt2_100b(),
+            instance: gemini_cluster::InstanceType::p4d(),
+            machines: q.machines,
+            config: Default::default(),
+            rack_topology: None,
+        };
+        let mut deployment = deployment;
+        deployment.config.replicas = q.replicas;
+        let placement = deployment.placement().map_err(|e| e.to_string())?;
+        let curve = self.memo.curve(&placement, q.max_k);
+        let mut body = format!(
+            "recoverability strategy={:?} machines={} replicas={}\n",
+            placement.strategy(),
+            q.machines,
+            q.replicas
+        );
+        for (k, p) in curve.iter().enumerate() {
+            body.push_str(&format!("k={k} p={p}\n"));
+        }
+        Ok(body)
+    }
+
+    /// The plan catalog entry plus its shareable deployment snapshot.
+    fn plan_named(&self, name: &str) -> Result<(&ChaosPlan, &Snapshot<Deployment>), String> {
+        self.plans
+            .iter()
+            .find(|(p, _)| p.name == name)
+            .map(|(p, s)| (p, s))
+            .ok_or_else(|| format!("unknown chaos plan {name:?}"))
+    }
+
+    /// Materializes a plan for a query: the fault schedule is cloned from
+    /// the catalog, the deployment comes from a fork of the shared
+    /// snapshot (cloned only when the query overrides it).
+    fn plan_for(
+        &self,
+        name: &str,
+        machines: Option<usize>,
+        replicas: Option<usize>,
+    ) -> Result<ChaosPlan, String> {
+        let (plan, base) = self.plan_named(name)?;
+        let mut fork = base.fork();
+        if let Some(n) = machines {
+            if fork.get().machines != n {
+                fork.make_mut().machines = n;
+            }
+        }
+        if let Some(m) = replicas {
+            if fork.get().config.replicas != m {
+                fork.make_mut().config.replicas = m;
+            }
+        }
+        let mut plan = plan.clone();
+        plan.scenario = fork.into_owned();
+        Ok(plan)
+    }
+
+    fn policy_spec(&self, name: &str) -> Result<PolicySpec, String> {
+        if name == "adaptive" {
+            return Ok(PolicySpec::adaptive());
+        }
+        gemini_baselines::fixed_policies()
+            .into_iter()
+            .chain(gemini_baselines::fixed_scheme_policies())
+            .find(|p| p.name == name)
+            .map(PolicySpec::Fixed)
+            .ok_or_else(|| format!("unknown policy {name:?}"))
+    }
+
+    fn answer_chaos(&self, q: &ChaosQuery) -> Result<String, String> {
+        let plan = self.plan_for(&q.plan, q.machines, q.replicas)?;
+        let mut run = Scenario::chaos(plan).seed(q.seed);
+        if let Some(name) = &q.policy {
+            run = run.policy(self.policy_spec(name)?);
+        }
+        let report = run.run().map_err(|e| e.to_string())?;
+        Ok(report.render())
+    }
+
+    /// The speculative-selection primitive: fork the plan's deployment,
+    /// price every candidate policy forward under the same seed, answer
+    /// with the cheapest by total wasted time (ties to the earlier
+    /// candidate).
+    fn answer_lookahead(&self, q: &LookaheadQuery) -> Result<String, String> {
+        let mut body = format!("lookahead plan={} seed={}\n", q.plan, q.seed);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, name) in q.candidates.iter().enumerate() {
+            let plan = self.plan_for(&q.plan, q.machines, q.replicas)?;
+            let report = Scenario::chaos(plan)
+                .seed(q.seed)
+                .policy(self.policy_spec(name)?)
+                .run()
+                .map_err(|e| e.to_string())?;
+            let wasted = report.wasted.total().as_secs_f64();
+            body.push_str(&format!(
+                "candidate={name} wasted={wasted:.3}s green={}\n",
+                report.is_green()
+            ));
+            if best.map(|(_, w)| wasted < w).unwrap_or(true) {
+                best = Some((i, wasted));
+            }
+        }
+        let (i, wasted) = best.expect("candidates are validated non-empty");
+        body.push_str(&format!("best={} wasted={wasted:.3}s\n", q.candidates[i]));
+        Ok(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> ServiceEngine {
+        ServiceEngine::new(TelemetrySink::disabled())
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_not_panics() {
+        let e = engine();
+        for line in [
+            "",
+            "not json",
+            "{\"kind\":\"warp\"}",
+            "{\"machines\":0}",
+            "{\"kind\":\"drill\",\"failures\":[[5,\"hardware\"],[5,\"hardware\"]]}",
+        ] {
+            let resp = e.serve_line(line);
+            assert!(resp.contains("\"ok\":false"), "line {line:?} -> {resp}");
+            assert!(resp.ends_with('}'), "single JSON object: {resp}");
+        }
+    }
+
+    #[test]
+    fn recoverability_is_served_from_the_memo() {
+        let e = engine();
+        let q = r#"{"id":"r","kind":"recoverability","machines":16,"replicas":2,"max_k":3}"#;
+        let a = e.serve_line(q);
+        assert!(a.contains("\"ok\":true"), "{a}");
+        assert!(a.contains("k=0 p=1"), "{a}");
+        let misses_after_first = e.memo_misses();
+        let b = e.serve_line(q);
+        assert_eq!(a, b, "warm answer must be byte-identical");
+        assert_eq!(
+            e.memo_misses(),
+            misses_after_first,
+            "second ask must not recompute"
+        );
+        assert!(e.memo_hits() > 0);
+    }
+
+    #[test]
+    fn drill_response_matches_the_one_shot_builder() {
+        use gemini_harness::DrillConfig;
+        let e = engine();
+        let resp = e.serve_line(r#"{"id":"d","kind":"drill","seed":1}"#);
+        let direct = Scenario::drill(DrillConfig::fig14()).run().unwrap();
+        let expected = format!(
+            "\"kind\":\"drill\",\"ok\":true,\"body\":\"{}\"",
+            crate::json::escape(&direct.render())
+        );
+        assert_eq!(resp, format!("{{\"id\":\"d\",{expected}}}"));
+    }
+
+    #[test]
+    fn batch_order_is_input_order_at_any_jobs() {
+        let e = engine();
+        let lines: Vec<String> = (0..6)
+            .map(|i| format!("{{\"id\":\"q{i}\",\"kind\":\"recoverability\",\"max_k\":{}}}", i % 3))
+            .collect();
+        let (one, _) = e.serve_batch_with_stats(&lines, 1);
+        let (four, stats) = engine().serve_batch_with_stats(&lines, 4);
+        assert_eq!(one, four);
+        assert_eq!(stats.queries, 6);
+        for (i, resp) in one.iter().enumerate() {
+            assert!(resp.starts_with(&format!("{{\"id\":\"q{i}\"")), "{resp}");
+        }
+    }
+
+    impl ServiceEngine {
+        fn memo_hits(&self) -> u64 {
+            self.memo.hits()
+        }
+        fn memo_misses(&self) -> u64 {
+            self.memo.misses()
+        }
+    }
+}

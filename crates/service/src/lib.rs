@@ -1,0 +1,33 @@
+//! Scenario-as-a-service: a long-running, multi-tenant what-if query
+//! engine over GEMINI's simulation stack (ROADMAP item 3).
+//!
+//! The unit of traffic is a *what-if query*: cluster spec × workload ×
+//! fault plan × policy in, a wasted-time / recoverability report out
+//! (the paper's §2.1 schema). The engine is built to serve thousands of
+//! such queries concurrently over shared immutable state:
+//!
+//! * [`json`] — a dep-free JSON reader/escaper (the crate has no
+//!   external dependencies, like `gemini-parallel`).
+//! * [`query`] — the request schema: `drill`, `recoverability`,
+//!   `chaos` and `lookahead` kinds, validated at parse time.
+//! * [`engine`] — [`ServiceEngine`]: copy-on-write deployment forks,
+//!   the keyed recoverability memo, single-flight dedup on canonical
+//!   query hashes, and `service.*` telemetry.
+//!
+//! The front door is the `scenario serve` mode in `gemini-bench`
+//! (line-delimited JSON on stdin or a request file); `docs/SERVICE.md`
+//! documents the schema and the determinism contract.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod json;
+pub mod query;
+
+pub use engine::{BatchStats, ServiceEngine};
+pub use json::Json;
+pub use query::{
+    ChaosQuery, DrillQuery, LookaheadQuery, Query, QueryKind, RecoverabilityQuery,
+    MAX_LOOKAHEAD_CANDIDATES, MAX_QUERY_K, MAX_QUERY_MACHINES,
+};

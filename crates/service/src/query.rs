@@ -1,0 +1,517 @@
+//! The what-if query model: one line of JSON in, one typed [`Query`] out.
+//!
+//! A query names a cluster spec, a workload, a fault plan and (optionally)
+//! a policy, and asks for a wasted-time / recoverability report — the unit
+//! of traffic the service is built around. Four kinds exist:
+//!
+//! * `drill` — the Fig. 14 single-failure recovery drill against an
+//!   arbitrary deployment (model × instance × machines × replicas).
+//! * `recoverability` — the analytic `P(recovery | k failures)` curve for
+//!   a placement spec, served from the keyed memo cache.
+//! * `chaos` — one named chaos plan under an optional policy, rendered
+//!   through the canonical [`gemini_harness::ChaosReport::render`].
+//! * `lookahead` — fork the plan's deployment and price N candidate
+//!   policies forward, answering with the cheapest (Chameleon-style
+//!   speculative policy selection).
+//!
+//! Everything is validated at parse time: unknown models, instances,
+//! plans, policies, malformed failure lists, zero iteration indices and
+//! absurd fleet sizes all come back as per-query errors instead of
+//! reaching the simulation layer.
+
+use crate::json::{self, Json};
+use gemini_cluster::{FailureKind, InstanceType};
+use gemini_harness::ChaosPlan;
+use gemini_training::ModelConfig;
+
+/// Hard cap on `machines` in a query: large enough for the fleet-scale
+/// paths (10k machines), small enough that a hostile query cannot make
+/// the engine allocate per-machine state without bound.
+pub const MAX_QUERY_MACHINES: usize = 20_000;
+
+/// Hard cap on `max_k` in a recoverability query.
+pub const MAX_QUERY_K: usize = 256;
+
+/// Hard cap on lookahead candidate lists.
+pub const MAX_LOOKAHEAD_CANDIDATES: usize = 16;
+
+/// A parsed, validated query.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// Echoed verbatim in the response; not part of the canonical key.
+    pub id: String,
+    /// What is being asked.
+    pub kind: QueryKind,
+}
+
+/// The four query kinds.
+#[derive(Clone, Debug)]
+pub enum QueryKind {
+    /// A single-failure recovery drill.
+    Drill(DrillQuery),
+    /// The analytic recovery-probability curve.
+    Recoverability(RecoverabilityQuery),
+    /// One chaos plan under an optional policy.
+    Chaos(ChaosQuery),
+    /// Price N candidate policies forward on a forked deployment.
+    Lookahead(LookaheadQuery),
+}
+
+/// `kind: "drill"`.
+#[derive(Clone, Debug)]
+pub struct DrillQuery {
+    /// The model under training (Table 2 name).
+    pub model: &'static ModelConfig,
+    /// The instance type (Table 1 name).
+    pub instance: &'static InstanceType,
+    /// Fleet size `N`.
+    pub machines: usize,
+    /// Checkpoint replicas `m`.
+    pub replicas: usize,
+    /// Standby machines held by the cloud operator.
+    pub standbys: usize,
+    /// `[rank, kind]` failures, all at the same instant.
+    pub failures: Vec<(usize, FailureKind)>,
+    /// Which iteration the failure interrupts (1-based).
+    pub fail_during_iteration: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// `kind: "recoverability"`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoverabilityQuery {
+    /// Fleet size `N`.
+    pub machines: usize,
+    /// Checkpoint replicas `m`.
+    pub replicas: usize,
+    /// The curve is reported for `k = 0 ..= max_k` failures.
+    pub max_k: usize,
+}
+
+/// `kind: "chaos"`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosQuery {
+    /// A plan name from [`ChaosPlan::extended_catalog`].
+    pub plan: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// `"adaptive"` or a fixed policy/scheme comparator name; `None`
+    /// runs the plan without a policy engine.
+    pub policy: Option<String>,
+    /// Optional fleet-size override, applied to a fork of the plan's
+    /// deployment.
+    pub machines: Option<usize>,
+    /// Optional replica-count override, applied to the same fork.
+    pub replicas: Option<usize>,
+}
+
+/// `kind: "lookahead"`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LookaheadQuery {
+    /// A plan name from [`ChaosPlan::extended_catalog`].
+    pub plan: String,
+    /// RNG seed (every candidate is priced under the same seed).
+    pub seed: u64,
+    /// Candidate policies, priced in order; ties go to the earlier one.
+    pub candidates: Vec<String>,
+    /// Optional fleet-size override (forked, never mutating the plan).
+    pub machines: Option<usize>,
+    /// Optional replica-count override.
+    pub replicas: Option<usize>,
+}
+
+impl Query {
+    /// Parses and validates one request line.
+    pub fn parse(line: &str) -> Result<Query, String> {
+        let v = json::parse(line)?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err("query must be a JSON object".to_string());
+        }
+        let id = match v.get("id") {
+            None => String::new(),
+            Some(Json::Str(s)) => s.clone(),
+            Some(Json::Num(n)) => format_f64(*n),
+            Some(_) => return Err("\"id\" must be a string or number".to_string()),
+        };
+        let kind = match v.get("kind").map(|k| k.as_str()) {
+            None => "drill",
+            Some(Some(k)) => k,
+            Some(None) => return Err("\"kind\" must be a string".to_string()),
+        };
+        let kind = match kind {
+            "drill" => QueryKind::Drill(DrillQuery::from_json(&v)?),
+            "recoverability" => QueryKind::Recoverability(RecoverabilityQuery::from_json(&v)?),
+            "chaos" => QueryKind::Chaos(ChaosQuery::from_json(&v)?),
+            "lookahead" => QueryKind::Lookahead(LookaheadQuery::from_json(&v)?),
+            other => return Err(format!("unknown query kind {other:?}")),
+        };
+        Ok(Query { id, kind })
+    }
+
+    /// The canonical key: a deterministic rendering of everything except
+    /// `id`. Two tenants asking the same question produce the same key,
+    /// which is what the single-flight layer dedups on.
+    pub fn canonical(&self) -> String {
+        match &self.kind {
+            QueryKind::Drill(q) => {
+                let failures: Vec<String> = q
+                    .failures
+                    .iter()
+                    .map(|(rank, kind)| format!("{rank}:{}", kind_name(*kind)))
+                    .collect();
+                format!(
+                    "drill|model={}|instance={}|machines={}|replicas={}|standbys={}|failures={}|fail_iter={}|seed={}",
+                    q.model.name,
+                    q.instance.name,
+                    q.machines,
+                    q.replicas,
+                    q.standbys,
+                    failures.join(","),
+                    q.fail_during_iteration,
+                    q.seed,
+                )
+            }
+            QueryKind::Recoverability(q) => format!(
+                "recoverability|machines={}|replicas={}|max_k={}",
+                q.machines, q.replicas, q.max_k
+            ),
+            QueryKind::Chaos(q) => format!(
+                "chaos|plan={}|seed={}|policy={}|machines={}|replicas={}",
+                q.plan,
+                q.seed,
+                q.policy.as_deref().unwrap_or("-"),
+                opt(q.machines),
+                opt(q.replicas),
+            ),
+            QueryKind::Lookahead(q) => format!(
+                "lookahead|plan={}|seed={}|candidates={}|machines={}|replicas={}",
+                q.plan,
+                q.seed,
+                q.candidates.join(","),
+                opt(q.machines),
+                opt(q.replicas),
+            ),
+        }
+    }
+
+    /// The kind tag echoed in responses.
+    pub fn kind_tag(&self) -> &'static str {
+        match &self.kind {
+            QueryKind::Drill(_) => "drill",
+            QueryKind::Recoverability(_) => "recoverability",
+            QueryKind::Chaos(_) => "chaos",
+            QueryKind::Lookahead(_) => "lookahead",
+        }
+    }
+}
+
+fn opt(v: Option<usize>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+fn kind_name(kind: FailureKind) -> &'static str {
+    match kind {
+        FailureKind::Hardware => "hardware",
+        FailureKind::Software => "software",
+    }
+}
+
+fn format_f64(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn usize_field(v: &Json, key: &str, default: usize) -> Result<usize, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("{key:?} must be a non-negative integer")),
+    }
+}
+
+fn u64_field(v: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j
+            .as_u64()
+            .ok_or_else(|| format!("{key:?} must be a non-negative integer")),
+    }
+}
+
+fn opt_usize_field(v: &Json, key: &str) -> Result<Option<usize>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(j) => j
+            .as_u64()
+            .map(|n| Some(n as usize))
+            .ok_or_else(|| format!("{key:?} must be a non-negative integer")),
+    }
+}
+
+fn check_fleet(machines: usize, replicas: usize) -> Result<(), String> {
+    if machines == 0 {
+        return Err("\"machines\" must be at least 1".to_string());
+    }
+    if machines > MAX_QUERY_MACHINES {
+        return Err(format!(
+            "\"machines\" exceeds the query cap ({MAX_QUERY_MACHINES})"
+        ));
+    }
+    if replicas == 0 {
+        return Err("\"replicas\" must be at least 1".to_string());
+    }
+    Ok(())
+}
+
+fn plan_name_field(v: &Json) -> Result<String, String> {
+    let name = v
+        .get("plan")
+        .and_then(|p| p.as_str())
+        .ok_or("\"plan\" must name a chaos plan")?;
+    if !ChaosPlan::extended_catalog().iter().any(|p| p.name == name) {
+        return Err(format!("unknown chaos plan {name:?}"));
+    }
+    Ok(name.to_string())
+}
+
+fn policy_name_ok(name: &str) -> bool {
+    name == "adaptive"
+        || gemini_baselines::fixed_policies()
+            .iter()
+            .chain(gemini_baselines::fixed_scheme_policies().iter())
+            .any(|p| p.name == name)
+}
+
+impl DrillQuery {
+    fn from_json(v: &Json) -> Result<DrillQuery, String> {
+        let model_name = match v.get("model") {
+            None => "GPT-2 100B",
+            Some(j) => j.as_str().ok_or("\"model\" must be a string")?,
+        };
+        let model = ModelConfig::by_name(model_name)
+            .ok_or_else(|| format!("unknown model {model_name:?}; see Table 2"))?;
+        let instance_name = match v.get("instance") {
+            None => "p4d.24xlarge",
+            Some(j) => j.as_str().ok_or("\"instance\" must be a string")?,
+        };
+        let instance = InstanceType::by_name(instance_name)
+            .ok_or_else(|| format!("unknown instance {instance_name:?}; see Table 1"))?;
+        let machines = usize_field(v, "machines", 16)?;
+        let replicas = usize_field(v, "replicas", 2)?;
+        check_fleet(machines, replicas)?;
+        let standbys = usize_field(v, "standbys", 0)?;
+        let fail_during_iteration = u64_field(v, "fail_during_iteration", 4)?;
+        if fail_during_iteration == 0 {
+            return Err("\"fail_during_iteration\" is 1-based; 0 never strikes".to_string());
+        }
+        let seed = u64_field(v, "seed", 1)?;
+        let mut failures = Vec::new();
+        if let Some(list) = v.get("failures") {
+            let list = list.as_array().ok_or("\"failures\" must be an array")?;
+            for entry in list {
+                let pair = entry
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or("failure entries are [rank, kind] pairs")?;
+                let rank = pair[0]
+                    .as_u64()
+                    .ok_or("failure rank must be a non-negative integer")?
+                    as usize;
+                if rank >= machines {
+                    return Err(format!("failure rank {rank} out of range (N={machines})"));
+                }
+                let kind = match pair[1].as_str() {
+                    Some("hardware") => FailureKind::Hardware,
+                    Some("software") => FailureKind::Software,
+                    _ => return Err("failure kind must be \"hardware\" or \"software\"".to_string()),
+                };
+                failures.push((rank, kind));
+            }
+        }
+        if failures.is_empty() {
+            failures.push((machines.saturating_sub(1) / 2, FailureKind::Hardware));
+        }
+        Ok(DrillQuery {
+            model,
+            instance,
+            machines,
+            replicas,
+            standbys,
+            failures,
+            fail_during_iteration,
+            seed,
+        })
+    }
+}
+
+impl RecoverabilityQuery {
+    fn from_json(v: &Json) -> Result<RecoverabilityQuery, String> {
+        let machines = usize_field(v, "machines", 16)?;
+        let replicas = usize_field(v, "replicas", 2)?;
+        check_fleet(machines, replicas)?;
+        let max_k = usize_field(v, "max_k", 4)?;
+        if max_k > MAX_QUERY_K {
+            return Err(format!("\"max_k\" exceeds the query cap ({MAX_QUERY_K})"));
+        }
+        Ok(RecoverabilityQuery {
+            machines,
+            replicas,
+            max_k,
+        })
+    }
+}
+
+impl ChaosQuery {
+    fn from_json(v: &Json) -> Result<ChaosQuery, String> {
+        let plan = plan_name_field(v)?;
+        let seed = u64_field(v, "seed", 1)?;
+        let policy = match v.get("policy") {
+            None | Some(Json::Null) => None,
+            Some(j) => {
+                let name = j.as_str().ok_or("\"policy\" must be a string")?;
+                if !policy_name_ok(name) {
+                    return Err(format!("unknown policy {name:?}"));
+                }
+                Some(name.to_string())
+            }
+        };
+        let (machines, replicas) = override_fields(v)?;
+        Ok(ChaosQuery {
+            plan,
+            seed,
+            policy,
+            machines,
+            replicas,
+        })
+    }
+}
+
+impl LookaheadQuery {
+    fn from_json(v: &Json) -> Result<LookaheadQuery, String> {
+        let plan = plan_name_field(v)?;
+        let seed = u64_field(v, "seed", 1)?;
+        let list = v
+            .get("candidates")
+            .and_then(|c| c.as_array())
+            .ok_or("\"candidates\" must be an array of policy names")?;
+        if list.is_empty() {
+            return Err("\"candidates\" must not be empty".to_string());
+        }
+        if list.len() > MAX_LOOKAHEAD_CANDIDATES {
+            return Err(format!(
+                "\"candidates\" exceeds the query cap ({MAX_LOOKAHEAD_CANDIDATES})"
+            ));
+        }
+        let mut candidates = Vec::with_capacity(list.len());
+        for entry in list {
+            let name = entry.as_str().ok_or("candidate names must be strings")?;
+            if !policy_name_ok(name) {
+                return Err(format!("unknown policy {name:?}"));
+            }
+            candidates.push(name.to_string());
+        }
+        let (machines, replicas) = override_fields(v)?;
+        Ok(LookaheadQuery {
+            plan,
+            seed,
+            candidates,
+            machines,
+            replicas,
+        })
+    }
+}
+
+fn override_fields(v: &Json) -> Result<(Option<usize>, Option<usize>), String> {
+    let machines = opt_usize_field(v, "machines")?;
+    let replicas = opt_usize_field(v, "replicas")?;
+    if let Some(n) = machines {
+        check_fleet(n, replicas.unwrap_or(1))?;
+    } else if let Some(m) = replicas {
+        if m == 0 {
+            return Err("\"replicas\" must be at least 1".to_string());
+        }
+    }
+    Ok((machines, replicas))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drill_defaults_mirror_the_scenario_bin() {
+        let q = Query::parse(r#"{"id":"a"}"#).unwrap();
+        match &q.kind {
+            QueryKind::Drill(d) => {
+                assert_eq!(d.model.name, "GPT-2 100B");
+                assert_eq!(d.instance.name, "p4d.24xlarge");
+                assert_eq!(d.machines, 16);
+                assert_eq!(d.replicas, 2);
+                assert_eq!(d.failures, vec![(7, FailureKind::Hardware)]);
+                assert_eq!(d.fail_during_iteration, 4);
+                assert_eq!(d.seed, 1);
+            }
+            other => panic!("expected drill, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canonical_is_id_independent() {
+        let a = Query::parse(r#"{"id":"tenant-a","kind":"drill","seed":3}"#).unwrap();
+        let b = Query::parse(r#"{"id":"tenant-b","seed":3,"kind":"drill"}"#).unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+        let c = Query::parse(r#"{"id":"tenant-a","kind":"drill","seed":4}"#).unwrap();
+        assert_ne!(a.canonical(), c.canonical());
+    }
+
+    #[test]
+    fn validation_rejects_the_sharp_edges() {
+        for bad in [
+            r#"{"kind":"warp"}"#,
+            r#"{"machines":0}"#,
+            r#"{"machines":1000000}"#,
+            r#"{"replicas":0}"#,
+            r#"{"fail_during_iteration":0}"#,
+            r#"{"failures":[[99,"hardware"]]}"#,
+            r#"{"failures":[[1,"cosmic"]]}"#,
+            r#"{"failures":[5]}"#,
+            r#"{"kind":"recoverability","max_k":10000}"#,
+            r#"{"kind":"chaos","plan":"nope"}"#,
+            r#"{"kind":"chaos","plan":"root_churn","policy":"nope"}"#,
+            r#"{"kind":"lookahead","plan":"root_churn"}"#,
+            r#"{"kind":"lookahead","plan":"root_churn","candidates":[]}"#,
+            r#"{"kind":"lookahead","plan":"root_churn","candidates":["nope"]}"#,
+            "not json",
+            "[1,2]",
+        ] {
+            assert!(Query::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn chaos_and_lookahead_parse_fully() {
+        let q = Query::parse(
+            r#"{"id":"c","kind":"chaos","plan":"kill_mid_checkpoint","seed":7,"policy":"adaptive","machines":32}"#,
+        )
+        .unwrap();
+        assert_eq!(q.kind_tag(), "chaos");
+        assert!(q.canonical().contains("plan=kill_mid_checkpoint"));
+        let q = Query::parse(
+            r#"{"kind":"lookahead","plan":"root_churn","candidates":["adaptive","paper_3h"]}"#,
+        )
+        .unwrap();
+        match &q.kind {
+            QueryKind::Lookahead(l) => assert_eq!(l.candidates.len(), 2),
+            other => panic!("expected lookahead, got {other:?}"),
+        }
+    }
+}

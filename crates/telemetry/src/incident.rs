@@ -411,6 +411,35 @@ mod tests {
     }
 
     #[test]
+    fn capacity_zero_clamps_to_one_instead_of_dividing_by_zero() {
+        // Audit note (long-running-process sweep): `with_capacity(0)` is
+        // clamped to 1, so the ring's `% capacity` in push() can never
+        // divide by zero. The recorder degrades to keep-latest-only.
+        let mut r = FlightRecorder::with_capacity(0);
+        assert_eq!(r.capacity(), 1);
+        for i in 0..100 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 99);
+        assert_eq!(r.events()[0].incident, Some(99));
+    }
+
+    #[test]
+    fn capacity_one_always_holds_the_newest_event() {
+        let mut r = FlightRecorder::with_capacity(1);
+        assert!(r.is_empty());
+        r.push(ev(0));
+        assert_eq!(r.dropped(), 0);
+        for i in 1..5 {
+            r.push(ev(i));
+            assert_eq!(r.len(), 1);
+            assert_eq!(r.events()[0].incident, Some(i));
+        }
+        assert_eq!(r.dropped(), 4);
+    }
+
+    #[test]
     fn phase_labels_are_stable() {
         assert_eq!(Phase::Detect.label(), "detect");
         assert_eq!(Phase::Overhead.label(), "overhead");

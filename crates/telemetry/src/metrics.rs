@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
-use std::sync::{Mutex, OnceLock};
+use std::sync::Mutex;
 
 /// Default histogram bucket upper bounds, in microseconds: decades from
 /// 10 µs to 1000 s. Everything above the last bound lands in `+Inf`.
@@ -90,20 +90,87 @@ impl Key {
     }
 }
 
-/// Interns a dynamic label value (e.g. a `plan:seed` campaign cell) into a
-/// `&'static str` usable in a [`Key`]. Each distinct string is leaked once
-/// and reused afterwards; the working set is bounded by the catalog × seed
-/// matrix, so the leak is a deliberate, bounded cost.
-pub fn intern_label(value: &str) -> &'static str {
-    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
-    let set = INTERNED.get_or_init(|| Mutex::new(BTreeSet::new()));
-    let mut set = set.lock().expect("label interner poisoned");
-    if let Some(existing) = set.get(value) {
-        return existing;
+/// Hard cap on distinct interned label values in the process-wide
+/// interner. Campaign cells (catalog × seed matrix) stay far below this;
+/// a long-running service feeding per-tenant values through
+/// [`intern_label`] hits the cap instead of leaking without bound.
+pub const INTERN_LABEL_CAP: usize = 4096;
+
+/// The shared value returned for every distinct label past an interner's
+/// cap: cardinality collapses instead of memory growing.
+pub const INTERN_OVERFLOW_LABEL: &str = "__label_overflow";
+
+/// A bounded `&'static str` interner: each distinct value is leaked once
+/// (re-interning returns the identical pointer), but at most `cap` values
+/// are ever admitted — the `cap+1`-th distinct value and every later one
+/// map to the shared [`INTERN_OVERFLOW_LABEL`]. High-cardinality inputs
+/// therefore lose per-value resolution, never stability or memory safety.
+pub struct BoundedInterner {
+    cap: usize,
+    set: Mutex<BTreeSet<&'static str>>,
+    overflows: std::sync::atomic::AtomicU64,
+}
+
+impl BoundedInterner {
+    /// An empty interner admitting at most `cap` distinct values.
+    pub const fn new(cap: usize) -> BoundedInterner {
+        BoundedInterner {
+            cap,
+            set: Mutex::new(BTreeSet::new()),
+            overflows: std::sync::atomic::AtomicU64::new(0),
+        }
     }
-    let leaked: &'static str = Box::leak(value.to_string().into_boxed_str());
-    set.insert(leaked);
-    leaked
+
+    /// Interns `value`: pointer-stable for values admitted under the cap,
+    /// [`INTERN_OVERFLOW_LABEL`] (also pointer-stable) once the table is
+    /// full and `value` is new.
+    pub fn intern(&self, value: &str) -> &'static str {
+        let mut set = self.set.lock().expect("label interner poisoned");
+        if let Some(existing) = set.get(value) {
+            return existing;
+        }
+        if set.len() >= self.cap {
+            self.overflows
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return INTERN_OVERFLOW_LABEL;
+        }
+        let leaked: &'static str = Box::leak(value.to_string().into_boxed_str());
+        set.insert(leaked);
+        leaked
+    }
+
+    /// Distinct values currently held; never exceeds the cap.
+    pub fn len(&self) -> usize {
+        self.set.lock().expect("label interner poisoned").len()
+    }
+
+    /// Whether no value has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many intern calls were turned away to the overflow label.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflows.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+static GLOBAL_INTERNER: BoundedInterner = BoundedInterner::new(INTERN_LABEL_CAP);
+
+/// Interns a dynamic label value (e.g. a `plan:seed` campaign cell) into a
+/// `&'static str` usable in a [`Key`], via a process-wide
+/// [`BoundedInterner`] capped at [`INTERN_LABEL_CAP`]. Formerly this
+/// leaked every distinct value forever — fatal for a long-running service
+/// with tenant-supplied labels; the bound makes the worst case a fixed
+/// table plus a shared overflow label.
+pub fn intern_label(value: &str) -> &'static str {
+    GLOBAL_INTERNER.intern(value)
+}
+
+/// The number of distinct label values held by the process-wide interner.
+/// Monotone, and never exceeds [`INTERN_LABEL_CAP`].
+pub fn interned_label_count() -> usize {
+    GLOBAL_INTERNER.len()
 }
 
 /// A histogram over `u64` samples with caller-fixed bucket bounds.
@@ -513,6 +580,46 @@ mod tests {
         assert!(m.to_json().contains(
             "chaos.replacement_retries{class=\\\"hardware\\\",cell=\\\"kill_mid_checkpoint:1\\\"}"
         ));
+    }
+
+    #[test]
+    fn interner_holds_bounded_memory_under_label_flood() {
+        // Regression for the unbounded `Box::leak`-per-value interner: a
+        // million distinct tenant labels must leave the table at its cap,
+        // not a million leaked strings. (Pre-fix this loop leaked ~1M
+        // strings and the len bound below had no ceiling to hold.)
+        let interner = BoundedInterner::new(64);
+        let stable = interner.intern("stable-pre-cap");
+        let mut buf = String::new();
+        for i in 0..1_000_000u32 {
+            buf.clear();
+            let _ = write!(buf, "tenant-{i}");
+            let got = interner.intern(&buf);
+            assert!(got == buf || got == INTERN_OVERFLOW_LABEL);
+        }
+        assert_eq!(interner.len(), 64, "table must stay at its cap");
+        // Exactly (1M - 63) distinct post-cap values were turned away.
+        assert_eq!(interner.overflow_count(), 1_000_000 - 63);
+        // Values admitted under the cap stay pointer-stable after the flood…
+        assert!(std::ptr::eq(stable, interner.intern("stable-pre-cap")));
+        assert!(std::ptr::eq(
+            interner.intern("tenant-0"),
+            interner.intern("tenant-0")
+        ));
+        // …and every rejected value maps to one shared overflow label.
+        let o1 = interner.intern("fresh-after-flood-a");
+        let o2 = interner.intern("fresh-after-flood-b");
+        assert_eq!(o1, INTERN_OVERFLOW_LABEL);
+        assert!(std::ptr::eq(o1, o2));
+    }
+
+    #[test]
+    fn global_interner_is_capped() {
+        let before = interned_label_count();
+        let a = intern_label("global-intern-cap-probe");
+        assert!(std::ptr::eq(a, intern_label("global-intern-cap-probe")));
+        assert!(interned_label_count() >= before);
+        assert!(interned_label_count() <= INTERN_LABEL_CAP);
     }
 
     #[test]

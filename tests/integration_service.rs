@@ -1,0 +1,185 @@
+//! Scenario-as-a-service acceptance: responses are byte-identical across
+//! worker counts, cache temperature and sink state, and match the
+//! equivalent one-shot `Scenario` builder runs byte-for-byte.
+
+use gemini_cluster::{FailureKind, OperatorConfig};
+use gemini_core::placement::analytic::analytic_recovery_probability;
+use gemini_core::policy::PolicySpec;
+use gemini_core::Placement;
+use gemini_harness::{ChaosPlan, Deployment, DrillConfig, Scenario};
+use gemini_service::ServiceEngine;
+use gemini_telemetry::TelemetrySink;
+
+/// A canned batch covering every query kind, duplicates (dedup food) and
+/// malformed lines (error isolation).
+fn canned_batch() -> Vec<String> {
+    [
+        r#"{"id":"q1","kind":"drill","seed":1}"#,
+        r#"{"id":"q2","kind":"drill","model":"GPT-2 40B","instance":"p3dn.24xlarge","seed":2}"#,
+        r#"{"id":"q3","kind":"drill","machines":8,"replicas":2,"failures":[[3,"software"]],"seed":1}"#,
+        r#"{"id":"q4","kind":"recoverability","machines":16,"replicas":2,"max_k":4}"#,
+        r#"{"id":"q5","kind":"recoverability","machines":24,"replicas":3,"max_k":6}"#,
+        r#"{"id":"q6","kind":"chaos","plan":"kill_mid_checkpoint","seed":1,"policy":"adaptive"}"#,
+        r#"{"id":"q7","kind":"chaos","plan":"root_churn","seed":2}"#,
+        r#"{"id":"q8","kind":"lookahead","plan":"kill_mid_checkpoint","seed":1,"candidates":["adaptive","paper_3h"]}"#,
+        r#"{"id":"q9","kind":"drill","seed":1}"#,
+        r#"{"id":"q10","kind":"drill","failures":[[5,"hardware"],[5,"hardware"]]}"#,
+        r#"{"id":"q11","kind":"recoverability","machines":16,"replicas":2,"max_k":4}"#,
+        "not json",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn serve_is_byte_identical_across_jobs_cache_and_sink() {
+    let batch = canned_batch();
+
+    // Cold engine, serial.
+    let cold = ServiceEngine::new(TelemetrySink::disabled());
+    let serial = cold.serve_batch(&batch, 1);
+
+    // Fresh engine, 4 workers.
+    let jobs4 = ServiceEngine::new(TelemetrySink::disabled()).serve_batch(&batch, 4);
+    assert_eq!(serial, jobs4, "responses differ between --jobs 1 and --jobs 4");
+
+    // Warm rerun on the already-populated engine.
+    let warm = cold.serve_batch(&batch, 4);
+    assert_eq!(serial, warm, "responses differ between cold and warm caches");
+
+    // Enabled sink: `service.*` counters flow, responses must not move.
+    let sink_on = ServiceEngine::new(TelemetrySink::enabled()).serve_batch(&batch, 2);
+    assert_eq!(serial, sink_on, "responses differ between sink off and on");
+
+    // Error isolation: exactly the two malformed lines answer ok=false,
+    // everything else ok=true, every line answered in order.
+    assert_eq!(serial.len(), batch.len());
+    for (i, resp) in serial.iter().enumerate() {
+        let expect_err = i == 9 || i == 11;
+        assert_eq!(
+            resp.contains("\"ok\":false"),
+            expect_err,
+            "line {i}: {resp}"
+        );
+    }
+    assert!(serial[9].starts_with("{\"id\":\"q10\""));
+}
+
+#[test]
+fn drill_responses_match_the_one_shot_builder_byte_for_byte() {
+    let engine = ServiceEngine::new(TelemetrySink::disabled());
+
+    // The default drill is exactly Fig. 14.
+    let served = engine.serve_batch(&[r#"{"id":"d","kind":"drill","seed":1}"#.to_string()], 1);
+    let one_shot = Scenario::drill(DrillConfig::fig14()).run().unwrap();
+    assert_eq!(
+        served[0],
+        format!(
+            "{{\"id\":\"d\",\"kind\":\"drill\",\"ok\":true,\"body\":\"{}\"}}",
+            gemini_service::json::escape(&one_shot.render())
+        )
+    );
+
+    // A diverged query (smaller fleet, software failure) against the
+    // hand-built deployment.
+    let served = engine.serve_batch(
+        &[r#"{"id":"d2","kind":"drill","machines":8,"failures":[[3,"software"]],"seed":5}"#
+            .to_string()],
+        1,
+    );
+    let mut deployment = Deployment::gpt2_100b_p4d();
+    deployment.machines = 8;
+    let one_shot = Scenario::drill(DrillConfig {
+        scenario: deployment,
+        failures: vec![(3, FailureKind::Software)],
+        fail_during_iteration: 4,
+        operator: OperatorConfig::default(),
+        seed: 5,
+    })
+    .run()
+    .unwrap();
+    assert!(served[0].contains(&gemini_service::json::escape(&one_shot.render())));
+}
+
+#[test]
+fn chaos_and_lookahead_match_one_shot_runs() {
+    let engine = ServiceEngine::new(TelemetrySink::disabled());
+    let served = engine.serve_batch(
+        &[
+            r#"{"id":"c","kind":"chaos","plan":"kill_mid_checkpoint","seed":3,"policy":"adaptive"}"#
+                .to_string(),
+            r#"{"id":"l","kind":"lookahead","plan":"root_churn","seed":2,"candidates":["adaptive","paper_3h"]}"#
+                .to_string(),
+        ],
+        2,
+    );
+
+    let plan = ChaosPlan::extended_catalog()
+        .into_iter()
+        .find(|p| p.name == "kill_mid_checkpoint")
+        .unwrap();
+    let one_shot = Scenario::chaos(plan)
+        .seed(3)
+        .policy(PolicySpec::adaptive())
+        .run()
+        .unwrap();
+    assert_eq!(
+        served[0],
+        format!(
+            "{{\"id\":\"c\",\"kind\":\"chaos\",\"ok\":true,\"body\":\"{}\"}}",
+            gemini_service::json::escape(&one_shot.render())
+        )
+    );
+
+    // Lookahead = one chaos run per candidate under the same seed; the
+    // winner is the lower total wasted time.
+    let mut wasted = Vec::new();
+    for spec in [
+        PolicySpec::adaptive(),
+        PolicySpec::Fixed(
+            gemini_baselines::fixed_policies()
+                .into_iter()
+                .find(|p| p.name == "paper_3h")
+                .unwrap(),
+        ),
+    ] {
+        let plan = ChaosPlan::extended_catalog()
+            .into_iter()
+            .find(|p| p.name == "root_churn")
+            .unwrap();
+        let report = Scenario::chaos(plan).seed(2).policy(spec).run().unwrap();
+        wasted.push(report.wasted.total().as_secs_f64());
+    }
+    let best = if wasted[1] < wasted[0] { "paper_3h" } else { "adaptive" };
+    assert!(
+        served[1].contains(&format!("best={best}")),
+        "lookahead winner mismatch: {} (wasted {wasted:?})",
+        served[1]
+    );
+    for (name, w) in ["adaptive", "paper_3h"].iter().zip(&wasted) {
+        assert!(
+            served[1].contains(&format!("candidate={name} wasted={w:.3}s")),
+            "candidate pricing mismatch for {name}: {}",
+            served[1]
+        );
+    }
+}
+
+#[test]
+fn recoverability_matches_the_analytic_kernel_bit_for_bit() {
+    let engine = ServiceEngine::new(TelemetrySink::disabled());
+    let served = engine.serve_batch(
+        &[r#"{"id":"r","kind":"recoverability","machines":12,"replicas":3,"max_k":5}"#.to_string()],
+        1,
+    );
+    let placement = Placement::mixed(12, 3).unwrap();
+    for k in 0..=5usize {
+        let p = analytic_recovery_probability(&placement, k);
+        assert!(
+            served[0].contains(&format!("k={k} p={p}")),
+            "k={k}: expected p={p} in {}",
+            served[0]
+        );
+    }
+}
