@@ -294,9 +294,12 @@ fi
 # ------------------------------------------------------- serve smoke ----
 # Scenario-as-a-service: the canned query batch must serve byte-identically
 # at --jobs 2 vs --jobs 1, in file-batch vs stdin-streaming mode, and on a
-# warm rerun. (The byte-for-byte diff against the equivalent one-shot
-# Scenario builder runs lives in tests/integration_service.rs, compiled and
-# run above.) See docs/SERVICE.md.
+# warm rerun. The batch doubles as the workload/mode determinism smoke: an
+# MoE drill (q12) and shrink-mode + MoE chaos runs (q13/q14) must answer
+# ok and byte-identically across jobs counts. (The byte-for-byte diff
+# against the equivalent one-shot Scenario builder runs lives in
+# tests/integration_service.rs, compiled and run above.) See
+# docs/SERVICE.md and docs/WORKLOADS.md.
 if [ -x "$OUT/bin_scenario" ] && [ "$MODE" != build ]; then
   note "serve smoke (canned batch: jobs 2 vs 1, file vs stdin, warm rerun)"
   SMOKE="$ROOT/crates/bench/baselines/serve_smoke.ndjson"
@@ -307,7 +310,10 @@ if [ -x "$OUT/bin_scenario" ] && [ "$MODE" != build ]; then
     && cmp -s "$OUT/serve_a.txt" "$OUT/serve_c.txt" \
     && [ "$(wc -l < "$OUT/serve_a.txt")" -eq "$(grep -c . "$SMOKE")" ] \
     && grep -q '"id":"q10","kind":"drill","ok":false' "$OUT/serve_a.txt" \
-    && ! grep -q '"id":"q1","kind":"drill","ok":false' "$OUT/serve_a.txt"; then
+    && ! grep -q '"id":"q1","kind":"drill","ok":false' "$OUT/serve_a.txt" \
+    && grep -q '"id":"q12","kind":"drill","ok":true' "$OUT/serve_a.txt" \
+    && grep -q '"id":"q13","kind":"chaos","ok":true' "$OUT/serve_a.txt" \
+    && grep -q '"id":"q14","kind":"chaos","ok":true' "$OUT/serve_a.txt"; then
     :
   else
     echo "FAILED: serve smoke (responses not jobs/mode-invariant or error isolation broken)" >&2

@@ -453,6 +453,7 @@ mod tests {
             healthy_machines: 16,
             machines: 16,
             scheme: sig,
+            mode: gemini_core::policy::ModeSignals::default(),
         };
         assert_eq!(eng.target(&s).scheme, SchemeChoice::CpuInterleaved);
         // NIC collapse: remote retrieval 5 s → 30 min.

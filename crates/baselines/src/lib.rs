@@ -32,4 +32,6 @@ pub use competing::{
     GpuTierModel, SchemeInputs, SchemeModel, ShardedHybridModel,
 };
 pub use remote::{highfreq, strawman, RemoteBaseline, RemoteSetup};
-pub use schemes::{evaluate_scheme, fixed_policies, InterleaveScheme, SchemeOutcome};
+pub use schemes::{
+    evaluate_scheme, fixed_mode_policies, fixed_policies, InterleaveScheme, SchemeOutcome,
+};

@@ -218,13 +218,14 @@ pub fn evaluate_scheme(
 /// * `amortized_8` — commits every 8th iteration (stale in-memory
 ///   checkpoints, cheap when checkpoints carry visible overhead).
 pub fn fixed_policies() -> Vec<gemini_core::FixedPolicy> {
-    use gemini_core::{FixedPolicy, PolicyKnobs, SchemeChoice, TierPreference};
+    use gemini_core::{FixedPolicy, PolicyKnobs, RecoveryMode, SchemeChoice, TierPreference};
     let base = PolicyKnobs {
         ckpt_every_iters: 1,
         persist_interval: Some(SimDuration::from_hours(3)),
         replicas: 2,
         tier: TierPreference::CpuFirst,
         scheme: SchemeChoice::CpuInterleaved,
+        mode: RecoveryMode::Wait,
     };
     vec![
         FixedPolicy {
@@ -251,6 +252,30 @@ pub fn fixed_policies() -> Vec<gemini_core::FixedPolicy> {
                 ckpt_every_iters: 8,
                 ..base
             },
+        },
+    ]
+}
+
+/// The fixed [`RecoveryMode`] comparator policies: the paper's knobs with
+/// the failure response pinned to each of the three modes. Benchmarks run
+/// all three on the same plan so the wasted-time matrix shows what
+/// waiting, shrinking, and stepping up each cost on that fault pattern.
+///
+/// [`RecoveryMode`]: gemini_core::RecoveryMode
+pub fn fixed_mode_policies() -> Vec<gemini_core::FixedPolicy> {
+    use gemini_core::{FixedPolicy, PolicyKnobs, RecoveryMode};
+    vec![
+        FixedPolicy {
+            name: "mode_wait",
+            knobs: PolicyKnobs::with_mode(RecoveryMode::Wait),
+        },
+        FixedPolicy {
+            name: "mode_shrink",
+            knobs: PolicyKnobs::with_mode(RecoveryMode::Shrink),
+        },
+        FixedPolicy {
+            name: "mode_step_up",
+            knobs: PolicyKnobs::with_mode(RecoveryMode::StepUp),
         },
     ]
 }

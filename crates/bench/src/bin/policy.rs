@@ -1,11 +1,17 @@
 //! The policy comparison matrix: every chaos plan × seed cell runs once
 //! per fault-tolerance policy (the adaptive engine, each fixed knob
-//! comparator from [`gemini_baselines::fixed_policies`], and each fixed
+//! comparator from [`gemini_baselines::fixed_policies`], each fixed
 //! competing-scheme comparator from
 //! [`gemini_baselines::fixed_scheme_policies`] — Checkmate-style gradient
-//! replication, TierCheck-style GPU tiering, REFT-style sharding), and
-//! the bin reports the wasted-time ledger (paper §2.1: rework + downtime
-//! + visible overhead) per cell and per policy.
+//! replication, TierCheck-style GPU tiering, REFT-style sharding — and
+//! each fixed recovery-mode comparator from
+//! [`gemini_baselines::fixed_mode_policies`]: wait for a replacement,
+//! shrink onto the survivors, or step up through a pre-allocated hot
+//! spare), and the bin reports the wasted-time ledger (paper §2.1:
+//! rework + downtime + visible overhead) per cell and per policy. The
+//! quick matrix includes the two spot-preemption plans and the MoE plan,
+//! so the wait/shrink/step_up columns are priced on the fault patterns
+//! they were designed for.
 //!
 //! ```text
 //! cargo run --release -p gemini-bench --bin policy              # full matrix
@@ -37,7 +43,7 @@
 //! `perf` bin; `--out FILE` overrides the path) as the `"policy"`
 //! section, replacing any previous one.
 
-use gemini_baselines::{fixed_policies, fixed_scheme_policies};
+use gemini_baselines::{fixed_mode_policies, fixed_policies, fixed_scheme_policies};
 use gemini_bench::BenchCli;
 use gemini_core::policy::PolicySpec;
 use gemini_core::WastedLedger;
@@ -83,6 +89,9 @@ fn main() {
             ChaosPlan::kill_mid_checkpoint(),
             ChaosPlan::repeat_group_loss(),
             ChaosPlan::nic_collapse(),
+            ChaosPlan::spot_preemption_notice(),
+            ChaosPlan::spot_capacity_crunch(),
+            ChaosPlan::moe_kill_mid_checkpoint(),
         ]
     } else {
         ChaosPlan::catalog()
@@ -97,6 +106,9 @@ fn main() {
     // comparators follow (the split matters for the win-rate gate).
     let knob_cols = specs.len() - 1;
     specs.extend(fixed_scheme_policies().into_iter().map(PolicySpec::Fixed));
+    // Recovery-mode comparators last: wait / shrink / step_up, each the
+    // paper's knobs with the failure response pinned.
+    specs.extend(fixed_mode_policies().into_iter().map(PolicySpec::Fixed));
     let names: Vec<String> = specs.iter().map(|s| s.name().to_string()).collect();
 
     // ---- run the matrix ------------------------------------------------

@@ -32,6 +32,8 @@
 //!   "machines": 16,
 //!   "replicas": 2,
 //!   "standbys": 0,
+//!   "workload": "dense",          // or "moe" (default gating knobs)
+//!   "mode": "wait",               // or "shrink" / "step_up"
 //!   "failures": [[5, "hardware"], [3, "software"]],
 //!   "fail_during_iteration": 4,
 //!   "seed": 1
@@ -40,8 +42,9 @@
 
 use gemini_bench::BenchCli;
 use gemini_cluster::{FailureKind, InstanceType, OperatorConfig};
+use gemini_core::RecoveryMode;
 use gemini_harness::{Deployment, DrillConfig, Scenario};
-use gemini_training::ModelConfig;
+use gemini_training::{ModelConfig, WorkloadSpec};
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -148,12 +151,24 @@ fn main() {
         failures.push((machines.saturating_sub(1) / 2, FailureKind::Hardware));
     }
 
+    let workload = match cfg["workload"].as_str().unwrap_or("dense") {
+        "dense" => WorkloadSpec::dense(),
+        "moe" => WorkloadSpec::moe_default(),
+        other => fail(&format!("unknown workload {other:?} (dense|moe)")),
+    };
+    let mode = match cfg["mode"].as_str().unwrap_or("wait") {
+        "wait" => RecoveryMode::Wait,
+        "shrink" => RecoveryMode::Shrink,
+        "step_up" => RecoveryMode::StepUp,
+        other => fail(&format!("unknown mode {other:?} (wait|shrink|step_up)")),
+    };
     let mut scenario = Deployment {
         model,
         instance,
         machines,
         config: Default::default(),
         rack_topology: None,
+        workload,
     };
     scenario.config.replicas = replicas;
 
@@ -200,6 +215,7 @@ fn main() {
             ..OperatorConfig::default()
         },
         seed,
+        mode,
     };
     match Scenario::drill(drill).sink(sink.clone()).run() {
         Ok(r) => {

@@ -33,6 +33,9 @@ pub enum CollectiveKind {
     AllReduce,
     /// One node sends the payload to every other node.
     Broadcast,
+    /// Every node exchanges a personalized shard with every other node —
+    /// the expert-parallel dispatch/combine pattern of MoE training.
+    AllToAll,
 }
 
 /// One inter-node transfer in an unrolled collective schedule.
@@ -57,6 +60,7 @@ pub fn ring_steps(kind: CollectiveKind, nodes: usize) -> usize {
         CollectiveKind::AllGather | CollectiveKind::ReduceScatter => nodes - 1,
         CollectiveKind::AllReduce => 2 * (nodes - 1),
         CollectiveKind::Broadcast => nodes - 1,
+        CollectiveKind::AllToAll => nodes - 1,
     }
 }
 
@@ -74,6 +78,11 @@ pub fn bytes_per_node(kind: CollectiveKind, nodes: usize, total: ByteSize) -> By
         }
         CollectiveKind::AllReduce => total * (2 * (n - 1)) / n,
         CollectiveKind::Broadcast => total, // pipelined chain: payload crosses each link once
+        CollectiveKind::AllToAll => {
+            // `total` is the global payload; each node owns total/n of it and
+            // keeps the 1/n share destined to itself.
+            total * (n - 1) / (n * n)
+        }
     }
 }
 
@@ -103,6 +112,11 @@ pub fn collective_time(
             SimDuration::from_secs_f64(
                 cost.alpha.as_secs_f64() * steps as f64 + cost.bandwidth.seconds_for(total),
             )
+        }
+        CollectiveKind::AllToAll => {
+            // n − 1 pairwise rounds; each round every NIC moves a 1/(n(n−1))
+            // slice of the global payload.
+            cost.time_n(total / (nodes * steps) as u64, steps as u64)
         }
     }
 }

@@ -193,6 +193,30 @@ impl HierarchicalStore {
         candidates.first().copied()
     }
 
+    /// Copies a completed replica of `owner`'s shard at `iteration` into
+    /// `host`'s CPU memory, creating the (host, owner) slot if the
+    /// placement never assigned one. This is the storage half of a shrink
+    /// repartition: a survivor *adopts* a failed machine's shard so the
+    /// shrunken job can keep protecting it. Fails when no intact host
+    /// holds the shard at that iteration (the shrink planner never asks
+    /// in that situation — it falls back to persistent storage instead).
+    pub fn adopt_shard(
+        &mut self,
+        owner: usize,
+        host: usize,
+        iteration: u64,
+    ) -> Result<(), GeminiError> {
+        let meta = self
+            .slots
+            .iter()
+            .filter(|((_, o), _)| *o == owner)
+            .filter_map(|(_, slot)| slot.completed)
+            .find(|m| m.iteration == iteration)
+            .ok_or(GeminiError::NoCheckpointAvailable)?;
+        self.slots.entry((host, owner)).or_default().completed = Some(meta);
+        Ok(())
+    }
+
     /// Records a persistent-storage checkpoint of the full model state.
     pub fn persist(&mut self, iteration: u64) {
         self.persistent = Some(CheckpointMeta {
@@ -310,6 +334,33 @@ mod tests {
         let p = s.persistent().unwrap();
         assert_eq!(p.iteration, 100);
         assert_eq!(p.bytes, ByteSize::from_gb(300));
+    }
+
+    #[test]
+    fn adopt_shard_copies_a_surviving_replica() {
+        let mut s = store(4, 2);
+        s.record_complete(50);
+        s.machine_lost(1);
+        // Host 3 never hosted shard 1; adoption creates the slot from the
+        // surviving replica on host 0.
+        s.adopt_shard(1, 3, 50).unwrap();
+        let alive = intact(4, &[1]);
+        assert!(s.completed_sources(1).contains(&(3, 50)));
+        assert_eq!(s.latest_recoverable(&alive), Some(50));
+        // Asking for an iteration nobody holds is an error.
+        assert_eq!(
+            s.adopt_shard(1, 3, 99).unwrap_err(),
+            GeminiError::NoCheckpointAvailable
+        );
+        // A wholly-lost shard cannot be adopted.
+        let mut gone = store(4, 2);
+        gone.record_complete(50);
+        gone.machine_lost(0);
+        gone.machine_lost(1);
+        assert_eq!(
+            gone.adopt_shard(1, 2, 50).unwrap_err(),
+            GeminiError::NoCheckpointAvailable
+        );
     }
 
     #[test]

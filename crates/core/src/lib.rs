@@ -51,12 +51,16 @@ pub use ckpt::{CheckpointMeta, HierarchicalStore, StorageTier};
 pub use config::GeminiConfig;
 pub use error::GeminiError;
 pub use partition::{Chunk, PartitionInput, PartitionPlan};
+pub use placement::expert::{ExpertPlacement, ExpertReplicationGroup};
 pub use placement::{Placement, PlacementGroup, PlacementStrategy};
 pub use policy::{
-    FixedPolicy, PolicyConfig, PolicyDecisionRecord, PolicyEngine, PolicyKnobs, PolicySignals,
-    PolicySpec, PolicyStats, SchemeChoice, SchemeSignals, TierPreference,
+    FixedPolicy, ModeSignals, PolicyConfig, PolicyDecisionRecord, PolicyEngine, PolicyKnobs,
+    PolicySignals, PolicySpec, PolicyStats, RecoveryMode, SchemeChoice, SchemeSignals,
+    TierPreference,
 };
-pub use recovery::{RecoveryCase, RecoveryPlan, RecoveryPlanner, RetrievalSource};
+pub use recovery::{
+    RecoveryCase, RecoveryPlan, RecoveryPlanner, RetrievalSource, ShardMove, ShrinkPlan,
+};
 pub use retention::{PersistentLedger, RetentionPolicy};
 pub use schedule::{CkptSchedule, ScheduleOutcome};
 pub use snapshot::{Fork, MemoCache, PlacementSpecKey, RecoveryMemo, Snapshot};

@@ -93,7 +93,7 @@ pub fn cycle_subsets_without_run(l: usize, t: usize, window: usize) -> f64 {
 /// The safe-subset polynomial of one placement group, truncated at degree
 /// `k`: coefficient `t` counts the `t`-subsets of the group's members that
 /// destroy none of the group's replica host-sets.
-fn group_polynomial(group: &PlacementGroup, replicas: usize, k: usize) -> Vec<f64> {
+pub(crate) fn group_polynomial(group: &PlacementGroup, replicas: usize, k: usize) -> Vec<f64> {
     let s = group.members.len();
     let top = s.min(k);
     let mut poly = Vec::with_capacity(top + 1);

@@ -1,0 +1,335 @@
+//! Expert-shard placement math for MoE workloads.
+//!
+//! An expert-parallel MoE layer keeps each expert's optimizer shard on a
+//! small set of machines rather than striping it across the whole world the
+//! way ZeRO-3 stripes the backbone. We model expert replication on top of
+//! Algorithm 1's dense placement: the dense placement groups are tiled into
+//! *expert replication groups* of `span` consecutive dense groups, and each
+//! expert shard assigned to a replication group keeps one replica on the
+//! **designated host** (the first member) of every dense group in its span.
+//! An expert shard is lost only when *all* of its designated hosts fail
+//! simultaneously.
+//!
+//! Recoverability of a failure set is therefore dense recoverability AND
+//! every expert replication group retaining a surviving designated host.
+//! Because expert replication groups cover disjoint machine sets, the safe
+//! `k`-subset count still factorizes — per expert group it is an
+//! inclusion–exclusion of the dense convolution minus the convolution
+//! *conditioned on every designated host failing*:
+//!
+//! * **Group kind** (size `s`, designated host fixed): dense-safe subsets
+//!   containing the designated host number `C(s−1, t−1)` for `1 ≤ t < s`.
+//! * **Ring kind** (cycle of `L`, no `w`-run, designated host fixed): by
+//!   rotational symmetry exactly `t/L` of the safe `t`-subsets contain any
+//!   fixed position, so the count is `t · safe(t) / L` — an exact integer.
+//!
+//! All counts stay nonnegative integers below `2^53` on the differential
+//! grid (`N ≤ 30`, `k ≤ 7`), so the analytic kernel agrees **bit-for-bit**
+//! with the Gosper enumerator, exactly as the dense kernel does.
+
+use crate::error::GeminiError;
+use crate::placement::analytic::{cycle_subsets_without_run, group_polynomial};
+use crate::placement::probability::{binomial, gosper_next, EXACT_ENUMERATION_CAP};
+use crate::placement::{GroupKind, Placement, PlacementGroup};
+use serde::{Deserialize, Serialize};
+
+/// One expert replication group: a span of dense placement groups whose
+/// designated hosts replicate the expert shards assigned to this group.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ExpertReplicationGroup {
+    /// Indices of the dense placement groups in this span.
+    pub dense_groups: Vec<usize>,
+    /// Designated host rank of each dense group (its first member).
+    pub designated: Vec<usize>,
+}
+
+/// Expert-shard placement layered over a dense [`Placement`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ExpertPlacement {
+    placement: Placement,
+    span: usize,
+    groups: Vec<ExpertReplicationGroup>,
+}
+
+impl ExpertPlacement {
+    /// Tiles the dense placement's groups into expert replication groups of
+    /// `span` consecutive dense groups (the final group may be shorter).
+    pub fn new(placement: Placement, span: usize) -> Result<ExpertPlacement, GeminiError> {
+        if span == 0 {
+            return Err(GeminiError::InvalidPlacement {
+                machines: placement.machines(),
+                replicas: placement.replicas(),
+                reason: "expert span must be at least 1",
+            });
+        }
+        let mut groups = Vec::new();
+        let dense = placement.groups();
+        let mut i = 0usize;
+        while i < dense.len() {
+            let end = (i + span).min(dense.len());
+            groups.push(ExpertReplicationGroup {
+                dense_groups: (i..end).collect(),
+                designated: (i..end).map(|g| dense[g].members[0]).collect(),
+            });
+            i = end;
+        }
+        Ok(ExpertPlacement {
+            placement,
+            span,
+            groups,
+        })
+    }
+
+    /// The underlying dense placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The configured span (dense groups per expert replication group).
+    pub fn span(&self) -> usize {
+        self.span
+    }
+
+    /// The expert replication groups.
+    pub fn groups(&self) -> &[ExpertReplicationGroup] {
+        &self.groups
+    }
+
+    /// The replication group that holds expert `expert`'s shards
+    /// (round-robin assignment).
+    pub fn group_for_expert(&self, expert: usize) -> &ExpertReplicationGroup {
+        &self.groups[expert % self.groups.len()]
+    }
+
+    /// Whether a failure bitmask leaves both the dense checkpoints and
+    /// every expert replication group recoverable. Requires `N ≤ 128`.
+    pub fn recoverable_mask(&self, failed: u128) -> bool {
+        self.placement.recoverable_mask(failed)
+            && self
+                .groups
+                .iter()
+                .all(|g| g.designated.iter().any(|&h| failed >> h & 1 == 0))
+    }
+
+    /// Exact probability that `k` simultaneous uniform machine failures
+    /// leave the dense checkpoints *and* every expert shard recoverable,
+    /// computed analytically — no enumeration.
+    pub fn analytic_recovery_probability(&self, k: usize) -> f64 {
+        let n = self.placement.machines();
+        if k == 0 {
+            return 1.0;
+        }
+        if k > n {
+            return 0.0;
+        }
+        let replicas = self.placement.replicas();
+        let dense = self.placement.groups();
+        // Convolution over expert replication groups of
+        // E_j(x) = Π dense polys − Π designated-all-failed polys.
+        let mut conv = vec![0.0f64; k + 1];
+        conv[0] = 1.0;
+        for eg in &self.groups {
+            let mut safe = vec![0.0f64; k + 1];
+            safe[0] = 1.0;
+            let mut doomed = vec![0.0f64; k + 1];
+            doomed[0] = 1.0;
+            for &gi in &eg.dense_groups {
+                let group = &dense[gi];
+                let poly = group_polynomial(group, replicas, k);
+                let cond = conditioned_polynomial(group, replicas, k);
+                safe = convolve(&safe, &poly, k);
+                doomed = convolve(&doomed, &cond, k);
+            }
+            let expert_poly: Vec<f64> = safe
+                .iter()
+                .zip(doomed.iter())
+                .map(|(s, d)| s - d)
+                .collect();
+            conv = convolve(&conv, &expert_poly, k);
+        }
+        conv[k] / binomial(n as u64, k as u64)
+    }
+
+    /// Exact probability by Gosper enumeration of every `k`-subset —
+    /// `None` when the cluster exceeds the mask width or the subset count
+    /// exceeds the enumeration cap. The differential-test oracle.
+    pub fn exact_recovery_probability(&self, k: usize) -> Option<f64> {
+        let n = self.placement.machines();
+        if n > 128 || k > n {
+            return if k > n { Some(0.0) } else { None };
+        }
+        let total = binomial(n as u64, k as u64);
+        if total > EXACT_ENUMERATION_CAP {
+            return None;
+        }
+        if k == 0 {
+            return Some(1.0);
+        }
+        let total_subsets = total as u64;
+        let mut good = 0u64;
+        let mut remaining = total_subsets;
+        let mut v: u128 = if k == 128 {
+            u128::MAX
+        } else {
+            (1u128 << k) - 1
+        };
+        loop {
+            if self.recoverable_mask(v) {
+                good += 1;
+            }
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+            v = gosper_next(v);
+        }
+        Some(good as f64 / total_subsets as f64)
+    }
+}
+
+/// Multiplies two safe-count polynomials, truncating at degree `k`.
+fn convolve(a: &[f64], b: &[f64], k: usize) -> Vec<f64> {
+    let mut out = vec![0.0f64; k + 1];
+    for (i, &ai) in a.iter().enumerate().take(k + 1) {
+        if ai == 0.0 {
+            continue;
+        }
+        for (jx, &bj) in b.iter().enumerate().take(k + 1 - i) {
+            out[i + jx] += ai * bj;
+        }
+    }
+    out
+}
+
+/// Counts the `t`-subsets of one dense group that are group-safe *and*
+/// contain the group's designated host (its first member) — the
+/// inclusion–exclusion term for "every designated host of the span failed".
+fn conditioned_polynomial(group: &PlacementGroup, replicas: usize, k: usize) -> Vec<f64> {
+    let s = group.members.len();
+    let top = s.min(k);
+    let mut poly = Vec::with_capacity(top + 1);
+    match group.kind {
+        GroupKind::Group => {
+            for t in 0..=top {
+                poly.push(if t == 0 || t == s {
+                    0.0
+                } else {
+                    binomial(s as u64 - 1, t as u64 - 1)
+                });
+            }
+        }
+        GroupKind::Ring => {
+            let window = replicas.min(s);
+            for t in 0..=top {
+                if t == 0 {
+                    poly.push(0.0);
+                } else {
+                    // t/L of the safe subsets contain any fixed position —
+                    // multiply first so the division is an exact integer.
+                    let safe = cycle_subsets_without_run(s, t, window);
+                    poly.push(t as f64 * safe / s as f64);
+                }
+            }
+        }
+    }
+    poly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::probability::exact_recovery_probability;
+
+    #[test]
+    fn hand_checked_two_group_case() {
+        // N=4, m=2 → dense groups {0,1} and {2,3}; span 2 → one expert
+        // group with designated hosts {0, 2}. Of the four dense-safe
+        // 2-subsets, only {0,2} kills both designated hosts: P = 3/6.
+        let ep = ExpertPlacement::new(Placement::mixed(4, 2).unwrap(), 2).unwrap();
+        assert_eq!(ep.groups().len(), 1);
+        assert_eq!(ep.groups()[0].designated, vec![0, 2]);
+        assert_eq!(ep.analytic_recovery_probability(2), 0.5);
+        assert_eq!(ep.exact_recovery_probability(2), Some(0.5));
+    }
+
+    #[test]
+    fn span_one_designates_every_group_head() {
+        let ep = ExpertPlacement::new(Placement::mixed(16, 2).unwrap(), 1).unwrap();
+        assert_eq!(ep.groups().len(), 8);
+        for (j, g) in ep.groups().iter().enumerate() {
+            assert_eq!(g.designated, vec![2 * j]);
+        }
+        // Killing any single designated host loses its expert shards.
+        assert!(!ep.recoverable_mask(1 << 0));
+        assert!(ep.recoverable_mask(1 << 1));
+    }
+
+    #[test]
+    fn expert_recoverability_never_exceeds_dense() {
+        for n in [8usize, 11, 16, 17] {
+            for span in 1..=3 {
+                let p = Placement::mixed(n, 2).unwrap();
+                let ep = ExpertPlacement::new(p.clone(), span).unwrap();
+                for k in 0..=5.min(n) {
+                    let dense = exact_recovery_probability(&p, k).unwrap();
+                    let expert = ep.analytic_recovery_probability(k);
+                    assert!(
+                        expert <= dense + 1e-12,
+                        "n={n} span={span} k={k}: expert {expert} > dense {dense}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_gosper_bit_for_bit_on_a_grid() {
+        for n in [4usize, 7, 11, 16, 17, 23, 30] {
+            for m in 2..=3usize.min(n) {
+                for span in 1..=3usize {
+                    let placements = [
+                        Some(Placement::mixed(n, m).unwrap()),
+                        (n % m == 0).then(|| Placement::group(n, m).unwrap()),
+                        Some(Placement::ring(n, m).unwrap()),
+                    ];
+                    for p in placements.into_iter().flatten() {
+                        let ep = ExpertPlacement::new(p, span).unwrap();
+                        for k in 0..=7usize.min(n) {
+                            let gosper = ep.exact_recovery_probability(k).unwrap();
+                            let analytic = ep.analytic_recovery_probability(k);
+                            assert_eq!(
+                                gosper.to_bits(),
+                                analytic.to_bits(),
+                                "n={n} m={m} span={span} k={k}: {gosper} vs {analytic}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_for_expert_is_round_robin() {
+        let ep = ExpertPlacement::new(Placement::mixed(16, 2).unwrap(), 2).unwrap();
+        assert_eq!(ep.groups().len(), 4);
+        assert_eq!(ep.group_for_expert(0), &ep.groups()[0]);
+        assert_eq!(ep.group_for_expert(5), &ep.groups()[1]);
+        assert_eq!(ep.span(), 2);
+        assert_eq!(ep.placement().machines(), 16);
+    }
+
+    #[test]
+    fn edges_and_validation() {
+        let p = Placement::mixed(8, 2).unwrap();
+        assert!(ExpertPlacement::new(p.clone(), 0).is_err());
+        let ep = ExpertPlacement::new(p, 8).unwrap();
+        // Span larger than the group list → one group covering everything.
+        assert_eq!(ep.groups().len(), 1);
+        assert_eq!(ep.analytic_recovery_probability(0), 1.0);
+        assert_eq!(ep.analytic_recovery_probability(9), 0.0);
+        assert_eq!(ep.exact_recovery_probability(9), Some(0.0));
+        // Losing every machine kills everything.
+        assert_eq!(ep.analytic_recovery_probability(8), 0.0);
+    }
+}

@@ -20,6 +20,7 @@
 //! from software failures (§4, §6.2).
 
 pub mod analytic;
+pub mod expert;
 pub mod probability;
 pub mod topology;
 

@@ -276,7 +276,7 @@ pub fn host_sets_recovery_probability(host_sets: &[Vec<usize>], n: usize, k: usi
 /// the caller never advances past the final subset of `0..n`, but the
 /// intermediate `v + c` may carry out of the top bit when `n = 128`.
 #[inline]
-fn gosper_next(v: u128) -> u128 {
+pub(crate) fn gosper_next(v: u128) -> u128 {
     let c = v & v.wrapping_neg();
     let r = v.wrapping_add(c);
     r | (((v ^ r) >> 2) / c)

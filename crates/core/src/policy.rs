@@ -49,6 +49,56 @@ impl TierPreference {
     }
 }
 
+/// What the runtime does when a hardware failure leaves the job short of
+/// machines. GEMINI as published only *waits*: training blocks until a
+/// replacement machine joins and replays the checkpoint. The two elastic
+/// alternatives trade that stall against throughput or memory:
+///
+/// * [`RecoveryMode::Shrink`] — repartition the lost machines' shards
+///   across the survivors and resume degraded immediately (see
+///   `recovery::plan_shrink`), betting that running at `(N−f)/N` speed
+///   beats idling at zero while the provider finds capacity.
+/// * [`RecoveryMode::StepUp`] — pre-position one extra checkpoint
+///   replica (`m + 1`) so a failed machine's state is still fully
+///   replicated and recovery never waits; paid for continuously in CPU
+///   memory and per-commit traffic, not per failure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecoveryMode {
+    /// Block on a replacement machine (the paper's behaviour).
+    #[default]
+    Wait,
+    /// Repartition shards across survivors and continue degraded.
+    Shrink,
+    /// Keep an extra replica hot so recovery never blocks on capacity.
+    StepUp,
+}
+
+impl RecoveryMode {
+    /// Stable label for telemetry, reports and the service wire format.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryMode::Wait => "wait",
+            RecoveryMode::Shrink => "shrink",
+            RecoveryMode::StepUp => "step_up",
+        }
+    }
+
+    /// Parses the wire-format label back (the service query layer's
+    /// inverse of [`RecoveryMode::label`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "wait" => Some(RecoveryMode::Wait),
+            "shrink" => Some(RecoveryMode::Shrink),
+            "step_up" => Some(RecoveryMode::StepUp),
+            _ => None,
+        }
+    }
+
+    /// Every mode, in comparator-column order.
+    pub const ALL: [RecoveryMode; 3] =
+        [RecoveryMode::Wait, RecoveryMode::Shrink, RecoveryMode::StepUp];
+}
+
 /// Which fault-tolerance *scheme* protects the job. The paper's own
 /// scheme is [`SchemeChoice::CpuInterleaved`]; the other three model the
 /// published competitors (see `gemini_baselines::competing`) so the
@@ -128,6 +178,46 @@ impl Default for SchemeSignals {
     }
 }
 
+/// Recovery-mode pricing signals. Like [`SchemeSignals`] these are mostly
+/// capacity facts (can the survivors hold the repartitioned shards? is
+/// there memory headroom for an extra replica?) plus the one genuinely
+/// runtime quantity: the expected replacement-provisioning wait, which is
+/// what spot-market preemption storms inflate. The default prices every
+/// alternative out, so callers that never think about elasticity keep the
+/// paper's wait-for-replacement behaviour.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModeSignals {
+    /// Expected wait for a replacement machine to join (provisioning
+    /// time; hours on an exhausted spot pool, minutes on-demand).
+    pub replacement_wait: SimDuration,
+    /// The survivors can absorb the lost shards within the placement's
+    /// memory tolerance (a shrink plan exists).
+    pub shrink_feasible: bool,
+    /// Time to execute the shrink plan (re-replicate orphaned shards and
+    /// rebalance ranks across survivors).
+    pub repartition_time: SimDuration,
+    /// Fraction of throughput lost while running shrunk (≈ `f / N` under
+    /// linear scaling).
+    pub degraded_frac: f64,
+    /// CPU memory headroom exists for an `m + 1`-th replica.
+    pub step_up_feasible: bool,
+    /// Extra per-commit checkpoint traffic the `m + 1`-th replica costs.
+    pub step_up_overhead: SimDuration,
+}
+
+impl Default for ModeSignals {
+    fn default() -> Self {
+        ModeSignals {
+            replacement_wait: SimDuration::ZERO,
+            shrink_feasible: false,
+            repartition_time: SimDuration::ZERO,
+            degraded_frac: 0.0,
+            step_up_feasible: false,
+            step_up_overhead: SimDuration::ZERO,
+        }
+    }
+}
+
 /// The knobs a policy controls. This is both the engine's *active* state
 /// and the shape of a fixed (non-adaptive) comparator policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -143,6 +233,8 @@ pub struct PolicyKnobs {
     pub tier: TierPreference,
     /// The fault-tolerance scheme in force.
     pub scheme: SchemeChoice,
+    /// What to do when a hardware failure leaves the job short of machines.
+    pub mode: RecoveryMode,
 }
 
 impl PolicyKnobs {
@@ -156,6 +248,16 @@ impl PolicyKnobs {
             replicas: 2,
             tier: TierPreference::CpuFirst,
             scheme: SchemeChoice::CpuInterleaved,
+            mode: RecoveryMode::Wait,
+        }
+    }
+
+    /// The paper's defaults with the recovery mode overridden — the shape
+    /// of the fixed `mode_*` comparator policies.
+    pub fn with_mode(mode: RecoveryMode) -> Self {
+        PolicyKnobs {
+            mode,
+            ..PolicyKnobs::paper_default()
         }
     }
 }
@@ -246,6 +348,19 @@ pub struct PolicyConfig {
     /// Absolute wasted-rate gain (seconds wasted per second of wall
     /// time) a switch must clear on top of the relative margin.
     pub scheme_min_gain: f64,
+    /// Master switch for the recovery-mode dimension. Off, the engine
+    /// never proposes a mode other than the active one.
+    pub mode_switching: bool,
+    /// A competing recovery mode's expected wasted-time rate must beat
+    /// the active mode's by this factor before a switch is proposed.
+    pub mode_margin: f64,
+    /// Absolute wasted-rate gain a mode switch must clear on top of the
+    /// relative margin.
+    pub mode_min_gain: f64,
+    /// Horizon a shrink's throughput degradation is charged over: the
+    /// expected time the job runs shrunk before a replacement restores
+    /// full width (the shrink executor re-expands when capacity returns).
+    pub shrink_amortization: SimDuration,
 }
 
 impl Default for PolicyConfig {
@@ -266,6 +381,10 @@ impl Default for PolicyConfig {
             scheme_margin: 1.25,
             scheme_rate_prior_per_hour: 1.0,
             scheme_min_gain: 1e-3,
+            mode_switching: true,
+            mode_margin: 1.25,
+            mode_min_gain: 1e-3,
+            shrink_amortization: SimDuration::from_hours(1),
         }
     }
 }
@@ -300,6 +419,8 @@ pub struct PolicySignals {
     pub machines: usize,
     /// Scheme-pricing capacity facts (defaults = no competitor feasible).
     pub scheme: SchemeSignals,
+    /// Recovery-mode pricing facts (defaults = only waiting is feasible).
+    pub mode: ModeSignals,
 }
 
 impl PolicySignals {
@@ -480,12 +601,16 @@ impl PolicyEngine {
         // Scheme first: the tier rule judges the persistent override
         // against the remote path the *chosen* scheme actually pays.
         let scheme = self.target_scheme(s, cadence, lam_all, lam_corr, lam_sw);
+        // Mode next: the replica target folds StepUp's pre-positioned
+        // extra replica in on top of the correlated-rate bump.
+        let mode = self.target_mode(s, cadence, lam_all);
         PolicyKnobs {
             ckpt_every_iters: cadence,
             persist_interval: Some(self.target_persist(s, lam_corr)),
-            replicas: self.target_replicas(lam_corr * 3_600.0),
+            replicas: self.target_replicas(lam_corr * 3_600.0, mode),
             tier: self.target_tier(s, scheme),
             scheme,
+            mode,
         }
     }
 
@@ -527,12 +652,85 @@ impl PolicyEngine {
 
     /// Replicas: one extra above the launch `m` while the correlated rate
     /// stays above the configured threshold; decays back when it subsides.
-    fn target_replicas(&self, corr_per_hour: f64) -> usize {
-        let base = self.initial_replicas;
+    /// [`RecoveryMode::StepUp`] pre-positions one more on top — that extra
+    /// replica *is* the mode's mechanism, so the two bumps stack (capped).
+    fn target_replicas(&self, corr_per_hour: f64, mode: RecoveryMode) -> usize {
+        let mut m = self.initial_replicas;
+        if mode == RecoveryMode::StepUp {
+            m += 1;
+        }
         if corr_per_hour >= self.cfg.corr_rate_for_extra_replica {
-            (base + 1).min(self.cfg.max_replicas)
-        } else {
-            base
+            m += 1;
+        }
+        m.min(self.cfg.max_replicas)
+    }
+
+    /// Recovery mode: price each feasible mode's expected wasted-time rate
+    /// from the same signals the scheme comparison uses, and keep the
+    /// active mode unless a competitor clears the margin and gain floor.
+    ///
+    /// * **Wait** pays `replacement_wait + retrieval` per failure — the
+    ///   paper's behaviour, and the only feasible mode by default.
+    /// * **Shrink** pays `repartition + retrieval` per failure plus the
+    ///   throughput lost while running shrunk, charged over the
+    ///   [`PolicyConfig::shrink_amortization`] horizon. The failure rate
+    ///   cancels in the Wait-vs-Shrink comparison, so what actually flips
+    ///   the mode is `replacement_wait` blowing past the degradation cost
+    ///   — exactly what a spot-capacity crunch does.
+    /// * **StepUp** pays the extra replica's commit traffic continuously
+    ///   (per wall-second, like a scheme overhead) but recovers at pure
+    ///   retrieval speed with no wait; the rate prior keeps it priceable
+    ///   on a quiet trace.
+    fn target_mode(&self, s: &PolicySignals, cadence: u64, lam_all: f64) -> RecoveryMode {
+        if !self.cfg.mode_switching {
+            return self.active.mode;
+        }
+        let m = s.mode;
+        let t_iter = s.iteration_time.as_secs_f64().max(1e-9);
+        let lam_eff = lam_all.max(self.cfg.scheme_rate_prior_per_hour / 3_600.0);
+        let retr = s.retrieval_remote.as_secs_f64();
+        let kf = cadence.max(1) as f64;
+
+        let mut candidates = vec![(
+            RecoveryMode::Wait,
+            lam_eff * (m.replacement_wait.as_secs_f64() + retr),
+        )];
+        if m.shrink_feasible {
+            let degraded =
+                m.degraded_frac.clamp(0.0, 1.0) * self.cfg.shrink_amortization.as_secs_f64();
+            candidates.push((
+                RecoveryMode::Shrink,
+                lam_eff * (m.repartition_time.as_secs_f64() + retr + degraded),
+            ));
+        }
+        if m.step_up_feasible {
+            candidates.push((
+                RecoveryMode::StepUp,
+                m.step_up_overhead.as_secs_f64() / (kf * t_iter) + lam_eff * retr,
+            ));
+        }
+
+        let (best, best_cost) = candidates
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("wait is always a candidate");
+        match candidates
+            .iter()
+            .find(|(c, _)| *c == self.active.mode)
+            .map(|&(_, cost)| cost)
+        {
+            // Active mode no longer feasible → take the best candidate.
+            None => best,
+            Some(active_cost) => {
+                if best_cost * self.cfg.mode_margin < active_cost
+                    && active_cost - best_cost > self.cfg.mode_min_gain
+                {
+                    best
+                } else {
+                    self.active.mode
+                }
+            }
         }
     }
 
@@ -750,6 +948,13 @@ impl PolicyEngine {
                 target.scheme.label()
             ));
         }
+        if target.mode != self.active.mode {
+            parts.push(format!(
+                "mode {}→{}",
+                self.active.mode.label(),
+                target.mode.label()
+            ));
+        }
         parts.join(", ")
     }
 }
@@ -789,6 +994,7 @@ mod tests {
             healthy_machines: 16,
             machines: 16,
             scheme: SchemeSignals::default(),
+            mode: ModeSignals::default(),
         }
     }
 
@@ -1076,6 +1282,86 @@ mod tests {
         s.scheme.gpu_feasible = true;
         s.scheme.gpu_retrieval = SimDuration::from_secs(2);
         assert_eq!(eng.target(&s).scheme, SchemeChoice::GpuTier);
+    }
+
+    /// With the default (all-infeasible) mode signals the engine keeps
+    /// the paper's wait-for-replacement behaviour whatever the wait costs.
+    #[test]
+    fn default_mode_signals_keep_wait() {
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        let mut s = signals(5_000);
+        s.mode.replacement_wait = SimDuration::from_hours(2);
+        assert_eq!(eng.target(&s).mode, RecoveryMode::Wait);
+    }
+
+    /// A healthy on-demand pool (short replacement wait) keeps Wait even
+    /// when a shrink plan is available: idling a few minutes beats running
+    /// shrunk for the amortization horizon.
+    #[test]
+    fn short_replacement_wait_keeps_wait_despite_feasible_shrink() {
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        let mut s = signals(5_000);
+        s.mode.replacement_wait = SimDuration::from_secs(300);
+        s.mode.shrink_feasible = true;
+        s.mode.repartition_time = SimDuration::from_secs(75);
+        s.mode.degraded_frac = 1.0 / 16.0;
+        assert_eq!(eng.target(&s).mode, RecoveryMode::Wait);
+    }
+
+    /// A spot-capacity crunch (replacement wait dwarfing the degradation
+    /// cost) flips the mode to Shrink. The failure rate cancels in the
+    /// Wait-vs-Shrink comparison, so this holds even on a quiet trace.
+    #[test]
+    fn spot_crunch_flips_to_shrink() {
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        let mut s = signals(5_000);
+        s.mode.replacement_wait = SimDuration::from_mins(30);
+        s.mode.shrink_feasible = true;
+        s.mode.repartition_time = SimDuration::from_secs(75);
+        s.mode.degraded_frac = 1.0 / 16.0;
+        assert_eq!(eng.target(&s).mode, RecoveryMode::Shrink);
+    }
+
+    /// With memory headroom and cheap extra-replica traffic, a failure-
+    /// heavy trace makes pre-positioned step-up the cheapest mode — and
+    /// the replica target carries the extra copy.
+    #[test]
+    fn step_up_wins_when_overhead_is_cheap_and_failures_frequent() {
+        let mut eng = PolicyEngine::new(PolicyConfig::default(), PolicyKnobs::paper_default());
+        let mut t = 0;
+        while t < 36_000 {
+            t += 600; // 6/hour: waits dominate, overhead amortizes away
+            eng.observe_failure(SimTime::from_secs(t), false, false);
+        }
+        let mut s = signals(t);
+        s.mode.replacement_wait = SimDuration::from_mins(30);
+        s.mode.step_up_feasible = true;
+        s.mode.step_up_overhead = SimDuration::from_millis(200);
+        let target = eng.target(&s);
+        assert_eq!(target.mode, RecoveryMode::StepUp);
+        assert_eq!(target.replicas, 3, "step-up carries the extra replica");
+    }
+
+    /// `mode_switching: false` pins the mode whatever the signals.
+    #[test]
+    fn mode_switch_master_switch() {
+        let mut cfg = PolicyConfig::default();
+        cfg.mode_switching = false;
+        let mut eng = PolicyEngine::new(cfg, PolicyKnobs::paper_default());
+        let mut s = signals(5_000);
+        s.mode.replacement_wait = SimDuration::from_hours(2);
+        s.mode.shrink_feasible = true;
+        s.mode.repartition_time = SimDuration::from_secs(60);
+        assert_eq!(eng.target(&s).mode, RecoveryMode::Wait);
+    }
+
+    /// Mode labels round-trip through the wire format.
+    #[test]
+    fn mode_labels_round_trip() {
+        for mode in RecoveryMode::ALL {
+            assert_eq!(RecoveryMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(RecoveryMode::parse("bogus"), None);
     }
 
     /// `scheme_switching: false` pins the scheme whatever the signals.

@@ -16,6 +16,7 @@
 
 use crate::ckpt::{HierarchicalStore, StorageTier};
 use crate::error::GeminiError;
+use crate::placement::Placement;
 use gemini_cluster::FailureKind;
 use gemini_net::{ByteSize, TransferCost};
 use gemini_sim::SimDuration;
@@ -215,6 +216,93 @@ fn tier_label(tier: StorageTier) -> gemini_telemetry::Tier {
     }
 }
 
+/// One shard adoption in a shrink repartition: a survivor takes over a
+/// failed machine's model-state shard.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ShardMove {
+    /// The failed machine whose shard moves.
+    pub owner: usize,
+    /// The surviving machine adopting it.
+    pub to: usize,
+    /// Where the adopter fetches the checkpoint from.
+    pub tier: StorageTier,
+    /// The serving peer for [`StorageTier::RemoteCpu`].
+    pub from: Option<usize>,
+}
+
+/// A complete shrink-and-continue repartition plan: instead of blocking on
+/// replacement machines, the survivors adopt the lost machines' shards and
+/// the job resumes at reduced width ([`crate::policy::RecoveryMode::Shrink`]).
+///
+/// The plan is pure data computed from `BTree`-ordered state, so it is
+/// byte-identical across reruns, `--jobs` counts and telemetry settings.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShrinkPlan {
+    /// Which retrieval mechanism feeds the adoptions ([`RecoveryCase::
+    /// HardwareFromCpu`] when every lost shard survives in CPU memory,
+    /// [`RecoveryCase::PersistentFallback`] otherwise; never
+    /// [`RecoveryCase::SoftwareLocal`] — software failures don't shrink).
+    pub case: RecoveryCase,
+    /// The iteration the shrunken job resumes from.
+    pub iteration: u64,
+    /// Surviving machines, ascending; index = the machine's new rank.
+    pub survivors: Vec<usize>,
+    /// One adoption per failed machine, in owner order.
+    pub moves: Vec<ShardMove>,
+    /// The replica placement the shrunken job runs under (over
+    /// `survivors.len()` relabeled ranks).
+    pub placement: Placement,
+    /// Throughput factor after the shrink (`survivors / machines` under
+    /// linear scaling) — what the policy engine's degradation pricing and
+    /// the executor's slowed iteration clock both use.
+    pub throughput_factor: f64,
+}
+
+impl ShrinkPlan {
+    /// The new (post-shrink) rank of a surviving machine.
+    pub fn new_rank(&self, survivor: usize) -> Option<usize> {
+        self.survivors.binary_search(&survivor).ok()
+    }
+
+    /// The wall-clock makespan of the adoption transfers, with the same
+    /// source-contention model as [`RecoveryPlan::retrieval_makespan`]:
+    /// holder adoptions ride the local copy engine in parallel, remote
+    /// adoptions serialize on the serving host's TX, and a persistent
+    /// fallback funnels the whole model state through the storage pipe.
+    pub fn retrieval_makespan(
+        &self,
+        bytes_per_machine: ByteSize,
+        machines: usize,
+        net: &TransferCost,
+        copy: &TransferCost,
+        storage: &TransferCost,
+    ) -> SimDuration {
+        let mut makespan = SimDuration::ZERO;
+        let mut queue: BTreeMap<usize, u64> = BTreeMap::new();
+        for mv in &self.moves {
+            match mv.tier {
+                StorageTier::LocalCpu => {
+                    makespan = makespan.max(copy.time(bytes_per_machine));
+                }
+                StorageTier::RemoteCpu => {
+                    let host = mv.from.unwrap_or(mv.to);
+                    let depth = queue.entry(host).or_insert(0);
+                    *depth += 1;
+                    let wait = SimDuration::from_secs_f64(
+                        net.time(bytes_per_machine).as_secs_f64() * *depth as f64,
+                    ) + copy.time(bytes_per_machine);
+                    makespan = makespan.max(wait);
+                }
+                StorageTier::Persistent => {
+                    makespan =
+                        makespan.max(storage.time(bytes_per_machine * machines.max(1) as u64));
+                }
+            }
+        }
+        makespan
+    }
+}
+
 /// Plans recoveries against a placement and its checkpoint store.
 #[derive(Clone, Debug, Default)]
 pub struct RecoveryPlanner;
@@ -361,6 +449,120 @@ impl RecoveryPlanner {
                 .collect(),
             replaced,
             degraded: None,
+        })
+    }
+
+    /// Builds a shrink-and-continue repartition for a batch of *hardware*
+    /// losses: every failed machine's shard is adopted by a survivor (the
+    /// least-loaded one, preferring survivors that already hold a replica
+    /// of that shard — those adopt at local-copy speed), and the job
+    /// resumes over `survivors.len()` ranks under a freshly-derived
+    /// placement. Below the placement's tolerance every committed shard
+    /// survives in CPU memory; past it the plan degrades to the shared
+    /// persistent checkpoint, exactly like [`RecoveryPlanner::plan`].
+    ///
+    /// `store` must reflect the state *after* the failures
+    /// ([`HierarchicalStore::machine_lost`] applied), like
+    /// [`RecoveryPlanner::plan`].
+    pub fn plan_shrink(
+        &self,
+        store: &HierarchicalStore,
+        failed: &BTreeSet<usize>,
+    ) -> Result<ShrinkPlan, GeminiError> {
+        let n = store.placement().machines();
+        let m = store.placement().replicas();
+        for &rank in failed {
+            if rank >= n {
+                return Err(GeminiError::UnknownRank(rank));
+            }
+        }
+        if failed.is_empty() {
+            return Err(GeminiError::InvalidDrill("shrink plan needs at least one loss"));
+        }
+        let survivors: Vec<usize> = (0..n).filter(|r| !failed.contains(r)).collect();
+        if survivors.len() < m {
+            return Err(GeminiError::InvalidPlacement {
+                machines: survivors.len(),
+                replicas: m,
+                reason: "fewer survivors than the replica factor — cannot shrink",
+            });
+        }
+        let placement = Placement::mixed(survivors.len(), m)?;
+        let throughput_factor = survivors.len() as f64 / n as f64;
+        let alive: BTreeSet<usize> = survivors.iter().copied().collect();
+
+        // Per-survivor adoption count, so the extra memory and reload work
+        // spread evenly instead of piling onto the lowest rank.
+        let mut load: BTreeMap<usize, usize> = survivors.iter().map(|&s| (s, 0)).collect();
+        let mut moves = Vec::with_capacity(failed.len());
+
+        if let Some(iteration) = store.latest_recoverable(&alive) {
+            for &owner in failed {
+                // Survivors already holding this shard at the rollback
+                // iteration can adopt it without any transfer.
+                let holders: BTreeSet<usize> = store
+                    .completed_sources(owner)
+                    .into_iter()
+                    .filter(|(h, it)| alive.contains(h) && *it == iteration)
+                    .map(|(h, _)| h)
+                    .collect();
+                let to = survivors
+                    .iter()
+                    .copied()
+                    .min_by_key(|s| (load[s], !holders.contains(s), *s))
+                    .expect("survivors is non-empty");
+                let (tier, from) = if holders.contains(&to) {
+                    (StorageTier::LocalCpu, None)
+                } else {
+                    let from = store
+                        .source_for(owner, iteration, &alive)
+                        .expect("latest_recoverable guarantees a source");
+                    (StorageTier::RemoteCpu, Some(from))
+                };
+                *load.get_mut(&to).expect("adopter is a survivor") += 1;
+                moves.push(ShardMove {
+                    owner,
+                    to,
+                    tier,
+                    from,
+                });
+            }
+            return Ok(ShrinkPlan {
+                case: RecoveryCase::HardwareFromCpu,
+                iteration,
+                survivors,
+                moves,
+                placement,
+                throughput_factor,
+            });
+        }
+
+        // Past the placement tolerance: every rank (adopters included)
+        // rolls back to the persistent checkpoint for consistency.
+        let persistent = store
+            .persistent()
+            .ok_or(GeminiError::NoCheckpointAvailable)?;
+        for &owner in failed {
+            let to = survivors
+                .iter()
+                .copied()
+                .min_by_key(|s| (load[s], *s))
+                .expect("survivors is non-empty");
+            *load.get_mut(&to).expect("adopter is a survivor") += 1;
+            moves.push(ShardMove {
+                owner,
+                to,
+                tier: StorageTier::Persistent,
+                from: None,
+            });
+        }
+        Ok(ShrinkPlan {
+            case: RecoveryCase::PersistentFallback,
+            iteration: persistent.iteration,
+            survivors,
+            moves,
+            placement,
+            throughput_factor,
         })
     }
 }
@@ -671,6 +873,120 @@ mod tests {
         // Degenerate budgets never panic and end fatal.
         assert_eq!(TimeoutClass::classify(0, 1), Fatal);
         assert_eq!(TimeoutClass::classify(0, 0), Fatal);
+    }
+
+    #[test]
+    fn shrink_below_tolerance_adopts_from_cpu_memory() {
+        let mut s = store(8, 2);
+        s.machine_lost(3);
+        let failed: BTreeSet<usize> = [3].into_iter().collect();
+        let plan = RecoveryPlanner.plan_shrink(&s, &failed).unwrap();
+        assert_eq!(plan.case, RecoveryCase::HardwareFromCpu);
+        assert_eq!(plan.iteration, 310);
+        assert_eq!(plan.survivors, vec![0, 1, 2, 4, 5, 6, 7]);
+        assert_eq!(plan.moves.len(), 1);
+        let mv = plan.moves[0];
+        assert_eq!(mv.owner, 3);
+        // Rank 2 (group peer) already holds shard 3 → local adoption.
+        assert_eq!(mv.to, 2);
+        assert_eq!(mv.tier, StorageTier::LocalCpu);
+        assert_eq!(mv.from, None);
+        assert_eq!(plan.placement.machines(), 7);
+        assert!((plan.throughput_factor - 7.0 / 8.0).abs() < 1e-12);
+        assert_eq!(plan.new_rank(4), Some(3));
+        assert_eq!(plan.new_rank(3), None);
+    }
+
+    #[test]
+    fn shrink_balances_adoptions_across_survivors() {
+        let mut s = store(10, 2);
+        for r in [1, 3, 5] {
+            s.machine_lost(r);
+        }
+        let failed: BTreeSet<usize> = [1, 3, 5].into_iter().collect();
+        let plan = RecoveryPlanner.plan_shrink(&s, &failed).unwrap();
+        assert_eq!(plan.case, RecoveryCase::HardwareFromCpu);
+        // Each lost shard's surviving group peer adopts it locally — three
+        // distinct adopters, no survivor takes two shards.
+        let adopters: Vec<usize> = plan.moves.iter().map(|m| m.to).collect();
+        assert_eq!(adopters, vec![0, 2, 4]);
+        assert!(plan.moves.iter().all(|m| m.tier == StorageTier::LocalCpu));
+    }
+
+    #[test]
+    fn shrink_past_tolerance_falls_back_to_persistent() {
+        let mut s = store(8, 2);
+        s.machine_lost(0);
+        s.machine_lost(1);
+        let failed: BTreeSet<usize> = [0, 1].into_iter().collect();
+        let plan = RecoveryPlanner.plan_shrink(&s, &failed).unwrap();
+        assert_eq!(plan.case, RecoveryCase::PersistentFallback);
+        assert_eq!(plan.iteration, 100);
+        assert!(plan
+            .moves
+            .iter()
+            .all(|m| m.tier == StorageTier::Persistent && m.from.is_none()));
+        // Still balanced: two moves, two distinct adopters.
+        assert_ne!(plan.moves[0].to, plan.moves[1].to);
+    }
+
+    #[test]
+    fn shrink_errors_are_structured() {
+        let mut s = store(4, 2);
+        s.machine_lost(0);
+        s.machine_lost(1);
+        // Whole group lost and no persistent anchor → unrecoverable.
+        let mut bare = HierarchicalStore::new(
+            Placement::mixed(4, 2).unwrap(),
+            ByteSize::from_gb(75),
+        );
+        bare.record_complete(10);
+        bare.machine_lost(0);
+        bare.machine_lost(1);
+        assert_eq!(
+            RecoveryPlanner
+                .plan_shrink(&bare, &[0, 1].into_iter().collect())
+                .unwrap_err(),
+            GeminiError::NoCheckpointAvailable
+        );
+        // Empty loss set and out-of-range ranks are rejected.
+        assert!(RecoveryPlanner.plan_shrink(&s, &BTreeSet::new()).is_err());
+        assert_eq!(
+            RecoveryPlanner
+                .plan_shrink(&s, &[9].into_iter().collect())
+                .unwrap_err(),
+            GeminiError::UnknownRank(9)
+        );
+        // Fewer survivors than replicas cannot re-place.
+        let mut tiny = HierarchicalStore::new(
+            Placement::mixed(3, 2).unwrap(),
+            ByteSize::from_gb(75),
+        );
+        tiny.persist(1);
+        tiny.record_complete(2);
+        tiny.machine_lost(0);
+        tiny.machine_lost(1);
+        assert!(matches!(
+            RecoveryPlanner
+                .plan_shrink(&tiny, &[0, 1].into_iter().collect())
+                .unwrap_err(),
+            GeminiError::InvalidPlacement { .. }
+        ));
+    }
+
+    #[test]
+    fn shrink_plan_is_deterministic() {
+        let build = || {
+            let mut s = store(12, 3);
+            for r in [2, 7, 11] {
+                s.machine_lost(r);
+            }
+            let plan = RecoveryPlanner
+                .plan_shrink(&s, &[2, 7, 11].into_iter().collect())
+                .unwrap();
+            format!("{plan:?}")
+        };
+        assert_eq!(build(), build());
     }
 
     #[test]

@@ -6,7 +6,8 @@ use gemini_core::codec;
 use gemini_core::partition::{checkpoint_partition, PartitionInput};
 use gemini_core::pipeline::run_pipeline;
 use gemini_core::policy::{
-    PolicyConfig, PolicyEngine, PolicyKnobs, PolicySignals, SchemeSignals, TierPreference,
+    ModeSignals, PolicyConfig, PolicyEngine, PolicyKnobs, PolicySignals, SchemeSignals,
+    TierPreference,
 };
 use gemini_core::placement::analytic::analytic_recovery_probability;
 use gemini_core::placement::probability::{
@@ -16,7 +17,7 @@ use gemini_core::placement::probability::{
 use gemini_core::placement::topology::{rack_aware_mixed, Topology};
 use gemini_core::retention::{PersistentLedger, RetentionPolicy};
 use gemini_core::wasted::WastedTimeModel;
-use gemini_core::Placement;
+use gemini_core::{HierarchicalStore, Placement, RecoveryCase, RecoveryPlanner, StorageTier};
 use gemini_net::{Bandwidth, ByteSize, TransferCost};
 use gemini_sim::{DetRng, SimDuration, SimTime};
 use proptest::prelude::*;
@@ -81,6 +82,7 @@ fn baseline_signals(now_s: u64) -> PolicySignals {
         healthy_machines: 16,
         machines: 16,
         scheme: SchemeSignals::default(),
+        mode: ModeSignals::default(),
     }
 }
 
@@ -557,5 +559,78 @@ proptest! {
             t += step;
         }
         prop_assert_eq!(eng.stats().applied, 1);
+    }
+
+    // ---- Elastic shrink-and-continue (repartition planner) ----
+
+    /// Below the placement tolerance (fewer losses than the replica
+    /// factor) a shrink plan never touches the persistent tier: every
+    /// failed rank's committed shard is adopted by a survivor straight
+    /// from CPU memory at the committed iteration, adoption load spreads
+    /// within one shard of even, and the whole plan is deterministic.
+    #[test]
+    fn shrink_below_tolerance_preserves_every_committed_shard(
+        (n, m) in nm_strategy(),
+        kills_pick in any::<prop::sample::Index>(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(m >= 2 && n > m);
+        // Below tolerance AND enough survivors left to re-place over.
+        let kills = 1 + kills_pick.index((m - 1).min(n - m));
+        let failed: BTreeSet<usize> = DetRng::new(seed)
+            .sample_distinct(n, kills)
+            .into_iter()
+            .collect();
+        let build = || {
+            let mut store = HierarchicalStore::new(
+                Placement::mixed(n, m).unwrap(),
+                ByteSize::from_gb(75),
+            );
+            store.persist(100);
+            store.record_complete(310);
+            for &r in &failed {
+                store.machine_lost(r);
+            }
+            RecoveryPlanner.plan_shrink(&store, &failed).unwrap()
+        };
+        let plan = build();
+        prop_assert_eq!(plan.case, RecoveryCase::HardwareFromCpu);
+        prop_assert_eq!(plan.iteration, 310);
+        prop_assert_eq!(plan.survivors.len(), n - kills);
+        prop_assert!(plan.survivors.iter().all(|s| !failed.contains(s)));
+        prop_assert!(
+            (plan.throughput_factor - (n - kills) as f64 / n as f64).abs() < 1e-12
+        );
+        // Exactly one adoption per lost rank, all sourced from CPU memory.
+        let owners: BTreeSet<usize> = plan.moves.iter().map(|mv| mv.owner).collect();
+        prop_assert_eq!(&owners, &failed);
+        prop_assert_eq!(plan.moves.len(), kills);
+        let mut load = std::collections::BTreeMap::new();
+        for mv in &plan.moves {
+            prop_assert!(plan.survivors.contains(&mv.to), "adopter {} died", mv.to);
+            match mv.tier {
+                StorageTier::LocalCpu => prop_assert_eq!(mv.from, None),
+                StorageTier::RemoteCpu => {
+                    let from = mv.from.expect("remote adoption names a source");
+                    prop_assert!(plan.survivors.contains(&from));
+                }
+                StorageTier::Persistent => prop_assert!(
+                    false,
+                    "below tolerance, owner {} fell back to persistent",
+                    mv.owner
+                ),
+            }
+            *load.entry(mv.to).or_insert(0usize) += 1;
+        }
+        let max = load.values().copied().max().unwrap_or(0);
+        let min = plan
+            .survivors
+            .iter()
+            .map(|s| load.get(s).copied().unwrap_or(0))
+            .min()
+            .unwrap_or(0);
+        prop_assert!(max - min <= 1, "unbalanced adoptions: {load:?}");
+        // Planning is a pure function of the (store, failures) pair.
+        prop_assert_eq!(format!("{plan:?}"), format!("{:?}", build()));
     }
 }

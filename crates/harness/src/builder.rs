@@ -27,9 +27,10 @@
 use crate::campaign::{execute_campaign, CampaignConfig, CampaignResult};
 use crate::chaos::{execute_chaos, ChaosPlan, ChaosReport};
 use crate::drill::{execute_drill, DrillConfig, DrillReport};
-use gemini_core::policy::PolicySpec;
+use gemini_core::policy::{PolicySpec, RecoveryMode};
 use gemini_core::GeminiError;
 use gemini_telemetry::TelemetrySink;
+use gemini_training::WorkloadSpec;
 
 /// A configured run, built with the `Scenario::*` constructors and
 /// executed with `run()`. The type parameter is the underlying config
@@ -68,6 +69,7 @@ impl Scenario<()> {
             fail_during_iteration,
             operator,
             seed,
+            mode: RecoveryMode::Wait,
         })
     }
 
@@ -153,6 +155,18 @@ impl<C> Scenario<C> {
 }
 
 impl Scenario<DrillConfig> {
+    /// Overrides the drill deployment's training recipe (dense or MoE).
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.cfg.scenario.workload = workload;
+        self
+    }
+
+    /// Overrides the drill's recovery mode (wait | shrink | step-up).
+    pub fn mode(mut self, mode: RecoveryMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
     /// Runs the drill. Default sink: enabled (the report carries the
     /// typed event log).
     pub fn run(self) -> Result<DrillReport, GeminiError> {
@@ -200,6 +214,12 @@ impl Scenario<Vec<CampaignConfig>> {
 }
 
 impl Scenario<ChaosPlan> {
+    /// Overrides the plan deployment's training recipe (dense or MoE).
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.cfg.scenario.workload = workload;
+        self
+    }
+
     /// Runs the plan (seed defaults to 1). Default sink: enabled.
     pub fn run(self) -> Result<ChaosReport, GeminiError> {
         execute_chaos(
@@ -256,7 +276,7 @@ mod tests {
     #[test]
     fn drill_from_fork_matches_direct_and_leaves_the_base_untouched() {
         use gemini_cluster::{FailureKind, OperatorConfig};
-        let base = crate::Deployment::gpt2_100b_p4d().snapshot();
+        let base = crate::Deployment::dense_gpt2_100b_p4d().snapshot();
         // An undiverged fork is byte-equivalent to the plain constructor.
         let a = Scenario::drill_from_fork(
             base.fork(),
@@ -342,6 +362,19 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.render(), y.render());
         }
+    }
+
+    #[test]
+    fn workload_and_mode_chain_onto_a_drill() {
+        use gemini_core::recovery::RecoveryCase;
+        let report = Scenario::drill(DrillConfig::fig14())
+            .workload(WorkloadSpec::moe_default())
+            .mode(RecoveryMode::Shrink)
+            .run()
+            .unwrap();
+        assert_eq!(report.mode, RecoveryMode::Shrink);
+        assert_eq!(report.case, RecoveryCase::HardwareFromCpu);
+        assert!(report.shrink.is_some());
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl CampaignConfig {
     /// The Fig. 15 base: GPT-2 100B on 16 p4d over one simulated week.
     pub fn fig15(solution: Solution, failures_per_day: f64, seed: u64) -> CampaignConfig {
         CampaignConfig {
-            scenario: Deployment::gpt2_100b_p4d(),
+            scenario: Deployment::dense_gpt2_100b_p4d(),
             solution,
             horizon: SimDuration::from_hours(7 * 24),
             failures_per_day,

@@ -64,11 +64,11 @@ use gemini_baselines::competing::{scheme_signals, SchemeInputs};
 use gemini_cluster::{CloudOperator, FailureKind, OperatorConfig};
 use gemini_core::agents::{RootAgent, WorkerAgent};
 use gemini_core::policy::{
-    PolicyEngine, PolicyKnobs, PolicySignals, PolicySpec, SchemeChoice, SchemeSignals,
-    TierPreference,
+    ModeSignals, PolicyEngine, PolicyKnobs, PolicySignals, PolicySpec, RecoveryMode, SchemeChoice,
+    SchemeSignals, TierPreference,
 };
 use gemini_core::recovery::{
-    RecoveryCase, RecoveryPlan, RecoveryPlanner, RetrievalSource, TimeoutClass,
+    RecoveryCase, RecoveryPlan, RecoveryPlanner, RetrievalSource, ShrinkPlan, TimeoutClass,
 };
 use gemini_core::{GeminiError, StorageTier, WastedLedger};
 use gemini_kvstore::{KvStore, RetryPolicy};
@@ -162,6 +162,17 @@ pub enum FaultKind {
         /// Outage length.
         duration: SimDuration,
     },
+    /// A spot-market preemption: the cloud gives `notice` of advance
+    /// warning, the victim flushes an incremental checkpoint of its
+    /// un-committed state inside the window, then the machine is
+    /// reclaimed (a hardware loss). MoE workloads flush only the dirty
+    /// expert fraction; dense workloads flush a full commit.
+    SpotPreempt {
+        /// The victim rank.
+        rank: usize,
+        /// Advance warning between the notice and the reclaim.
+        notice: SimDuration,
+    },
     /// Root-agent churn: `kills` times, every `period`, the current
     /// leader resigns and abstains from re-campaigning for a while.
     RootChurn {
@@ -202,7 +213,7 @@ impl ChaosPlan {
     fn base(name: &str) -> ChaosPlan {
         ChaosPlan {
             name: name.to_string(),
-            scenario: Deployment::gpt2_100b_p4d(),
+            scenario: Deployment::dense_gpt2_100b_p4d(),
             operator: OperatorConfig::default(),
             faults: Vec::new(),
             horizon: SimTime::from_secs(2400),
@@ -437,6 +448,76 @@ impl ChaosPlan {
         p
     }
 
+    /// One spot-market preemption with a two-minute advance warning
+    /// while the replacement pool is healthy: the benign half of the
+    /// spot pair. The notice window flushes an incremental checkpoint,
+    /// so the wave rolls back zero iterations even under a sparse
+    /// cadence; wait-mode recovery is cheap here.
+    pub fn spot_preemption_notice() -> ChaosPlan {
+        let mut p = ChaosPlan::base("spot_preemption_notice");
+        p.faults = vec![TimedFault {
+            at: SimTime::from_secs(520),
+            fault: FaultKind::SpotPreempt {
+                rank: 6,
+                notice: SimDuration::from_secs(120),
+            },
+        }];
+        p
+    }
+
+    /// A spot-capacity crunch: the operator's control plane is down for
+    /// 25 minutes (replacement requests are denied) and two machines are
+    /// preempted inside the window, each with a 90-second warning.
+    /// Wait-mode recovery stalls on the replacement backoff until the
+    /// outage lifts; shrink-and-continue adopts the orphaned shards onto
+    /// the survivors and trains on at 14/16 width. The retry budget is
+    /// sized so the wait path still terminates before the horizon.
+    pub fn spot_capacity_crunch() -> ChaosPlan {
+        let mut p = ChaosPlan::base("spot_capacity_crunch");
+        p.faults = vec![
+            TimedFault {
+                at: SimTime::from_secs(60),
+                fault: FaultKind::OperatorOutage {
+                    duration: SimDuration::from_secs(1_500),
+                },
+            },
+            TimedFault {
+                at: SimTime::from_secs(600),
+                fault: FaultKind::SpotPreempt {
+                    rank: 3,
+                    notice: SimDuration::from_secs(90),
+                },
+            },
+            TimedFault {
+                at: SimTime::from_secs(610),
+                fault: FaultKind::SpotPreempt {
+                    rank: 11,
+                    notice: SimDuration::from_secs(90),
+                },
+            },
+        ];
+        p.retry = RetryPolicy::new(40, SimDuration::from_secs(5), SimDuration::from_secs(60));
+        p.horizon = SimTime::from_secs(3_600);
+        p
+    }
+
+    /// The baseline hardware kill on the MoE deployment: exercises the
+    /// expert-parallel timeline's sparse checkpoints through the same
+    /// detection/serialize/retrieve/warm-up lifecycle as
+    /// [`Self::kill_mid_checkpoint`].
+    pub fn moe_kill_mid_checkpoint() -> ChaosPlan {
+        let mut p = ChaosPlan::base("moe_kill_mid_checkpoint");
+        p.scenario = Deployment::moe_gpt2_100b_p4d();
+        p.faults = vec![TimedFault {
+            at: SimTime::from_secs(500),
+            fault: FaultKind::Kill {
+                rank: 5,
+                kind: FailureKind::Hardware,
+            },
+        }];
+        p
+    }
+
     /// Fleet-scale churn: 10 000 machines riding the SoA state path.
     /// Independent Poisson single-machine (software) churn — exponential
     /// inter-arrivals sampled once, at plan construction, from a fixed
@@ -507,6 +588,9 @@ impl ChaosPlan {
             ChaosPlan::flaky_heartbeats(),
             ChaosPlan::repeat_group_loss(),
             ChaosPlan::nic_collapse(),
+            ChaosPlan::spot_preemption_notice(),
+            ChaosPlan::spot_capacity_crunch(),
+            ChaosPlan::moe_kill_mid_checkpoint(),
         ]
     }
 
@@ -591,6 +675,12 @@ pub struct ChaosReport {
     pub scheme: String,
     /// Scheme switches the adaptive engine applied (0 for fixed / off).
     pub scheme_switches: u64,
+    /// The recovery mode active when the horizon was reached (`off` when
+    /// no policy drives the run; the policy-off executor always waits).
+    pub mode: String,
+    /// Recovery-mode switches the adaptive engine applied (0 for fixed /
+    /// off).
+    pub mode_switches: u64,
     /// The wasted-time ledger (paper §2.1): rework + downtime + visible
     /// checkpoint/persist overhead.
     pub wasted: WastedLedger,
@@ -635,13 +725,16 @@ impl ChaosReport {
             self.retry_attempts, self.replacements_denied, self.spurious_detections
         ));
         out.push_str(&format!(
-            "policy={} decisions={} persists={} tier_overrides={} scheme={} scheme_switches={}\n",
+            "policy={} decisions={} persists={} tier_overrides={} scheme={} \
+             scheme_switches={} mode={} mode_switches={}\n",
             self.policy,
             self.policy_decisions,
             self.persists_completed,
             self.tier_overrides,
             self.scheme,
-            self.scheme_switches
+            self.scheme_switches,
+            self.mode,
+            self.mode_switches
         ));
         out.push_str(&format!(
             "wasted failures={} rework_iters={} rework={:.3}s downtime={:.3}s \
@@ -719,6 +812,7 @@ enum Ev {
     RetrievalDone { wave: usize },
     WarmupDone { wave: usize },
     PersistDone { iteration: u64, token: u64 },
+    SpotKill { rank: usize },
 }
 
 struct Wave {
@@ -731,6 +825,13 @@ struct Wave {
     plan: Option<RecoveryPlan>,
     committed_at_detect: u64,
     available_at_detect: u64,
+    /// The recovery mode captured when the wave opened: a shrink-mode
+    /// wave never requests replacements and retrieves through a
+    /// [`ShrinkPlan`] instead.
+    shrink_mode: bool,
+    /// The executed shrink plan, once retrieval starts (shrink-mode
+    /// hardware waves only).
+    shrink: Option<ShrinkPlan>,
 }
 
 /// Drives the fault-tolerance knobs of one chaos run: either a frozen
@@ -753,6 +854,7 @@ struct PolicyDriver {
     persists_done: u64,
     tier_overrides: u64,
     scheme_switches: u64,
+    mode_switches: u64,
 }
 
 impl PolicyDriver {
@@ -774,6 +876,7 @@ impl PolicyDriver {
             persists_done: 0,
             tier_overrides: 0,
             scheme_switches: 0,
+            mode_switches: 0,
         }
     }
 }
@@ -792,6 +895,9 @@ struct ChaosModel {
     hb_delays: Vec<(SimTime, SimTime)>,
     degrades: Vec<(SimTime, SimTime, f64)>,
     partitions: Vec<(SimTime, SimTime, Vec<usize>)>,
+    /// Operator control-plane outage windows — the replacement-wait
+    /// signal the recovery-mode pricing reads.
+    op_outages: Vec<(SimTime, SimTime)>,
     // Live state.
     policy: Option<PolicyDriver>,
     /// Feasibility and pricing of the competing fault-tolerance schemes
@@ -799,6 +905,11 @@ struct ChaosModel {
     /// shapes never change mid-run; degradation enters through the
     /// retrieval signals instead).
     scheme_signals: SchemeSignals,
+    /// Whether an `m + 1`-th replica fits in CPU memory, priced once at
+    /// launch (feeds the step-up recovery-mode candidate).
+    step_up_feasible: bool,
+    /// The extra replica's per-commit checkpoint traffic.
+    step_up_overhead: SimDuration,
     ledger: WastedLedger,
     correlated_pending: BTreeSet<usize>,
     // Per-rank hot state lives in flat rank-indexed lanes (SoA), not
@@ -812,6 +923,15 @@ struct ChaosModel {
     down: Vec<Option<FailureKind>>,
     /// Number of `Some` entries in `down` — O(1) "anyone down?" checks.
     down_count: usize,
+    /// Ranks a shrink-and-continue recovery removed from the job: no
+    /// longer down, but never re-registered either. They stay `handled`
+    /// so their saturated streaks can never re-confirm.
+    detached: Vec<bool>,
+    /// Number of `true` entries in `detached`.
+    detached_count: usize,
+    /// Iteration-time stretch after shrinking: `N / survivors` under
+    /// the linear-scaling assumption; `1.0` at full width.
+    slowdown: f64,
     muted_until: Vec<SimTime>,
     streak: Vec<u32>,
     /// Ranks already adopted by a recovery wave.
@@ -881,6 +1001,14 @@ impl ChaosModel {
         set
     }
 
+    /// The recovery mode in force: the active policy's knob, or the
+    /// paper's wait-for-replacement default on policy-off runs.
+    fn active_mode(&self) -> RecoveryMode {
+        self.policy
+            .as_ref()
+            .map_or(RecoveryMode::Wait, |d| d.knobs.mode)
+    }
+
     fn degrade_factor_at(&self, now: SimTime) -> f64 {
         self.degrades
             .iter()
@@ -895,7 +1023,7 @@ impl ChaosModel {
     /// persistent anchor, whichever is newer.
     fn available_now(&self) -> u64 {
         let cpu_intact: BTreeSet<usize> = (0..self.sys.cluster.len())
-            .filter(|&r| !matches!(self.down[r], Some(FailureKind::Hardware)))
+            .filter(|&r| !matches!(self.down[r], Some(FailureKind::Hardware)) && !self.detached[r])
             .collect();
         let cpu = self
             .sys
@@ -977,21 +1105,57 @@ impl ChaosModel {
         }
         let degrade = self.degrade_factor_at(now);
         let persist_upload = self.sys.retrieval_time(StorageTier::Persistent);
+        let retrieval_remote = self
+            .sys
+            .retrieval_time(StorageTier::RemoteCpu)
+            .mul_f64(degrade);
+        let n = self.sys.cluster.len();
+        let healthy = n - self.down_count - self.detached_count;
+        // Recovery-mode pricing facts. The replacement wait is what the
+        // operator would quote right now: any remaining control-plane
+        // outage, then standby activation (if standbys are provisioned)
+        // or the mean fresh-reserve delay.
+        let outage_left = self
+            .op_outages
+            .iter()
+            .filter(|&&(s, e)| s <= now && now < e)
+            .map(|&(_, e)| e.saturating_since(now))
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let oc = *self.operator.config();
+        let provision = if oc.standbys > 0 {
+            oc.standby_activation
+        } else {
+            SimDuration::from_secs_f64(
+                (oc.reserve_min.as_secs_f64() + oc.reserve_max.as_secs_f64()) / 2.0,
+            )
+        };
+        let mode_signals = ModeSignals {
+            replacement_wait: outage_left + provision,
+            shrink_feasible: healthy > self.sys.scenario.config.replicas,
+            repartition_time: self.sys.serialize_time() + retrieval_remote,
+            // Throughput lost if the *next* hardware failure is absorbed
+            // by shrinking (on top of any width already given up).
+            degraded_frac: (n - healthy + 1) as f64 / n.max(1) as f64,
+            // Stepping up means provisioning a hot spare — impossible
+            // while the operator's control plane is down, so during an
+            // outage the only candidates are waiting it out or shrinking.
+            step_up_feasible: self.step_up_feasible && outage_left == SimDuration::ZERO,
+            step_up_overhead: self.step_up_overhead,
+        };
         let signals = PolicySignals {
             now,
             committed: self.last_committed,
             iteration_time: self.sys.iteration_time(),
             ckpt_overhead: self.sys.schedule.outcome.overhead,
-            retrieval_remote: self
-                .sys
-                .retrieval_time(StorageTier::RemoteCpu)
-                .mul_f64(degrade),
+            retrieval_remote,
             retrieval_persistent: persist_upload,
             persist_upload,
             persist_anchor: self.sys.store.persistent().map(|m| m.iteration),
-            healthy_machines: self.sys.cluster.len() - self.down_count,
-            machines: self.sys.cluster.len(),
+            healthy_machines: healthy,
+            machines: n,
             scheme: self.scheme_signals,
+            mode: mode_signals,
         };
         let driver = self.policy.as_mut().expect("policy driver present");
         let mut decided: Option<(String, PolicySignalsSnapshot)> = None;
@@ -1004,10 +1168,24 @@ impl ChaosModel {
                 // is the runtime's job (placement rebuilds are unsafe
                 // mid-chaos).
                 let prev_scheme = driver.knobs.scheme;
+                let prev_mode = driver.knobs.mode;
                 driver.knobs = PolicyKnobs {
                     replicas: driver.knobs.replicas,
                     ..rec.knobs
                 };
+                if driver.knobs.mode != prev_mode {
+                    driver.mode_switches += 1;
+                    self.sink.counter_add_key(
+                        Key::labeled("policy.mode.switches", "cell", self.cell),
+                        1,
+                    );
+                    let from = prev_mode.label().to_string();
+                    let to = driver.knobs.mode.label().to_string();
+                    let why = rec.reason.clone();
+                    self.sink.event(now, move || TelemetryEvent::Note {
+                        message: format!("recovery mode {from} -> {to}: {why}"),
+                    });
+                }
                 if driver.knobs.scheme != prev_scheme {
                     driver.scheme_switches += 1;
                     self.sink.counter_add_key(
@@ -1166,6 +1344,7 @@ impl ChaosModel {
             self.sys.serialize_time(),
             Ev::SerializeDone { wave: index, token },
         );
+        let shrink_mode = self.active_mode() == RecoveryMode::Shrink;
         self.wave = Some(Wave {
             index,
             failures: failures.clone(),
@@ -1176,6 +1355,8 @@ impl ChaosModel {
             plan: None,
             committed_at_detect: self.last_committed,
             available_at_detect: self.available_now(),
+            shrink_mode,
+            shrink: None,
         });
         let incident = index as u64;
         self.adopt_pending(incident, &ranks);
@@ -1191,7 +1372,7 @@ impl ChaosModel {
             },
         );
         for (rank, kind) in failures {
-            if kind == FailureKind::Hardware {
+            if kind == FailureKind::Hardware && !shrink_mode {
                 self.begin_hw_replacement(ctx, index, rank);
             }
         }
@@ -1241,8 +1422,9 @@ impl ChaosModel {
                 group,
             },
         );
+        let shrink_mode = self.wave.as_ref().is_some_and(|w| w.shrink_mode);
         for (rank, kind) in failures {
-            if kind == FailureKind::Hardware {
+            if kind == FailureKind::Hardware && !shrink_mode {
                 self.begin_hw_replacement(ctx, index, rank);
             }
         }
@@ -1258,14 +1440,73 @@ impl ChaosModel {
         }
         let unreachable = self.unreachable_at(now);
         let failures = self.wave.as_ref().expect("wave active").failures.clone();
-        let mut plan = match RecoveryPlanner.plan_degraded(&self.sys.store, &failures, &unreachable)
-        {
-            Ok(p) => p,
-            Err(e) => {
-                self.violations
-                    .push(format!("recovery planning failed: {e}"));
-                self.wave = None;
-                return;
+        // Shrink-and-continue: a shrink-mode wave with hardware losses
+        // skips replacements entirely — the survivors adopt the orphaned
+        // checkpoint shards and training restarts at reduced width. The
+        // shrink plan is lifted into a synthetic `RecoveryPlan` (sources =
+        // the adoption moves) so the rest of the wave lifecycle —
+        // invariant checks, telemetry, makespan, warm-up — is the exact
+        // code the wait path runs.
+        let shrink_wave = self.wave.as_ref().is_some_and(|w| w.shrink_mode)
+            && failures.iter().any(|&(_, k)| k == FailureKind::Hardware);
+        let mut shrink_plan: Option<ShrinkPlan> = None;
+        let mut plan = if shrink_wave {
+            let hw_down: BTreeSet<usize> = self
+                .down
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| matches!(k, Some(FailureKind::Hardware)))
+                .map(|(r, _)| r)
+                .collect();
+            let sp = match RecoveryPlanner.plan_shrink(&self.sys.store, &hw_down) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.violations.push(format!("shrink planning failed: {e}"));
+                    self.wave = None;
+                    return;
+                }
+            };
+            // Execute the adoptions: each survivor copies the orphaned
+            // replica it inherits into its own CPU memory (the
+            // persistent-fallback case reloads from storage instead).
+            for mv in &sp.moves {
+                if mv.tier != StorageTier::Persistent {
+                    if let Err(e) = self.sys.store.adopt_shard(mv.owner, mv.to, sp.iteration) {
+                        self.violations.push(format!("shrink adoption failed: {e}"));
+                    }
+                }
+            }
+            let sources = sp
+                .moves
+                .iter()
+                .map(|mv| RetrievalSource {
+                    rank: mv.owner,
+                    tier: mv.tier,
+                    from: mv.from,
+                })
+                .collect();
+            let rp = RecoveryPlan {
+                case: sp.case,
+                iteration: sp.iteration,
+                sources,
+                replaced: Vec::new(),
+                degraded: Some(format!(
+                    "shrink: {} survivors, throughput x{:.3}",
+                    sp.survivors.len(),
+                    sp.throughput_factor
+                )),
+            };
+            shrink_plan = Some(sp);
+            rp
+        } else {
+            match RecoveryPlanner.plan_degraded(&self.sys.store, &failures, &unreachable) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.violations
+                        .push(format!("recovery planning failed: {e}"));
+                    self.wave = None;
+                    return;
+                }
             }
         };
         // Policy tier override: when the active knobs prefer the
@@ -1275,7 +1516,8 @@ impl ChaosModel {
         // safety net is check_policy_preserves_commits, not invariant 2.
         let mut tier_overridden = false;
         if let Some(driver) = self.policy.as_mut() {
-            if driver.knobs.tier == TierPreference::PersistentFirst
+            if !shrink_wave
+                && driver.knobs.tier == TierPreference::PersistentFirst
                 && plan.case == RecoveryCase::HardwareFromCpu
             {
                 if let Some(anchor) = self.sys.store.persistent() {
@@ -1390,7 +1632,7 @@ impl ChaosModel {
         //   own ingress NIC is already the bottleneck, so fan-in is
         //   floored at the undegraded makespan; it only claws back
         //   per-link degradation.
-        if let Some(driver) = self.policy.as_ref() {
+        if let Some(driver) = self.policy.as_ref().filter(|_| !shrink_wave) {
             match driver.knobs.scheme {
                 SchemeChoice::GpuTier
                     if self.scheme_signals.gpu_feasible
@@ -1415,7 +1657,11 @@ impl ChaosModel {
             }
         }
         let index = self.wave.as_ref().expect("wave active").index;
-        self.wave.as_mut().expect("wave active").plan = Some(plan);
+        {
+            let w = self.wave.as_mut().expect("wave active");
+            w.plan = Some(plan);
+            w.shrink = shrink_plan;
+        }
         ctx.schedule_after(makespan, Ev::RetrievalDone { wave: index });
     }
 
@@ -1581,6 +1827,24 @@ impl Model for ChaosModel {
                 }
                 self.policy_boundary(ctx, now);
                 let mut next_in = self.sys.iteration_time();
+                if self.slowdown > 1.0 {
+                    // Running shrunk: every iteration is stretched by the
+                    // lost width, and that stretch is exactly the degraded
+                    // throughput the wasted-time matrix charges to the
+                    // shrink mode.
+                    let shrink_tax = self.sys.iteration_time().mul_f64(self.slowdown - 1.0);
+                    self.ledger.record_overhead(shrink_tax);
+                    let epoch = self.policy_epoch;
+                    self.push_trace(
+                        None,
+                        now,
+                        CausalKind::PersistCharged {
+                            amount: shrink_tax,
+                            epoch,
+                        },
+                    );
+                    next_in = next_in + shrink_tax;
+                }
                 if grad_active {
                     // The all-reduce stretches by the replication traffic:
                     // visible overhead in the ledger *and* a longer step.
@@ -1646,6 +1910,11 @@ impl Model for ChaosModel {
                 self.coordination_tick(ctx);
                 ctx.schedule_after(SimDuration::from_secs(1), Ev::CoordinationTick);
             }
+            Ev::SpotKill { rank } => {
+                // The notice window has elapsed: the spot machine is
+                // reclaimed, taking its CPU checkpoint replicas with it.
+                self.kill(ctx, rank, FailureKind::Hardware);
+            }
             Ev::Inject(i) => {
                 let fault = self.faults[i].fault.clone();
                 self.injected += 1;
@@ -1674,6 +1943,56 @@ impl Model for ChaosModel {
                     }
                     FaultKind::OperatorOutage { duration } => {
                         self.operator.set_outage_until(ctx.now() + duration);
+                    }
+                    FaultKind::SpotPreempt { rank, notice } => {
+                        if rank < self.sys.cluster.len() && self.down[rank].is_none() {
+                            // Advance warning: flush an incremental
+                            // checkpoint of the current step before the
+                            // machine is reclaimed. MoE flushes only the
+                            // backbone + dirty expert fraction; dense
+                            // flushes a full commit. The flush traffic is
+                            // training-visible overhead, capped at the
+                            // notice window.
+                            let frac = match self.sys.scenario.workload.moe() {
+                                Some(spec) => gemini_training::MoeSetup::new(
+                                    self.sys.scenario.model,
+                                    self.sys.scenario.instance,
+                                    self.sys.scenario.machines,
+                                    spec,
+                                )
+                                .steady_incremental_fraction()
+                                .clamp(0.0, 1.0),
+                                None => 1.0,
+                            };
+                            let iteration = self.current_iteration;
+                            self.sys.store.record_complete(iteration);
+                            self.last_committed = self.last_committed.max(iteration);
+                            let flush = self
+                                .sys
+                                .bulk_ckpt_time()
+                                .mul_f64(frac)
+                                .min(notice);
+                            self.ledger.record_overhead(flush);
+                            let epoch = self.policy_epoch;
+                            self.push_trace(
+                                None,
+                                ctx.now(),
+                                CausalKind::PersistCharged {
+                                    amount: flush,
+                                    epoch,
+                                },
+                            );
+                            self.cell_count("chaos.spot_flushes");
+                            self.sink.event(ctx.now(), move || TelemetryEvent::Note {
+                                message: format!(
+                                    "spot preemption notice for rank {rank}: flushed \
+                                     incremental checkpoint at iteration {iteration} \
+                                     ({:.0}% of full)",
+                                    frac * 100.0
+                                ),
+                            });
+                            ctx.schedule_after(notice, Ev::SpotKill { rank });
+                        }
                     }
                     FaultKind::RootChurn { kills, period } => {
                         if kills > 0 {
@@ -1862,6 +2181,22 @@ impl Model for ChaosModel {
                 let w = self.wave.take().expect("wave active");
                 let plan = w.plan.expect("retrieval implies a plan");
                 for &(rank, kind) in &w.failures {
+                    if w.shrink.is_some() && kind == FailureKind::Hardware {
+                        // Shrink-and-continue: the machine leaves the job
+                        // instead of being replaced. It stays `handled`
+                        // (its saturated streak can never re-confirm) and
+                        // never re-registers or heartbeats again.
+                        if self.down[rank].take().is_some() {
+                            self.down_count -= 1;
+                        }
+                        if !self.detached[rank] {
+                            self.detached[rank] = true;
+                            self.detached_count += 1;
+                        }
+                        self.injected_at[rank] = None;
+                        self.pending_trace[rank].clear();
+                        continue;
+                    }
                     if kind == FailureKind::Software {
                         self.sys.cluster.restart(rank).expect("rank exists");
                     }
@@ -1882,6 +2217,18 @@ impl Model for ChaosModel {
                         self.sys.scenario.config.heartbeat_period,
                         Ev::Heartbeat(rank),
                     );
+                }
+                if let Some(sp) = &w.shrink {
+                    let n = self.sys.cluster.len();
+                    let width = n.saturating_sub(self.detached_count).max(1);
+                    self.slowdown = n as f64 / width as f64;
+                    let factor = sp.throughput_factor;
+                    self.sink.event(now, move || TelemetryEvent::Note {
+                        message: format!(
+                            "shrunk to {width} survivors (throughput x{factor:.3})"
+                        ),
+                    });
+                    self.cell_count("chaos.shrinks");
                 }
                 // Wasted-time ledger (Eq. 1's terms, measured not modelled):
                 // every iteration past the resume point must be re-trained,
@@ -1939,10 +2286,11 @@ impl Model for ChaosModel {
                 });
                 if self.down_count == 0 {
                     self.training_blocked = false;
-                    ctx.schedule_after(
-                        self.sys.iteration_time(),
-                        Ev::IterationDone(plan.iteration + 1),
-                    );
+                    let mut next_in = self.sys.iteration_time();
+                    if self.slowdown > 1.0 {
+                        next_in = next_in.mul_f64(self.slowdown);
+                    }
+                    ctx.schedule_after(next_in, Ev::IterationDone(plan.iteration + 1));
                 }
                 // Otherwise more ranks are still down (killed during the
                 // retrieval); their saturated streaks start the next wave
@@ -1994,6 +2342,9 @@ pub(crate) fn execute_chaos(
                     "chaos plan references an unknown placement group",
                 ));
             }
+            FaultKind::SpotPreempt { rank, .. } if *rank >= n => {
+                return Err(GeminiError::UnknownRank(*rank));
+            }
             FaultKind::NicPartition { ranks, .. } => {
                 if let Some(&r) = ranks.iter().find(|&&r| r >= n) {
                     return Err(GeminiError::UnknownRank(r));
@@ -2008,9 +2359,15 @@ pub(crate) fn execute_chaos(
     let mut hb_delays = Vec::new();
     let mut degrades = Vec::new();
     let mut partitions = Vec::new();
+    let mut op_outages = Vec::new();
     for f in &plan.faults {
         match &f.fault {
             FaultKind::KvOutage { duration } => kv_outages.push((f.at, f.at + *duration)),
+            FaultKind::OperatorOutage { duration } => {
+                // Applied through the Inject event as before; the window
+                // copy feeds the recovery-mode replacement-wait signal.
+                op_outages.push((f.at, f.at + *duration));
+            }
             FaultKind::HeartbeatDelay { duration } => {
                 hb_delays.push((f.at, f.at + *duration));
             }
@@ -2040,6 +2397,29 @@ pub(crate) fn execute_chaos(
         sys.retrieval_time(StorageTier::RemoteCpu),
         sys.retrieval_time(StorageTier::Persistent),
     ));
+    // Step-up feasibility and cost, priced once: the machine must hold
+    // its own shard plus `m + 1` replica slots, and the extra replica
+    // adds its proportional share of the bulk checkpoint traffic PLUS
+    // the standing rent of the hot spare itself — one extra machine's
+    // share of fleet time, paid every iteration whether or not anything
+    // fails, with a 25% carry premium for keeping its CPU image warm.
+    // Without the rent term a hot spare looks free and the mode
+    // comparator would step up even on a quiet fleet.
+    let step_up_feasible =
+        sys.scenario.ckpt_bytes_per_machine() * (gcfg.replicas as u64 + 2)
+            <= sys.scenario.instance.cpu_mem;
+    let step_up_overhead = sys
+        .bulk_ckpt_time()
+        .mul_f64(1.0 / gcfg.replicas.max(1) as f64)
+        + sys.iteration_time().mul_f64(1.25 / n.max(1) as f64);
+    // A fixed step-up policy pre-allocates the hot spare it recovers
+    // through (the operator activates it instead of reserving afresh).
+    let mut operator_cfg = plan.operator;
+    if let Some(PolicySpec::Fixed(f)) = policy {
+        if f.knobs.mode == RecoveryMode::StepUp {
+            operator_cfg.standbys += 1;
+        }
+    }
     let mut kv = KvStore::new().with_telemetry(sink.clone());
     let mut workers: Vec<WorkerAgent> = (0..n)
         .map(|r| WorkerAgent::new(r, r as u64, gcfg))
@@ -2069,19 +2449,25 @@ pub(crate) fn execute_chaos(
         sink: sink.clone(),
         workers,
         roots,
-        operator: CloudOperator::new(plan.operator).with_telemetry(sink.clone()),
+        operator: CloudOperator::new(operator_cfg).with_telemetry(sink.clone()),
         retry: plan.retry,
         faults: plan.faults.clone(),
         kv_outages,
         hb_delays,
         degrades,
         partitions,
+        op_outages,
         policy: policy.map(PolicyDriver::new),
         scheme_signals: scheme_sig,
+        step_up_feasible,
+        step_up_overhead,
         ledger: WastedLedger::default(),
         correlated_pending: BTreeSet::new(),
         down: vec![None; n],
         down_count: 0,
+        detached: vec![false; n],
+        detached_count: 0,
+        slowdown: 1.0,
         muted_until: vec![SimTime::ZERO; n],
         streak: vec![0; n],
         handled: vec![false; n],
@@ -2143,18 +2529,37 @@ pub(crate) fn execute_chaos(
         );
     }
 
-    let (policy_name, policy_decisions, persists_completed, tier_overrides, scheme, scheme_switches) =
-        match &model.policy {
-            Some(d) => (
-                d.name.clone(),
-                d.engine.as_ref().map_or(0, |e| e.stats().applied),
-                d.persists_done,
-                d.tier_overrides,
-                d.knobs.scheme.label().to_string(),
-                d.scheme_switches,
-            ),
-            None => ("off".to_string(), 0, 0, 0, "off".to_string(), 0),
-        };
+    let (
+        policy_name,
+        policy_decisions,
+        persists_completed,
+        tier_overrides,
+        scheme,
+        scheme_switches,
+        mode,
+        mode_switches,
+    ) = match &model.policy {
+        Some(d) => (
+            d.name.clone(),
+            d.engine.as_ref().map_or(0, |e| e.stats().applied),
+            d.persists_done,
+            d.tier_overrides,
+            d.knobs.scheme.label().to_string(),
+            d.scheme_switches,
+            d.knobs.mode.label().to_string(),
+            d.mode_switches,
+        ),
+        None => (
+            "off".to_string(),
+            0,
+            0,
+            0,
+            "off".to_string(),
+            0,
+            "off".to_string(),
+            0,
+        ),
+    };
 
     let report = ChaosReport {
         plan_name: plan.name.clone(),
@@ -2174,6 +2579,8 @@ pub(crate) fn execute_chaos(
         tier_overrides,
         scheme,
         scheme_switches,
+        mode,
+        mode_switches,
         wasted: model.ledger,
         trace: model.trace,
         violations,
@@ -2600,5 +3007,154 @@ mod tests {
             .unwrap();
             assert_eq!(a.render(), b.render(), "policy {}", spec.name());
         }
+    }
+
+    // ------------------------------------------- spot / shrink / modes ----
+
+    fn fixed_mode(mode: RecoveryMode) -> PolicySpec {
+        PolicySpec::Fixed(gemini_core::FixedPolicy {
+            name: match mode {
+                RecoveryMode::Wait => "mode_wait",
+                RecoveryMode::Shrink => "mode_shrink",
+                RecoveryMode::StepUp => "mode_step_up",
+            },
+            knobs: PolicyKnobs::with_mode(mode),
+        })
+    }
+
+    #[test]
+    fn spot_preemption_flush_commits_before_the_kill() {
+        let report = run_chaos(&ChaosPlan::spot_preemption_notice(), 1).unwrap();
+        assert!(report.is_green(), "violations: {:?}", report.violations);
+        assert_eq!(report.waves.len(), 1);
+        assert_eq!(report.waves[0].case, RecoveryCase::HardwareFromCpu);
+        // The notice-window flush committed the in-flight iteration, so
+        // the wave resumes from the progress at preemption time (~520 s
+        // at ~62 s/iteration), not an older checkpoint.
+        assert!(
+            report.waves[0].resumed_from_iteration >= 7,
+            "resumed from {}",
+            report.waves[0].resumed_from_iteration
+        );
+        // The flush itself is visible overhead in the ledger.
+        assert!(report.wasted.overhead > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn shrink_mode_adopts_shards_and_continues_on_survivors() {
+        let plan = ChaosPlan::spot_capacity_crunch();
+        let wait =
+            chaos_policy(&plan, 1, TelemetrySink::disabled(), &fixed_mode(RecoveryMode::Wait))
+                .unwrap();
+        let shrink = chaos_policy(
+            &plan,
+            1,
+            TelemetrySink::disabled(),
+            &fixed_mode(RecoveryMode::Shrink),
+        )
+        .unwrap();
+        assert!(wait.is_green(), "wait violations: {:?}", wait.violations);
+        assert!(
+            shrink.is_green(),
+            "shrink violations: {:?}",
+            shrink.violations
+        );
+        assert_eq!(shrink.mode, "shrink");
+        // Shrink never touches the (dead) control plane.
+        assert_eq!(shrink.retry_attempts, 0);
+        assert!(wait.retry_attempts > 0, "wait must stall on the outage");
+        let sw = &shrink.waves[0];
+        assert_eq!(sw.case, RecoveryCase::HardwareFromCpu);
+        assert!(
+            sw.degraded.as_deref().unwrap_or("").contains("shrink"),
+            "degraded = {:?}",
+            sw.degraded
+        );
+        // Both preemptions land in one wave; the survivors carry on at
+        // 14/16 width long before the outage lifts.
+        assert!(
+            sw.downtime < wait.waves[0].downtime,
+            "shrink {:?} vs wait {:?}",
+            sw.downtime,
+            wait.waves[0].downtime
+        );
+        assert!(shrink.final_iteration > sw.resumed_from_iteration);
+        // During the crunch, shrinking wastes less total time than
+        // waiting out the operator outage.
+        assert!(
+            shrink.wasted.total() < wait.wasted.total(),
+            "shrink {:?} vs wait {:?}",
+            shrink.wasted.total(),
+            wait.wasted.total()
+        );
+        assert!(check_policy_preserves_commits(&shrink, &wait).is_empty());
+    }
+
+    #[test]
+    fn step_up_mode_recovers_through_the_hot_spare() {
+        // The step-up comparator pre-allocates a standby, so the benign
+        // spot preemption recovers at activation speed instead of paying
+        // a fresh reserve.
+        let plan = ChaosPlan::spot_preemption_notice();
+        let wait =
+            chaos_policy(&plan, 1, TelemetrySink::disabled(), &fixed_mode(RecoveryMode::Wait))
+                .unwrap();
+        let step = chaos_policy(
+            &plan,
+            1,
+            TelemetrySink::disabled(),
+            &fixed_mode(RecoveryMode::StepUp),
+        )
+        .unwrap();
+        assert!(wait.is_green() && step.is_green());
+        assert_eq!(step.mode, "step_up");
+        assert!(
+            step.waves[0].downtime < wait.waves[0].downtime,
+            "step {:?} vs wait {:?}",
+            step.waves[0].downtime,
+            wait.waves[0].downtime
+        );
+    }
+
+    #[test]
+    fn adaptive_switches_to_shrink_in_a_capacity_crunch() {
+        let plan = ChaosPlan::spot_capacity_crunch();
+        let adaptive =
+            chaos_policy(&plan, 1, TelemetrySink::disabled(), &PolicySpec::adaptive())
+                .unwrap();
+        assert!(adaptive.is_green(), "violations: {:?}", adaptive.violations);
+        // The 25-minute outage blows the replacement wait past the
+        // shrink degradation cost well before the preemptions land, so
+        // the engine switches to shrink, absorbs both preemptions by
+        // repartitioning onto the survivors, and — once the outage lifts
+        // and waiting is cheap again — switches back.
+        assert!(adaptive.mode_switches >= 1, "no mode switch fired");
+        assert!(adaptive
+            .waves
+            .iter()
+            .any(|w| w.degraded.as_deref().unwrap_or("").contains("shrink")));
+        // Render carries the mode columns.
+        assert!(adaptive.render().contains("mode="));
+        assert!(adaptive.render().contains("mode_switches="));
+    }
+
+    #[test]
+    fn moe_chaos_plan_is_green_and_byte_identical() {
+        let plan = ChaosPlan::moe_kill_mid_checkpoint();
+        let a = chaos_with(&plan, 1, TelemetrySink::disabled()).unwrap();
+        let b = chaos_with(&plan, 1, TelemetrySink::enabled()).unwrap();
+        assert!(a.is_green(), "violations: {:?}", a.violations);
+        assert_eq!(a.waves.len(), 1);
+        assert_eq!(a.waves[0].case, RecoveryCase::HardwareFromCpu);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn shrink_runs_are_byte_identical_across_sinks() {
+        let plan = ChaosPlan::spot_capacity_crunch();
+        let spec = fixed_mode(RecoveryMode::Shrink);
+        let a = chaos_policy(&plan, 7, TelemetrySink::disabled(), &spec).unwrap();
+        let b = chaos_policy(&plan, 7, TelemetrySink::enabled(), &spec).unwrap();
+        assert_eq!(a.render(), b.render());
     }
 }

@@ -47,7 +47,7 @@ impl DesCampaignConfig {
     /// The paper's Fig. 15 configuration: software failures only.
     pub fn software_only(failures_per_day: f64, seed: u64) -> DesCampaignConfig {
         DesCampaignConfig {
-            scenario: Deployment::gpt2_100b_p4d(),
+            scenario: Deployment::dense_gpt2_100b_p4d(),
             horizon: SimDuration::from_hours(7 * 24),
             failures_per_day,
             hardware_fraction: 0.0,

@@ -18,7 +18,8 @@
 use crate::scenario::{GeminiSystem, Deployment};
 use gemini_cluster::{CloudOperator, FailureKind, OperatorConfig};
 use gemini_core::agents::{RootAgent, WorkerAgent};
-use gemini_core::recovery::{RecoveryCase, RecoveryPlan, RecoveryPlanner};
+use gemini_core::policy::RecoveryMode;
+use gemini_core::recovery::{RecoveryCase, RecoveryPlan, RecoveryPlanner, ShrinkPlan};
 use gemini_core::GeminiError;
 use gemini_kvstore::KvStore;
 use gemini_sim::{Context, Engine, Model, SimDuration, SimTime};
@@ -56,6 +57,10 @@ pub struct DrillConfig {
     pub operator: OperatorConfig,
     /// RNG seed.
     pub seed: u64,
+    /// How hardware losses are absorbed: wait for replacements (the
+    /// paper's behaviour), shrink-and-continue on the survivors, or
+    /// step-up from a pre-provisioned hot spare.
+    pub mode: RecoveryMode,
 }
 
 impl DrillConfig {
@@ -63,11 +68,12 @@ impl DrillConfig {
     /// iteration 4, no standby machines.
     pub fn fig14() -> DrillConfig {
         DrillConfig {
-            scenario: Deployment::gpt2_100b_p4d(),
+            scenario: Deployment::dense_gpt2_100b_p4d(),
             failures: vec![(5, FailureKind::Hardware)],
             fail_during_iteration: 4,
             operator: OperatorConfig::default(),
             seed: 1,
+            mode: RecoveryMode::Wait,
         }
     }
 }
@@ -92,6 +98,12 @@ pub struct DrillReport {
     pub total_downtime: SimDuration,
     /// Which recovery mechanism applied.
     pub case: RecoveryCase,
+    /// The recovery mode the drill ran under.
+    pub mode: RecoveryMode,
+    /// The shrink repartition, when [`DrillConfig::mode`] was
+    /// [`RecoveryMode::Shrink`] and a hardware loss actually shrank the
+    /// job (`None` otherwise).
+    pub shrink: Option<ShrinkPlan>,
     /// The iteration training rolled back to.
     pub resumed_from_iteration: u64,
     /// The iteration the failure interrupted.
@@ -109,14 +121,24 @@ impl DrillReport {
     /// against (the [`DrillReport::events`] log is deliberately excluded
     /// — it is only populated under an enabled sink).
     pub fn render(&self) -> String {
+        let shrink = match &self.shrink {
+            None => String::new(),
+            Some(plan) => format!(
+                "shrink survivors={} moves={} throughput_factor={:.3}\n",
+                plan.survivors.len(),
+                plan.moves.len(),
+                plan.throughput_factor,
+            ),
+        };
         format!(
-            "drill case={:?}\n\
+            "drill case={:?} mode={}\n\
              failed_at={:.3}s failed_iteration={}\n\
              detect={:.3}s serialize={:.3}s replacement={:.3}s \
              retrieval={:.3}s warmup={:.3}s\n\
              total_downtime={:.3}s resumed_from_iteration={}\n\
-             detecting_root={}\n",
+             detecting_root={}\n{shrink}",
             self.case,
+            self.mode.label(),
             self.failed_at.as_secs_f64(),
             self.failed_iteration,
             self.detect_latency.as_secs_f64(),
@@ -152,6 +174,7 @@ struct DrillModel {
     operator: CloudOperator,
     failures: Vec<(usize, FailureKind)>,
     fail_during_iteration: u64,
+    mode: RecoveryMode,
     // progress state
     current_iteration: u64,
     training_blocked: bool,
@@ -164,6 +187,7 @@ struct DrillModel {
     replacements_pending: usize,
     replacement_ready_at: Option<SimTime>,
     plan: Option<RecoveryPlan>,
+    shrink: Option<ShrinkPlan>,
     retrieval_started: Option<SimTime>,
     retrieval_finished: Option<SimTime>,
     resumed_at: Option<SimTime>,
@@ -191,10 +215,49 @@ impl DrillModel {
 
     fn maybe_start_retrieval(&mut self, ctx: &mut Context<'_, Ev>) {
         if self.plan.is_some()
+            || self.shrink.is_some()
             || !self.serialize_done
             || self.replacements_pending > 0
             || self.detected_at.is_none()
         {
+            return;
+        }
+        let hw_down: std::collections::BTreeSet<usize> = self
+            .failures
+            .iter()
+            .filter(|(_, k)| *k == FailureKind::Hardware)
+            .map(|(r, _)| *r)
+            .collect();
+        if self.mode == RecoveryMode::Shrink && !hw_down.is_empty() {
+            // Shrink-and-continue: survivors adopt the lost shards; no
+            // replacement machines are involved.
+            let plan = match RecoveryPlanner.plan_shrink(&self.sys.store, &hw_down) {
+                Ok(plan) => plan,
+                Err(err) => return self.abort(ctx, err),
+            };
+            for mv in &plan.moves {
+                if mv.tier != gemini_core::ckpt::StorageTier::Persistent {
+                    if let Err(err) =
+                        self.sys.store.adopt_shard(mv.owner, mv.to, plan.iteration)
+                    {
+                        return self.abort(ctx, err);
+                    }
+                }
+            }
+            let slowest = plan.retrieval_makespan(
+                self.sys.scenario.ckpt_bytes_per_machine(),
+                self.sys.scenario.machines,
+                &self.sys.scenario.instance.ckpt_net_cost(),
+                &self.sys.scenario.instance.copy_cost(),
+                &self.sys.scenario.storage_cost(),
+            );
+            self.sink.event(ctx.now(), || TelemetryEvent::RetrievalStarted {
+                case: format!("{:?}", plan.case),
+                rollback_to: plan.iteration,
+            });
+            self.retrieval_started = Some(ctx.now());
+            self.shrink = Some(plan);
+            ctx.schedule_after(slowest, Ev::RetrievalDone);
             return;
         }
         let planner = RecoveryPlanner;
@@ -297,9 +360,10 @@ impl Model for DrillModel {
                                 ranks: report.alive.len(),
                             });
                         ctx.schedule_after(self.sys.serialize_time(), Ev::SerializeDone);
-                        // Request replacements for hardware failures.
+                        // Request replacements for hardware failures —
+                        // unless the job shrinks onto the survivors.
                         for &(rank, kind) in &self.failures.clone() {
-                            if kind == FailureKind::Hardware {
+                            if kind == FailureKind::Hardware && self.mode != RecoveryMode::Shrink {
                                 if self.sys.cluster.begin_replacement(rank).is_err() {
                                     return self.abort(
                                         ctx,
@@ -376,9 +440,10 @@ impl Model for DrillModel {
                         return self.abort(ctx, GeminiError::Coordination("software restart"));
                     }
                 }
-                let resume_iter = match self.plan.as_ref() {
-                    Some(plan) => plan.iteration,
-                    None => {
+                let resume_iter = match (self.plan.as_ref(), self.shrink.as_ref()) {
+                    (Some(plan), _) => plan.iteration,
+                    (None, Some(shrink)) => shrink.iteration,
+                    (None, None) => {
                         return self.abort(
                             ctx,
                             GeminiError::Coordination("recovery plan missing at resume"),
@@ -471,15 +536,23 @@ pub(crate) fn execute_drill(
         .map(|r| RootAgent::new(&format!("machine-{r}"), &gcfg))
         .collect();
 
+    // Step-up recovery pre-provisions one hot spare on top of whatever
+    // standbys the operator already keeps: replacements activate in
+    // seconds instead of the 4–7 min ASG window.
+    let mut operator_cfg = config.operator;
+    if config.mode == RecoveryMode::StepUp {
+        operator_cfg.standbys += 1;
+    }
     let mut model = DrillModel {
         sys,
         kv,
         sink: sink.clone(),
         workers,
         roots,
-        operator: CloudOperator::new(config.operator).with_telemetry(sink.clone()),
+        operator: CloudOperator::new(operator_cfg).with_telemetry(sink.clone()),
         failures: config.failures.clone(),
         fail_during_iteration: config.fail_during_iteration,
+        mode: config.mode,
         current_iteration: 0,
         training_blocked: false,
         failed_at: None,
@@ -491,6 +564,7 @@ pub(crate) fn execute_drill(
         replacements_pending: 0,
         replacement_ready_at: None,
         plan: None,
+        shrink: None,
         retrieval_started: None,
         retrieval_finished: None,
         resumed_at: None,
@@ -524,10 +598,13 @@ pub(crate) fn execute_drill(
         .detected_at
         .ok_or(GeminiError::NoCheckpointAvailable)?;
     let resumed_at = model.resumed_at.ok_or(GeminiError::NoCheckpointAvailable)?;
-    let plan = model
-        .plan
-        .as_ref()
-        .ok_or(GeminiError::Coordination("recovery plan missing at resume"))?;
+    let (case, resumed_iter) = match (model.plan.as_ref(), model.shrink.as_ref()) {
+        (Some(plan), _) => (plan.case, plan.iteration),
+        (None, Some(shrink)) => (shrink.case, shrink.iteration),
+        (None, None) => {
+            return Err(GeminiError::Coordination("recovery plan missing at resume"))
+        }
+    };
     let serialize_time = model
         .serialize_finished
         .zip(model.serialize_started)
@@ -573,7 +650,7 @@ pub(crate) fn execute_drill(
         sink.observe_us_labeled(
             "recovery.retrieval_us",
             "tier",
-            case_tier_label(plan.case),
+            case_tier_label(case),
             || us(retrieval_time),
         );
         sink.observe_us("recovery.total_downtime_us", || us(total_downtime));
@@ -602,8 +679,10 @@ pub(crate) fn execute_drill(
         retrieval_time,
         warmup_time: model.sys.scenario.config.restart_warmup,
         total_downtime,
-        case: plan.case,
-        resumed_from_iteration: plan.iteration,
+        case,
+        mode: config.mode,
+        shrink: model.shrink.clone(),
+        resumed_from_iteration: resumed_iter,
         failed_iteration: model.fail_during_iteration,
         detecting_root: model.detecting_root.clone().unwrap_or_default(),
         events: sink.events(),
@@ -910,6 +989,54 @@ mod tests {
         assert!(has(&|e| matches!(e, E::MachineReplaced { .. })));
         assert!(has(&|e| matches!(e, E::RetrievalFinished)));
         assert!(has(&|e| matches!(e, E::TrainingResumed { .. })));
+    }
+
+    #[test]
+    fn shrink_mode_continues_on_the_survivors() {
+        let mut cfg = DrillConfig::fig14();
+        cfg.mode = RecoveryMode::Shrink;
+        let report = run_drill(&cfg).unwrap();
+        assert_eq!(report.mode, RecoveryMode::Shrink);
+        // No replacement machine was requested, let alone waited for.
+        assert_eq!(report.replacement_wait, SimDuration::ZERO);
+        let plan = report.shrink.as_ref().unwrap();
+        assert_eq!(plan.survivors.len(), 15);
+        assert_eq!(plan.moves.len(), 1);
+        assert!((plan.throughput_factor - 15.0 / 16.0).abs() < 1e-12);
+        assert_eq!(report.case, RecoveryCase::HardwareFromCpu);
+        assert_eq!(report.resumed_from_iteration, 3);
+        // Skipping the 4–7 min ASG wait beats the paper's wait mode.
+        let wait = run_drill(&DrillConfig::fig14()).unwrap();
+        assert!(report.total_downtime < wait.total_downtime);
+        let text = report.render();
+        assert!(text.contains("mode=shrink"), "render:\n{text}");
+        assert!(text.contains("survivors=15 moves=1"), "render:\n{text}");
+    }
+
+    #[test]
+    fn step_up_mode_activates_a_hot_spare() {
+        let mut cfg = DrillConfig::fig14();
+        cfg.mode = RecoveryMode::StepUp;
+        let report = run_drill(&cfg).unwrap();
+        assert_eq!(report.mode, RecoveryMode::StepUp);
+        // The spare activates in seconds, not the 4–7 min ASG window.
+        assert!(report.replacement_wait.as_secs_f64() < 40.0);
+        assert!(report.shrink.is_none());
+        assert!(report.render().contains("mode=step_up"));
+        let wait = run_drill(&DrillConfig::fig14()).unwrap();
+        assert!(report.total_downtime < wait.total_downtime);
+    }
+
+    #[test]
+    fn shrink_mode_with_software_failure_restarts_in_place() {
+        // Software failures never shrink: the process restarts locally
+        // exactly as in wait mode.
+        let mut cfg = DrillConfig::fig14();
+        cfg.failures = vec![(5, FailureKind::Software)];
+        cfg.mode = RecoveryMode::Shrink;
+        let report = run_drill(&cfg).unwrap();
+        assert_eq!(report.case, RecoveryCase::SoftwareLocal);
+        assert!(report.shrink.is_none());
     }
 
     #[test]

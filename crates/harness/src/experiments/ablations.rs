@@ -42,7 +42,7 @@ pub struct ReplicaRow {
 
 /// Sweeps the replica count on the GPT-2 100B / 16×p4d scenario.
 pub fn replicas_ablation() -> Vec<ReplicaRow> {
-    let scenario = Deployment::gpt2_100b_p4d();
+    let scenario = Deployment::dense_gpt2_100b_p4d();
     let per_machine = scenario.ckpt_bytes_per_machine();
     (1..=4)
         .map(|m| {
@@ -118,7 +118,7 @@ pub struct GammaRow {
 /// Sweeps γ on the tighter GPT-2 40B / p3dn scenario, where idle time is
 /// scarce enough for γ to matter.
 pub fn gamma_ablation() -> Vec<GammaRow> {
-    let scenario = Deployment::gpt2_40b_p3dn();
+    let scenario = Deployment::dense_gpt2_40b_p3dn();
     let mut rng = DetRng::new(5);
     let profile = scenario.profile(&mut rng);
     [0.2, 0.4, 0.6, 0.8, 1.0]
@@ -182,7 +182,7 @@ pub struct SubBufferRow {
 
 /// Sweeps the pipeline depth for the 100B checkpoint stream.
 pub fn sub_buffers_ablation() -> Vec<SubBufferRow> {
-    let scenario = Deployment::gpt2_100b_p4d();
+    let scenario = Deployment::dense_gpt2_100b_p4d();
     let chunk = scenario.config.sub_buffer_size() * scenario.instance.gpus as u64;
     let n_chunks = scenario.ckpt_bytes_per_machine().div_ceil_by(chunk) as usize;
     let chunks = vec![chunk; n_chunks];

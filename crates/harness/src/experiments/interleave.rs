@@ -8,7 +8,7 @@ use gemini_sim::DetRng;
 /// Regenerates Figure 16: iteration time of GPT-2 40B on 16 p3dn under the
 /// five checkpointing-to-CPU-memory schemes.
 pub fn fig16() -> Vec<SchemeOutcome> {
-    let scenario = Deployment::gpt2_40b_p3dn();
+    let scenario = Deployment::dense_gpt2_40b_p3dn();
     let mut rng = DetRng::new(16);
     let profile = scenario.profile(&mut rng);
     InterleaveScheme::all()

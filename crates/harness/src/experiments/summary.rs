@@ -60,7 +60,7 @@ pub fn headline_claims() -> Vec<Claim> {
     });
 
     // "optimal checkpoint frequency, i.e., every iteration"
-    let sys = Deployment::gpt2_100b_p4d()
+    let sys = Deployment::dense_gpt2_100b_p4d()
         .build_system(13)
         .expect("scenario assembles");
     claims.push(Claim {

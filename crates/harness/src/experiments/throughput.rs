@@ -23,13 +23,12 @@ pub struct ThroughputRow {
 }
 
 fn run(model: &'static ModelConfig, instance: &'static InstanceType) -> ThroughputRow {
-    let scenario = Deployment {
+    let scenario = Deployment::with_workload(
         model,
         instance,
-        machines: 16,
-        config: Default::default(),
-        rack_topology: None,
-    };
+        16,
+        gemini_training::WorkloadSpec::dense(),
+    );
     let sys = scenario
         .build_system(11)
         .expect("paper scenarios always assemble");

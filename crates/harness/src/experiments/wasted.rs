@@ -93,7 +93,7 @@ pub struct Fig10Row {
 /// Regenerates Figure 10: average wasted time of GPT-2 100B on 16 p4d with
 /// 0/1/2 replaced instances.
 pub fn fig10() -> Vec<Fig10Row> {
-    let scenario = Deployment::gpt2_100b_p4d();
+    let scenario = Deployment::dense_gpt2_100b_p4d();
     let sys = scenario.build_system(13).expect("scenario assembles");
     let iter = sys.iteration_time();
     let setup = remote_setup(&scenario, iter);
@@ -174,7 +174,7 @@ pub struct Fig11Row {
 /// Regenerates Figure 11: checkpoint-time reduction vs instances at
 /// 100/200/400 Gbps training networks.
 pub fn fig11() -> Vec<Fig11Row> {
-    let scenario = Deployment::gpt2_100b_p4d();
+    let scenario = Deployment::dense_gpt2_100b_p4d();
     let total = scenario.ckpt_bytes_total();
     let storage = scenario.storage_cost();
     let baseline = persistent_ckpt_time(total, &storage).as_secs_f64();
@@ -236,7 +236,7 @@ pub struct Fig12Row {
 
 /// Regenerates Figure 12: checkpoint frequencies.
 pub fn fig12() -> Vec<Fig12Row> {
-    let scenario = Deployment::gpt2_100b_p4d();
+    let scenario = Deployment::dense_gpt2_100b_p4d();
     let sys = scenario.build_system(13).expect("scenario assembles");
     let iter = sys.iteration_time();
     let setup = remote_setup(&scenario, iter);

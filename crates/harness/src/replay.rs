@@ -130,7 +130,7 @@ mod tests {
 
     #[test]
     fn gpt2_100b_schedule_confirmed_by_replay() {
-        let (timeline, schedule, net, copy) = setup(Deployment::gpt2_100b_p4d());
+        let (timeline, schedule, net, copy) = setup(Deployment::dense_gpt2_100b_p4d());
         let report = replay_schedule(&timeline, &schedule, &net, &copy);
         assert_eq!(report.displaced, 0, "{report:?}");
         assert!(report.confirmed, "{report:?}");
@@ -139,7 +139,7 @@ mod tests {
 
     #[test]
     fn gpt2_40b_p3dn_schedule_confirmed_by_replay() {
-        let (timeline, schedule, net, copy) = setup(Deployment::gpt2_40b_p3dn());
+        let (timeline, schedule, net, copy) = setup(Deployment::dense_gpt2_40b_p3dn());
         let report = replay_schedule(&timeline, &schedule, &net, &copy);
         assert_eq!(report.displaced, 0, "{report:?}");
         assert!(report.confirmed, "{report:?}");
@@ -149,7 +149,7 @@ mod tests {
     fn shifted_schedule_is_caught() {
         // Shifting the chunks earlier rams them into training traffic; the
         // replay must detect the displacement.
-        let (timeline, schedule, net, copy) = setup(Deployment::gpt2_100b_p4d());
+        let (timeline, schedule, net, copy) = setup(Deployment::dense_gpt2_100b_p4d());
         let report = replay_shifted(&timeline, &schedule, &net, &copy, SimDuration::from_secs(2));
         assert!(report.displaced > 0, "{report:?}");
         assert!(!report.confirmed);
@@ -158,7 +158,7 @@ mod tests {
 
     #[test]
     fn replay_of_empty_schedule_is_trivially_confirmed() {
-        let (timeline, mut schedule, net, copy) = setup(Deployment::gpt2_100b_p4d());
+        let (timeline, mut schedule, net, copy) = setup(Deployment::dense_gpt2_100b_p4d());
         schedule.placed.clear();
         let report = replay_schedule(&timeline, &schedule, &net, &copy);
         assert!(report.confirmed);

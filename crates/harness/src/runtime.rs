@@ -340,6 +340,10 @@ impl GeminiRuntime {
                 self.sys.retrieval_time(StorageTier::RemoteCpu),
                 self.sys.retrieval_time(StorageTier::Persistent),
             )),
+            // The runtime trains a healthy fleet between explicit fault
+            // injections; mode signals stay at the quiet defaults so the
+            // engine never proposes leaving Wait here.
+            mode: gemini_core::policy::ModeSignals::default(),
         }
     }
 
@@ -656,7 +660,7 @@ mod tests {
 
     fn runtime() -> GeminiRuntime {
         GeminiRuntime::launch(
-            Deployment::gpt2_100b_p4d(),
+            Deployment::dense_gpt2_100b_p4d(),
             OperatorConfig::default(),
             2_048,
             7,
@@ -799,7 +803,7 @@ mod tests {
             },
         );
         let mut rt = GeminiRuntime::launch_with_policy(
-            Deployment::gpt2_100b_p4d(),
+            Deployment::dense_gpt2_100b_p4d(),
             OperatorConfig::default(),
             1_024,
             7,
@@ -830,7 +834,7 @@ mod tests {
             },
         );
         let mut rt = GeminiRuntime::launch_with_policy(
-            Deployment::gpt2_100b_p4d(),
+            Deployment::dense_gpt2_100b_p4d(),
             OperatorConfig::default(),
             1_024,
             7,
@@ -861,7 +865,7 @@ mod tests {
         let run = || {
             let spec = PolicySpec::adaptive();
             let mut rt = GeminiRuntime::launch_with_policy(
-                Deployment::gpt2_100b_p4d(),
+                Deployment::dense_gpt2_100b_p4d(),
                 OperatorConfig::default(),
                 1_024,
                 7,
@@ -903,7 +907,7 @@ mod tests {
     fn standby_operator_shrinks_downtime() {
         let mk = |standbys| {
             let mut rt = GeminiRuntime::launch(
-                Deployment::gpt2_100b_p4d(),
+                Deployment::dense_gpt2_100b_p4d(),
                 OperatorConfig::with_standbys(standbys),
                 1_024,
                 7,

@@ -8,7 +8,7 @@ use gemini_core::timing;
 use gemini_core::{GeminiConfig, GeminiError, HierarchicalStore, Placement};
 use gemini_net::{ByteSize, TransferCost};
 use gemini_sim::{DetRng, SimDuration};
-use gemini_training::{IdleProfile, ModelConfig, OnlineProfiler, TimelineBuilder};
+use gemini_training::{IdleProfile, ModelConfig, OnlineProfiler, TimelineBuilder, WorkloadSpec};
 
 /// The old name of [`Deployment`]. `Scenario` at the crate root now names
 /// the builder-style run API ([`crate::Scenario`]).
@@ -30,29 +30,75 @@ pub struct Deployment {
     /// relabeled round-robin across racks so no placement group dies with
     /// a single top-of-rack switch (extension; §6.1 motivates it).
     pub rack_topology: Option<Topology>,
+    /// The training recipe: dense ZeRO-3 (the paper's setting) or
+    /// expert-parallel MoE with sparse checkpointing.
+    pub workload: WorkloadSpec,
 }
 
 impl Deployment {
-    /// The paper's main evaluation setting: GPT-2 100B on 16 p4d.24xlarge.
-    pub fn gpt2_100b_p4d() -> Deployment {
+    /// A deployment of `model` on `machines` machines of `instance`,
+    /// running an explicit [`WorkloadSpec`].
+    pub fn with_workload(
+        model: &'static ModelConfig,
+        instance: &'static InstanceType,
+        machines: usize,
+        workload: WorkloadSpec,
+    ) -> Deployment {
         Deployment {
-            model: ModelConfig::gpt2_100b(),
-            instance: InstanceType::p4d(),
-            machines: 16,
+            model,
+            instance,
+            machines,
             config: GeminiConfig::default(),
             rack_topology: None,
+            workload,
         }
     }
 
-    /// The Fig. 16 setting: GPT-2 40B on 16 p3dn.24xlarge.
+    /// The paper's main evaluation setting: dense GPT-2 100B on 16
+    /// p4d.24xlarge.
+    pub fn dense_gpt2_100b_p4d() -> Deployment {
+        Deployment::with_workload(
+            ModelConfig::gpt2_100b(),
+            InstanceType::p4d(),
+            16,
+            WorkloadSpec::dense(),
+        )
+    }
+
+    /// The MoE variant of the main setting: GPT-2 100B re-shaped into an
+    /// expert-parallel mixture-of-experts (default gating knobs) on 16
+    /// p4d.24xlarge. Same nominal parameter total, sparse checkpoints.
+    pub fn moe_gpt2_100b_p4d() -> Deployment {
+        Deployment::with_workload(
+            ModelConfig::gpt2_100b(),
+            InstanceType::p4d(),
+            16,
+            WorkloadSpec::moe_default(),
+        )
+    }
+
+    /// The Fig. 16 setting: dense GPT-2 40B on 16 p3dn.24xlarge.
+    pub fn dense_gpt2_40b_p3dn() -> Deployment {
+        Deployment::with_workload(
+            ModelConfig::gpt2_40b(),
+            InstanceType::p3dn(),
+            16,
+            WorkloadSpec::dense(),
+        )
+    }
+
+    /// The old dense-only name of [`Deployment::dense_gpt2_100b_p4d`].
+    #[deprecated(note = "workloads are explicit now; use `dense_gpt2_100b_p4d` (or \
+                         `moe_gpt2_100b_p4d` / `with_workload`)")]
+    pub fn gpt2_100b_p4d() -> Deployment {
+        Deployment::dense_gpt2_100b_p4d()
+    }
+
+    /// The old dense-only name of [`Deployment::dense_gpt2_40b_p3dn`].
+    #[deprecated(note = "workloads are explicit now; use `dense_gpt2_40b_p3dn` (or \
+                         `with_workload`)")]
     pub fn gpt2_40b_p3dn() -> Deployment {
-        Deployment {
-            model: ModelConfig::gpt2_40b(),
-            instance: InstanceType::p3dn(),
-            machines: 16,
-            config: GeminiConfig::default(),
-            rack_topology: None,
-        }
+        Deployment::dense_gpt2_40b_p3dn()
     }
 
     /// Wraps this deployment in a shareable copy-on-write snapshot: the
@@ -81,7 +127,7 @@ impl Deployment {
 
     /// Builds the iteration-timeline generator for this scenario.
     pub fn timeline_builder(&self) -> TimelineBuilder {
-        TimelineBuilder::new(self.model, self.instance, self.machines)
+        TimelineBuilder::with_workload(self.model, self.instance, self.machines, self.workload)
     }
 
     /// Runs the online profiler over `config.profile_iterations` jittered
@@ -196,7 +242,7 @@ mod tests {
 
     #[test]
     fn main_scenario_assembles() {
-        let sys = Deployment::gpt2_100b_p4d().build_system(1).unwrap();
+        let sys = Deployment::dense_gpt2_100b_p4d().build_system(1).unwrap();
         assert_eq!(sys.cluster.len(), 16);
         assert_eq!(sys.placement.machines(), 16);
         assert!(sys.schedule.is_interference_free());
@@ -209,14 +255,14 @@ mod tests {
     fn serialize_time_is_about_162s() {
         // §7.3: 162 s to serialize the two checkpoint replicas a machine
         // holds (2 × 75 GB at ≈0.93 GB/s).
-        let sys = Deployment::gpt2_100b_p4d().build_system(1).unwrap();
+        let sys = Deployment::dense_gpt2_100b_p4d().build_system(1).unwrap();
         let t = sys.serialize_time().as_secs_f64();
         assert!((t - 161.3).abs() < 3.0, "t = {t:.1}");
     }
 
     #[test]
     fn retrieval_ladder() {
-        let sys = Deployment::gpt2_100b_p4d().build_system(1).unwrap();
+        let sys = Deployment::dense_gpt2_100b_p4d().build_system(1).unwrap();
         let local = sys.retrieval_time(StorageTier::LocalCpu);
         let remote = sys.retrieval_time(StorageTier::RemoteCpu);
         let persist = sys.retrieval_time(StorageTier::Persistent);
@@ -226,8 +272,8 @@ mod tests {
 
     #[test]
     fn deterministic_build() {
-        let a = Deployment::gpt2_100b_p4d().build_system(7).unwrap();
-        let b = Deployment::gpt2_100b_p4d().build_system(7).unwrap();
+        let a = Deployment::dense_gpt2_100b_p4d().build_system(7).unwrap();
+        let b = Deployment::dense_gpt2_100b_p4d().build_system(7).unwrap();
         assert_eq!(a.profile.iteration_time, b.profile.iteration_time);
         assert_eq!(
             a.schedule.outcome.ckpt_network_time,
@@ -237,7 +283,7 @@ mod tests {
 
     #[test]
     fn rack_aware_scenario_assembles_and_spans_racks() {
-        let mut scenario = Deployment::gpt2_100b_p4d();
+        let mut scenario = Deployment::dense_gpt2_100b_p4d();
         scenario.rack_topology = Some(Topology::contiguous(16, 4).unwrap());
         let sys = scenario.build_system(3).unwrap();
         let topo = scenario.rack_topology.as_ref().unwrap();
@@ -254,7 +300,7 @@ mod tests {
 
     #[test]
     fn p3dn_scenario_assembles() {
-        let sys = Deployment::gpt2_40b_p3dn().build_system(2).unwrap();
+        let sys = Deployment::dense_gpt2_40b_p3dn().build_system(2).unwrap();
         assert!(sys.schedule.outcome.overhead < SimDuration::from_secs(1));
     }
 }

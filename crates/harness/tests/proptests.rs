@@ -34,7 +34,7 @@ fn op_strategy(machines: usize) -> impl Strategy<Value = Op> {
 }
 
 fn small_runtime(seed: u64) -> GeminiRuntime {
-    let mut scenario = Deployment::gpt2_40b_p3dn();
+    let mut scenario = Deployment::dense_gpt2_40b_p3dn();
     scenario.machines = 8;
     scenario.config.profile_iterations = 3;
     GeminiRuntime::launch(scenario, OperatorConfig::with_standbys(1), 512, seed)
@@ -131,7 +131,7 @@ proptest! {
     #[test]
     fn adaptive_chaos_runs_are_byte_identical_per_seed(
         seed in any::<u64>(),
-        plan_idx in 0usize..9,
+        plan_idx in 0usize..12,
     ) {
         let plan = ChaosPlan::catalog()
             .into_iter()
@@ -171,6 +171,54 @@ proptest! {
         prop_assert_eq!(run(1), run(jobs));
     }
 
+    // Shrink-and-continue runs obey the same determinism contract as
+    // everything else: under a pinned `mode_shrink` policy, the spot and
+    // capacity-crunch plans render byte-identically across `--jobs`
+    // counts and with the telemetry sink on or off.
+    #[test]
+    fn fixed_mode_shrink_runs_are_jobs_and_sink_invariant(
+        seed in any::<u64>(),
+        jobs in 2usize..5,
+    ) {
+        let plans = vec![
+            ChaosPlan::spot_preemption_notice(),
+            ChaosPlan::spot_capacity_crunch(),
+        ];
+        let shrink = || {
+            PolicySpec::Fixed(gemini_core::FixedPolicy {
+                name: "mode_shrink",
+                knobs: gemini_core::PolicyKnobs::with_mode(
+                    gemini_core::RecoveryMode::Shrink,
+                ),
+            })
+        };
+        let campaign = |j: usize| {
+            Scenario::chaos_campaign(plans.clone())
+                .seeds(&[seed])
+                .jobs(j)
+                .policy(shrink())
+                .run()
+                .expect("campaign")
+                .iter()
+                .map(|r| r.render())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(campaign(1), campaign(jobs));
+        let single = |sink: TelemetrySink| {
+            Scenario::chaos(ChaosPlan::spot_capacity_crunch())
+                .seed(seed)
+                .sink(sink)
+                .policy(shrink())
+                .run()
+                .expect("chaos run")
+                .render()
+        };
+        prop_assert_eq!(
+            single(TelemetrySink::disabled()),
+            single(TelemetrySink::enabled())
+        );
+    }
+
     // The flight recorder is an observer: the causal trace, the stitched
     // incidents, the attribution rows and the rendered postmortem must be
     // byte-identical across `--jobs` counts and with the telemetry sink
@@ -179,7 +227,7 @@ proptest! {
     #[test]
     fn incident_analysis_is_deterministic_and_exact(
         seed in any::<u64>(),
-        plan_idx in 0usize..9,
+        plan_idx in 0usize..12,
         jobs in 2usize..5,
     ) {
         let plan = ChaosPlan::catalog()

@@ -94,8 +94,8 @@ impl ServiceEngine {
             .collect();
         ServiceEngine {
             catalog: vec![
-                Deployment::gpt2_100b_p4d().snapshot(),
-                Deployment::gpt2_40b_p3dn().snapshot(),
+                Deployment::dense_gpt2_100b_p4d().snapshot(),
+                Deployment::dense_gpt2_40b_p3dn().snapshot(),
             ],
             plans,
             memo: RecoveryMemo::new(),
@@ -218,13 +218,12 @@ impl ServiceEngine {
                 return base.fork();
             }
         }
-        Deployment {
-            model: q.model,
-            instance: q.instance,
-            machines: q.machines,
-            config: Default::default(),
-            rack_topology: None,
-        }
+        Deployment::with_workload(
+            q.model,
+            q.instance,
+            q.machines,
+            gemini_training::WorkloadSpec::dense(),
+        )
         .snapshot()
         .fork()
     }
@@ -236,6 +235,9 @@ impl ServiceEngine {
         }
         if fork.get().config.replicas != q.replicas {
             fork.make_mut().config.replicas = q.replicas;
+        }
+        if fork.get().workload != q.workload {
+            fork.make_mut().workload = q.workload;
         }
         let report = Scenario::drill_from_fork(
             fork,
@@ -253,14 +255,12 @@ impl ServiceEngine {
     }
 
     fn answer_recoverability(&self, q: &RecoverabilityQuery) -> Result<String, String> {
-        let deployment = Deployment {
-            model: gemini_training::ModelConfig::gpt2_100b(),
-            instance: gemini_cluster::InstanceType::p4d(),
-            machines: q.machines,
-            config: Default::default(),
-            rack_topology: None,
-        };
-        let mut deployment = deployment;
+        let mut deployment = Deployment::with_workload(
+            gemini_training::ModelConfig::gpt2_100b(),
+            gemini_cluster::InstanceType::p4d(),
+            q.machines,
+            gemini_training::WorkloadSpec::dense(),
+        );
         deployment.config.replicas = q.replicas;
         let placement = deployment.placement().map_err(|e| e.to_string())?;
         let curve = self.memo.curve(&placement, q.max_k);
@@ -318,6 +318,7 @@ impl ServiceEngine {
         gemini_baselines::fixed_policies()
             .into_iter()
             .chain(gemini_baselines::fixed_scheme_policies())
+            .chain(gemini_baselines::fixed_mode_policies())
             .find(|p| p.name == name)
             .map(PolicySpec::Fixed)
             .ok_or_else(|| format!("unknown policy {name:?}"))
@@ -328,6 +329,9 @@ impl ServiceEngine {
         let mut run = Scenario::chaos(plan).seed(q.seed);
         if let Some(name) = &q.policy {
             run = run.policy(self.policy_spec(name)?);
+        } else if let Some(mode) = q.mode {
+            // `mode` is shorthand for the matching fixed comparator.
+            run = run.policy(self.policy_spec(&format!("mode_{}", mode.label()))?);
         }
         let report = run.run().map_err(|e| e.to_string())?;
         Ok(report.render())

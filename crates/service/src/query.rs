@@ -21,8 +21,9 @@
 
 use crate::json::{self, Json};
 use gemini_cluster::{FailureKind, InstanceType};
+use gemini_core::RecoveryMode;
 use gemini_harness::ChaosPlan;
-use gemini_training::ModelConfig;
+use gemini_training::{ModelConfig, WorkloadSpec};
 
 /// Hard cap on `machines` in a query: large enough for the fleet-scale
 /// paths (10k machines), small enough that a hostile query cannot make
@@ -70,6 +71,9 @@ pub struct DrillQuery {
     pub replicas: usize,
     /// Standby machines held by the cloud operator.
     pub standbys: usize,
+    /// The training recipe: `"dense"` (default) or `"moe"` (the default
+    /// expert-parallel gating knobs with sparse checkpointing).
+    pub workload: WorkloadSpec,
     /// `[rank, kind]` failures, all at the same instant.
     pub failures: Vec<(usize, FailureKind)>,
     /// Which iteration the failure interrupts (1-based).
@@ -96,9 +100,13 @@ pub struct ChaosQuery {
     pub plan: String,
     /// RNG seed.
     pub seed: u64,
-    /// `"adaptive"` or a fixed policy/scheme comparator name; `None`
+    /// `"adaptive"` or a fixed policy/scheme/mode comparator name; `None`
     /// runs the plan without a policy engine.
     pub policy: Option<String>,
+    /// Pin the failure response: `"wait"`, `"shrink"` or `"step_up"`.
+    /// Shorthand for the matching `mode_*` fixed policy; mutually
+    /// exclusive with `policy`.
+    pub mode: Option<RecoveryMode>,
     /// Optional fleet-size override, applied to a fork of the plan's
     /// deployment.
     pub machines: Option<usize>,
@@ -161,12 +169,13 @@ impl Query {
                     .map(|(rank, kind)| format!("{rank}:{}", kind_name(*kind)))
                     .collect();
                 format!(
-                    "drill|model={}|instance={}|machines={}|replicas={}|standbys={}|failures={}|fail_iter={}|seed={}",
+                    "drill|model={}|instance={}|machines={}|replicas={}|standbys={}|workload={}|failures={}|fail_iter={}|seed={}",
                     q.model.name,
                     q.instance.name,
                     q.machines,
                     q.replicas,
                     q.standbys,
+                    q.workload.label(),
                     failures.join(","),
                     q.fail_during_iteration,
                     q.seed,
@@ -177,10 +186,11 @@ impl Query {
                 q.machines, q.replicas, q.max_k
             ),
             QueryKind::Chaos(q) => format!(
-                "chaos|plan={}|seed={}|policy={}|machines={}|replicas={}",
+                "chaos|plan={}|seed={}|policy={}|mode={}|machines={}|replicas={}",
                 q.plan,
                 q.seed,
                 q.policy.as_deref().unwrap_or("-"),
+                q.mode.map_or("-", |m| m.label()),
                 opt(q.machines),
                 opt(q.replicas),
             ),
@@ -288,7 +298,31 @@ fn policy_name_ok(name: &str) -> bool {
         || gemini_baselines::fixed_policies()
             .iter()
             .chain(gemini_baselines::fixed_scheme_policies().iter())
+            .chain(gemini_baselines::fixed_mode_policies().iter())
             .any(|p| p.name == name)
+}
+
+fn workload_field(v: &Json) -> Result<WorkloadSpec, String> {
+    match v.get("workload") {
+        None => Ok(WorkloadSpec::dense()),
+        Some(j) => match j.as_str() {
+            Some("dense") => Ok(WorkloadSpec::dense()),
+            Some("moe") => Ok(WorkloadSpec::moe_default()),
+            _ => Err("\"workload\" must be \"dense\" or \"moe\"".to_string()),
+        },
+    }
+}
+
+fn mode_field(v: &Json) -> Result<Option<RecoveryMode>, String> {
+    match v.get("mode") {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => match j.as_str() {
+            Some("wait") => Ok(Some(RecoveryMode::Wait)),
+            Some("shrink") => Ok(Some(RecoveryMode::Shrink)),
+            Some("step_up") => Ok(Some(RecoveryMode::StepUp)),
+            _ => Err("\"mode\" must be \"wait\", \"shrink\" or \"step_up\"".to_string()),
+        },
+    }
 }
 
 impl DrillQuery {
@@ -309,6 +343,7 @@ impl DrillQuery {
         let replicas = usize_field(v, "replicas", 2)?;
         check_fleet(machines, replicas)?;
         let standbys = usize_field(v, "standbys", 0)?;
+        let workload = workload_field(v)?;
         let fail_during_iteration = u64_field(v, "fail_during_iteration", 4)?;
         if fail_during_iteration == 0 {
             return Err("\"fail_during_iteration\" is 1-based; 0 never strikes".to_string());
@@ -346,6 +381,7 @@ impl DrillQuery {
             machines,
             replicas,
             standbys,
+            workload,
             failures,
             fail_during_iteration,
             seed,
@@ -384,11 +420,20 @@ impl ChaosQuery {
                 Some(name.to_string())
             }
         };
+        let mode = mode_field(v)?;
+        if mode.is_some() && policy.is_some() {
+            return Err(
+                "\"mode\" and \"policy\" are mutually exclusive; \"mode\" is shorthand \
+                 for the matching mode_* fixed policy"
+                    .to_string(),
+            );
+        }
         let (machines, replicas) = override_fields(v)?;
         Ok(ChaosQuery {
             plan,
             seed,
             policy,
+            mode,
             machines,
             replicas,
         })
@@ -487,6 +532,10 @@ mod tests {
             r#"{"kind":"recoverability","max_k":10000}"#,
             r#"{"kind":"chaos","plan":"nope"}"#,
             r#"{"kind":"chaos","plan":"root_churn","policy":"nope"}"#,
+            r#"{"workload":"sparse"}"#,
+            r#"{"workload":7}"#,
+            r#"{"kind":"chaos","plan":"root_churn","mode":"regrow"}"#,
+            r#"{"kind":"chaos","plan":"root_churn","mode":"shrink","policy":"adaptive"}"#,
             r#"{"kind":"lookahead","plan":"root_churn"}"#,
             r#"{"kind":"lookahead","plan":"root_churn","candidates":[]}"#,
             r#"{"kind":"lookahead","plan":"root_churn","candidates":["nope"]}"#,
@@ -512,6 +561,36 @@ mod tests {
         match &q.kind {
             QueryKind::Lookahead(l) => assert_eq!(l.candidates.len(), 2),
             other => panic!("expected lookahead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workload_parses_and_keys_the_canonical_form() {
+        let dense = Query::parse(r#"{"id":"a","kind":"drill"}"#).unwrap();
+        let moe = Query::parse(r#"{"id":"a","kind":"drill","workload":"moe"}"#).unwrap();
+        match &moe.kind {
+            QueryKind::Drill(d) => assert!(d.workload.is_moe()),
+            other => panic!("expected drill, got {other:?}"),
+        }
+        assert!(dense.canonical().contains("workload=dense"));
+        assert!(moe.canonical().contains("workload=moe"));
+        assert_ne!(dense.canonical(), moe.canonical());
+    }
+
+    #[test]
+    fn mode_parses_and_keys_the_canonical_form() {
+        let q = Query::parse(
+            r#"{"id":"m","kind":"chaos","plan":"kill_mid_checkpoint","mode":"shrink"}"#,
+        )
+        .unwrap();
+        match &q.kind {
+            QueryKind::Chaos(c) => assert_eq!(c.mode, Some(RecoveryMode::Shrink)),
+            other => panic!("expected chaos, got {other:?}"),
+        }
+        assert!(q.canonical().contains("mode=shrink"));
+        // Mode comparators are addressable as plain fixed policies too.
+        for name in ["mode_wait", "mode_shrink", "mode_step_up"] {
+            assert!(policy_name_ok(name), "{name} must be a known policy");
         }
     }
 }

@@ -14,13 +14,17 @@
 pub mod data;
 pub mod memory;
 pub mod models;
+pub mod moe;
 pub mod profiler;
 pub mod timeline;
+pub mod workload;
 pub mod zero;
 
 pub use data::{DataLoader, DataLoaderState, SyntheticCorpus};
 pub use memory::MemoryFootprint;
 pub use models::{Architecture, ModelConfig, TABLE2_MODELS};
+pub use moe::{IncrementalTracker, MoeSetup};
 pub use profiler::{IdleProfile, OnlineProfiler};
 pub use timeline::{IterationTimeline, TimelineBuilder};
+pub use workload::{MoeSpec, WorkloadSpec, Zero3Spec};
 pub use zero::Zero3Setup;

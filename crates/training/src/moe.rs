@@ -1,0 +1,297 @@
+//! The expert-parallel MoE step model and sparse-checkpoint arithmetic.
+//!
+//! Grounded in "Sparse Checkpointing for Fast and Reliable MoE Training"
+//! (PAPERS.md): a mixture-of-experts model routes each token to `top_k` of
+//! `experts` expert FFNs, so between two checkpoints only the *recently
+//! updated* experts are dirty and an incremental checkpoint can persist the
+//! dense backbone plus the dirty experts only — strictly no more than the
+//! full checkpoint.
+//!
+//! Sizing keeps the *same nominal parameter total* as the dense model: the
+//! FFN of every `moe_layer_every`-th layer is split into `experts` shards.
+//! Full-checkpoint volume and GPU memory are therefore unchanged, while
+//! per-token compute touches `top_k / experts` of each expert pool and the
+//! expert parameters are never all-gathered (expert parallelism) — tokens
+//! travel to experts via all-to-all dispatch/combine instead.
+//!
+//! Gating is modelled deterministically: expert `e` is touched at iteration
+//! `i` when a split-mix hash of `(i, e)` clears a Zipf-skewed threshold
+//! (`P ∝ 1/(e+1)`, normalized so the expected hot set is ≈ `2·top_k`
+//! experts). Low-index experts are hot and nearly always dirty; the tail is
+//! cold — the activation skew the sparse-checkpointing literature reports.
+
+use crate::models::ModelConfig;
+use crate::workload::MoeSpec;
+use crate::zero::Zero3Setup;
+use gemini_cluster::InstanceType;
+use gemini_net::ByteSize;
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// SplitMix64 finalizer — the deterministic gating hash.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// An MoE model trained with expert parallelism on a cluster.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MoeSetup {
+    /// The underlying ZeRO-3 sharding of the dense backbone.
+    pub zero: Zero3Setup,
+    /// The MoE knobs.
+    pub spec: MoeSpec,
+}
+
+impl MoeSetup {
+    /// Creates a setup for `model` on `machines` machines of `instance`.
+    pub fn new(
+        model: &ModelConfig,
+        instance: &InstanceType,
+        machines: usize,
+        spec: MoeSpec,
+    ) -> Self {
+        MoeSetup {
+            zero: Zero3Setup::new(model, instance, machines),
+            spec,
+        }
+    }
+
+    /// Whether transformer layer `l` (0-based) is an MoE layer: every
+    /// `moe_layer_every`-th layer, starting from the last of each stride so
+    /// `every = 1` makes all layers MoE.
+    pub fn is_moe_layer(&self, layer: usize) -> bool {
+        (layer as u32 + 1) % self.spec.moe_layer_every == 0
+    }
+
+    /// Number of MoE layers in the model.
+    pub fn moe_layer_count(&self) -> usize {
+        (0..self.zero.model.layers as usize)
+            .filter(|&l| self.is_moe_layer(l))
+            .count()
+    }
+
+    /// Fraction of one MoE layer's parameters that live in the expert pool
+    /// (the FFN share).
+    pub fn ffn_fraction(&self) -> f64 {
+        MoeSpec::ffn_fraction(self.zero.model.hidden, self.zero.model.intermediate)
+    }
+
+    /// Fraction of the *total* checkpoint that is expert parameters.
+    pub fn expert_checkpoint_fraction(&self) -> f64 {
+        let per_layer = self.zero.model.layer_params() as f64;
+        let expert_params = self.moe_layer_count() as f64 * per_layer * self.ffn_fraction();
+        expert_params / self.zero.model.params() as f64
+    }
+
+    /// Fraction of the total checkpoint that is the dense backbone
+    /// (embeddings, attention, layer norms, dense-layer FFNs).
+    pub fn backbone_fraction(&self) -> f64 {
+        1.0 - self.expert_checkpoint_fraction()
+    }
+
+    /// Active fraction of an MoE layer's compute relative to its dense
+    /// counterpart: the backbone share in full, plus `top_k / experts` of
+    /// the expert pool.
+    pub fn active_layer_fraction(&self) -> f64 {
+        let ffn = self.ffn_fraction();
+        let active = self.spec.top_k as f64 / self.spec.experts as f64;
+        (1.0 - ffn) + ffn * active
+    }
+
+    /// Global all-to-all payload of one MoE layer's dispatch (or combine):
+    /// every token's fp16 activation travels to its `top_k` experts.
+    pub fn dispatch_payload_bytes(&self) -> ByteSize {
+        let tokens = self.zero.model.tokens_per_gpu() * self.zero.world_size() as u64;
+        ByteSize::from_bytes(
+            tokens
+                * self.spec.top_k as u64
+                * self.zero.model.hidden
+                * crate::models::COMM_BYTES_PER_PARAM,
+        )
+    }
+
+    /// Probability (per 10 000) that expert `e` is touched in one iteration:
+    /// Zipf-skewed routing, normalized so the expected hot set is
+    /// ≈ `min(2·top_k, experts)` experts.
+    pub fn touch_per_10k(&self, expert: usize) -> u64 {
+        let harmonic: f64 = (1..=self.spec.experts).map(|r| 1.0 / r as f64).sum();
+        let hot = (2 * self.spec.top_k).min(self.spec.experts) as f64;
+        let p = (hot / harmonic) / (expert as f64 + 1.0);
+        (p.min(1.0) * 10_000.0) as u64
+    }
+
+    /// The deterministic hot-expert set of iteration `iteration` — the
+    /// experts whose parameters that iteration's optimizer step updates.
+    pub fn touched_experts(&self, iteration: u64) -> Vec<usize> {
+        (0..self.spec.experts)
+            .filter(|&e| {
+                let h = mix64(
+                    (iteration.wrapping_add(1))
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((e as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)),
+                );
+                h % 10_000 < self.touch_per_10k(e)
+            })
+            .collect()
+    }
+
+    /// Expected hot-set size per iteration (sum of touch probabilities).
+    pub fn expected_touched(&self) -> f64 {
+        (0..self.spec.experts)
+            .map(|e| self.touch_per_10k(e) as f64 / 10_000.0)
+            .sum()
+    }
+
+    /// Incremental-checkpoint volume, as a fraction of the full checkpoint,
+    /// when `dirty` experts changed since the last flush: the backbone plus
+    /// the dirty share of the expert pool. Always in `(0, 1]`.
+    pub fn incremental_fraction(&self, dirty: usize) -> f64 {
+        let dirty = dirty.min(self.spec.experts) as f64;
+        self.backbone_fraction()
+            + self.expert_checkpoint_fraction() * dirty / self.spec.experts as f64
+    }
+
+    /// Steady-state incremental fraction with a flush every iteration — the
+    /// estimate the executor uses to price pre-preemption flushes.
+    pub fn steady_incremental_fraction(&self) -> f64 {
+        self.backbone_fraction()
+            + self.expert_checkpoint_fraction() * self.expected_touched()
+                / self.spec.experts as f64
+    }
+
+    /// Incremental-checkpoint bytes per machine for `dirty` dirty experts.
+    pub fn incremental_bytes_per_machine(&self, dirty: usize) -> ByteSize {
+        let full = self.zero.ckpt_bytes_per_machine().as_bytes() as f64;
+        ByteSize::from_bytes((full * self.incremental_fraction(dirty)).round() as u64)
+    }
+}
+
+/// Tracks which experts changed since the last checkpoint flush.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct IncrementalTracker {
+    dirty: BTreeSet<usize>,
+}
+
+impl IncrementalTracker {
+    /// A tracker with no dirty experts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one iteration's hot-expert set.
+    pub fn observe(&mut self, touched: &[usize]) {
+        self.dirty.extend(touched.iter().copied());
+    }
+
+    /// Number of experts dirty since the last flush.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// The dirty experts, sorted.
+    pub fn dirty_experts(&self) -> Vec<usize> {
+        self.dirty.iter().copied().collect()
+    }
+
+    /// Flushes the incremental checkpoint: returns how many experts it had
+    /// to include and marks everything clean.
+    pub fn flush(&mut self) -> usize {
+        let n = self.dirty.len();
+        self.dirty.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::MoeSpec;
+
+    fn setup() -> MoeSetup {
+        MoeSetup::new(
+            ModelConfig::gpt2_100b(),
+            InstanceType::p4d(),
+            16,
+            MoeSpec::default(),
+        )
+    }
+
+    #[test]
+    fn half_the_layers_are_moe() {
+        let s = setup();
+        // 124 layers, every 2nd → 62 MoE layers.
+        assert_eq!(s.moe_layer_count(), 62);
+        assert!(!s.is_moe_layer(0));
+        assert!(s.is_moe_layer(1));
+    }
+
+    #[test]
+    fn fractions_partition_the_checkpoint() {
+        let s = setup();
+        let e = s.expert_checkpoint_fraction();
+        assert!((0.2..0.5).contains(&e), "expert fraction = {e}");
+        assert!((s.backbone_fraction() + e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_fraction_cuts_moe_layer_compute() {
+        let s = setup();
+        let a = s.active_layer_fraction();
+        // top-2 of 8 experts on a ≈2/3-FFN layer → roughly half the flops.
+        assert!((0.3..0.7).contains(&a), "active fraction = {a}");
+    }
+
+    #[test]
+    fn gating_is_deterministic_and_skewed() {
+        let s = setup();
+        for i in 0..50u64 {
+            assert_eq!(s.touched_experts(i), s.touched_experts(i));
+        }
+        // Expert 0 is hot (P = 1 here), the tail is cold.
+        assert!(s.touch_per_10k(0) > s.touch_per_10k(7));
+        let hits7 = (0..200u64)
+            .filter(|&i| s.touched_experts(i).contains(&7))
+            .count();
+        let hits0 = (0..200u64)
+            .filter(|&i| s.touched_experts(i).contains(&0))
+            .count();
+        assert!(hits0 > hits7, "hot {hits0} vs cold {hits7}");
+    }
+
+    #[test]
+    fn incremental_never_exceeds_full() {
+        let s = setup();
+        for dirty in 0..=s.spec.experts {
+            let f = s.incremental_fraction(dirty);
+            assert!(f > 0.0 && f <= 1.0 + 1e-12, "dirty={dirty}: {f}");
+            assert!(
+                s.incremental_bytes_per_machine(dirty) <= s.zero.ckpt_bytes_per_machine(),
+                "dirty={dirty}"
+            );
+        }
+        assert!((s.incremental_fraction(s.spec.experts) - 1.0).abs() < 1e-12);
+        let steady = s.steady_incremental_fraction();
+        assert!(steady < 1.0 && steady > s.backbone_fraction());
+    }
+
+    #[test]
+    fn tracker_accumulates_and_flushes() {
+        let s = setup();
+        let mut t = IncrementalTracker::new();
+        assert_eq!(t.dirty_count(), 0);
+        t.observe(&s.touched_experts(0));
+        t.observe(&s.touched_experts(1));
+        t.observe(&s.touched_experts(0)); // idempotent
+        let d = t.dirty_count();
+        assert!(d >= 1 && d <= s.spec.experts);
+        assert_eq!(t.flush(), d);
+        assert_eq!(t.dirty_count(), 0);
+        assert!(t.dirty_experts().is_empty());
+    }
+}

@@ -20,6 +20,8 @@
 //! 16 p3dn.24xlarge lands near 45 s (Fig. 13/16).
 
 use crate::models::ModelConfig;
+use crate::moe::MoeSetup;
+use crate::workload::WorkloadSpec;
 use crate::zero::Zero3Setup;
 use gemini_cluster::InstanceType;
 use gemini_collectives::{collective_time, CollectiveKind};
@@ -56,6 +58,10 @@ pub enum OpKind {
     ReduceScatter,
     /// Optimizer update (network-silent).
     Update,
+    /// MoE all-to-all sending tokens to their routed experts.
+    ExpertDispatch,
+    /// MoE all-to-all returning expert outputs to the owning ranks.
+    ExpertCombine,
 }
 
 /// One placed operation.
@@ -136,6 +142,7 @@ impl IterationTimeline {
 pub struct TimelineBuilder {
     setup: Zero3Setup,
     instance: InstanceType,
+    workload: WorkloadSpec,
 }
 
 /// Internal FIFO resource tracker used during construction.
@@ -165,11 +172,23 @@ impl FifoTrack {
 }
 
 impl TimelineBuilder {
-    /// Creates a builder for `model` on `machines` machines of `instance`.
+    /// Creates a builder for a dense ZeRO-3 run of `model` on `machines`
+    /// machines of `instance`.
     pub fn new(model: &ModelConfig, instance: &InstanceType, machines: usize) -> Self {
+        Self::with_workload(model, instance, machines, WorkloadSpec::dense())
+    }
+
+    /// Creates a builder for an explicit [`WorkloadSpec`] (dense or MoE).
+    pub fn with_workload(
+        model: &ModelConfig,
+        instance: &InstanceType,
+        machines: usize,
+        workload: WorkloadSpec,
+    ) -> Self {
         TimelineBuilder {
             setup: Zero3Setup::new(model, instance, machines),
             instance: instance.clone(),
+            workload,
         }
     }
 
@@ -181,6 +200,11 @@ impl TimelineBuilder {
     /// The instance type in use.
     pub fn instance(&self) -> &InstanceType {
         &self.instance
+    }
+
+    /// The workload this builder models.
+    pub fn workload(&self) -> WorkloadSpec {
+        self.workload
     }
 
     /// Builds the deterministic (noise-free) iteration timeline.
@@ -195,7 +219,20 @@ impl TimelineBuilder {
         self.build_inner(Some((rng, frac)))
     }
 
-    fn build_inner(&self, mut jitter: Option<(&mut DetRng, f64)>) -> IterationTimeline {
+    fn build_inner(&self, jitter: Option<(&mut DetRng, f64)>) -> IterationTimeline {
+        match self.workload.moe() {
+            None => self.build_dense_inner(jitter),
+            Some(spec) => {
+                let moe = MoeSetup {
+                    zero: self.setup,
+                    spec,
+                };
+                self.build_moe_inner(jitter, &moe)
+            }
+        }
+    }
+
+    fn build_dense_inner(&self, mut jitter: Option<(&mut DetRng, f64)>) -> IterationTimeline {
         let mut j = move |d: SimDuration| -> SimDuration {
             match &mut jitter {
                 None => d,
@@ -313,6 +350,236 @@ impl TimelineBuilder {
         }
         // Embedding backward: compute then reduce-scatter.
         let espan = comp.reserve(comp.free_at, j(t_bwd_embed));
+        ops.push(PlacedOp {
+            kind: OpKind::BackwardCompute,
+            layer: None,
+            span: espan,
+        });
+        let ers = net.reserve(espan.end, j(t_ag_embed));
+        ops.push(PlacedOp {
+            kind: OpKind::ReduceScatter,
+            layer: None,
+            span: ers,
+        });
+
+        // ---- Optimizer update ----
+        let update_len = SimDuration::from_secs_f64(
+            self.setup.params_per_gpu() as f64 / OPTIMIZER_PARAMS_PER_SEC,
+        );
+        let update_start = comp.free_at.max(net.free_at);
+        let update_span = comp.reserve(update_start, j(update_len));
+        ops.push(PlacedOp {
+            kind: OpKind::Update,
+            layer: None,
+            span: update_span,
+        });
+
+        let end = update_span.end;
+        IterationTimeline {
+            window: Span::new(SimTime::ZERO, end),
+            network_busy: Timeline::from_spans(net.spans.iter().copied()),
+            compute_busy: Timeline::from_spans(comp.spans.iter().copied()),
+            update_span,
+            ops,
+        }
+    }
+
+    /// The expert-parallel iteration. MoE layers all-gather only their dense
+    /// backbone (experts stay resident under expert parallelism), route
+    /// tokens through dispatch/combine all-to-alls, and compute only the
+    /// `top_k / experts` active slice of the expert pool. Because dispatch
+    /// depends on the previous layer's output, forward all-gathers are
+    /// issued with a bounded prefetch window rather than all upfront.
+    fn build_moe_inner(
+        &self,
+        mut jitter: Option<(&mut DetRng, f64)>,
+        moe: &MoeSetup,
+    ) -> IterationTimeline {
+        let mut j = move |d: SimDuration| -> SimDuration {
+            match &mut jitter {
+                None => d,
+                Some((rng, frac)) => {
+                    let f = rng.uniform(1.0 - *frac, 1.0 + *frac);
+                    d.mul_f64(f)
+                }
+            }
+        };
+
+        let model = &self.setup.model;
+        let layers = model.layers as usize;
+        let net_cost = self.instance.training_net_cost();
+        let eff_flops = self.instance.effective_gpu_flops();
+        let tokens = model.tokens_per_gpu() as f64;
+
+        let layer_bytes = self.setup.layer_param_bytes();
+        let backbone_bytes = ByteSize::from_bytes(
+            (layer_bytes.as_bytes() as f64 * (1.0 - moe.ffn_fraction())).round() as u64,
+        );
+        let embed_bytes = self.setup.embedding_param_bytes();
+        let t_ag_dense = self.ag_time(layer_bytes, &net_cost);
+        let t_ag_backbone = self.ag_time(backbone_bytes, &net_cost);
+        let t_ag_embed = self.ag_time(embed_bytes, &net_cost);
+        let t_a2a = collective_time(
+            CollectiveKind::AllToAll,
+            self.setup.machines,
+            moe.dispatch_payload_bytes(),
+            &net_cost,
+        );
+        let active = moe.active_layer_fraction();
+        let flops_fwd_layer = 2.0 * model.layer_params() as f64 * tokens;
+        let flops_bwd_layer = 6.0 * model.layer_params() as f64 * tokens;
+        let flops_fwd_embed = 2.0 * model.embedding_params() as f64 * tokens;
+        let flops_bwd_embed = 6.0 * model.embedding_params() as f64 * tokens;
+        let t_fwd = |is_moe: bool| {
+            let f = if is_moe { active } else { 1.0 };
+            SimDuration::from_secs_f64(flops_fwd_layer * f / eff_flops)
+        };
+        let t_bwd = |is_moe: bool| {
+            let f = if is_moe { active } else { 1.0 };
+            SimDuration::from_secs_f64(flops_bwd_layer * f / eff_flops)
+        };
+        let t_ag = |is_moe: bool| if is_moe { t_ag_backbone } else { t_ag_dense };
+
+        let mut net = FifoTrack::new();
+        let mut comp = FifoTrack::new();
+        let mut ops: Vec<PlacedOp> = Vec::with_capacity(6 * layers + 8);
+
+        // ---- Forward pass ----
+        let embed_ag = net.reserve(SimTime::ZERO, j(t_ag_embed));
+        ops.push(PlacedOp {
+            kind: OpKind::ForwardAllGather,
+            layer: None,
+            span: embed_ag,
+        });
+        let embed_comp = comp.reserve(
+            embed_ag.end,
+            j(SimDuration::from_secs_f64(flops_fwd_embed / eff_flops)),
+        );
+        ops.push(PlacedOp {
+            kind: OpKind::ForwardCompute,
+            layer: None,
+            span: embed_comp,
+        });
+
+        let mut fwd_ag_end = vec![SimTime::ZERO; layers];
+        let mut issued = 0usize;
+        for l in 0..layers {
+            // Keep the all-gather window PREFETCH_DEPTH layers deep.
+            while issued < layers && issued <= l + PREFETCH_DEPTH {
+                let span = net.reserve(comp.free_at, j(t_ag(moe.is_moe_layer(issued))));
+                fwd_ag_end[issued] = span.end;
+                ops.push(PlacedOp {
+                    kind: OpKind::ForwardAllGather,
+                    layer: Some(issued as u32),
+                    span,
+                });
+                issued += 1;
+            }
+            if moe.is_moe_layer(l) {
+                let disp = net.reserve(comp.free_at.max(fwd_ag_end[l]), j(t_a2a));
+                ops.push(PlacedOp {
+                    kind: OpKind::ExpertDispatch,
+                    layer: Some(l as u32),
+                    span: disp,
+                });
+                let cspan = comp.reserve(comp.free_at.max(disp.end), j(t_fwd(true)));
+                ops.push(PlacedOp {
+                    kind: OpKind::ForwardCompute,
+                    layer: Some(l as u32),
+                    span: cspan,
+                });
+                let comb = net.reserve(cspan.end, j(t_a2a));
+                ops.push(PlacedOp {
+                    kind: OpKind::ExpertCombine,
+                    layer: Some(l as u32),
+                    span: comb,
+                });
+                // The next layer consumes the combined output.
+                comp.free_at = comp.free_at.max(comb.end);
+            } else {
+                let start = comp.free_at.max(fwd_ag_end[l]);
+                let span = comp.reserve(start, j(t_fwd(false)));
+                ops.push(PlacedOp {
+                    kind: OpKind::ForwardCompute,
+                    layer: Some(l as u32),
+                    span,
+                });
+            }
+        }
+
+        // ---- Backward pass ----
+        let bwd_begin = comp.free_at;
+        let mut bwd_ag_end = vec![SimTime::ZERO; layers];
+        for l in (layers.saturating_sub(PREFETCH_DEPTH)..layers).rev() {
+            let span = net.reserve(bwd_begin, j(t_ag(moe.is_moe_layer(l))));
+            bwd_ag_end[l] = span.end;
+            ops.push(PlacedOp {
+                kind: OpKind::BackwardAllGather,
+                layer: Some(l as u32),
+                span,
+            });
+        }
+        for l in (0..layers).rev() {
+            if l >= PREFETCH_DEPTH {
+                let target = l - PREFETCH_DEPTH;
+                let span = net.reserve(comp.free_at, j(t_ag(moe.is_moe_layer(target))));
+                bwd_ag_end[target] = span.end;
+                ops.push(PlacedOp {
+                    kind: OpKind::BackwardAllGather,
+                    layer: Some(target as u32),
+                    span,
+                });
+            }
+            let is_moe = moe.is_moe_layer(l);
+            if is_moe {
+                // Route the output gradients back to the experts.
+                let disp = net.reserve(comp.free_at.max(bwd_ag_end[l]), j(t_a2a));
+                ops.push(PlacedOp {
+                    kind: OpKind::ExpertDispatch,
+                    layer: Some(l as u32),
+                    span: disp,
+                });
+                let cspan = comp.reserve(comp.free_at.max(disp.end), j(t_bwd(true)));
+                ops.push(PlacedOp {
+                    kind: OpKind::BackwardCompute,
+                    layer: Some(l as u32),
+                    span: cspan,
+                });
+                let comb = net.reserve(cspan.end, j(t_a2a));
+                ops.push(PlacedOp {
+                    kind: OpKind::ExpertCombine,
+                    layer: Some(l as u32),
+                    span: comb,
+                });
+                comp.free_at = comp.free_at.max(comb.end);
+                // Backbone gradients still reduce-scatter; expert gradients
+                // stay resident with their experts.
+                let rs = net.reserve(comp.free_at, j(t_ag(true)));
+                ops.push(PlacedOp {
+                    kind: OpKind::ReduceScatter,
+                    layer: Some(l as u32),
+                    span: rs,
+                });
+            } else {
+                let start = comp.free_at.max(bwd_ag_end[l]);
+                let cspan = comp.reserve(start, j(t_bwd(false)));
+                ops.push(PlacedOp {
+                    kind: OpKind::BackwardCompute,
+                    layer: Some(l as u32),
+                    span: cspan,
+                });
+                let rs = net.reserve(cspan.end, j(t_ag(false)));
+                ops.push(PlacedOp {
+                    kind: OpKind::ReduceScatter,
+                    layer: Some(l as u32),
+                    span: rs,
+                });
+            }
+        }
+        let espan = comp.reserve(
+            comp.free_at,
+            j(SimDuration::from_secs_f64(flops_bwd_embed / eff_flops)),
+        );
         ops.push(PlacedOp {
             kind: OpKind::BackwardCompute,
             layer: None,
@@ -466,6 +733,75 @@ mod tests {
         let t4 = TimelineBuilder::new(m, InstanceType::p4d(), 4).build();
         let t16 = TimelineBuilder::new(m, InstanceType::p4d(), 16).build();
         assert!(t16.network_busy_total() > t4.network_busy_total());
+    }
+
+    #[test]
+    fn moe_timeline_has_expert_traffic_and_runs_faster() {
+        use crate::workload::WorkloadSpec;
+        let dense = timeline_100b();
+        let moe = TimelineBuilder::with_workload(
+            ModelConfig::gpt2_100b(),
+            InstanceType::p4d(),
+            16,
+            WorkloadSpec::moe_default(),
+        )
+        .build();
+        let dispatches = moe
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::ExpertDispatch)
+            .count();
+        let combines = moe
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::ExpertCombine)
+            .count();
+        // 62 MoE layers, forward + backward a2a pairs.
+        assert_eq!(dispatches, 124);
+        assert_eq!(combines, 124);
+        // Sparse activation cuts GPU compute; token routing adds NIC time.
+        assert!(
+            moe.compute_busy.total() < dense.compute_busy.total(),
+            "moe compute {:.1}s vs dense {:.1}s",
+            moe.compute_busy.total().as_secs_f64(),
+            dense.compute_busy.total().as_secs_f64()
+        );
+        assert!(
+            moe.network_busy_total() > dense.network_busy_total(),
+            "moe net {:.1}s vs dense {:.1}s",
+            moe.network_busy_total().as_secs_f64(),
+            dense.network_busy_total().as_secs_f64()
+        );
+        // The a2a tax is bounded: within 1.6× of the dense iteration.
+        assert!(
+            moe.iteration_time() < dense.iteration_time().mul_f64(1.6),
+            "moe {:.1}s vs dense {:.1}s",
+            moe.iteration_time().as_secs_f64(),
+            dense.iteration_time().as_secs_f64()
+        );
+        assert!(!moe.idle_spans().is_empty());
+        let sum = moe.network_busy_total() + moe.network_idle_total();
+        assert_eq!(sum, moe.iteration_time());
+        for tlx in [&moe.network_busy, &moe.compute_busy] {
+            assert!(tlx.last_end().unwrap() <= moe.window.end);
+            assert!(tlx.check_invariants());
+        }
+    }
+
+    #[test]
+    fn dense_workload_builder_matches_plain_builder() {
+        use crate::workload::WorkloadSpec;
+        let a = timeline_100b();
+        let b = TimelineBuilder::with_workload(
+            ModelConfig::gpt2_100b(),
+            InstanceType::p4d(),
+            16,
+            WorkloadSpec::dense(),
+        )
+        .build();
+        assert_eq!(a.iteration_time(), b.iteration_time());
+        assert_eq!(a.ops.len(), b.ops.len());
+        assert_eq!(a.network_busy_total(), b.network_busy_total());
     }
 
     #[test]

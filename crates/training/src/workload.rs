@@ -1,0 +1,185 @@
+//! Typed workload descriptions.
+//!
+//! Historically every entry point assumed a dense ZeRO-3 workload; the MoE
+//! timeline (ROADMAP item 5) makes the workload an explicit axis. A
+//! [`WorkloadSpec`] names the training recipe — dense ZeRO-3 or
+//! expert-parallel mixture-of-experts — and is carried by deployments,
+//! scenario builders and service queries so every layer (timeline, memory,
+//! checkpoint volume, placement math) can branch on it.
+
+use serde::{Deserialize, Serialize};
+
+/// Marker for the dense ZeRO-3 recipe (paper §5.1). Carries no knobs today;
+/// it exists so the dense/MoE split is a typed enum rather than an implicit
+/// default, and leaves room for dense-specific knobs later.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Zero3Spec;
+
+/// Knobs of an expert-parallel mixture-of-experts workload.
+///
+/// The MoE model keeps the *same nominal parameter total* as its dense
+/// counterpart — the FFN of every `moe_layer_every`-th layer is split into
+/// `experts` expert shards — so full-checkpoint volume and memory validation
+/// are unchanged, while per-token compute touches only `top_k` experts.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct MoeSpec {
+    /// Experts per MoE layer.
+    pub experts: usize,
+    /// Experts each token is routed to.
+    pub top_k: usize,
+    /// Every `moe_layer_every`-th transformer layer is an MoE layer.
+    pub moe_layer_every: u32,
+    /// Dense placement groups spanned by one expert replication group (the
+    /// expert-shard placement knob; see `gemini_core::placement::expert`).
+    pub expert_span: usize,
+}
+
+impl Default for MoeSpec {
+    fn default() -> Self {
+        MoeSpec {
+            experts: 8,
+            top_k: 2,
+            moe_layer_every: 2,
+            expert_span: 2,
+        }
+    }
+}
+
+impl MoeSpec {
+    /// Whether the knobs are internally consistent.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.experts == 0 {
+            return Err("an MoE workload needs at least one expert");
+        }
+        if self.top_k == 0 || self.top_k > self.experts {
+            return Err("top_k must be in 1..=experts");
+        }
+        if self.moe_layer_every == 0 {
+            return Err("moe_layer_every must be at least 1");
+        }
+        if self.expert_span == 0 {
+            return Err("expert_span must be at least 1");
+        }
+        Ok(())
+    }
+
+    /// Fraction of a dense layer's parameters that live in the expert pool
+    /// (the FFN share), for a transformer layer of hidden size `h` and
+    /// intermediate size `i`: `(2hi + h + i) / (4h² + 4h + 2hi + h + i + 4h)`.
+    pub fn ffn_fraction(hidden: u64, intermediate: u64) -> f64 {
+        let h = hidden as f64;
+        let i = intermediate as f64;
+        let ffn = 2.0 * h * i + h + i;
+        let layer = 4.0 * h * h + 4.0 * h + ffn + 4.0 * h;
+        ffn / layer
+    }
+}
+
+/// The training recipe of a deployment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// Dense ZeRO-3 (the paper's setting).
+    Dense(Zero3Spec),
+    /// Expert-parallel mixture-of-experts with sparse checkpointing.
+    Moe(MoeSpec),
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec::Dense(Zero3Spec)
+    }
+}
+
+impl WorkloadSpec {
+    /// The dense ZeRO-3 workload.
+    pub fn dense() -> Self {
+        WorkloadSpec::Dense(Zero3Spec)
+    }
+
+    /// An MoE workload with the default knobs (8 experts, top-2 gating,
+    /// MoE layers every 2nd layer, expert span 2).
+    pub fn moe_default() -> Self {
+        WorkloadSpec::Moe(MoeSpec::default())
+    }
+
+    /// Short label used in reports and query canonicalization.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Dense(_) => "dense",
+            WorkloadSpec::Moe(_) => "moe",
+        }
+    }
+
+    /// The MoE knobs, when this is an MoE workload.
+    pub fn moe(&self) -> Option<MoeSpec> {
+        match self {
+            WorkloadSpec::Dense(_) => None,
+            WorkloadSpec::Moe(spec) => Some(*spec),
+        }
+    }
+
+    /// Whether this is an MoE workload.
+    pub fn is_moe(&self) -> bool {
+        matches!(self, WorkloadSpec::Moe(_))
+    }
+
+    /// Validates the contained knobs.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match self {
+            WorkloadSpec::Dense(_) => Ok(()),
+            WorkloadSpec::Moe(spec) => spec.validate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_dense() {
+        assert_eq!(WorkloadSpec::default(), WorkloadSpec::dense());
+        assert!(!WorkloadSpec::default().is_moe());
+        assert_eq!(WorkloadSpec::default().label(), "dense");
+    }
+
+    #[test]
+    fn moe_default_knobs() {
+        let w = WorkloadSpec::moe_default();
+        assert!(w.is_moe());
+        assert_eq!(w.label(), "moe");
+        let spec = w.moe().unwrap();
+        assert_eq!(spec.experts, 8);
+        assert_eq!(spec.top_k, 2);
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        let mut spec = MoeSpec::default();
+        spec.top_k = 9;
+        assert!(WorkloadSpec::Moe(spec).validate().is_err());
+        spec = MoeSpec {
+            experts: 0,
+            ..MoeSpec::default()
+        };
+        assert!(spec.validate().is_err());
+        spec = MoeSpec {
+            moe_layer_every: 0,
+            ..MoeSpec::default()
+        };
+        assert!(spec.validate().is_err());
+        spec = MoeSpec {
+            expert_span: 0,
+            ..MoeSpec::default()
+        };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn ffn_fraction_is_most_of_a_layer() {
+        // With I = 4H the FFN is ≈ 2/3 of a layer's parameters.
+        let f = MoeSpec::ffn_fraction(8192, 32768);
+        assert!((0.6..0.75).contains(&f), "ffn fraction = {f}");
+    }
+}

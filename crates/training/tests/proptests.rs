@@ -5,8 +5,21 @@ use gemini_cluster::InstanceType;
 use gemini_sim::{DetRng, SimDuration, Timeline};
 use gemini_training::data::{DataLoader, DataLoaderState, SyntheticCorpus};
 use gemini_training::memory::footprint;
-use gemini_training::{OnlineProfiler, TimelineBuilder, TABLE2_MODELS};
+use gemini_training::{
+    IncrementalTracker, MoeSetup, MoeSpec, OnlineProfiler, TimelineBuilder, TABLE2_MODELS,
+};
 use proptest::prelude::*;
+
+fn moe_spec_strategy() -> impl Strategy<Value = MoeSpec> {
+    (1usize..=64)
+        .prop_flat_map(|experts| (Just(experts), 1usize..=experts, 1u32..=6, 1usize..=4))
+        .prop_map(|(experts, top_k, moe_layer_every, expert_span)| MoeSpec {
+            experts,
+            top_k,
+            moe_layer_every,
+            expert_span,
+        })
+}
 
 fn builder_strategy() -> impl Strategy<Value = TimelineBuilder> {
     (0usize..TABLE2_MODELS.len(), 2usize..24, prop::bool::ANY).prop_map(
@@ -189,6 +202,51 @@ proptest! {
         let small_world = footprint(m, w).total;
         let big_world = footprint(m, w * 2).total;
         prop_assert!(big_world <= small_world);
+    }
+
+    /// Sparse MoE checkpoints can never exceed the full checkpoint, for
+    /// any internally-consistent gating knobs: the incremental fraction is
+    /// in `(0, 1]`, monotone in the dirty count, saturates at exactly 1
+    /// when every expert is dirty, and the deterministic gating keeps the
+    /// tracker's dirty set inside the expert pool.
+    #[test]
+    fn moe_incremental_checkpoints_never_exceed_full(
+        spec in moe_spec_strategy(),
+        model_idx in 0usize..TABLE2_MODELS.len(),
+        machines in 2usize..24,
+        iters in 1u64..40,
+    ) {
+        prop_assert!(spec.validate().is_ok());
+        let setup = MoeSetup::new(
+            &TABLE2_MODELS[model_idx],
+            &InstanceType::p4d(),
+            machines,
+            spec,
+        );
+        let full = setup.zero.ckpt_bytes_per_machine();
+        let mut prev = 0.0f64;
+        for dirty in 0..=spec.experts {
+            let f = setup.incremental_fraction(dirty);
+            prop_assert!(f > 0.0 && f <= 1.0 + 1e-12, "fraction {f} out of (0,1]");
+            prop_assert!(f + 1e-12 >= prev, "fraction shrank as dirty grew");
+            prev = f;
+            prop_assert!(setup.incremental_bytes_per_machine(dirty) <= full);
+        }
+        prop_assert!((setup.incremental_fraction(spec.experts) - 1.0).abs() < 1e-9);
+        let steady = setup.steady_incremental_fraction();
+        prop_assert!(steady > 0.0 && steady <= 1.0 + 1e-12);
+        let expected = setup.expected_touched();
+        prop_assert!(expected >= 0.0 && expected <= spec.experts as f64);
+        let mut tracker = IncrementalTracker::new();
+        for i in 0..iters {
+            tracker.observe(&setup.touched_experts(i));
+            prop_assert!(tracker.dirty_count() <= spec.experts);
+            prop_assert!(
+                setup.incremental_fraction(tracker.dirty_count()) <= 1.0 + 1e-12
+            );
+        }
+        prop_assert!(tracker.flush() <= spec.experts);
+        prop_assert_eq!(tracker.dirty_count(), 0);
     }
 }
 

@@ -11,7 +11,7 @@ use gemini_harness::{run_drill, DrillConfig, Deployment};
 
 fn main() {
     // 1. Describe the deployment: model × instance type × machine count.
-    let scenario = Deployment::gpt2_100b_p4d();
+    let scenario = Deployment::dense_gpt2_100b_p4d();
     println!(
         "deployment: {} on {} x {}",
         scenario.model.name, scenario.machines, scenario.instance.name

@@ -11,7 +11,7 @@ use gemini_harness::{GeminiRuntime, Deployment};
 
 fn main() {
     let mut rt = GeminiRuntime::launch(
-        Deployment::gpt2_100b_p4d(),
+        Deployment::dense_gpt2_100b_p4d(),
         OperatorConfig::with_standbys(1),
         64 * 1024, // synthetic 64 KiB shards in the byte vault
         2026,

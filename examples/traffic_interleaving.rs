@@ -12,7 +12,7 @@ use gemini_sim::DetRng;
 
 fn main() {
     // The Fig. 16 setting: GPT-2 40B on 16 p3dn.24xlarge.
-    let scenario = Deployment::gpt2_40b_p3dn();
+    let scenario = Deployment::dense_gpt2_40b_p3dn();
     let mut rng = DetRng::new(16);
     let profile = scenario.profile(&mut rng);
 

@@ -62,7 +62,7 @@ fn end_to_end_rack_failure_drill_with_topology() {
     // 4-machine rack dies and training still recovers from CPU memory.
     let topology = Topology::contiguous(16, 4).unwrap();
     let victims = topology.machines_in_rack(1);
-    let mut scenario = Deployment::gpt2_100b_p4d();
+    let mut scenario = Deployment::dense_gpt2_100b_p4d();
     scenario.rack_topology = Some(topology);
     let mut cfg = DrillConfig::fig14();
     cfg.scenario = scenario;

@@ -98,7 +98,7 @@ fn end_to_end_smaller_cluster_still_recovers() {
     let mut cfg = base();
     cfg.scenario = Deployment {
         machines: 4,
-        ..Deployment::gpt2_40b_p3dn()
+        ..Deployment::dense_gpt2_40b_p3dn()
     };
     cfg.failures = vec![(3, FailureKind::Hardware)];
     let r = run_drill(&cfg).unwrap();
@@ -113,7 +113,7 @@ fn cpu_memory_validation_rejects_infeasible_deployments() {
     // checked, not assumed).
     let scenario = Deployment {
         machines: 4,
-        ..Deployment::gpt2_100b_p4d()
+        ..Deployment::dense_gpt2_100b_p4d()
     };
     assert!(scenario.build_system(1).is_err());
 }
@@ -121,7 +121,7 @@ fn cpu_memory_validation_rejects_infeasible_deployments() {
 #[test]
 fn end_to_end_p3dn_deployment_recovers() {
     let mut cfg = base();
-    cfg.scenario = Deployment::gpt2_40b_p3dn();
+    cfg.scenario = Deployment::dense_gpt2_40b_p3dn();
     cfg.failures = vec![(9, FailureKind::Hardware)];
     let r = run_drill(&cfg).unwrap();
     assert_eq!(r.case, RecoveryCase::HardwareFromCpu);

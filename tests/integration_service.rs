@@ -88,7 +88,7 @@ fn drill_responses_match_the_one_shot_builder_byte_for_byte() {
             .to_string()],
         1,
     );
-    let mut deployment = Deployment::gpt2_100b_p4d();
+    let mut deployment = Deployment::dense_gpt2_100b_p4d();
     deployment.machines = 8;
     let one_shot = Scenario::drill(DrillConfig {
         scenario: deployment,
@@ -96,6 +96,7 @@ fn drill_responses_match_the_one_shot_builder_byte_for_byte() {
         fail_during_iteration: 4,
         operator: OperatorConfig::default(),
         seed: 5,
+        mode: gemini_core::RecoveryMode::Wait,
     })
     .run()
     .unwrap();
